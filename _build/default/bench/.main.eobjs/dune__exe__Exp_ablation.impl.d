@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Attributes Float List Printf Rvu_core Rvu_geom Rvu_report Rvu_search Table Util Vec2

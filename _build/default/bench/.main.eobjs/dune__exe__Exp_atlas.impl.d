@@ -1,0 +1,1 @@
+bench/exp_atlas.ml: Atlas Feasibility List Option Rvu_core Rvu_geom Rvu_report Rvu_sim Rvu_workload Table Universal Util Vec2

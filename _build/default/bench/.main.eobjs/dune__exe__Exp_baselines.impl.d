@@ -1,0 +1,1 @@
+bench/exp_baselines.ml: Attributes Feasibility Float Int64 List Rvu_baselines Rvu_core Rvu_geom Rvu_numerics Rvu_report Rvu_search Rvu_sim Table Util Vec2

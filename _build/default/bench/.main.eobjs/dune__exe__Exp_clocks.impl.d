@@ -1,0 +1,1 @@
+bench/exp_clocks.ml: Attributes Bounds List Phases Rvu_core Rvu_geom Rvu_report Rvu_workload Table Universal Util Vec2

@@ -1,0 +1,1 @@
+bench/exp_closedforms.ml: Float List Printf Rvu_core Rvu_report Rvu_search Rvu_trajectory Table Util

@@ -1,0 +1,1 @@
+bench/exp_competitive.ml: Attributes Bounds Float List Rvu_core Rvu_geom Rvu_numerics Rvu_report Table Universal Util Vec2

@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Attributes Conformal Float List Printf Rvu_core Rvu_geom Rvu_report Rvu_sim Rvu_trajectory Rvu_workload Table Universal Util Vec2

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Bounds List Overlap Phases Printf Rvu_core Rvu_report Rvu_search Series Table Timeline Util

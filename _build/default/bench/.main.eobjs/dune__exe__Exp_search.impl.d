@@ -1,0 +1,1 @@
+bench/exp_search.ml: Float List Rvu_numerics Rvu_report Rvu_search Table Util

@@ -1,0 +1,1 @@
+bench/exp_stress.ml: Attributes Float List Phases Rvu_core Rvu_geom Rvu_report Rvu_sim Table Util Vec2

@@ -1,0 +1,1 @@
+bench/exp_symmetric.ml: Attributes Bounds Equivalent Feasibility Float List Option Rvu_core Rvu_geom Rvu_report Rvu_search Table Util Vec2

@@ -1,0 +1,1 @@
+bench/util.ml: Attributes Feasibility Filename Format Printf Rvu_core Rvu_geom Rvu_report Rvu_search Rvu_sim Sys Unix Vec2

@@ -1,0 +1,132 @@
+(* Ablations of the simulator's design choices (DESIGN.md section 5).
+
+   A1 — closed-form fast path vs pure Lipschitz detection: hit times must
+        agree to the detector's resolution; only wall-clock may differ.
+   A2 — detector resolution: the reported hit time must be stable across
+        six orders of magnitude of resolution.
+   A3 — lazy vs eager schedules: the segment counts that make eager
+        materialisation of Algorithm 7 impossible. *)
+
+open Rvu_geom
+open Rvu_core
+open Rvu_report
+
+let instance_cases =
+  [
+    ("speeds v=2", Attributes.make ~v:2.0 (), Vec2.make 2.0 1.0, 0.1);
+    ("rotation phi=2pi/3", Attributes.make ~phi:(2.0 *. Float.pi /. 3.0) (),
+     Vec2.make 1.4 0.3, 0.15);
+    ("mirror v=0.6", Attributes.make ~v:0.6 ~phi:1.0 ~chi:Attributes.Opposite (),
+     Vec2.make 1.8 (-0.4), 0.2);
+  ]
+
+let run_a1 () =
+  Util.banner "A1" "Ablation: closed-form fast path vs pure Lipschitz detector";
+  let t =
+    Table.create
+      ~columns:
+        [
+          Table.column ~align:Table.Left "instance";
+          Table.column "hit (fast path)";
+          Table.column "hit (lipschitz)";
+          Table.column "|delta t|";
+          Table.column "wall fast (s)";
+          Table.column "wall lipschitz (s)";
+          Table.column "speedup";
+        ]
+  in
+  List.iter
+    (fun (name, attributes, displacement, r) ->
+      let program = Rvu_search.Algorithm4.program () in
+      let (t_fast, _), wall_fast =
+        Util.wall_clock (fun () ->
+            Util.hit_time ~closed_forms:true ~program ~attributes ~displacement
+              ~r ())
+      in
+      let (t_slow, _), wall_slow =
+        Util.wall_clock (fun () ->
+            Util.hit_time ~closed_forms:false ~program ~attributes
+              ~displacement ~r ())
+      in
+      assert (Float.abs (t_fast -. t_slow) < 1e-5);
+      Table.add_row t
+        [
+          name; Table.fstr t_fast; Table.fstr t_slow;
+          Printf.sprintf "%.1e" (Float.abs (t_fast -. t_slow));
+          Table.fstr wall_fast; Table.fstr wall_slow;
+          Table.fstr (wall_slow /. Float.max 1e-9 wall_fast);
+        ])
+    instance_cases;
+  Util.table ~id:"a1" t;
+  Util.note "Hit times agree to <= 1e-5: correctness does not depend on the fast path."
+
+let run_a2 () =
+  Util.banner "A2" "Ablation: detector resolution sensitivity";
+  let t =
+    Table.create
+      ~columns:
+        [
+          Table.column ~align:Table.Left "instance";
+          Table.column "resolution";
+          Table.column "hit time";
+          Table.column "drift vs 1e-9";
+        ]
+  in
+  List.iter
+    (fun (name, attributes, displacement, r) ->
+      let program = Rvu_search.Algorithm4.program () in
+      let hit resolution =
+        fst (Util.hit_time ~resolution ~program ~attributes ~displacement ~r ())
+      in
+      let reference = hit 1e-9 in
+      List.iter
+        (fun resolution ->
+          let time = hit resolution in
+          assert (Float.abs (time -. reference) < 0.05);
+          Table.add_row t
+            [
+              name;
+              Printf.sprintf "%.0e" resolution;
+              Table.fstr time;
+              Printf.sprintf "%.2e" (Float.abs (time -. reference));
+            ])
+        [ 1e-3; 1e-5; 1e-7; 1e-9 ])
+    instance_cases;
+  Util.table ~id:"a2" t;
+  Util.note "Hit times drift < 0.05 time units across six decades of resolution."
+
+let run_a3 () =
+  Util.banner "A3" "Ablation: why schedules are lazy (eager materialisation cost)";
+  let t =
+    Table.create
+      ~columns:
+        (List.map Table.column
+           [ "round n"; "segments in round"; "cumulative"; "eager est. (GiB)" ])
+  in
+  let cumulative = ref 0.0 in
+  List.iter
+    (fun n ->
+      (* One round of Algorithm 7 = wait + SearchAll(n) + SearchAllRev(n). *)
+      let per_round =
+        1.0 +. (2.0 *. float_of_int (Rvu_search.Timing.search_all_segments n))
+      in
+      cumulative := !cumulative +. per_round;
+      (* ~64 bytes per materialised segment record (tag + floats + boxing). *)
+      let gib = !cumulative *. 64.0 /. (1024.0 ** 3.0) in
+      Table.add_row t
+        [
+          Table.istr n;
+          Printf.sprintf "%.3g" per_round;
+          Printf.sprintf "%.3g" !cumulative;
+          Printf.sprintf "%.3g" gib;
+        ])
+    (List.init 16 (fun i -> i + 1));
+  Util.table ~id:"a3" t;
+  Util.note
+    "Eagerly materialising through round 14 would need ~100 GiB; the lazy stream";
+  Util.note "holds O(1) segments in memory regardless of depth."
+
+let run () =
+  run_a1 ();
+  run_a2 ();
+  run_a3 ()

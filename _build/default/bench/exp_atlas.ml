@@ -1,0 +1,103 @@
+(* E5 — Theorem 4: the feasibility iff, empirically.
+
+   Every atlas cell is run both ways: feasible cells must produce a
+   rendezvous within their analytic guarantee; infeasible cells are run to a
+   horizon on the adversarial bearing and must carry a certified
+   separation above the visibility radius. The ε-boundary probes then show
+   the bounds blowing up as the infeasible manifold is approached. *)
+
+open Rvu_geom
+open Rvu_core
+open Rvu_workload
+open Rvu_report
+
+let d = 1.5
+let r = 0.4
+
+let run () =
+  Util.banner "E5" "Theorem 4: feasibility atlas, verdict vs simulation";
+  let t =
+    Table.create
+      ~columns:
+        [
+          Table.column ~align:Table.Left "configuration";
+          Table.column ~align:Table.Left "theorem 4";
+          Table.column "measured T";
+          Table.column "bound";
+          Table.column "certified sep";
+        ]
+  in
+  List.iter
+    (fun cell ->
+      let verdict = Feasibility.classify cell.Atlas.attributes in
+      match verdict with
+      | Feasibility.Feasible _ ->
+          let time, res =
+            Util.hit_time
+              ~program:(Universal.program ())
+              ~attributes:cell.Atlas.attributes
+              ~displacement:(Vec2.of_polar ~radius:d ~angle:0.9)
+              ~r ()
+          in
+          let bound =
+            Option.get res.Rvu_sim.Engine.bound.Universal.time
+          in
+          assert (time <= bound);
+          Table.add_row t
+            [
+              cell.Atlas.label; Util.verdict_string verdict; Table.fstr time;
+              Table.fstr bound; "-";
+            ]
+      | Feasibility.Infeasible ->
+          let dhat =
+            Option.get (Feasibility.adversarial_direction cell.Atlas.attributes)
+          in
+          let inst =
+            Rvu_sim.Engine.instance ~attributes:cell.Atlas.attributes
+              ~displacement:(Vec2.scale d dhat) ~r
+          in
+          let horizon = 20_000.0 in
+          let res = Rvu_sim.Engine.run ~horizon inst in
+          assert (res.Rvu_sim.Engine.outcome = Rvu_sim.Detector.Horizon horizon);
+          let sep =
+            Rvu_sim.Engine.separation_certificate ~resolution:2e-2
+              ~horizon:2_000.0 inst
+          in
+          assert (sep > r);
+          Table.add_row t
+            [
+              cell.Atlas.label; Util.verdict_string verdict; "(no meeting)";
+              "-"; Table.fstr sep;
+            ])
+    Atlas.cells;
+  Util.table ~id:"e5" t;
+  Util.note "Every verdict confirmed empirically (iff frontier reproduced).";
+
+  Util.banner "E5b" "Boundary probes: bounds blow up toward the infeasible manifold";
+  let t2 =
+    Table.create
+      ~columns:
+        [
+          Table.column ~align:Table.Left "probe";
+          Table.column "epsilon";
+          Table.column "guaranteed round";
+          Table.column "guaranteed time";
+        ]
+  in
+  List.iter
+    (fun eps ->
+      List.iter
+        (fun cell ->
+          let g = Universal.guarantee cell.Atlas.attributes ~d ~r in
+          Table.add_row t2
+            [
+              cell.Atlas.label;
+              Table.fstr eps;
+              (match g.Universal.round with Some k -> Table.istr k | None -> "-");
+              (match g.Universal.time with Some b -> Table.fstr b | None -> "-");
+            ])
+        (Atlas.boundary_cells ~epsilon:eps))
+    [ 0.2; 0.05; 0.01; 0.002 ];
+  Util.table ~id:"e5b" t2;
+  Util.note
+    "Shape check: guaranteed time grows without bound as epsilon -> 0 on every probe family."

@@ -1,0 +1,89 @@
+(* E4 — Theorem 3 / Lemma 13: asymmetric clocks.
+
+   Sweeps τ = t·2⁻ᵃ over both Lemma 13 regimes (t ≤ 2/3 and t > 2/3) and
+   over a ∈ {0, 1}, runs Algorithm 7, and reports the measured rendezvous
+   time and round against the Lemma 13 round bound k* and the completion
+   time of k* rounds. The measured round must never exceed k*. *)
+
+open Rvu_geom
+open Rvu_core
+open Rvu_report
+
+let run () =
+  Util.banner "E4" "Theorem 3: asymmetric clocks under Algorithm 7";
+  let t =
+    Table.create
+      ~columns:
+        (List.map Table.column
+           [
+             "d"; "r"; "tau"; "a"; "t"; "searcher n"; "k* (L13)"; "measured T";
+             "measured round"; "time bound"; "T/bound";
+           ])
+  in
+  List.iter
+    (fun ((d, r), tau) ->
+      let attributes = Attributes.make ~tau () in
+      let a, tt = Bounds.tau_decomposition (if tau < 1.0 then tau else 1.0 /. tau) in
+      let n = Bounds.searcher_round attributes ~d ~r in
+      let k_star = Bounds.asymmetric_round attributes ~d ~r in
+      let bound = Bounds.asymmetric_time attributes ~d ~r in
+      let time, _ =
+        Util.hit_time
+          ~program:(Universal.program ())
+          ~attributes
+          ~displacement:(Vec2.of_polar ~radius:d ~angle:0.7)
+          ~r ()
+      in
+      let round =
+        (* Round is counted on the searcher's (slower) clock. *)
+        let local = if tau < 1.0 then time else time /. tau in
+        match Phases.phase_at local with Some (k, _) -> k | None -> 0
+      in
+      assert (round <= k_star);
+      assert (time <= bound);
+      Table.add_row t
+        [
+          Table.fstr d; Table.fstr r;
+          Table.fstr tau; Table.istr a; Table.fstr tt; Table.istr n;
+          Table.istr k_star; Table.fstr time; Table.istr round;
+          Table.fstr bound; Table.fstr (time /. bound);
+        ])
+    (Rvu_workload.Sweep.grid
+       [ (1.5, 0.4); (3.0, 0.1) ]
+       [ 0.5; 0.55; 0.6; 0.66; 0.7; 0.75; 0.8; 0.85; 0.9; 0.3; 0.35; 0.45; 2.0; 1.5 ]);
+  Util.table ~id:"e4" t;
+
+  (* E4b: the paper's exact Lemma 11 / Lemma 12 (Lambert W) rounds against
+     the Lemma 13 simplification the headline bound uses. *)
+  Util.banner "E4b" "Lemma 11/12 exact rounds vs the Lemma 13 simplification";
+  let t2 =
+    Table.create
+      ~columns:
+        (List.map Table.column
+           [ "tau"; "n"; "regime"; "exact k (L11/L12+W)"; "simplified k* (L13)" ])
+  in
+  List.iter
+    (fun (tau, n) ->
+      let exact, regime =
+        match (Bounds.lemma11_round ~tau ~n, Bounds.lemma12_round ~tau ~n) with
+        | Some k, None -> (k, "t<=2/3 (L9/L11)")
+        | None, Some k -> (k, "t>2/3 (L10/L12)")
+        | _ -> failwith "exactly one regime must apply"
+      in
+      assert (exact <= Bounds.round_bound ~tau ~n);
+      Table.add_row t2
+        [
+          Table.fstr tau; Table.istr n; regime; Table.istr exact;
+          Table.istr (Bounds.round_bound ~tau ~n);
+        ])
+    (Rvu_workload.Sweep.grid [ 0.5; 0.6; 0.75; 0.9; 0.95 ] [ 1; 4; 8; 12 ]);
+  Util.table ~id:"e4b" t2;
+  Util.note
+    "The Lambert-W form is sharper by several rounds (each round is 4x longer than";
+  Util.note "the last, so this is orders of magnitude in the time bound).";
+  Util.note
+    "Measured rounds stay far below k*: the robots almost always meet while both are";
+  Util.note
+    "active — the Lemma 13 waiting-overlap mechanism is a (very pessimistic) fallback.";
+  Util.note
+    "Shape check: k* jumps as t crosses 2/3 (regime switch) and grows with a — both visible above."

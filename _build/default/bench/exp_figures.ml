@@ -1,0 +1,96 @@
+(* F1/F2/F3 — the paper's three (schematic) figures, regenerated from the
+   actual schedule and overlap machinery.
+
+   F1 (Figure 1): the round structure of Algorithm 7 — alternating inactive
+   and active phases of geometrically growing length.
+
+   F2 (Figure 2): the internal structure of one active phase —
+   SearchAll(n) forwards then SearchAllRev(n) backwards.
+
+   F3 (Figure 3): the two ways R's active phases overlap R''s inactive
+   phases under clock asymmetry, and the unbounded growth of that overlap
+   (the engine of Theorem 3). *)
+
+open Rvu_core
+open Rvu_report
+
+let run_f1 () =
+  Util.banner "F1" "Figure 1: rounds of Algorithm 7 (sqrt-warped time axis)";
+  let rounds = 6 in
+  let t_max = Phases.round_end rounds in
+  let intervals scale =
+    List.concat_map
+      (fun n ->
+        [
+          (scale *. Phases.inactive_start n, scale *. Phases.active_start n, '.');
+          (scale *. Phases.active_start n, scale *. Phases.round_end n, 'A');
+        ])
+      (List.init rounds (fun i -> i + 1))
+  in
+  print_string
+    (Timeline.render ~width:96 ~t_max
+       [ { Timeline.name = "R"; intervals = intervals 1.0 } ]);
+  Util.note "('.' = inactive/waiting, 'A' = active/searching; lengths 2S(n) each)"
+
+let run_f2 () =
+  Util.banner "F2" "Figure 2: structure of the active phase of round n";
+  let n = 4 in
+  let t =
+    Table.create
+      ~columns:
+        [
+          Table.column ~align:Table.Left "block";
+          Table.column "starts (into active phase)";
+          Table.column "duration";
+        ]
+  in
+  let clock = ref 0.0 in
+  let block name dur =
+    Table.add_row t [ name; Table.fstr !clock; Table.fstr dur ];
+    clock := !clock +. dur
+  in
+  for k = 1 to n do
+    block (Printf.sprintf "Search(%d)  [SearchAll fwd]" k)
+      (Rvu_search.Timing.search_round_time k)
+  done;
+  for k = n downto 1 do
+    block (Printf.sprintf "Search(%d)  [SearchAllRev]" k)
+      (Rvu_search.Timing.search_round_time k)
+  done;
+  Util.table ~id:"f2" t;
+  Util.note "Total %g = 2 S(%d) = %g (Lemma 8)." !clock n (2.0 *. Phases.s n)
+
+let run_f3 () =
+  Util.banner "F3" "Figure 3: active/inactive overlap growth under clock asymmetry";
+  List.iter
+    (fun tau ->
+      Util.note "tau = %g:" tau;
+      let rows =
+        List.map
+          (fun k ->
+            let o, m = Overlap.max_overlap_with_inactive ~tau ~active_round:k in
+            (k, o, m))
+          (List.init 11 (fun i -> i + 3))
+      in
+      print_string
+        (Series.bar_chart
+           ~title:
+             "  max overlap of R's active round k with an R' inactive phase (log bars)"
+           (List.map
+              (fun (k, o, m) ->
+                (Printf.sprintf "k=%2d (R' round %2d)" k m, o))
+              rows));
+      (* Show the lemma windows that apply at this tau for a few rounds. *)
+      let a, t = Bounds.tau_decomposition tau in
+      Util.note
+        "  decomposition tau = %g * 2^-%d; regime: %s (Lemma %s applies for k >= %d)"
+        t a
+        (if t <= 2.0 /. 3.0 then "t <= 2/3" else "t > 2/3")
+        (if t <= 2.0 /. 3.0 then "9 (Fig 3a)" else "10 (Fig 3b)")
+        (2 * (a + 1));
+      print_newline ())
+    [ 0.55; 0.75 ];
+  Util.note
+    "Shape check: overlaps grow without bound with the round index (the paper's key";
+  Util.note
+    "mechanism) — eventually exceeding S(n) for any fixed discovery round n."

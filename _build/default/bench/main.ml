@@ -1,0 +1,71 @@
+(* Experiment and benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe                   # everything
+     dune exec bench/main.exe -- e1 e4 f3       # a selection
+     dune exec bench/main.exe -- --csv results  # also write results/<id>.csv
+
+   Experiment ids (see DESIGN.md section 3 and EXPERIMENTS.md):
+     e1  Theorem 1  — search time vs bound
+     e2  Theorem 2  — symmetric clocks, chi = +1
+     e3  Theorem 2  — symmetric clocks, chi = -1 (mirror)
+     e4  Theorem 3  — asymmetric clocks / Lemma 13
+     e5  Theorem 4  — feasibility atlas + boundary probes
+     e6  Lemmas 2/8 — closed forms vs generators
+     e7  baselines  — spiral search & asymmetric wait-for-mommy
+     e8  extension  — multi-robot gathering (open problem probe)
+     e9  extension  — drifting clock rates
+     e10 analysis   — competitive ratio vs the omniscient optimum
+     f1 f2 f3       — the paper's figures, regenerated
+     ablate         — design-choice ablations (A1-A3)
+     stress         — deep-schedule throughput (round ~10, millions of intervals)
+     perf           — Bechamel kernel micro-benchmarks *)
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("e1", Exp_search.run);
+    ("e2", Exp_symmetric.run_e2);
+    ("e3", Exp_symmetric.run_e3);
+    ("e4", Exp_clocks.run);
+    ("e5", Exp_atlas.run);
+    ("e6", Exp_closedforms.run);
+    ("e7", Exp_baselines.run);
+    ("e8", Exp_extensions.run_gathering);
+    ("e9", Exp_extensions.run_drift);
+    ("e10", Exp_competitive.run);
+    ("f1", Exp_figures.run_f1);
+    ("f2", Exp_figures.run_f2);
+    ("f3", Exp_figures.run_f3);
+    ("ablate", Exp_ablation.run);
+    ("stress", Exp_stress.run);
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  (* --csv DIR also mirrors every table to DIR/<id>.csv
+     (or set RVU_CSV_DIR). *)
+  let rec extract_csv acc = function
+    | "--csv" :: dir :: rest ->
+        Util.csv_dir := Some dir;
+        extract_csv acc rest
+    | x :: rest -> extract_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let requested =
+    match extract_csv [] args with [] -> List.map fst all | ids -> ids
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      match List.assoc_opt (String.lowercase_ascii id) all with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat " " (List.map fst all));
+          exit 2)
+    requested;
+  Printf.printf "\nAll requested experiments completed in %.1f s.\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,100 @@
+(* B1–B8 — Bechamel micro-benchmarks of the simulator's hot kernels.
+
+   One Test.make per kernel; OLS estimate of ns/run against the monotonic
+   clock, printed as a table. These are the operations the experiment
+   harness executes millions of times. *)
+
+open Bechamel
+open Toolkit
+open Rvu_geom
+open Rvu_trajectory
+
+let arc =
+  Timed.make ~t0:0.0 ~dur:12.566
+    ~shape:(Segment.full_circle ~center:Vec2.zero ~radius:2.0 ())
+
+let arc2 =
+  Timed.make ~t0:0.0 ~dur:12.566
+    ~shape:
+      (Segment.arc ~center:(Vec2.make 3.0 1.0) ~radius:1.5 ~from:1.0 ~sweep:(-6.0))
+
+let line1 =
+  Timed.make ~t0:0.0 ~dur:12.566
+    ~shape:(Segment.line ~src:Vec2.zero ~dst:(Vec2.make 10.0 5.0))
+
+let line2 =
+  Timed.make ~t0:0.0 ~dur:12.566
+    ~shape:(Segment.line ~src:(Vec2.make 8.0 0.0) ~dst:(Vec2.make 0.0 6.0))
+
+let small_instance () =
+  let inst =
+    Rvu_sim.Engine.instance
+      ~attributes:(Rvu_core.Attributes.make ~v:2.0 ())
+      ~displacement:(Vec2.make 1.0 0.5) ~r:0.3
+  in
+  Rvu_sim.Engine.run ~horizon:1e6
+    ~program:(Rvu_search.Algorithm4.program ())
+    inst
+
+let tests =
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make ~name:"segment_position_arc"
+        (Staged.stage (fun () -> Timed.position arc 7.3));
+      Test.make ~name:"point_arc_distance"
+        (Staged.stage (fun () ->
+             Dist.point_arc (Vec2.make 4.0 1.0) ~center:Vec2.zero ~radius:2.0
+               ~from:0.3 ~sweep:5.0));
+      Test.make ~name:"approach_line_line_closed_form"
+        (Staged.stage (fun () ->
+             Rvu_sim.Approach.first_within ~r:0.5 ~resolution:1e-9 ~lo:0.0
+               ~hi:12.566 line1 line2));
+      Test.make ~name:"approach_arc_arc_lipschitz"
+        (Staged.stage (fun () ->
+             Rvu_sim.Approach.first_within ~r:0.5 ~resolution:1e-6 ~lo:0.0
+               ~hi:12.566 arc arc2));
+      Test.make ~name:"lambert_w0"
+        (Staged.stage (fun () -> Rvu_numerics.Lambert_w.w0_exn 123.456));
+      Test.make ~name:"search_round_5_generation"
+        (Staged.stage (fun () ->
+             Rvu_trajectory.Program.segment_count
+               (Rvu_search.Procedures.search_round 5)));
+      Test.make ~name:"phase_schedule_closed_forms"
+        (Staged.stage (fun () -> Rvu_core.Phases.round_end 20));
+      Test.make ~name:"full_small_rendezvous"
+        (Staged.stage small_instance);
+    ]
+
+let run () =
+  Util.banner "PERF" "Bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  let rows = List.sort (fun (_, a) (_, b) -> Float.compare a b) rows in
+  let t =
+    Rvu_report.Table.create
+      ~columns:
+        [
+          Rvu_report.Table.column ~align:Rvu_report.Table.Left "kernel";
+          Rvu_report.Table.column "ns/run";
+        ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Rvu_report.Table.add_row t [ name; Printf.sprintf "%.1f" ns ])
+    rows;
+  Rvu_report.Table.print t

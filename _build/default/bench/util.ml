@@ -1,0 +1,67 @@
+(* Shared helpers for the experiment harness. *)
+
+open Rvu_geom
+open Rvu_core
+
+(* When set (via the RVU_CSV_DIR environment variable or bench/main.exe's
+   --csv flag), every experiment table is also written as <dir>/<id>.csv. *)
+let csv_dir : string option ref = ref (Sys.getenv_opt "RVU_CSV_DIR")
+
+let table ~id t =
+  Rvu_report.Table.print t;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (id ^ ".csv") in
+      Rvu_report.Csv.write ~path
+        ~header:(Rvu_report.Table.headers t)
+        (Rvu_report.Table.rows t);
+      Printf.printf "(table written to %s)\n%!" path
+
+let banner id title =
+  Printf.printf "\n=============================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "=============================================================\n%!"
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+let wall_clock f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* Run a rendezvous instance with the given program; fail loudly if it does
+   not meet (experiments pick parameters that must meet). *)
+let hit_time ?closed_forms ?resolution ?(horizon = 1e10) ~program ~attributes
+    ~displacement ~r () =
+  let inst = Rvu_sim.Engine.instance ~attributes ~displacement ~r in
+  let res =
+    Rvu_sim.Engine.run ?closed_forms ?resolution ~horizon ~program inst
+  in
+  match res.Rvu_sim.Engine.outcome with
+  | Rvu_sim.Detector.Hit t -> (t, res)
+  | Rvu_sim.Detector.Horizon h ->
+      Printf.ksprintf failwith "instance unexpectedly hit the horizon %g" h
+  | Rvu_sim.Detector.Stream_end t ->
+      Printf.ksprintf failwith "program unexpectedly ended at %g" t
+
+let search_time ~d ~r ~bearing =
+  let target = Vec2.of_polar ~radius:d ~angle:bearing in
+  match
+    Rvu_sim.Search_engine.run
+      ~program:(Rvu_search.Algorithm4.program ())
+      ~target ~r ()
+  with
+  | Rvu_sim.Search_engine.Found t, stats ->
+      (t, stats.Rvu_sim.Search_engine.segments)
+  | _ -> failwith "search must succeed"
+
+let describe_attrs (a : Attributes.t) =
+  Format.asprintf "%a" Attributes.pp a
+
+let verdict_string = function
+  | Feasibility.Feasible Feasibility.Different_clocks -> "feasible/clocks"
+  | Feasibility.Feasible Feasibility.Different_speeds -> "feasible/speeds"
+  | Feasibility.Feasible Feasibility.Rotated_same_chirality -> "feasible/rotation"
+  | Feasibility.Infeasible -> "infeasible"

@@ -1,0 +1,350 @@
+(* rvu — command-line front end for the rendezvous library.
+
+   Subcommands:
+     simulate     run a two-robot rendezvous instance
+     search       run the single-robot search problem (Section 2)
+     feasibility  classify an attribute vector (Theorem 4)
+     schedule     print the Algorithm 7 phase schedule (Lemma 8)
+     bound        print every applicable analytic bound for an instance *)
+
+open Cmdliner
+open Rvu_geom
+open Rvu_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument bundles *)
+
+let v_arg =
+  Arg.(value & opt float 1.0 & info [ "speed" ] ~docv:"V" ~doc:"Speed of robot R'.")
+
+let tau_arg =
+  Arg.(value & opt float 1.0 & info [ "tau"; "clock" ] ~docv:"TAU" ~doc:"Time unit of robot R'.")
+
+let phi_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "phi"; "rotation" ] ~docv:"PHI"
+        ~doc:"Compass rotation of R' in radians.")
+
+let mirror_arg =
+  Arg.(
+    value & flag
+    & info [ "mirror"; "opposite-chirality" ]
+        ~doc:"R' disagrees with R on the +y direction (chi = -1).")
+
+let d_arg =
+  Arg.(value & opt float 2.0 & info [ "d"; "distance" ] ~docv:"D" ~doc:"Initial distance.")
+
+let bearing_arg =
+  Arg.(
+    value & opt float 0.9
+    & info [ "bearing" ] ~docv:"THETA" ~doc:"Direction of R' as seen from R (radians).")
+
+let r_arg =
+  Arg.(value & opt float 0.1 & info [ "r"; "visibility" ] ~docv:"R" ~doc:"Visibility radius.")
+
+let horizon_arg =
+  Arg.(
+    value & opt float 1e8
+    & info [ "horizon" ] ~docv:"T"
+        ~doc:"Give up after this much global time (infeasible instances never meet).")
+
+let attributes v tau phi mirror =
+  Attributes.make ~v ~tau ~phi
+    ~chi:(if mirror then Attributes.Opposite else Attributes.Same)
+    ()
+
+let attrs_term = Term.(const attributes $ v_arg $ tau_arg $ phi_arg $ mirror_arg)
+
+let describe_verdict = function
+  | Feasibility.Feasible Feasibility.Different_clocks ->
+      "feasible: the clocks differ (Theorem 3 applies)"
+  | Feasibility.Feasible Feasibility.Different_speeds ->
+      "feasible: the speeds differ (Theorem 2 applies)"
+  | Feasibility.Feasible Feasibility.Rotated_same_chirality ->
+      "feasible: equal chirality with rotated compasses (Theorem 2 applies)"
+  | Feasibility.Infeasible ->
+      "infeasible: no symmetric deterministic algorithm can guarantee rendezvous"
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let draw_svg ~file ~program ~attrs ~displacement ~r ~t_end ~meeting =
+  let until stream =
+    List.of_seq
+      (Seq.take_while
+         (fun (seg : Rvu_trajectory.Timed.t) -> seg.Rvu_trajectory.Timed.t0 < t_end)
+         stream)
+  in
+  let r_segs =
+    until (Rvu_trajectory.Realize.realize Rvu_trajectory.Realize.identity program)
+  in
+  let r'_segs =
+    until (Rvu_trajectory.Realize.realize (Frame.clocked attrs ~displacement) program)
+  in
+  let marker p color =
+    Rvu_report.Svg.Disc
+      { center = (p.Vec2.x, p.Vec2.y); radius = 0.04 *. Vec2.norm displacement; color }
+  in
+  let shapes =
+    [
+      Rvu_report.Svg.of_timed ~color:"#1f77b4" r_segs;
+      Rvu_report.Svg.of_timed ~color:"#d62728" r'_segs;
+      marker Vec2.zero "#1f77b4";
+      marker displacement "#d62728";
+    ]
+    @
+    match meeting with
+    | None -> []
+    | Some p ->
+        [
+          marker p "#2ca02c";
+          Rvu_report.Svg.Ring { center = (p.Vec2.x, p.Vec2.y); radius = r; color = "#2ca02c" };
+        ]
+  in
+  Rvu_report.Svg.write ~path:file shapes;
+  Format.printf "trajectories written to %s@." file
+
+let simulate attrs d bearing r horizon use_alg4 svg_file =
+  let displacement = Vec2.of_polar ~radius:d ~angle:bearing in
+  let inst = Rvu_sim.Engine.instance ~attributes:attrs ~displacement ~r in
+  let program =
+    if use_alg4 then Rvu_search.Algorithm4.program () else Universal.program ()
+  in
+  Format.printf "R' attributes: %a@." Attributes.pp attrs;
+  Format.printf "%s@." (describe_verdict (Feasibility.classify attrs));
+  let res = Rvu_sim.Engine.run ~horizon ~program inst in
+  (match res.Rvu_sim.Engine.outcome with
+  | Rvu_sim.Detector.Hit t ->
+      Format.printf "rendezvous at t = %.6g@." t;
+      (match Phases.phase_at t with
+      | Some (n, p) when not use_alg4 ->
+          Format.printf "  (during schedule round %d, %s phase)@." n
+            (match p with Phases.Active -> "active" | Phases.Inactive -> "inactive")
+      | _ -> ())
+  | Rvu_sim.Detector.Horizon h -> Format.printf "no rendezvous by t = %g@." h
+  | Rvu_sim.Detector.Stream_end t -> Format.printf "program ended at t = %g@." t);
+  (match (res.Rvu_sim.Engine.bound.Universal.round, res.Rvu_sim.Engine.bound.Universal.time) with
+  | Some k, Some b ->
+      Format.printf "analytic guarantee: round %d, time %.6g@." k b
+  | _ -> ());
+  Format.printf "segment-pair intervals scanned: %d; closest sampled approach: %.6g@."
+    res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals
+    res.Rvu_sim.Engine.stats.Rvu_sim.Detector.min_distance;
+  match svg_file with
+  | None -> ()
+  | Some file ->
+      let t_end, meeting =
+        match res.Rvu_sim.Engine.outcome with
+        | Rvu_sim.Detector.Hit t ->
+            (t, Some (Rvu_trajectory.Realize.position Rvu_trajectory.Realize.identity program t))
+        | Rvu_sim.Detector.Horizon h -> (Float.min h 5000.0, None)
+        | Rvu_sim.Detector.Stream_end t -> (t, None)
+      in
+      draw_svg ~file ~program ~attrs ~displacement ~r ~t_end ~meeting
+
+let simulate_cmd =
+  let alg4 =
+    Arg.(
+      value & flag
+      & info [ "algorithm4" ]
+          ~doc:"Run Algorithm 4 (no waiting phases) instead of the universal Algorithm 7.")
+  in
+  let svg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE"
+          ~doc:"Write both robots' trajectories (up to the meeting) as an SVG figure.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a two-robot rendezvous instance.")
+    Term.(
+      const simulate $ attrs_term $ d_arg $ bearing_arg $ r_arg $ horizon_arg
+      $ alg4 $ svg)
+
+(* ------------------------------------------------------------------ *)
+(* search *)
+
+let search d bearing r horizon =
+  let target = Vec2.of_polar ~radius:d ~angle:bearing in
+  Format.printf "searching for a target at distance %g, visibility %g@." d r;
+  match
+    Rvu_sim.Search_engine.run ~horizon
+      ~program:(Rvu_search.Algorithm4.program ())
+      ~target ~r ()
+  with
+  | Rvu_sim.Search_engine.Found t, stats ->
+      Format.printf "found at t = %.6g (%d segments walked)@." t
+        stats.Rvu_sim.Search_engine.segments;
+      let round = Rvu_search.Predict.discovery_round ~d ~r in
+      Format.printf "predicted discovery round: %d (completion time %.6g)@."
+        round
+        (Rvu_search.Bounds.time_through_round round);
+      Format.printf "Theorem 1 bound (as printed): %.6g; repaired: %.6g@."
+        (Rvu_search.Bounds.search_time ~d ~r)
+        (Rvu_search.Bounds.search_time_safe ~d ~r)
+  | Rvu_sim.Search_engine.Horizon h, _ ->
+      Format.printf "not found by t = %g@." h
+  | Rvu_sim.Search_engine.Program_end t, _ ->
+      Format.printf "program ended at t = %g@." t
+
+let search_cmd =
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run the Section 2 search problem (Algorithm 4).")
+    Term.(const search $ d_arg $ bearing_arg $ r_arg $ horizon_arg)
+
+(* ------------------------------------------------------------------ *)
+(* feasibility *)
+
+let feasibility attrs =
+  Format.printf "R' attributes: %a@." Attributes.pp attrs;
+  Format.printf "%s@." (describe_verdict (Feasibility.classify attrs));
+  match Feasibility.adversarial_direction attrs with
+  | Some dir ->
+      Format.printf
+        "adversarial displacement direction (never approached): %a@." Vec2.pp
+        dir
+  | None -> ()
+
+let feasibility_cmd =
+  Cmd.v
+    (Cmd.info "feasibility" ~doc:"Classify an attribute vector per Theorem 4.")
+    Term.(const feasibility $ attrs_term)
+
+(* ------------------------------------------------------------------ *)
+(* schedule *)
+
+let schedule rounds =
+  let t = Rvu_report.Table.create
+      ~columns:
+        (List.map Rvu_report.Table.column
+           [ "round n"; "S(n)"; "I(n)"; "A(n)"; "round end"; "segments" ])
+  in
+  for n = 1 to rounds do
+    Rvu_report.Table.add_row t
+      [
+        Rvu_report.Table.istr n;
+        Rvu_report.Table.fstr (Phases.s n);
+        Rvu_report.Table.fstr (Phases.inactive_start n);
+        Rvu_report.Table.fstr (Phases.active_start n);
+        Rvu_report.Table.fstr (Phases.round_end n);
+        Rvu_report.Table.istr (2 * Rvu_search.Timing.search_all_segments n + 1);
+      ]
+  done;
+  Rvu_report.Table.print t
+
+let schedule_cmd =
+  let rounds =
+    Arg.(value & opt int 8 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds to list.")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Print the Algorithm 7 phase schedule closed forms (Lemma 8).")
+    Term.(const schedule $ rounds)
+
+(* ------------------------------------------------------------------ *)
+(* bound *)
+
+let bound attrs d r =
+  Format.printf "R' attributes: %a; d = %g, r = %g@." Attributes.pp attrs d r;
+  let g = Universal.guarantee attrs ~d ~r in
+  Format.printf "%s@." (describe_verdict g.Universal.verdict);
+  (match (g.Universal.round, g.Universal.time) with
+  | Some k, Some t ->
+      Format.printf "universal (Algorithm 7) guarantee: round %d, time %.6g@." k t
+  | _ -> ());
+  (match Bounds.symmetric_clock_time attrs ~d ~r with
+  | Some t ->
+      Format.printf
+        "Theorem 2 bound for Algorithm 4 (as printed): %.6g; repaired: %.6g@."
+        t
+        (Option.get (Bounds.symmetric_clock_time_safe attrs ~d ~r))
+  | None -> ());
+  if not (Rvu_numerics.Floats.equal attrs.Attributes.tau 1.0) then begin
+    let k = Bounds.asymmetric_round attrs ~d ~r in
+    Format.printf "Theorem 3 / Lemma 13 bound: round k* = %d, time %.6g@." k
+      (Bounds.asymmetric_time attrs ~d ~r)
+  end
+
+let bound_cmd =
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Print every applicable analytic bound.")
+    Term.(const bound $ attrs_term $ d_arg $ r_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gather *)
+
+let parse_robot spec =
+  (* v,x,y — a robot with speed v starting at (x, y). *)
+  match String.split_on_char ',' spec with
+  | [ v; x; y ] -> begin
+      match (float_of_string_opt v, float_of_string_opt x, float_of_string_opt y) with
+      | Some v, Some x, Some y ->
+          Ok { Rvu_sim.Multi.attributes = Attributes.make ~v (); start = Vec2.make x y }
+      | _ -> Error (`Msg (Printf.sprintf "bad robot %S (want v,x,y)" spec))
+    end
+  | _ -> Error (`Msg (Printf.sprintf "bad robot %S (want v,x,y)" spec))
+
+let robot_conv =
+  Arg.conv
+    ( parse_robot,
+      fun ppf robot ->
+        Format.fprintf ppf "%g,%a"
+          robot.Rvu_sim.Multi.attributes.Attributes.v Vec2.pp
+          robot.Rvu_sim.Multi.start )
+
+let gather robots r horizon =
+  let robots =
+    { Rvu_sim.Multi.attributes = Attributes.reference; start = Vec2.zero }
+    :: robots
+  in
+  Format.printf "swarm of %d robots (reference at the origin), r = %g@."
+    (List.length robots) r;
+  match Rvu_sim.Multi.run ~horizon ~r robots with
+  | Rvu_sim.Multi.Gathered t, stats ->
+      Format.printf "gathered at t = %.6g (%d intervals scanned)@." t
+        stats.Rvu_sim.Multi.intervals
+  | Rvu_sim.Multi.Horizon h, stats ->
+      Format.printf "not gathered by t = %g; smallest diameter seen %.6g@." h
+        stats.Rvu_sim.Multi.min_diameter
+  | Rvu_sim.Multi.Stream_end t, _ -> Format.printf "program ended at %g@." t
+
+let gather_cmd =
+  let robots =
+    Arg.(
+      value
+      & opt_all robot_conv
+          [
+            { Rvu_sim.Multi.attributes = Attributes.make ~v:2.0 (); start = Vec2.make 1.5 0.5 };
+            { Rvu_sim.Multi.attributes = Attributes.make ~v:3.0 (); start = Vec2.make (-1.0) 1.0 };
+          ]
+      & info [ "robot" ] ~docv:"V,X,Y"
+          ~doc:"Add a robot with speed $(i,V) starting at ($(i,X), $(i,Y)). Repeatable.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 2e5
+      & info [ "horizon" ] ~docv:"T" ~doc:"Give up after this much global time.")
+  in
+  Cmd.v
+    (Cmd.info "gather"
+       ~doc:"Simulate multi-robot gathering (the paper's open problem).")
+    Term.(const gather $ robots $ r_arg $ horizon)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "rvu" ~version:"1.0.0"
+             ~doc:
+               "Rendezvous by robots with unknown attributes (PODC 2019) - \
+                simulator and analytic bounds.")
+          [
+            simulate_cmd; search_cmd; feasibility_cmd; schedule_cmd; bound_cmd;
+            gather_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/asymmetric_clocks.ml: Attributes Format List Overlap Phases Printf Rvu_core Rvu_geom Rvu_report Rvu_sim Universal Vec2

@@ -1,0 +1,1 @@
+examples/drifting_clocks.ml: Conformal Drift Float Format List Realize Rvu_core Rvu_geom Rvu_report Rvu_sim Rvu_trajectory Vec2

@@ -1,0 +1,1 @@
+examples/drifting_clocks.mli:

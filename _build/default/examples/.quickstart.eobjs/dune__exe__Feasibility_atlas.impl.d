@@ -1,0 +1,1 @@
+examples/feasibility_atlas.ml: Atlas Feasibility Format List Option Printf Rvu_core Rvu_geom Rvu_report Rvu_sim Rvu_workload Universal Vec2

@@ -1,0 +1,1 @@
+examples/figures.ml: Attributes Float Format Frame List Rvu_baselines Rvu_core Rvu_geom Rvu_report Rvu_search Rvu_sim Rvu_trajectory Seq Universal Vec2

@@ -1,0 +1,1 @@
+examples/mirror_twins.ml: Attributes Feasibility Float Format Frame List Rvu_core Rvu_geom Rvu_report Rvu_sim Rvu_trajectory Universal Vec2

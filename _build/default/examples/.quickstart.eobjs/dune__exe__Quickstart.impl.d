@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attributes Feasibility Format List Printf Rvu_core Rvu_geom Rvu_report Rvu_sim Universal Vec2

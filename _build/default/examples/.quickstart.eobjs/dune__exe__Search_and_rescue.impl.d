@@ -1,0 +1,1 @@
+examples/search_and_rescue.ml: Algorithm4 Bounds Format List Predict Rvu_geom Rvu_report Rvu_search Rvu_sim Rvu_trajectory Vec2

@@ -1,0 +1,1 @@
+examples/search_and_rescue.mli:

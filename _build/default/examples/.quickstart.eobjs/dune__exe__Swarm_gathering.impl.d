@@ -1,0 +1,1 @@
+examples/swarm_gathering.ml: Array Attributes Float Format Frame List Printf Rvu_core Rvu_geom Rvu_report Rvu_sim Universal Vec2

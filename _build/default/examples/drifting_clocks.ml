@@ -1,0 +1,55 @@
+(* Drifting clocks: rendezvous survives dynamic attributes.
+
+   The paper's model fixes R''s clock rate at a constant tau. This example
+   lets the rate oscillate (spending equal local time at tau(1-a) and
+   tau(1+a)) and shows that the universal algorithm still brings the robots
+   together, with meeting times close to the constant-rate case — the
+   symmetry break only needs a long-run rate difference.
+
+   Run with: dune exec examples/drifting_clocks.exe *)
+
+open Rvu_geom
+open Rvu_trajectory
+
+let mean = 0.6
+let displacement = Vec2.make 1.5 0.0
+let r = 0.4
+
+let hit pattern =
+  let program = Rvu_core.Universal.program () in
+  let s_r = Realize.realize Realize.identity program in
+  let frame = Conformal.make ~scale:mean ~offset:displacement () in
+  let s_r' = Drift.realize ~frame pattern program in
+  match Rvu_sim.Detector.first_meeting ~horizon:1e8 ~r s_r s_r' with
+  | Rvu_sim.Detector.Hit t, _ -> t
+  | _ -> Float.nan
+
+let () =
+  Format.printf
+    "R' clock rate oscillates around mean tau = %g; R is the reference.@.@."
+    mean;
+  let constant = hit (Drift.constant mean) in
+  Format.printf "constant rate: rendezvous at t = %.2f@.@." constant;
+  let t =
+    Rvu_report.Table.create
+      ~columns:
+        (List.map Rvu_report.Table.column
+           [ "amplitude"; "half-period"; "rendezvous"; "vs constant" ])
+  in
+  List.iter
+    (fun (amplitude, half_period) ->
+      let time = hit (Drift.oscillating ~mean ~amplitude ~half_period) in
+      Rvu_report.Table.add_row t
+        [
+          Rvu_report.Table.fstr amplitude;
+          Rvu_report.Table.fstr half_period;
+          Rvu_report.Table.fstr time;
+          Rvu_report.Table.fstr (time /. constant);
+        ])
+    [ (0.1, 1.0); (0.3, 1.0); (0.5, 1.0); (0.8, 1.0); (0.3, 0.1); (0.3, 50.0) ];
+  Rvu_report.Table.print t;
+  Format.printf
+    "@.Even 80%% swings in the clock rate barely move the meeting time: what@.";
+  Format.printf
+    "breaks the symmetry is the accumulated clock skew, which depends only on@.";
+  Format.printf "the mean rate.@."

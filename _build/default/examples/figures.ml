@@ -1,0 +1,98 @@
+(* Figure gallery: every picture this repository can draw, in one run.
+
+   Writes four standalone SVGs into the current directory:
+     fig_search_annuli.svg   the Search(1)+Search(2) doubling annuli
+     fig_rendezvous.svg      two robots (v = 2) meeting under Algorithm 7
+     fig_mirror_twins.svg    mirror twins tracing reflected paths forever
+     fig_spiral.svg          the know-your-r spiral baseline vs the annuli
+
+   Run with: dune exec examples/figures.exe *)
+
+open Rvu_geom
+open Rvu_core
+
+let take_until_time t_end stream =
+  List.of_seq
+    (Seq.take_while
+       (fun (seg : Rvu_trajectory.Timed.t) -> seg.Rvu_trajectory.Timed.t0 < t_end)
+       stream)
+
+let realize ?(attributes = Attributes.reference) ?(displacement = Vec2.zero)
+    program =
+  Rvu_trajectory.Realize.realize (Frame.clocked attributes ~displacement) program
+
+let marker ?(radius = 0.08) (p : Vec2.t) color =
+  Rvu_report.Svg.Disc { center = (p.Vec2.x, p.Vec2.y); radius; color }
+
+let save name shapes =
+  Rvu_report.Svg.write ~path:name shapes;
+  Format.printf "  wrote %s@." name
+
+let () =
+  Format.printf "Rendering the gallery:@.";
+
+  (* 1. The doubling annuli of the search algorithm. *)
+  let annuli =
+    List.of_seq (realize (Rvu_search.Algorithm4.search_all 2))
+  in
+  save "fig_search_annuli.svg"
+    [
+      Rvu_report.Svg.of_timed ~color:"#1f77b4" annuli;
+      marker Vec2.zero "#2ca02c";
+    ];
+
+  (* 2. A rendezvous: R (blue) slow, R' (red) fast, meeting point green. *)
+  let attributes = Attributes.make ~v:2.0 () in
+  let displacement = Vec2.make 2.0 1.0 in
+  let program = Universal.program () in
+  let inst = Rvu_sim.Engine.instance ~attributes ~displacement ~r:0.2 in
+  (match (Rvu_sim.Engine.run ~horizon:1e6 inst).Rvu_sim.Engine.outcome with
+  | Rvu_sim.Detector.Hit t ->
+      let meet =
+        Rvu_trajectory.Realize.position Rvu_trajectory.Realize.identity program t
+      in
+      save "fig_rendezvous.svg"
+        [
+          Rvu_report.Svg.of_timed ~color:"#1f77b4"
+            (take_until_time t (realize program));
+          Rvu_report.Svg.of_timed ~color:"#d62728"
+            (take_until_time t (realize ~attributes ~displacement program));
+          marker Vec2.zero "#1f77b4";
+          marker displacement "#d62728";
+          marker meet "#2ca02c";
+          Rvu_report.Svg.Ring
+            { center = (meet.Vec2.x, meet.Vec2.y); radius = 0.2; color = "#2ca02c" };
+        ]
+  | _ -> Format.printf "  (rendezvous figure skipped: no meeting?)@.");
+
+  (* 3. Mirror twins: the reflected geometry that never closes the gap. *)
+  let mirror = Attributes.make ~phi:(Float.pi /. 3.0) ~chi:Attributes.Opposite () in
+  let axis = Vec2.of_polar ~radius:2.0 ~angle:(Float.pi /. 6.0) in
+  let t_end = Rvu_search.Timing.search_all_time 2 in
+  save "fig_mirror_twins.svg"
+    [
+      Rvu_report.Svg.of_timed ~color:"#1f77b4"
+        (take_until_time t_end (realize (Universal.program ())));
+      Rvu_report.Svg.of_timed ~color:"#d62728"
+        (take_until_time t_end
+           (realize ~attributes:mirror ~displacement:axis (Universal.program ())));
+      marker Vec2.zero "#1f77b4";
+      marker axis "#d62728";
+    ];
+
+  (* 4. The spiral baseline over the same footprint as the annuli. *)
+  let spiral_segs =
+    let stream = realize (Rvu_baselines.Spiral.program ~rho:0.15 ()) in
+    List.of_seq
+      (Seq.take_while
+         (fun (seg : Rvu_trajectory.Timed.t) ->
+           Vec2.norm (Rvu_trajectory.Timed.position seg seg.Rvu_trajectory.Timed.t0)
+           < 2.2)
+         stream)
+  in
+  save "fig_spiral.svg"
+    [
+      Rvu_report.Svg.of_timed ~color:"#9467bd" spiral_segs;
+      marker Vec2.zero "#2ca02c";
+    ];
+  Format.printf "Open the .svg files in any browser.@."

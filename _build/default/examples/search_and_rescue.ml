@@ -1,0 +1,74 @@
+(* Search and rescue: the Section 2 search problem on its own.
+
+   A rescue drone with limited visibility must locate a stationary casualty
+   at an unknown distance. The drone runs the paper's Algorithm 4 (doubling
+   annuli); we show the measured discovery time against the analytic
+   predictions for a spread of distances.
+
+   Run with: dune exec examples/search_and_rescue.exe *)
+
+open Rvu_geom
+open Rvu_search
+
+let locate ~d ~r ~bearing =
+  let target = Vec2.of_polar ~radius:d ~angle:bearing in
+  match
+    Rvu_sim.Search_engine.run ~program:(Algorithm4.program ()) ~target ~r ()
+  with
+  | Rvu_sim.Search_engine.Found t, stats ->
+      (t, stats.Rvu_sim.Search_engine.segments)
+  | _ -> failwith "Algorithm 4 always finds a reachable target"
+
+let () =
+  let r = 0.05 in
+  Format.printf
+    "Searching for a stationary target, visibility r = %g, Algorithm 4.@.@."
+    r;
+  let t =
+    Rvu_report.Table.create
+      ~columns:
+        (List.map Rvu_report.Table.column
+           [
+             "distance d"; "d^2/r"; "predicted round"; "found at";
+             "round bound (Lemma 2)"; "safe bound (Thm 1')"; "time/bound";
+           ])
+  in
+  List.iter
+    (fun d ->
+      let time, _segments = locate ~d ~r ~bearing:(0.7 *. d) in
+      let round = Predict.discovery_round ~d ~r in
+      let round_time = Bounds.time_through_round round in
+      let safe = Bounds.search_time_safe ~d ~r in
+      Rvu_report.Table.add_row t
+        [
+          Rvu_report.Table.fstr d;
+          Rvu_report.Table.fstr (d *. d /. r);
+          Rvu_report.Table.istr round;
+          Rvu_report.Table.fstr time;
+          Rvu_report.Table.fstr round_time;
+          Rvu_report.Table.fstr safe;
+          Rvu_report.Table.fstr (time /. safe);
+        ])
+    [ 0.5; 1.0; 2.0; 3.0; 4.5; 6.0 ];
+  Rvu_report.Table.print t;
+  print_newline ();
+  Format.printf
+    "The drone never overshoots the Lemma 2 round-completion time, and the@.";
+  Format.printf
+    "measured-to-bound ratio shrinks as d^2/r grows - the bound's log factor@.";
+  Format.printf "is pessimistic for easy instances.@.";
+
+  (* Draw the first two rounds of the doubling-annuli sweep. *)
+  let segs =
+    List.of_seq
+      (Rvu_trajectory.Realize.realize Rvu_trajectory.Realize.identity
+         (Algorithm4.search_all 2))
+  in
+  let target = Vec2.of_polar ~radius:1.4 ~angle:0.9 in
+  Rvu_report.Svg.write ~path:"search_rounds.svg"
+    [
+      Rvu_report.Svg.of_timed ~color:"#1f77b4" segs;
+      Rvu_report.Svg.Disc { center = (target.Vec2.x, target.Vec2.y); radius = 0.06; color = "#d62728" };
+      Rvu_report.Svg.Ring { center = (target.Vec2.x, target.Vec2.y); radius = r; color = "#d62728" };
+    ];
+  Format.printf "@.Figure: the Search(1)+Search(2) annuli written to search_rounds.svg@."

@@ -1,0 +1,1 @@
+lib/baselines/asymmetric.ml: Rvu_geom Rvu_search Rvu_sim Rvu_trajectory Seq

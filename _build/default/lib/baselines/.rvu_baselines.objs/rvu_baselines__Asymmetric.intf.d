@@ -1,0 +1,1 @@
+lib/baselines/asymmetric.mli: Rvu_sim Rvu_trajectory

@@ -1,0 +1,1 @@
+lib/baselines/random_walk.ml: Int64 Rvu_geom Rvu_sim Rvu_trajectory Rvu_workload Seq Vec2

@@ -1,0 +1,1 @@
+lib/baselines/random_walk.mli: Rvu_sim Rvu_trajectory

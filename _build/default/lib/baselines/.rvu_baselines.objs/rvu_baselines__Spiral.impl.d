@@ -1,0 +1,1 @@
+lib/baselines/spiral.ml: Float Rvu_geom Rvu_numerics Rvu_trajectory Segment Seq Stdlib Vec2

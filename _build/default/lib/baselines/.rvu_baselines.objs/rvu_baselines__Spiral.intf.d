@@ -1,0 +1,1 @@
+lib/baselines/spiral.mli: Rvu_trajectory

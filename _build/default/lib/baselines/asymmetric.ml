@@ -1,0 +1,11 @@
+let waiter () =
+  let rest = Rvu_trajectory.Segment.wait ~at:Rvu_geom.Vec2.zero ~dur:1.0 in
+  Seq.forever (fun () -> rest)
+
+let searcher () = Rvu_search.Algorithm4.program ()
+
+let run ?resolution ?horizon inst =
+  Rvu_sim.Engine.run_two ?resolution ?horizon ~program_r:(searcher ())
+    ~program_r':(waiter ()) inst
+
+let time_bound ~d ~r = Rvu_search.Bounds.search_time_safe ~d ~r

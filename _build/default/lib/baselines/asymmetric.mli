@@ -1,0 +1,32 @@
+(** The asymmetric rendezvous baseline ("wait for mommy").
+
+    The paper restricts itself to {e symmetric} rendezvous — both robots
+    must run the same algorithm — and notes in the introduction that the
+    corresponding asymmetric problem has an easy near-optimal solution: one
+    robot waits at its initial position while the other searches for it.
+    This module provides that strategy as a baseline so experiment E7 can
+    quantify the cost of symmetry:
+
+    - asymmetric rendezvous is solvable even for {e identical} robots
+      (where Theorem 4 proves symmetric rendezvous impossible);
+    - when symmetric rendezvous is feasible, the waiting baseline's time is
+      the plain search time — no [1/μ] or clock-overlap inflation. *)
+
+val waiter : unit -> Rvu_trajectory.Program.t
+(** The waiting robot's "program": stay at the initial position forever
+    (an infinite stream of unit waits). *)
+
+val searcher : unit -> Rvu_trajectory.Program.t
+(** The searching robot's program: the paper's Algorithm 4 (it still knows
+    neither [d] nor [r]). *)
+
+val run :
+  ?resolution:float ->
+  ?horizon:float ->
+  Rvu_sim.Engine.instance ->
+  Rvu_sim.Detector.outcome * Rvu_sim.Detector.stats
+(** Execute the baseline on an instance: [R] searches, [R'] waits. *)
+
+val time_bound : d:float -> r:float -> float
+(** The baseline's analytic guarantee — exactly the (repaired) Theorem 1
+    search bound, independent of every hidden attribute. *)

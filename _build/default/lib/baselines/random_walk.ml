@@ -1,0 +1,27 @@
+open Rvu_geom
+
+(* Directions must be a pure function of (seed, leg index): lazy sequences
+   are not memoized, so a shared mutable generator would yield a different
+   walk on re-traversal. Each leg gets its own SplitMix64 stream keyed by
+   the golden-ratio mix of its index. *)
+let direction ~seed i =
+  let key =
+    Int64.logxor seed (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+  in
+  Rvu_workload.Rng.angle (Rvu_workload.Rng.create ~seed:key)
+
+let program ~seed ?(step = 1.0) () =
+  if step <= 0.0 then invalid_arg "Random_walk.program: step <= 0";
+  let rec gen i pos () =
+    let dst =
+      Vec2.add pos (Vec2.of_polar ~radius:step ~angle:(direction ~seed i))
+    in
+    Seq.Cons (Rvu_trajectory.Segment.line ~src:pos ~dst, gen (i + 1) dst)
+  in
+  gen 0 Vec2.zero
+
+let run ?resolution ?horizon ~seed_r ~seed_r' inst =
+  Rvu_sim.Engine.run_two ?resolution ?horizon
+    ~program_r:(program ~seed:seed_r ())
+    ~program_r':(program ~seed:seed_r' ())
+    inst

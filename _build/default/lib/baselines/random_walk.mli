@@ -1,0 +1,35 @@
+(** Randomized rendezvous — the contrast that motivates the paper's
+    deterministic setting.
+
+    Classical rendezvous theory (Alpern–Gal, cited by the paper) solves
+    symmetric rendezvous with randomness: two robots performing independent
+    random walks meet quickly in expectation, with no attribute asymmetry
+    at all. The paper asks what can be done {e deterministically}, where
+    identical robots are provably stuck (Theorem 4).
+
+    This baseline makes the contrast executable — and makes a sharp point:
+    a "random" walk driven by a PRNG is deterministic given its seed, so
+    the seed acts as exactly one more hidden attribute. Two robots with
+    {e different} seeds meet almost immediately; give them the {e same}
+    seed and they are identical robots again — rigid relative motion,
+    rendezvous impossible. Randomness helps precisely in so far as it is
+    asymmetric. *)
+
+val program :
+  seed:int64 -> ?step:float -> unit -> Rvu_trajectory.Program.t
+(** An infinite random waypoint walk from the origin: unit-speed legs of
+    length [step] (default [1.0], must be positive) in directions drawn
+    from a SplitMix64 stream seeded with [seed]. Deterministic given the
+    seed. *)
+
+val run :
+  ?resolution:float ->
+  ?horizon:float ->
+  seed_r:int64 ->
+  seed_r':int64 ->
+  Rvu_sim.Engine.instance ->
+  Rvu_sim.Detector.outcome * Rvu_sim.Detector.stats
+(** Both robots walk randomly, each driven by its own seed (realised
+    through its own frame and clock as usual). Equal seeds = the paper's
+    identical-robot impossibility; distinct seeds = the classic randomized
+    escape. *)

@@ -1,0 +1,34 @@
+open Rvu_geom
+open Rvu_trajectory
+
+let two_pi = Rvu_numerics.Floats.two_pi
+
+(* A quarter of the visibility budget is reserved for the polyline's chord
+   sag; the remaining 3/4 per side gives the coverage pitch. The angular
+   step shrinks adaptively with the radius so the sag stays within budget
+   at every distance (a fixed step would eventually break coverage). *)
+let sag_budget ~rho = rho /. 4.0
+
+let pitch ~rho ~segments_per_turn:_ = 2.0 *. (rho -. sag_budget ~rho)
+
+let program ~rho ?(segments_per_turn = 64) () =
+  if rho <= 0.0 then invalid_arg "Spiral.program: rho <= 0";
+  let spt = Stdlib.max 8 segments_per_turn in
+  let base_step = two_pi /. float_of_int spt in
+  let sag = sag_budget ~rho in
+  let p = pitch ~rho ~segments_per_turn:spt in
+  let radius_at theta = p *. theta /. two_pi in
+  let rec gen theta pos () =
+    let here = radius_at theta +. p in
+    (* sag of a chord with angular extent step on radius R is ~ R step^2/8;
+       step <= sqrt(2 sag / R) keeps it under half the budget. *)
+    let step = Float.min base_step (sqrt (2.0 *. sag /. here)) in
+    let theta' = theta +. step in
+    let pos' = Vec2.of_polar ~radius:(radius_at theta') ~angle:theta' in
+    Seq.Cons (Segment.line ~src:pos ~dst:pos', gen theta' pos')
+  in
+  gen 0.0 Vec2.zero
+
+let search_time_estimate ~d ~rho =
+  let p = pitch ~rho ~segments_per_turn:64 in
+  (Rvu_numerics.Floats.pi *. d *. d /. p) +. d

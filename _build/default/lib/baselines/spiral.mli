@@ -1,0 +1,33 @@
+(** Archimedean spiral search — the classic baseline the paper's search
+    algorithm is measured against.
+
+    A robot that {e knows} its visibility radius [r] can search the plane
+    with an Archimedean spiral of pitch slightly under [2r]: every point is
+    swept at cost [O(d²/r)], with no [log] factor. The paper's Algorithm 4
+    must work with [r] (and [d]) unknown and pays the extra
+    [log(d²/r)] factor for re-searching at doubling granularities.
+    Experiment E7 quantifies that price — the spiral wins whenever its
+    assumption holds, by roughly the log factor.
+
+    The spiral is realised as a polyline (the trajectory substrate is exact
+    for lines and circular arcs; a true spiral is neither). The pitch is
+    shrunk to compensate for the chord sag so the [rho]-coverage guarantee
+    survives the approximation. *)
+
+val program :
+  rho:float -> ?segments_per_turn:int -> unit -> Rvu_trajectory.Program.t
+(** [program ~rho ()] is an infinite outward spiral from the origin such
+    that every point of the plane comes within [rho] of the trajectory: a
+    quarter of [rho] is budgeted for the polyline's chord sag and the pitch
+    uses the rest, with the angular step shrinking adaptively as the radius
+    grows so the sag budget holds at every distance. [segments_per_turn]
+    (default [64], minimum [8]) caps the angular step near the origin.
+    Requires [rho > 0]. *)
+
+val pitch : rho:float -> segments_per_turn:int -> float
+(** The sag-compensated radial advance per full turn, [1.5·rho]. *)
+
+val search_time_estimate : d:float -> rho:float -> float
+(** Analytic estimate of the time for the spiral to sweep out to distance
+    [d]: arc length of an Archimedean spiral with the given coverage pitch,
+    [≈ π·d²/pitch]. The experiment compares this and the measured time. *)

@@ -1,0 +1,1 @@
+lib/core/algorithm7.ml: List Phases Program Rvu_geom Rvu_search Rvu_trajectory Segment Seq

@@ -1,0 +1,1 @@
+lib/core/algorithm7.mli: Rvu_trajectory

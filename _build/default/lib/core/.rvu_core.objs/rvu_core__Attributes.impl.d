@@ -1,0 +1,1 @@
+lib/core/attributes.ml: Format Rvu_geom Rvu_numerics

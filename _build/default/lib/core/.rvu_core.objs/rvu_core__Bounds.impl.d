@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Attributes Equivalent Float Phases Rvu_numerics Rvu_search Stdlib

@@ -1,0 +1,1 @@
+lib/core/equivalent.ml: Attributes Float Frame Mat2 Option Rvu_geom Vec2

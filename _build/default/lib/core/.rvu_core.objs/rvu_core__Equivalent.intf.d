@@ -1,0 +1,1 @@
+lib/core/equivalent.mli: Attributes Rvu_geom

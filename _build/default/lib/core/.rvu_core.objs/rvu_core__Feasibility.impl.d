@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Attributes Rvu_geom Rvu_numerics

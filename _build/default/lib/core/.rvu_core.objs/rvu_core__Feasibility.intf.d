@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Attributes Rvu_geom

@@ -1,0 +1,1 @@
+lib/core/frame.ml: Attributes Conformal Mat2 Rvu_geom Rvu_trajectory

@@ -1,0 +1,1 @@
+lib/core/frame.mli: Attributes Rvu_geom Rvu_trajectory

@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Float Phases Rvu_search

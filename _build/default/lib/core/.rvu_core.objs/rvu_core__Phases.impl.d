@@ -1,0 +1,1 @@
+lib/core/phases.ml: Rvu_numerics Rvu_search

@@ -1,0 +1,1 @@
+lib/core/universal.ml: Algorithm7 Attributes Bounds Equivalent Feasibility Float Phases Rvu_search

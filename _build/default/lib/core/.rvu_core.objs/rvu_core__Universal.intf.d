@@ -1,0 +1,1 @@
+lib/core/universal.mli: Attributes Feasibility Rvu_trajectory

@@ -1,0 +1,20 @@
+open Rvu_trajectory
+
+let round_program n =
+  if n < 1 then invalid_arg "Algorithm7.round_program: n < 1";
+  let wait =
+    Seq.return
+      (Segment.wait ~at:Rvu_geom.Vec2.zero ~dur:(2.0 *. Phases.s n))
+  in
+  Program.concat_list
+    [
+      wait;
+      Rvu_search.Algorithm4.search_all n;
+      Rvu_search.Algorithm4.search_all_rev n;
+    ]
+
+let program () = Program.rounds_from round_program ~first:1
+
+let prefix ~rounds =
+  if rounds < 1 then invalid_arg "Algorithm7.prefix: rounds < 1";
+  Program.concat_list (List.init rounds (fun i -> round_program (i + 1)))

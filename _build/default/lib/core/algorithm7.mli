@@ -1,0 +1,18 @@
+(** Paper Algorithm 7 — the universal rendezvous algorithm for robots with
+    (possibly) asymmetric clocks.
+
+    Round [n]: wait at the initial position for [2·S(n)] local time, then
+    run [SearchAll(n)] followed by [SearchAllRev(n)]. The program runs
+    forever; rendezvous is an event detected by the simulator, exactly as in
+    the paper's model where robots stop only by seeing each other. *)
+
+val round_program : int -> Rvu_trajectory.Program.t
+(** The [n]-th round ([n >= 1]): inactive wait + forward and reversed
+    sweeps. Lazy; round [n] holds Θ(4ⁿ) segments. *)
+
+val program : unit -> Rvu_trajectory.Program.t
+(** The full infinite program, rounds [1, 2, 3, …]. *)
+
+val prefix : rounds:int -> Rvu_trajectory.Program.t
+(** Finite prefix with the given number of rounds — for measuring durations
+    against the Lemma 8 closed forms. *)

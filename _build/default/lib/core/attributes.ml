@@ -1,0 +1,23 @@
+type chirality = Same | Opposite
+
+type t = { v : float; tau : float; phi : float; chi : chirality }
+
+let make ?(v = 1.0) ?(tau = 1.0) ?(phi = 0.0) ?(chi = Same) () =
+  if v <= 0.0 then invalid_arg "Attributes.make: speed must be positive";
+  if tau <= 0.0 then invalid_arg "Attributes.make: time unit must be positive";
+  { v; tau; phi = Rvu_geom.Angle.normalize phi; chi }
+
+let reference = make ()
+let chi_float a = match a.chi with Same -> 1.0 | Opposite -> -1.0
+
+let is_reference ?tol a =
+  let eq = Rvu_numerics.Floats.equal ?tol in
+  eq a.v 1.0 && eq a.tau 1.0 && eq a.phi 0.0 && a.chi = Same
+
+let equal ?tol a b =
+  let eq = Rvu_numerics.Floats.equal ?tol in
+  eq a.v b.v && eq a.tau b.tau && eq a.phi b.phi && a.chi = b.chi
+
+let pp ppf a =
+  Format.fprintf ppf "{v=%g; tau=%g; phi=%g; chi=%s}" a.v a.tau a.phi
+    (match a.chi with Same -> "+1" | Opposite -> "-1")

@@ -1,0 +1,34 @@
+(** The hidden attributes of robot [R'] relative to the reference robot [R].
+
+    Following the paper's convention (Section 1.1), the analysis is carried
+    out in the frame of [R]: [R] has unit speed, unit time, a correct compass
+    and positive chirality, and [R'] carries the four unknowns. The robots
+    themselves never read these values — they exist only in the model and
+    the simulator. *)
+
+type chirality = Same | Opposite
+(** Whether [R'] agrees with [R] on the +y direction (the paper's
+    [χ = ±1]). *)
+
+type t = private {
+  v : float;  (** speed of [R'], > 0 (paper: [v]) *)
+  tau : float;  (** time unit of [R'], > 0 (paper: [τ]) *)
+  phi : float;  (** compass rotation of [R'], normalised to [\[0, 2π)] *)
+  chi : chirality;
+}
+
+val make : ?v:float -> ?tau:float -> ?phi:float -> ?chi:chirality -> unit -> t
+(** Defaults are the reference values [(1, 1, 0, Same)]. Raises
+    [Invalid_argument] on non-positive [v] or [tau]; [phi] is normalised. *)
+
+val reference : t
+(** Attributes of a robot identical to [R]. *)
+
+val chi_float : t -> float
+(** [+1.] or [−1.] — the paper's χ as a scalar. *)
+
+val is_reference : ?tol:float -> t -> bool
+(** All four attributes equal to the reference values (tolerantly). *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

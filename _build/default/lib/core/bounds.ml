@@ -1,0 +1,128 @@
+let pi1 = Rvu_numerics.Floats.pi +. 1.0
+let log2 = Rvu_numerics.Floats.log2
+
+let check_dr ~ctx ~d ~r =
+  if d <= 0.0 || r <= 0.0 then invalid_arg (ctx ^ ": d, r > 0 required")
+
+let scaled_search_time ~factor ratio = factor *. pi1 *. log2 ratio *. ratio
+
+let symmetric_clock_time_factor ~factor (a : Attributes.t) ~d ~r =
+  check_dr ~ctx:"Bounds.symmetric_clock_time" ~d ~r;
+  match a.chi with
+  | Attributes.Same ->
+      let mu = Equivalent.mu a in
+      if mu <= 1e-12 then None
+      else Some (scaled_search_time ~factor (d *. d /. (mu *. r)))
+  | Attributes.Opposite ->
+      if Rvu_numerics.Floats.equal a.v 1.0 then None
+      else begin
+        let gap = Float.abs (1.0 -. a.v) in
+        Some (scaled_search_time ~factor (d *. d /. (gap *. r)))
+      end
+
+let symmetric_clock_time a ~d ~r = symmetric_clock_time_factor ~factor:6.0 a ~d ~r
+
+let symmetric_clock_time_safe a ~d ~r =
+  symmetric_clock_time_factor ~factor:12.0 a ~d ~r
+
+let tau_decomposition tau =
+  if tau <= 0.0 || tau >= 1.0 then
+    invalid_arg "Bounds.tau_decomposition: tau outside (0, 1)";
+  let neg_log = -.log2 tau in
+  let rounded = Float.round neg_log in
+  let is_pow2 =
+    Float.abs (neg_log -. rounded) < 1e-12
+    && Rvu_numerics.Floats.equal tau (Rvu_search.Procedures.pow2 (-(int_of_float rounded)))
+  in
+  if is_pow2 then (int_of_float rounded - 1, 0.5)
+  else begin
+    let a = int_of_float (floor neg_log) in
+    (a, tau *. Rvu_search.Procedures.pow2 a)
+  end
+
+let lemma11_round ~tau ~n =
+  if n < 1 then invalid_arg "Bounds.lemma11_round: n < 1";
+  let a, t = tau_decomposition tau in
+  if t > 2.0 /. 3.0 then None
+  else begin
+    (* Overlap >= S(n) when 3(a+1)·2^k − 4 >= (n/2)·2^n, per the Lemma 11
+       derivation; the smallest such k is the ceiling below. *)
+    let af = float_of_int (a + 1) and nf = float_of_int n in
+    let arg =
+      ((nf /. 2.0 *. Rvu_search.Procedures.pow2 n) +. 4.0) /. (3.0 *. af)
+    in
+    (* Lemma 9's window must hold at the answer: k >= k0 = 4(a+1)t/(3-4t). *)
+    let k0 = int_of_float (ceil (4.0 *. af *. t /. (3.0 -. (4.0 *. t)))) in
+    Some (Stdlib.max k0 (int_of_float (ceil (log2 arg))))
+  end
+
+let lemma12_round ~tau ~n =
+  if n < 1 then invalid_arg "Bounds.lemma12_round: n < 1";
+  let a, t = tau_decomposition tau in
+  if t <= 2.0 /. 3.0 then None
+  else begin
+    let af = float_of_int a and nf = float_of_int n in
+    let k0 = ceil ((af +. 1.0) *. t /. (1.0 -. t)) in
+    (* With the real-valued k0 = (a+1)t/(1−t) of the paper's derivation,
+       γ = k0/(k0+1+a) simplifies to exactly t. *)
+    let gamma = t in
+    let ln2 = log 2.0 in
+    let w_arg =
+      ln2 *. nf /. (4.0 *. (1.0 -. gamma))
+      *. Rvu_search.Procedures.pow2 n
+      *. Float.exp
+           (ln2 /. (1.0 -. gamma) *. ((-.(af -. 2.0) *. gamma) -. 2.0))
+    in
+    match Rvu_numerics.Lambert_w.w0 w_arg with
+    | Error _ -> None
+    | Ok w ->
+        let raw =
+          2
+          + int_of_float
+              (ceil ((af *. gamma /. (1.0 -. gamma)) +. (w /. ln2)))
+        in
+        (* Lemma 10's window must hold at the answer: k >= k0. *)
+        Some (Stdlib.max (int_of_float k0) raw)
+  end
+
+let round_bound ~tau ~n =
+  if n < 1 then invalid_arg "Bounds.round_bound: n < 1";
+  let a, t = tau_decomposition tau in
+  let af = float_of_int (a + 1) and nf = float_of_int n in
+  if t <= 2.0 /. 3.0 then
+    Stdlib.max (8 * (a + 1)) (n + int_of_float (ceil (log2 (nf /. af))))
+  else
+    Stdlib.max
+      (int_of_float (ceil (af *. t /. (1.0 -. t))))
+      (n + int_of_float (ceil (log2 (nf /. (1.0 -. t)))))
+
+let searcher_round (a : Attributes.t) ~d ~r =
+  check_dr ~ctx:"Bounds.searcher_round" ~d ~r;
+  if Rvu_numerics.Floats.equal a.tau 1.0 then
+    invalid_arg "Bounds.searcher_round: tau = 1 (use symmetric_clock_time)";
+  if d <= r then 0
+  else if a.tau < 1.0 then Rvu_search.Predict.discovery_round ~d ~r
+  else begin
+    (* R' is the slower-clocked searcher; rescale the instance into its own
+       distance unit v·τ. *)
+    let unit = a.v *. a.tau in
+    Rvu_search.Predict.discovery_round ~d:(d /. unit) ~r:(r /. unit)
+  end
+
+let effective_tau (a : Attributes.t) = if a.tau < 1.0 then a.tau else 1.0 /. a.tau
+
+let asymmetric_round (a : Attributes.t) ~d ~r =
+  match searcher_round a ~d ~r with
+  | 0 -> 0
+  | n -> round_bound ~tau:(effective_tau a) ~n
+
+let offline_optimum (a : Attributes.t) ~d ~r =
+  check_dr ~ctx:"Bounds.offline_optimum" ~d ~r;
+  Float.max 0.0 ((d -. r) /. (1.0 +. a.v))
+
+let asymmetric_time (a : Attributes.t) ~d ~r =
+  let k = asymmetric_round a ~d ~r in
+  let local = Phases.time_to_complete_rounds k in
+  (* When R' is the searcher its rounds run in its own clock units: global
+     time is stretched by τ. *)
+  if a.tau < 1.0 then local else a.tau *. local

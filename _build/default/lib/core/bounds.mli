@@ -1,0 +1,74 @@
+(** Rendezvous time bounds: Theorem 2 (symmetric clocks) and
+    Lemmas 11–13 / Theorem 3 (asymmetric clocks).
+
+    All times are global ([R]-frame) time; all logs are base 2. *)
+
+val symmetric_clock_time : Attributes.t -> d:float -> r:float -> float option
+(** Theorem 2 (the robots' clocks assumed equal; [tau] is ignored):
+    [χ = +1] → [6(π+1)·log(d²/μr)·d²/(μr)];
+    [χ = −1] → [6(π+1)·log(d²/(1−v)r)·d²/((1−v)r)].
+    [None] when the case is infeasible ([μ = 0], resp. [v = 1]) — matching
+    the feasibility frontier of Theorem 2. Requires [d, r > 0].
+
+    Inherits the paper's Lemma 3 looseness (see
+    {!Rvu_search.Bounds.search_time}); use {!symmetric_clock_time_safe} for
+    a bound the simulation always satisfies. *)
+
+val symmetric_clock_time_safe : Attributes.t -> d:float -> r:float -> float option
+(** Theorem 2 with the repaired Lemma 3 constant [12(π+1)] — the version the
+    test suite asserts against. *)
+
+val tau_decomposition : float -> int * float
+(** Lemma 13's parameterisation of [τ ∈ (0, 1)]: the unique [(a, t)] with
+    [τ = t·2⁻ᵃ], [a ≥ 0] integer, [t ∈ \[1/2, 1)] ([t = 1/2] exactly when τ
+    is a power of two). Raises [Invalid_argument] outside [(0, 1)]. *)
+
+val lemma11_round : tau:float -> n:int -> int option
+(** Lemma 11's exact round: the first [k] with
+    [24(π+1)(3(a+1)·2ᵏ − 4) ≥ S(n)], i.e.
+    [k = ⌈log((n·2ⁿ/2 + 4) / (3(a+1)))⌉], maxed with the window-validity
+    threshold [k₀ = ⌈4(a+1)t/(3−4t)⌉]; valid in the [t ∈ [1/2, 2/3]]
+    regime, [None] outside it. Requires [n ≥ 1]. *)
+
+val lemma12_round : tau:float -> n:int -> int option
+(** Lemma 12's exact round via the Lambert W function: with
+    [k₀ = ⌈(a+1)·t/(1−t)⌉] and [γ = k₀/(k₀+1+a)],
+
+    [k* = 2 + ⌈aγ/(1−γ) + W(ln2·n·2ⁿ/(4(1−γ)) · 2^((−(a−2)γ−2)/(1−γ)))/ln2⌉].
+
+    maxed with the window-validity threshold [k₀]. Valid in the
+    [t ∈ (2/3, 1)] regime; [None] otherwise. This is the form the paper
+    states before simplifying [W(x) ≈ ln x − ln ln x]; the test suite
+    checks it stays below the simplified {!round_bound}. *)
+
+val round_bound : tau:float -> n:int -> int
+(** Lemma 13: if [R] would find a stationary [R'] on round [n] of
+    Algorithm 7, the robots rendezvous by the end of round
+
+    - [max(8(a+1), n + ⌈log(n/(a+1))⌉)] when [t ∈ \[1/2, 2/3\]],
+    - [max(⌈(a+1)·t/(1−t)⌉, n + ⌈log(n/(1−t))⌉)] when [t ∈ (2/3, 1)].
+
+    Requires [τ ∈ (0,1)] and [n ≥ 1]. *)
+
+val searcher_round : Attributes.t -> d:float -> r:float -> int
+(** The Algorithm 7 round on which the slower-clocked robot would find the
+    other standing still — the [n] fed to {!round_bound}. When [τ < 1] the
+    searcher is [R] and [n = discovery_round d r]; when [τ > 1] the roles
+    swap and the instance is rescaled into [R']'s distance unit [v·τ].
+    Returns [0] when [d ≤ r]. Requires [τ ≠ 1]. *)
+
+val asymmetric_round : Attributes.t -> d:float -> r:float -> int
+(** Composition of {!searcher_round} and {!round_bound}: a round by whose
+    end Algorithm 7 guarantees rendezvous. [0] when [d ≤ r]. *)
+
+val asymmetric_time : Attributes.t -> d:float -> r:float -> float
+(** Theorem 3's finite rendezvous-time bound: the global time at which the
+    searcher completes the {!asymmetric_round} rounds (clock-unit corrected
+    when the searcher is [R']). *)
+
+val offline_optimum : Attributes.t -> d:float -> r:float -> float
+(** The omniscient lower bound: robots that know everything walk straight
+    at each other and meet when the gap closes to [r], at time
+    [(d − r)/(1 + v)] ([0.] when [d ≤ r]). The competitive-ratio experiment
+    (E10) divides measured rendezvous times by this — the price of not
+    knowing the attributes. *)

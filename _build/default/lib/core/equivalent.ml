@@ -1,0 +1,63 @@
+open Rvu_geom
+
+let t_matrix a = Mat2.sub Mat2.identity (Frame.trajectory_matrix a)
+
+let mu (a : Attributes.t) =
+  sqrt (Float.max 0.0 ((a.v *. a.v) -. (2.0 *. a.v *. cos a.phi) +. 1.0))
+
+let factor (a : Attributes.t) =
+  let m = mu a in
+  if m <= 1e-12 then None
+  else
+    let v = a.v and phi = a.phi and chi = Attributes.chi_float a in
+    let q =
+      Mat2.scale (1.0 /. m)
+        (Mat2.make
+           ~a:(1.0 -. (v *. cos phi))
+           ~b:(v *. sin phi)
+           ~c:(-.v *. sin phi)
+           ~d:(1.0 -. (v *. cos phi)))
+    in
+    let r =
+      Mat2.make ~a:m
+        ~b:(-.(1.0 -. chi) *. v *. sin phi /. m)
+        ~c:0.0
+        ~d:(((chi *. v *. v) -. ((1.0 +. chi) *. v *. cos phi) +. 1.0) /. m)
+    in
+    Some (q, r)
+
+let t_prime a = Option.map snd (factor a)
+
+let projection_gain a ~dhat =
+  Vec2.norm (Mat2.apply (Mat2.transpose (t_matrix a)) dhat)
+
+let worst_case_gain a =
+  (* Smallest singular value of the 2×2 matrix T∘. *)
+  let m = t_matrix a in
+  let g = Mat2.mul (Mat2.transpose m) m in
+  (* Eigenvalues of the symmetric Gram matrix. *)
+  let tr = g.Mat2.a +. g.Mat2.d in
+  let dt = Mat2.det g in
+  let disc = sqrt (Float.max 0.0 ((tr *. tr /. 4.0) -. dt)) in
+  sqrt (Float.max 0.0 ((tr /. 2.0) -. disc))
+
+let worst_direction a =
+  (* Eigenvector of the symmetric G = T∘·T∘ᵀ for its smaller eigenvalue:
+     the unit d̂ minimising |T∘ᵀd̂|² = d̂ᵀGd̂. *)
+  let m = t_matrix a in
+  let g = Mat2.mul m (Mat2.transpose m) in
+  let tr = g.Mat2.a +. g.Mat2.d in
+  let disc = sqrt (Float.max 0.0 ((tr *. tr /. 4.0) -. Mat2.det g)) in
+  let lambda_min = (tr /. 2.0) -. disc in
+  (* (G − λI)·v = 0: rows are parallel; take the better-conditioned one. *)
+  let r1 = Vec2.make (g.Mat2.a -. lambda_min) g.Mat2.b in
+  let r2 = Vec2.make g.Mat2.c (g.Mat2.d -. lambda_min) in
+  let row = if Vec2.norm r1 >= Vec2.norm r2 then r1 else r2 in
+  if Vec2.norm row <= 1e-12 then Vec2.make 1.0 0.0 (* G = λI: isotropic *)
+  else Vec2.normalize (Vec2.perp row)
+
+let equivalent_instance (a : Attributes.t) ~d ~r ~dhat =
+  let gain =
+    match a.chi with Attributes.Same -> mu a | Attributes.Opposite -> projection_gain a ~dhat
+  in
+  if gain <= 1e-12 then None else Some (d /. gain, r /. gain)

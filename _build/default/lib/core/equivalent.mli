@@ -1,0 +1,61 @@
+(** The equivalent-search reduction (paper Section 3, Lemma 5 and
+    Definition 1).
+
+    A rendezvous trajectory [S] solves rendezvous iff the *induced search
+    trajectory* [S∘(t) = S(t) − S'(t) = T∘·S(t)] solves search against the
+    displacement [d], where [T∘ = I − v·R(φ)·F(χ)]. Lemma 5 factors
+    [T∘ = Φ·T'∘] with [Φ] a rotation, and since rotations preserve
+    distances, the analysis may use the upper-triangular [T'∘]:
+
+    {v matrix}
+      T'∘ = [ μ   −(1−χ)·v·sinφ/μ ]
+            [ 0   (χv² − (1+χ)v·cosφ + 1)/μ ]
+    {v matrix}
+
+    with [μ = √(v² − 2v·cosφ + 1)]. For [χ = +1] this is [μ·I] (pure
+    scaling, Lemma 6); for [χ = −1] the second row degenerates to
+    [\[0, (1−v²)/μ\]] and the projection argument of Lemma 7 applies. *)
+
+val t_matrix : Attributes.t -> Rvu_geom.Mat2.t
+(** [T∘ = I − v·R(φ)·F(χ)]. *)
+
+val mu : Attributes.t -> float
+(** [μ = √(v² − 2v·cosφ + 1)] — the distance between [1] and [v·e^{iφ}] in
+    the complex plane; zero exactly when [v = 1, φ = 0]. *)
+
+val factor : Attributes.t -> (Rvu_geom.Mat2.t * Rvu_geom.Mat2.t) option
+(** Lemma 5's closed-form factorisation [(Φ, T'∘)]. [None] when [μ = 0]
+    (the matrix [T∘] is then either zero — identical robots — or the
+    rank-one [χ = −1, v = 1, φ = 0] case where the paper's closed form
+    divides by μ). The test suite checks [Φ·T'∘ = T∘], [Φ] orthogonal with
+    determinant 1, against {!Rvu_geom.Mat2.qr}. *)
+
+val t_prime : Attributes.t -> Rvu_geom.Mat2.t option
+(** Just the upper-triangular factor of {!factor}. *)
+
+val projection_gain : Attributes.t -> dhat:Rvu_geom.Vec2.t -> float
+(** [|T∘ᵀ·d̂|] for a unit vector [d̂] — the factor by which the χ = −1
+    argument of Lemma 7 rescales the instance: the equivalent search instance
+    has [d' = d/|T∘ᵀd̂|] and [r' = r/|T∘ᵀd̂|]. Zero when [d̂] is orthogonal
+    to the range of [T∘] (the adversarial direction of the infeasible
+    cases). *)
+
+val worst_case_gain : Attributes.t -> float
+(** [min over unit d̂ of |T∘ᵀ·d̂|], the smallest singular value of [T∘]. For
+    [χ = −1] this is the paper's worst case [(1 − v²)/μ ≥ (1 − v)]
+    evaluated at the worst [φ]; used by the Theorem 2 bound. *)
+
+val worst_direction : Attributes.t -> Rvu_geom.Vec2.t
+(** The unit displacement direction achieving {!worst_case_gain} — the
+    hardest bearing for the Lemma 7 argument (an eigenvector of [T∘·T∘ᵀ]
+    for its smallest eigenvalue). For infeasible mirror twins this is the
+    mirror-axis direction with gain 0. Experiment E3 places the robots
+    along it. *)
+
+val equivalent_instance :
+  Attributes.t -> d:float -> r:float -> dhat:Rvu_geom.Vec2.t -> (float * float) option
+(** The scaled search instance [(d', r')] seen by the induced trajectory for
+    a displacement of length [d] in direction [d̂]: [χ = +1] gives
+    [(d/μ, r/μ)]; [χ = −1] gives [(d/g, r/g)] with [g = projection_gain].
+    [None] when the gain vanishes (no equivalent finite instance —
+    infeasible direction). *)

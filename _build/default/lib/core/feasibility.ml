@@ -1,0 +1,25 @@
+type reason = Different_clocks | Different_speeds | Rotated_same_chirality
+type verdict = Feasible of reason | Infeasible
+
+let classify ?tol (a : Attributes.t) =
+  let eq = Rvu_numerics.Floats.equal ?tol in
+  if not (eq a.tau 1.0) then Feasible Different_clocks
+  else if not (eq a.v 1.0) then Feasible Different_speeds
+  else if a.chi = Attributes.Same && not (eq (Rvu_geom.Angle.normalize a.phi) 0.0)
+  then Feasible Rotated_same_chirality
+  else Infeasible
+
+let is_feasible ?tol a = classify ?tol a <> Infeasible
+
+let adversarial_direction ?tol (a : Attributes.t) =
+  match classify ?tol a with
+  | Feasible _ -> None
+  | Infeasible -> begin
+      match a.chi with
+      | Attributes.Same -> Some (Rvu_geom.Vec2.make 1.0 0.0)
+      | Attributes.Opposite ->
+          (* v·R(φ)·F with v = 1 is the reflection about the axis at angle
+             φ/2; T∘ = I − reflection has range along the axis normal, so the
+             axis direction itself is never approached. *)
+          Some (Rvu_geom.Vec2.make (cos (a.phi /. 2.0)) (sin (a.phi /. 2.0)))
+    end

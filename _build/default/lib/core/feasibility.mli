@@ -1,0 +1,36 @@
+(** Theorem 4: the exact characterisation of when rendezvous is feasible.
+
+    Rendezvous of [R] and [R'] is solvable by a symmetric deterministic
+    algorithm iff the robots have different clocks ([τ ≠ 1]), or different
+    speeds ([v ≠ 1]), or equal chiralities but rotated compasses
+    ([χ = +1] and [0 < φ < 2π]). In every remaining case — perfectly
+    identical robots, or mirror twins with equal speed and clock — the
+    induced search trajectory is confined to a point or a line and some
+    initial displacement is never approached. *)
+
+type reason =
+  | Different_clocks  (** [τ ≠ 1]; Algorithm 7's overlap argument applies. *)
+  | Different_speeds  (** [τ = 1, v ≠ 1]; Theorem 2 applies ([μ > 0]). *)
+  | Rotated_same_chirality
+      (** [τ = 1, v = 1, χ = +1, 0 < φ < 2π]; Theorem 2 with
+          [μ = 2|sin(φ/2)| > 0]. *)
+
+type verdict = Feasible of reason | Infeasible
+
+val classify : ?tol:float -> Attributes.t -> verdict
+(** Classification per Theorem 4. Clock difference is reported first, then
+    speed, then rotation — matching the paper's case analysis order.
+    Attributes within [tol] of the symmetric values count as symmetric
+    (physically: the simulator cannot distinguish them on any finite
+    horizon). *)
+
+val is_feasible : ?tol:float -> Attributes.t -> bool
+
+val adversarial_direction : ?tol:float -> Attributes.t -> Rvu_geom.Vec2.t option
+(** For an infeasible instance, a unit displacement direction [d̂] along
+    which the robots provably never meet (for any [d > r]): identical robots
+    never change relative position (any direction works — [(1,0)] is
+    returned); mirror twins ([χ = −1, v = 1, τ = 1]) have their induced
+    trajectory confined to the normal of the mirror axis [φ/2], so the
+    mirror-axis direction [(cos φ/2, sin φ/2)] is returned. [None] for
+    feasible instances. *)

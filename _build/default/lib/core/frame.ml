@@ -1,0 +1,21 @@
+open Rvu_geom
+
+let clocked (a : Attributes.t) ~displacement =
+  let frame =
+    Conformal.make
+      ~scale:(a.v *. a.tau)
+      ~angle:a.phi
+      ~reflect:(a.chi = Attributes.Opposite)
+      ~offset:displacement ()
+  in
+  Rvu_trajectory.Realize.make ~frame ~time_unit:a.tau
+
+let reference_clocked = Rvu_trajectory.Realize.identity
+
+let trajectory_matrix (a : Attributes.t) =
+  let base =
+    match a.chi with
+    | Attributes.Same -> Mat2.identity
+    | Attributes.Opposite -> Mat2.reflect_x
+  in
+  Mat2.scale a.v (Mat2.mul (Mat2.rotation a.phi) base)

@@ -1,0 +1,19 @@
+(** Lemma 4: how robot [R'] realises the common trajectory.
+
+    If both robots execute the trajectory [S], then in the global frame [R]
+    follows [S(t)] while [R'] follows [d + (v·τ)·R(φ)·F(χ)·S(t/τ)]: its
+    distance unit is [v·τ] (speed × local time unit), its axes are rotated by
+    [φ] and possibly reflected, it starts at displacement [d], and its local
+    clock runs at rate [1/τ]. With [τ = 1] this is exactly the paper's
+    [S'(t) = v·R(φ)·F(χ)·S(t)]. *)
+
+val clocked :
+  Attributes.t -> displacement:Rvu_geom.Vec2.t -> Rvu_trajectory.Realize.clocked
+(** Realisation parameters for [R'] starting at [displacement] from [R]. *)
+
+val reference_clocked : Rvu_trajectory.Realize.clocked
+(** Realisation parameters for [R] (identity frame, unit clock). *)
+
+val trajectory_matrix : Attributes.t -> Rvu_geom.Mat2.t
+(** The Lemma 4 linear map [v·R(φ)·F(χ)] (symmetric-clock picture, no [τ]
+    factor): the matrix relating [S'] to [S]. *)

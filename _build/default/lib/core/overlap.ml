@@ -1,0 +1,49 @@
+type window = { lo : float; hi : float }
+
+let check_ka ~ctx ~k ~a =
+  if a < 0 then invalid_arg (ctx ^ ": a < 0");
+  if k < 1 then invalid_arg (ctx ^ ": k < 1")
+
+let lemma9_window ~k ~a =
+  check_ka ~ctx:"Overlap.lemma9_window" ~k ~a;
+  let base =
+    float_of_int k
+    /. (float_of_int (k + 1 + a) *. Rvu_search.Procedures.pow2 (a + 1))
+  in
+  { lo = base; hi = 1.5 *. base }
+
+let lemma10_window ~k ~a =
+  check_ka ~ctx:"Overlap.lemma10_window" ~k ~a;
+  let p2a = Rvu_search.Procedures.pow2 a in
+  {
+    lo = 2.0 /. 3.0 *. float_of_int k /. (float_of_int (k + a) *. p2a);
+    hi = float_of_int k /. (float_of_int (k + 1 + a) *. p2a);
+  }
+
+let lemma9_overlap ~tau ~k ~a =
+  (tau *. Phases.active_start (k + 1 + a)) -. Phases.active_start k
+
+let lemma10_overlap ~tau ~k ~a =
+  Phases.inactive_start k -. (tau *. Phases.inactive_start (k + a))
+
+let exact_overlap ~tau ~active_round ~inactive_round =
+  let a0 = Phases.active_start active_round
+  and a1 = Phases.round_end active_round in
+  let i0 = tau *. Phases.inactive_start inactive_round
+  and i1 = tau *. Phases.active_start inactive_round in
+  Float.max 0.0 (Float.min a1 i1 -. Float.max a0 i0)
+
+let max_overlap_with_inactive ~tau ~active_round =
+  (* R' inactive phases that can intersect R's active phase [A(k), I(k+1))
+     satisfy τ·I(m) < I(k+1) and τ·A(m) > A(k); scan the (geometrically
+     growing) rounds until the former fails. *)
+  let hi = Phases.round_end active_round in
+  let rec go m best best_m =
+    if tau *. Phases.inactive_start m >= hi && m > 1 then (best, best_m)
+    else begin
+      let o = exact_overlap ~tau ~active_round ~inactive_round:m in
+      let best, best_m = if o > best then (o, m) else (best, best_m) in
+      go (m + 1) best best_m
+    end
+  in
+  go 1 0.0 1

@@ -1,0 +1,40 @@
+(** The overlap machinery behind Theorem 3 (paper Lemmas 9 and 10,
+    Figure 3).
+
+    With asymmetric clocks, [R]'s phases run on the global timeline while
+    [R']'s are stretched by [τ < 1]. The rendezvous proof shows that [R]'s
+    active phases eventually overlap [R']'s inactive phases for longer than
+    a whole [SearchAll(n)], at which point [R] finds the *stationary* [R']
+    exactly as in the search problem. The two geometric ways the phases can
+    interleave are the two cases of Figure 3. *)
+
+type window = { lo : float; hi : float }
+(** A closed interval of admissible [τ] values. *)
+
+val lemma9_window : k:int -> a:int -> window
+(** Lemma 9: for [k ≥ 2(a+1)], if [τ ∈ \[k/((k+1+a)·2^(a+1)),
+    (3/2)·k/((k+1+a)·2^(a+1))\]] then [R]'s [k]-th active phase overlaps
+    [R']'s [(k+1+a)]-th inactive phase by [τ·A(k+1+a) − A(k)]
+    (Figure 3a). *)
+
+val lemma10_window : k:int -> a:int -> window
+(** Lemma 10: for [k ≥ 2(a+1)], if [τ ∈ \[(2/3)·k/((k+a)·2^a),
+    k/((k+1+a)·2^a)\]] then [R]'s [(k−1)]-st active phase overlaps [R']'s
+    [(k+a)]-th inactive phase by [I(k) − τ·I(k+a)] (Figure 3b). *)
+
+val lemma9_overlap : tau:float -> k:int -> a:int -> float
+(** The claimed Figure-3a overlap amount [τ·A(k+1+a) − A(k)]. *)
+
+val lemma10_overlap : tau:float -> k:int -> a:int -> float
+(** The claimed Figure-3b overlap amount [I(k) − τ·I(k+a)]. *)
+
+val exact_overlap : tau:float -> active_round:int -> inactive_round:int -> float
+(** Ground truth, by direct interval intersection: the length of
+    [\[A(k), I(k+1)) ∩ \[τ·I(m), τ·A(m))] for [R]'s active round [k] and
+    [R']'s inactive round [m]. The test suite checks the lemma formulas
+    against this. *)
+
+val max_overlap_with_inactive : tau:float -> active_round:int -> float * int
+(** Largest {!exact_overlap} of [R]'s given active phase over all inactive
+    rounds [m] of [R'], and the maximising [m]. Used to reproduce the
+    Figure 3 growth series. *)

@@ -1,0 +1,30 @@
+let pi1 = Rvu_numerics.Floats.pi +. 1.0
+let pow2 = Rvu_search.Procedures.pow2
+
+let s n =
+  if n < 1 then invalid_arg "Phases.s: n < 1";
+  12.0 *. pi1 *. float_of_int n *. pow2 n
+
+let inactive_start n =
+  if n < 1 then invalid_arg "Phases.inactive_start: n < 1";
+  24.0 *. pi1 *. ((float_of_int ((2 * n) - 4) *. pow2 n) +. 4.0)
+
+let active_start n =
+  if n < 1 then invalid_arg "Phases.active_start: n < 1";
+  24.0 *. pi1 *. ((float_of_int ((3 * n) - 4) *. pow2 n) +. 4.0)
+
+let round_end n = inactive_start (n + 1)
+let time_to_complete_rounds n = if n = 0 then 0.0 else round_end n
+let round_duration n = 4.0 *. s n
+
+type phase = Inactive | Active
+
+let phase_at t =
+  if t < 0.0 then None
+  else begin
+    let rec find n =
+      if t < round_end n then n else find (n + 1)
+    in
+    let n = find 1 in
+    Some (n, if t < active_start n then Inactive else Active)
+  end

@@ -1,0 +1,34 @@
+(** The phase schedule of Algorithm 7 (paper Lemma 8 and eq. (1)).
+
+    Round [n ≥ 1] of Algorithm 7 consists of an *inactive* phase (wait at the
+    initial position for [2·S(n)] local time) followed by an *active* phase
+    ([SearchAll(n)] then [SearchAllRev(n)], also [2·S(n)] local time), where
+    [S(n) = 12(π+1)·n·2ⁿ] is the duration of [SearchAll(n)]. All times here
+    are in the executing robot's local units; robot [R'] experiences the
+    same schedule stretched by [τ]. *)
+
+val s : int -> float
+(** [S(n) = 12(π+1)·n·2ⁿ], eq. (1). Requires [n >= 1]. *)
+
+val inactive_start : int -> float
+(** [I(n) = 24(π+1)·((2n−4)·2ⁿ + 4)] — when round [n]'s inactive phase
+    begins (Lemma 8). [I(1) = 0]. *)
+
+val active_start : int -> float
+(** [A(n) = I(n) + 2S(n) = 24(π+1)·((3n−4)·2ⁿ + 4)]. *)
+
+val round_end : int -> float
+(** End of round [n] = [I(n+1)] = [A(n) + 2S(n)]. *)
+
+val time_to_complete_rounds : int -> float
+(** Local time to finish rounds [1 … n], i.e. [I(n+1)]. [0.] for [n = 0]. *)
+
+val round_duration : int -> float
+(** [4·S(n)]. *)
+
+type phase = Inactive | Active
+
+val phase_at : float -> (int * phase) option
+(** Which round and phase a robot is in at local time [t >= 0]; [None] if
+    [t] is negative. Logarithmic-ish scan (rounds grow geometrically, so the
+    scan is cheap). *)

@@ -1,0 +1,32 @@
+type guarantee = {
+  verdict : Feasibility.verdict;
+  round : int option;
+  time : float option;
+}
+
+let program = Algorithm7.program
+
+let symmetric_guarantee (a : Attributes.t) ~d ~r =
+  let gain =
+    match a.chi with
+    | Attributes.Same -> Equivalent.mu a
+    | Attributes.Opposite -> Float.abs (1.0 -. a.v)
+  in
+  if gain <= 1e-12 then (None, None)
+  else if d /. gain <= r /. gain then (Some 0, Some 0.0)
+  else begin
+    let n = Rvu_search.Predict.discovery_round ~d:(d /. gain) ~r:(r /. gain) in
+    (Some n, Some (Phases.time_to_complete_rounds n))
+  end
+
+let guarantee (a : Attributes.t) ~d ~r =
+  if d <= 0.0 || r <= 0.0 then invalid_arg "Universal.guarantee: d, r > 0 required";
+  let verdict = Feasibility.classify a in
+  match verdict with
+  | Feasibility.Infeasible -> { verdict; round = None; time = None }
+  | Feasibility.Feasible Feasibility.Different_clocks ->
+      let round = Bounds.asymmetric_round a ~d ~r in
+      { verdict; round = Some round; time = Some (Bounds.asymmetric_time a ~d ~r) }
+  | Feasibility.Feasible _ ->
+      let round, time = symmetric_guarantee a ~d ~r in
+      { verdict; round; time }

@@ -1,0 +1,33 @@
+(** The paper's headline: one algorithm, no knowledge of which attribute
+    differs.
+
+    Algorithm 7 solves rendezvous whenever rendezvous is solvable at all
+    (Theorem 4) — the robots need not know whether it is their clocks,
+    speeds or compasses that differ. This module packages that story: the
+    single program both robots should run, plus the best applicable analytic
+    guarantee for a given (hidden) attribute vector. *)
+
+type guarantee = {
+  verdict : Feasibility.verdict;
+  round : int option;
+      (** An Algorithm 7 round by whose end rendezvous is guaranteed
+          ([Some 0] = visible at start); [None] when infeasible. *)
+  time : float option;
+      (** Global-time guarantee corresponding to [round]; [None] when
+          infeasible. *)
+}
+
+val program : unit -> Rvu_trajectory.Program.t
+(** The universal program — Algorithm 7, which each robot runs in its own
+    frame and clock. *)
+
+val guarantee : Attributes.t -> d:float -> r:float -> guarantee
+(** Analytic guarantee for Algorithm 7 on the given instance:
+
+    - [τ ≠ 1]: Theorem 3 (the overlap argument), via {!Bounds.asymmetric_round}.
+    - [τ = 1], feasible: the Section 3 equivalent-search reduction applied
+      to Algorithm 7's own schedule — the induced trajectory performs a
+      scaled [Search(n_eff)] during round [n_eff] of the schedule, where
+      [n_eff] is the discovery round of the rescaled instance
+      [(d/g, r/g)] with [g] the worst-case gain of {!Equivalent}.
+    - infeasible: no guarantee ([round = time = None]). *)

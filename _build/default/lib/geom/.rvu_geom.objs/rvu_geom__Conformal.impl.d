@@ -1,0 +1,1 @@
+lib/geom/conformal.ml: Angle Format Mat2 Rvu_numerics Vec2

@@ -1,0 +1,1 @@
+lib/geom/conformal.mli: Format Mat2 Vec2

@@ -1,0 +1,1 @@
+lib/geom/dist.ml: Angle Float Rvu_numerics Vec2

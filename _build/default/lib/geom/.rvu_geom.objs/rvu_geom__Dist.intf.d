@@ -1,0 +1,1 @@
+lib/geom/dist.mli: Vec2

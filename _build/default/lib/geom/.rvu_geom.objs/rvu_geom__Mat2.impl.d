@@ -1,0 +1,1 @@
+lib/geom/mat2.ml: Float Format Rvu_numerics Vec2

@@ -1,0 +1,1 @@
+lib/geom/mat2.mli: Format Vec2

@@ -1,0 +1,19 @@
+let two_pi = Rvu_numerics.Floats.two_pi
+
+let normalize a =
+  let r = Float.rem a two_pi in
+  if r < 0.0 then r +. two_pi else r
+
+let normalize_signed a =
+  let r = normalize a in
+  if r > Rvu_numerics.Floats.pi then r -. two_pi else r
+
+let diff a b = normalize_signed (a -. b)
+
+let within_sweep ~from ~sweep theta =
+  if Float.abs sweep >= two_pi then true
+  else if sweep >= 0.0 then normalize (theta -. from) <= sweep
+  else normalize (from -. theta) <= -.sweep
+
+let of_degrees d = d *. Rvu_numerics.Floats.pi /. 180.0
+let to_degrees r = r *. 180.0 /. Rvu_numerics.Floats.pi

@@ -1,0 +1,23 @@
+(** Angle bookkeeping on the circle.
+
+    Compass orientations live in [\[0, 2π)] (the paper's convention for φ);
+    arc parameterisations use unbounded sweeps (a full circle is a sweep of
+    2π, several turns are larger sweeps). *)
+
+val normalize : float -> float
+(** Reduce to [\[0, 2π)]. *)
+
+val normalize_signed : float -> float
+(** Reduce to [(−π, π\]]. *)
+
+val diff : float -> float -> float
+(** [diff a b] is the signed angular distance from [b] to [a] in
+    [(−π, π\]]. *)
+
+val within_sweep : from:float -> sweep:float -> float -> bool
+(** [within_sweep ~from ~sweep theta] holds when the direction [theta] lies
+    on the arc starting at angle [from] and sweeping by [sweep] (positive =
+    counter-clockwise). Sweeps of magnitude ≥ 2π cover the whole circle. *)
+
+val of_degrees : float -> float
+val to_degrees : float -> float

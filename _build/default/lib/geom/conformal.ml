@@ -1,0 +1,50 @@
+type t = { scale : float; angle : float; reflect : bool; offset : Vec2.t }
+
+let identity = { scale = 1.0; angle = 0.0; reflect = false; offset = Vec2.zero }
+
+let make ?(scale = 1.0) ?(angle = 0.0) ?(reflect = false) ?(offset = Vec2.zero)
+    () =
+  if scale <= 0.0 then invalid_arg "Conformal.make: scale must be positive";
+  { scale; angle; reflect; offset }
+
+let chirality f = if f.reflect then -1.0 else 1.0
+
+let linear f =
+  let base = if f.reflect then Mat2.reflect_x else Mat2.identity in
+  Mat2.scale f.scale (Mat2.mul (Mat2.rotation f.angle) base)
+
+let apply_linear f (p : Vec2.t) =
+  let p = if f.reflect then Vec2.make p.x (-.p.y) else p in
+  Vec2.scale f.scale (Vec2.rotate f.angle p)
+
+let apply f p = Vec2.add f.offset (apply_linear f p)
+let map_angle f theta = f.angle +. (chirality f *. theta)
+
+let compose f g =
+  (* (f ∘ g) p = f.off + s_f R_f F_f (g.off + s_g R_g F_g p).
+     F_f · R_g = R_(−g) · F_f, so the combined rotation is
+     angle_f + χ_f · angle_g and the reflection bits xor. *)
+  {
+    scale = f.scale *. g.scale;
+    angle = f.angle +. (chirality f *. g.angle);
+    reflect = f.reflect <> g.reflect;
+    offset = apply f g.offset;
+  }
+
+let inverse f =
+  let s = 1.0 /. f.scale in
+  let angle = if f.reflect then f.angle else -.f.angle in
+  let inv_lin = { scale = s; angle; reflect = f.reflect; offset = Vec2.zero } in
+  { inv_lin with offset = Vec2.neg (apply_linear inv_lin f.offset) }
+
+let equal ?tol f g =
+  Rvu_numerics.Floats.equal ?tol f.scale g.scale
+  && Rvu_numerics.Floats.equal ?tol
+       (Angle.normalize f.angle)
+       (Angle.normalize g.angle)
+  && f.reflect = g.reflect
+  && Vec2.equal ?tol f.offset g.offset
+
+let pp ppf f =
+  Format.fprintf ppf "{scale=%g; angle=%g; reflect=%b; offset=%a}" f.scale
+    f.angle f.reflect Vec2.pp f.offset

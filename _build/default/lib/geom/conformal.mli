@@ -1,0 +1,49 @@
+(** Orientation-aware similarity transforms of the plane.
+
+    Lemma 4 of the paper states that robot [R'] executes the common
+    trajectory through exactly this transform group: scale by its speed [v],
+    reflect if its chirality is opposite ([χ = −1]), rotate by its compass
+    offset [φ], and translate by the initial displacement. Similarities are
+    conformal, so they map the circles and line segments of the search
+    algorithms to circles and line segments — which is why the simulator can
+    represent both robots' realised trajectories exactly. *)
+
+type t = {
+  scale : float;  (** similarity ratio, > 0 *)
+  angle : float;  (** rotation, applied after the reflection *)
+  reflect : bool;  (** reflection about the x-axis, applied first *)
+  offset : Vec2.t;  (** translation, applied last *)
+}
+
+val identity : t
+
+val make :
+  ?scale:float -> ?angle:float -> ?reflect:bool -> ?offset:Vec2.t -> unit -> t
+(** Defaults give the identity. Raises [Invalid_argument] if
+    [scale <= 0]. *)
+
+val linear : t -> Mat2.t
+(** The linear part [scale · R(angle) · F(reflect)] as a matrix. *)
+
+val apply : t -> Vec2.t -> Vec2.t
+(** [apply f p] is [offset + linear f · p]. *)
+
+val apply_linear : t -> Vec2.t -> Vec2.t
+(** Linear part only (no translation): directions and displacements. *)
+
+val chirality : t -> float
+(** [+1.] if orientation-preserving, [−1.] otherwise — the paper's χ. *)
+
+val map_angle : t -> float -> float
+(** Image of a direction: [θ ↦ angle + χ·θ]. A point at polar angle θ on a
+    circle around [c] maps to polar angle [map_angle f θ] on the image
+    circle around [apply f c]. *)
+
+val compose : t -> t -> t
+(** [compose f g] applies [g] first: [apply (compose f g) p = apply f (apply
+    g p)]. *)
+
+val inverse : t -> t
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

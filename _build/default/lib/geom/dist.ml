@@ -1,0 +1,23 @@
+let point_segment_param p a b =
+  let ab = Vec2.sub b a in
+  let len2 = Vec2.norm2 ab in
+  if len2 = 0.0 then (Vec2.dist p a, 0.0)
+  else
+    let s = Rvu_numerics.Floats.clamp ~lo:0.0 ~hi:1.0 (Vec2.dot (Vec2.sub p a) ab /. len2) in
+    (Vec2.dist p (Vec2.lerp a b s), s)
+
+let point_segment p a b = fst (point_segment_param p a b)
+
+let point_circle p ~center ~radius = Float.abs (Vec2.dist p center -. radius)
+
+let point_arc p ~center ~radius ~from ~sweep =
+  if radius < 0.0 then invalid_arg "Dist.point_arc: negative radius";
+  let rel = Vec2.sub p center in
+  let on_full = point_circle p ~center ~radius in
+  if Vec2.norm rel = 0.0 then radius
+  else if Angle.within_sweep ~from ~sweep (Vec2.angle_of rel) then on_full
+  else
+    let endpoint theta = Vec2.add center (Vec2.of_polar ~radius ~angle:theta) in
+    Float.min
+      (Vec2.dist p (endpoint from))
+      (Vec2.dist p (endpoint (from +. sweep)))

@@ -1,0 +1,24 @@
+(** Exact distance kernels between a point and the primitive shapes traced by
+    the search algorithms (line segments and circular arcs).
+
+    These are the closed-form fast paths of the rendezvous detector: for a
+    static target (the search problem) or a waiting robot (the Algorithm 7
+    overlap argument) the minimum distance over a whole trajectory segment is
+    computed here without any sampling. *)
+
+val point_segment : Vec2.t -> Vec2.t -> Vec2.t -> float
+(** [point_segment p a b] is the minimum distance from [p] to the closed
+    segment [\[a, b\]] (degenerate segments allowed). *)
+
+val point_segment_param : Vec2.t -> Vec2.t -> Vec2.t -> float * float
+(** As {!point_segment} but also returns the parameter [s ∈ \[0,1\]] of the
+    closest point [a + s·(b − a)]. For degenerate segments [s = 0]. *)
+
+val point_arc : Vec2.t -> center:Vec2.t -> radius:float -> from:float -> sweep:float -> float
+(** [point_arc p ~center ~radius ~from ~sweep] is the minimum distance from
+    [p] to the arc of the circle of the given [center]/[radius] starting at
+    polar angle [from] and sweeping [sweep] radians (sign = direction,
+    magnitude ≥ 2π means the full circle). Requires [radius >= 0]. *)
+
+val point_circle : Vec2.t -> center:Vec2.t -> radius:float -> float
+(** Distance to the full circle: [| |p − c| − radius |]. *)

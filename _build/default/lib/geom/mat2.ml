@@ -1,0 +1,57 @@
+type t = { a : float; b : float; c : float; d : float }
+
+let identity = { a = 1.0; b = 0.0; c = 0.0; d = 1.0 }
+let make ~a ~b ~c ~d = { a; b; c; d }
+
+let mul m n =
+  {
+    a = (m.a *. n.a) +. (m.b *. n.c);
+    b = (m.a *. n.b) +. (m.b *. n.d);
+    c = (m.c *. n.a) +. (m.d *. n.c);
+    d = (m.c *. n.b) +. (m.d *. n.d);
+  }
+
+let apply m (v : Vec2.t) : Vec2.t =
+  { x = (m.a *. v.x) +. (m.b *. v.y); y = (m.c *. v.x) +. (m.d *. v.y) }
+
+let transpose m = { m with b = m.c; c = m.b }
+let det m = (m.a *. m.d) -. (m.b *. m.c)
+let add m n = { a = m.a +. n.a; b = m.b +. n.b; c = m.c +. n.c; d = m.d +. n.d }
+let sub m n = { a = m.a -. n.a; b = m.b -. n.b; c = m.c -. n.c; d = m.d -. n.d }
+let scale s m = { a = s *. m.a; b = s *. m.b; c = s *. m.c; d = s *. m.d }
+
+let rotation ang =
+  let c = cos ang and s = sin ang in
+  { a = c; b = -.s; c = s; d = c }
+
+let reflect_x = { a = 1.0; b = 0.0; c = 0.0; d = -1.0 }
+
+let frobenius m =
+  sqrt ((m.a *. m.a) +. (m.b *. m.b) +. (m.c *. m.c) +. (m.d *. m.d))
+
+let inverse m =
+  let dt = det m in
+  if Float.abs dt <= 1e-12 *. Float.max 1.0 (frobenius m) then None
+  else
+    let k = 1.0 /. dt in
+    Some { a = k *. m.d; b = -.k *. m.b; c = -.k *. m.c; d = k *. m.a }
+
+let equal ?tol m n =
+  let eq = Rvu_numerics.Floats.equal ?tol in
+  eq m.a n.a && eq m.b n.b && eq m.c n.c && eq m.d n.d
+
+let is_orthogonal ?tol m = equal ?tol (mul (transpose m) m) identity
+
+let qr m =
+  (* Givens rotation zeroing the (2,1) entry: Q = [[c, -s], [s, c]] with
+     c = a/ρ, s = c₂₁/ρ, ρ = √(a² + c²). Then R = Qᵀ·m. *)
+  let rho = Float.hypot m.a m.c in
+  if rho = 0.0 then None
+  else
+    let c = m.a /. rho and s = m.c /. rho in
+    let q = { a = c; b = -.s; c = s; d = c } in
+    let r = mul (transpose q) m in
+    (* Clean the provably-zero entry so downstream exact matches work. *)
+    Some (q, { r with c = 0.0 })
+
+let pp ppf m = Format.fprintf ppf "[[%g %g]; [%g %g]]" m.a m.b m.c m.d

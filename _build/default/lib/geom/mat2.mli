@@ -1,0 +1,41 @@
+(** 2×2 real matrices, row-major: [\[\[a b\]; \[c d\]\]].
+
+    The rendezvous analysis (Lemmas 4 and 5) is a story about 2×2 linear
+    maps: the hidden attributes of robot [R'] act on the common trajectory as
+    [v·R(φ)·F(χ)], and the induced search trajectory is the matrix
+    [T∘ = I − v·R(φ)·F(χ)] whose QR factorisation drives both chirality
+    cases. *)
+
+type t = { a : float; b : float; c : float; d : float }
+
+val identity : t
+val make : a:float -> b:float -> c:float -> d:float -> t
+val mul : t -> t -> t
+val apply : t -> Vec2.t -> Vec2.t
+val transpose : t -> t
+val det : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val rotation : float -> t
+(** Counter-clockwise rotation by the given angle. *)
+
+val reflect_x : t
+(** Reflection about the x-axis, [diag(1, −1)] — the chirality flip. *)
+
+val inverse : t -> t option
+(** [None] when singular (|det| below 1e−12 of the matrix scale). *)
+
+val is_orthogonal : ?tol:float -> t -> bool
+(** [MᵀM = I] up to tolerance. *)
+
+val qr : t -> (t * t) option
+(** [qr m] is the thin QR factorisation [m = Q·R] with [Q] orthogonal
+    ([det Q = +1]) and [R] upper triangular with non-negative top-left entry,
+    computed by a Givens rotation. [None] when the first column of [m] is
+    (numerically) zero, in which case [m = I·m] is already upper
+    triangular. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

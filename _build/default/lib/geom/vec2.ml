@@ -1,0 +1,37 @@
+type t = { x : float; y : float }
+
+let zero = { x = 0.0; y = 0.0 }
+let make x y = { x; y }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let neg a = { x = -.a.x; y = -.a.y }
+let scale s a = { x = s *. a.x; y = s *. a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+let norm2 a = dot a a
+let norm a = Float.hypot a.x a.y
+let dist2 a b = norm2 (sub a b)
+let dist a b = Float.hypot (a.x -. b.x) (a.y -. b.y)
+
+let normalize a =
+  let n = norm a in
+  if n = 0.0 then invalid_arg "Vec2.normalize: zero vector";
+  scale (1.0 /. n) a
+
+let lerp a b s = add a (scale s (sub b a))
+let of_polar ~radius ~angle = { x = radius *. cos angle; y = radius *. sin angle }
+
+let angle_of a =
+  if a.x = 0.0 && a.y = 0.0 then invalid_arg "Vec2.angle_of: zero vector";
+  atan2 a.y a.x
+
+let rotate ang v =
+  let c = cos ang and s = sin ang in
+  { x = (c *. v.x) -. (s *. v.y); y = (s *. v.x) +. (c *. v.y) }
+
+let perp v = { x = -.v.y; y = v.x }
+
+let equal ?tol a b =
+  Rvu_numerics.Floats.equal ?tol a.x b.x && Rvu_numerics.Floats.equal ?tol a.y b.y
+
+let pp ppf v = Format.fprintf ppf "(%g, %g)" v.x v.y

@@ -1,0 +1,47 @@
+(** Two-dimensional Euclidean vectors / points. *)
+
+type t = { x : float; y : float }
+
+val zero : t
+val make : float -> float -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+
+val dot : t -> t -> float
+(** Euclidean inner product. *)
+
+val cross : t -> t -> float
+(** z-component of the 3D cross product: [a.x*b.y - a.y*b.x]. *)
+
+val norm : t -> float
+val norm2 : t -> float
+
+val dist : t -> t -> float
+val dist2 : t -> t -> float
+
+val normalize : t -> t
+(** Unit vector in the same direction. Raises [Invalid_argument] on the zero
+    vector. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b s] is [a + s·(b − a)]; [s] need not lie in [0, 1]. *)
+
+val of_polar : radius:float -> angle:float -> t
+(** [of_polar ~radius ~angle] is [(radius·cos angle, radius·sin angle)]. *)
+
+val angle_of : t -> float
+(** [atan2 y x], in [(−π, π\]]. Raises [Invalid_argument] on the zero
+    vector. *)
+
+val rotate : float -> t -> t
+(** [rotate a v] rotates [v] counter-clockwise by angle [a]. *)
+
+val perp : t -> t
+(** Counter-clockwise perpendicular: [(x, y) ↦ (−y, x)]. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Componentwise tolerant equality (see {!Rvu_numerics.Floats.equal}). *)
+
+val pp : Format.formatter -> t -> unit

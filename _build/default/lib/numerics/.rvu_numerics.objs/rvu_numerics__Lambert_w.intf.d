@@ -1,0 +1,1 @@
+lib/numerics/lambert_w.mli:

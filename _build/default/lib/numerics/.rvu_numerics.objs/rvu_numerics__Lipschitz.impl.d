@@ -1,0 +1,1 @@
+lib/numerics/lipschitz.ml: Brent Float

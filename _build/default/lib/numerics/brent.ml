@@ -1,0 +1,83 @@
+let root ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let fa = f lo and fb = f hi in
+  if fa = 0.0 then Ok lo
+  else if fb = 0.0 then Ok hi
+  else if fa *. fb > 0.0 then Error "Brent.root: endpoints do not bracket"
+  else begin
+    (* Classic Brent: inverse quadratic interpolation guarded by bisection. *)
+    let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and mflag = ref true in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if Float.abs (!b -. !a) < tol || !fb = 0.0 then result := Some !b
+      else begin
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* inverse quadratic interpolation *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo_g = ((3.0 *. !a) +. !b) /. 4.0 in
+        let cond1 = not (if lo_g < !b then s > lo_g && s < !b else s > !b && s < lo_g) in
+        let cond2 = !mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0 in
+        let cond3 = (not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0 in
+        let cond4 = !mflag && Float.abs (!b -. !c) < tol in
+        let cond5 = (not !mflag) && Float.abs (!c -. !d) < tol in
+        let s =
+          if cond1 || cond2 || cond3 || cond4 || cond5 then begin
+            mflag := true;
+            (!a +. !b) /. 2.0
+          end
+          else begin
+            mflag := false;
+            s
+          end
+        in
+        let fs = f s in
+        d := !c;
+        c := !b;
+        fc := !fb;
+        if !fa *. fs < 0.0 then begin
+          b := s;
+          fb := fs
+        end
+        else begin
+          a := s;
+          fa := fs
+        end;
+        if Float.abs !fa < Float.abs !fb then begin
+          let t = !a in
+          a := !b;
+          b := t;
+          let t = !fa in
+          fa := !fb;
+          fb := t
+        end
+      end
+    done;
+    match !result with
+    | Some x -> Ok x
+    | None -> Error "Brent.root: max iterations exceeded"
+  end
+
+let bisect_first ?(tol = 1e-12) ~f ~lo ~hi () =
+  let rec go lo hi n =
+    if hi -. lo <= tol || n = 0 then lo
+    else
+      let mid = 0.5 *. (lo +. hi) in
+      if f mid > 0.0 then go mid hi (n - 1) else go lo mid (n - 1)
+  in
+  go lo hi 200

@@ -1,0 +1,32 @@
+(** Brent's method for one-dimensional root finding.
+
+    Used to invert the paper's monotone time/round formulas (e.g. recovering
+    the discovery round from a target time) and to polish first-hit times
+    located by the Lipschitz detector. *)
+
+val root :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  (float, string) result
+(** [root ~f ~lo ~hi ()] finds [x] in [\[lo, hi\]] with [f x = 0] assuming
+    [f lo] and [f hi] have opposite signs (a zero of either endpoint is
+    returned immediately). Returns [Error _] when the bracket is invalid or
+    the iteration budget is exhausted. [tol] bounds the absolute width of the
+    final bracket (default [1e-12]); [max_iter] defaults to [200]. *)
+
+val bisect_first :
+  ?tol:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** [bisect_first ~f ~lo ~hi ()] assumes [f lo > 0 >= f hi] and returns the
+    left endpoint of a [tol]-wide bracket of the *first* sign change, by plain
+    bisection (monotonicity is not assumed; the returned point is the first
+    crossing of the bracket examined, which is what the hit detector needs
+    once it has isolated a crossing interval). *)

@@ -1,0 +1,28 @@
+let pi = 4.0 *. atan 1.0
+let two_pi = 2.0 *. pi
+let default_tol = 1e-9
+
+let scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+let equal ?(tol = default_tol) a b = Float.abs (a -. b) <= tol *. scale a b
+let leq ?(tol = default_tol) a b = a -. b <= tol *. scale a b
+let geq ?tol a b = leq ?tol b a
+let is_zero ?(tol = default_tol) x = Float.abs x <= tol
+
+let clamp ~lo ~hi x =
+  if not (lo <= hi) then invalid_arg "Floats.clamp: lo > hi";
+  Float.max lo (Float.min hi x)
+
+let log2 x = log x /. log 2.0
+let sq x = x *. x
+let hypot2 x y = (x *. x) +. (y *. y)
+
+let finite_or_fail ~ctx x =
+  if Float.is_finite x then x
+  else invalid_arg (Printf.sprintf "%s: non-finite value %h" ctx x)
+
+let ceil_div_pos a b =
+  if not (b > 0.0) then invalid_arg "Floats.ceil_div_pos: divisor <= 0";
+  let q = ceil (a /. b) in
+  if q >= float_of_int max_int then
+    invalid_arg "Floats.ceil_div_pos: result overflows int";
+  int_of_float q

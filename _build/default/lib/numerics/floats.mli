@@ -1,0 +1,54 @@
+(** Robust floating-point helpers.
+
+    Every numeric claim checked in this repository is an inequality with
+    slack, so all comparisons go through explicit tolerances instead of [=].
+    The default tolerance is deliberately loose relative to machine epsilon:
+    the quantities manipulated here (times, distances) accumulate error over
+    millions of trajectory segments. *)
+
+val pi : float
+(** [pi] is π. *)
+
+val two_pi : float
+(** [two_pi] is 2π. *)
+
+val default_tol : float
+(** Default absolute/relative tolerance, [1e-9]. *)
+
+val equal : ?tol:float -> float -> float -> bool
+(** [equal ?tol a b] holds when [a] and [b] differ by at most
+    [tol * max 1 (max |a| |b|)] (combined absolute/relative test). *)
+
+val leq : ?tol:float -> float -> float -> bool
+(** [leq ?tol a b] is [a <= b] up to tolerance: true when [a - b <= tol *
+    max 1 (max |a| |b|)]. *)
+
+val geq : ?tol:float -> float -> float -> bool
+(** [geq ?tol a b] is [leq ?tol b a]. *)
+
+val is_zero : ?tol:float -> float -> bool
+(** [is_zero ?tol x] is [equal ?tol x 0.]; purely absolute test. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] limits [x] to the closed interval [\[lo, hi\]].
+    Requires [lo <= hi]. *)
+
+val log2 : float -> float
+(** [log2 x] is the base-2 logarithm of [x]. The paper's round bounds are all
+    stated in base-2 logs. *)
+
+val sq : float -> float
+(** [sq x] is [x *. x]. *)
+
+val hypot2 : float -> float -> float
+(** [hypot2 x y] is [x*x + y*y] (squared Euclidean norm, no sqrt). *)
+
+val finite_or_fail : ctx:string -> float -> float
+(** [finite_or_fail ~ctx x] returns [x] if it is finite and raises
+    [Invalid_argument] mentioning [ctx] otherwise. Used at module boundaries
+    to catch NaN propagation early. *)
+
+val ceil_div_pos : float -> float -> int
+(** [ceil_div_pos a b] is [⌈a / b⌉] as an integer for positive reals, the
+    annulus circle count of Algorithm 2. Requires [b > 0] and result
+    representable as [int]. *)

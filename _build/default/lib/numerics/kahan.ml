@@ -1,0 +1,25 @@
+type t = { mutable sum : float; mutable comp : float }
+
+let create () = { sum = 0.0; comp = 0.0 }
+
+let add acc x =
+  (* Neumaier's variant of Kahan summation: also correct when the addend is
+     larger in magnitude than the running sum, which happens constantly when
+     accumulating Algorithm 7's geometrically growing phase durations. *)
+  let t = acc.sum +. x in
+  if Float.abs acc.sum >= Float.abs x then
+    acc.comp <- acc.comp +. ((acc.sum -. t) +. x)
+  else acc.comp <- acc.comp +. ((x -. t) +. acc.sum);
+  acc.sum <- t
+
+let total acc = acc.sum +. acc.comp
+
+let sum_list xs =
+  let acc = create () in
+  List.iter (add acc) xs;
+  total acc
+
+let sum_seq xs =
+  let acc = create () in
+  Seq.iter (add acc) xs;
+  total acc

@@ -1,0 +1,23 @@
+(** Compensated (Neumaier–Kahan) summation.
+
+    Algorithm 7's schedule sums geometrically growing phase durations; plain
+    left-to-right float addition loses the small early terms. All duration
+    accumulation in the simulator goes through this module. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Fresh accumulator with total [0.]. *)
+
+val add : t -> float -> unit
+(** [add acc x] folds [x] into the running compensated sum. *)
+
+val total : t -> float
+(** Current compensated total. *)
+
+val sum_list : float list -> float
+(** One-shot compensated sum of a list. *)
+
+val sum_seq : float Seq.t -> float
+(** One-shot compensated sum of a sequence (forces it). *)

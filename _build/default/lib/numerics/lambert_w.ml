@@ -1,0 +1,65 @@
+let branch_point = -1.0 /. Float.exp 1.0
+
+(* Halley iteration for w·e^w = x. Quadratic convergence near the root; the
+   initial guesses below land inside the convergence basin everywhere in the
+   respective domains. *)
+let halley ~x w0 =
+  let w = ref w0 in
+  let continue = ref true in
+  let iter = ref 0 in
+  while !continue && !iter < 60 do
+    incr iter;
+    let w_ = !w in
+    let e = Float.exp w_ in
+    let f = (w_ *. e) -. x in
+    let denom = (e *. (w_ +. 1.0)) -. ((w_ +. 2.0) *. f /. (2.0 *. (w_ +. 1.0))) in
+    let next = w_ -. (f /. denom) in
+    if Float.abs (next -. w_) <= 1e-16 *. Float.max 1.0 (Float.abs next) then
+      continue := false;
+    w := next
+  done;
+  !w
+
+let guess_w0 x =
+  if x > Float.exp 1.0 then
+    let l = log x in
+    l -. log l
+  else if x > -0.25 then
+    (* series around 0: x − x² + 3x³/2 … ; the linear term suffices to seed
+       Halley *)
+    x /. (1.0 +. x)
+  else
+    (* near the branch point: W ≈ −1 + √(2(ex+1)) *)
+    -1.0 +. sqrt (Float.max 0.0 (2.0 *. ((Float.exp 1.0 *. x) +. 1.0)))
+
+let guess_wm1 x =
+  if x > -0.25 then begin
+    (* x → 0⁻ : W₋₁(x) ≈ ln(−x) − ln(−ln(−x)) *)
+    let l1 = log (-.x) in
+    let l2 = log (-.l1) in
+    l1 -. l2 +. (l2 /. l1)
+  end
+  else -1.0 -. sqrt (Float.max 0.0 (2.0 *. ((Float.exp 1.0 *. x) +. 1.0)))
+
+let in_domain x = x >= branch_point -. 1e-12
+
+let near_branch x = Float.abs (x -. branch_point) <= 1e-14
+
+let w0 x =
+  if not (Float.is_finite x) then Error "Lambert_w.w0: non-finite argument"
+  else if not (in_domain x) then Error "Lambert_w.w0: argument below -1/e"
+  else if x = 0.0 then Ok 0.0
+  else if near_branch x then Ok (-1.0)
+  else Ok (halley ~x (guess_w0 (Float.max x branch_point)))
+
+let wm1 x =
+  if not (Float.is_finite x) then Error "Lambert_w.wm1: non-finite argument"
+  else if not (in_domain x) || x >= 0.0 then
+    Error "Lambert_w.wm1: argument outside [-1/e, 0)"
+  else if near_branch x then Ok (-1.0)
+  else Ok (halley ~x (guess_wm1 (Float.max x branch_point)))
+
+let w0_exn x =
+  match w0 x with Ok w -> w | Error msg -> invalid_arg msg
+
+let asymptotic_upper x = log x -. log (log x)

@@ -1,0 +1,26 @@
+(** The Lambert W function (both real branches).
+
+    Lemma 12 of the paper solves the overlap inequality
+    [z·e^z ≥ y] with [z = W(y)]; the round bound of Lemma 13 therefore needs a
+    numeric [W]. [w0] is the principal branch (W ≥ −1, defined on
+    [\[−1/e, ∞)]); [wm1] is the lower branch (W ≤ −1, defined on
+    [\[−1/e, 0)]). Both are computed with a Halley iteration from standard
+    initial guesses and are accurate to ≈1e−14 relative. *)
+
+val branch_point : float
+(** [−1/e], the left edge of the real domain. *)
+
+val w0 : float -> (float, string) result
+(** Principal branch. [Error _] when the argument is below [−1/e] (beyond
+    tolerance) or not finite. *)
+
+val wm1 : float -> (float, string) result
+(** Lower branch. Domain [\[−1/e, 0)]. *)
+
+val w0_exn : float -> float
+(** [w0] raising [Invalid_argument] on domain error. *)
+
+val asymptotic_upper : float -> float
+(** [asymptotic_upper x] is [ln x − ln (ln x)], the asymptotic form used in
+    the Lemma 12 simplification (valid for [x ≥ e]; an upper-bound companion
+    for sanity checks, see Hoorfar–Hassani). *)

@@ -1,0 +1,57 @@
+type outcome = First_below of float | Stays_above
+
+let validate ~lipschitz ~resolution ~lo ~hi =
+  if lipschitz < 0.0 then invalid_arg "Lipschitz: negative constant";
+  if resolution <= 0.0 then invalid_arg "Lipschitz: non-positive resolution";
+  if lo > hi then invalid_arg "Lipschitz: empty interval"
+
+(* Lower bound for the minimum of an L-Lipschitz f on [a,b] from its endpoint
+   values: f(t) >= max(fa - L(t-a), fb - L(b-t)) >= (fa + fb - L(b-a)) / 2. *)
+let interval_lb ~l fa fb w = 0.5 *. (fa +. fb -. (l *. w))
+
+let first_below ~lipschitz ~resolution ~f ~lo ~hi () =
+  validate ~lipschitz ~resolution ~lo ~hi;
+  let l = lipschitz in
+  let rec go a fa b fb =
+    if fa <= 0.0 then Some a
+    else
+      let w = b -. a in
+      if interval_lb ~l fa fb w > 0.0 then None
+      else if w <= resolution then
+        if fb <= 0.0 then Some (Brent.bisect_first ~f ~lo:a ~hi:b ())
+        else begin
+          let m = 0.5 *. (a +. b) in
+          let fm = f m in
+          if fm <= 0.0 then Some (Brent.bisect_first ~f ~lo:a ~hi:m ())
+          else None
+        end
+      else begin
+        let m = 0.5 *. (a +. b) in
+        let fm = f m in
+        match go a fa m fm with Some t -> Some t | None -> go m fm b fb
+      end
+  in
+  match go lo (f lo) hi (f hi) with
+  | Some t -> First_below t
+  | None -> Stays_above
+
+let min_lower_bound ~lipschitz ~resolution ~f ~lo ~hi () =
+  validate ~lipschitz ~resolution ~lo ~hi;
+  let l = lipschitz in
+  (* Branch and bound: [best_ub] is the smallest sampled value so far; an
+     interval whose certified lower bound is already above [best_ub] cannot
+     improve the answer, so it contributes its own lower bound and is not
+     split further. *)
+  let best_ub = ref (Float.min (f lo) (f hi)) in
+  let rec go a fa b fb =
+    let w = b -. a in
+    let lb = interval_lb ~l fa fb w in
+    if w <= resolution || lb >= !best_ub then lb
+    else begin
+      let m = 0.5 *. (a +. b) in
+      let fm = f m in
+      if fm < !best_ub then best_ub := fm;
+      Float.min (go a fa m fm) (go m fm b fb)
+    end
+  in
+  if lo = hi then f lo else go lo (f lo) hi (f hi)

@@ -1,0 +1,44 @@
+(** Certified first-crossing and minimum bounds for Lipschitz functions.
+
+    The simulator reduces "did the robots come within visibility range on
+    this time interval?" to "does [t ↦ dist(t) − r] dip to 0?". Because both
+    robots have bounded speed, that function is Lipschitz with constant at
+    most the sum of the speeds, which lets a branch-and-prune search certify
+    absence of a crossing — the property that makes the simulation sound
+    (no missed rendezvous above the stated resolution). *)
+
+type outcome =
+  | First_below of float
+      (** Earliest time found with [f t <= 0]; accurate to the resolution. *)
+  | Stays_above
+      (** Certified: [f t > 0] for all [t] whenever the true minimum exceeds
+          [lipschitz *. resolution /. 2]; in general [f] never dips below
+          [-(lipschitz *. resolution) /. 2]. *)
+
+val first_below :
+  lipschitz:float ->
+  resolution:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  outcome
+(** [first_below ~lipschitz ~resolution ~f ~lo ~hi ()] scans [\[lo, hi\]]
+    left-to-right for the earliest [t] with [f t <= 0]. [f] must be
+    [lipschitz]-Lipschitz on the interval. Intervals certified positive by the
+    two-endpoint Lipschitz bound are pruned, so the cost is proportional to
+    how close [f] comes to zero, not to the interval length.
+
+    Requires [lipschitz >= 0], [resolution > 0] and [lo <= hi]. *)
+
+val min_lower_bound :
+  lipschitz:float ->
+  resolution:float ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** Certified lower bound on [min f] over the interval, tight to
+    [lipschitz *. resolution /. 2]. Used by the infeasibility experiments to
+    prove the robots *stay apart*. *)

@@ -1,0 +1,68 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> Float.nan
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      Kahan.sum_list xs /. n
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = Stdlib.min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let summarize xs =
+  match xs with
+  | [] -> None
+  | _ ->
+      let n = List.length xs in
+      let m = mean xs in
+      let var =
+        if n < 2 then 0.0
+        else
+          Kahan.sum_list (List.map (fun x -> Floats.sq (x -. m)) xs)
+          /. float_of_int (n - 1)
+      in
+      Some
+        {
+          count = n;
+          mean = m;
+          stddev = sqrt var;
+          min = List.fold_left Float.min Float.infinity xs;
+          max = List.fold_left Float.max Float.neg_infinity xs;
+          median = percentile 50.0 xs;
+        }
+
+let geometric_mean xs =
+  match xs with
+  | [] -> Float.nan
+  | _ ->
+      let logs =
+        List.map
+          (fun x ->
+            if x <= 0.0 then
+              invalid_arg "Stats.geometric_mean: non-positive value"
+            else log x)
+          xs
+      in
+      Float.exp (mean logs)
+
+let max_ratio pairs =
+  match pairs with
+  | [] -> Float.nan
+  | _ -> List.fold_left (fun acc (m, b) -> Float.max acc (m /. b)) Float.neg_infinity pairs

@@ -1,0 +1,30 @@
+(** Summary statistics for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n−1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on the empty list. *)
+
+val mean : float list -> float
+(** Compensated mean; [nan] on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; raises [Invalid_argument] if any value
+    is non-positive; [nan] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0, 100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on the empty list or [p]
+    outside the range. *)
+
+val max_ratio : (float * float) list -> float
+(** [max_ratio pairs] is the largest [measured /. bound] over the pairs —
+    the "does the paper bound hold" one-liner used by every experiment.
+    [nan] on the empty list. *)

@@ -1,0 +1,1 @@
+lib/report/series.ml: Buffer Float List Printf Stdlib String Table

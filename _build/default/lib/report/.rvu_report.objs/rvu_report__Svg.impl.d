@@ -1,0 +1,1 @@
+lib/report/svg.ml: Buffer Float Fun List Printf Rvu_geom Rvu_numerics Rvu_trajectory Segment Stdlib Timed

@@ -1,0 +1,1 @@
+lib/report/timeline.ml: Buffer Bytes Float List Printf Stdlib String

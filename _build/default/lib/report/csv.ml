@@ -1,0 +1,22 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row cells = String.concat "," (List.map escape cells)
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (row header);
+      output_char oc '\n';
+      List.iter
+        (fun cells ->
+          output_string oc (row cells);
+          output_char oc '\n')
+        rows)

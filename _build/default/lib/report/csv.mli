@@ -1,0 +1,11 @@
+(** Minimal CSV writing (RFC 4180 quoting) for machine-readable experiment
+    output alongside the ASCII tables. *)
+
+val escape : string -> string
+(** Quote a field iff it contains a comma, quote or newline. *)
+
+val row : string list -> string
+(** One CSV line (no trailing newline). *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write a whole file, header first. Overwrites. *)

@@ -1,0 +1,41 @@
+let bar_chart ?(width = 60) ?(log_scale = true) ~title points =
+  let scale v = if log_scale then log (1.0 +. Float.max 0.0 v) else Float.max 0.0 v in
+  let top =
+    List.fold_left (fun acc (_, v) -> Float.max acc (scale v)) 0.0 points
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 points
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, v) ->
+      let bar_len =
+        if top <= 0.0 then 0
+        else int_of_float (Float.round (scale v /. top *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s %.6g\n" label_width label
+           (String.make bar_len '#') v))
+    points;
+  Buffer.contents buf
+
+let xy ?(x_header = "x") ?y_headers rows =
+  let y_count = match rows with [] -> 0 | (_, ys) :: _ -> List.length ys in
+  let headers =
+    match y_headers with
+    | Some hs ->
+        if List.length hs <> y_count then invalid_arg "Series.xy: header count mismatch";
+        hs
+    | None -> List.init y_count (fun i -> Printf.sprintf "y%d" (i + 1))
+  in
+  let t =
+    Table.create
+      ~columns:(List.map Table.column (x_header :: headers))
+  in
+  List.iter
+    (fun (x, ys) ->
+      if List.length ys <> y_count then invalid_arg "Series.xy: ragged rows";
+      Table.add_row t (Table.fstr x :: List.map Table.fstr ys))
+    rows;
+  Table.render t

@@ -1,0 +1,19 @@
+(** Text rendering of numeric series — the repository's stand-in for the
+    figures of a paper: an aligned x/y listing plus a log-scale bar chart
+    that makes growth shapes visible in a terminal. *)
+
+val bar_chart :
+  ?width:int ->
+  ?log_scale:bool ->
+  title:string ->
+  (string * float) list ->
+  string
+(** One bar per labelled value. [log_scale] (default [true]) draws bar
+    lengths proportional to [log(1 + value)] — the paper's quantities span
+    many decades. Zero and negative values render as empty bars. Default
+    [width] 60 characters for the largest bar. *)
+
+val xy :
+  ?x_header:string -> ?y_headers:string list -> (float * float list) list -> string
+(** Multi-column series listing: each row is [x] followed by its [y]
+    values. Header defaults: ["x"], ["y1", "y2", …]. *)

@@ -1,0 +1,152 @@
+open Rvu_trajectory
+
+type shape =
+  | Path of { points : path_piece list; color : string; width : float }
+  | Disc of { center : float * float; radius : float; color : string }
+  | Ring of { center : float * float; radius : float; color : string }
+
+and path_piece =
+  | Move of (float * float)
+  | Line_to of (float * float)
+  | Arc_to of {
+      radius : float;
+      large : bool;
+      ccw : bool;
+      stop : (float * float);
+    }
+
+let xy (v : Rvu_geom.Vec2.t) = (v.Rvu_geom.Vec2.x, v.Rvu_geom.Vec2.y)
+
+let arc_pieces ~center ~radius ~from ~sweep =
+  (* SVG cannot express more than a full turn in one command and is
+     ambiguous at exactly half a turn, so cut into sub-arcs of at most
+     ~100 degrees. *)
+  let chunk = Rvu_numerics.Floats.pi /. 1.8 in
+  let n = Stdlib.max 1 (int_of_float (ceil (Float.abs sweep /. chunk))) in
+  List.init n (fun i ->
+      let theta = from +. (sweep *. float_of_int (i + 1) /. float_of_int n) in
+      Arc_to
+        {
+          radius;
+          large = false;
+          ccw = sweep >= 0.0;
+          stop = xy (Rvu_geom.Vec2.add center (Rvu_geom.Vec2.of_polar ~radius ~angle:theta));
+        })
+
+let of_timed ?(color = "#1f77b4") ?(width = 0.0) segs =
+  let pieces =
+    List.concat_map
+      (fun (seg : Timed.t) ->
+        match seg.Timed.shape with
+        | Segment.Wait _ -> []
+        | Segment.Line { src; dst } -> [ Move (xy src); Line_to (xy dst) ]
+        | Segment.Arc { center; radius; from; sweep } ->
+            Move (xy (Segment.start_pos seg.Timed.shape))
+            :: arc_pieces ~center ~radius ~from ~sweep)
+      segs
+  in
+  (* Collapse redundant Moves: keep a Move only when it actually jumps. *)
+  let collapsed, _ =
+    List.fold_left
+      (fun (acc, cursor) piece ->
+        match piece with
+        | Move p -> begin
+            match cursor with
+            | Some q when Rvu_numerics.Floats.equal ~tol:1e-9 (fst p) (fst q)
+                          && Rvu_numerics.Floats.equal ~tol:1e-9 (snd p) (snd q)
+              ->
+                (acc, cursor)
+            | _ -> (Move p :: acc, Some p)
+          end
+        | Line_to p -> (Line_to p :: acc, Some p)
+        | Arc_to a -> (Arc_to a :: acc, Some a.stop))
+      ([], None) pieces
+  in
+  Path { points = List.rev collapsed; color; width }
+
+let shape_bounds shape =
+  let pts =
+    match shape with
+    | Path { points; _ } ->
+        List.concat_map
+          (function
+            | Move p | Line_to p -> [ p ]
+            | Arc_to { stop = x, y; radius; _ } ->
+                (* conservative: the arc stays within radius of its stop *)
+                [ (x -. radius, y -. radius); (x +. radius, y +. radius) ])
+          points
+    | Disc { center = x, y; radius; _ } | Ring { center = x, y; radius; _ } ->
+        [ (x -. radius, y -. radius); (x +. radius, y +. radius) ]
+  in
+  pts
+
+let render ?(size = 800) shapes =
+  if shapes = [] then invalid_arg "Svg.render: nothing to draw";
+  let pts = List.concat_map shape_bounds shapes in
+  let xs = List.map fst pts and ys = List.map snd pts in
+  let fold f = function [] -> 0.0 | x :: rest -> List.fold_left f x rest in
+  let x0 = fold Float.min xs and x1 = fold Float.max xs in
+  let y0 = fold Float.min ys and y1 = fold Float.max ys in
+  let w = Float.max 1e-6 (x1 -. x0) and h = Float.max 1e-6 (y1 -. y0) in
+  let margin = 0.05 *. Float.max w h in
+  let vb_w = w +. (2.0 *. margin) and vb_h = h +. (2.0 *. margin) in
+  let stroke_width = Float.max vb_w vb_h /. 400.0 in
+  (* Flip the y axis: plane y-up, SVG y-down. *)
+  let fx x = x -. x0 +. margin in
+  let fy y = y1 -. y +. margin in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let px, py =
+    if vb_w >= vb_h then (size, int_of_float (float_of_int size *. vb_h /. vb_w))
+    else (int_of_float (float_of_int size *. vb_w /. vb_h), size)
+  in
+  pr
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %.6g %.6g\">\n"
+    px py vb_w vb_h;
+  pr "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n";
+  List.iter
+    (fun shape ->
+      match shape with
+      | Path { points; color; width } ->
+          let d = Buffer.create 256 in
+          List.iter
+            (fun piece ->
+              match piece with
+              | Move (x, y) ->
+                  Buffer.add_string d (Printf.sprintf "M %.6g %.6g " (fx x) (fy y))
+              | Line_to (x, y) ->
+                  Buffer.add_string d (Printf.sprintf "L %.6g %.6g " (fx x) (fy y))
+              | Arc_to { radius; large; ccw; stop = x, y } ->
+                  (* Orientation reverses under the y flip: plane-ccw arcs
+                     take SVG sweep-flag 0. *)
+                  Buffer.add_string d
+                    (Printf.sprintf "A %.6g %.6g 0 %d %d %.6g %.6g" radius
+                       radius
+                       (if large then 1 else 0)
+                       (if ccw then 0 else 1)
+                       (fx x) (fy y)))
+            points;
+          pr
+            "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.6g\" \
+             stroke-linecap=\"round\"/>\n"
+            (Buffer.contents d) color
+            (if width > 0.0 then width else stroke_width)
+      | Disc { center = x, y; radius; color } ->
+          pr "<circle cx=\"%.6g\" cy=\"%.6g\" r=\"%.6g\" fill=\"%s\"/>\n" (fx x)
+            (fy y) radius color
+      | Ring { center = x, y; radius; color } ->
+          pr
+            "<circle cx=\"%.6g\" cy=\"%.6g\" r=\"%.6g\" fill=\"none\" \
+             stroke=\"%s\" stroke-width=\"%.6g\" stroke-dasharray=\"%.6g\"/>\n"
+            (fx x) (fy y) radius color (stroke_width /. 1.5)
+            (3.0 *. stroke_width))
+    shapes;
+  pr "</svg>\n";
+  Buffer.contents buf
+
+let write ~path ?size shapes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?size shapes))

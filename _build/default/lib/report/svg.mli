@@ -1,0 +1,42 @@
+(** SVG rendering of trajectories — real pictures with zero dependencies.
+
+    The sealed toolchain has no plotting stack, but trajectories are made of
+    line segments and circular arcs, which map 1:1 onto SVG path commands
+    ([L] and [A]). This module draws realised trajectories (and point
+    markers) into a standalone [.svg] file; the examples and the CLI use it
+    to produce figures of the search annuli, both robots' paths and the
+    meeting point.
+
+    Coordinates: the plane's y axis points up, SVG's down; the renderer
+    flips y and computes the viewBox from the data with a margin. *)
+
+type shape =
+  | Path of { points : path_piece list; color : string; width : float }
+      (** A connected trajectory; pieces must be contiguous. *)
+  | Disc of { center : float * float; radius : float; color : string }
+      (** Filled marker (robot start, meeting point…). *)
+  | Ring of { center : float * float; radius : float; color : string }
+      (** Unfilled circle (visibility radius…). *)
+
+and path_piece =
+  | Move of (float * float)  (** start point (first piece only) *)
+  | Line_to of (float * float)
+  | Arc_to of {
+      radius : float;
+      large : bool;  (** more than half a turn *)
+      ccw : bool;  (** counter-clockwise in plane coordinates *)
+      stop : (float * float);
+    }
+
+val of_timed :
+  ?color:string -> ?width:float -> Rvu_trajectory.Timed.t list -> shape
+(** Convert a realised trajectory prefix into one drawable path. Full
+    circles are split into two half-turn arcs (SVG cannot draw a closed arc
+    to the same endpoint). Waits contribute nothing visible. *)
+
+val render : ?size:int -> shape list -> string
+(** A standalone SVG document. [size] is the longer edge in pixels
+    (default 800). *)
+
+val write : path:string -> ?size:int -> shape list -> unit
+(** [render] to a file. *)

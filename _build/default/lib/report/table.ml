@@ -1,0 +1,73 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+type row = Cells of string list | Rule
+
+type t = { columns : column list; mutable rows : row list (* reversed *) }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Rule -> w
+            | Cells cells -> Stdlib.max w (String.length (List.nth cells i)))
+          (String.length col.header) rows)
+      t.columns
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i cell ->
+        let col = List.nth t.columns i and w = List.nth widths i in
+        Buffer.add_string buf ("| " ^ pad col.align w cell ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  line (List.map (fun c -> c.header) t.columns);
+  rule ();
+  List.iter (function Rule -> rule () | Cells cells -> line cells) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let headers t = List.map (fun c -> c.header) t.columns
+
+let rows t =
+  List.filter_map
+    (function Rule -> None | Cells cells -> Some cells)
+    (List.rev t.rows)
+
+let fstr x = Printf.sprintf "%.4g" x
+let fstr_precise x = Printf.sprintf "%.10g" x
+let istr = string_of_int

@@ -1,0 +1,42 @@
+(** Aligned ASCII tables — the container has no plotting stack, so every
+    experiment reports paper-shaped rows through this module. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+val column : ?align:align -> string -> column
+(** Default alignment [Right] (numeric convention). *)
+
+type t
+
+val create : columns:column list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the cell count does not match the column
+    count. *)
+
+val add_rule : t -> unit
+(** Horizontal separator row. *)
+
+val render : t -> string
+(** The fully aligned table, with a header row and outer rules. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val headers : t -> string list
+(** Column headers, for CSV export. *)
+
+val rows : t -> string list list
+(** Data rows in insertion order (rules omitted), for CSV export. *)
+
+(** {2 Cell formatting helpers} *)
+
+val fstr : float -> string
+(** Compact float formatting: [%.4g]. *)
+
+val fstr_precise : float -> string
+(** [%.10g], for the exact-match columns of E6. *)
+
+val istr : int -> string

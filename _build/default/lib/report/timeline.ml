@@ -1,0 +1,40 @@
+type lane = { name : string; intervals : (float * float * char) list }
+
+let render ?(width = 100) ?(warp = `Sqrt) ~t_max lanes =
+  if t_max <= 0.0 then invalid_arg "Timeline.render: t_max <= 0";
+  if width < 10 then invalid_arg "Timeline.render: width < 10";
+  let to_axis t =
+    let f =
+      match warp with
+      | `Linear -> t /. t_max
+      | `Sqrt -> sqrt (Float.max 0.0 t /. t_max)
+    in
+    int_of_float (Float.round (f *. float_of_int (width - 1)))
+  in
+  let name_width =
+    List.fold_left (fun acc l -> Stdlib.max acc (String.length l.name)) 0 lanes
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun lane ->
+      let cells = Bytes.make width '.' in
+      List.iter
+        (fun (a, b, glyph) ->
+          if b > 0.0 && a < t_max then begin
+            let i = to_axis (Float.max 0.0 a)
+            and j = to_axis (Float.min t_max b) in
+            for k = i to Stdlib.min j (width - 1) do
+              Bytes.set cells k glyph
+            done
+          end)
+        lane.intervals;
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s|\n" name_width lane.name
+           (Bytes.to_string cells)))
+    lanes;
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s  0%s%.4g%s\n" name_width ""
+       (String.make (Stdlib.max 1 (width - 12)) ' ')
+       t_max
+       (match warp with `Sqrt -> " (sqrt axis)" | `Linear -> ""));
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** ASCII interval timelines — reproduces the schematic structure of the
+    paper's Figures 1–3 (phase layouts and overlaps) in a terminal.
+
+    Intervals are drawn on a shared horizontal axis; a square-root time warp
+    is available because Algorithm 7's rounds grow geometrically and would
+    otherwise collapse all early rounds into one character. *)
+
+type lane = { name : string; intervals : (float * float * char) list }
+(** Each interval is [(start, stop, glyph)]; the glyph fills the span. *)
+
+val render :
+  ?width:int -> ?warp:[ `Linear | `Sqrt ] -> t_max:float -> lane list -> string
+(** Draw all lanes against a common [0 … t_max] axis (default [width] 100
+    columns, default [warp] [`Sqrt]). Intervals are clipped to the axis;
+    later intervals overwrite earlier ones where they overlap. *)

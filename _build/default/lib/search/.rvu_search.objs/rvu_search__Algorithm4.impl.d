@@ -1,0 +1,1 @@
+lib/search/algorithm4.ml: List Procedures Program Rvu_trajectory

@@ -1,0 +1,1 @@
+lib/search/algorithm4.mli: Rvu_trajectory

@@ -1,0 +1,1 @@
+lib/search/bounds.ml: Rvu_numerics Timing

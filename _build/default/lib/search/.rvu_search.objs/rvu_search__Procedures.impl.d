@@ -1,0 +1,1 @@
+lib/search/procedures.ml: Float Program Rvu_geom Rvu_numerics Rvu_trajectory Segment Seq Vec2

@@ -1,0 +1,1 @@
+lib/search/procedures.mli: Rvu_trajectory

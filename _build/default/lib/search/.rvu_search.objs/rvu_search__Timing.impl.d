@@ -1,0 +1,1 @@
+lib/search/timing.ml: Procedures Rvu_numerics

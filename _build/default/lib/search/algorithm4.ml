@@ -1,0 +1,11 @@
+open Rvu_trajectory
+
+let program () = Program.rounds_from Procedures.search_round ~first:1
+
+let search_all n =
+  if n < 1 then invalid_arg "Algorithm4.search_all: n < 1";
+  Program.concat_list (List.init n (fun i -> Procedures.search_round (i + 1)))
+
+let search_all_rev n =
+  if n < 1 then invalid_arg "Algorithm4.search_all_rev: n < 1";
+  Program.rounds_desc Procedures.search_round ~from:n ~down_to:1

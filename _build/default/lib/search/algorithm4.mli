@@ -1,0 +1,19 @@
+(** Paper Algorithm 4 — the universal search trajectory — together with its
+    bounded and reversed variants (paper Algorithms 5 and 6).
+
+    Algorithm 4 runs [Search(1); Search(2); …] forever (the robot stops only
+    by *seeing* the target, which is the simulator's job to detect).
+    [SearchAll(n)] is its n-round prefix; [SearchAllRev(n)] the same rounds
+    in descending order — the two building blocks of the asymmetric-clock
+    rendezvous Algorithm 7. *)
+
+val program : unit -> Rvu_trajectory.Program.t
+(** The infinite search program, [Search(k)] for [k = 1, 2, 3, …]. *)
+
+val search_all : int -> Rvu_trajectory.Program.t
+(** Algorithm 5, [SearchAll(n)] = [Search(1) … Search(n)]. Requires
+    [n >= 1]. *)
+
+val search_all_rev : int -> Rvu_trajectory.Program.t
+(** Algorithm 6, [SearchAllRev(n)] = [Search(n) … Search(1)]. Requires
+    [n >= 1]. *)

@@ -1,0 +1,8 @@
+let scaled ~factor ~d ~r =
+  if d <= 0.0 || r <= 0.0 then invalid_arg "Bounds.search_time: d, r > 0 required";
+  let ratio = d *. d /. r in
+  factor *. (Rvu_numerics.Floats.pi +. 1.0) *. Rvu_numerics.Floats.log2 ratio *. ratio
+
+let search_time ~d ~r = scaled ~factor:6.0 ~d ~r
+let search_time_safe ~d ~r = scaled ~factor:12.0 ~d ~r
+let time_through_round k = Timing.search_all_time k

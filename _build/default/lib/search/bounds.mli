@@ -1,0 +1,28 @@
+(** Analytic time bounds for search (paper Theorem 1).
+
+    {b Reproduction note (discrepancy found by this test suite).} The paper's
+    Lemma 3 claims that discovery in round [k] implies [d²/r ≥ 2^(k+1)]; its
+    proof asserts [r ≤ ρ_{j,k}] for the discovering sub-round, but [r] may
+    fall strictly between the granularity of round [k−1] (too coarse) and
+    that of round [k] — e.g. [d = 2.059, r = 0.0575] is first covered in
+    round 6 yet has [d²/r ≈ 73.7 < 2⁷ = 128]. The correct consequence of
+    minimality ("round [k−1] failed") is [d²/r > 2^k], which weakens
+    Theorem 1's constant from [6(π+1)] to [12(π+1)]. Simulated search times
+    indeed exceed {!search_time} on such instances while always respecting
+    {!search_time_safe}; experiment E1 reports both columns. *)
+
+val search_time : d:float -> r:float -> float
+(** Theorem 1 exactly as printed: [6(π+1)·log(d²/r)·(d²/r)] (logs base 2).
+    Holds for most instances but can be violated by up to a factor of ~2 on
+    the ratio band described above. Requires [d, r > 0]. *)
+
+val search_time_safe : d:float -> r:float -> float
+(** The repaired Theorem 1: [12(π+1)·log(d²/r)·(d²/r)] — follows from
+    [d²/r > 2^k] (round [k−1] failed to cover) and Lemma 2's
+    round-completion time. The test suite asserts every simulated search
+    finishes within this bound. *)
+
+val time_through_round : int -> float
+(** Lemma 2, last item: completing rounds [1 … k] of Algorithm 4 takes
+    [3(π+1)·k·2^(k+2)] — the bound used in the proof of Theorem 1. Equals
+    {!Timing.search_all_time}. *)

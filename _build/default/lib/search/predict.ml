@@ -1,0 +1,30 @@
+let covers ~k ~j ~d ~r =
+  j >= 0
+  && j <= (2 * k) - 1
+  && Procedures.inner_radius ~k ~j <= d
+  && d <= Procedures.inner_radius ~k ~j:(j + 1)
+  && Procedures.granularity ~k ~j <= r
+
+let discovery_round ~d ~r =
+  if d <= 0.0 || r <= 0.0 then invalid_arg "Predict.discovery_round: d, r > 0 required";
+  if d <= r then 0
+  else begin
+    let covering k =
+      let rec any j = j <= (2 * k) - 1 && (covers ~k ~j ~d ~r || any (j + 1)) in
+      any 0
+    in
+    let rec go k =
+      if k > 4096 then invalid_arg "Predict.discovery_round: no round <= 4096"
+      else if covering k then k
+      else go (k + 1)
+    in
+    go 1
+  end
+
+let paper_witness ~d ~r =
+  let k = int_of_float (floor (Rvu_numerics.Floats.log2 (d *. d /. r))) in
+  let j = int_of_float (floor (Rvu_numerics.Floats.log2 d)) + k in
+  (k, j)
+
+let ratio_lower_bound k = Procedures.pow2 (k + 1)
+let ratio_lower_bound_minimal k = Procedures.pow2 k

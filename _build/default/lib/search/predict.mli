@@ -1,0 +1,33 @@
+(** Analytic predictions of when Algorithm 4 discovers a target
+    (paper Lemmas 1 and 3).
+
+    Conventions: the target sits at distance [d > 0] from the robot's start;
+    the robot's visibility radius is [r > 0]. A sub-round [(k, j)] *covers*
+    the pair [(d, r)] when the annulus [j] of round [k] contains the target's
+    distance band and its granularity is within the visibility radius:
+    [δ_{j,k} ≤ d ≤ δ_{j,k+1}] and [ρ_{j,k} ≤ r]. Coverage guarantees
+    discovery (every annulus point is approached within ρ). *)
+
+val covers : k:int -> j:int -> d:float -> r:float -> bool
+(** The coverage test above. *)
+
+val discovery_round : d:float -> r:float -> int
+(** Smallest round [k ≥ 1] containing a covering sub-round [j ∈ \[0, 2k−1\]].
+    Returns [0] when [d <= r] (the robots see each other at time zero).
+    Requires [d > 0] and [r > 0]. *)
+
+val paper_witness : d:float -> r:float -> int * int
+(** Lemma 1's explicit witness [(k, j)] = [(⌊log(d²/r)⌋, ⌊log d⌋ + k)].
+    Only meaningful when it satisfies the constraints (the test suite checks
+    it does on the paper's parameter range and that [discovery_round] never
+    exceeds its [k]). *)
+
+val ratio_lower_bound : int -> float
+(** Lemma 3 as printed: discovery in round [k] implies [d²/r ≥ 2^(k+1)];
+    this returns that threshold. See the correction note in {!Bounds}: the
+    claim can fail by a factor of two. *)
+
+val ratio_lower_bound_minimal : int -> float
+(** The repaired Lemma 3: minimality of the discovery round (round [k−1]
+    failed to cover the instance) implies [d²/r > 2^k]. This is the bound
+    the rest of the analysis can actually rely on. *)

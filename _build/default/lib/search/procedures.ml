@@ -1,0 +1,44 @@
+open Rvu_geom
+open Rvu_trajectory
+
+let pow2 k = Float.ldexp 1.0 k
+
+let search_circle delta =
+  if delta <= 0.0 then invalid_arg "Procedures.search_circle: radius <= 0";
+  let anchor = Vec2.make delta 0.0 in
+  Program.of_list
+    [
+      Segment.line ~src:Vec2.zero ~dst:anchor;
+      Segment.full_circle ~center:Vec2.zero ~radius:delta ();
+      Segment.line ~src:anchor ~dst:Vec2.zero;
+    ]
+
+let annulus_circle_count ~inner ~outer ~rho =
+  Rvu_numerics.Floats.ceil_div_pos (outer -. inner) (2.0 *. rho) + 1
+
+let search_annulus ~inner ~outer ~rho =
+  if inner < 0.0 then invalid_arg "Procedures.search_annulus: inner < 0";
+  if outer <= inner then invalid_arg "Procedures.search_annulus: outer <= inner";
+  if rho <= 0.0 then invalid_arg "Procedures.search_annulus: rho <= 0";
+  let count = annulus_circle_count ~inner ~outer ~rho in
+  let circle i = search_circle (inner +. (2.0 *. float_of_int i *. rho)) in
+  Seq.concat (Seq.init count circle)
+
+let inner_radius ~k ~j = pow2 (-k + j)
+let granularity ~k ~j = pow2 ((-3 * k) + (2 * j) - 1)
+
+let round_wait_time k =
+  3.0 *. (Rvu_numerics.Floats.pi +. 1.0) *. (pow2 k +. pow2 (-k))
+
+let search_round k =
+  if k < 1 then invalid_arg "Procedures.search_round: k < 1";
+  let annulus j =
+    search_annulus ~inner:(inner_radius ~k ~j)
+      ~outer:(inner_radius ~k ~j:(j + 1))
+      ~rho:(granularity ~k ~j)
+  in
+  let sweep = Seq.concat (Seq.init (2 * k) annulus) in
+  let wait =
+    Seq.return (Segment.wait ~at:Vec2.zero ~dur:(round_wait_time k))
+  in
+  Seq.append sweep wait

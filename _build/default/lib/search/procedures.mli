@@ -1,0 +1,43 @@
+(** The search procedures of paper Section 2, as trajectory generators.
+
+    All procedures are anchored at the robot's local origin: each starts and
+    ends there, so they chain freely. Radii and granularities follow the
+    paper exactly:
+
+    - Algorithm 1, [SearchCircle(δ)]: out along the +x axis to radius δ, a
+      full counter-clockwise turn, back to the origin. Time [2(π+1)δ].
+    - Algorithm 2, [SearchAnnulus(δ₁, δ₂, ρ)]: [SearchCircle(δ₁ + 2iρ)] for
+      [i = 0 … ⌈(δ₂−δ₁)/2ρ⌉]; every point of the annulus comes within ρ of
+      the robot.
+    - Algorithm 3, [Search(k)]: annuli [j = 0 … 2k−1] with inner radius
+      [2^(−k+j)], outer radius [2^(−k+j+1)] and granularity [2^(−3k+2j−1)],
+      then a wait of [3(π+1)(2ᵏ + 2⁻ᵏ)] at the origin. *)
+
+val pow2 : int -> float
+(** [pow2 k] is [2ᵏ] as a float, exact for all in-range exponents (including
+    negative ones — the paper's radii go down to [2^(−3k)]). *)
+
+val search_circle : float -> Rvu_trajectory.Program.t
+(** Algorithm 1. Requires a positive radius. Three segments. *)
+
+val search_annulus :
+  inner:float -> outer:float -> rho:float -> Rvu_trajectory.Program.t
+(** Algorithm 2. Requires [0 <= inner < outer] and [rho > 0]; [inner] may be
+    zero only in so far as the first circle then degenerates — the paper
+    always calls it with positive inner radius. Lazy. *)
+
+val annulus_circle_count : inner:float -> outer:float -> rho:float -> int
+(** [⌈(outer − inner) / 2ρ⌉ + 1], the number of circles the annulus visits. *)
+
+val search_round : int -> Rvu_trajectory.Program.t
+(** Algorithm 3, [Search(k)]. Requires [k >= 1]. Lazy: the program has
+    [3·2^(2k+1) + 6k − 5] segments and is generated on demand. *)
+
+val round_wait_time : int -> float
+(** The terminal wait of [Search(k)]: [3(π+1)(2ᵏ + 2⁻ᵏ)]. *)
+
+val inner_radius : k:int -> j:int -> float
+(** [δ_{j,k} = 2^(−k+j)]. *)
+
+val granularity : k:int -> j:int -> float
+(** [ρ_{j,k} = 2^(−3k+2j−1)]. *)

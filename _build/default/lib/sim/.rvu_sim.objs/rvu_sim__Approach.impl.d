@@ -1,0 +1,1 @@
+lib/sim/approach.ml: Dist Rvu_geom Rvu_numerics Rvu_trajectory Segment Timed Vec2

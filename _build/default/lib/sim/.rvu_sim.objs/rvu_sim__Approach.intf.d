@@ -1,0 +1,1 @@
+lib/sim/approach.mli: Rvu_trajectory

@@ -1,0 +1,1 @@
+lib/sim/detector.ml: Approach Float Fun Option Rvu_trajectory Seq Timed

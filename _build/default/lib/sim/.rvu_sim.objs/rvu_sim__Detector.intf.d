@@ -1,0 +1,1 @@
+lib/sim/detector.mli: Rvu_trajectory Seq

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Approach Attributes Detector Float Frame Rvu_core Rvu_geom Rvu_trajectory Universal Vec2

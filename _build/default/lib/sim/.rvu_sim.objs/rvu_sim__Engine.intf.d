@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Detector Rvu_core Rvu_geom Rvu_trajectory

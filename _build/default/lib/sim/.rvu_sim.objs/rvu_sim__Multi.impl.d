@@ -1,0 +1,1 @@
+lib/sim/multi.ml: Array Float List Realize Rvu_core Rvu_geom Rvu_numerics Rvu_trajectory Seq Timed Vec2

@@ -1,0 +1,1 @@
+lib/sim/multi.mli: Rvu_core Rvu_geom Rvu_trajectory

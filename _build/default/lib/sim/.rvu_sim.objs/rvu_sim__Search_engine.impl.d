@@ -1,0 +1,1 @@
+lib/sim/search_engine.ml: Dist Float Realize Rvu_geom Rvu_numerics Rvu_trajectory Segment Seq Timed Vec2

@@ -1,0 +1,1 @@
+lib/sim/search_engine.mli: Rvu_geom Rvu_trajectory

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Conformal Float List Realize Rvu_core Rvu_geom Rvu_trajectory Seq Timed Vec2

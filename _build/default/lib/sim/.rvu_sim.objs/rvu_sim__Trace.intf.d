@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Rvu_core Rvu_geom Rvu_trajectory

@@ -1,0 +1,75 @@
+open Rvu_geom
+open Rvu_trajectory
+
+let segment_pair_lipschitz s1 s2 = Timed.speed s1 +. Timed.speed s2
+
+let distance_at s1 s2 t = Vec2.dist (Timed.position s1 t) (Timed.position s2 t)
+
+(* A timed Wait or Line segment's position is affine in global time:
+   p(t) = base + slope·t on the segment's span. *)
+let affine_of (s : Timed.t) =
+  match s.Timed.shape with
+  | Segment.Wait { pos; _ } -> Some (pos, Vec2.zero)
+  | Segment.Line { src; dst } ->
+      let slope = Vec2.scale (1.0 /. s.Timed.dur) (Vec2.sub dst src) in
+      let base = Vec2.sub src (Vec2.scale s.Timed.t0 slope) in
+      Some (base, slope)
+  | Segment.Arc _ -> None
+
+(* Earliest t in [lo, hi] with |p0 + w·t| <= r, p(t) the relative position. *)
+let first_within_affine ~r ~lo ~hi (base, slope) =
+  let at t = Vec2.add base (Vec2.scale t slope) in
+  if Vec2.norm (at lo) <= r then Some lo
+  else begin
+    (* |p|² − r² = |w|²·t² + 2(p₀·w)·t + |p₀|² − r² *)
+    let a = Vec2.norm2 slope in
+    let b = 2.0 *. Vec2.dot base slope in
+    let c = Vec2.norm2 base -. (r *. r) in
+    if a = 0.0 then None (* constant distance, already checked at lo *)
+    else begin
+      let disc = (b *. b) -. (4.0 *. a *. c) in
+      if disc < 0.0 then None
+      else begin
+        let sd = sqrt disc in
+        let t1 = (-.b -. sd) /. (2.0 *. a) in
+        (* t1 is the earlier root; distance is below r on [t1, t2]. *)
+        if t1 >= lo && t1 <= hi then Some t1 else None
+      end
+    end
+  end
+
+let first_within ?(closed_forms = true) ~r ~resolution ~lo ~hi s1 s2 =
+  if r <= 0.0 then invalid_arg "Approach.first_within: r <= 0";
+  if lo > hi then invalid_arg "Approach.first_within: empty interval";
+  let affine =
+    if closed_forms then
+      match (affine_of s1, affine_of s2) with
+      | Some (b1, w1), Some (b2, w2) -> Some (Vec2.sub b1 b2, Vec2.sub w1 w2)
+      | _ -> None
+    else None
+  in
+  match affine with
+  | Some rel -> first_within_affine ~r ~lo ~hi rel
+  | None -> begin
+      let f t = distance_at s1 s2 t -. r in
+      match
+        Rvu_numerics.Lipschitz.first_below
+          ~lipschitz:(segment_pair_lipschitz s1 s2)
+          ~resolution ~f ~lo ~hi ()
+      with
+      | Rvu_numerics.Lipschitz.First_below t -> Some t
+      | Rvu_numerics.Lipschitz.Stays_above -> None
+    end
+
+let min_distance_lower_bound ~resolution ~lo ~hi s1 s2 =
+  let f t = distance_at s1 s2 t in
+  match (affine_of s1, affine_of s2) with
+  | Some (b1, w1), Some (b2, w2) ->
+      (* Exact: distance of the origin from the relative affine path. *)
+      let base = Vec2.sub b1 b2 and slope = Vec2.sub w1 w2 in
+      let at t = Vec2.add base (Vec2.scale t slope) in
+      Dist.point_segment Vec2.zero (at lo) (at hi)
+  | _ ->
+      Rvu_numerics.Lipschitz.min_lower_bound
+        ~lipschitz:(segment_pair_lipschitz s1 s2)
+        ~resolution ~f ~lo ~hi ()

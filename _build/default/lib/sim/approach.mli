@@ -1,0 +1,48 @@
+(** First time two uniformly-traversed timed segments come within range.
+
+    This is the detector's inner kernel. Waits and lines have positions
+    affine in time, so their relative distance is a quadratic whose first
+    crossing of [r] is solved exactly. As soon as an arc is involved the
+    distance is trigonometric; there the certified Lipschitz search is used
+    with constant [speed₁ + speed₂] (the relative speed bound), so a
+    crossing can only be missed if the distance dips below [r] by less than
+    the stated resolution. *)
+
+val segment_pair_lipschitz : Rvu_trajectory.Timed.t -> Rvu_trajectory.Timed.t -> float
+(** Sum of the two segments' traversal speeds — a Lipschitz constant for
+    the inter-robot distance on their common time span. *)
+
+val distance_at : Rvu_trajectory.Timed.t -> Rvu_trajectory.Timed.t -> float -> float
+(** Inter-robot distance at a global time (positions clamp outside the
+    segments' spans). *)
+
+val first_within :
+  ?closed_forms:bool ->
+  r:float ->
+  resolution:float ->
+  lo:float ->
+  hi:float ->
+  Rvu_trajectory.Timed.t ->
+  Rvu_trajectory.Timed.t ->
+  float option
+(** [first_within ~r ~resolution ~lo ~hi s1 s2] is the earliest
+    [t ∈ [lo, hi]] at which the robots are within distance [r], or [None]
+    if they certifiedly stay outside throughout. [\[lo, hi\]] must lie inside
+    both segments' time spans. Requires [r > 0], [resolution > 0],
+    [lo <= hi].
+
+    [closed_forms] (default [true]) enables the exact quadratic solution for
+    affine segment pairs; disabling it forces the Lipschitz search
+    everywhere — correctness must not change, only speed (the ablation
+    benchmark checks exactly this). *)
+
+val min_distance_lower_bound :
+  resolution:float ->
+  lo:float ->
+  hi:float ->
+  Rvu_trajectory.Timed.t ->
+  Rvu_trajectory.Timed.t ->
+  float
+(** Certified lower bound on the minimum inter-robot distance over
+    [\[lo, hi\]] — the tool the infeasibility experiment (E5) uses to prove
+    separation. *)

@@ -1,0 +1,65 @@
+open Rvu_trajectory
+
+type outcome = Hit of float | Horizon of float | Stream_end of float
+
+type stats = { intervals : int; min_distance : float }
+
+(* Shared merged-timeline walker. Calls [f ~lo ~hi a b] on each maximal
+   interval where both robots occupy a single segment; [f] may short-circuit
+   by returning [Some _]. [finish] receives how the walk ended. *)
+let walk ~horizon s1 s2 ~f ~finish =
+  let rec advance (s : Timed.t Seq.t) t =
+    match s () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (seg, rest) as node ->
+        if Timed.t1 seg <= t then advance rest t else node
+  in
+  let rec scan now n1 n2 =
+    match (n1, n2) with
+    | Seq.Nil, _ | _, Seq.Nil -> finish (Stream_end now)
+    | Seq.Cons (a, rest1), Seq.Cons (b, rest2) ->
+        if now >= horizon then finish (Horizon horizon)
+        else begin
+          let lo = Float.max now (Float.max a.Timed.t0 b.Timed.t0) in
+          let hi = Float.min horizon (Float.min (Timed.t1 a) (Timed.t1 b)) in
+          if lo >= horizon then finish (Horizon horizon)
+          else if lo >= hi then
+            if Timed.t1 a <= Timed.t1 b then scan now (advance rest1 now) n2
+            else scan now n1 (advance rest2 now)
+          else begin
+            match f ~lo ~hi a b with
+            | Some result -> result
+            | None ->
+                if hi >= horizon then finish (Horizon horizon)
+                else if Timed.t1 a <= Timed.t1 b then
+                  scan hi (advance rest1 hi) n2
+                else scan hi n1 (advance rest2 hi)
+          end
+        end
+  in
+  scan 0.0 (s1 ()) (s2 ())
+
+let first_meeting ?(closed_forms = true) ?(resolution = 1e-9)
+    ?(horizon = Float.infinity) ~r s1 s2 =
+  if r <= 0.0 then invalid_arg "Detector.first_meeting: r <= 0";
+  let intervals = ref 0 in
+  let min_distance = ref Float.infinity in
+  let f ~lo ~hi a b =
+    incr intervals;
+    let d0 = Approach.distance_at a b lo in
+    if d0 < !min_distance then min_distance := d0;
+    Option.map
+      (fun t -> Hit t)
+      (Approach.first_within ~closed_forms ~r ~resolution ~lo ~hi a b)
+  in
+  let outcome = walk ~horizon s1 s2 ~f ~finish:Fun.id in
+  (outcome, { intervals = !intervals; min_distance = !min_distance })
+
+let fold_intervals ?(horizon = Float.infinity) s1 s2 ~init ~f =
+  let acc = ref init in
+  let g ~lo ~hi a b =
+    acc := f !acc ~lo ~hi a b;
+    None
+  in
+  let (_ : outcome) = walk ~horizon s1 s2 ~f:g ~finish:Fun.id in
+  !acc

@@ -1,0 +1,58 @@
+(** The rendezvous detector: earliest time two realised trajectories come
+    within visibility range.
+
+    Consumes two lazy streams of timed segments (assumed contiguous in time,
+    as produced by {!Rvu_trajectory.Realize.realize}), walks them in
+    lockstep over their common timeline, and queries {!Approach} on each
+    maximal interval during which both robots occupy a single segment.
+    Memory is O(1) regardless of schedule length — Algorithm 7's
+    exponentially long rounds never materialise. *)
+
+type outcome =
+  | Hit of float  (** first time the robots are within range *)
+  | Horizon of float
+      (** no meeting before the given global time (certified at the
+          detector's resolution) *)
+  | Stream_end of float
+      (** a finite program ran out at the given time without a meeting *)
+
+type stats = {
+  intervals : int;  (** segment-pair intervals examined *)
+  min_distance : float;
+      (** smallest inter-robot distance sampled at interval starts — a
+          diagnostic upper bound on the true minimum (not certified; use
+          {!Approach.min_distance_lower_bound} for certification) *)
+}
+
+val first_meeting :
+  ?closed_forms:bool ->
+  ?resolution:float ->
+  ?horizon:float ->
+  r:float ->
+  Rvu_trajectory.Timed.t Seq.t ->
+  Rvu_trajectory.Timed.t Seq.t ->
+  outcome * stats
+(** [first_meeting ~r s1 s2] scans until a hit, the [horizon] (default
+    infinite — supply one for possibly-infeasible instances!), or stream
+    exhaustion. [resolution] (default [1e-9]) is the time granularity below
+    which a grazing approach may be missed; see {!Rvu_numerics.Lipschitz}.
+    Requires [r > 0]. [closed_forms] (default [true]) — see
+    {!Approach.first_within}; disable to ablate the exact fast path. *)
+
+val fold_intervals :
+  ?horizon:float ->
+  Rvu_trajectory.Timed.t Seq.t ->
+  Rvu_trajectory.Timed.t Seq.t ->
+  init:'a ->
+  f:
+    ('a ->
+    lo:float ->
+    hi:float ->
+    Rvu_trajectory.Timed.t ->
+    Rvu_trajectory.Timed.t ->
+    'a) ->
+  'a
+(** Fold over the same merged timeline the detector scans — one call per
+    maximal interval on which both robots occupy a single segment. Used to
+    build certificates (e.g. minimum-separation lower bounds) with the exact
+    same interval decomposition as detection. *)

@@ -1,0 +1,60 @@
+open Rvu_geom
+open Rvu_core
+
+type instance = {
+  attributes : Attributes.t;
+  displacement : Vec2.t;
+  r : float;
+}
+
+let instance ~attributes ~displacement ~r =
+  if r <= 0.0 then invalid_arg "Engine.instance: r <= 0";
+  if Vec2.norm displacement = 0.0 then
+    invalid_arg "Engine.instance: robots must start at different locations";
+  { attributes; displacement; r }
+
+type result = {
+  outcome : Detector.outcome;
+  stats : Detector.stats;
+  bound : Universal.guarantee;
+}
+
+let streams ?program inst =
+  let program =
+    match program with Some p -> p | None -> Universal.program ()
+  in
+  let s_r =
+    Rvu_trajectory.Realize.realize Frame.reference_clocked program
+  in
+  let s_r' =
+    Rvu_trajectory.Realize.realize
+      (Frame.clocked inst.attributes ~displacement:inst.displacement)
+      program
+  in
+  (s_r, s_r')
+
+let run ?closed_forms ?resolution ?horizon ?program inst =
+  let s_r, s_r' = streams ?program inst in
+  let outcome, stats =
+    Detector.first_meeting ?closed_forms ?resolution ?horizon ~r:inst.r s_r s_r'
+  in
+  let bound =
+    Universal.guarantee inst.attributes ~d:(Vec2.norm inst.displacement)
+      ~r:inst.r
+  in
+  { outcome; stats; bound }
+
+let run_two ?closed_forms ?resolution ?horizon ~program_r ~program_r' inst =
+  let s_r = Rvu_trajectory.Realize.realize Frame.reference_clocked program_r in
+  let s_r' =
+    Rvu_trajectory.Realize.realize
+      (Frame.clocked inst.attributes ~displacement:inst.displacement)
+      program_r'
+  in
+  Detector.first_meeting ?closed_forms ?resolution ?horizon ~r:inst.r s_r s_r'
+
+let separation_certificate ?(resolution = 1e-6) ~horizon ?program inst =
+  let s_r, s_r' = streams ?program inst in
+  Detector.fold_intervals ~horizon s_r s_r' ~init:Float.infinity
+    ~f:(fun acc ~lo ~hi a b ->
+      Float.min acc (Approach.min_distance_lower_bound ~resolution ~lo ~hi a b))

@@ -1,0 +1,65 @@
+(** The two-robot rendezvous engine.
+
+    Realises one common program under the reference frame (robot [R]) and
+    under the hidden attributes of [R'], then runs the {!Detector}. This is
+    the executable form of the paper's model: same algorithm, different
+    frames, rendezvous = first sight. *)
+
+type instance = {
+  attributes : Rvu_core.Attributes.t;
+  displacement : Rvu_geom.Vec2.t;  (** initial position of [R'] (R at origin) *)
+  r : float;  (** visibility radius, > 0 *)
+}
+
+val instance :
+  attributes:Rvu_core.Attributes.t ->
+  displacement:Rvu_geom.Vec2.t ->
+  r:float ->
+  instance
+(** Raises [Invalid_argument] if [r <= 0] or the displacement is zero. *)
+
+type result = {
+  outcome : Detector.outcome;
+  stats : Detector.stats;
+  bound : Rvu_core.Universal.guarantee;
+      (** the analytic guarantee for the same instance, for side-by-side
+          reporting *)
+}
+
+val run :
+  ?closed_forms:bool ->
+  ?resolution:float ->
+  ?horizon:float ->
+  ?program:Rvu_trajectory.Program.t ->
+  instance ->
+  result
+(** [run inst] executes the universal program (default: Algorithm 7,
+    {!Rvu_core.Universal.program}; pass [?program] to ablate with
+    Algorithm 4 or anything else) on the instance. Supply a [horizon] for
+    possibly-infeasible instances — the default is infinite and Algorithm 7
+    never terminates on its own. *)
+
+val run_two :
+  ?closed_forms:bool ->
+  ?resolution:float ->
+  ?horizon:float ->
+  program_r:Rvu_trajectory.Program.t ->
+  program_r':Rvu_trajectory.Program.t ->
+  instance ->
+  Detector.outcome * Detector.stats
+(** Asymmetric variant: each robot runs its *own* program (still realised
+    through its own frame and clock). This deliberately breaks the paper's
+    symmetry requirement — it exists for the baselines, e.g. the classic
+    wait-for-mommy strategy where [R'] stands still while [R] searches. No
+    {!Rvu_core.Universal} bound applies, so none is attached. *)
+
+val separation_certificate :
+  ?resolution:float ->
+  horizon:float ->
+  ?program:Rvu_trajectory.Program.t ->
+  instance ->
+  float
+(** Certified lower bound on the inter-robot distance up to [horizon] —
+    evidence of non-rendezvous for the infeasible instances of Theorem 4.
+    Walks the same merged timeline as the detector but accumulates
+    {!Approach.min_distance_lower_bound}. *)

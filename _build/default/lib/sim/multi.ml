@@ -1,0 +1,116 @@
+open Rvu_geom
+open Rvu_trajectory
+
+type robot = { attributes : Rvu_core.Attributes.t; start : Vec2.t }
+
+type outcome = Gathered of float | Horizon of float | Stream_end of float
+
+type stats = { intervals : int; min_diameter : float }
+
+let clocked_of { attributes; start } =
+  Rvu_core.Frame.clocked attributes ~displacement:start
+
+let diameter_of_positions positions =
+  let n = Array.length positions in
+  let worst = ref 0.0 in
+  for i = 0 to n - 2 do
+    for j = i + 1 to n - 1 do
+      let d = Vec2.dist positions.(i) positions.(j) in
+      if d > !worst then worst := d
+    done
+  done;
+  !worst
+
+let diameter_at clocked program t =
+  diameter_of_positions
+    (Array.map (fun c -> Realize.position c program t) clocked)
+
+(* One walker per robot over its realised stream. *)
+type walker = { mutable current : Timed.t option; mutable rest : Timed.t Seq.t }
+
+let advance_walker w t =
+  (* Ensure [current] covers time [t] (or is the stream's last segment). *)
+  let rec go () =
+    match w.current with
+    | Some seg when Timed.t1 seg > t -> true
+    | _ -> begin
+        match w.rest () with
+        | Seq.Nil -> false
+        | Seq.Cons (seg, rest) ->
+            w.current <- Some seg;
+            w.rest <- rest;
+            go ()
+      end
+  in
+  go ()
+
+let run ?(resolution = 1e-6) ?(horizon = Float.infinity) ?program ~r robots =
+  if r <= 0.0 then invalid_arg "Multi.run: r <= 0";
+  if List.length robots < 2 then invalid_arg "Multi.run: need at least two robots";
+  let starts = List.map (fun rb -> rb.start) robots in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j && Vec2.dist a b = 0.0 then
+            invalid_arg "Multi.run: robots must start at distinct positions")
+        starts)
+    starts;
+  let program =
+    match program with Some p -> p | None -> Rvu_core.Universal.program ()
+  in
+  let walkers =
+    robots
+    |> List.map (fun rb ->
+           { current = None; rest = Realize.realize (clocked_of rb) program })
+    |> Array.of_list
+  in
+  let intervals = ref 0 in
+  let min_diameter = ref Float.infinity in
+  let segment_positions t =
+    Array.map
+      (fun w ->
+        match w.current with
+        | Some seg -> Timed.position seg t
+        | None -> assert false)
+      walkers
+  in
+  let rec scan now =
+    if now >= horizon then Horizon horizon
+    else if not (Array.for_all (fun w -> advance_walker w now) walkers) then
+      Stream_end now
+    else begin
+      (* All walkers cover [now]; the interval ends at the earliest segment
+         end (or the horizon). *)
+      let hi =
+        Array.fold_left
+          (fun acc w ->
+            match w.current with
+            | Some seg -> Float.min acc (Timed.t1 seg)
+            | None -> acc)
+          horizon walkers
+      in
+      incr intervals;
+      let f t = diameter_of_positions (segment_positions t) -. r in
+      let d0 = f now +. r in
+      if d0 < !min_diameter then min_diameter := d0;
+      let lipschitz =
+        2.0
+        *. Array.fold_left
+             (fun acc w ->
+               match w.current with
+               | Some seg -> Float.max acc (Timed.speed seg)
+               | None -> acc)
+             0.0 walkers
+      in
+      match
+        Rvu_numerics.Lipschitz.first_below ~lipschitz ~resolution ~f ~lo:now
+          ~hi ()
+      with
+      | Rvu_numerics.Lipschitz.First_below t -> Gathered t
+      | Rvu_numerics.Lipschitz.Stays_above ->
+          if hi >= horizon then Horizon horizon else scan hi
+    end
+  in
+  let outcome = scan 0.0 in
+  (outcome, { intervals = !intervals; min_diameter = !min_diameter })

@@ -1,0 +1,53 @@
+(** Multi-robot gathering — an executable playground for the paper's
+    open problem.
+
+    Section 5 of the paper poses deterministic {e gathering} of many robots
+    with unknown attributes as future work. This module provides the
+    simulation side: [n] robots, each with its own hidden attribute vector
+    and start position, all executing the same program; gathering is the
+    first instant the swarm's diameter (maximum pairwise distance) drops to
+    the visibility radius [r].
+
+    The detector generalises the two-robot machinery: all realised streams
+    are walked in lockstep over their merged timeline, and on each interval
+    the swarm diameter — Lipschitz with constant twice the fastest current
+    segment speed — is searched for its first crossing of [r] with the same
+    certified branch-and-prune used pairwise. *)
+
+type robot = {
+  attributes : Rvu_core.Attributes.t;
+  start : Rvu_geom.Vec2.t;
+}
+(** One swarm member. The reference robot is
+    [{ attributes = Attributes.reference; start = Vec2.zero }]. *)
+
+type outcome =
+  | Gathered of float  (** first time the swarm diameter is ≤ r *)
+  | Horizon of float
+  | Stream_end of float
+
+type stats = {
+  intervals : int;
+  min_diameter : float;
+      (** smallest swarm diameter sampled at interval starts (diagnostic) *)
+}
+
+val diameter_at :
+  Rvu_trajectory.Realize.clocked array ->
+  Rvu_trajectory.Program.t ->
+  float ->
+  float
+(** Swarm diameter at one global time, by direct (linear-cost) trajectory
+    evaluation — for traces and tests. *)
+
+val run :
+  ?resolution:float ->
+  ?horizon:float ->
+  ?program:Rvu_trajectory.Program.t ->
+  r:float ->
+  robot list ->
+  outcome * stats
+(** [run ~r robots] simulates the swarm (default program: the universal
+    Algorithm 7). Requires at least two robots, [r > 0] and pairwise
+    distinct starts. As with two robots, supply a [horizon]: no theorem
+    guarantees gathering, and the paper leaves its feasibility open. *)

@@ -1,0 +1,53 @@
+open Rvu_geom
+open Rvu_trajectory
+
+type outcome = Found of float | Horizon of float | Program_end of float
+
+type stats = { segments : int }
+
+let min_distance_to (seg : Timed.t) target =
+  match seg.Timed.shape with
+  | Segment.Wait { pos; _ } -> Vec2.dist pos target
+  | Segment.Line { src; dst } -> Dist.point_segment target src dst
+  | Segment.Arc { center; radius; from; sweep } ->
+      Dist.point_arc target ~center ~radius ~from ~sweep
+
+(* The segment is known to reach within r of the target; find the first time
+   it does. The distance-to-target along one segment changes direction at
+   most twice, so a bisection on "has been within r" via the sign function
+   distance(t) − r needs the first crossing: scan with the certified
+   Lipschitz search (speed of the segment is its Lipschitz constant). *)
+let first_contact ~time_tol ~r (seg : Timed.t) target =
+  let f t = Vec2.dist (Timed.position seg t) target -. r in
+  let lo = seg.Timed.t0 and hi = Timed.t1 seg in
+  match
+    Rvu_numerics.Lipschitz.first_below ~lipschitz:(Timed.speed seg)
+      ~resolution:(Float.max time_tol (1e-3 *. seg.Timed.dur))
+      ~f ~lo ~hi ()
+  with
+  | Rvu_numerics.Lipschitz.First_below t -> t
+  | Rvu_numerics.Lipschitz.Stays_above ->
+      (* Cannot happen: the caller checked the closed-form minimum. Guard
+         against tolerance mismatches by polishing from the endpoint side. *)
+      Rvu_numerics.Brent.bisect_first ~tol:time_tol ~f ~lo ~hi ()
+
+let run ?(horizon = Float.infinity) ?(time_tol = 1e-12)
+    ?(clocked = Realize.identity) ~program ~target ~r () =
+  if r <= 0.0 then invalid_arg "Search_engine.run: r <= 0";
+  let segments = ref 0 in
+  let stream = Realize.realize clocked program in
+  let rec go last_end (s : Timed.t Seq.t) =
+    match s () with
+    | Seq.Nil -> Program_end last_end
+    | Seq.Cons (seg, rest) ->
+        if seg.Timed.t0 >= horizon then Horizon horizon
+        else begin
+          incr segments;
+          if min_distance_to seg target <= r then
+            Found (first_contact ~time_tol ~r seg target)
+          else if Timed.t1 seg >= horizon then Horizon horizon
+          else go (Timed.t1 seg) rest
+        end
+  in
+  let outcome = go 0.0 stream in
+  (outcome, { segments = !segments })

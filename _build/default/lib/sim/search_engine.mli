@@ -1,0 +1,30 @@
+(** The single-robot search engine (paper Section 2).
+
+    One robot executes a program from the origin; a stationary target sits at
+    a fixed position. Because the target does not move, the minimum distance
+    over each trajectory segment has a closed form ({!Rvu_geom.Dist}), so
+    detection here is exact: root-polishing is only used to localise the
+    first-contact time inside a segment already known to reach the target. *)
+
+type outcome =
+  | Found of float  (** first time the target is within visibility *)
+  | Horizon of float
+  | Program_end of float
+
+type stats = { segments : int }
+
+val run :
+  ?horizon:float ->
+  ?time_tol:float ->
+  ?clocked:Rvu_trajectory.Realize.clocked ->
+  program:Rvu_trajectory.Program.t ->
+  target:Rvu_geom.Vec2.t ->
+  r:float ->
+  unit ->
+  outcome * stats
+(** [run ~program ~target ~r ()] walks the realised trajectory until the
+    target is first within [r]. [clocked] (default the reference frame)
+    selects the realisation — the equivalent-search reduction of
+    Definition 1 needs the μ-scaled frame here. [time_tol] (default
+    [1e-12]) bounds the error of the reported contact time. Requires
+    [r > 0]. *)

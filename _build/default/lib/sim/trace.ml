@@ -1,0 +1,40 @@
+open Rvu_geom
+open Rvu_trajectory
+
+type sample = { time : float; position : Vec2.t }
+
+let sample clocked program ~times =
+  let sorted = List.sort Float.compare times in
+  let stream = Realize.realize clocked program in
+  (* One forward pass: advance the stream only as far as the largest time. *)
+  let rec go acc last_pos (s : Timed.t Seq.t) times =
+    match times with
+    | [] -> List.rev acc
+    | t :: rest_times -> begin
+        match s () with
+        | Seq.Nil -> go ({ time = t; position = last_pos } :: acc) last_pos s rest_times
+        | Seq.Cons (seg, rest) ->
+            if t < seg.Timed.t0 then
+              (* Gap before this segment (t before program start): hold. *)
+              go ({ time = t; position = last_pos } :: acc) last_pos s rest_times
+            else if t <= Timed.t1 seg then
+              let p = Timed.position seg t in
+              go ({ time = t; position = p } :: acc) last_pos s rest_times
+            else go acc (Timed.position seg (Timed.t1 seg)) rest times
+      end
+  in
+  let start_pos =
+    Conformal.apply clocked.Realize.frame Vec2.zero
+  in
+  go [] start_pos stream sorted
+
+let pair_distances attributes ~displacement program ~times =
+  let s_r = sample Realize.identity program ~times in
+  let s_r' =
+    sample (Rvu_core.Frame.clocked attributes ~displacement) program ~times
+  in
+  List.map2
+    (fun a b ->
+      if a.time <> b.time then invalid_arg "Trace.pair_distances: time skew";
+      (a.time, Vec2.dist a.position b.position))
+    s_r s_r'

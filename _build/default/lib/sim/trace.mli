@@ -1,0 +1,24 @@
+(** Position sampling for examples and visual output.
+
+    Walks a realised trajectory once and records positions at the requested
+    times — the data behind the ASCII "plots" in the examples. *)
+
+type sample = { time : float; position : Rvu_geom.Vec2.t }
+
+val sample :
+  Rvu_trajectory.Realize.clocked ->
+  Rvu_trajectory.Program.t ->
+  times:float list ->
+  sample list
+(** [sample clocked program ~times] evaluates the realised trajectory at
+    each time (the list is sorted internally; one forward pass). Times
+    beyond a finite program's end report the final position. *)
+
+val pair_distances :
+  Rvu_core.Attributes.t ->
+  displacement:Rvu_geom.Vec2.t ->
+  Rvu_trajectory.Program.t ->
+  times:float list ->
+  (float * float) list
+(** Inter-robot distance at each requested time for the standard two-robot
+    setup — [(time, distance)] rows ready for a table. *)

@@ -1,0 +1,1 @@
+lib/trajectory/drift.ml: Float List Segment Seq Timed

@@ -1,0 +1,1 @@
+lib/trajectory/drift.mli: Program Rvu_geom Seq Timed

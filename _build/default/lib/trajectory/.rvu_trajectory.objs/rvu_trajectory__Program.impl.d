@@ -1,0 +1,1 @@
+lib/trajectory/program.ml: Format List Rvu_geom Rvu_numerics Segment Seq Vec2

@@ -1,0 +1,1 @@
+lib/trajectory/program.mli: Rvu_geom Segment Seq Vec2

@@ -1,0 +1,1 @@
+lib/trajectory/realize.ml: Conformal Float Program Rvu_geom Segment Seq Timed

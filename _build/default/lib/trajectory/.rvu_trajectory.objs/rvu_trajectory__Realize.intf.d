@@ -1,0 +1,1 @@
+lib/trajectory/realize.mli: Program Rvu_geom Seq Timed

@@ -1,0 +1,1 @@
+lib/trajectory/segment.ml: Conformal Float Format Rvu_geom Rvu_numerics Vec2

@@ -1,0 +1,1 @@
+lib/trajectory/segment.mli: Conformal Format Rvu_geom Vec2

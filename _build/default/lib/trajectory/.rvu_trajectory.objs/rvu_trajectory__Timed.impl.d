@@ -1,0 +1,1 @@
+lib/trajectory/timed.ml: Float Format Rvu_numerics Segment

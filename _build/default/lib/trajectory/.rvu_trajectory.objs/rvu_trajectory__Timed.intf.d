@@ -1,0 +1,1 @@
+lib/trajectory/timed.mli: Format Rvu_geom Segment Vec2

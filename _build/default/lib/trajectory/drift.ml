@@ -1,0 +1,92 @@
+type pattern = { phases : (float * float) list }
+
+let pattern phases =
+  if phases = [] then invalid_arg "Drift.pattern: empty schedule";
+  List.iter
+    (fun (dur, rate) ->
+      if dur <= 0.0 then invalid_arg "Drift.pattern: non-positive duration";
+      if rate <= 0.0 then invalid_arg "Drift.pattern: non-positive rate")
+    phases;
+  { phases }
+
+let constant rate = pattern [ (1.0, rate) ]
+
+let oscillating ~mean ~amplitude ~half_period =
+  if amplitude < 0.0 || amplitude >= 1.0 then
+    invalid_arg "Drift.oscillating: amplitude outside [0, 1)";
+  pattern
+    [
+      (half_period, mean *. (1.0 -. amplitude));
+      (half_period, mean *. (1.0 +. amplitude));
+    ]
+
+let mean_rate { phases } =
+  let local = List.fold_left (fun acc (d, _) -> acc +. d) 0.0 phases in
+  let global = List.fold_left (fun acc (d, r) -> acc +. (d *. r)) 0.0 phases in
+  global /. local
+
+(* Walker state: global time accumulator (compensated), the remaining
+   phases of the current cycle, and how much local time is left in the
+   current phase. *)
+type state = {
+  sum : float;
+  comp : float;
+  remaining : (float * float) list; (* current cycle tail, head = active *)
+  left : float; (* local time left in the active phase *)
+}
+
+let advance st dur =
+  let t = st.sum +. dur in
+  let comp =
+    if Float.abs st.sum >= Float.abs dur then st.comp +. ((st.sum -. t) +. dur)
+    else st.comp +. ((dur -. t) +. st.sum)
+  in
+  { st with sum = t; comp }
+
+let now st = st.sum +. st.comp
+
+let realize ?(start = 0.0) ~frame pat program =
+  let cycle = pat.phases in
+  let initial =
+    match cycle with
+    | (d, _) :: _ -> { sum = start; comp = 0.0; remaining = cycle; left = d }
+    | [] -> assert false
+  in
+  let rate st =
+    match st.remaining with (_, r) :: _ -> r | [] -> assert false
+  in
+  let next_phase st =
+    match st.remaining with
+    | _ :: ((d, _) :: _ as rest) -> { st with remaining = rest; left = d }
+    | [ _ ] | [] -> begin
+        match cycle with
+        | (d, _) :: _ -> { st with remaining = cycle; left = d }
+        | [] -> assert false
+      end
+  in
+  (* Emit one local segment, splitting at phase boundaries. *)
+  let rec emit st seg rest_program () =
+    let ldur = Segment.duration seg in
+    if st.left <= 0.0 then emit (next_phase st) seg rest_program ()
+    else if ldur <= 1e-15 then step st rest_program ()
+    else if ldur <= st.left then begin
+      let gdur = rate st *. ldur in
+      let st' = advance { st with left = st.left -. ldur } gdur in
+      let timed = Timed.make ~t0:(now st) ~dur:gdur ~shape:(Segment.map frame seg) in
+      Seq.Cons (timed, step st' rest_program)
+    end
+    else begin
+      let before, after = Segment.split seg st.left in
+      let gdur = rate st *. st.left in
+      let timed =
+        Timed.make ~t0:(now st) ~dur:gdur ~shape:(Segment.map frame before)
+      in
+      let st' = next_phase (advance st gdur) in
+      Seq.Cons (timed, emit st' after rest_program)
+    end
+  and step st program () =
+    match program () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (seg, rest) -> emit st seg rest ()
+  in
+  step initial program

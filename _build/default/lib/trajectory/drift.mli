@@ -1,0 +1,42 @@
+(** Drifting clocks — a "dynamic attribute" extension (paper Section 5
+    future work; cf. the dynamic-compass models of Izumi et al. cited
+    there).
+
+    The paper's robot [R'] has one fixed clock rate τ. Here the rate may
+    vary over a repeating pattern of phases, each a [(local_duration,
+    rate)] pair: while the robot's local clock advances by [local_duration],
+    the global clock advances [rate] times as fast. A constant pattern
+    [\[(1., τ)\]] reproduces the paper's model exactly.
+
+    Realisation stays exact: local segments are {e split} at every phase
+    boundary ({!Segment.split}), so each emitted timed segment is traversed
+    uniformly and the two-robot detector applies unchanged. *)
+
+type pattern = private { phases : (float * float) list }
+(** Cyclic rate schedule; every duration and rate positive. *)
+
+val pattern : (float * float) list -> pattern
+(** Validates: non-empty, all durations and rates positive. *)
+
+val constant : float -> pattern
+(** The paper's fixed-τ clock. *)
+
+val oscillating :
+  mean:float -> amplitude:float -> half_period:float -> pattern
+(** Rate alternating between [mean·(1−amplitude)] and [mean·(1+amplitude)],
+    spending [half_period] local time in each phase. Requires
+    [0 <= amplitude < 1], positive mean and half-period. Its long-run mean
+    rate is [mean]. *)
+
+val mean_rate : pattern -> float
+(** Long-run global seconds per local second: total global extent of one
+    cycle over its local extent. *)
+
+val realize :
+  ?start:float ->
+  frame:Rvu_geom.Conformal.t ->
+  pattern ->
+  Program.t ->
+  Timed.t Seq.t
+(** Like {!Realize.realize} but with the drifting clock. Lazy; O(1) memory;
+    zero-duration pieces are dropped. *)

@@ -1,0 +1,61 @@
+open Rvu_geom
+
+type t = Segment.t Seq.t
+
+let empty = Seq.empty
+let of_list = List.to_seq
+let append = Seq.append
+let concat_list ps = Seq.concat (List.to_seq ps)
+
+let rounds_from gen ~first =
+  Seq.concat (Seq.map gen (Seq.ints first))
+
+let rounds_desc gen ~from ~down_to =
+  if from < down_to then invalid_arg "Program.rounds_desc: from < down_to";
+  let indices = Seq.init (from - down_to + 1) (fun i -> from - i) in
+  Seq.concat (Seq.map gen indices)
+
+let duration p = Rvu_numerics.Kahan.sum_seq (Seq.map Segment.duration p)
+let length p = Rvu_numerics.Kahan.sum_seq (Seq.map Segment.length p)
+let segment_count p = Seq.fold_left (fun n _ -> n + 1) 0 p
+
+let position_at p u =
+  if u < 0.0 then invalid_arg "Program.position_at: negative time";
+  let rec go elapsed last p =
+    match (p () : Segment.t Seq.node) with
+    | Seq.Nil -> begin
+        match last with
+        | Some seg -> Segment.end_pos seg
+        | None -> invalid_arg "Program.position_at: empty program"
+      end
+    | Seq.Cons (seg, rest) ->
+        let d = Segment.duration seg in
+        if u < elapsed +. d then Segment.position seg (u -. elapsed)
+        else go (elapsed +. d) (Some seg) rest
+  in
+  go 0.0 None p
+
+let check_continuity ?tol p =
+  let ok = ref (Ok ()) in
+  let prev = ref None in
+  let idx = ref 0 in
+  Seq.iter
+    (fun seg ->
+      begin
+        match (!ok, !prev) with
+        | Ok (), Some before ->
+            let stop = Segment.end_pos before and start = Segment.start_pos seg in
+            if not (Vec2.equal ?tol stop start) then
+              ok :=
+                Error
+                  (Format.asprintf
+                     "discontinuity before segment %d: %a ends at %a, next starts at %a"
+                     !idx Segment.pp before Vec2.pp stop Vec2.pp start)
+        | _ -> ()
+      end;
+      prev := Some seg;
+      incr idx)
+    p;
+  !ok
+
+let take_segments n p = List.of_seq (Seq.take n p)

@@ -1,0 +1,51 @@
+(** Mobility programs: lazy sequences of local-frame segments.
+
+    Algorithm 7's round [n] contains Θ(4ⁿ) circles, so programs are
+    represented as [Seq.t] and never materialised: generators build them on
+    demand and the simulator consumes them in constant memory. Finite
+    programs (single procedures) additionally support eager measurement,
+    which is how the Lemma 2 closed-form times are cross-checked against the
+    generators. *)
+
+open Rvu_geom
+
+type t = Segment.t Seq.t
+
+val empty : t
+val of_list : Segment.t list -> t
+val append : t -> t -> t
+val concat_list : t list -> t
+
+val rounds_from : (int -> t) -> first:int -> t
+(** [rounds_from gen ~first] is the infinite program
+    [gen first; gen (first+1); …] — the shape of the paper's Algorithm 4
+    ([repeat Search(k); k ← k+1]) and Algorithm 7 outer loops. *)
+
+val rounds_desc : (int -> t) -> from:int -> down_to:int -> t
+(** [gen from; gen (from−1); …; gen down_to] — the shape of
+    [SearchAllRev]. *)
+
+val duration : t -> float
+(** Total local duration. Forces the whole program: finite programs only.
+    Compensated summation. *)
+
+val length : t -> float
+(** Total path length (waits excluded). Finite programs only. *)
+
+val segment_count : t -> int
+(** Number of segments. Finite programs only. *)
+
+val position_at : t -> float -> Vec2.t
+(** [position_at p u] walks the program to local time [u] (clamping to the
+    final position if [u] exceeds the total duration). Linear cost — meant
+    for tests and examples, not the simulator hot path. Raises
+    [Invalid_argument] on an empty program or negative [u]. *)
+
+val check_continuity : ?tol:float -> t -> (unit, string) result
+(** Verifies that each segment starts where the previous one ended — the
+    physical realisability invariant every generator must maintain. Finite
+    programs only. *)
+
+val take_segments : int -> t -> Segment.t list
+(** First [n] segments (fewer if the program is shorter); safe on infinite
+    programs. *)

@@ -1,0 +1,41 @@
+open Rvu_geom
+
+type clocked = { frame : Conformal.t; time_unit : float }
+
+let identity = { frame = Conformal.identity; time_unit = 1.0 }
+
+let make ~frame ~time_unit =
+  if time_unit <= 0.0 then invalid_arg "Realize.make: non-positive time unit";
+  { frame; time_unit }
+
+type state = { sum : float; comp : float }
+
+let advance st dur =
+  (* Neumaier step, threaded functionally through the lazy unfold. *)
+  let t = st.sum +. dur in
+  let comp =
+    if Float.abs st.sum >= Float.abs dur then st.comp +. ((st.sum -. t) +. dur)
+    else st.comp +. ((dur -. t) +. st.sum)
+  in
+  { sum = t; comp }
+
+let now st = st.sum +. st.comp
+
+let realize ?(start = 0.0) c p =
+  let rec step (st, p) () =
+    match p () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (seg, rest) ->
+        let dur = c.time_unit *. Segment.duration seg in
+        if dur <= 0.0 then step (st, rest) ()
+        else
+          let timed =
+            Timed.make ~t0:(now st) ~dur ~shape:(Segment.map c.frame seg)
+          in
+          Seq.Cons (timed, step (advance st dur, rest))
+  in
+  step ({ sum = start; comp = 0.0 }, p)
+
+let position c p t =
+  let local = Program.position_at p (Float.max 0.0 (t /. c.time_unit)) in
+  Conformal.apply c.frame local

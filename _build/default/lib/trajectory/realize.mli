@@ -1,0 +1,33 @@
+(** Realisation: a local program + hidden attributes → a global timed
+    trajectory.
+
+    A robot whose distance unit is [scale] (speed × local time unit, per the
+    paper's model section), compass offset is [angle], chirality is
+    [reflect], initial position is [offset] and local time unit is
+    [time_unit] traces, for the local program [S], the global trajectory
+    [t ↦ offset + scale·R(angle)·F(reflect)·S(t / time_unit)]. This module
+    performs that change of frame lazily, segment by segment. *)
+
+type clocked = {
+  frame : Rvu_geom.Conformal.t;
+      (** Spatial similarity: the robot's distance unit, compass and start. *)
+  time_unit : float;
+      (** Global seconds per local time unit (the paper's τ for [R'], [1.]
+          for [R]). Must be positive. *)
+}
+
+val identity : clocked
+(** The reference robot [R]: global frame, unit clock. *)
+
+val make : frame:Rvu_geom.Conformal.t -> time_unit:float -> clocked
+
+val realize : ?start:float -> clocked -> Program.t -> Timed.t Seq.t
+(** [realize ?start c p] is the lazy stream of globally timed segments, the
+    first starting at global time [start] (default [0.]). Zero-duration
+    segments are dropped (they occupy no time and cannot move the robot).
+    Timestamps are accumulated with compensated summation so that segment
+    billions of a long schedule still start at accurate times. *)
+
+val position : clocked -> Program.t -> float -> Rvu_geom.Vec2.t
+(** [position c p t] evaluates the realised trajectory at global time [t]
+    by walking the program (linear cost; tests and examples only). *)

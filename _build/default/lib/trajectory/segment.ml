@@ -1,0 +1,86 @@
+open Rvu_geom
+
+type t =
+  | Wait of { pos : Vec2.t; dur : float }
+  | Line of { src : Vec2.t; dst : Vec2.t }
+  | Arc of { center : Vec2.t; radius : float; from : float; sweep : float }
+
+let wait ~at ~dur =
+  if dur < 0.0 then invalid_arg "Segment.wait: negative duration";
+  Wait { pos = at; dur }
+
+let line ~src ~dst = Line { src; dst }
+
+let arc ~center ~radius ~from ~sweep =
+  if radius < 0.0 then invalid_arg "Segment.arc: negative radius";
+  Arc { center; radius; from; sweep }
+
+let full_circle ?(from = 0.0) ~center ~radius () =
+  arc ~center ~radius ~from ~sweep:Rvu_numerics.Floats.two_pi
+
+let length = function
+  | Wait _ -> 0.0
+  | Line { src; dst } -> Vec2.dist src dst
+  | Arc { radius; sweep; _ } -> radius *. Float.abs sweep
+
+let duration = function Wait { dur; _ } -> dur | seg -> length seg
+
+let point_on_arc ~center ~radius theta =
+  Vec2.add center (Vec2.of_polar ~radius ~angle:theta)
+
+let start_pos = function
+  | Wait { pos; _ } -> pos
+  | Line { src; _ } -> src
+  | Arc { center; radius; from; _ } -> point_on_arc ~center ~radius from
+
+let end_pos = function
+  | Wait { pos; _ } -> pos
+  | Line { dst; _ } -> dst
+  | Arc { center; radius; from; sweep } ->
+      point_on_arc ~center ~radius (from +. sweep)
+
+let position seg u =
+  let dur = duration seg in
+  let f =
+    if dur <= 0.0 then 0.0
+    else Rvu_numerics.Floats.clamp ~lo:0.0 ~hi:1.0 (u /. dur)
+  in
+  match seg with
+  | Wait { pos; _ } -> pos
+  | Line { src; dst } -> Vec2.lerp src dst f
+  | Arc { center; radius; from; sweep } ->
+      point_on_arc ~center ~radius (from +. (f *. sweep))
+
+let split seg u =
+  let dur = duration seg in
+  if u < 0.0 || u > dur then invalid_arg "Segment.split: time outside segment";
+  let f = if dur <= 0.0 then 0.0 else u /. dur in
+  match seg with
+  | Wait { pos; _ } -> (Wait { pos; dur = u }, Wait { pos; dur = dur -. u })
+  | Line { src; dst } ->
+      let mid = Vec2.lerp src dst f in
+      (Line { src; dst = mid }, Line { src = mid; dst })
+  | Arc { center; radius; from; sweep } ->
+      let cut = f *. sweep in
+      ( Arc { center; radius; from; sweep = cut },
+        Arc { center; radius; from = from +. cut; sweep = sweep -. cut } )
+
+let map frame = function
+  | Wait { pos; dur } -> Wait { pos = Conformal.apply frame pos; dur }
+  | Line { src; dst } ->
+      Line { src = Conformal.apply frame src; dst = Conformal.apply frame dst }
+  | Arc { center; radius; from; sweep } ->
+      Arc
+        {
+          center = Conformal.apply frame center;
+          radius = frame.Conformal.scale *. radius;
+          from = Conformal.map_angle frame from;
+          sweep = Conformal.chirality frame *. sweep;
+        }
+
+let pp ppf = function
+  | Wait { pos; dur } -> Format.fprintf ppf "wait@%a dur=%g" Vec2.pp pos dur
+  | Line { src; dst } -> Format.fprintf ppf "line %a -> %a" Vec2.pp src Vec2.pp dst
+  | Arc { center; radius; from; sweep } ->
+      Format.fprintf ppf "arc c=%a r=%g from=%g sweep=%g" Vec2.pp center radius
+        from sweep

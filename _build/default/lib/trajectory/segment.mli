@@ -1,0 +1,60 @@
+(** Trajectory segments in a robot's *local* frame.
+
+    A mobility algorithm (paper Algorithms 1–7) is a single parametric
+    trajectory expressed in the executing robot's own coordinate system and
+    traversed at the robot's own unit speed — so a segment's local duration
+    is determined by its geometry (waits carry an explicit duration). The
+    local picture is identical for both robots; all asymmetry enters later,
+    at realisation time ({!Realize}). *)
+
+open Rvu_geom
+
+type t =
+  | Wait of { pos : Vec2.t; dur : float }
+      (** Stay at [pos] for [dur] local time units, [dur >= 0]. *)
+  | Line of { src : Vec2.t; dst : Vec2.t }
+      (** Straight move, local duration [dist src dst]. *)
+  | Arc of { center : Vec2.t; radius : float; from : float; sweep : float }
+      (** Circular move at radius [radius] around [center], starting at polar
+          angle [from], sweeping [sweep] radians (sign = direction); local
+          duration [radius · |sweep|]. *)
+
+val wait : at:Vec2.t -> dur:float -> t
+(** Raises [Invalid_argument] on negative duration. *)
+
+val line : src:Vec2.t -> dst:Vec2.t -> t
+
+val arc : center:Vec2.t -> radius:float -> from:float -> sweep:float -> t
+(** Raises [Invalid_argument] on negative radius. *)
+
+val full_circle : ?from:float -> center:Vec2.t -> radius:float -> unit -> t
+(** Counter-clockwise full turn starting at polar angle [from]
+    (default [0.]). *)
+
+val duration : t -> float
+(** Local traversal time at unit speed. *)
+
+val length : t -> float
+(** Path length ([0.] for waits). *)
+
+val start_pos : t -> Vec2.t
+val end_pos : t -> Vec2.t
+
+val position : t -> float -> Vec2.t
+(** [position seg u] for local time [u ∈ \[0, duration seg\]] (clamped). For
+    zero-duration segments returns the start position. *)
+
+val split : t -> float -> t * t
+(** [split seg u] cuts the segment at local time [u ∈ \[0, duration seg\]]
+    into a prefix of duration [u] and the remaining suffix (waits keep
+    their position; lines and arcs are cut at the traversal point). Raises
+    [Invalid_argument] outside the range. Used by the drifting-clock
+    realiser, which must cut segments at clock-rate boundaries. *)
+
+val map : Conformal.t -> t -> t
+(** Image of the segment's *geometry* under a similarity (waits keep their
+    duration; moved segments get the scaled geometry, hence scaled implied
+    duration). Similarities map lines to lines and arcs to arcs, which is
+    what keeps the realised trajectories exactly representable. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = { t0 : float; dur : float; shape : Segment.t }
+
+let make ~t0 ~dur ~shape =
+  if dur < 0.0 then invalid_arg "Timed.make: negative duration";
+  if not (Float.is_finite t0) then invalid_arg "Timed.make: non-finite start";
+  { t0; dur; shape }
+
+let t1 seg = seg.t0 +. seg.dur
+
+let position seg t =
+  let local_dur = Segment.duration seg.shape in
+  if seg.dur <= 0.0 then Segment.start_pos seg.shape
+  else
+    let f = Rvu_numerics.Floats.clamp ~lo:0.0 ~hi:1.0 ((t -. seg.t0) /. seg.dur) in
+    Segment.position seg.shape (f *. local_dur)
+
+let speed seg = if seg.dur <= 0.0 then 0.0 else Segment.length seg.shape /. seg.dur
+let contains seg t = t >= seg.t0 && t < t1 seg
+
+let pp ppf seg =
+  Format.fprintf ppf "[%g, %g) %a" seg.t0 (t1 seg) Segment.pp seg.shape

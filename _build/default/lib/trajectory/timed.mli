@@ -1,0 +1,30 @@
+(** Trajectory segments realised on the *global* timeline.
+
+    A timed segment owns a half-open slice [\[t0, t0 + dur)] of global time
+    and a segment of global geometry traversed uniformly across that slice.
+    Realising a program under a robot's hidden attributes produces a stream
+    of these; the rendezvous detector works exclusively on them. *)
+
+open Rvu_geom
+
+type t = private { t0 : float; dur : float; shape : Segment.t }
+
+val make : t0:float -> dur:float -> shape:Segment.t -> t
+(** Raises [Invalid_argument] if [dur < 0] or [t0] is not finite. *)
+
+val t1 : t -> float
+(** End time, [t0 +. dur]. *)
+
+val position : t -> float -> Vec2.t
+(** [position seg t] for global time [t ∈ \[t0, t1\]] (clamped). *)
+
+val speed : t -> float
+(** Constant traversal speed on this segment: [length / dur] ([0.] for waits
+    and zero-duration segments). This is the segment's Lipschitz constant for
+    position, the quantity the certified detector needs. *)
+
+val contains : t -> float -> bool
+(** Whether [t] lies in [\[t0, t1)]; zero-duration segments contain
+    nothing. *)
+
+val pp : Format.formatter -> t -> unit

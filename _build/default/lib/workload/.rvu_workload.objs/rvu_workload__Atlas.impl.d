@@ -1,0 +1,1 @@
+lib/workload/atlas.ml: Attributes Feasibility Printf Rvu_core Rvu_numerics

@@ -1,0 +1,1 @@
+lib/workload/atlas.mli: Rvu_core

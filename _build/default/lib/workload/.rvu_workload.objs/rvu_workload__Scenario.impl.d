@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Attributes Float List Rng Rvu_core Rvu_geom Rvu_numerics

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Rng Rvu_core Rvu_geom

@@ -1,0 +1,112 @@
+open Rvu_core
+
+type cell = {
+  label : string;
+  attributes : Attributes.t;
+  expected : Feasibility.verdict;
+}
+
+let feasible reason = Feasibility.Feasible reason
+
+let cells =
+  let pi = Rvu_numerics.Floats.pi in
+  [
+    {
+      label = "identical robots";
+      attributes = Attributes.reference;
+      expected = Feasibility.Infeasible;
+    };
+    {
+      label = "mirror twin (phi=0)";
+      attributes = Attributes.make ~chi:Attributes.Opposite ();
+      expected = Feasibility.Infeasible;
+    };
+    {
+      label = "mirror twin (phi=pi/3)";
+      attributes = Attributes.make ~phi:(pi /. 3.0) ~chi:Attributes.Opposite ();
+      expected = Feasibility.Infeasible;
+    };
+    {
+      label = "mirror twin (phi=pi)";
+      attributes = Attributes.make ~phi:pi ~chi:Attributes.Opposite ();
+      expected = Feasibility.Infeasible;
+    };
+    {
+      label = "slower robot (v=1/2)";
+      attributes = Attributes.make ~v:0.5 ();
+      expected = feasible Feasibility.Different_speeds;
+    };
+    {
+      label = "faster robot (v=2)";
+      attributes = Attributes.make ~v:2.0 ();
+      expected = feasible Feasibility.Different_speeds;
+    };
+    {
+      label = "rotated compass (phi=pi/2)";
+      attributes = Attributes.make ~phi:(pi /. 2.0) ();
+      expected = feasible Feasibility.Rotated_same_chirality;
+    };
+    {
+      label = "rotated compass (phi=pi)";
+      attributes = Attributes.make ~phi:pi ();
+      expected = feasible Feasibility.Rotated_same_chirality;
+    };
+    {
+      label = "slow clock (tau=1/2)";
+      attributes = Attributes.make ~tau:0.5 ();
+      expected = feasible Feasibility.Different_clocks;
+    };
+    {
+      label = "fast clock (tau=2)";
+      attributes = Attributes.make ~tau:2.0 ();
+      expected = feasible Feasibility.Different_clocks;
+    };
+    {
+      label = "mirror + speed (chi=-1, v=1/2)";
+      attributes = Attributes.make ~v:0.5 ~phi:(pi /. 4.0) ~chi:Attributes.Opposite ();
+      expected = feasible Feasibility.Different_speeds;
+    };
+    {
+      label = "mirror + clock (chi=-1, tau=0.6)";
+      attributes = Attributes.make ~tau:0.6 ~phi:(pi /. 2.0) ~chi:Attributes.Opposite ();
+      expected = feasible Feasibility.Different_clocks;
+    };
+    {
+      label = "everything differs";
+      attributes =
+        Attributes.make ~v:1.5 ~tau:0.75 ~phi:(pi /. 5.0) ~chi:Attributes.Opposite ();
+      expected = feasible Feasibility.Different_clocks;
+    };
+  ]
+
+let boundary_cells ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 0.5 then
+    invalid_arg "Atlas.boundary_cells: epsilon outside (0, 0.5)";
+  let e = epsilon in
+  [
+    {
+      label = Printf.sprintf "v = 1+%g" e;
+      attributes = Attributes.make ~v:(1.0 +. e) ();
+      expected = feasible Feasibility.Different_speeds;
+    };
+    {
+      label = Printf.sprintf "v = 1-%g" e;
+      attributes = Attributes.make ~v:(1.0 -. e) ();
+      expected = feasible Feasibility.Different_speeds;
+    };
+    {
+      label = Printf.sprintf "phi = %g" e;
+      attributes = Attributes.make ~phi:e ();
+      expected = feasible Feasibility.Rotated_same_chirality;
+    };
+    {
+      label = Printf.sprintf "tau = 1-%g" e;
+      attributes = Attributes.make ~tau:(1.0 -. e) ();
+      expected = feasible Feasibility.Different_clocks;
+    };
+    {
+      label = Printf.sprintf "mirror, v = 1-%g" e;
+      attributes = Attributes.make ~v:(1.0 -. e) ~chi:Attributes.Opposite ();
+      expected = feasible Feasibility.Different_speeds;
+    };
+  ]

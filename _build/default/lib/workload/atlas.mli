@@ -1,0 +1,24 @@
+(** The feasibility atlas: a structured census of the attribute space used
+    by experiment E5 to reproduce the *iff* of Theorem 4.
+
+    Each cell names an attribute configuration together with the verdict
+    Theorem 4 assigns it. The experiment then checks the verdict
+    empirically: feasible cells must rendezvous within their analytic
+    bound; infeasible cells must survive a long horizon with a certified
+    separation. *)
+
+type cell = {
+  label : string;
+  attributes : Rvu_core.Attributes.t;
+  expected : Rvu_core.Feasibility.verdict;
+}
+
+val cells : cell list
+(** The standard atlas: every qualitative corner of the attribute space —
+    identical robots; each single attribute differing; mirror twins with and
+    without speed/clock differences; combined differences. *)
+
+val boundary_cells : epsilon:float -> cell list
+(** Near-boundary probes: attributes within [epsilon] of the infeasible
+    manifold (e.g. [v = 1 ± ε], [φ = ε]) — all feasible by Theorem 4, with
+    bounds that blow up as [ε → 0]. Used to exhibit the frontier shape. *)

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = create ~seed:(next_int64 g)
+
+let float g =
+  (* Top 53 bits → [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform g ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  lo +. (float g *. (hi -. lo))
+
+let log_uniform g ~lo ~hi =
+  if not (0.0 < lo && lo <= hi) then invalid_arg "Rng.log_uniform: need 0 < lo <= hi";
+  Float.exp (uniform g ~lo:(log lo) ~hi:(log hi))
+
+let angle g = uniform g ~lo:0.0 ~hi:Rvu_numerics.Floats.two_pi
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection-free modulo is fine for the small bounds used here. *)
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 g) Int64.max_int) (Int64.of_int bound))

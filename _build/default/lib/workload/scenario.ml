@@ -1,0 +1,95 @@
+open Rvu_core
+
+type t = {
+  attributes : Attributes.t;
+  d : float;
+  bearing : float;
+  r : float;
+}
+
+let make ~attributes ~d ?(bearing = 0.0) ~r () =
+  if d <= 0.0 then invalid_arg "Scenario.make: d <= 0";
+  if r <= 0.0 then invalid_arg "Scenario.make: r <= 0";
+  { attributes; d; bearing; r }
+
+let displacement s = Rvu_geom.Vec2.of_polar ~radius:s.d ~angle:s.bearing
+let ratio s = s.d *. s.d /. s.r
+
+type geometry_range = {
+  d_lo : float;
+  d_hi : float;
+  ratio_lo : float;
+  ratio_hi : float;
+}
+
+let default_range = { d_lo = 1.0; d_hi = 8.0; ratio_lo = 8.0; ratio_hi = 512.0 }
+
+let random_geometry rng range =
+  let d = Rng.log_uniform rng ~lo:range.d_lo ~hi:range.d_hi in
+  let ratio = Rng.log_uniform rng ~lo:range.ratio_lo ~hi:range.ratio_hi in
+  (d, d *. d /. ratio)
+
+let with_geometry ?(range = default_range) rng attributes =
+  let d, r = random_geometry rng range in
+  make ~attributes ~d ~bearing:(Rng.angle rng) ~r ()
+
+let speed_excluding_unit rng =
+  let v = Rng.log_uniform rng ~lo:(1.0 /. 3.0) ~hi:3.0 in
+  if Float.abs (v -. 1.0) < 0.01 then if Rng.bool rng then 1.05 else 0.95 else v
+
+let random_speeds ?range rng =
+  with_geometry ?range rng (Attributes.make ~v:(speed_excluding_unit rng) ())
+
+let random_rotated ?range rng =
+  let phi =
+    Rng.uniform rng
+      ~lo:(Rvu_numerics.Floats.pi /. 6.0)
+      ~hi:(11.0 *. Rvu_numerics.Floats.pi /. 6.0)
+  in
+  with_geometry ?range rng (Attributes.make ~phi ())
+
+let random_mirror ?range rng =
+  let v = Rng.uniform rng ~lo:0.2 ~hi:0.85 in
+  with_geometry ?range rng
+    (Attributes.make ~v ~phi:(Rng.angle rng) ~chi:Attributes.Opposite ())
+
+let random_clocks ?range rng =
+  let tau = Rng.log_uniform rng ~lo:0.4 ~hi:0.85 in
+  let v = Rng.uniform rng ~lo:0.8 ~hi:1.25 in
+  let chi = if Rng.bool rng then Attributes.Same else Attributes.Opposite in
+  with_geometry ?range rng
+    (Attributes.make ~v ~tau ~phi:(Rng.angle rng) ~chi ())
+
+let random_infeasible rng =
+  let attributes =
+    if Rng.bool rng then Attributes.reference
+    else Attributes.make ~phi:(Rng.angle rng) ~chi:Attributes.Opposite ()
+  in
+  with_geometry rng attributes
+
+let random_swarm ?(n = 3) rng =
+  if n < 2 then invalid_arg "Scenario.random_swarm: n < 2";
+  let distinct_speed speeds =
+    let rec draw attempts =
+      let v = Rng.log_uniform rng ~lo:0.5 ~hi:2.5 in
+      if attempts > 100 then v
+      else if List.exists (fun u -> Float.abs (v -. u) < 0.05 *. u) speeds then
+        draw (attempts + 1)
+      else v
+    in
+    draw 0
+  in
+  let rec build acc speeds i =
+    if i = n then List.rev acc
+    else begin
+      let v = distinct_speed speeds in
+      let attributes = Attributes.make ~v ~phi:(Rng.uniform rng ~lo:0.0 ~hi:0.5) () in
+      let start =
+        Rvu_geom.Vec2.of_polar
+          ~radius:(Rng.log_uniform rng ~lo:0.5 ~hi:3.0)
+          ~angle:(Rng.angle rng)
+      in
+      build ((attributes, start) :: acc) (v :: speeds) (i + 1)
+    end
+  in
+  (Attributes.reference, Rvu_geom.Vec2.zero) :: build [] [ 1.0 ] 1

@@ -1,0 +1,74 @@
+(** Rendezvous problem instances and their generators.
+
+    A scenario bundles the hidden attribute vector with the geometry of the
+    instance (initial distance, bearing, visibility). Generators draw from
+    the parameter ranges the paper's bounds are stated over; every generator
+    takes an explicit {!Rng.t} so experiments are reproducible. *)
+
+type t = {
+  attributes : Rvu_core.Attributes.t;
+  d : float;  (** initial distance, > 0 *)
+  bearing : float;  (** direction of [R'] as seen from [R] *)
+  r : float;  (** visibility radius, > 0 *)
+}
+
+val make :
+  attributes:Rvu_core.Attributes.t ->
+  d:float ->
+  ?bearing:float ->
+  r:float ->
+  unit ->
+  t
+(** Default bearing [0.]. Raises [Invalid_argument] unless [0 < r] and
+    [0 < d]. *)
+
+val displacement : t -> Rvu_geom.Vec2.t
+(** Initial position of [R'] ([R] at the origin). *)
+
+val ratio : t -> float
+(** [d²/r] — the quantity all the paper's bounds are expressed in. *)
+
+(** {2 Generators} *)
+
+type geometry_range = {
+  d_lo : float;
+  d_hi : float;  (** distance drawn log-uniformly from [\[d_lo, d_hi\]] *)
+  ratio_lo : float;
+  ratio_hi : float;
+      (** [d²/r] drawn log-uniformly, then [r = d²/ratio] — controlling the
+          difficulty directly, as the bounds do *)
+}
+
+val default_range : geometry_range
+(** [d ∈ \[1, 8\]], [d²/r ∈ \[8, 512\]] — comfortably simulable. *)
+
+val random_geometry : Rng.t -> geometry_range -> float * float
+(** Draw [(d, r)] from the range. *)
+
+val random_speeds : ?range:geometry_range -> Rng.t -> t
+(** τ = 1, χ = +1, φ = 0, speed log-uniform in [\[1/3, 3\]] excluding a
+    ±1% band around 1 (the bound degenerates there). *)
+
+val random_rotated : ?range:geometry_range -> Rng.t -> t
+(** τ = 1, v = 1, χ = +1, φ uniform in [\[π/6, 11π/6\]] (bounded away from
+    the infeasible φ = 0). *)
+
+val random_mirror : ?range:geometry_range -> Rng.t -> t
+(** τ = 1, χ = −1, random φ, speed in [\[0.2, 0.85\]] (the Lemma 7 case). *)
+
+val random_clocks : ?range:geometry_range -> Rng.t -> t
+(** τ log-uniform in [\[0.4, 0.85\]], other attributes random but mild —
+    the Theorem 3 case, parameters sized so Algorithm 7 stays simulable. *)
+
+val random_infeasible : Rng.t -> t
+(** One of the two infeasible families of Theorem 4: identical robots, or
+    mirror twins with [v = τ = 1] and random φ. *)
+
+val random_swarm :
+  ?n:int -> Rng.t -> (Rvu_core.Attributes.t * Rvu_geom.Vec2.t) list
+(** A swarm of [n] (default 3, minimum 2) robots for the gathering
+    experiments: the first is the reference robot at the origin; the rest
+    get pairwise-distinct speeds (log-uniform in [\[0.5, 2.5\]], separated
+    by at least 5%), random mild compass rotations, and starts scattered
+    log-uniformly at distance [\[0.5, 3\]]. Every pair of the swarm is
+    rendezvous-feasible by Theorem 4. *)

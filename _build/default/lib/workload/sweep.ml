@@ -1,0 +1,18 @@
+let linspace ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Sweep.linspace: n < 1";
+  if lo = hi then [ lo ]
+  else begin
+    if n < 2 then invalid_arg "Sweep.linspace: n < 2 for a non-trivial range";
+    let step = (hi -. lo) /. float_of_int (n - 1) in
+    List.init n (fun i -> lo +. (float_of_int i *. step))
+  end
+
+let logspace ~lo ~hi ~n =
+  if not (0.0 < lo && lo <= hi) then invalid_arg "Sweep.logspace: need 0 < lo <= hi";
+  List.map Float.exp (linspace ~lo:(log lo) ~hi:(log hi) ~n)
+
+let powers_of_two ~first ~last =
+  if first > last then invalid_arg "Sweep.powers_of_two: first > last";
+  List.init (last - first + 1) (fun i -> Float.ldexp 1.0 (first + i))
+
+let grid xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs

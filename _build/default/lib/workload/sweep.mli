@@ -1,0 +1,15 @@
+(** Parameter sweep construction for the experiment harness. *)
+
+val linspace : lo:float -> hi:float -> n:int -> float list
+(** [n] evenly spaced points including both endpoints. Requires [n >= 2]
+    unless [lo = hi] (then a singleton is fine with any [n >= 1]). *)
+
+val logspace : lo:float -> hi:float -> n:int -> float list
+(** [n] log-evenly spaced points including both endpoints. Requires
+    [0 < lo <= hi]. *)
+
+val powers_of_two : first:int -> last:int -> float list
+(** [2^first … 2^last] inclusive. *)
+
+val grid : 'a list -> 'b list -> ('a * 'b) list
+(** Cartesian product in row-major order. *)

@@ -1,0 +1,10 @@
+  $ rvu feasibility --speed 2
+  $ rvu feasibility --mirror
+  $ rvu schedule --rounds 3
+  $ rvu bound --speed 2 -d 2 -r 0.1
+  $ rvu simulate --tau 0.5 -d 1.5 -r 0.5 --bearing 0
+  $ rvu search -d 2 -r 0.05 --bearing 0
+  $ rvu gather --robot 2,2,1 -r 0.3 --horizon 1000000
+  $ rvu gather -r 0.4 --horizon 100000
+  $ rvu simulate --speed 2 -d 2 -r 0.2 --svg meet.svg > /dev/null
+  $ grep -c "</svg>" meet.svg

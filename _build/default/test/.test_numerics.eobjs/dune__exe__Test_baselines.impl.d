@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Asymmetric Dist Float List Printf QCheck QCheck_alcotest Random_walk Rvu_baselines Rvu_core Rvu_geom Rvu_numerics Rvu_search Rvu_sim Rvu_trajectory Seq Spiral Vec2

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Angle Conformal Dist Float Mat2 QCheck QCheck_alcotest Rvu_geom Rvu_numerics Vec2

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Brent Float Floats Kahan Lambert_w Lipschitz List QCheck QCheck_alcotest Result Rvu_numerics Stats

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Csv Filename Float List Printf QCheck QCheck_alcotest Rvu_geom Rvu_numerics Rvu_report Rvu_trajectory Series String Svg Sys Table Timeline Vec2

@@ -1,0 +1,1 @@
+test/test_trajectory.ml: Alcotest Conformal Drift Float List Program QCheck QCheck_alcotest Realize Result Rvu_geom Rvu_numerics Rvu_trajectory Segment Timed Vec2

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Atlas Float Fun List Rng Rvu_core Rvu_geom Rvu_numerics Rvu_workload Scenario Sweep

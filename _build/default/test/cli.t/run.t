@@ -1,0 +1,66 @@
+The rvu CLI end-to-end. All outputs are deterministic (no randomness, no
+timestamps), so exact matching is safe.
+
+Feasibility classification (Theorem 4):
+
+  $ rvu feasibility --speed 2
+  R' attributes: {v=2; tau=1; phi=0; chi=+1}
+  feasible: the speeds differ (Theorem 2 applies)
+
+  $ rvu feasibility --mirror
+  R' attributes: {v=1; tau=1; phi=0; chi=-1}
+  infeasible: no symmetric deterministic algorithm can guarantee rendezvous
+  adversarial displacement direction (never approached): (1, 0)
+
+The phase schedule closed forms (Lemma 8):
+
+  $ rvu schedule --rounds 3
+  +---------+-------+-------+-------+-----------+----------+
+  | round n |  S(n) |  I(n) |  A(n) | round end | segments |
+  +---------+-------+-------+-------+-----------+----------+
+  |       1 |  99.4 |     0 | 198.8 |     397.6 |       51 |
+  |       2 | 397.6 | 397.6 |  1193 |      1988 |      257 |
+  |       3 |  1193 |  1988 |  4374 |      6759 |     1051 |
+  +---------+-------+-------+-------+-----------+----------+
+
+Analytic bounds for a fast robot:
+
+  $ rvu bound --speed 2 -d 2 -r 0.1
+  R' attributes: {v=2; tau=1; phi=0; chi=+1}; d = 2, r = 0.1
+  feasible: the speeds differ (Theorem 2 applies)
+  universal (Algorithm 7) guarantee: round 3, time 6759.08
+  Theorem 2 bound for Algorithm 4 (as printed): 5289.9; repaired: 10579.8
+
+A full simulation with asymmetric clocks:
+
+  $ rvu simulate --tau 0.5 -d 1.5 -r 0.5 --bearing 0
+  R' attributes: {v=1; tau=0.5; phi=0; chi=+1}
+  feasible: the clocks differ (Theorem 3 applies)
+  rendezvous at t = 129.425
+    (during schedule round 1, inactive phase)
+  analytic guarantee: round 8, time 712884
+  segment-pair intervals scanned: 24; closest sampled approach: 1.5
+
+Search for a stationary target (Section 2):
+
+  $ rvu search -d 2 -r 0.05 --bearing 0
+  searching for a target at distance 2, visibility 0.05
+  found at t = 53.7199 (22 segments walked)
+  predicted discovery round: 4 (completion time 3180.74)
+  Theorem 1 bound (as printed): 12567.8; repaired: 25135.5
+
+Gathering (the open problem): a pair gathers, three distinct speeds do not:
+
+  $ rvu gather --robot 2,2,1 -r 0.3 --horizon 1000000
+  swarm of 2 robots (reference at the origin), r = 0.3
+  gathered at t = 259.602 (24 intervals scanned)
+
+  $ rvu gather -r 0.4 --horizon 100000
+  swarm of 3 robots (reference at the origin), r = 0.4
+  not gathered by t = 100000; smallest diameter seen 2.06155
+
+SVG figure output:
+
+  $ rvu simulate --speed 2 -d 2 -r 0.2 --svg meet.svg > /dev/null
+  $ grep -c "</svg>" meet.svg
+  1

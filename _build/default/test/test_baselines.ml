@@ -1,0 +1,238 @@
+(* Tests for Rvu_baselines: the spiral search baseline and the asymmetric
+   wait-for-mommy rendezvous baseline. *)
+
+open Rvu_geom
+open Rvu_baselines
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Spiral *)
+
+let test_spiral_validation () =
+  Alcotest.check_raises "rho <= 0"
+    (Invalid_argument "Spiral.program: rho <= 0") (fun () ->
+      ignore (Spiral.program ~rho:0.0 () : Rvu_trajectory.Program.t))
+
+let test_spiral_continuity () =
+  let segs =
+    Rvu_trajectory.Program.take_segments 500 (Spiral.program ~rho:0.3 ())
+  in
+  check_bool "continuous" true
+    (Rvu_trajectory.Program.check_continuity (List.to_seq segs) = Ok ())
+
+let test_spiral_starts_at_origin () =
+  match Rvu_trajectory.Program.take_segments 1 (Spiral.program ~rho:0.3 ()) with
+  | [ Rvu_trajectory.Segment.Line { src; _ } ] ->
+      check_bool "origin" true (Vec2.equal src Vec2.zero)
+  | _ -> Alcotest.fail "spiral starts with a line"
+
+let test_spiral_pitch () =
+  check_float "pitch = 1.5 rho" 0.45 (Spiral.pitch ~rho:0.3 ~segments_per_turn:64)
+
+let spiral_coverage ~rho ~disk =
+  (* Take enough of the spiral to pass radius [disk], then check a polar
+     grid of the disk is within rho of the polyline. *)
+  let segs = ref [] in
+  let continue = ref true in
+  let stream = ref (Spiral.program ~rho ()) in
+  while !continue do
+    match !stream () with
+    | Seq.Nil -> continue := false
+    | Seq.Cons (seg, rest) ->
+        segs := seg :: !segs;
+        stream := rest;
+        if Vec2.norm (Rvu_trajectory.Segment.end_pos seg) > disk +. (2.0 *. rho)
+        then continue := false
+  done;
+  let dist_to q =
+    List.fold_left
+      (fun acc seg ->
+        match (seg : Rvu_trajectory.Segment.t) with
+        | Rvu_trajectory.Segment.Line { src; dst } ->
+            Float.min acc (Dist.point_segment q src dst)
+        | _ -> acc)
+      Float.infinity !segs
+  in
+  let worst = ref 0.0 in
+  for i = 0 to 24 do
+    for j = 0 to 48 do
+      let radius = float_of_int i /. 24.0 *. disk in
+      let angle = float_of_int j /. 48.0 *. Rvu_numerics.Floats.two_pi in
+      let q = Vec2.of_polar ~radius ~angle in
+      worst := Float.max !worst (dist_to q)
+    done
+  done;
+  !worst
+
+let test_spiral_coverage () =
+  let rho = 0.25 in
+  let worst = spiral_coverage ~rho ~disk:3.0 in
+  check_bool
+    (Printf.sprintf "every disk point within rho (worst %.4f)" worst)
+    true (worst <= rho +. 1e-9)
+
+let prop_spiral_finds_targets =
+  QCheck.Test.make ~name:"spiral: finds any reachable target" ~count:20
+    QCheck.(pair (float_range 0.3 3.0) (float_range 0.0 6.28))
+    (fun (d, bearing) ->
+      let r = 0.2 in
+      let target = Vec2.of_polar ~radius:d ~angle:bearing in
+      match
+        Rvu_sim.Search_engine.run
+          ~program:(Spiral.program ~rho:r ())
+          ~target ~r ()
+      with
+      | Rvu_sim.Search_engine.Found t, _ ->
+          (* Within the analytic sweep estimate plus slack. *)
+          t <= (2.0 *. Spiral.search_time_estimate ~d ~rho:r) +. 10.0
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Asymmetric baseline *)
+
+let test_waiter_is_stationary () =
+  let segs = Rvu_trajectory.Program.take_segments 10 (Asymmetric.waiter ()) in
+  check_bool "all waits at origin" true
+    (List.for_all
+       (function
+         | Rvu_trajectory.Segment.Wait { pos; _ } -> Vec2.equal pos Vec2.zero
+         | _ -> false)
+       segs)
+
+let test_asymmetric_solves_identical_robots () =
+  (* The symmetric-infeasible instance par excellence. *)
+  let inst =
+    Rvu_sim.Engine.instance ~attributes:Rvu_core.Attributes.reference
+      ~displacement:(Vec2.make 1.5 1.0) ~r:0.1
+  in
+  match Asymmetric.run ~horizon:1e7 inst with
+  | Rvu_sim.Detector.Hit t, _ ->
+      check_bool "positive time" true (t > 0.0);
+      check_bool "within the search bound" true
+        (t <= Asymmetric.time_bound ~d:(Vec2.norm (Vec2.make 1.5 1.0)) ~r:0.1)
+  | _ -> Alcotest.fail "wait-for-mommy must always succeed"
+
+let test_asymmetric_ignores_attributes () =
+  (* The waiting baseline's meeting time is attribute-independent when the
+     waiter is R' at the same position: R does all the work. *)
+  let time attributes =
+    let inst =
+      Rvu_sim.Engine.instance ~attributes
+        ~displacement:(Vec2.make 1.5 1.0) ~r:0.1
+    in
+    match Asymmetric.run ~horizon:1e7 inst with
+    | Rvu_sim.Detector.Hit t, _ -> t
+    | _ -> Alcotest.fail "must succeed"
+  in
+  let t_ref = time Rvu_core.Attributes.reference in
+  let t_fast = time (Rvu_core.Attributes.make ~v:3.0 ~tau:0.4 ~phi:1.0 ()) in
+  check_float "same meeting time" t_ref t_fast
+
+let test_run_two_matches_engine_for_same_program () =
+  (* run_two with identical programs must agree with the symmetric run. *)
+  let inst =
+    Rvu_sim.Engine.instance
+      ~attributes:(Rvu_core.Attributes.make ~v:2.0 ())
+      ~displacement:(Vec2.make 2.0 1.0) ~r:0.1
+  in
+  let p () = Rvu_search.Algorithm4.program () in
+  let sym =
+    match
+      (Rvu_sim.Engine.run ~horizon:1e6 ~program:(p ()) inst).Rvu_sim.Engine.outcome
+    with
+    | Rvu_sim.Detector.Hit t -> t
+    | _ -> Alcotest.fail "must hit"
+  in
+  match
+    Rvu_sim.Engine.run_two ~horizon:1e6 ~program_r:(p ()) ~program_r':(p ()) inst
+  with
+  | Rvu_sim.Detector.Hit t, _ -> check_float "same hit time" sym t
+  | _ -> Alcotest.fail "must hit"
+
+(* ------------------------------------------------------------------ *)
+(* Random walk baseline *)
+
+let test_random_walk_deterministic () =
+  (* Same seed: identical program, and re-traversing the lazy stream must
+     give the identical walk (pure function of seed and index). *)
+  let walk () =
+    Rvu_trajectory.Program.take_segments 20 (Random_walk.program ~seed:42L ())
+    |> List.map Rvu_trajectory.Segment.end_pos
+  in
+  check_bool "same seed same walk" true (walk () = walk ());
+  let p = Random_walk.program ~seed:7L () in
+  let first = Rvu_trajectory.Program.take_segments 10 p in
+  let second = Rvu_trajectory.Program.take_segments 10 p in
+  check_bool "re-traversal identical" true (first = second)
+
+let test_random_walk_step_and_continuity () =
+  let p = Random_walk.program ~seed:3L ~step:0.5 () in
+  let segs = Rvu_trajectory.Program.take_segments 50 p in
+  check_bool "continuous" true
+    (Rvu_trajectory.Program.check_continuity (List.to_seq segs) = Ok ());
+  check_bool "all legs have the step length" true
+    (List.for_all
+       (fun s -> Rvu_numerics.Floats.equal (Rvu_trajectory.Segment.length s) 0.5)
+       segs);
+  Alcotest.check_raises "bad step"
+    (Invalid_argument "Random_walk.program: step <= 0") (fun () ->
+      ignore (Random_walk.program ~seed:1L ~step:0.0 () : Rvu_trajectory.Program.t))
+
+let test_random_walk_same_seed_rigid () =
+  (* Identical robots with the same seed stay at constant distance. *)
+  let inst =
+    Rvu_sim.Engine.instance ~attributes:Rvu_core.Attributes.reference
+      ~displacement:(Vec2.make 3.0 1.0) ~r:0.3
+  in
+  match Random_walk.run ~horizon:2000.0 ~seed_r:5L ~seed_r':5L inst with
+  | Rvu_sim.Detector.Horizon _, stats ->
+      check_bool "distance rigid" true
+        (Rvu_numerics.Floats.equal ~tol:1e-6
+           stats.Rvu_sim.Detector.min_distance (sqrt 10.0))
+  | _ -> Alcotest.fail "same-seed walkers are identical robots: never meet"
+
+let test_random_walk_different_seeds_meet () =
+  (* A seed pair known (from the experiment) to meet within the horizon. *)
+  let inst =
+    Rvu_sim.Engine.instance ~attributes:Rvu_core.Attributes.reference
+      ~displacement:(Vec2.make 2.0 0.0) ~r:0.5
+  in
+  match Random_walk.run ~horizon:1e5 ~seed_r:1L ~seed_r':101L inst with
+  | Rvu_sim.Detector.Hit t, _ -> check_bool "met" true (t > 0.0)
+  | _ -> Alcotest.fail "this seed pair meets within the horizon"
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rvu_baselines"
+    [
+      ( "spiral",
+        [
+          Alcotest.test_case "validation" `Quick test_spiral_validation;
+          Alcotest.test_case "continuity" `Quick test_spiral_continuity;
+          Alcotest.test_case "starts at origin" `Quick test_spiral_starts_at_origin;
+          Alcotest.test_case "pitch" `Quick test_spiral_pitch;
+          Alcotest.test_case "coverage" `Quick test_spiral_coverage;
+          qc prop_spiral_finds_targets;
+        ] );
+      ( "asymmetric",
+        [
+          Alcotest.test_case "waiter stationary" `Quick test_waiter_is_stationary;
+          Alcotest.test_case "solves identical robots" `Quick
+            test_asymmetric_solves_identical_robots;
+          Alcotest.test_case "attribute independent" `Quick
+            test_asymmetric_ignores_attributes;
+          Alcotest.test_case "run_two consistency" `Quick
+            test_run_two_matches_engine_for_same_program;
+        ] );
+      ( "random walk",
+        [
+          Alcotest.test_case "deterministic" `Quick test_random_walk_deterministic;
+          Alcotest.test_case "step and continuity" `Quick
+            test_random_walk_step_and_continuity;
+          Alcotest.test_case "same seed rigid" `Quick test_random_walk_same_seed_rigid;
+          Alcotest.test_case "different seeds meet" `Quick
+            test_random_walk_different_seeds_meet;
+        ] );
+    ]

@@ -1,0 +1,373 @@
+(* Unit and property tests for Rvu_geom. *)
+
+open Rvu_geom
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let vec2_arb =
+  QCheck.map
+    (fun (x, y) -> Vec2.make x y)
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0))
+
+let angle_arb = QCheck.float_range 0.0 (Rvu_numerics.Floats.two_pi -. 1e-9)
+
+let mat2_arb =
+  QCheck.map
+    (fun ((a, b), (c, d)) -> Mat2.make ~a ~b ~c ~d)
+    QCheck.(
+      pair
+        (pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+        (pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0)))
+
+let conformal_arb =
+  QCheck.map
+    (fun (((scale, angle), reflect), offset) ->
+      Conformal.make ~scale ~angle ~reflect ~offset ())
+    QCheck.(
+      pair
+        (pair (pair (float_range 0.1 10.0) (float_range 0.0 6.28)) bool)
+        vec2_arb)
+
+(* ------------------------------------------------------------------ *)
+(* Vec2 *)
+
+let test_vec2_basics () =
+  let a = Vec2.make 3.0 4.0 in
+  check_float "norm" 5.0 (Vec2.norm a);
+  check_float "norm2" 25.0 (Vec2.norm2 a);
+  check_float "dist" 5.0 (Vec2.dist Vec2.zero a);
+  check_float "dot with perp is 0" 0.0 (Vec2.dot a (Vec2.perp a));
+  check_float "cross with self is 0" 0.0 (Vec2.cross a a);
+  check_bool "normalize has unit norm" true
+    (Rvu_numerics.Floats.equal 1.0 (Vec2.norm (Vec2.normalize a)))
+
+let test_vec2_zero_errors () =
+  Alcotest.check_raises "normalize zero"
+    (Invalid_argument "Vec2.normalize: zero vector") (fun () ->
+      ignore (Vec2.normalize Vec2.zero));
+  Alcotest.check_raises "angle of zero"
+    (Invalid_argument "Vec2.angle_of: zero vector") (fun () ->
+      ignore (Vec2.angle_of Vec2.zero))
+
+let test_vec2_polar () =
+  let v = Vec2.of_polar ~radius:2.0 ~angle:(Float.pi /. 2.0) in
+  check_bool "polar up" true (Vec2.equal ~tol:1e-12 v (Vec2.make 0.0 2.0));
+  check_float "angle roundtrip" (Float.pi /. 4.0)
+    (Vec2.angle_of (Vec2.of_polar ~radius:3.0 ~angle:(Float.pi /. 4.0)))
+
+let test_vec2_lerp () =
+  let a = Vec2.make 0.0 0.0 and b = Vec2.make 10.0 20.0 in
+  check_bool "midpoint" true
+    (Vec2.equal (Vec2.lerp a b 0.5) (Vec2.make 5.0 10.0));
+  check_bool "extrapolation" true
+    (Vec2.equal (Vec2.lerp a b 2.0) (Vec2.make 20.0 40.0))
+
+let prop_rotate_preserves_norm =
+  QCheck.Test.make ~name:"vec2: rotation preserves norm" ~count:300
+    (QCheck.pair vec2_arb angle_arb) (fun (v, a) ->
+      Rvu_numerics.Floats.equal ~tol:1e-9 (Vec2.norm v)
+        (Vec2.norm (Vec2.rotate a v)))
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"vec2: addition commutes" ~count:200
+    (QCheck.pair vec2_arb vec2_arb) (fun (a, b) ->
+      Vec2.equal (Vec2.add a b) (Vec2.add b a))
+
+let prop_cross_antisym =
+  QCheck.Test.make ~name:"vec2: cross is antisymmetric" ~count:200
+    (QCheck.pair vec2_arb vec2_arb) (fun (a, b) ->
+      Rvu_numerics.Floats.equal (Vec2.cross a b) (-.Vec2.cross b a))
+
+(* ------------------------------------------------------------------ *)
+(* Mat2 *)
+
+let test_mat2_identity () =
+  let v = Vec2.make 2.0 3.0 in
+  check_bool "identity is neutral" true
+    (Vec2.equal v (Mat2.apply Mat2.identity v));
+  check_float "det id" 1.0 (Mat2.det Mat2.identity)
+
+let test_mat2_rotation () =
+  let r = Mat2.rotation (Float.pi /. 2.0) in
+  check_bool "rotates x to y" true
+    (Vec2.equal ~tol:1e-12
+       (Mat2.apply r (Vec2.make 1.0 0.0))
+       (Vec2.make 0.0 1.0));
+  check_bool "orthogonal" true (Mat2.is_orthogonal r);
+  check_float "det rotation" 1.0 (Mat2.det r)
+
+let test_mat2_reflect () =
+  check_bool "reflects y" true
+    (Vec2.equal
+       (Mat2.apply Mat2.reflect_x (Vec2.make 1.0 2.0))
+       (Vec2.make 1.0 (-2.0)));
+  check_float "det reflection" (-1.0) (Mat2.det Mat2.reflect_x)
+
+let prop_mat2_mul_apply =
+  QCheck.Test.make ~name:"mat2: (M N)v = M(Nv)" ~count:300
+    (QCheck.triple mat2_arb mat2_arb vec2_arb) (fun (m, n, v) ->
+      Vec2.equal ~tol:1e-6
+        (Mat2.apply (Mat2.mul m n) v)
+        (Mat2.apply m (Mat2.apply n v)))
+
+let prop_mat2_inverse =
+  QCheck.Test.make ~name:"mat2: inverse(M) M = I when invertible" ~count:300
+    mat2_arb (fun m ->
+      match Mat2.inverse m with
+      | None -> true
+      | Some mi -> Mat2.equal ~tol:1e-6 (Mat2.mul mi m) Mat2.identity)
+
+let prop_mat2_qr =
+  QCheck.Test.make ~name:"mat2: QR reconstructs M, Q in SO(2), R triangular"
+    ~count:300 mat2_arb (fun m ->
+      match Mat2.qr m with
+      | None -> Float.hypot m.Mat2.a m.Mat2.c = 0.0
+      | Some (q, r) ->
+          Mat2.equal ~tol:1e-6 (Mat2.mul q r) m
+          && Mat2.is_orthogonal ~tol:1e-6 q
+          && Rvu_numerics.Floats.equal ~tol:1e-6 (Mat2.det q) 1.0
+          && r.Mat2.c = 0.0
+          && r.Mat2.a >= -1e-9)
+
+let prop_mat2_det_multiplicative =
+  QCheck.Test.make ~name:"mat2: det(M N) = det M det N" ~count:300
+    (QCheck.pair mat2_arb mat2_arb) (fun (m, n) ->
+      Rvu_numerics.Floats.equal ~tol:1e-6
+        (Mat2.det (Mat2.mul m n))
+        (Mat2.det m *. Mat2.det n))
+
+let test_mat2_singular_inverse () =
+  let m = Mat2.make ~a:1.0 ~b:2.0 ~c:2.0 ~d:4.0 in
+  check_bool "singular has no inverse" true (Mat2.inverse m = None)
+
+(* ------------------------------------------------------------------ *)
+(* Angle *)
+
+let test_angle_normalize () =
+  check_float "wraps down" 0.5 (Angle.normalize (0.5 +. (4.0 *. Float.pi)));
+  check_float "wraps up"
+    (Rvu_numerics.Floats.two_pi -. 0.5)
+    (Angle.normalize (-0.5));
+  check_float "signed positive" 0.5 (Angle.normalize_signed 0.5);
+  check_float "signed negative" (-0.5)
+    (Angle.normalize_signed (Rvu_numerics.Floats.two_pi -. 0.5))
+
+let test_angle_diff () =
+  check_float "short way" 0.2 (Angle.diff 0.1 (-0.1));
+  check_float "across cut" 0.2
+    (Angle.diff 0.1 (Rvu_numerics.Floats.two_pi -. 0.1))
+
+let test_within_sweep () =
+  check_bool "inside ccw" true (Angle.within_sweep ~from:0.0 ~sweep:Float.pi 1.0);
+  check_bool "outside ccw" false
+    (Angle.within_sweep ~from:0.0 ~sweep:Float.pi 4.0);
+  check_bool "inside cw" true
+    (Angle.within_sweep ~from:0.0 ~sweep:(-.Float.pi) (-1.0));
+  check_bool "outside cw" false
+    (Angle.within_sweep ~from:0.0 ~sweep:(-.Float.pi) 1.0);
+  check_bool "full circle covers all" true
+    (Angle.within_sweep ~from:1.0 ~sweep:Rvu_numerics.Floats.two_pi 4.0)
+
+let test_degrees () =
+  check_float "to deg" 180.0 (Angle.to_degrees Float.pi);
+  check_float "of deg" Float.pi (Angle.of_degrees 180.0)
+
+(* ------------------------------------------------------------------ *)
+(* Conformal *)
+
+let prop_conformal_matches_matrix =
+  QCheck.Test.make ~name:"conformal: apply agrees with linear matrix + offset"
+    ~count:300 (QCheck.pair conformal_arb vec2_arb) (fun (f, p) ->
+      Vec2.equal ~tol:1e-6 (Conformal.apply f p)
+        (Vec2.add f.Conformal.offset (Mat2.apply (Conformal.linear f) p)))
+
+let prop_conformal_compose =
+  QCheck.Test.make ~name:"conformal: compose = function composition" ~count:300
+    (QCheck.triple conformal_arb conformal_arb vec2_arb) (fun (f, g, p) ->
+      Vec2.equal ~tol:1e-5
+        (Conformal.apply (Conformal.compose f g) p)
+        (Conformal.apply f (Conformal.apply g p)))
+
+let prop_conformal_inverse =
+  QCheck.Test.make ~name:"conformal: inverse round-trips" ~count:300
+    (QCheck.pair conformal_arb vec2_arb) (fun (f, p) ->
+      Vec2.equal ~tol:1e-5 p
+        (Conformal.apply (Conformal.inverse f) (Conformal.apply f p)))
+
+let prop_conformal_map_angle =
+  QCheck.Test.make ~name:"conformal: map_angle matches circle-point image"
+    ~count:300 (QCheck.pair conformal_arb angle_arb) (fun (f, theta) ->
+      (* A point at angle theta on the unit circle around the origin maps to
+         angle (map_angle f theta) around the image of the origin. *)
+      let p = Vec2.of_polar ~radius:1.0 ~angle:theta in
+      let rel = Vec2.sub (Conformal.apply f p) (Conformal.apply f Vec2.zero) in
+      Rvu_numerics.Floats.equal ~tol:1e-6
+        (cos (Vec2.angle_of rel))
+        (cos (Conformal.map_angle f theta))
+      && Rvu_numerics.Floats.equal ~tol:1e-6
+           (sin (Vec2.angle_of rel))
+           (sin (Conformal.map_angle f theta)))
+
+let prop_conformal_det_sign =
+  QCheck.Test.make
+    ~name:"conformal: linear determinant is chirality times scale squared"
+    ~count:300 conformal_arb (fun f ->
+      Rvu_numerics.Floats.equal ~tol:1e-6
+        (Mat2.det (Conformal.linear f))
+        (Conformal.chirality f *. f.Conformal.scale *. f.Conformal.scale))
+
+let test_conformal_scale_validation () =
+  Alcotest.check_raises "zero scale"
+    (Invalid_argument "Conformal.make: scale must be positive") (fun () ->
+      ignore (Conformal.make ~scale:0.0 ()))
+
+let test_conformal_chirality () =
+  check_float "same" 1.0 (Conformal.chirality (Conformal.make ()));
+  check_float "opposite" (-1.0)
+    (Conformal.chirality (Conformal.make ~reflect:true ()))
+
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let brute_force_segment p a b =
+  let n = 2000 in
+  let best = ref Float.infinity in
+  for i = 0 to n do
+    let s = float_of_int i /. float_of_int n in
+    best := Float.min !best (Vec2.dist p (Vec2.lerp a b s))
+  done;
+  !best
+
+let prop_point_segment_param_consistent =
+  QCheck.Test.make
+    ~name:"dist: point_segment_param foot matches reported distance"
+    ~count:300 (QCheck.triple vec2_arb vec2_arb vec2_arb) (fun (p, a, b) ->
+      let d, s = Dist.point_segment_param p a b in
+      s >= 0.0 && s <= 1.0
+      && Rvu_numerics.Floats.equal ~tol:1e-9 d (Vec2.dist p (Vec2.lerp a b s)))
+
+let prop_point_segment =
+  QCheck.Test.make ~name:"dist: point-segment matches brute force" ~count:200
+    (QCheck.triple vec2_arb vec2_arb vec2_arb) (fun (p, a, b) ->
+      let exact = Dist.point_segment p a b in
+      let approx = brute_force_segment p a b in
+      (* The sampled minimum can overshoot by at most half a sampling step
+         (the distance is 1-Lipschitz in arc length). *)
+      let slack = (Vec2.dist a b /. 2000.0 /. 2.0) +. 1e-9 in
+      Float.abs (exact -. approx) <= slack && exact <= approx +. 1e-9)
+
+let test_point_segment_cases () =
+  let a = Vec2.make 0.0 0.0 and b = Vec2.make 10.0 0.0 in
+  check_float "interior foot" 2.0 (Dist.point_segment (Vec2.make 5.0 2.0) a b);
+  check_float "clamps to endpoint" 5.0
+    (Dist.point_segment (Vec2.make 15.0 0.0) a b);
+  check_float "degenerate segment" 5.0
+    (Dist.point_segment (Vec2.make 3.0 4.0) a a);
+  let d, s = Dist.point_segment_param (Vec2.make 5.0 2.0) a b in
+  check_float "param distance" 2.0 d;
+  check_float "param foot" 0.5 s
+
+let brute_force_arc p ~center ~radius ~from ~sweep =
+  let n = 4000 in
+  let best = ref Float.infinity in
+  for i = 0 to n do
+    let s = float_of_int i /. float_of_int n in
+    let theta = from +. (s *. sweep) in
+    let q = Vec2.add center (Vec2.of_polar ~radius ~angle:theta) in
+    best := Float.min !best (Vec2.dist p q)
+  done;
+  !best
+
+let prop_point_arc =
+  QCheck.Test.make ~name:"dist: point-arc matches brute force" ~count:200
+    QCheck.(
+      triple vec2_arb
+        (pair (float_range 0.1 10.0) angle_arb)
+        (float_range (-6.28) 6.28))
+    (fun (p, (radius, from), sweep) ->
+      QCheck.assume (Float.abs sweep > 1e-3);
+      let center = Vec2.make 1.0 (-2.0) in
+      let exact = Dist.point_arc p ~center ~radius ~from ~sweep in
+      let approx = brute_force_arc p ~center ~radius ~from ~sweep in
+      let slack = (radius *. Float.abs sweep /. 4000.0 /. 2.0) +. 1e-9 in
+      Float.abs (exact -. approx) <= slack && exact <= approx +. 1e-9)
+
+let test_point_arc_cases () =
+  let center = Vec2.zero in
+  check_float "radial" 1.0
+    (Dist.point_arc (Vec2.make 3.0 0.0) ~center ~radius:2.0 ~from:(-1.0)
+       ~sweep:2.0);
+  let d =
+    Dist.point_arc (Vec2.make (-3.0) 0.0) ~center ~radius:2.0
+      ~from:(-.Float.pi /. 2.0) ~sweep:Float.pi
+  in
+  check_float "endpoint distance"
+    (Vec2.dist (Vec2.make (-3.0) 0.0) (Vec2.make 0.0 2.0))
+    d;
+  check_float "center" 2.0
+    (Dist.point_arc Vec2.zero ~center ~radius:2.0 ~from:0.0 ~sweep:1.0);
+  check_float "full circle" 3.0
+    (Dist.point_arc (Vec2.make 5.0 0.0) ~center ~radius:2.0 ~from:0.0
+       ~sweep:Rvu_numerics.Floats.two_pi)
+
+let test_point_circle () =
+  check_float "outside" 3.0
+    (Dist.point_circle (Vec2.make 5.0 0.0) ~center:Vec2.zero ~radius:2.0);
+  check_float "inside" 1.0
+    (Dist.point_circle (Vec2.make 1.0 0.0) ~center:Vec2.zero ~radius:2.0)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rvu_geom"
+    [
+      ( "vec2",
+        [
+          Alcotest.test_case "basics" `Quick test_vec2_basics;
+          Alcotest.test_case "zero-vector errors" `Quick test_vec2_zero_errors;
+          Alcotest.test_case "polar" `Quick test_vec2_polar;
+          Alcotest.test_case "lerp" `Quick test_vec2_lerp;
+          qc prop_rotate_preserves_norm;
+          qc prop_add_comm;
+          qc prop_cross_antisym;
+        ] );
+      ( "mat2",
+        [
+          Alcotest.test_case "identity" `Quick test_mat2_identity;
+          Alcotest.test_case "rotation" `Quick test_mat2_rotation;
+          Alcotest.test_case "reflection" `Quick test_mat2_reflect;
+          Alcotest.test_case "singular inverse" `Quick test_mat2_singular_inverse;
+          qc prop_mat2_mul_apply;
+          qc prop_mat2_inverse;
+          qc prop_mat2_qr;
+          qc prop_mat2_det_multiplicative;
+        ] );
+      ( "angle",
+        [
+          Alcotest.test_case "normalize" `Quick test_angle_normalize;
+          Alcotest.test_case "diff" `Quick test_angle_diff;
+          Alcotest.test_case "within_sweep" `Quick test_within_sweep;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+        ] );
+      ( "conformal",
+        [
+          Alcotest.test_case "scale validation" `Quick
+            test_conformal_scale_validation;
+          Alcotest.test_case "chirality" `Quick test_conformal_chirality;
+          qc prop_conformal_matches_matrix;
+          qc prop_conformal_compose;
+          qc prop_conformal_inverse;
+          qc prop_conformal_map_angle;
+          qc prop_conformal_det_sign;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "point-segment cases" `Quick
+            test_point_segment_cases;
+          Alcotest.test_case "point-arc cases" `Quick test_point_arc_cases;
+          Alcotest.test_case "point-circle" `Quick test_point_circle;
+          qc prop_point_segment;
+          qc prop_point_arc;
+          qc prop_point_segment_param_consistent;
+        ] );
+    ]

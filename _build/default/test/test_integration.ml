@@ -1,0 +1,304 @@
+(* End-to-end integration tests: the paper's headline claims executed through
+   the full stack (workload generator -> universal algorithm -> realisation ->
+   detector -> analytic bounds).
+
+   These are the "does the reproduction actually reproduce" tests:
+   - every feasible atlas cell rendezvouses within its analytic guarantee;
+   - every infeasible cell survives a long horizon, and on the adversarial
+     bearing carries a certified separation;
+   - randomly generated scenarios of each feasibility class rendezvous;
+   - the detector's hit time is insensitive to its resolution parameter. *)
+
+open Rvu_geom
+open Rvu_core
+open Rvu_workload
+
+let check_bool = Alcotest.(check bool)
+
+let run_cell ?(bearing = 0.9) ?(d = 1.5) ?(r = 0.4) ?horizon attributes =
+  let inst =
+    Rvu_sim.Engine.instance ~attributes
+      ~displacement:(Vec2.of_polar ~radius:d ~angle:bearing)
+      ~r
+  in
+  (Rvu_sim.Engine.run ?horizon inst, inst)
+
+let test_atlas_feasible_cells () =
+  List.iter
+    (fun cell ->
+      match cell.Atlas.expected with
+      | Feasibility.Infeasible -> ()
+      | Feasibility.Feasible _ -> begin
+          let res, _ = run_cell ~horizon:1e9 cell.Atlas.attributes in
+          match res.Rvu_sim.Engine.outcome with
+          | Rvu_sim.Detector.Hit t ->
+              let bound = Option.get res.Rvu_sim.Engine.bound.Universal.time in
+              check_bool
+                (Printf.sprintf "%s: hit %g within bound %g" cell.Atlas.label t
+                   bound)
+                true (t <= bound)
+          | _ -> Alcotest.fail (cell.Atlas.label ^ ": no rendezvous")
+        end)
+    Atlas.cells
+
+let test_atlas_infeasible_cells () =
+  List.iter
+    (fun cell ->
+      match cell.Atlas.expected with
+      | Feasibility.Feasible _ -> ()
+      | Feasibility.Infeasible -> begin
+          (* Adversarial bearing: provably never meet. *)
+          let dhat =
+            Option.get (Feasibility.adversarial_direction cell.Atlas.attributes)
+          in
+          let inst =
+            Rvu_sim.Engine.instance ~attributes:cell.Atlas.attributes
+              ~displacement:(Vec2.scale 1.5 dhat) ~r:0.4
+          in
+          let horizon = 20_000.0 in
+          let res = Rvu_sim.Engine.run ~horizon inst in
+          check_bool
+            (cell.Atlas.label ^ ": survives horizon")
+            true
+            (res.Rvu_sim.Engine.outcome = Rvu_sim.Detector.Horizon horizon);
+          let sep =
+            Rvu_sim.Engine.separation_certificate ~resolution:2e-2
+              ~horizon:2000.0 inst
+          in
+          check_bool
+            (Printf.sprintf "%s: certified separation %g > r" cell.Atlas.label
+               sep)
+            true (sep > 0.4)
+        end)
+    Atlas.cells
+
+let scenario_rendezvouses ?horizon (s : Scenario.t) =
+  let inst =
+    Rvu_sim.Engine.instance ~attributes:s.Scenario.attributes
+      ~displacement:(Scenario.displacement s) ~r:s.Scenario.r
+  in
+  let res = Rvu_sim.Engine.run ?horizon inst in
+  match res.Rvu_sim.Engine.outcome with
+  | Rvu_sim.Detector.Hit t -> begin
+      match res.Rvu_sim.Engine.bound.Universal.time with
+      | Some bound -> t <= bound
+      | None -> false
+    end
+  | _ -> false
+
+let test_random_speed_scenarios () =
+  let g = Rng.create ~seed:101L in
+  for i = 1 to 10 do
+    let s = Scenario.random_speeds g in
+    check_bool (Printf.sprintf "speeds #%d" i) true
+      (scenario_rendezvouses ~horizon:1e9 s)
+  done
+
+let test_random_rotation_scenarios () =
+  let g = Rng.create ~seed:202L in
+  for i = 1 to 10 do
+    let s = Scenario.random_rotated g in
+    check_bool (Printf.sprintf "rotated #%d" i) true
+      (scenario_rendezvouses ~horizon:1e9 s)
+  done
+
+let test_random_mirror_scenarios () =
+  let g = Rng.create ~seed:303L in
+  for i = 1 to 8 do
+    let s = Scenario.random_mirror g in
+    check_bool (Printf.sprintf "mirror #%d" i) true
+      (scenario_rendezvouses ~horizon:1e9 s)
+  done
+
+let test_random_clock_scenarios () =
+  let g = Rng.create ~seed:404L in
+  for i = 1 to 6 do
+    let s = Scenario.random_clocks g in
+    check_bool (Printf.sprintf "clocks #%d" i) true
+      (scenario_rendezvouses ~horizon:1e10 s)
+  done
+
+let test_random_infeasible_scenarios () =
+  (* Random bearings usually admit rendezvous only for feasible attribute
+     vectors; infeasible ones must never produce a Hit... except that for
+     infeasible instances a *generic* bearing can still be approached when
+     chi = -1 (only the adversarial direction is guaranteed separated — the
+     robots may stumble within r on other bearings). Identical robots,
+     however, never change relative position regardless of bearing. *)
+  let g = Rng.create ~seed:505L in
+  for i = 1 to 5 do
+    let s = Scenario.random_infeasible g in
+    if Attributes.is_reference s.Scenario.attributes then begin
+      let inst =
+        Rvu_sim.Engine.instance ~attributes:s.Scenario.attributes
+          ~displacement:(Scenario.displacement s) ~r:s.Scenario.r
+      in
+      let res = Rvu_sim.Engine.run ~horizon:5000.0 inst in
+      check_bool
+        (Printf.sprintf "identical #%d stays apart" i)
+        true
+        (res.Rvu_sim.Engine.outcome = Rvu_sim.Detector.Horizon 5000.0)
+    end
+  done
+
+(* The paper's central reduction (Lemma 4 + Definition 1), executed. *)
+
+let attrs_sym_arb =
+  QCheck.map
+    (fun ((v, phi), chi) ->
+      Attributes.make ~v ~phi
+        ~chi:(if chi then Attributes.Same else Attributes.Opposite)
+        ())
+    QCheck.(pair (pair (float_range 0.3 3.0) (float_range 0.0 6.28)) bool)
+
+let prop_definition1_pointwise =
+  (* At any time t (with equal clocks), the inter-robot displacement equals
+     T∘·S(t) − d: rendezvous is exactly the induced search problem. *)
+  QCheck.Test.make ~name:"definition 1: S(t) - S'(t) = T.S(t) pointwise"
+    ~count:200
+    (QCheck.pair attrs_sym_arb (QCheck.float_range 0.0 390.0))
+    (fun (attributes, t) ->
+      let program = Rvu_search.Algorithm4.search_all 2 in
+      let d = Vec2.make (-0.8) 1.7 in
+      let pos_r =
+        Rvu_trajectory.Realize.position Rvu_trajectory.Realize.identity program t
+      in
+      let pos_r' =
+        Rvu_trajectory.Realize.position (Frame.clocked attributes ~displacement:d)
+          program t
+      in
+      let s_local = Rvu_trajectory.Program.position_at program t in
+      let induced = Rvu_geom.Mat2.apply (Equivalent.t_matrix attributes) s_local in
+      Vec2.equal ~tol:1e-6 (Vec2.sub pos_r pos_r') (Vec2.sub induced d))
+
+let prop_lemma6_hit_time_reduction =
+  (* chi = +1: the rendezvous instant equals the first time the mu-scaled
+     trajectory reaches the rotated target — the exact Lemma 6 argument. *)
+  QCheck.Test.make
+    ~name:"lemma 6: rendezvous time = mu-scaled search time of rotated target"
+    ~count:40
+    QCheck.(pair (float_range 0.3 3.0) (float_range 0.1 6.1))
+    (fun (v, phi) ->
+      let attributes = Attributes.make ~v ~phi () in
+      QCheck.assume (Equivalent.mu attributes > 0.05);
+      let d = Vec2.make 1.1 (-0.6) in
+      let r = 0.2 in
+      let program () = Rvu_search.Algorithm4.program () in
+      let rendezvous =
+        let inst = Rvu_sim.Engine.instance ~attributes ~displacement:d ~r in
+        match
+          (Rvu_sim.Engine.run ~horizon:1e7 ~program:(program ()) inst)
+            .Rvu_sim.Engine.outcome
+        with
+        | Rvu_sim.Detector.Hit t -> t
+        | _ -> QCheck.assume_fail ()
+      in
+      let search =
+        let q, _ = Option.get (Equivalent.factor attributes) in
+        let target = Rvu_geom.Mat2.apply (Rvu_geom.Mat2.transpose q) d in
+        let clocked =
+          Rvu_trajectory.Realize.make
+            ~frame:(Rvu_geom.Conformal.make ~scale:(Equivalent.mu attributes) ())
+            ~time_unit:1.0
+        in
+        match
+          Rvu_sim.Search_engine.run ~clocked ~program:(program ()) ~target ~r ()
+        with
+        | Rvu_sim.Search_engine.Found t, _ -> t
+        | _ -> QCheck.assume_fail ()
+      in
+      Float.abs (rendezvous -. search) <= 1e-5 *. Float.max 1.0 rendezvous)
+
+let test_resolution_insensitivity () =
+  (* The reported hit time must be stable across detector resolutions. *)
+  let inst =
+    Rvu_sim.Engine.instance
+      ~attributes:(Attributes.make ~v:1.7 ~phi:0.9 ())
+      ~displacement:(Vec2.make 1.2 0.8) ~r:0.25
+  in
+  let hit resolution =
+    match
+      (Rvu_sim.Engine.run ~resolution ~horizon:1e7 inst).Rvu_sim.Engine.outcome
+    with
+    | Rvu_sim.Detector.Hit t -> t
+    | _ -> Alcotest.fail "expected a hit"
+  in
+  let t3 = hit 1e-3 and t6 = hit 1e-6 and t9 = hit 1e-9 in
+  check_bool "1e-3 vs 1e-9" true (Float.abs (t3 -. t9) < 1e-2);
+  check_bool "1e-6 vs 1e-9" true (Float.abs (t6 -. t9) < 1e-5)
+
+let test_algorithm4_vs_algorithm7_symmetric_clocks () =
+  (* With tau = 1 both algorithms must solve the instance; Algorithm 4 is
+     strictly faster (no idle phases). *)
+  let inst =
+    Rvu_sim.Engine.instance
+      ~attributes:(Attributes.make ~v:2.0 ())
+      ~displacement:(Vec2.make 2.0 1.0) ~r:0.1
+  in
+  let time program =
+    match
+      (Rvu_sim.Engine.run ~horizon:1e7 ~program inst).Rvu_sim.Engine.outcome
+    with
+    | Rvu_sim.Detector.Hit t -> t
+    | _ -> Alcotest.fail "expected a hit"
+  in
+  let t4 = time (Rvu_search.Algorithm4.program ()) in
+  let t7 = time (Universal.program ()) in
+  check_bool "both finite" true (t4 > 0.0 && t7 > 0.0);
+  check_bool "algorithm 4 at least as fast" true (t4 <= t7 +. 1e-9)
+
+let test_asymmetric_round_bound_holds () =
+  (* Measured rendezvous round never exceeds the Lemma 13 round bound. *)
+  List.iter
+    (fun tau ->
+      let attributes = Attributes.make ~tau () in
+      let inst =
+        Rvu_sim.Engine.instance ~attributes
+          ~displacement:(Vec2.make 1.5 0.5) ~r:0.4
+      in
+      let res = Rvu_sim.Engine.run ~horizon:1e9 inst in
+      match res.Rvu_sim.Engine.outcome with
+      | Rvu_sim.Detector.Hit t ->
+          let round =
+            match Phases.phase_at t with Some (n, _) -> n | None -> 0
+          in
+          let bound = Option.get res.Rvu_sim.Engine.bound.Universal.round in
+          check_bool
+            (Printf.sprintf "tau=%g: round %d <= k* %d" tau round bound)
+            true (round <= bound)
+      | _ -> Alcotest.fail (Printf.sprintf "tau=%g must rendezvous" tau))
+    [ 0.5; 0.6; 0.75 ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "theorem 4 atlas",
+        [
+          Alcotest.test_case "feasible cells rendezvous within bounds" `Slow
+            test_atlas_feasible_cells;
+          Alcotest.test_case "infeasible cells stay apart" `Slow
+            test_atlas_infeasible_cells;
+        ] );
+      ( "random scenarios",
+        [
+          Alcotest.test_case "different speeds" `Slow test_random_speed_scenarios;
+          Alcotest.test_case "rotated compasses" `Slow test_random_rotation_scenarios;
+          Alcotest.test_case "mirror chirality" `Slow test_random_mirror_scenarios;
+          Alcotest.test_case "asymmetric clocks" `Slow test_random_clock_scenarios;
+          Alcotest.test_case "infeasible" `Slow test_random_infeasible_scenarios;
+        ] );
+      ( "definition 1 reduction",
+        [
+          QCheck_alcotest.to_alcotest prop_definition1_pointwise;
+          QCheck_alcotest.to_alcotest prop_lemma6_hit_time_reduction;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "resolution insensitivity" `Quick
+            test_resolution_insensitivity;
+          Alcotest.test_case "algorithm 4 vs 7" `Quick
+            test_algorithm4_vs_algorithm7_symmetric_clocks;
+          Alcotest.test_case "lemma 13 round bound" `Slow
+            test_asymmetric_round_bound_holds;
+        ] );
+    ]

@@ -1,0 +1,397 @@
+(* Unit and property tests for Rvu_numerics. *)
+
+open Rvu_numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Floats *)
+
+let test_equal_tolerant () =
+  check_bool "equal within tol" true (Floats.equal 1.0 (1.0 +. 1e-12));
+  check_bool "not equal outside tol" false (Floats.equal 1.0 1.001);
+  check_bool "relative scaling" true (Floats.equal 1e12 (1e12 +. 1.0));
+  check_bool "zero vs tiny" true (Floats.equal 0.0 1e-12)
+
+let test_leq_geq () =
+  check_bool "leq strict" true (Floats.leq 1.0 2.0);
+  check_bool "leq equal" true (Floats.leq 2.0 2.0);
+  check_bool "leq slack" true (Floats.leq (2.0 +. 1e-12) 2.0);
+  check_bool "leq false" false (Floats.leq 2.1 2.0);
+  check_bool "geq mirrors" true (Floats.geq 2.0 1.0)
+
+let test_clamp () =
+  check_float "below" 0.0 (Floats.clamp ~lo:0.0 ~hi:1.0 (-5.0));
+  check_float "above" 1.0 (Floats.clamp ~lo:0.0 ~hi:1.0 5.0);
+  check_float "inside" 0.5 (Floats.clamp ~lo:0.0 ~hi:1.0 0.5);
+  Alcotest.check_raises "bad interval" (Invalid_argument "Floats.clamp: lo > hi")
+    (fun () -> ignore (Floats.clamp ~lo:1.0 ~hi:0.0 0.5))
+
+let test_log2 () =
+  check_float "log2 8" 3.0 (Floats.log2 8.0);
+  check_float "log2 1" 0.0 (Floats.log2 1.0);
+  check_float "log2 0.25" (-2.0) (Floats.log2 0.25)
+
+let test_ceil_div_pos () =
+  Alcotest.(check int) "exact" 4 (Floats.ceil_div_pos 8.0 2.0);
+  Alcotest.(check int) "round up" 5 (Floats.ceil_div_pos 8.1 2.0);
+  Alcotest.(check int) "zero numerator" 0 (Floats.ceil_div_pos 0.0 2.0);
+  Alcotest.check_raises "zero divisor"
+    (Invalid_argument "Floats.ceil_div_pos: divisor <= 0") (fun () ->
+      ignore (Floats.ceil_div_pos 1.0 0.0))
+
+let test_finite_or_fail () =
+  check_float "passes finite" 3.5 (Floats.finite_or_fail ~ctx:"t" 3.5);
+  check_bool "raises on nan" true
+    (try
+       ignore (Floats.finite_or_fail ~ctx:"t" Float.nan);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Kahan *)
+
+let test_kahan_small_plus_large () =
+  (* 1 + 1e-16 added 10^6 times: naive summation loses all the small terms. *)
+  let acc = Kahan.create () in
+  Kahan.add acc 1.0;
+  for _ = 1 to 1_000_000 do
+    Kahan.add acc 1e-16
+  done;
+  check_float "compensated" (1.0 +. 1e-10) (Kahan.total acc)
+
+let test_kahan_large_addend () =
+  (* Neumaier handles an addend larger than the running sum. *)
+  let acc = Kahan.create () in
+  Kahan.add acc 1.0;
+  Kahan.add acc 1e100;
+  Kahan.add acc 1.0;
+  Kahan.add acc (-1e100);
+  check_float "neumaier" 2.0 (Kahan.total acc)
+
+let test_kahan_sum_list () =
+  check_float "list" 10.0 (Kahan.sum_list [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "empty" 0.0 (Kahan.sum_list []);
+  check_float "seq" 10.0 (Kahan.sum_seq (List.to_seq [ 1.0; 2.0; 3.0; 4.0 ]))
+
+let prop_kahan_matches_exact =
+  QCheck.Test.make ~name:"kahan: matches integer-exact sums" ~count:200
+    QCheck.(list (int_range (-1000) 1000))
+    (fun ints ->
+      let floats = List.map float_of_int ints in
+      let expected = float_of_int (List.fold_left ( + ) 0 ints) in
+      Kahan.sum_list floats = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Brent *)
+
+let test_brent_cos () =
+  match Brent.root ~f:cos ~lo:0.0 ~hi:2.0 () with
+  | Ok x -> check_float "pi/2" (Float.pi /. 2.0) x
+  | Error msg -> Alcotest.fail msg
+
+let test_brent_endpoint_zero () =
+  (match Brent.root ~f:(fun x -> x) ~lo:0.0 ~hi:1.0 () with
+  | Ok x -> check_float "endpoint root" 0.0 x
+  | Error msg -> Alcotest.fail msg);
+  match Brent.root ~f:(fun x -> x -. 1.0) ~lo:0.0 ~hi:1.0 () with
+  | Ok x -> check_float "hi endpoint root" 1.0 x
+  | Error msg -> Alcotest.fail msg
+
+let test_brent_no_bracket () =
+  match Brent.root ~f:(fun x -> (x *. x) +. 1.0) ~lo:(-1.0) ~hi:1.0 () with
+  | Ok _ -> Alcotest.fail "accepted a non-bracketing interval"
+  | Error _ -> ()
+
+let prop_brent_cubic =
+  QCheck.Test.make ~name:"brent: root of shifted cubic" ~count:200
+    QCheck.(float_range (-5.0) 5.0)
+    (fun c ->
+      let f x = (x *. x *. x) -. c in
+      match Brent.root ~f ~lo:(-10.0) ~hi:10.0 () with
+      | Ok x -> Float.abs (f x) < 1e-8
+      | Error _ -> false)
+
+let test_bisect_first () =
+  (* f positive then negative: first crossing of x ↦ 1 − x at 1. *)
+  let f x = 1.0 -. x in
+  let t = Brent.bisect_first ~f ~lo:0.0 ~hi:3.0 () in
+  check_float "first crossing" 1.0 t
+
+(* ------------------------------------------------------------------ *)
+(* Lambert W *)
+
+let prop_w0_inverse =
+  QCheck.Test.make ~name:"lambert: w0 e^w0 = x" ~count:300
+    QCheck.(float_range (-0.367) 1e6)
+    (fun x ->
+      match Lambert_w.w0 x with
+      | Ok w -> Rvu_numerics.Floats.equal ~tol:1e-10 (w *. Float.exp w) x
+      | Error _ -> false)
+
+let prop_wm1_inverse =
+  QCheck.Test.make ~name:"lambert: wm1 e^wm1 = x" ~count:300
+    QCheck.(float_range (-0.367) (-1e-6))
+    (fun x ->
+      match Lambert_w.wm1 x with
+      | Ok w ->
+          w <= -1.0 +. 1e-6
+          && Rvu_numerics.Floats.equal ~tol:1e-8 (w *. Float.exp w) x
+      | Error _ -> false)
+
+let test_w0_known_values () =
+  check_float "W(0) = 0" 0.0 (Lambert_w.w0_exn 0.0);
+  check_float "W(e) = 1" 1.0 (Lambert_w.w0_exn (Float.exp 1.0));
+  check_float "W(-1/e) = -1" (-1.0) (Lambert_w.w0_exn Lambert_w.branch_point)
+
+let test_w_domain_errors () =
+  check_bool "w0 below -1/e" true (Result.is_error (Lambert_w.w0 (-1.0)));
+  check_bool "w0 nan" true (Result.is_error (Lambert_w.w0 Float.nan));
+  check_bool "wm1 positive" true (Result.is_error (Lambert_w.wm1 0.5));
+  check_bool "wm1 zero" true (Result.is_error (Lambert_w.wm1 0.0))
+
+let test_w0_asymptotic () =
+  (* For large x, W(x) is close to (and per Hoorfar–Hassani below)
+     ln x − ln ln x … within the next-order correction. *)
+  let x = 1e8 in
+  let w = Lambert_w.w0_exn x in
+  let upper = Lambert_w.asymptotic_upper x in
+  check_bool "w0 >= asymptotic lower form" true (w >= upper);
+  check_bool "w0 close to asymptote" true (w -. upper < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Lipschitz *)
+
+let test_first_below_line () =
+  (* f(t) = 5 − t crosses zero at t = 5; Lipschitz constant 1. *)
+  match
+    Lipschitz.first_below ~lipschitz:1.0 ~resolution:1e-6
+      ~f:(fun t -> 5.0 -. t)
+      ~lo:0.0 ~hi:10.0 ()
+  with
+  | Lipschitz.First_below t -> check_float "crossing at 5" 5.0 t
+  | Lipschitz.Stays_above -> Alcotest.fail "missed the crossing"
+
+let test_first_below_earliest () =
+  (* Starts positive, dips below zero repeatedly; must report the first
+     crossing, at t = π/4 where sin² t reaches 1/2. *)
+  let f t = 0.5 -. (sin t *. sin t) in
+  match
+    Lipschitz.first_below ~lipschitz:1.0 ~resolution:1e-6 ~f ~lo:0.0 ~hi:10.0 ()
+  with
+  | Lipschitz.First_below t ->
+      Alcotest.(check (float 1e-4)) "first dip" (Float.pi /. 4.0) t
+  | Lipschitz.Stays_above -> Alcotest.fail "missed"
+
+let test_stays_above_certified () =
+  match
+    Lipschitz.first_below ~lipschitz:1.0 ~resolution:1e-6
+      ~f:(fun t -> 0.1 +. (0.05 *. sin t))
+      ~lo:0.0 ~hi:100.0 ()
+  with
+  | Lipschitz.First_below _ -> Alcotest.fail "false positive"
+  | Lipschitz.Stays_above -> ()
+
+let test_first_below_at_lo () =
+  match
+    Lipschitz.first_below ~lipschitz:1.0 ~resolution:1e-6
+      ~f:(fun t -> t -. 10.0)
+      ~lo:0.0 ~hi:5.0 ()
+  with
+  | Lipschitz.First_below t -> check_float "already below at lo" 0.0 t
+  | Lipschitz.Stays_above -> Alcotest.fail "missed"
+
+let prop_first_below_shifted_sine =
+  (* f(t) = sin(t) + c: for c < −sin(hi-range minimum) it must find the first
+     crossing, which we can compute analytically. *)
+  QCheck.Test.make ~name:"lipschitz: first crossing of sin + c" ~count:100
+    QCheck.(float_range (-0.9) 0.9)
+    (fun c ->
+      let f t = sin t +. c in
+      match
+        Lipschitz.first_below ~lipschitz:1.0 ~resolution:1e-9 ~f ~lo:0.0
+          ~hi:8.0 ()
+      with
+      | Lipschitz.First_below t ->
+          let expected =
+            if c <= 0.0 then 0.0 (* sin 0 + c <= 0 at the left endpoint *)
+            else Float.pi +. asin c
+          in
+          Float.abs (t -. expected) < 1e-6
+      | Lipschitz.Stays_above -> false)
+
+let prop_min_lower_bound_certified =
+  (* On random trig polynomials (Lipschitz constant |a| + 2|b|) the
+     certified lower bound must sit just below the brute-force minimum. *)
+  QCheck.Test.make ~name:"lipschitz: certified min below brute force"
+    ~count:100
+    QCheck.(
+      triple (float_range (-2.0) 2.0) (float_range (-2.0) 2.0)
+        (float_range (-1.0) 5.0))
+    (fun (a, b, c) ->
+      let f t = (a *. sin t) +. (b *. cos (2.0 *. t)) +. c in
+      let l = Float.abs a +. (2.0 *. Float.abs b) in
+      let lb =
+        Lipschitz.min_lower_bound ~lipschitz:(l +. 1e-9) ~resolution:1e-3 ~f
+          ~lo:0.0 ~hi:10.0 ()
+      in
+      let brute = ref Float.infinity in
+      for i = 0 to 5000 do
+        brute := Float.min !brute (f (float_of_int i /. 500.0))
+      done;
+      lb <= !brute +. 1e-9 && !brute -. lb <= (l *. 1e-3 /. 2.0) +. 2e-3)
+
+let test_min_lower_bound () =
+  let f t = 2.0 +. sin t in
+  let lb =
+    Lipschitz.min_lower_bound ~lipschitz:1.0 ~resolution:1e-4 ~f ~lo:0.0
+      ~hi:10.0 ()
+  in
+  check_bool "lb below true min" true (lb <= 1.0);
+  check_bool "lb tight" true (lb > 1.0 -. 1e-3)
+
+let test_min_lower_bound_point () =
+  check_float "degenerate interval" 7.0
+    (Lipschitz.min_lower_bound ~lipschitz:1.0 ~resolution:1e-4
+       ~f:(fun _ -> 7.0)
+       ~lo:3.0 ~hi:3.0 ())
+
+let test_lipschitz_validation () =
+  let f t = t in
+  Alcotest.check_raises "negative constant"
+    (Invalid_argument "Lipschitz: negative constant") (fun () ->
+      ignore (Lipschitz.first_below ~lipschitz:(-1.0) ~resolution:1.0 ~f ~lo:0.0 ~hi:1.0 ()));
+  Alcotest.check_raises "bad resolution"
+    (Invalid_argument "Lipschitz: non-positive resolution") (fun () ->
+      ignore (Lipschitz.first_below ~lipschitz:1.0 ~resolution:0.0 ~f ~lo:0.0 ~hi:1.0 ()));
+  Alcotest.check_raises "empty interval"
+    (Invalid_argument "Lipschitz: empty interval") (fun () ->
+      ignore (Lipschitz.first_below ~lipschitz:1.0 ~resolution:1.0 ~f ~lo:1.0 ~hi:0.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let prop_summarize_invariants =
+  QCheck.Test.make ~name:"stats: min <= median <= max, stddev >= 0" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      match Stats.summarize xs with
+      | None -> xs = []
+      | Some s ->
+          s.Stats.min <= s.Stats.median +. 1e-9
+          && s.Stats.median <= s.Stats.max +. 1e-9
+          && s.Stats.stddev >= 0.0
+          && s.Stats.min <= s.Stats.mean +. 1e-9
+          && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"stats: percentile is monotone in p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 30) (float_range (-50.0) 50.0))
+        (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (xs, (p, q)) ->
+      let lo = Float.min p q and hi = Float.max p q in
+      Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9)
+
+let prop_kahan_order_independent =
+  QCheck.Test.make ~name:"kahan: summation is order independent" ~count:200
+    QCheck.(list (float_range (-1e6) 1e6))
+    (fun xs ->
+      let a = Kahan.sum_list xs in
+      let b = Kahan.sum_list (List.rev xs) in
+      Rvu_numerics.Floats.equal ~tol:1e-12 a b)
+
+let test_summarize () =
+  match Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] with
+  | None -> Alcotest.fail "summary of non-empty list"
+  | Some s ->
+      Alcotest.(check int) "count" 5 s.Stats.count;
+      check_float "mean" 3.0 s.Stats.mean;
+      check_float "median" 3.0 s.Stats.median;
+      check_float "min" 1.0 s.Stats.min;
+      check_float "max" 5.0 s.Stats.max;
+      check_float "stddev" (sqrt 2.5) s.Stats.stddev
+
+let test_summarize_empty () =
+  check_bool "empty" true (Stats.summarize [] = None)
+
+let test_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 40.0 (Stats.percentile 100.0 xs);
+  check_float "p50 interpolates" 25.0 (Stats.percentile 50.0 xs)
+
+let test_geometric_mean () =
+  check_float "gm" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  check_bool "raises on zero" true
+    (try
+       ignore (Stats.geometric_mean [ 1.0; 0.0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_max_ratio () =
+  check_float "max ratio" 0.5
+    (Stats.max_ratio [ (1.0, 4.0); (2.0, 4.0); (1.0, 10.0) ])
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rvu_numerics"
+    [
+      ( "floats",
+        [
+          Alcotest.test_case "tolerant equality" `Quick test_equal_tolerant;
+          Alcotest.test_case "leq/geq" `Quick test_leq_geq;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "ceil_div_pos" `Quick test_ceil_div_pos;
+          Alcotest.test_case "finite_or_fail" `Quick test_finite_or_fail;
+        ] );
+      ( "kahan",
+        [
+          Alcotest.test_case "small plus large" `Quick test_kahan_small_plus_large;
+          Alcotest.test_case "large addend" `Quick test_kahan_large_addend;
+          Alcotest.test_case "sum_list/sum_seq" `Quick test_kahan_sum_list;
+          qc prop_kahan_matches_exact;
+        ] );
+      ( "brent",
+        [
+          Alcotest.test_case "cos root" `Quick test_brent_cos;
+          Alcotest.test_case "endpoint zeros" `Quick test_brent_endpoint_zero;
+          Alcotest.test_case "no bracket" `Quick test_brent_no_bracket;
+          Alcotest.test_case "bisect first" `Quick test_bisect_first;
+          qc prop_brent_cubic;
+        ] );
+      ( "lambert_w",
+        [
+          Alcotest.test_case "known values" `Quick test_w0_known_values;
+          Alcotest.test_case "domain errors" `Quick test_w_domain_errors;
+          Alcotest.test_case "asymptotics" `Quick test_w0_asymptotic;
+          qc prop_w0_inverse;
+          qc prop_wm1_inverse;
+        ] );
+      ( "lipschitz",
+        [
+          Alcotest.test_case "line crossing" `Quick test_first_below_line;
+          Alcotest.test_case "earliest dip" `Quick test_first_below_earliest;
+          Alcotest.test_case "certified absence" `Quick test_stays_above_certified;
+          Alcotest.test_case "below at lo" `Quick test_first_below_at_lo;
+          Alcotest.test_case "min lower bound" `Quick test_min_lower_bound;
+          Alcotest.test_case "degenerate interval" `Quick test_min_lower_bound_point;
+          Alcotest.test_case "validation" `Quick test_lipschitz_validation;
+          qc prop_first_below_shifted_sine;
+          qc prop_min_lower_bound_certified;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "max ratio" `Quick test_max_ratio;
+          qc prop_summarize_invariants;
+          qc prop_percentile_monotone;
+          qc prop_kahan_order_independent;
+        ] );
+    ]

@@ -1,0 +1,325 @@
+(* Tests for Rvu_report: tables, CSV, series and timelines. *)
+
+open Rvu_report
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_alignment () =
+  let t =
+    Table.create
+      ~columns:[ Table.column ~align:Table.Left "name"; Table.column "value" ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "12345" ];
+  let out = Table.render t in
+  check_bool "left-aligned label" true (contains out "| alpha |");
+  check_bool "right-aligned number" true (contains out "|     1 |");
+  check_bool "header present" true (contains out "| name  |")
+
+let test_table_rule () =
+  let t = Table.create ~columns:[ Table.column "x" ] in
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  let out = Table.render t in
+  (* outer top, under-header, mid, outer bottom = 4 rules *)
+  let rules =
+    List.length
+      (List.filter (fun l -> String.length l > 0 && l.[0] = '+')
+         (String.split_on_char '\n' out))
+  in
+  Alcotest.(check int) "rule count" 4 rules
+
+let test_table_mismatch () =
+  let t = Table.create ~columns:[ Table.column "x"; Table.column "y" ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_table_empty_columns () =
+  Alcotest.check_raises "no columns"
+    (Invalid_argument "Table.create: no columns") (fun () ->
+      ignore (Table.create ~columns:[]))
+
+let prop_table_lines_equal_width =
+  QCheck.Test.make ~name:"table: every rendered line has the same width"
+    ~count:100
+    QCheck.(
+      pair (int_range 1 5)
+        (list_of_size (QCheck.Gen.int_range 0 8) small_printable_string))
+    (fun (cols, cells) ->
+      let t =
+        Table.create
+          ~columns:(List.init cols (fun i -> Table.column (Printf.sprintf "c%d" i)))
+      in
+      let rec rows = function
+        | [] -> ()
+        | rest ->
+            let row = List.filteri (fun i _ -> i < cols) (rest @ List.init cols (fun _ -> "x")) in
+            Table.add_row t (List.map (String.map (fun c -> if c = '\n' then ' ' else c)) row);
+            rows (if List.length rest > cols then List.filteri (fun i _ -> i >= cols) rest else [])
+      in
+      rows cells;
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' (Table.render t))
+      in
+      match lines with
+      | [] -> false
+      | first :: _ ->
+          let w = String.length first in
+          List.for_all (fun l -> String.length l = w) lines)
+
+let test_table_roundtrip_csv () =
+  let t = Table.create ~columns:[ Table.column "a"; Table.column "b" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_rule t;
+  Table.add_row t [ "3"; "4" ];
+  Alcotest.(check (list string)) "headers" [ "a"; "b" ] (Table.headers t);
+  check_bool "rows skip rules" true (Table.rows t = [ [ "1"; "2" ]; [ "3"; "4" ] ])
+
+let test_formatters () =
+  check_string "fstr" "3.142" (Table.fstr 3.14159);
+  check_string "istr" "42" (Table.istr 42);
+  check_string "precise" "3.14159" (Table.fstr_precise 3.14159)
+
+(* ------------------------------------------------------------------ *)
+(* Csv *)
+
+let test_csv_escape () =
+  check_string "plain" "abc" (Csv.escape "abc");
+  check_string "comma" "\"a,b\"" (Csv.escape "a,b");
+  check_string "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  check_string "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_row () =
+  check_string "row" "a,\"b,c\",d" (Csv.row [ "a"; "b,c"; "d" ])
+
+let test_csv_write () =
+  let path = Filename.temp_file "rvu_test" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  let ic = open_in path in
+  let lines = List.init 3 (fun _ -> input_line ic) in
+  close_in ic;
+  Sys.remove path;
+  check_bool "contents" true (lines = [ "x,y"; "1,2"; "3,4" ])
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let test_bar_chart () =
+  let out =
+    Series.bar_chart ~title:"growth" [ ("a", 1.0); ("b", 10.0); ("c", 100.0) ]
+  in
+  check_bool "title" true (contains out "growth");
+  check_bool "labels" true (contains out "a" && contains out "c");
+  (* log scale: bar for c should be at most ~3x bar for a despite 100x value *)
+  let bar label =
+    let lines = String.split_on_char '\n' out in
+    let line = List.find (fun l -> contains l (label ^ " ")) lines in
+    String.fold_left (fun acc ch -> if ch = '#' then acc + 1 else acc) 0 line
+  in
+  check_bool "log compression" true (bar "c" <= 8 * bar "a");
+  check_bool "monotone" true (bar "a" < bar "b" && bar "b" < bar "c")
+
+let test_bar_chart_zero () =
+  let out = Series.bar_chart ~title:"zeros" [ ("z", 0.0) ] in
+  check_bool "renders" true (contains out "z")
+
+let test_xy () =
+  let out =
+    Series.xy ~x_header:"n" ~y_headers:[ "measured"; "bound" ]
+      [ (1.0, [ 2.0; 3.0 ]); (2.0, [ 4.0; 6.0 ]) ]
+  in
+  check_bool "headers" true (contains out "measured" && contains out "bound");
+  check_bool "values" true (contains out "4");
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Series.xy: ragged rows") (fun () ->
+      ignore (Series.xy [ (1.0, [ 1.0 ]); (2.0, [ 1.0; 2.0 ]) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Svg *)
+
+let timed shape =
+  Rvu_trajectory.Timed.make ~t0:0.0
+    ~dur:(Rvu_trajectory.Segment.duration shape)
+    ~shape
+
+let test_svg_of_timed () =
+  let open Rvu_geom in
+  let segs =
+    [
+      timed (Rvu_trajectory.Segment.line ~src:Vec2.zero ~dst:(Vec2.make 2.0 0.0));
+      timed
+        (Rvu_trajectory.Segment.arc ~center:Vec2.zero ~radius:2.0 ~from:0.0
+           ~sweep:Float.pi);
+      timed (Rvu_trajectory.Segment.wait ~at:(Vec2.make (-2.0) 0.0) ~dur:1.0);
+    ]
+  in
+  match Svg.of_timed segs with
+  | Svg.Path { points; _ } ->
+      (match points with
+      | Svg.Move (0.0, 0.0) :: Svg.Line_to (2.0, 0.0) :: rest ->
+          check_bool "arc follows line without a jump" true
+            (List.for_all (function Svg.Arc_to _ -> true | _ -> false) rest);
+          check_bool "half turn splits into sub-arcs" true (List.length rest >= 2);
+          (match List.rev rest with
+          | Svg.Arc_to { stop = x, y; _ } :: _ ->
+              check_bool "arc ends at (-2, 0)" true
+                (Rvu_numerics.Floats.equal ~tol:1e-9 x (-2.0)
+                && Rvu_numerics.Floats.is_zero ~tol:1e-9 y)
+          | _ -> Alcotest.fail "expected trailing arc")
+      | _ -> Alcotest.fail "expected Move; Line_to; arcs")
+  | _ -> Alcotest.fail "of_timed returns a path"
+
+let test_svg_render () =
+  let open Rvu_geom in
+  let shapes =
+    [
+      Svg.of_timed
+        [ timed (Rvu_trajectory.Segment.line ~src:Vec2.zero ~dst:(Vec2.make 1.0 1.0)) ];
+      Svg.Disc { center = (0.0, 0.0); radius = 0.1; color = "red" };
+      Svg.Ring { center = (1.0, 1.0); radius = 0.2; color = "green" };
+    ]
+  in
+  let doc = Svg.render shapes in
+  check_bool "svg root" true (contains doc "<svg xmlns");
+  check_bool "has path" true (contains doc "<path d=\"M ");
+  check_bool "has circles" true (contains doc "<circle");
+  check_bool "closes" true (contains doc "</svg>");
+  Alcotest.check_raises "empty drawing"
+    (Invalid_argument "Svg.render: nothing to draw") (fun () ->
+      ignore (Svg.render []))
+
+let prop_svg_arc_flags_encode_center =
+  (* Recover each sub-arc's circle center from its endpoints, radius and
+     orientation flag (sub-arcs are < half a turn, so the flag picks one of
+     the two candidate centers: left of the chord for ccw, right for cw)
+     and check it equals the original arc's center. This pins down the
+     orientation encoding the renderer relies on. *)
+  let open Rvu_geom in
+  QCheck.Test.make ~name:"svg: arc pieces encode the correct circle" ~count:200
+    QCheck.(
+      pair
+        (pair (pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+           (float_range 0.3 4.0))
+        (pair (float_range 0.0 6.28)
+           (oneof [ float_range 0.2 6.28; float_range (-6.28) (-0.2) ])))
+    (fun (((cx, cy), radius), (from, sweep)) ->
+      let center = Vec2.make cx cy in
+      let seg =
+        Rvu_trajectory.Timed.make ~t0:0.0
+          ~dur:(radius *. Float.abs sweep)
+          ~shape:(Rvu_trajectory.Segment.arc ~center ~radius ~from ~sweep)
+      in
+      match Svg.of_timed [ seg ] with
+      | Svg.Path { points = Svg.Move start :: arcs; _ } ->
+          let ok = ref true in
+          let cursor = ref start in
+          List.iter
+            (fun piece ->
+              match piece with
+              | Svg.Arc_to { radius = r; ccw; stop; large; _ } ->
+                  let a = Vec2.make (fst !cursor) (snd !cursor) in
+                  let b = Vec2.make (fst stop) (snd stop) in
+                  let chord = Vec2.sub b a in
+                  let half = Vec2.norm chord /. 2.0 in
+                  if large || half > r +. 1e-9 then ok := false
+                  else begin
+                    let h = sqrt (Float.max 0.0 ((r *. r) -. (half *. half))) in
+                    let mid = Vec2.lerp a b 0.5 in
+                    let n = Vec2.normalize (Vec2.perp chord) in
+                    let recovered =
+                      Vec2.add mid (Vec2.scale (if ccw then h else -.h) n)
+                    in
+                    if not (Vec2.equal ~tol:1e-6 recovered center) then
+                      ok := false
+                  end;
+                  cursor := stop
+              | Svg.Move p | Svg.Line_to p -> cursor := p)
+            arcs;
+          !ok
+      | _ -> false)
+
+let test_svg_write () =
+  let path = Filename.temp_file "rvu_test" ".svg" in
+  Svg.write ~path [ Svg.Disc { center = (0.0, 0.0); radius = 1.0; color = "blue" } ];
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check_bool "file starts with svg" true (contains first "<svg")
+
+(* ------------------------------------------------------------------ *)
+(* Timeline *)
+
+let test_timeline_renders () =
+  let lanes =
+    [
+      { Timeline.name = "R"; intervals = [ (0.0, 50.0, 'I'); (50.0, 100.0, 'A') ] };
+      { Timeline.name = "R'"; intervals = [ (0.0, 100.0, 'I') ] };
+    ]
+  in
+  let out = Timeline.render ~width:40 ~warp:`Linear ~t_max:100.0 lanes in
+  check_bool "lane names" true (contains out "R " && contains out "R'");
+  check_bool "both glyphs" true (contains out "I" && contains out "A")
+
+let test_timeline_clips () =
+  let lanes =
+    [ { Timeline.name = "x"; intervals = [ (-10.0, 200.0, '#') ] } ]
+  in
+  let out = Timeline.render ~width:20 ~warp:`Linear ~t_max:100.0 lanes in
+  check_bool "clipped render" true (contains out "#")
+
+let test_timeline_validation () =
+  Alcotest.check_raises "bad t_max"
+    (Invalid_argument "Timeline.render: t_max <= 0") (fun () ->
+      ignore (Timeline.render ~t_max:0.0 []))
+
+let () =
+  Alcotest.run "rvu_report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "rules" `Quick test_table_rule;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+          Alcotest.test_case "empty columns" `Quick test_table_empty_columns;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+          Alcotest.test_case "rows/headers accessors" `Quick test_table_roundtrip_csv;
+          QCheck_alcotest.to_alcotest prop_table_lines_equal_width;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "row" `Quick test_csv_row;
+          Alcotest.test_case "write" `Quick test_csv_write;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "bar chart" `Quick test_bar_chart;
+          Alcotest.test_case "zero values" `Quick test_bar_chart_zero;
+          Alcotest.test_case "xy" `Quick test_xy;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "of_timed" `Quick test_svg_of_timed;
+          Alcotest.test_case "render" `Quick test_svg_render;
+          Alcotest.test_case "write" `Quick test_svg_write;
+          QCheck_alcotest.to_alcotest prop_svg_arc_flags_encode_center;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "renders" `Quick test_timeline_renders;
+          Alcotest.test_case "clips" `Quick test_timeline_clips;
+          Alcotest.test_case "validation" `Quick test_timeline_validation;
+        ] );
+    ]

@@ -1,0 +1,381 @@
+(* Tests for Rvu_search: the paper's Section 2.
+
+   The central checks here are the cross-validations between the paper's
+   algebra (Lemma 2, eq. (1)) and the actual trajectory generators, and the
+   simulated verification of Lemma 1 / Theorem 1. *)
+
+open Rvu_geom
+open Rvu_search
+open Rvu_trajectory
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let tol_eq = Rvu_numerics.Floats.equal ~tol:1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Procedures: generator geometry *)
+
+let test_search_circle_shape () =
+  let p = Procedures.search_circle 2.0 in
+  Alcotest.(check int) "3 segments" 3 (Program.segment_count p);
+  check_bool "continuous" true (Program.check_continuity p = Ok ());
+  check_bool "starts at origin" true
+    (Vec2.equal (Program.position_at p 0.0) Vec2.zero);
+  check_bool "ends at origin" true
+    (Vec2.equal ~tol:1e-9
+       (Program.position_at p (Program.duration p))
+       Vec2.zero)
+
+let test_search_circle_validation () =
+  Alcotest.check_raises "zero radius"
+    (Invalid_argument "Procedures.search_circle: radius <= 0") (fun () ->
+      ignore (Procedures.search_circle 0.0 : Rvu_trajectory.Program.t))
+
+let test_search_annulus_shape () =
+  let p = Procedures.search_annulus ~inner:1.0 ~outer:2.0 ~rho:0.25 in
+  (* m = ceil(1 / 0.5) = 2, so 3 circles of 3 segments. *)
+  Alcotest.(check int) "segments" 9 (Program.segment_count p);
+  Alcotest.(check int) "circle count" 3
+    (Procedures.annulus_circle_count ~inner:1.0 ~outer:2.0 ~rho:0.25);
+  check_bool "continuous" true (Program.check_continuity p = Ok ())
+
+let test_search_annulus_validation () =
+  Alcotest.check_raises "outer <= inner"
+    (Invalid_argument "Procedures.search_annulus: outer <= inner") (fun () ->
+      ignore (Procedures.search_annulus ~inner:2.0 ~outer:1.0 ~rho:0.1 : Rvu_trajectory.Program.t))
+
+let test_annulus_coverage () =
+  (* Every point of the annulus must come within rho of the trajectory. *)
+  let inner = 1.0 and outer = 2.0 and rho = 0.25 in
+  let p = Procedures.search_annulus ~inner ~outer ~rho in
+  let segs = Program.take_segments max_int p in
+  let dist_to_trajectory q =
+    List.fold_left
+      (fun acc seg ->
+        Float.min acc
+          (match (seg : Segment.t) with
+          | Segment.Wait { pos; _ } -> Vec2.dist q pos
+          | Segment.Line { src; dst } -> Dist.point_segment q src dst
+          | Segment.Arc { center; radius; from; sweep } ->
+              Dist.point_arc q ~center ~radius ~from ~sweep))
+      Float.infinity segs
+  in
+  let ok = ref true in
+  for i = 0 to 20 do
+    for j = 0 to 20 do
+      let radius = inner +. (float_of_int i /. 20.0 *. (outer -. inner)) in
+      let angle = float_of_int j /. 20.0 *. Rvu_numerics.Floats.two_pi in
+      let q = Vec2.of_polar ~radius ~angle in
+      if dist_to_trajectory q > rho +. 1e-9 then ok := false
+    done
+  done;
+  check_bool "all annulus points within rho" true !ok
+
+let test_search_round_radii () =
+  check_float "delta_{0,2}" 0.25 (Procedures.inner_radius ~k:2 ~j:0);
+  check_float "delta_{3,2}" 2.0 (Procedures.inner_radius ~k:2 ~j:3);
+  check_float "rho_{0,2}" (1.0 /. 128.0) (Procedures.granularity ~k:2 ~j:0);
+  check_float "ratio invariant 2^(k+1)" 8.0
+    (Rvu_numerics.Floats.sq (Procedures.inner_radius ~k:2 ~j:1)
+    /. Procedures.granularity ~k:2 ~j:1)
+
+let test_search_round_continuity () =
+  let p = Procedures.search_round 2 in
+  check_bool "continuous" true (Program.check_continuity p = Ok ());
+  check_bool "ends at origin (wait there)" true
+    (Vec2.equal (Program.position_at p (Program.duration p)) Vec2.zero)
+
+let test_search_round_validation () =
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Procedures.search_round: k < 1") (fun () ->
+      ignore (Procedures.search_round 0 : Rvu_trajectory.Program.t))
+
+(* ------------------------------------------------------------------ *)
+(* Timing: Lemma 2 closed forms vs the generators *)
+
+let measured_duration p = Program.duration p
+
+let test_lemma2_circle () =
+  List.iter
+    (fun delta ->
+      check_bool
+        (Printf.sprintf "circle time delta=%g" delta)
+        true
+        (tol_eq
+           (Timing.search_circle_time delta)
+           (measured_duration (Procedures.search_circle delta))))
+    [ 0.01; 0.5; 1.0; 3.0; 100.0 ]
+
+let test_lemma2_annulus () =
+  List.iter
+    (fun (inner, outer, rho) ->
+      check_bool
+        (Printf.sprintf "annulus time %g %g %g" inner outer rho)
+        true
+        (tol_eq
+           (Timing.search_annulus_time ~inner ~outer ~rho)
+           (measured_duration (Procedures.search_annulus ~inner ~outer ~rho))))
+    [ (1.0, 2.0, 0.25); (0.5, 4.0, 0.1); (2.0, 2.5, 1.0); (1.0, 8.0, 0.03) ]
+
+let test_lemma2_round () =
+  for k = 1 to 7 do
+    check_bool
+      (Printf.sprintf "Search(%d) time" k)
+      true
+      (tol_eq (Timing.search_round_time k)
+         (measured_duration (Procedures.search_round k)))
+  done
+
+let test_eq1_search_all () =
+  for n = 1 to 7 do
+    check_bool
+      (Printf.sprintf "S(%d)" n)
+      true
+      (tol_eq (Timing.search_all_time n)
+         (measured_duration (Algorithm4.search_all n)))
+  done
+
+let test_search_all_rev_time () =
+  for n = 1 to 6 do
+    check_bool
+      (Printf.sprintf "SearchAllRev(%d)" n)
+      true
+      (tol_eq (Timing.search_all_time n)
+         (measured_duration (Algorithm4.search_all_rev n)))
+  done
+
+let test_segment_counts () =
+  for k = 1 to 7 do
+    Alcotest.(check int)
+      (Printf.sprintf "Search(%d) segments" k)
+      (Timing.search_round_segments k)
+      (Program.segment_count (Procedures.search_round k))
+  done;
+  for n = 1 to 5 do
+    Alcotest.(check int)
+      (Printf.sprintf "SearchAll(%d) segments" n)
+      (Timing.search_all_segments n)
+      (Program.segment_count (Algorithm4.search_all n))
+  done
+
+let test_search_all_order () =
+  (* search_all runs rounds ascending, search_all_rev descending: round k
+     starts with a line out to radius 2^(-k). *)
+  let first_line p =
+    match Program.take_segments 1 p with
+    | [ Segment.Line { dst; _ } ] -> Vec2.norm dst
+    | _ -> Alcotest.fail "expected a leading line segment"
+  in
+  check_float "SearchAll starts with round 1" 0.5
+    (first_line (Algorithm4.search_all 3));
+  check_float "SearchAllRev starts with round 3" 0.125
+    (first_line (Algorithm4.search_all_rev 3))
+
+(* ------------------------------------------------------------------ *)
+(* Predict: Lemmas 1 and 3 *)
+
+let test_discovery_round_basics () =
+  Alcotest.(check int) "visible at start" 0 (Predict.discovery_round ~d:0.5 ~r:1.0);
+  check_bool "covering round found" true (Predict.discovery_round ~d:2.0 ~r:0.1 >= 1)
+
+let test_covers () =
+  check_bool "covers" true
+    (Predict.covers ~k:3 ~j:4
+       ~d:(Procedures.inner_radius ~k:3 ~j:4 *. 1.5)
+       ~r:(Procedures.granularity ~k:3 ~j:4));
+  check_bool "rho too coarse" false
+    (Predict.covers ~k:3 ~j:4
+       ~d:(Procedures.inner_radius ~k:3 ~j:4 *. 1.5)
+       ~r:(Procedures.granularity ~k:3 ~j:4 /. 2.0));
+  check_bool "j out of range" false (Predict.covers ~k:2 ~j:4 ~d:1.0 ~r:1.0)
+
+let test_lemma3_constructed () =
+  (* Instances placed exactly on a sub-round's band: discovery happens by
+     that round and the Lemma 3 ratio bound holds for the reported round. *)
+  List.iter
+    (fun (k, j) ->
+      let d = Procedures.inner_radius ~k ~j *. 1.2 in
+      let r = Procedures.granularity ~k ~j in
+      let k_found = Predict.discovery_round ~d ~r in
+      check_bool (Printf.sprintf "k=%d j=%d: found by k" k j) true (k_found <= k);
+      check_bool
+        (Printf.sprintf "k=%d j=%d: lemma3 ratio" k j)
+        true
+        (d *. d /. r >= Predict.ratio_lower_bound k_found))
+    [ (2, 1); (3, 4); (4, 2); (5, 7); (6, 11) ]
+
+let test_paper_witness_constraints () =
+  List.iter
+    (fun (d, r) ->
+      let k, j = Predict.paper_witness ~d ~r in
+      check_bool
+        (Printf.sprintf "witness valid d=%g r=%g" d r)
+        true
+        (j >= 0
+        && j <= (2 * k) - 1
+        && Procedures.inner_radius ~k ~j:(j + 1) >= d
+        && Procedures.granularity ~k ~j <= r);
+      check_bool
+        (Printf.sprintf "predictor <= witness d=%g r=%g" d r)
+        true
+        (Predict.discovery_round ~d ~r <= k))
+    [ (2.0, 0.1); (1.0, 0.01); (4.0, 0.5); (8.0, 0.01); (1.5, 0.002) ]
+
+let prop_discovery_round_monotone_in_r =
+  (* A larger visibility radius can never delay discovery. *)
+  QCheck.Test.make ~name:"predict: discovery round monotone in r" ~count:200
+    QCheck.(
+      triple (float_range 0.7 8.0) (float_range 0.002 0.3) (float_range 1.0 8.0))
+    (fun (d, r, factor) ->
+      QCheck.assume (d > r *. factor);
+      Predict.discovery_round ~d ~r:(r *. factor)
+      <= Predict.discovery_round ~d ~r)
+
+let test_program_generators_are_lazy () =
+  (* Building the infinite Algorithm 4 program and taking one segment must
+     not force later rounds: round generation is observable through this
+     counter. *)
+  let forced = ref 0 in
+  let gen k =
+    incr forced;
+    Procedures.search_round k
+  in
+  let p = Program.rounds_from gen ~first:1 in
+  let (_ : Segment.t list) = Program.take_segments 1 p in
+  check_bool "only the first round was forced" true (!forced <= 2)
+
+let prop_discovery_round_is_covering =
+  QCheck.Test.make ~name:"predict: reported round covers, previous does not"
+    ~count:200
+    QCheck.(pair (float_range 0.7 10.0) (float_range 0.001 0.4))
+    (fun (d, r) ->
+      QCheck.assume (d > r);
+      let k = Predict.discovery_round ~d ~r in
+      k >= 1
+      && List.exists (fun j -> Predict.covers ~k ~j ~d ~r) (List.init (2 * k) Fun.id)
+      && (k = 1
+         || not
+              (List.exists
+                 (fun j -> Predict.covers ~k:(k - 1) ~j ~d ~r)
+                 (List.init (2 * (k - 1)) Fun.id))))
+
+(* ------------------------------------------------------------------ *)
+(* Bounds + simulation: Lemma 1 and Theorem 1 verified end-to-end *)
+
+let run_search ~d ~r ~bearing =
+  let target = Vec2.of_polar ~radius:d ~angle:bearing in
+  Rvu_sim.Search_engine.run ~program:(Algorithm4.program ()) ~target ~r ()
+
+let test_search_finds_target () =
+  let outcome, _ = run_search ~d:2.0 ~r:0.05 ~bearing:1.1 in
+  match outcome with
+  | Rvu_sim.Search_engine.Found t -> check_bool "positive time" true (t > 0.0)
+  | _ -> Alcotest.fail "target not found"
+
+let test_search_immediate_when_visible () =
+  let outcome, _ = run_search ~d:0.5 ~r:1.0 ~bearing:0.3 in
+  match outcome with
+  | Rvu_sim.Search_engine.Found t -> check_float "found at 0" 0.0 t
+  | _ -> Alcotest.fail "should see the target immediately"
+
+let prop_theorem1_bound =
+  QCheck.Test.make
+    ~name:"theorem 1 (repaired): simulated search within the safe bound"
+    ~count:25
+    QCheck.(
+      triple (float_range 0.8 6.0) (float_range 0.01 0.2) (float_range 0.0 6.28))
+    (fun (d, r, bearing) ->
+      QCheck.assume (d *. d /. r >= 4.0);
+      match run_search ~d ~r ~bearing with
+      | Rvu_sim.Search_engine.Found t, _ ->
+          t < Bounds.search_time_safe ~d ~r
+          && t <= Bounds.time_through_round (Predict.discovery_round ~d ~r)
+      | _ -> false)
+
+let test_lemma3_paper_discrepancy () =
+  (* Regression capture of the discrepancy documented in Bounds: this
+     instance is first covered in round 6 but has d^2/r < 2^7, violating
+     Lemma 3 as printed; the simulated search time exceeds the printed
+     Theorem 1 bound yet respects the repaired one. *)
+  let d = 2.05881121861 and r = 0.0575298528486 in
+  let k = Predict.discovery_round ~d ~r in
+  Alcotest.(check int) "covered first in round 6" 6 k;
+  check_bool "violates printed lemma 3" true
+    (d *. d /. r < Predict.ratio_lower_bound k);
+  check_bool "satisfies repaired lemma 3" true
+    (d *. d /. r > Predict.ratio_lower_bound_minimal k);
+  match run_search ~d ~r ~bearing:4.17983844609 with
+  | Rvu_sim.Search_engine.Found t, _ ->
+      check_bool "exceeds printed theorem 1 bound" true
+        (t > Bounds.search_time ~d ~r);
+      check_bool "within repaired bound" true (t < Bounds.search_time_safe ~d ~r);
+      check_bool "within lemma 1 round completion" true
+        (t <= Bounds.time_through_round k)
+  | _ -> Alcotest.fail "target must be found"
+
+let prop_lemma1_discovery_round =
+  QCheck.Test.make
+    ~name:"lemma 1: target found no later than the predicted round" ~count:25
+    QCheck.(
+      triple (float_range 0.8 6.0) (float_range 0.01 0.2) (float_range 0.0 6.28))
+    (fun (d, r, bearing) ->
+      QCheck.assume (d > r);
+      let k = Predict.discovery_round ~d ~r in
+      match run_search ~d ~r ~bearing with
+      | Rvu_sim.Search_engine.Found t, _ -> t <= Timing.search_all_time k
+      | _ -> false)
+
+let test_bounds_validation () =
+  Alcotest.check_raises "bad instance"
+    (Invalid_argument "Bounds.search_time: d, r > 0 required") (fun () ->
+      ignore (Bounds.search_time ~d:0.0 ~r:1.0))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rvu_search"
+    [
+      ( "procedures",
+        [
+          Alcotest.test_case "circle shape" `Quick test_search_circle_shape;
+          Alcotest.test_case "circle validation" `Quick test_search_circle_validation;
+          Alcotest.test_case "annulus shape" `Quick test_search_annulus_shape;
+          Alcotest.test_case "annulus validation" `Quick test_search_annulus_validation;
+          Alcotest.test_case "annulus coverage" `Quick test_annulus_coverage;
+          Alcotest.test_case "round radii" `Quick test_search_round_radii;
+          Alcotest.test_case "round continuity" `Quick test_search_round_continuity;
+          Alcotest.test_case "round validation" `Quick test_search_round_validation;
+        ] );
+      ( "timing (lemma 2)",
+        [
+          Alcotest.test_case "circle closed form" `Quick test_lemma2_circle;
+          Alcotest.test_case "annulus closed form" `Quick test_lemma2_annulus;
+          Alcotest.test_case "round closed form" `Quick test_lemma2_round;
+          Alcotest.test_case "eq (1): S(n)" `Quick test_eq1_search_all;
+          Alcotest.test_case "reversed sweep time" `Quick test_search_all_rev_time;
+          Alcotest.test_case "segment counts" `Quick test_segment_counts;
+          Alcotest.test_case "round order" `Quick test_search_all_order;
+        ] );
+      ( "predict (lemmas 1, 3)",
+        [
+          Alcotest.test_case "discovery basics" `Quick test_discovery_round_basics;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "lemma 3 constructed" `Quick test_lemma3_constructed;
+          Alcotest.test_case "paper witness" `Quick test_paper_witness_constraints;
+          Alcotest.test_case "generators are lazy" `Quick
+            test_program_generators_are_lazy;
+          qc prop_discovery_round_is_covering;
+          qc prop_discovery_round_monotone_in_r;
+        ] );
+      ( "theorem 1 (simulated)",
+        [
+          Alcotest.test_case "finds target" `Quick test_search_finds_target;
+          Alcotest.test_case "immediate visibility" `Quick
+            test_search_immediate_when_visible;
+          Alcotest.test_case "bound validation" `Quick test_bounds_validation;
+          Alcotest.test_case "lemma 3 paper discrepancy" `Quick
+            test_lemma3_paper_discrepancy;
+          qc prop_theorem1_bound;
+          qc prop_lemma1_discovery_round;
+        ] );
+    ]

@@ -1,0 +1,420 @@
+(* Unit and property tests for Rvu_trajectory. *)
+
+open Rvu_geom
+open Rvu_trajectory
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let vec2_arb =
+  QCheck.map
+    (fun (x, y) -> Vec2.make x y)
+    QCheck.(pair (float_range (-20.0) 20.0) (float_range (-20.0) 20.0))
+
+let conformal_arb =
+  QCheck.map
+    (fun (((scale, angle), reflect), offset) ->
+      Conformal.make ~scale ~angle ~reflect ~offset ())
+    QCheck.(
+      pair
+        (pair (pair (float_range 0.1 5.0) (float_range 0.0 6.28)) bool)
+        vec2_arb)
+
+let segment_arb =
+  let open QCheck in
+  let wait =
+    map
+      (fun (p, dur) -> Segment.wait ~at:p ~dur)
+      (pair vec2_arb (float_range 0.1 10.0))
+  in
+  let line =
+    map (fun (a, b) -> Segment.line ~src:a ~dst:b) (pair vec2_arb vec2_arb)
+  in
+  let arc =
+    map
+      (fun ((c, radius), (from, sweep)) -> Segment.arc ~center:c ~radius ~from ~sweep)
+      (pair
+         (pair vec2_arb (float_range 0.1 5.0))
+         (pair (float_range 0.0 6.28) (float_range (-6.28) 6.28)))
+  in
+  oneof [ wait; line; arc ]
+
+(* ------------------------------------------------------------------ *)
+(* Segment *)
+
+let test_segment_durations () =
+  let w = Segment.wait ~at:Vec2.zero ~dur:3.0 in
+  check_float "wait duration" 3.0 (Segment.duration w);
+  check_float "wait length" 0.0 (Segment.length w);
+  let l = Segment.line ~src:Vec2.zero ~dst:(Vec2.make 3.0 4.0) in
+  check_float "line duration = length" 5.0 (Segment.duration l);
+  let a = Segment.full_circle ~center:Vec2.zero ~radius:2.0 () in
+  check_float "circle duration" (2.0 *. 2.0 *. Float.pi) (Segment.duration a)
+
+let test_segment_endpoints () =
+  let a =
+    Segment.arc ~center:(Vec2.make 1.0 0.0) ~radius:2.0 ~from:0.0
+      ~sweep:Float.pi
+  in
+  check_bool "arc start" true
+    (Vec2.equal (Segment.start_pos a) (Vec2.make 3.0 0.0));
+  check_bool "arc end" true
+    (Vec2.equal ~tol:1e-9 (Segment.end_pos a) (Vec2.make (-1.0) 0.0))
+
+let test_segment_position () =
+  let l = Segment.line ~src:Vec2.zero ~dst:(Vec2.make 10.0 0.0) in
+  check_bool "line midpoint" true
+    (Vec2.equal (Segment.position l 5.0) (Vec2.make 5.0 0.0));
+  check_bool "clamps beyond end" true
+    (Vec2.equal (Segment.position l 20.0) (Vec2.make 10.0 0.0));
+  let w = Segment.wait ~at:(Vec2.make 1.0 1.0) ~dur:2.0 in
+  check_bool "wait holds" true
+    (Vec2.equal (Segment.position w 1.0) (Vec2.make 1.0 1.0))
+
+let test_segment_validation () =
+  Alcotest.check_raises "negative wait"
+    (Invalid_argument "Segment.wait: negative duration") (fun () ->
+      ignore (Segment.wait ~at:Vec2.zero ~dur:(-1.0)));
+  Alcotest.check_raises "negative radius"
+    (Invalid_argument "Segment.arc: negative radius") (fun () ->
+      ignore (Segment.arc ~center:Vec2.zero ~radius:(-1.0) ~from:0.0 ~sweep:1.0))
+
+let prop_segment_map_endpoints =
+  QCheck.Test.make
+    ~name:"segment: map commutes with start/end positions" ~count:300
+    (QCheck.pair conformal_arb segment_arb) (fun (f, seg) ->
+      let mapped = Segment.map f seg in
+      Vec2.equal ~tol:1e-6 (Segment.start_pos mapped)
+        (Conformal.apply f (Segment.start_pos seg))
+      && Vec2.equal ~tol:1e-6 (Segment.end_pos mapped)
+           (Conformal.apply f (Segment.end_pos seg)))
+
+let prop_segment_map_length =
+  QCheck.Test.make ~name:"segment: map scales length by the similarity ratio"
+    ~count:300 (QCheck.pair conformal_arb segment_arb) (fun (f, seg) ->
+      Rvu_numerics.Floats.equal ~tol:1e-6
+        (Segment.length (Segment.map f seg))
+        (f.Conformal.scale *. Segment.length seg))
+
+let prop_segment_map_pointwise =
+  QCheck.Test.make
+    ~name:"segment: map commutes with interior positions" ~count:300
+    (QCheck.triple conformal_arb segment_arb (QCheck.float_range 0.0 1.0))
+    (fun (f, seg, frac) ->
+      let mapped = Segment.map f seg in
+      let u = frac *. Segment.duration seg in
+      let u' = frac *. Segment.duration mapped in
+      Vec2.equal ~tol:1e-6
+        (Segment.position mapped u')
+        (Conformal.apply f (Segment.position seg u)))
+
+let prop_segment_split =
+  QCheck.Test.make ~name:"segment: split preserves geometry and duration"
+    ~count:300
+    (QCheck.pair segment_arb (QCheck.float_range 0.0 1.0))
+    (fun (seg, frac) ->
+      let dur = Segment.duration seg in
+      let u = frac *. dur in
+      let before, after = Segment.split seg u in
+      Rvu_numerics.Floats.equal ~tol:1e-9 (Segment.duration before) u
+      && Rvu_numerics.Floats.equal ~tol:1e-9 (Segment.duration after) (dur -. u)
+      && Vec2.equal ~tol:1e-9 (Segment.start_pos before) (Segment.start_pos seg)
+      && Vec2.equal ~tol:1e-9 (Segment.end_pos after) (Segment.end_pos seg)
+      && Vec2.equal ~tol:1e-9 (Segment.end_pos before) (Segment.start_pos after)
+      && Vec2.equal ~tol:1e-6 (Segment.end_pos before) (Segment.position seg u))
+
+let test_segment_split_validation () =
+  let seg = Segment.line ~src:Vec2.zero ~dst:(Vec2.make 1.0 0.0) in
+  Alcotest.check_raises "beyond duration"
+    (Invalid_argument "Segment.split: time outside segment") (fun () ->
+      ignore (Segment.split seg 2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Timed *)
+
+let test_timed_basics () =
+  let shape = Segment.line ~src:Vec2.zero ~dst:(Vec2.make 4.0 0.0) in
+  let seg = Timed.make ~t0:10.0 ~dur:2.0 ~shape in
+  check_float "t1" 12.0 (Timed.t1 seg);
+  check_float "speed" 2.0 (Timed.speed seg);
+  check_bool "position at start" true
+    (Vec2.equal (Timed.position seg 10.0) Vec2.zero);
+  check_bool "position at mid" true
+    (Vec2.equal (Timed.position seg 11.0) (Vec2.make 2.0 0.0));
+  check_bool "contains" true (Timed.contains seg 11.0);
+  check_bool "not contains end" false (Timed.contains seg 12.0)
+
+let test_timed_validation () =
+  let shape = Segment.wait ~at:Vec2.zero ~dur:1.0 in
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Timed.make: negative duration") (fun () ->
+      ignore (Timed.make ~t0:0.0 ~dur:(-1.0) ~shape));
+  Alcotest.check_raises "non-finite start"
+    (Invalid_argument "Timed.make: non-finite start") (fun () ->
+      ignore (Timed.make ~t0:Float.nan ~dur:1.0 ~shape))
+
+(* ------------------------------------------------------------------ *)
+(* Program *)
+
+let square_program =
+  Program.of_list
+    [
+      Segment.line ~src:Vec2.zero ~dst:(Vec2.make 1.0 0.0);
+      Segment.line ~src:(Vec2.make 1.0 0.0) ~dst:(Vec2.make 1.0 1.0);
+      Segment.line ~src:(Vec2.make 1.0 1.0) ~dst:(Vec2.make 0.0 1.0);
+      Segment.line ~src:(Vec2.make 0.0 1.0) ~dst:Vec2.zero;
+    ]
+
+let test_program_measures () =
+  check_float "duration" 4.0 (Program.duration square_program);
+  check_float "length" 4.0 (Program.length square_program);
+  Alcotest.(check int) "segments" 4 (Program.segment_count square_program)
+
+let test_program_continuity () =
+  check_bool "square is continuous" true
+    (Program.check_continuity square_program = Ok ());
+  let broken =
+    Program.of_list
+      [
+        Segment.line ~src:Vec2.zero ~dst:(Vec2.make 1.0 0.0);
+        Segment.line ~src:(Vec2.make 5.0 5.0) ~dst:Vec2.zero;
+      ]
+  in
+  check_bool "gap detected" true (Result.is_error (Program.check_continuity broken))
+
+let test_program_position_at () =
+  check_bool "t=0.5" true
+    (Vec2.equal (Program.position_at square_program 0.5) (Vec2.make 0.5 0.0));
+  check_bool "t=1.5" true
+    (Vec2.equal (Program.position_at square_program 1.5) (Vec2.make 1.0 0.5));
+  check_bool "beyond end returns final" true
+    (Vec2.equal (Program.position_at square_program 100.0) Vec2.zero);
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Program.position_at: negative time") (fun () ->
+      ignore (Program.position_at square_program (-1.0)))
+
+let test_program_rounds () =
+  let gen k =
+    Program.of_list [ Segment.wait ~at:Vec2.zero ~dur:(float_of_int k) ]
+  in
+  let p = Program.rounds_desc gen ~from:3 ~down_to:1 in
+  check_float "descending durations" 6.0 (Program.duration p);
+  let durs =
+    List.map Segment.duration (Program.take_segments 3 p)
+  in
+  check_bool "order 3,2,1" true (durs = [ 3.0; 2.0; 1.0 ]);
+  let inf = Program.rounds_from gen ~first:1 in
+  Alcotest.(check int) "take from infinite" 5
+    (List.length (Program.take_segments 5 inf))
+
+(* ------------------------------------------------------------------ *)
+(* Realize *)
+
+let attrs_frame ~scale ~angle ~reflect ~offset ~time_unit =
+  Realize.make ~frame:(Conformal.make ~scale ~angle ~reflect ~offset ()) ~time_unit
+
+let test_realize_identity () =
+  let stream = Realize.realize Realize.identity square_program in
+  let segs = List.of_seq stream in
+  Alcotest.(check int) "4 segments" 4 (List.length segs);
+  let first = List.hd segs in
+  check_float "starts at 0" 0.0 first.Timed.t0;
+  let last = List.nth segs 3 in
+  check_float "ends at 4" 4.0 (Timed.t1 last)
+
+let test_realize_time_scaling () =
+  let c = attrs_frame ~scale:1.0 ~angle:0.0 ~reflect:false ~offset:Vec2.zero ~time_unit:2.0 in
+  let segs = List.of_seq (Realize.realize c square_program) in
+  check_float "stretched end" 8.0 (Timed.t1 (List.nth segs 3))
+
+let test_realize_drops_zero_durations () =
+  let p =
+    Program.of_list
+      [
+        Segment.line ~src:Vec2.zero ~dst:Vec2.zero;
+        Segment.wait ~at:Vec2.zero ~dur:0.0;
+        Segment.line ~src:Vec2.zero ~dst:(Vec2.make 1.0 0.0);
+      ]
+  in
+  Alcotest.(check int) "only the real move survives" 1
+    (List.length (List.of_seq (Realize.realize Realize.identity p)))
+
+let test_realize_start_offset () =
+  let segs =
+    List.of_seq (Realize.realize ~start:100.0 Realize.identity square_program)
+  in
+  check_float "starts at 100" 100.0 (List.hd segs).Timed.t0
+
+let prop_realize_contiguous =
+  QCheck.Test.make ~name:"realize: stream is contiguous in time" ~count:100
+    QCheck.(pair conformal_arb (float_range 0.1 5.0))
+    (fun (frame, time_unit) ->
+      let c = Realize.make ~frame ~time_unit in
+      let segs = List.of_seq (Realize.realize c square_program) in
+      let rec contiguous = function
+        | a :: (b :: _ as rest) ->
+            Rvu_numerics.Floats.equal ~tol:1e-9 (Timed.t1 a) b.Timed.t0
+            && contiguous rest
+        | _ -> true
+      in
+      contiguous segs)
+
+let prop_realize_lemma4 =
+  (* Lemma 4 with clocks: the realised position of R' at global time t equals
+     offset + scale·R(angle)·F(reflect)·S(t/τ) where S is the local program
+     trajectory. *)
+  QCheck.Test.make ~name:"realize: Lemma 4 frame relation" ~count:200
+    QCheck.(pair conformal_arb (pair (float_range 0.1 5.0) (float_range 0.0 3.9)))
+    (fun (frame, (time_unit, t_local)) ->
+      let c = Realize.make ~frame ~time_unit in
+      let t_global = time_unit *. t_local in
+      let expected =
+        Conformal.apply frame (Program.position_at square_program t_local)
+      in
+      Vec2.equal ~tol:1e-6 expected (Realize.position c square_program t_global))
+
+let prop_realize_stream_matches_position =
+  QCheck.Test.make
+    ~name:"realize: streamed segments agree with direct evaluation" ~count:100
+    QCheck.(pair conformal_arb (float_range 0.05 0.95))
+    (fun (frame, frac) ->
+      let c = Realize.make ~frame ~time_unit:1.5 in
+      let segs = List.of_seq (Realize.realize c square_program) in
+      List.for_all
+        (fun (seg : Timed.t) ->
+          let t = seg.Timed.t0 +. (frac *. seg.Timed.dur) in
+          Vec2.equal ~tol:1e-6 (Timed.position seg t)
+            (Realize.position c square_program t))
+        segs)
+
+let test_realize_validation () =
+  Alcotest.check_raises "bad time unit"
+    (Invalid_argument "Realize.make: non-positive time unit") (fun () ->
+      ignore (Realize.make ~frame:Conformal.identity ~time_unit:0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Drift *)
+
+let test_drift_validation () =
+  Alcotest.check_raises "empty pattern"
+    (Invalid_argument "Drift.pattern: empty schedule") (fun () ->
+      ignore (Drift.pattern []));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Drift.pattern: non-positive rate") (fun () ->
+      ignore (Drift.pattern [ (1.0, 0.0) ]));
+  Alcotest.check_raises "bad amplitude"
+    (Invalid_argument "Drift.oscillating: amplitude outside [0, 1)") (fun () ->
+      ignore (Drift.oscillating ~mean:1.0 ~amplitude:1.0 ~half_period:1.0))
+
+let test_drift_mean_rate () =
+  check_float "constant" 0.7 (Drift.mean_rate (Drift.constant 0.7));
+  check_float "oscillating mean" 0.6
+    (Drift.mean_rate (Drift.oscillating ~mean:0.6 ~amplitude:0.3 ~half_period:2.0))
+
+let prop_drift_constant_equals_plain =
+  (* A constant pattern must reproduce Realize.realize: same total global
+     duration and the same position at any global time. *)
+  QCheck.Test.make ~name:"drift: constant pattern equals plain realisation"
+    ~count:100
+    QCheck.(pair conformal_arb (pair (float_range 0.2 3.0) (float_range 0.0 1.0)))
+    (fun (frame, (rate, frac)) ->
+      let plain =
+        List.of_seq
+          (Realize.realize (Realize.make ~frame ~time_unit:rate) square_program)
+      in
+      let drift =
+        List.of_seq (Drift.realize ~frame (Drift.constant rate) square_program)
+      in
+      let end_of segs = Timed.t1 (List.nth segs (List.length segs - 1)) in
+      let t = frac *. end_of plain in
+      let pos_at segs t =
+        let seg = List.find (fun s -> Timed.t1 s >= t) segs in
+        Timed.position seg t
+      in
+      Rvu_numerics.Floats.equal ~tol:1e-9 (end_of plain) (end_of drift)
+      && Vec2.equal ~tol:1e-6 (pos_at plain t) (pos_at drift t))
+
+let prop_drift_total_time_scales_by_pattern =
+  (* Over whole cycles, global time = local time x mean rate; in general the
+     total global duration lies between min and max rate x local time. *)
+  QCheck.Test.make ~name:"drift: total global time within rate envelope"
+    ~count:100
+    QCheck.(pair (float_range 0.3 2.0) (float_range 0.0 0.8))
+    (fun (mean, amplitude) ->
+      let pat = Drift.oscillating ~mean ~amplitude ~half_period:0.7 in
+      let segs =
+        List.of_seq
+          (Drift.realize ~frame:Conformal.identity pat square_program)
+      in
+      let total = Timed.t1 (List.nth segs (List.length segs - 1)) in
+      let local = Program.duration square_program in
+      total >= local *. mean *. (1.0 -. amplitude) -. 1e-9
+      && total <= local *. mean *. (1.0 +. amplitude) +. 1e-9)
+
+let test_drift_splits_are_contiguous () =
+  let pat = Drift.oscillating ~mean:0.5 ~amplitude:0.4 ~half_period:0.3 in
+  let segs =
+    List.of_seq (Drift.realize ~frame:Conformal.identity pat square_program)
+  in
+  let rec contiguous = function
+    | a :: (b :: _ as rest) ->
+        Rvu_numerics.Floats.equal ~tol:1e-9 (Timed.t1 a) b.Timed.t0
+        && Vec2.equal ~tol:1e-9
+             (Timed.position a (Timed.t1 a))
+             (Timed.position b b.Timed.t0)
+        && contiguous rest
+    | _ -> true
+  in
+  check_bool "time and space contiguous" true (contiguous segs);
+  check_bool "splitting produced more segments" true (List.length segs > 4)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rvu_trajectory"
+    [
+      ( "segment",
+        [
+          Alcotest.test_case "durations and lengths" `Quick test_segment_durations;
+          Alcotest.test_case "endpoints" `Quick test_segment_endpoints;
+          Alcotest.test_case "position" `Quick test_segment_position;
+          Alcotest.test_case "validation" `Quick test_segment_validation;
+          Alcotest.test_case "split validation" `Quick test_segment_split_validation;
+          qc prop_segment_map_endpoints;
+          qc prop_segment_map_length;
+          qc prop_segment_map_pointwise;
+          qc prop_segment_split;
+        ] );
+      ( "timed",
+        [
+          Alcotest.test_case "basics" `Quick test_timed_basics;
+          Alcotest.test_case "validation" `Quick test_timed_validation;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "measures" `Quick test_program_measures;
+          Alcotest.test_case "continuity check" `Quick test_program_continuity;
+          Alcotest.test_case "position_at" `Quick test_program_position_at;
+          Alcotest.test_case "round combinators" `Quick test_program_rounds;
+        ] );
+      ( "realize",
+        [
+          Alcotest.test_case "identity" `Quick test_realize_identity;
+          Alcotest.test_case "time scaling" `Quick test_realize_time_scaling;
+          Alcotest.test_case "drops zero durations" `Quick
+            test_realize_drops_zero_durations;
+          Alcotest.test_case "start offset" `Quick test_realize_start_offset;
+          Alcotest.test_case "validation" `Quick test_realize_validation;
+          qc prop_realize_contiguous;
+          qc prop_realize_lemma4;
+          qc prop_realize_stream_matches_position;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "validation" `Quick test_drift_validation;
+          Alcotest.test_case "mean rate" `Quick test_drift_mean_rate;
+          Alcotest.test_case "contiguous splits" `Quick
+            test_drift_splits_are_contiguous;
+          qc prop_drift_constant_equals_plain;
+          qc prop_drift_total_time_scales_by_pattern;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* Tests for Rvu_workload: PRNG determinism, scenario generators, sweeps and
+   the feasibility atlas. *)
+
+open Rvu_workload
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  let xs = List.init 100 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 100 (fun _ -> Rng.next_int64 b) in
+  check_bool "same seed, same stream" true (xs = ys)
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  check_bool "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let g = Rng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let x = Rng.float g in
+    if not (0.0 <= x && x < 1.0) then Alcotest.fail "float outside [0,1)"
+  done
+
+let test_rng_uniform () =
+  let g = Rng.create ~seed:9L in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform g ~lo:(-3.0) ~hi:5.0 in
+    if not (-3.0 <= x && x < 5.0) then Alcotest.fail "uniform outside range"
+  done;
+  Alcotest.check_raises "bad range" (Invalid_argument "Rng.uniform: lo > hi")
+    (fun () -> ignore (Rng.uniform g ~lo:1.0 ~hi:0.0))
+
+let test_rng_log_uniform () =
+  let g = Rng.create ~seed:11L in
+  for _ = 1 to 1000 do
+    let x = Rng.log_uniform g ~lo:0.01 ~hi:100.0 in
+    if not (0.01 <= x && x <= 100.0 +. 1e-9) then
+      Alcotest.fail "log_uniform outside range"
+  done
+
+let test_rng_int () =
+  let g = Rng.create ~seed:13L in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 5000 do
+    let i = Rng.int g ~bound:5 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter (fun c -> check_bool "all buckets hit" true (c > 500)) counts
+
+let test_rng_split_independent () =
+  let g = Rng.create ~seed:5L in
+  let child = Rng.split g in
+  check_bool "child differs from parent continuation" true
+    (Rng.next_int64 child <> Rng.next_int64 g)
+
+let test_rng_mean () =
+  let g = Rng.create ~seed:123L in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float g
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario *)
+
+let test_scenario_make () =
+  let s =
+    Scenario.make ~attributes:Rvu_core.Attributes.reference ~d:2.0 ~bearing:0.5
+      ~r:0.1 ()
+  in
+  check_float "ratio" 40.0 (Scenario.ratio s);
+  check_bool "displacement has length d" true
+    (Rvu_numerics.Floats.equal
+       (Rvu_geom.Vec2.norm (Scenario.displacement s))
+       2.0);
+  Alcotest.check_raises "bad d" (Invalid_argument "Scenario.make: d <= 0")
+    (fun () ->
+      ignore
+        (Scenario.make ~attributes:Rvu_core.Attributes.reference ~d:0.0 ~r:0.1 ()))
+
+let generator_respects_class gen expected_check =
+  let g = Rng.create ~seed:2024L in
+  List.for_all
+    (fun _ ->
+      let s = gen g in
+      expected_check (Rvu_core.Feasibility.classify s.Scenario.attributes)
+      && s.Scenario.d > 0.0 && s.Scenario.r > 0.0)
+    (List.init 50 Fun.id)
+
+let test_generator_speeds () =
+  check_bool "speeds class" true
+    (generator_respects_class Scenario.random_speeds (function
+      | Rvu_core.Feasibility.Feasible Rvu_core.Feasibility.Different_speeds -> true
+      | _ -> false))
+
+let test_generator_rotated () =
+  check_bool "rotated class" true
+    (generator_respects_class Scenario.random_rotated (function
+      | Rvu_core.Feasibility.Feasible Rvu_core.Feasibility.Rotated_same_chirality ->
+          true
+      | _ -> false))
+
+let test_generator_mirror () =
+  check_bool "mirror class (speed differs)" true
+    (generator_respects_class Scenario.random_mirror (function
+      | Rvu_core.Feasibility.Feasible Rvu_core.Feasibility.Different_speeds -> true
+      | _ -> false))
+
+let test_generator_clocks () =
+  check_bool "clock class" true
+    (generator_respects_class Scenario.random_clocks (function
+      | Rvu_core.Feasibility.Feasible Rvu_core.Feasibility.Different_clocks -> true
+      | _ -> false))
+
+let test_generator_infeasible () =
+  check_bool "infeasible class" true
+    (generator_respects_class Scenario.random_infeasible (function
+      | Rvu_core.Feasibility.Infeasible -> true
+      | _ -> false))
+
+let test_random_swarm () =
+  let g = Rng.create ~seed:31L in
+  let swarm = Scenario.random_swarm ~n:4 g in
+  Alcotest.(check int) "size" 4 (List.length swarm);
+  (match swarm with
+  | (first, start) :: _ ->
+      check_bool "reference leads" true (Rvu_core.Attributes.is_reference first);
+      check_bool "at origin" true (Rvu_geom.Vec2.equal start Rvu_geom.Vec2.zero)
+  | [] -> Alcotest.fail "non-empty");
+  (* Every pair is rendezvous-feasible: all speeds pairwise distinct. *)
+  let speeds = List.map (fun ((a : Rvu_core.Attributes.t), _) -> a.Rvu_core.Attributes.v) swarm in
+  List.iteri
+    (fun i v ->
+      List.iteri
+        (fun j u ->
+          if i < j then
+            check_bool "speeds pairwise distinct" true
+              (Float.abs (v -. u) > 0.01))
+        speeds)
+    speeds;
+  Alcotest.check_raises "n < 2"
+    (Invalid_argument "Scenario.random_swarm: n < 2") (fun () ->
+      ignore (Scenario.random_swarm ~n:1 g))
+
+let test_generators_deterministic () =
+  let run seed =
+    let g = Rng.create ~seed in
+    let s = Scenario.random_clocks g in
+    (s.Scenario.d, s.Scenario.r, s.Scenario.attributes.Rvu_core.Attributes.tau)
+  in
+  check_bool "same seed same scenario" true (run 99L = run 99L)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep *)
+
+let test_linspace () =
+  let xs = Sweep.linspace ~lo:0.0 ~hi:1.0 ~n:5 in
+  Alcotest.(check int) "count" 5 (List.length xs);
+  check_float "first" 0.0 (List.hd xs);
+  check_float "last" 1.0 (List.nth xs 4);
+  check_float "step" 0.25 (List.nth xs 1);
+  check_bool "degenerate" true (Sweep.linspace ~lo:2.0 ~hi:2.0 ~n:1 = [ 2.0 ])
+
+let test_logspace () =
+  let xs = Sweep.logspace ~lo:1.0 ~hi:100.0 ~n:3 in
+  check_float "geometric middle" 10.0 (List.nth xs 1);
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Sweep.logspace: need 0 < lo <= hi") (fun () ->
+      ignore (Sweep.logspace ~lo:0.0 ~hi:1.0 ~n:3))
+
+let test_powers_of_two () =
+  check_bool "range" true
+    (Sweep.powers_of_two ~first:(-2) ~last:2 = [ 0.25; 0.5; 1.0; 2.0; 4.0 ])
+
+let test_grid () =
+  let g = Sweep.grid [ 1; 2 ] [ "a"; "b" ] in
+  check_bool "row major" true
+    (g = [ (1, "a"); (1, "b"); (2, "a"); (2, "b") ])
+
+(* ------------------------------------------------------------------ *)
+(* Atlas *)
+
+let test_atlas_verdicts_match_classifier () =
+  List.iter
+    (fun cell ->
+      check_bool cell.Atlas.label true
+        (Rvu_core.Feasibility.classify cell.Atlas.attributes
+        = cell.Atlas.expected))
+    Atlas.cells
+
+let test_atlas_covers_all_classes () =
+  let has pred = List.exists (fun c -> pred c.Atlas.expected) Atlas.cells in
+  check_bool "has infeasible" true (has (( = ) Rvu_core.Feasibility.Infeasible));
+  check_bool "has clocks" true
+    (has (( = ) (Rvu_core.Feasibility.Feasible Rvu_core.Feasibility.Different_clocks)));
+  check_bool "has speeds" true
+    (has (( = ) (Rvu_core.Feasibility.Feasible Rvu_core.Feasibility.Different_speeds)));
+  check_bool "has rotation" true
+    (has
+       (( = )
+          (Rvu_core.Feasibility.Feasible
+             Rvu_core.Feasibility.Rotated_same_chirality)))
+
+let test_boundary_cells () =
+  let cells = Atlas.boundary_cells ~epsilon:0.01 in
+  check_bool "non-empty" true (cells <> []);
+  List.iter
+    (fun cell ->
+      check_bool (cell.Atlas.label ^ " feasible") true
+        (Rvu_core.Feasibility.classify cell.Atlas.attributes
+        = cell.Atlas.expected))
+    cells;
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Atlas.boundary_cells: epsilon outside (0, 0.5)")
+    (fun () -> ignore (Atlas.boundary_cells ~epsilon:0.0))
+
+let () =
+  Alcotest.run "rvu_workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniform" `Quick test_rng_uniform;
+          Alcotest.test_case "log uniform" `Quick test_rng_log_uniform;
+          Alcotest.test_case "bounded int" `Quick test_rng_int;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "mean" `Quick test_rng_mean;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "make" `Quick test_scenario_make;
+          Alcotest.test_case "speeds generator" `Quick test_generator_speeds;
+          Alcotest.test_case "rotated generator" `Quick test_generator_rotated;
+          Alcotest.test_case "mirror generator" `Quick test_generator_mirror;
+          Alcotest.test_case "clocks generator" `Quick test_generator_clocks;
+          Alcotest.test_case "infeasible generator" `Quick test_generator_infeasible;
+          Alcotest.test_case "random swarm" `Quick test_random_swarm;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "powers of two" `Quick test_powers_of_two;
+          Alcotest.test_case "grid" `Quick test_grid;
+        ] );
+      ( "atlas",
+        [
+          Alcotest.test_case "verdicts match classifier" `Quick
+            test_atlas_verdicts_match_classifier;
+          Alcotest.test_case "covers all classes" `Quick test_atlas_covers_all_classes;
+          Alcotest.test_case "boundary cells" `Quick test_boundary_cells;
+        ] );
+    ]
