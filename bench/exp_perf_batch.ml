@@ -1,0 +1,106 @@
+(* PERF-BATCH — throughput and multicore speedup of the batch layer.
+
+   One workload, run twice: --jobs 1 (sequential baseline) and --jobs N
+   (the harness's domain pool with the shared reference-stream cache). The
+   batch results must be bit-identical between the two runs — the pool
+   preserves order and the cache replays the exact floats a fresh
+   realization would produce — and the ratio of monotonic wall times is
+   the speedup. Emits BENCH_1.json (override the path with RVU_BENCH_JSON)
+   so the perf trajectory is machine-readable from this PR onward. *)
+
+open Rvu_geom
+open Rvu_core
+open Rvu_report
+
+(* A moderately deep instance family (round ~6-8 of the schedule): enough
+   work per instance to dwarf pool overhead, small enough that the whole
+   batch stays in seconds. Bearings and clocks vary so the tasks are
+   heterogeneous, exercising the chunked distribution. *)
+let instances =
+  let n = 24 in
+  Array.init n (fun i ->
+      let bearing = 0.2 +. (2.4 *. float_of_int i /. float_of_int n) in
+      let tau = 0.980 +. (0.002 *. float_of_int (i mod 6)) in
+      Rvu_sim.Engine.instance
+        ~attributes:(Attributes.make ~tau ())
+        ~displacement:(Vec2.of_polar ~radius:10.0 ~angle:bearing)
+        ~r:0.005)
+
+let total_intervals results =
+  Array.fold_left
+    (fun acc (res : Rvu_sim.Engine.result) ->
+      acc + res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals)
+    0 results
+
+let identical (a : Rvu_sim.Engine.result array)
+    (b : Rvu_sim.Engine.result array) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Rvu_sim.Engine.result) (y : Rvu_sim.Engine.result) ->
+         x.Rvu_sim.Engine.outcome = y.Rvu_sim.Engine.outcome
+         && x.Rvu_sim.Engine.stats = y.Rvu_sim.Engine.stats)
+       a b
+
+let json_path () =
+  Option.value (Sys.getenv_opt "RVU_BENCH_JSON") ~default:"BENCH_1.json"
+
+let write_json ~jobs ~intervals ~wall1 ~walln ~speedup =
+  let path = json_path () in
+  let oc = open_out path in
+  let mi wall = float_of_int intervals /. Float.max 1e-9 wall /. 1e6 in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"perf-batch\",\n\
+    \  \"instances\": %d,\n\
+    \  \"intervals\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"wall_s_jobs1\": %.6f,\n\
+    \  \"wall_s_jobsN\": %.6f,\n\
+    \  \"mintervals_per_s_jobs1\": %.3f,\n\
+    \  \"mintervals_per_s_jobsN\": %.3f,\n\
+    \  \"speedup\": %.3f\n\
+     }\n"
+    (Array.length instances) intervals jobs
+    (Domain.recommended_domain_count ())
+    wall1 walln (mi wall1) (mi walln) speedup;
+  close_out oc;
+  Util.note "(json written to %s)" path
+
+let run () =
+  let jobs = !Util.jobs in
+  Util.banner "PERF-BATCH"
+    (Printf.sprintf "Batch throughput: --jobs 1 vs --jobs %d" jobs);
+  let seq_results, wall1 =
+    Util.wall_clock (fun () -> Rvu_exec.Batch.run ~horizon:1e13 ~jobs:1 instances)
+  in
+  let par_results, walln =
+    if jobs <= 1 then (seq_results, wall1)
+    else
+      Util.wall_clock (fun () ->
+          Rvu_exec.Batch.run ~horizon:1e13 ~jobs instances)
+  in
+  if not (identical seq_results par_results) then
+    failwith "perf-batch: parallel results diverge from sequential";
+  let intervals = total_intervals seq_results in
+  let speedup = wall1 /. Float.max 1e-9 walln in
+  let t =
+    Table.create
+      ~columns:
+        (List.map Table.column
+           [ "jobs"; "wall (s)"; "Mintervals/s"; "speedup" ])
+  in
+  let mi wall = float_of_int intervals /. Float.max 1e-9 wall /. 1e6 in
+  Table.add_row t
+    [ Table.istr 1; Table.fstr wall1; Table.fstr (mi wall1); Table.fstr 1.0 ];
+  Table.add_row t
+    [
+      Table.istr jobs; Table.fstr walln; Table.fstr (mi walln);
+      Table.fstr speedup;
+    ];
+  Util.table ~id:"perf-batch" t;
+  Util.note
+    "%d instances, %d segment-pair intervals; parallel results bit-identical \
+     to sequential."
+    (Array.length instances) intervals;
+  write_json ~jobs ~intervals ~wall1 ~walln ~speedup

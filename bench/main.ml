@@ -4,13 +4,15 @@
      dune exec bench/main.exe                   # everything
      dune exec bench/main.exe -- e1 e4 f3       # a selection
      dune exec bench/main.exe -- --csv results  # also write results/<id>.csv
+     dune exec bench/main.exe -- --jobs 4 ...   # domains for batch layers
+                                                # (default: all cores)
 
    Experiment ids (see DESIGN.md section 3 and EXPERIMENTS.md):
      e1  Theorem 1  — search time vs bound
      e2  Theorem 2  — symmetric clocks, chi = +1
      e3  Theorem 2  — symmetric clocks, chi = -1 (mirror)
      e4  Theorem 3  — asymmetric clocks / Lemma 13
-     e5  Theorem 4  — feasibility atlas + boundary probes
+     e5  Theorem 4  — feasibility atlas + boundary probes (parallel, --jobs)
      e6  Lemmas 2/8 — closed forms vs generators
      e7  baselines  — spiral search & asymmetric wait-for-mommy
      e8  extension  — multi-robot gathering (open problem probe)
@@ -18,8 +20,9 @@
      e10 analysis   — competitive ratio vs the omniscient optimum
      f1 f2 f3       — the paper's figures, regenerated
      ablate         — design-choice ablations (A1-A3)
-     stress         — deep-schedule throughput (round ~10, millions of intervals)
-     perf           — Bechamel kernel micro-benchmarks *)
+     stress         — deep-schedule throughput, batched over --jobs domains
+     perf           — Bechamel kernel micro-benchmarks
+     perf-batch     — batch-layer speedup vs --jobs 1; writes BENCH_1.json *)
 
 let all : (string * (unit -> unit)) list =
   [
@@ -39,6 +42,7 @@ let all : (string * (unit -> unit)) list =
     ("ablate", Exp_ablation.run);
     ("stress", Exp_stress.run);
     ("perf", Perf.run);
+    ("perf-batch", Exp_perf_batch.run);
   ]
 
 let () =
@@ -46,18 +50,25 @@ let () =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
   (* --csv DIR also mirrors every table to DIR/<id>.csv
-     (or set RVU_CSV_DIR). *)
-  let rec extract_csv acc = function
+     (or set RVU_CSV_DIR); --jobs N sets the batch-layer domain count. *)
+  let rec extract acc = function
     | "--csv" :: dir :: rest ->
         Util.csv_dir := Some dir;
-        extract_csv acc rest
-    | x :: rest -> extract_csv (x :: acc) rest
+        extract acc rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> Util.jobs := n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 2);
+        extract acc rest
+    | x :: rest -> extract (x :: acc) rest
     | [] -> List.rev acc
   in
   let requested =
-    match extract_csv [] args with [] -> List.map fst all | ids -> ids
+    match extract [] args with [] -> List.map fst all | ids -> ids
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Util.now_s () in
   List.iter
     (fun id ->
       match List.assoc_opt (String.lowercase_ascii id) all with
@@ -68,4 +79,4 @@ let () =
           exit 2)
     requested;
   Printf.printf "\nAll requested experiments completed in %.1f s.\n"
-    (Unix.gettimeofday () -. t0)
+    (Util.now_s () -. t0)

@@ -26,6 +26,27 @@ let line2 =
   Timed.make ~t0:0.0 ~dur:12.566
     ~shape:(Segment.line ~src:(Vec2.make 8.0 0.0) ~dst:(Vec2.make 0.0 6.0))
 
+(* Far-apart lines on a short interval: the conservative lower bound
+   rejects without solving the quadratic. *)
+let far1 =
+  Timed.make ~t0:0.0 ~dur:10.0
+    ~shape:(Segment.line ~src:Vec2.zero ~dst:(Vec2.make 10.0 0.0))
+
+let far2 =
+  Timed.make ~t0:0.0 ~dur:10.0
+    ~shape:(Segment.line ~src:(Vec2.make 0.0 100.0) ~dst:(Vec2.make 10.0 100.0))
+
+let pool_input = Array.init 256 (fun i -> i)
+
+let warm_cache =
+  lazy
+    (let c =
+       Stream_cache.create ~max_segments:1024
+         (Rvu_core.Universal.program ())
+     in
+     ignore (List.of_seq (Seq.take 64 (Stream_cache.stream c)) : Timed.t list);
+     c)
+
 let small_instance () =
   let inst =
     Rvu_sim.Engine.instance
@@ -63,6 +84,19 @@ let tests =
         (Staged.stage (fun () -> Rvu_core.Phases.round_end 20));
       Test.make ~name:"full_small_rendezvous"
         (Staged.stage small_instance);
+      Test.make ~name:"approach_escape_fast_path"
+        (Staged.stage (fun () ->
+             Rvu_sim.Approach.first_within ~r:0.5 ~resolution:1e-9 ~lo:4.0
+               ~hi:4.5 far1 far2));
+      Test.make ~name:"pool_parallel_map_jobs1_256"
+        (Staged.stage (fun () ->
+             Rvu_exec.Pool.parallel_map ~jobs:1 (fun x -> x + 1) pool_input));
+      Test.make ~name:"stream_cache_replay_64"
+        (Staged.stage (fun () ->
+             Seq.fold_left
+               (fun acc (_ : Timed.t) -> acc + 1)
+               0
+               (Seq.take 64 (Stream_cache.stream (Lazy.force warm_cache)))));
     ]
 
 let run () =

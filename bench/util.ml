@@ -26,10 +26,19 @@ let banner id title =
 
 let note fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* Domain count for the parallel batch layer; set by bench/main.exe's
+   --jobs flag, defaults to the hardware parallelism. *)
+let jobs = ref (Domain.recommended_domain_count ())
+
+(* All harness timing is monotonic (bechamel's CLOCK_MONOTONIC stub), not
+   Unix.gettimeofday: wall-clock adjustments (NTP slew, manual changes)
+   must not skew speedup ratios. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let wall_clock f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, now_s () -. t0)
 
 (* Run a rendezvous instance with the given program; fail loudly if it does
    not meet (experiments pick parameters that must meet). *)

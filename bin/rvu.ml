@@ -5,7 +5,9 @@
      search       run the single-robot search problem (Section 2)
      feasibility  classify an attribute vector (Theorem 4)
      schedule     print the Algorithm 7 phase schedule (Lemma 8)
-     bound        print every applicable analytic bound for an instance *)
+     bound        print every applicable analytic bound for an instance
+     sweep        run a distance sweep as a parallel batch (--jobs)
+     gather       simulate multi-robot gathering *)
 
 open Cmdliner
 open Rvu_geom
@@ -274,6 +276,86 @@ let bound_cmd =
     Term.(const bound $ attrs_term $ d_arg $ r_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep attrs d_lo d_hi points bearing r horizon jobs =
+  if points < 1 then begin
+    Format.eprintf "rvu: --points must be at least 1 (got %d)@." points;
+    exit 2
+  end;
+  let ds = Rvu_workload.Sweep.linspace ~lo:d_lo ~hi:d_hi ~n:points in
+  let instances =
+    Array.of_list
+      (List.map
+         (fun d ->
+           Rvu_sim.Engine.instance ~attributes:attrs
+             ~displacement:(Vec2.of_polar ~radius:d ~angle:bearing)
+             ~r)
+         ds)
+  in
+  Format.printf "R' attributes: %a@." Attributes.pp attrs;
+  Format.printf "sweeping d over %d point(s) in [%g, %g], r = %g@."
+    (List.length ds) d_lo d_hi r;
+  let results = Rvu_exec.Batch.run ~horizon ~jobs instances in
+  let t =
+    Rvu_report.Table.create
+      ~columns:
+        (List.map Rvu_report.Table.column
+           [ "d"; "outcome"; "t"; "bound"; "intervals" ])
+  in
+  Array.iteri
+    (fun i res ->
+      let d = List.nth ds i in
+      let outcome, time =
+        match res.Rvu_sim.Engine.outcome with
+        | Rvu_sim.Detector.Hit t -> ("hit", Rvu_report.Table.fstr t)
+        | Rvu_sim.Detector.Horizon h -> ("horizon", Rvu_report.Table.fstr h)
+        | Rvu_sim.Detector.Stream_end t ->
+            ("stream end", Rvu_report.Table.fstr t)
+      in
+      let bound =
+        match res.Rvu_sim.Engine.bound.Universal.time with
+        | Some b -> Rvu_report.Table.fstr b
+        | None -> "-"
+      in
+      Rvu_report.Table.add_row t
+        [
+          Rvu_report.Table.fstr d; outcome; time; bound;
+          Rvu_report.Table.istr
+            res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals;
+        ])
+    results;
+  Rvu_report.Table.print t
+
+let sweep_cmd =
+  let d_lo =
+    Arg.(value & opt float 1.0 & info [ "d-lo" ] ~docv:"D" ~doc:"Smallest initial distance.")
+  in
+  let d_hi =
+    Arg.(value & opt float 4.0 & info [ "d-hi" ] ~docv:"D" ~doc:"Largest initial distance.")
+  in
+  let points =
+    Arg.(value & opt int 8 & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Rvu_exec.Pool.recommended_jobs ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains to run the batch on (default: all cores). Results are \
+             bit-identical for every job count.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a batch of rendezvous instances over a distance sweep, in \
+          parallel.")
+    Term.(
+      const sweep $ attrs_term $ d_lo $ d_hi $ points $ bearing_arg $ r_arg
+      $ horizon_arg $ jobs)
+
+(* ------------------------------------------------------------------ *)
 (* gather *)
 
 let parse_robot spec =
@@ -346,5 +428,5 @@ let () =
                 simulator and analytic bounds.")
           [
             simulate_cmd; search_cmd; feasibility_cmd; schedule_cmd; bound_cmd;
-            gather_cmd;
+            sweep_cmd; gather_cmd;
           ]))

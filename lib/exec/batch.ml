@@ -1,0 +1,21 @@
+open Rvu_trajectory
+
+let universal_key = "rvu.universal.reference"
+let default_program () = Rvu_core.Universal.program ()
+
+let run ?closed_forms ?resolution ?horizon ?program ?key ?cache ?jobs instances
+    =
+  let make = Option.value program ~default:default_program in
+  let cache =
+    match (cache, key, program) with
+    | Some c, _, _ -> c
+    | None, Some k, _ -> Stream_cache.find_or_create ~key:k make
+    | None, None, None -> Stream_cache.find_or_create ~key:universal_key make
+    | None, None, Some _ -> Stream_cache.create (make ())
+  in
+  let reference = Stream_cache.stream cache in
+  Pool.parallel_map ?jobs
+    (fun inst ->
+      Rvu_sim.Engine.run_with_reference ?closed_forms ?resolution ?horizon
+        ~reference ~program:(make ()) inst)
+    instances

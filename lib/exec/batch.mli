@@ -1,0 +1,50 @@
+(** Batch execution of rendezvous instances: one program, many instances,
+    all cores.
+
+    This is the layer every sweep, atlas and stress workload should go
+    through. It combines {!Pool.parallel_map} (domain-level parallelism)
+    with a shared {!Rvu_trajectory.Stream_cache} holding the realized
+    reference-robot stream: the reference robot runs the same program in
+    the same frame in every instance of a batch, so its realization is
+    paid once per batch instead of once per instance. Each task still
+    realizes the [R'] stream locally (it depends on the instance's hidden
+    attributes).
+
+    Determinism: results are {e bit-identical} to calling
+    {!Rvu_sim.Engine.run} sequentially on each instance, for every job
+    count — the cached reference stream replays the exact floats a fresh
+    realization would produce, and the pool preserves order and re-raises
+    the lowest-index exception. The property test in [test/test_exec.ml]
+    enforces this. *)
+
+val run :
+  ?closed_forms:bool ->
+  ?resolution:float ->
+  ?horizon:float ->
+  ?program:(unit -> Rvu_trajectory.Program.t) ->
+  ?key:string ->
+  ?cache:Rvu_trajectory.Stream_cache.t ->
+  ?jobs:int ->
+  Rvu_sim.Engine.instance array ->
+  Rvu_sim.Engine.result array
+(** [run ?jobs instances] executes every instance under the universal
+    program (default {!Rvu_core.Universal.program}) on up to [jobs] domains
+    (default {!Pool.recommended_jobs}).
+
+    [program] is a thunk, forced once per worker task, so each domain
+    builds its own lazy program stream — programs need not be domain-safe
+    to share, only deterministic to rebuild.
+
+    Reference-stream caching:
+    - with [?cache], that cache is used (the caller promises it holds the
+      realization of [program] under the reference frame);
+    - with [?key], the global {!Rvu_trajectory.Stream_cache.find_or_create}
+      registry is used under that key — batches in the same process share
+      the realization;
+    - with neither, a default: the universal program is cached under a
+      well-known key, while a custom [program] gets a fresh private cache
+      (a closure has no identity to key on). *)
+
+val universal_key : string
+(** Registry key under which {!run} caches the universal program's
+    reference stream. *)

@@ -1,0 +1,53 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Hard ceiling on spawned domains: beyond the hardware parallelism there
+   is only scheduling overhead, and the runtime degrades with very large
+   domain counts. *)
+let max_jobs = 128
+
+let parallel_map ?jobs f xs =
+  let n = Array.length xs in
+  let jobs =
+    match jobs with Some j -> j | None -> recommended_jobs ()
+  in
+  let jobs = max 1 (min jobs (min n max_jobs)) in
+  if jobs <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    (* Small chunks keep heterogeneous workloads balanced; several chunks
+       per worker amortize the atomic traffic. *)
+    let chunk = max 1 (n / (jobs * 8)) in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            let cell =
+              match f xs.(i) with
+              | y -> Ok y
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- Some cell
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* Ascending scan: the first Error hit is the lowest-index failure, so
+       the re-raise is deterministic whatever the domain interleaving. *)
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let parallel_map_list ?jobs f xs =
+  Array.to_list (parallel_map ?jobs f (Array.of_list xs))

@@ -1,0 +1,29 @@
+(** A chunked work-distributing domain pool (stdlib [Domain]s only).
+
+    The experiment harness is embarrassingly parallel: thousands of
+    independent {!Rvu_sim.Engine} runs per sweep. [parallel_map] fans an
+    array of such tasks out over OCaml 5 domains with dynamic chunked
+    distribution (an atomic cursor; fast workers steal the remaining
+    chunks), so heterogeneous task costs — deep instances next to shallow
+    ones — still balance.
+
+    Semantics are those of [Array.map], whatever the job count:
+
+    - results are returned in input order;
+    - if any task raises, the exception of the {e lowest-index} failing
+      task is re-raised (with its backtrace) after all domains have been
+      joined — deterministic regardless of scheduling;
+    - [jobs <= 1] (or a short array) runs sequentially on the calling
+      domain, with no domain spawned — safe to nest inside an already
+      parallel region. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default parallelism. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ?jobs f xs] maps [f] over [xs] on up to [jobs] domains
+    (default {!recommended_jobs}; the calling domain is one of them).
+    [f] must be safe to call from multiple domains at once. *)
+
+val parallel_map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List convenience wrapper around {!parallel_map}. *)

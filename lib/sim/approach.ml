@@ -5,26 +5,32 @@ let segment_pair_lipschitz s1 s2 = Timed.speed s1 +. Timed.speed s2
 
 let distance_at s1 s2 t = Vec2.dist (Timed.position s1 t) (Timed.position s2 t)
 
+type affine = { base : Vec2.t; slope : Vec2.t }
+
 (* A timed Wait or Line segment's position is affine in global time:
    p(t) = base + slope·t on the segment's span. *)
 let affine_of (s : Timed.t) =
   match s.Timed.shape with
-  | Segment.Wait { pos; _ } -> Some (pos, Vec2.zero)
+  | Segment.Wait { pos; _ } -> Some { base = pos; slope = Vec2.zero }
   | Segment.Line { src; dst } ->
       let slope = Vec2.scale (1.0 /. s.Timed.dur) (Vec2.sub dst src) in
-      let base = Vec2.sub src (Vec2.scale s.Timed.t0 slope) in
-      Some (base, slope)
+      Some { base = Vec2.sub src (Vec2.scale s.Timed.t0 slope); slope }
   | Segment.Arc _ -> None
 
-(* Earliest t in [lo, hi] with |p0 + w·t| <= r, p(t) the relative position. *)
-let first_within_affine ~r ~lo ~hi (base, slope) =
-  let at t = Vec2.add base (Vec2.scale t slope) in
-  if Vec2.norm (at lo) <= r then Some lo
+let relative a b = { base = Vec2.sub a.base b.base; slope = Vec2.sub a.slope b.slope }
+
+let distance_rel rel t = Vec2.norm (Vec2.add rel.base (Vec2.scale t rel.slope))
+
+(* Earliest t in [lo, hi] with |p0 + w·t| <= r, p(t) the relative position.
+   [d_lo], when supplied, must equal [distance_rel rel lo]. *)
+let first_within_rel ~r ?d_lo ~lo ~hi rel =
+  let d0 = match d_lo with Some d -> d | None -> distance_rel rel lo in
+  if d0 <= r then Some lo
   else begin
     (* |p|² − r² = |w|²·t² + 2(p₀·w)·t + |p₀|² − r² *)
-    let a = Vec2.norm2 slope in
-    let b = 2.0 *. Vec2.dot base slope in
-    let c = Vec2.norm2 base -. (r *. r) in
+    let a = Vec2.norm2 rel.slope in
+    let b = 2.0 *. Vec2.dot rel.base rel.slope in
+    let c = Vec2.norm2 rel.base -. (r *. r) in
     if a = 0.0 then None (* constant distance, already checked at lo *)
     else begin
       let disc = (b *. b) -. (4.0 *. a *. c) in
@@ -38,35 +44,46 @@ let first_within_affine ~r ~lo ~hi (base, slope) =
     end
   end
 
+let first_within_lipschitz ~lipschitz ~r ~resolution ~lo ~hi s1 s2 =
+  let f t = distance_at s1 s2 t -. r in
+  match
+    Rvu_numerics.Lipschitz.first_below ~lipschitz ~resolution ~f ~lo ~hi ()
+  with
+  | Rvu_numerics.Lipschitz.First_below t -> Some t
+  | Rvu_numerics.Lipschitz.Stays_above -> None
+
+(* The relative speed bounds how fast the gap can close: if the distance at
+   [lo] exceeds [r] by more than [lipschitz · (hi − lo)], the pair provably
+   stays out of range on the whole interval and no solve is needed. *)
+let escapes ~r ~lipschitz ~lo ~hi ~d_lo = d_lo -. (lipschitz *. (hi -. lo)) > r
+
 let first_within ?(closed_forms = true) ~r ~resolution ~lo ~hi s1 s2 =
   if r <= 0.0 then invalid_arg "Approach.first_within: r <= 0";
   if lo > hi then invalid_arg "Approach.first_within: empty interval";
-  let affine =
+  let rel =
     if closed_forms then
       match (affine_of s1, affine_of s2) with
-      | Some (b1, w1), Some (b2, w2) -> Some (Vec2.sub b1 b2, Vec2.sub w1 w2)
+      | Some a, Some b -> Some (relative a b)
       | _ -> None
     else None
   in
-  match affine with
-  | Some rel -> first_within_affine ~r ~lo ~hi rel
-  | None -> begin
-      let f t = distance_at s1 s2 t -. r in
-      match
-        Rvu_numerics.Lipschitz.first_below
-          ~lipschitz:(segment_pair_lipschitz s1 s2)
-          ~resolution ~f ~lo ~hi ()
-      with
-      | Rvu_numerics.Lipschitz.First_below t -> Some t
-      | Rvu_numerics.Lipschitz.Stays_above -> None
-    end
+  let lipschitz = segment_pair_lipschitz s1 s2 in
+  match rel with
+  | Some rel ->
+      let d_lo = distance_rel rel lo in
+      if escapes ~r ~lipschitz ~lo ~hi ~d_lo then None
+      else first_within_rel ~r ~d_lo ~lo ~hi rel
+  | None ->
+      let d_lo = distance_at s1 s2 lo in
+      if escapes ~r ~lipschitz ~lo ~hi ~d_lo then None
+      else first_within_lipschitz ~lipschitz ~r ~resolution ~lo ~hi s1 s2
 
 let min_distance_lower_bound ~resolution ~lo ~hi s1 s2 =
   let f t = distance_at s1 s2 t in
   match (affine_of s1, affine_of s2) with
-  | Some (b1, w1), Some (b2, w2) ->
+  | Some a, Some b ->
       (* Exact: distance of the origin from the relative affine path. *)
-      let base = Vec2.sub b1 b2 and slope = Vec2.sub w1 w2 in
+      let { base; slope } = relative a b in
       let at t = Vec2.add base (Vec2.scale t slope) in
       Dist.point_segment Vec2.zero (at lo) (at hi)
   | _ ->

@@ -6,7 +6,19 @@
     distance is trigonometric; there the certified Lipschitz search is used
     with constant [speed₁ + speed₂] (the relative speed bound), so a
     crossing can only be missed if the distance dips below [r] by less than
-    the stated resolution. *)
+    the stated resolution.
+
+    Two fast paths keep the kernel cheap at sweep scale:
+
+    - {!affine_of} is exposed so callers that pair one segment against many
+      (the detector: a long wait spans thousands of intervals) can derive
+      each segment's affine form {e once} and solve on precomputed
+      {!relative} forms via {!first_within_rel};
+    - {!escapes} is a conservative lower-bound test — if the distance at
+      [lo] exceeds [r] by more than the relative speed times the interval
+      length, the pair provably stays out of range and the closed-form /
+      Lipschitz solve is skipped entirely. {!first_within} applies it
+      internally. *)
 
 val segment_pair_lipschitz : Rvu_trajectory.Timed.t -> Rvu_trajectory.Timed.t -> float
 (** Sum of the two segments' traversal speeds — a Lipschitz constant for
@@ -15,6 +27,46 @@ val segment_pair_lipschitz : Rvu_trajectory.Timed.t -> Rvu_trajectory.Timed.t ->
 val distance_at : Rvu_trajectory.Timed.t -> Rvu_trajectory.Timed.t -> float -> float
 (** Inter-robot distance at a global time (positions clamp outside the
     segments' spans). *)
+
+type affine = { base : Rvu_geom.Vec2.t; slope : Rvu_geom.Vec2.t }
+(** A position affine in global time: [p(t) = base + slope·t]. *)
+
+val affine_of : Rvu_trajectory.Timed.t -> affine option
+(** The segment's position as an affine function of global time — [Some]
+    exactly for waits and lines, [None] for arcs. *)
+
+val relative : affine -> affine -> affine
+(** Componentwise difference: the relative position of two affine
+    segments, itself affine. *)
+
+val distance_rel : affine -> float -> float
+(** [distance_rel rel t] is [|rel.base + rel.slope·t|] — the inter-robot
+    distance when [rel] is a {!relative} form. *)
+
+val first_within_rel :
+  r:float -> ?d_lo:float -> lo:float -> hi:float -> affine -> float option
+(** Exact closed-form first crossing for a precomputed {!relative} form.
+    [d_lo], if given, must equal [distance_rel rel lo] (it is accepted only
+    to avoid recomputation). *)
+
+val first_within_lipschitz :
+  lipschitz:float ->
+  r:float ->
+  resolution:float ->
+  lo:float ->
+  hi:float ->
+  Rvu_trajectory.Timed.t ->
+  Rvu_trajectory.Timed.t ->
+  float option
+(** The certified Lipschitz search with a caller-supplied constant (use
+    {!segment_pair_lipschitz}, possibly cached per segment). *)
+
+val escapes :
+  r:float -> lipschitz:float -> lo:float -> hi:float -> d_lo:float -> bool
+(** [escapes ~r ~lipschitz ~lo ~hi ~d_lo] is [true] when
+    [d_lo − lipschitz·(hi − lo) > r]: the pair provably stays strictly out
+    of range on all of [\[lo, hi\]], so any solve may be skipped.
+    Conservative — [false] says nothing. *)
 
 val first_within :
   ?closed_forms:bool ->
@@ -34,7 +86,8 @@ val first_within :
     [closed_forms] (default [true]) enables the exact quadratic solution for
     affine segment pairs; disabling it forces the Lipschitz search
     everywhere — correctness must not change, only speed (the ablation
-    benchmark checks exactly this). *)
+    benchmark checks exactly this). The {!escapes} skip applies on both
+    paths. *)
 
 val min_distance_lower_bound :
   resolution:float ->

@@ -4,40 +4,66 @@ type outcome = Hit of float | Horizon of float | Stream_end of float
 
 type stats = { intervals : int; min_distance : float }
 
+(* A pulled stream node, with the per-segment quantities the inner loop
+   needs computed once when the node is first consumed. A segment can span
+   many merged-timeline intervals (a long inactive-phase wait pairs against
+   thousands of the other robot's segments), so deriving end time, speed
+   and the affine form per interval — as a naive walker would — repeats
+   work proportional to the interval count, not the segment count. *)
+type node = {
+  seg : Timed.t;
+  t_end : float;
+  speed : float;
+  affine : Approach.affine option;
+}
+
+type cursor = End | Node of node * Timed.t Seq.t
+
+(* Resume the stream from the last consumed position: skip segments that
+   ended at or before [t] (zero-duration stragglers), then cache the new
+   head's derived quantities. *)
+let rec pull (s : Timed.t Seq.t) t =
+  match s () with
+  | Seq.Nil -> End
+  | Seq.Cons (seg, rest) ->
+      if Timed.t1 seg <= t then pull rest t
+      else
+        Node
+          ( {
+              seg;
+              t_end = Timed.t1 seg;
+              speed = Timed.speed seg;
+              affine = Approach.affine_of seg;
+            },
+            rest )
+
 (* Shared merged-timeline walker. Calls [f ~lo ~hi a b] on each maximal
    interval where both robots occupy a single segment; [f] may short-circuit
    by returning [Some _]. [finish] receives how the walk ended. *)
 let walk ~horizon s1 s2 ~f ~finish =
-  let rec advance (s : Timed.t Seq.t) t =
-    match s () with
-    | Seq.Nil -> Seq.Nil
-    | Seq.Cons (seg, rest) as node ->
-        if Timed.t1 seg <= t then advance rest t else node
-  in
-  let rec scan now n1 n2 =
-    match (n1, n2) with
-    | Seq.Nil, _ | _, Seq.Nil -> finish (Stream_end now)
-    | Seq.Cons (a, rest1), Seq.Cons (b, rest2) ->
+  let rec scan now c1 c2 =
+    match (c1, c2) with
+    | End, _ | _, End -> finish (Stream_end now)
+    | Node (a, rest1), Node (b, rest2) ->
         if now >= horizon then finish (Horizon horizon)
         else begin
-          let lo = Float.max now (Float.max a.Timed.t0 b.Timed.t0) in
-          let hi = Float.min horizon (Float.min (Timed.t1 a) (Timed.t1 b)) in
+          let lo = Float.max now (Float.max a.seg.Timed.t0 b.seg.Timed.t0) in
+          let hi = Float.min horizon (Float.min a.t_end b.t_end) in
           if lo >= horizon then finish (Horizon horizon)
           else if lo >= hi then
-            if Timed.t1 a <= Timed.t1 b then scan now (advance rest1 now) n2
-            else scan now n1 (advance rest2 now)
+            if a.t_end <= b.t_end then scan now (pull rest1 now) c2
+            else scan now c1 (pull rest2 now)
           else begin
             match f ~lo ~hi a b with
             | Some result -> result
             | None ->
                 if hi >= horizon then finish (Horizon horizon)
-                else if Timed.t1 a <= Timed.t1 b then
-                  scan hi (advance rest1 hi) n2
-                else scan hi n1 (advance rest2 hi)
+                else if a.t_end <= b.t_end then scan hi (pull rest1 hi) c2
+                else scan hi c1 (pull rest2 hi)
           end
         end
   in
-  scan 0.0 (s1 ()) (s2 ())
+  scan 0.0 (pull s1 Float.neg_infinity) (pull s2 Float.neg_infinity)
 
 let first_meeting ?(closed_forms = true) ?(resolution = 1e-9)
     ?(horizon = Float.infinity) ~r s1 s2 =
@@ -46,11 +72,32 @@ let first_meeting ?(closed_forms = true) ?(resolution = 1e-9)
   let min_distance = ref Float.infinity in
   let f ~lo ~hi a b =
     incr intervals;
-    let d0 = Approach.distance_at a b lo in
+    let rel =
+      if closed_forms then
+        match (a.affine, b.affine) with
+        | Some fa, Some fb -> Some (Approach.relative fa fb)
+        | _ -> None
+      else None
+    in
+    let d0 =
+      match rel with
+      | Some rel -> Approach.distance_rel rel lo
+      | None -> Approach.distance_at a.seg b.seg lo
+    in
     if d0 < !min_distance then min_distance := d0;
-    Option.map
-      (fun t -> Hit t)
-      (Approach.first_within ~closed_forms ~r ~resolution ~lo ~hi a b)
+    let lipschitz = a.speed +. b.speed in
+    (* Conservative fast path: skip the solve on intervals that provably
+       stay out of range. *)
+    if Approach.escapes ~r ~lipschitz ~lo ~hi ~d_lo:d0 then None
+    else
+      let hit =
+        match rel with
+        | Some rel -> Approach.first_within_rel ~r ~d_lo:d0 ~lo ~hi rel
+        | None ->
+            Approach.first_within_lipschitz ~lipschitz ~r ~resolution ~lo ~hi
+              a.seg b.seg
+      in
+      Option.map (fun t -> Hit t) hit
   in
   let outcome = walk ~horizon s1 s2 ~f ~finish:Fun.id in
   (outcome, { intervals = !intervals; min_distance = !min_distance })
@@ -58,7 +105,7 @@ let first_meeting ?(closed_forms = true) ?(resolution = 1e-9)
 let fold_intervals ?(horizon = Float.infinity) s1 s2 ~init ~f =
   let acc = ref init in
   let g ~lo ~hi a b =
-    acc := f !acc ~lo ~hi a b;
+    acc := f !acc ~lo ~hi a.seg b.seg;
     None
   in
   let (_ : outcome) = walk ~horizon s1 s2 ~f:g ~finish:Fun.id in

@@ -6,7 +6,13 @@
     lockstep over their common timeline, and queries {!Approach} on each
     maximal interval during which both robots occupy a single segment.
     Memory is O(1) regardless of schedule length — Algorithm 7's
-    exponentially long rounds never materialise. *)
+    exponentially long rounds never materialise.
+
+    The walker resumes each stream from its last consumed node and caches
+    the per-segment quantities ([t1], speed, affine form) on the node, so
+    a segment spanning many intervals pays its derivation once; intervals
+    that provably stay out of range ({!Approach.escapes}) skip the
+    closed-form/Lipschitz solve entirely. *)
 
 type outcome =
   | Hit of float  (** first time the robots are within range *)

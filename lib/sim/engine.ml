@@ -33,16 +33,32 @@ let streams ?program inst =
   in
   (s_r, s_r')
 
-let run ?closed_forms ?resolution ?horizon ?program inst =
-  let s_r, s_r' = streams ?program inst in
+let run_with_reference ?closed_forms ?resolution ?horizon ~reference ~program
+    inst =
+  let s_r' =
+    Rvu_trajectory.Realize.realize
+      (Frame.clocked inst.attributes ~displacement:inst.displacement)
+      program
+  in
   let outcome, stats =
-    Detector.first_meeting ?closed_forms ?resolution ?horizon ~r:inst.r s_r s_r'
+    Detector.first_meeting ?closed_forms ?resolution ?horizon ~r:inst.r
+      reference s_r'
   in
   let bound =
     Universal.guarantee inst.attributes ~d:(Vec2.norm inst.displacement)
       ~r:inst.r
   in
   { outcome; stats; bound }
+
+let run ?closed_forms ?resolution ?horizon ?program inst =
+  let program =
+    match program with Some p -> p | None -> Universal.program ()
+  in
+  let reference =
+    Rvu_trajectory.Realize.realize Frame.reference_clocked program
+  in
+  run_with_reference ?closed_forms ?resolution ?horizon ~reference ~program
+    inst
 
 let run_two ?closed_forms ?resolution ?horizon ~program_r ~program_r' inst =
   let s_r = Rvu_trajectory.Realize.realize Frame.reference_clocked program_r in

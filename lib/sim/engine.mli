@@ -39,6 +39,21 @@ val run :
     possibly-infeasible instances — the default is infinite and Algorithm 7
     never terminates on its own. *)
 
+val run_with_reference :
+  ?closed_forms:bool ->
+  ?resolution:float ->
+  ?horizon:float ->
+  reference:Rvu_trajectory.Timed.t Seq.t ->
+  program:Rvu_trajectory.Program.t ->
+  instance ->
+  result
+(** Like {!run}, but with the reference robot's realized stream supplied by
+    the caller — the batch layer ({!Rvu_exec.Batch}) passes one shared
+    {!Rvu_trajectory.Stream_cache} stream for a whole batch so the
+    reference realization is paid once, not per instance. [reference] must
+    be (bit-identical to) [Realize.realize Frame.reference_clocked program];
+    [run] is exactly this function with a freshly realized reference. *)
+
 val run_two :
   ?closed_forms:bool ->
   ?resolution:float ->

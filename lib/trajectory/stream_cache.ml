@@ -1,0 +1,128 @@
+type t = {
+  lock : Mutex.t;
+  cap : int;
+  mutable buf : Timed.t array; (* slots [0, len) hold realized segments *)
+  mutable len : int;
+  mutable tail : Timed.t Seq.t; (* unrealized remainder after [len] *)
+  mutable ended : bool; (* the underlying stream is exhausted *)
+}
+
+(* Placeholder for unfilled buffer slots; never observable. *)
+let dummy =
+  Timed.make ~t0:0.0 ~dur:0.0
+    ~shape:(Segment.wait ~at:Rvu_geom.Vec2.zero ~dur:0.0)
+
+let create ?(clocked = Realize.identity) ?(max_segments = 65536) program =
+  if max_segments < 1 then invalid_arg "Stream_cache.create: max_segments < 1";
+  {
+    lock = Mutex.create ();
+    cap = max_segments;
+    buf = Array.make (min 256 max_segments) dummy;
+    len = 0;
+    tail = Realize.realize clocked program;
+    ended = false;
+  }
+
+let realized t =
+  Mutex.lock t.lock;
+  let n = t.len in
+  Mutex.unlock t.lock;
+  n
+
+let max_segments t = t.cap
+
+let ensure_capacity t n =
+  if n > Array.length t.buf then begin
+    let cap = ref (Array.length t.buf) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let fresh = Array.make (min !cap t.cap) dummy in
+    Array.blit t.buf 0 fresh 0 t.len;
+    t.buf <- fresh
+  end
+
+(* Realization is amortized over lock acquisitions: each miss pulls a block,
+   not a single segment. *)
+let block = 64
+
+(* Under [t.lock]: realize forward until slot [i] exists, the stream ends,
+   or the cap is reached. *)
+let fill t i =
+  let stop = min t.cap (max (i + 1) (t.len + block)) in
+  ensure_capacity t stop;
+  let rec pull n tail =
+    if n >= stop then t.tail <- tail
+    else
+      match tail () with
+      | Seq.Nil ->
+          t.ended <- true;
+          t.tail <- Seq.empty
+      | Seq.Cons (seg, rest) ->
+          t.buf.(n) <- seg;
+          t.len <- n + 1;
+          pull (n + 1) rest
+  in
+  pull t.len t.tail
+
+(* Readers fetch a whole block per lock acquisition (a copy of up to
+   [block] realized slots), then emit it lock-free: consumers contend on
+   the mutex once per 64 segments rather than once per segment. *)
+type chunk =
+  | Segs of Timed.t array (* >= 1 segments starting at the queried index *)
+  | Ended
+  | Overflow of Timed.t Seq.t
+      (* the lazy remainder past the cap: consumers continue uncached *)
+
+let chunk t i =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let copy_from i = Array.sub t.buf i (min block (t.len - i)) in
+      if i < t.len then Segs (copy_from i)
+      else if t.ended then Ended
+      else if i >= t.cap then Overflow t.tail
+      else begin
+        fill t i;
+        if i < t.len then Segs (copy_from i)
+        else if t.ended then Ended
+        else Overflow t.tail
+      end)
+
+let stream t =
+  let rec from i () =
+    match chunk t i with
+    | Segs segs ->
+        let n = Array.length segs in
+        let rec emit j () =
+          if j < n then Seq.Cons (segs.(j), emit (j + 1)) else from (i + n) ()
+        in
+        emit 0 ()
+    | Ended -> Seq.Nil
+    | Overflow tail -> tail ()
+  in
+  from 0
+
+(* ------------------------------------------------------------------ *)
+(* Keyed registry *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_lock = Mutex.create ()
+
+let find_or_create ~key ?clocked ?max_segments make =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some t -> t
+      | None ->
+          let t = create ?clocked ?max_segments (make ()) in
+          Hashtbl.add registry key t;
+          t)
+
+let drop ~key =
+  Mutex.lock registry_lock;
+  Hashtbl.remove registry key;
+  Mutex.unlock registry_lock

@@ -1,0 +1,58 @@
+(** Shared, realized-prefix caches for timed-trajectory streams.
+
+    {!Realize.realize} is lazy and pure: every consumer that walks a
+    program's stream re-realizes each segment (frame mapping, compensated
+    timestamp accumulation) from scratch. When a whole batch of simulations
+    shares one side of the instance — the reference robot runs the same
+    program in the same frame in every cell of a sweep — that work is
+    identical across the batch. A [Stream_cache.t] realizes the stream once
+    into a growable prefix buffer and lets any number of consumers (on any
+    number of domains) replay it.
+
+    Invariants:
+
+    - The cached stream is {e bit-identical} to
+      [Realize.realize clocked program]: segments come from the same
+      realization pass, so every [t0], [dur] and mapped shape carries the
+      exact same floats. Parallel batch results therefore match sequential
+      ones exactly.
+    - The prefix buffer is bounded by [max_segments]. Consumers that walk
+      past the cap continue seamlessly on the {e uncached} lazy remainder
+      (pure re-realization, exactly as without a cache), so deep walks keep
+      the simulator's O(1)-memory property instead of pinning millions of
+      segments.
+    - All cache access is domain-safe: the buffer only grows, under an
+      internal mutex; segments themselves are immutable. *)
+
+type t
+
+val create : ?clocked:Realize.clocked -> ?max_segments:int -> Program.t -> t
+(** [create ?clocked ?max_segments program] caches the realization of
+    [program] under [clocked] (default {!Realize.identity}, the reference
+    robot). At most [max_segments] (default [65536]) segments are retained;
+    the program is consumed lazily, so creation itself is cheap. *)
+
+val stream : t -> Timed.t Seq.t
+(** The realized stream, replayed from the cache. Safe to share across
+    domains; every call (and every traversal) starts from the beginning. *)
+
+val realized : t -> int
+(** Number of segments realized into the prefix buffer so far. *)
+
+val max_segments : t -> int
+(** The retention cap this cache was created with. *)
+
+val find_or_create :
+  key:string ->
+  ?clocked:Realize.clocked ->
+  ?max_segments:int ->
+  (unit -> Program.t) ->
+  t
+(** Global keyed registry, for program families whose construction sites
+    cannot share a handle (e.g. "the universal Algorithm 7 program"). The
+    thunk is forced only on the first use of [key]. The registry itself is
+    domain-safe. Callers are responsible for key hygiene: a key must
+    identify the program {e and} the frame. *)
+
+val drop : key:string -> unit
+(** Remove a key from the global registry (existing handles stay valid). *)

@@ -79,6 +79,8 @@ let cells =
     };
   ]
 
+let map_cells ?jobs f cells = Sweep.map ?jobs f cells
+
 let boundary_cells ~epsilon =
   if epsilon <= 0.0 || epsilon >= 0.5 then
     invalid_arg "Atlas.boundary_cells: epsilon outside (0, 0.5)";

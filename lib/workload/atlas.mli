@@ -18,6 +18,12 @@ val cells : cell list
     identical robots; each single attribute differing; mirror twins with and
     without speed/clock differences; combined differences. *)
 
+val map_cells : ?jobs:int -> (cell -> 'a) -> cell list -> 'a list
+(** Evaluate every cell on up to [jobs] domains (see {!Sweep.map}): the
+    atlas experiment runs each cell's simulation independently, so the
+    census parallelizes embarrassingly. Order and results are identical to
+    [List.map] for every job count. *)
+
 val boundary_cells : epsilon:float -> cell list
 (** Near-boundary probes: attributes within [epsilon] of the infeasible
     manifold (e.g. [v = 1 ± ε], [φ = ε]) — all feasible by Theorem 4, with

@@ -1,8 +1,7 @@
 let linspace ~lo ~hi ~n =
   if n < 1 then invalid_arg "Sweep.linspace: n < 1";
-  if lo = hi then [ lo ]
+  if n = 1 then [ lo ]
   else begin
-    if n < 2 then invalid_arg "Sweep.linspace: n < 2 for a non-trivial range";
     let step = (hi -. lo) /. float_of_int (n - 1) in
     List.init n (fun i -> lo +. (float_of_int i *. step))
   end
@@ -16,3 +15,5 @@ let powers_of_two ~first ~last =
   List.init (last - first + 1) (fun i -> Float.ldexp 1.0 (first + i))
 
 let grid xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let map ?jobs f xs = Rvu_exec.Pool.parallel_map_list ?jobs f xs

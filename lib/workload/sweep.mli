@@ -1,11 +1,15 @@
-(** Parameter sweep construction for the experiment harness. *)
+(** Parameter sweep construction (and parallel evaluation) for the
+    experiment harness. *)
 
 val linspace : lo:float -> hi:float -> n:int -> float list
-(** [n] evenly spaced points including both endpoints. Requires [n >= 2]
-    unless [lo = hi] (then a singleton is fine with any [n >= 1]). *)
+(** [n] evenly spaced points from [lo] to [hi]. Uniform contract for every
+    [n >= 1]: [n = 1] is [\[lo\]] (whatever [hi]); [n >= 2] includes both
+    endpoints with step [(hi − lo) / (n − 1)], so [lo = hi] yields [n]
+    copies of [lo]. Raises [Invalid_argument] only when [n < 1]. *)
 
 val logspace : lo:float -> hi:float -> n:int -> float list
-(** [n] log-evenly spaced points including both endpoints. Requires
+(** [n] log-evenly spaced points including both endpoints, with the same
+    [n = 1] / degenerate-range contract as {!linspace}. Requires
     [0 < lo <= hi]. *)
 
 val powers_of_two : first:int -> last:int -> float list
@@ -13,3 +17,10 @@ val powers_of_two : first:int -> last:int -> float list
 
 val grid : 'a list -> 'b list -> ('a * 'b) list
 (** Cartesian product in row-major order. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Evaluate a sweep: map [f] over the points on up to [jobs] domains
+    (default {!Rvu_exec.Pool.recommended_jobs}) via
+    {!Rvu_exec.Pool.parallel_map_list}. Order, results and raised
+    exceptions are identical to [List.map] for every job count; [f] must
+    be domain-safe. *)

@@ -49,6 +49,20 @@ Search for a stationary target (Section 2):
   predicted discovery round: 4 (completion time 3180.74)
   Theorem 1 bound (as printed): 12567.8; repaired: 25135.5
 
+A parallel batch sweep — results are bit-identical for every --jobs count,
+so exact matching is safe even across machines:
+
+  $ rvu sweep --d-lo 1 --d-hi 2 --points 3 -r 0.4 --tau 0.5 --jobs 2
+  R' attributes: {v=1; tau=0.5; phi=0; chi=+1}
+  sweeping d over 3 point(s) in [1, 2], r = 0.4
+  +-----+---------+-------+-----------+-----------+
+  |   d | outcome |     t |     bound | intervals |
+  +-----+---------+-------+-----------+-----------+
+  |   1 |     hit | 122.6 | 7.129e+05 |        21 |
+  | 1.5 |     hit | 240.6 | 7.129e+05 |        71 |
+  |   2 |     hit |   254 | 7.129e+05 |        74 |
+  +-----+---------+-------+-----------+-----------+
+
 Gathering (the open problem): a pair gathers, three distinct speeds do not:
 
   $ rvu gather --robot 2,2,1 -r 0.3 --horizon 1000000

@@ -1,0 +1,188 @@
+(* Tests for Rvu_exec: the domain pool and the batch runner.
+
+   The contract under test is exactness: whatever the job count, the pool
+   behaves like Array.map (order, exceptions) and the batch layer produces
+   results bit-identical to sequential Engine.run — the QCheck property at
+   the bottom enforces the latter across random instances. *)
+
+open Rvu_geom
+open Rvu_exec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_order () =
+  let xs = Array.init 1000 (fun i -> i) in
+  let ys = Pool.parallel_map ~jobs:4 (fun x -> x * x) xs in
+  check_bool "order preserved" true (ys = Array.map (fun x -> x * x) xs)
+
+let test_pool_matches_sequential () =
+  let xs = Array.init 137 (fun i -> float_of_int i /. 7.0) in
+  let f x = (sin x *. 1000.0) +. x in
+  check_bool "jobs=3 = Array.map" true
+    (Pool.parallel_map ~jobs:3 f xs = Array.map f xs)
+
+let test_pool_empty_and_singleton () =
+  check_bool "empty" true (Pool.parallel_map ~jobs:4 succ [||] = [||]);
+  check_bool "singleton" true (Pool.parallel_map ~jobs:4 succ [| 41 |] = [| 42 |])
+
+let test_pool_jobs1_no_spawn () =
+  (* jobs <= 1 must run on the calling domain (the documented fallback for
+     nesting inside an already-parallel region). *)
+  let self = Domain.self () in
+  let domains =
+    Pool.parallel_map ~jobs:1 (fun _ -> Domain.self ()) (Array.init 32 Fun.id)
+  in
+  check_bool "all on caller" true (Array.for_all (fun d -> d = self) domains)
+
+exception Task_failed of int
+
+let test_pool_exception_lowest_index () =
+  (* Several tasks fail; the re-raised exception must deterministically be
+     the lowest-index one, whatever the domain interleaving. *)
+  for _ = 1 to 5 do
+    match
+      Pool.parallel_map ~jobs:4
+        (fun i -> if i mod 7 = 3 then raise (Task_failed i) else i)
+        (Array.init 200 Fun.id)
+    with
+    | _ -> Alcotest.fail "must raise"
+    | exception Task_failed i -> check_int "lowest failing index" 3 i
+  done
+
+let test_pool_map_list () =
+  let xs = List.init 50 (fun i -> i) in
+  check_bool "list wrapper" true
+    (Pool.parallel_map_list ~jobs:3 succ xs = List.map succ xs)
+
+(* ------------------------------------------------------------------ *)
+(* Batch vs sequential Engine.run: bit-identical *)
+
+let result_equal (a : Rvu_sim.Engine.result) (b : Rvu_sim.Engine.result) =
+  a.Rvu_sim.Engine.outcome = b.Rvu_sim.Engine.outcome
+  && a.Rvu_sim.Engine.stats = b.Rvu_sim.Engine.stats
+  && a.Rvu_sim.Engine.bound = b.Rvu_sim.Engine.bound
+
+let test_batch_matches_engine () =
+  let instances =
+    Array.of_list
+      (List.map
+         (fun (tau, d, r) ->
+           Rvu_sim.Engine.instance
+             ~attributes:(Rvu_core.Attributes.make ~tau ())
+             ~displacement:(Vec2.make d (0.4 *. d))
+             ~r)
+         [ (0.5, 1.5, 0.4); (0.75, 3.0, 0.3); (0.9, 1.0, 0.25) ])
+  in
+  let horizon = 1e6 in
+  let batch = Batch.run ~horizon ~jobs:3 instances in
+  let seq = Array.map (Rvu_sim.Engine.run ~horizon) instances in
+  check_bool "bit-identical" true
+    (Array.for_all2 result_equal batch seq)
+
+let attributes_gen =
+  QCheck.Gen.(
+    let* v = float_range 0.6 2.2 in
+    let* tau = float_range 0.5 2.0 in
+    let* phi = float_range 0.0 6.2 in
+    let* mirror = bool in
+    return
+      (Rvu_core.Attributes.make ~v ~tau ~phi
+         ~chi:(if mirror then Rvu_core.Attributes.Opposite else Rvu_core.Attributes.Same)
+         ()))
+
+let instance_gen =
+  QCheck.Gen.(
+    let* attributes = attributes_gen in
+    let* d = float_range 0.8 3.0 in
+    let* bearing = float_range 0.0 6.2 in
+    let* r = float_range 0.15 0.6 in
+    return
+      (Rvu_sim.Engine.instance ~attributes
+         ~displacement:(Vec2.of_polar ~radius:d ~angle:bearing)
+         ~r))
+
+let print_instance (inst : Rvu_sim.Engine.instance) =
+  Format.asprintf "{attrs=%a; disp=%a; r=%g}" Rvu_core.Attributes.pp
+    inst.Rvu_sim.Engine.attributes Vec2.pp inst.Rvu_sim.Engine.displacement
+    inst.Rvu_sim.Engine.r
+
+let instance_arbitrary =
+  QCheck.make
+    ~print:(fun instances ->
+      String.concat "; "
+        (Array.to_list (Array.map print_instance instances)))
+    QCheck.Gen.(array_size (int_range 1 6) instance_gen)
+
+let prop_batch_bit_identical =
+  QCheck.Test.make ~count:12
+    ~name:"Batch.run parallel = sequential Engine.run (bit-identical)"
+    instance_arbitrary
+    (fun instances ->
+      (* A horizon keeps the infeasible draws (identical robots never
+         appear, but mirror twins with v = tau = 1 cannot be drawn either;
+         still, slow cases exist) bounded. *)
+      let horizon = 2e4 in
+      let batch = Batch.run ~horizon ~jobs:3 instances in
+      let seq = Array.map (Rvu_sim.Engine.run ~horizon) instances in
+      Array.for_all2 result_equal batch seq)
+
+(* ------------------------------------------------------------------ *)
+(* Stream_cache under concurrency *)
+
+let test_cache_concurrent_readers () =
+  let take n s = List.of_seq (Seq.take n s) in
+  let cache =
+    Rvu_trajectory.Stream_cache.create ~max_segments:64
+      (Rvu_core.Universal.program ())
+  in
+  let expected =
+    take 200
+      (Rvu_trajectory.Realize.realize Rvu_trajectory.Realize.identity
+         (Rvu_core.Universal.program ()))
+  in
+  (* Four domains race through the cache (and past its 64-segment cap into
+     the uncached overflow); each must see the exact reference stream. *)
+  let readers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            take 200 (Rvu_trajectory.Stream_cache.stream cache)))
+  in
+  let streams = List.map Domain.join readers in
+  List.iter
+    (fun got -> check_bool "reader saw the reference stream" true (got = expected))
+    streams;
+  check_bool "cache stopped at its cap" true
+    (Rvu_trajectory.Stream_cache.realized cache <= 64)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_pool_order;
+          Alcotest.test_case "matches Array.map" `Quick
+            test_pool_matches_sequential;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_empty_and_singleton;
+          Alcotest.test_case "jobs=1 stays on caller" `Quick
+            test_pool_jobs1_no_spawn;
+          Alcotest.test_case "deterministic exception" `Quick
+            test_pool_exception_lowest_index;
+          Alcotest.test_case "list wrapper" `Quick test_pool_map_list;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "matches Engine.run" `Quick
+            test_batch_matches_engine;
+          QCheck_alcotest.to_alcotest prop_batch_bit_identical;
+        ] );
+      ( "stream cache",
+        [
+          Alcotest.test_case "concurrent readers" `Quick
+            test_cache_concurrent_readers;
+        ] );
+    ]

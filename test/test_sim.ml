@@ -74,6 +74,32 @@ let test_approach_arc_vs_wait () =
       check_bool "near the end of the sweep" true (t > 0.9 *. hi)
   | None -> Alcotest.fail "must come within 2.01"
 
+let test_approach_escapes () =
+  (* The quick-reject bound: starting 10 apart, combined speed 2, over a
+     window of 3 the pair can close at most 6 — provably above r = 1. *)
+  check_bool "far pair escapes" true
+    (Approach.escapes ~r:1.0 ~lipschitz:2.0 ~lo:0.0 ~hi:3.0 ~d_lo:10.0);
+  (* Conservative: over a window of 5 the same pair could close 10, so the
+     bound cannot rule a meeting out. *)
+  check_bool "long window cannot be rejected" true
+    (not (Approach.escapes ~r:1.0 ~lipschitz:2.0 ~lo:0.0 ~hi:5.0 ~d_lo:10.0));
+  (* And the full kernel agrees with the bound on a concrete far pair, for
+     both the closed-form (line/line) and Lipschitz (arc) paths. *)
+  let a = timed ~t0:0.0 (Segment.line ~src:Vec2.zero ~dst:(Vec2.make 3.0 0.0)) in
+  let b =
+    timed ~t0:0.0
+      (Segment.line ~src:(Vec2.make 100.0 0.0) ~dst:(Vec2.make 103.0 0.0))
+  in
+  check_bool "lines: no hit" true
+    (Approach.first_within ~r:1.0 ~resolution:1e-9 ~lo:0.0 ~hi:3.0 a b = None);
+  let c =
+    timed ~t0:0.0
+      (Segment.arc ~center:(Vec2.make 100.0 0.0) ~radius:2.0 ~from:0.0
+         ~sweep:1.0)
+  in
+  check_bool "arc: no hit" true
+    (Approach.first_within ~r:1.0 ~resolution:1e-6 ~lo:0.0 ~hi:2.0 a c = None)
+
 let brute_force_min s1 s2 ~lo ~hi =
   let n = 20000 in
   let best = ref Float.infinity in
@@ -604,6 +630,7 @@ let () =
           Alcotest.test_case "already within" `Quick test_approach_already_within;
           Alcotest.test_case "parallel never" `Quick test_approach_parallel_never;
           Alcotest.test_case "arc vs wait" `Quick test_approach_arc_vs_wait;
+          Alcotest.test_case "escapes quick-reject" `Quick test_approach_escapes;
           qc prop_first_within_sound;
           qc prop_min_lower_bound_sound;
         ] );

@@ -368,6 +368,65 @@ let test_drift_splits_are_contiguous () =
   check_bool "time and space contiguous" true (contiguous segs);
   check_bool "splitting produced more segments" true (List.length segs > 4)
 
+(* ------------------------------------------------------------------ *)
+(* Stream_cache *)
+
+let zigzag_program () =
+  (* A finite-but-long program with varied shapes. *)
+  Program.of_list
+    (List.concat
+       (List.init 100 (fun i ->
+            let x = float_of_int i in
+            [
+              Segment.line ~src:(Vec2.make x 0.0) ~dst:(Vec2.make (x +. 1.0) 1.0);
+              Segment.line ~src:(Vec2.make (x +. 1.0) 1.0)
+                ~dst:(Vec2.make (x +. 1.0) 0.0);
+              Segment.wait ~at:(Vec2.make (x +. 1.0) 0.0) ~dur:0.5;
+            ])))
+
+let timed_equal (a : Timed.t) (b : Timed.t) =
+  (* Bit-level equality: the cache must replay the exact realization. *)
+  a.Timed.t0 = b.Timed.t0 && a.Timed.dur = b.Timed.dur
+  && a.Timed.shape = b.Timed.shape
+
+let test_stream_cache_replays_exactly () =
+  let take n s = List.of_seq (Seq.take n s) in
+  let direct = take 250 (Realize.realize Realize.identity (zigzag_program ())) in
+  let cache = Stream_cache.create (zigzag_program ()) in
+  let cached = take 250 (Stream_cache.stream cache) in
+  check_bool "bit-identical prefix" true (List.for_all2 timed_equal cached direct);
+  (* A second traversal replays from the buffer, same result. *)
+  let again = take 250 (Stream_cache.stream cache) in
+  check_bool "replay identical" true (List.for_all2 timed_equal again direct)
+
+let test_stream_cache_cap_overflow () =
+  let take n s = List.of_seq (Seq.take n s) in
+  let direct = take 300 (Realize.realize Realize.identity (zigzag_program ())) in
+  let cache = Stream_cache.create ~max_segments:16 (zigzag_program ()) in
+  let cached = take 300 (Stream_cache.stream cache) in
+  check_bool "overflow continues uncached but identical" true
+    (List.for_all2 timed_equal cached direct);
+  check_bool "retention respects the cap" true (Stream_cache.realized cache <= 16)
+
+let test_stream_cache_end_of_stream () =
+  let short = Program.of_list [ Segment.line ~src:Vec2.zero ~dst:(Vec2.make 1.0 0.0) ] in
+  let cache = Stream_cache.create short in
+  Alcotest.(check int) "one segment then Nil" 1
+    (Seq.length (Stream_cache.stream cache));
+  Alcotest.(check int) "realized count" 1 (Stream_cache.realized cache)
+
+let test_stream_cache_registry () =
+  let calls = ref 0 in
+  let make () = incr calls; zigzag_program () in
+  let a = Stream_cache.find_or_create ~key:"test.zigzag" make in
+  let b = Stream_cache.find_or_create ~key:"test.zigzag" make in
+  check_bool "same handle" true (a == b);
+  Alcotest.(check int) "program built once" 1 !calls;
+  Stream_cache.drop ~key:"test.zigzag";
+  let c = Stream_cache.find_or_create ~key:"test.zigzag" make in
+  check_bool "dropped key rebuilds" true (not (c == a));
+  Stream_cache.drop ~key:"test.zigzag"
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "rvu_trajectory"
@@ -407,6 +466,14 @@ let () =
           qc prop_realize_contiguous;
           qc prop_realize_lemma4;
           qc prop_realize_stream_matches_position;
+        ] );
+      ( "stream cache",
+        [
+          Alcotest.test_case "replays exactly" `Quick
+            test_stream_cache_replays_exactly;
+          Alcotest.test_case "cap overflow" `Quick test_stream_cache_cap_overflow;
+          Alcotest.test_case "end of stream" `Quick test_stream_cache_end_of_stream;
+          Alcotest.test_case "keyed registry" `Quick test_stream_cache_registry;
         ] );
       ( "drift",
         [

@@ -169,6 +169,21 @@ let test_linspace () =
   check_float "step" 0.25 (List.nth xs 1);
   check_bool "degenerate" true (Sweep.linspace ~lo:2.0 ~hi:2.0 ~n:1 = [ 2.0 ])
 
+let test_linspace_uniform_contract () =
+  (* n = 1 is [lo] whether or not the range is trivial... *)
+  check_bool "n=1, lo <> hi" true (Sweep.linspace ~lo:0.0 ~hi:1.0 ~n:1 = [ 0.0 ]);
+  (* ...and lo = hi with n > 1 is n copies, not a silent singleton. *)
+  check_bool "lo = hi, n=3" true
+    (Sweep.linspace ~lo:2.0 ~hi:2.0 ~n:3 = [ 2.0; 2.0; 2.0 ]);
+  Alcotest.check_raises "n < 1" (Invalid_argument "Sweep.linspace: n < 1")
+    (fun () -> ignore (Sweep.linspace ~lo:0.0 ~hi:1.0 ~n:0))
+
+let test_sweep_map_parallel () =
+  let xs = Sweep.linspace ~lo:0.0 ~hi:10.0 ~n:101 in
+  let f x = (x *. x) -. (3.0 *. x) in
+  check_bool "Sweep.map = List.map" true
+    (Sweep.map ~jobs:3 f xs = List.map f xs)
+
 let test_logspace () =
   let xs = Sweep.logspace ~lo:1.0 ~hi:100.0 ~n:3 in
   check_float "geometric middle" 10.0 (List.nth xs 1);
@@ -250,6 +265,9 @@ let () =
       ( "sweep",
         [
           Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "linspace uniform contract" `Quick
+            test_linspace_uniform_contract;
+          Alcotest.test_case "parallel map" `Quick test_sweep_map_parallel;
           Alcotest.test_case "logspace" `Quick test_logspace;
           Alcotest.test_case "powers of two" `Quick test_powers_of_two;
           Alcotest.test_case "grid" `Quick test_grid;
