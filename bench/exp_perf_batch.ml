@@ -46,24 +46,25 @@ let json_path () =
 
 let write_json ~jobs ~intervals ~wall1 ~walln ~speedup =
   let path = json_path () in
-  let oc = open_out path in
   let mi wall = float_of_int intervals /. Float.max 1e-9 wall /. 1e6 in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"perf-batch\",\n\
-    \  \"instances\": %d,\n\
-    \  \"intervals\": %d,\n\
-    \  \"jobs\": %d,\n\
-    \  \"recommended_domains\": %d,\n\
-    \  \"wall_s_jobs1\": %.6f,\n\
-    \  \"wall_s_jobsN\": %.6f,\n\
-    \  \"mintervals_per_s_jobs1\": %.3f,\n\
-    \  \"mintervals_per_s_jobsN\": %.3f,\n\
-    \  \"speedup\": %.3f\n\
-     }\n"
-    (Array.length instances) intervals jobs
-    (Domain.recommended_domain_count ())
-    wall1 walln (mi wall1) (mi walln) speedup;
+  let json =
+    Rvu_service.Wire.Obj
+      [
+        ("experiment", Rvu_service.Wire.String "perf-batch");
+        ("instances", Rvu_service.Wire.Int (Array.length instances));
+        ("intervals", Rvu_service.Wire.Int intervals);
+        ("jobs", Rvu_service.Wire.Int jobs);
+        ( "recommended_domains",
+          Rvu_service.Wire.Int (Domain.recommended_domain_count ()) );
+        ("wall_s_jobs1", Rvu_service.Wire.Float wall1);
+        ("wall_s_jobsN", Rvu_service.Wire.Float walln);
+        ("mintervals_per_s_jobs1", Rvu_service.Wire.Float (mi wall1));
+        ("mintervals_per_s_jobsN", Rvu_service.Wire.Float (mi walln));
+        ("speedup", Rvu_service.Wire.Float speedup);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Rvu_service.Wire.print_hum json);
   close_out oc;
   Util.note "(json written to %s)" path
 

@@ -22,7 +22,9 @@
      ablate         — design-choice ablations (A1-A3)
      stress         — deep-schedule throughput, batched over --jobs domains
      perf           — Bechamel kernel micro-benchmarks
-     perf-batch     — batch-layer speedup vs --jobs 1; writes BENCH_1.json *)
+     perf-batch     — batch-layer speedup vs --jobs 1; writes BENCH_1.json
+     perf-serve     — server latency, cache speedup, backpressure;
+                      writes BENCH_2.json *)
 
 let all : (string * (unit -> unit)) list =
   [
@@ -43,6 +45,7 @@ let all : (string * (unit -> unit)) list =
     ("stress", Exp_stress.run);
     ("perf", Perf.run);
     ("perf-batch", Exp_perf_batch.run);
+    ("perf-serve", Exp_perf_serve.run);
   ]
 
 let () =

@@ -7,7 +7,9 @@
      schedule     print the Algorithm 7 phase schedule (Lemma 8)
      bound        print every applicable analytic bound for an instance
      sweep        run a distance sweep as a parallel batch (--jobs)
-     gather       simulate multi-robot gathering *)
+     gather       simulate multi-robot gathering
+     serve        long-running evaluation server (NDJSON over stdio or TCP)
+     loadgen      replay a scenario mix against the server; report latency *)
 
 open Cmdliner
 open Rvu_geom
@@ -15,6 +17,21 @@ open Rvu_core
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument bundles *)
+
+(* Count-like flags (--points, --jobs, --rounds, --requests, ...) share one
+   validated converter so every subcommand rejects zero and negatives the
+   same way, at parse time. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+        Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
 let v_arg =
   Arg.(value & opt float 1.0 & info [ "speed" ] ~docv:"V" ~doc:"Speed of robot R'.")
@@ -239,7 +256,9 @@ let schedule rounds =
 
 let schedule_cmd =
   let rounds =
-    Arg.(value & opt int 8 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds to list.")
+    Arg.(
+      value & opt positive_int 8
+      & info [ "rounds" ] ~docv:"N" ~doc:"Rounds to list.")
   in
   Cmd.v
     (Cmd.info "schedule"
@@ -279,10 +298,6 @@ let bound_cmd =
 (* sweep *)
 
 let sweep attrs d_lo d_hi points bearing r horizon jobs =
-  if points < 1 then begin
-    Format.eprintf "rvu: --points must be at least 1 (got %d)@." points;
-    exit 2
-  end;
   let ds = Rvu_workload.Sweep.linspace ~lo:d_lo ~hi:d_hi ~n:points in
   let instances =
     Array.of_list
@@ -335,12 +350,14 @@ let sweep_cmd =
     Arg.(value & opt float 4.0 & info [ "d-hi" ] ~docv:"D" ~doc:"Largest initial distance.")
   in
   let points =
-    Arg.(value & opt int 8 & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points.")
+    Arg.(
+      value & opt positive_int 8
+      & info [ "points" ] ~docv:"N" ~doc:"Number of sweep points.")
   in
   let jobs =
     Arg.(
       value
-      & opt int (Rvu_exec.Pool.recommended_jobs ())
+      & opt positive_int (Rvu_exec.Pool.recommended_jobs ())
       & info [ "jobs" ] ~docv:"N"
           ~doc:
             "Domains to run the batch on (default: all cores). Results are \
@@ -416,6 +433,209 @@ let gather_cmd =
     Term.(const gather $ robots $ r_arg $ horizon)
 
 (* ------------------------------------------------------------------ *)
+(* serve / loadgen *)
+
+let service_jobs_arg =
+  Arg.(
+    value
+    & opt positive_int (Rvu_exec.Pool.recommended_jobs ())
+    & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains evaluating requests.")
+
+let queue_depth_arg =
+  Arg.(
+    value & opt positive_int 64
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:
+          "Admission bound: requests beyond this many in flight are shed \
+           with an $(i,overloaded) error instead of queueing.")
+
+let cache_entries_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-entries" ] ~docv:"N"
+        ~doc:"Result-cache capacity (LRU). 0 disables result caching.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"MS"
+        ~doc:
+          "Default per-request queue-wait budget in milliseconds; requests \
+           still queued past it fail with a $(i,timeout) error. Values <= 0 \
+           or absent mean no default timeout.")
+
+let service_config jobs queue_depth cache_entries timeout_ms =
+  {
+    Rvu_service.Server.jobs;
+    queue_depth;
+    cache_entries = max 0 cache_entries;
+    timeout_ms =
+      (match timeout_ms with Some ms when ms > 0.0 -> Some ms | _ -> None);
+  }
+
+let config_term =
+  Term.(
+    const service_config $ service_jobs_arg $ queue_depth_arg
+    $ cache_entries_arg $ timeout_arg)
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) ->
+        Format.eprintf "rvu: cannot resolve host %S@." host;
+        exit 1)
+
+let serve config tcp_port host connections =
+  let server = Rvu_service.Server.create ~config () in
+  (match tcp_port with
+  | Some port ->
+      Rvu_service.Server.serve_tcp server ~host ~port ?connections ()
+  | None -> Rvu_service.Server.serve_channels server stdin stdout);
+  Rvu_service.Server.stop server
+
+let serve_cmd =
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Listen on a TCP port instead of serving newline-delimited JSON \
+             over stdin/stdout.")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (with $(b,--tcp)).")
+  in
+  let connections =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "Exit after serving this many TCP connections (default: serve \
+             forever). Useful for smoke tests.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the evaluation server: one JSON request per line in, one JSON \
+          response per line out (see DESIGN.md for the protocol).")
+    Term.(const serve $ config_term $ tcp $ host $ connections)
+
+let loadgen_tcp lg ~host ~port ~rate =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_INET (resolve_host host, port))
+   with Unix.Unix_error (e, _, _) ->
+     Format.eprintf "rvu: cannot connect to %s:%d: %s@." host port
+       (Unix.error_message e);
+     exit 1);
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  let reader =
+    Domain.spawn (fun () ->
+        try
+          while true do
+            Rvu_service.Loadgen.note_response lg (input_line ic)
+          done
+        with _ -> ())
+  in
+  Rvu_service.Loadgen.drive ~rate lg ~send:(fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc);
+  let complete = Rvu_service.Loadgen.wait lg in
+  (try Unix.shutdown sock Unix.SHUTDOWN_ALL with _ -> ());
+  Domain.join reader;
+  close_out_noerr oc;
+  complete
+
+let loadgen_local lg ~config ~rate =
+  let server = Rvu_service.Server.create ~config () in
+  Rvu_service.Loadgen.drive ~rate lg ~send:(fun line ->
+      Rvu_service.Server.handle_line server line
+        ~respond:(Rvu_service.Loadgen.note_response lg));
+  let complete = Rvu_service.Loadgen.wait lg in
+  Rvu_service.Server.stop server;
+  complete
+
+let loadgen connect requests rate seed config fail_on_error =
+  let lg = Rvu_service.Loadgen.create ~seed ~requests () in
+  let complete =
+    match connect with
+    | Some (host, port) -> loadgen_tcp lg ~host ~port ~rate
+    | None -> loadgen_local lg ~config ~rate
+  in
+  let s = Rvu_service.Loadgen.summary lg in
+  Rvu_service.Loadgen.print_summary s;
+  if not complete then
+    Format.eprintf "rvu: %d of %d responses never arrived@."
+      (requests - s.Rvu_service.Loadgen.completed)
+      requests;
+  if fail_on_error && (not complete || s.Rvu_service.Loadgen.ok < requests)
+  then exit 1
+
+let loadgen_cmd =
+  let connect =
+    let parse s =
+      match String.rindex_opt s ':' with
+      | Some i -> begin
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+          | _ -> Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s))
+        end
+      | None -> Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s))
+    in
+    let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+    Arg.(
+      value
+      & opt (some (conv ~docv:"HOST:PORT" (parse, print))) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Drive a running $(b,rvu serve --tcp) instance. Without this the \
+             generator runs against an in-process server built from the \
+             $(b,serve) flags below.")
+  in
+  let requests =
+    Arg.(
+      value & opt positive_int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to send.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Target request rate per second. 0 (default) sends flat out.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario-mix derivation seed.")
+  in
+  let fail_on_error =
+    Arg.(
+      value & flag
+      & info [ "fail-on-error" ]
+          ~doc:
+            "Exit non-zero unless every request completed with an $(i,ok) \
+             response.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a deterministic scenario mix against the evaluation server \
+          and report throughput and latency percentiles.")
+    Term.(
+      const loadgen $ connect $ requests $ rate $ seed $ config_term
+      $ fail_on_error)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -428,5 +648,5 @@ let () =
                 simulator and analytic bounds.")
           [
             simulate_cmd; search_cmd; feasibility_cmd; schedule_cmd; bound_cmd;
-            sweep_cmd; gather_cmd;
+            sweep_cmd; gather_cmd; serve_cmd; loadgen_cmd;
           ]))

@@ -51,3 +51,75 @@ let parallel_map ?jobs f xs =
 
 let parallel_map_list ?jobs f xs =
   Array.to_list (parallel_map ?jobs f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Persistent executor *)
+
+module Persistent = struct
+  type t = {
+    lock : Mutex.t;
+    work : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable stopped : bool;
+    mutable workers : unit Domain.t list;
+    jobs : int;
+  }
+
+  let worker t =
+    let rec next () =
+      if Queue.is_empty t.queue then
+        if t.stopped then None
+        else begin
+          Condition.wait t.work t.lock;
+          next ()
+        end
+      else Some (Queue.pop t.queue)
+    in
+    let rec loop () =
+      Mutex.lock t.lock;
+      match next () with
+      | None -> Mutex.unlock t.lock
+      | Some task ->
+          Mutex.unlock t.lock;
+          (* Tasks own their error handling; a raising task must not take
+             the worker domain down with it. *)
+          (try task () with _ -> ());
+          loop ()
+    in
+    loop ()
+
+  let start ~jobs =
+    let jobs = max 1 (min jobs max_jobs) in
+    let t =
+      {
+        lock = Mutex.create ();
+        work = Condition.create ();
+        queue = Queue.create ();
+        stopped = false;
+        workers = [];
+        jobs;
+      }
+    in
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let jobs t = t.jobs
+
+  let submit t task =
+    Mutex.lock t.lock;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.Persistent.submit: executor is stopped"
+    end;
+    Queue.push task t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.lock
+
+  let stop t =
+    Mutex.lock t.lock;
+    t.stopped <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end

@@ -27,3 +27,36 @@ val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val parallel_map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List convenience wrapper around {!parallel_map}. *)
+
+(** A persistent worker pool for long-running services.
+
+    {!parallel_map} spawns domains per call, which is right for offline
+    batches but wrong for a server that must multiplex a steady stream of
+    independent requests: domain spawn is milliseconds, and an evaluation
+    service wants its workers hot. [Persistent.start] spawns the domains
+    once; [submit] enqueues thunks that the workers drain FIFO.
+
+    Tasks must catch their own exceptions — an uncaught exception is
+    swallowed (the worker survives), so a service should wrap every task
+    with its own error reporting. Completion ordering across tasks is
+    whatever the domain scheduler produces; callers that need ordering
+    must sequence in the tasks themselves. *)
+module Persistent : sig
+  type t
+
+  val start : jobs:int -> t
+  (** Spawn [jobs] worker domains (clamped to [1 .. 128]) that block on an
+      internal queue. *)
+
+  val jobs : t -> int
+  (** The worker count the pool was started with (after clamping). *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a task. The queue is unbounded — admission control (shedding
+      past a depth limit) belongs to the layer above, which can count
+      in-flight tasks. Raises [Invalid_argument] after {!stop}. *)
+
+  val stop : t -> unit
+  (** Drain: no new tasks are accepted, already-queued tasks still run,
+      and all worker domains are joined before returning. Idempotent. *)
+end

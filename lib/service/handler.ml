@@ -1,0 +1,245 @@
+open Rvu_geom
+open Rvu_core
+
+let algorithm4_key = "rvu.service.algorithm4.reference"
+
+let reference_stream ~algorithm4 =
+  let key, make =
+    if algorithm4 then (algorithm4_key, Rvu_search.Algorithm4.program)
+    else (Rvu_exec.Batch.universal_key, Universal.program)
+  in
+  Rvu_trajectory.Stream_cache.stream
+    (Rvu_trajectory.Stream_cache.find_or_create ~key make)
+
+(* ------------------------------------------------------------------ *)
+(* JSON shapes *)
+
+let opt_float = function Some x -> Wire.Float x | None -> Wire.Null
+let opt_int = function Some i -> Wire.Int i | None -> Wire.Null
+let finite_or_null x = if Float.is_finite x then Wire.Float x else Wire.Null
+
+let verdict_json v =
+  let feasible, reason =
+    match v with
+    | Feasibility.Feasible Feasibility.Different_clocks ->
+        (true, Wire.String "different_clocks")
+    | Feasibility.Feasible Feasibility.Different_speeds ->
+        (true, Wire.String "different_speeds")
+    | Feasibility.Feasible Feasibility.Rotated_same_chirality ->
+        (true, Wire.String "rotated_same_chirality")
+    | Feasibility.Infeasible -> (false, Wire.Null)
+  in
+  Wire.Obj [ ("feasible", Wire.Bool feasible); ("reason", reason) ]
+
+let outcome_json outcome =
+  let kind, t =
+    match outcome with
+    | Rvu_sim.Detector.Hit t -> ("hit", t)
+    | Rvu_sim.Detector.Horizon h -> ("horizon", h)
+    | Rvu_sim.Detector.Stream_end t -> ("stream_end", t)
+  in
+  Wire.Obj [ ("kind", Wire.String kind); ("t", Wire.Float t) ]
+
+let guarantee_json (g : Universal.guarantee) =
+  Wire.Obj
+    [
+      ("round", opt_int g.Universal.round); ("time", opt_float g.Universal.time);
+    ]
+
+let detector_stats_json (s : Rvu_sim.Detector.stats) =
+  Wire.Obj
+    [
+      ("intervals", Wire.Int s.Rvu_sim.Detector.intervals);
+      ("min_distance", finite_or_null s.Rvu_sim.Detector.min_distance);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Handlers — each mirrors the like-named CLI subcommand in bin/rvu.ml. *)
+
+let simulate (s : Proto.simulate) =
+  let displacement = Vec2.of_polar ~radius:s.Proto.d ~angle:s.Proto.bearing in
+  let inst =
+    Rvu_sim.Engine.instance ~attributes:s.Proto.attrs ~displacement
+      ~r:s.Proto.r
+  in
+  let program =
+    if s.Proto.algorithm4 then Rvu_search.Algorithm4.program ()
+    else Universal.program ()
+  in
+  let reference = reference_stream ~algorithm4:s.Proto.algorithm4 in
+  let res =
+    Rvu_sim.Engine.run_with_reference ~horizon:s.Proto.horizon ~reference
+      ~program inst
+  in
+  let phase =
+    match res.Rvu_sim.Engine.outcome with
+    | Rvu_sim.Detector.Hit t when not s.Proto.algorithm4 -> (
+        match Phases.phase_at t with
+        | Some (n, p) ->
+            Wire.Obj
+              [
+                ("round", Wire.Int n);
+                ( "phase",
+                  Wire.String
+                    (match p with
+                    | Phases.Active -> "active"
+                    | Phases.Inactive -> "inactive") );
+              ]
+        | None -> Wire.Null)
+    | _ -> Wire.Null
+  in
+  Wire.Obj
+    [
+      ("verdict", verdict_json (Feasibility.classify s.Proto.attrs));
+      ("outcome", outcome_json res.Rvu_sim.Engine.outcome);
+      ("phase", phase);
+      ("bound", guarantee_json res.Rvu_sim.Engine.bound);
+      ("stats", detector_stats_json res.Rvu_sim.Engine.stats);
+    ]
+
+let search (s : Proto.search) =
+  let target = Vec2.of_polar ~radius:s.Proto.d ~angle:s.Proto.bearing in
+  let outcome, stats =
+    Rvu_sim.Search_engine.run ~horizon:s.Proto.horizon
+      ~program:(Rvu_search.Algorithm4.program ())
+      ~target ~r:s.Proto.r ()
+  in
+  let kind, t =
+    match outcome with
+    | Rvu_sim.Search_engine.Found t -> ("found", t)
+    | Rvu_sim.Search_engine.Horizon h -> ("horizon", h)
+    | Rvu_sim.Search_engine.Program_end t -> ("program_end", t)
+  in
+  let prediction =
+    match outcome with
+    | Rvu_sim.Search_engine.Found _ ->
+        let round =
+          Rvu_search.Predict.discovery_round ~d:s.Proto.d ~r:s.Proto.r
+        in
+        Wire.Obj
+          [
+            ("round", Wire.Int round);
+            ( "completion_time",
+              Wire.Float (Rvu_search.Bounds.time_through_round round) );
+            ( "theorem1_bound",
+              Wire.Float (Rvu_search.Bounds.search_time ~d:s.Proto.d ~r:s.Proto.r)
+            );
+            ( "theorem1_bound_safe",
+              Wire.Float
+                (Rvu_search.Bounds.search_time_safe ~d:s.Proto.d ~r:s.Proto.r)
+            );
+          ]
+    | _ -> Wire.Null
+  in
+  Wire.Obj
+    [
+      ("outcome", Wire.Obj [ ("kind", Wire.String kind); ("t", Wire.Float t) ]);
+      ("segments", Wire.Int stats.Rvu_sim.Search_engine.segments);
+      ("prediction", prediction);
+    ]
+
+let feasibility attrs =
+  let direction =
+    match Feasibility.adversarial_direction attrs with
+    | Some dir ->
+        Wire.Obj
+          [ ("x", Wire.Float dir.Vec2.x); ("y", Wire.Float dir.Vec2.y) ]
+    | None -> Wire.Null
+  in
+  Wire.Obj
+    [
+      ("verdict", verdict_json (Feasibility.classify attrs));
+      ("adversarial_direction", direction);
+    ]
+
+let bound (b : Proto.bound_query) =
+  let attrs = b.Proto.attrs and d = b.Proto.d and r = b.Proto.r in
+  let g = Universal.guarantee attrs ~d ~r in
+  let theorem2 =
+    match Bounds.symmetric_clock_time attrs ~d ~r with
+    | Some t ->
+        Wire.Obj
+          [
+            ("as_printed", Wire.Float t);
+            ( "repaired",
+              Wire.Float (Option.get (Bounds.symmetric_clock_time_safe attrs ~d ~r))
+            );
+          ]
+    | None -> Wire.Null
+  in
+  let theorem3 =
+    if Rvu_numerics.Floats.equal attrs.Attributes.tau 1.0 then Wire.Null
+    else
+      Wire.Obj
+        [
+          ("round", Wire.Int (Bounds.asymmetric_round attrs ~d ~r));
+          ("time", Wire.Float (Bounds.asymmetric_time attrs ~d ~r));
+        ]
+  in
+  Wire.Obj
+    [
+      ("verdict", verdict_json g.Universal.verdict);
+      ("universal", guarantee_json g);
+      ("theorem2", theorem2);
+      ("theorem3", theorem3);
+      ("offline_optimum", Wire.Float (Bounds.offline_optimum attrs ~d ~r));
+    ]
+
+let schedule rounds =
+  let row n =
+    Wire.Obj
+      [
+        ("n", Wire.Int n);
+        ("s", Wire.Float (Phases.s n));
+        ("inactive_start", Wire.Float (Phases.inactive_start n));
+        ("active_start", Wire.Float (Phases.active_start n));
+        ("round_end", Wire.Float (Phases.round_end n));
+        ( "segments",
+          Wire.Int ((2 * Rvu_search.Timing.search_all_segments n) + 1) );
+      ]
+  in
+  Wire.Obj [ ("rounds", Wire.List (List.init rounds (fun i -> row (i + 1)))) ]
+
+let batch (b : Proto.batch) =
+  let ds =
+    Rvu_workload.Sweep.linspace ~lo:b.Proto.d_lo ~hi:b.Proto.d_hi
+      ~n:b.Proto.points
+  in
+  let instances =
+    Array.of_list
+      (List.map
+         (fun d ->
+           Rvu_sim.Engine.instance ~attributes:b.Proto.attrs
+             ~displacement:(Vec2.of_polar ~radius:d ~angle:b.Proto.bearing)
+             ~r:b.Proto.r)
+         ds)
+  in
+  (* jobs:1 — request-level parallelism is the scheduler's job; nesting
+     domains inside a worker would oversubscribe the machine. *)
+  let results = Rvu_exec.Batch.run ~horizon:b.Proto.horizon ~jobs:1 instances in
+  let rows =
+    List.mapi
+      (fun i d ->
+        let res = results.(i) in
+        Wire.Obj
+          [
+            ("d", Wire.Float d);
+            ("outcome", outcome_json res.Rvu_sim.Engine.outcome);
+            ( "bound",
+              opt_float res.Rvu_sim.Engine.bound.Universal.time );
+            ( "intervals",
+              Wire.Int
+                res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals );
+          ])
+      ds
+  in
+  Wire.Obj [ ("points", Wire.Int (List.length ds)); ("rows", Wire.List rows) ]
+
+let run = function
+  | Proto.Simulate s -> simulate s
+  | Proto.Search s -> search s
+  | Proto.Feasibility attrs -> feasibility attrs
+  | Proto.Bound b -> bound b
+  | Proto.Schedule rounds -> schedule rounds
+  | Proto.Batch b -> batch b
+  | Proto.Stats -> invalid_arg "Handler.run: stats is answered by the server"

@@ -1,0 +1,27 @@
+(** Pure request execution: one decoded request in, one result JSON out.
+
+    This is the bridge from the wire protocol to the existing library
+    surface ({!Rvu_sim.Engine}, {!Rvu_sim.Search_engine},
+    {!Rvu_core.Universal}/{!Rvu_core.Bounds}, {!Rvu_exec.Batch}) and it is
+    where the service's bit-identity contract lives: every number a
+    [simulate] or [search] response carries is produced by {e the same
+    calls} the corresponding CLI subcommand makes, so service results are
+    bit-identical to offline ones (pinned by [test/test_service.ml]).
+
+    Reference streams are shared through the global
+    {!Rvu_trajectory.Stream_cache} registry — the universal program under
+    {!Rvu_exec.Batch.universal_key}, Algorithm 4 under {!algorithm4_key} —
+    so concurrent requests pay the reference realization once per process,
+    not once per request.
+
+    Runs on scheduler worker domains: everything here is domain-safe and
+    exceptions are allowed to escape (the scheduler maps them to
+    [invalid_request]/[internal] error responses). *)
+
+val algorithm4_key : string
+(** Registry key of the shared Algorithm 4 reference stream. *)
+
+val run : Proto.request -> Wire.t
+(** Execute the request and return the ["ok"] payload. Raises on invalid
+    instances (e.g. a [simulate] whose displacement is zero) and on
+    {!Proto.Stats}, which only the server itself can answer. *)

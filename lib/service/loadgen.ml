@@ -1,0 +1,265 @@
+open Rvu_core
+
+type t = {
+  lock : Mutex.t;
+  all_done : Condition.t;
+  n : int;
+  lines : string array;
+  sent : float array;
+  latency : float array; (* seconds; negative until the response arrives *)
+  mutable completed : int;
+  mutable ok : int;
+  mutable overloaded : int;
+  mutable timeouts : int;
+  mutable other_errors : int;
+  mutable t_start : float;
+  mutable t_last : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* The default scenario mix *)
+
+(* Ten templates covering every request kind. Nine repeat verbatim across
+   cycles — those are the cache's bread and butter — while template 5 takes
+   a per-request unique distance, keeping a steady trickle of cold
+   simulations in the stream. All instances are shallow (large r, small d)
+   so a smoke run of a few hundred requests finishes in seconds. *)
+let mix ~seed n =
+  Array.init n (fun i ->
+      let unique_d =
+        2.0 +. (float_of_int (((seed * 7919) + (i * 104729)) mod 997) /. 997.0)
+      in
+      let request =
+        match i mod 10 with
+        | 0 ->
+            Proto.Simulate
+              {
+                attrs = Attributes.make ~tau:0.5 ();
+                d = 1.5;
+                bearing = 0.0;
+                r = 0.5;
+                horizon = 1e7;
+                algorithm4 = false;
+              }
+        | 1 -> Proto.Feasibility (Attributes.make ~v:2.0 ())
+        | 2 ->
+            Proto.Bound
+              { attrs = Attributes.make ~tau:0.7 (); d = 8.0; r = 0.1 }
+        | 3 -> Proto.Schedule 8
+        | 4 -> Proto.Search { d = 4.0; bearing = 0.9; r = 0.5; horizon = 1e7 }
+        | 5 ->
+            Proto.Simulate
+              {
+                attrs = Attributes.make ~v:2.0 ();
+                d = unique_d;
+                bearing = 0.9;
+                r = 0.5;
+                horizon = 1e7;
+                algorithm4 = false;
+              }
+        | 6 ->
+            Proto.Batch
+              {
+                attrs = Attributes.make ~tau:0.5 ();
+                d_lo = 1.0;
+                d_hi = 2.0;
+                points = 3;
+                bearing = 0.9;
+                r = 0.4;
+                horizon = 1e7;
+              }
+        | 7 -> Proto.Feasibility (Attributes.make ~chi:Attributes.Opposite ())
+        | 8 -> Proto.Bound { attrs = Attributes.make ~v:3.0 (); d = 5.0; r = 0.2 }
+        | _ ->
+            Proto.Simulate
+              {
+                attrs = Attributes.make ~v:1.5 ~tau:0.5 ();
+                d = 2.0;
+                bearing = 1.2;
+                r = 0.5;
+                horizon = 1e7;
+                algorithm4 = false;
+              }
+      in
+      Wire.print (Proto.wire_of_request ~id:(Wire.Int (i + 1)) request))
+
+let create ?(seed = 0) ?lines ~requests () =
+  if requests < 1 then invalid_arg "Loadgen.create: requests < 1";
+  let lines =
+    match lines with
+    | Some l ->
+        if Array.length l <> requests then
+          invalid_arg "Loadgen.create: lines length does not match requests";
+        l
+    | None -> mix ~seed requests
+  in
+  {
+    lock = Mutex.create ();
+    all_done = Condition.create ();
+    n = requests;
+    lines;
+    sent = Array.make requests 0.0;
+    latency = Array.make requests (-1.0);
+    completed = 0;
+    ok = 0;
+    overloaded = 0;
+    timeouts = 0;
+    other_errors = 0;
+    t_start = 0.0;
+    t_last = 0.0;
+  }
+
+let drive ?(rate = 0.0) ~send t =
+  t.t_start <- now ();
+  Array.iteri
+    (fun i line ->
+      if rate > 0.0 then begin
+        let due = t.t_start +. (float_of_int i /. rate) in
+        let rec pace () =
+          let dt = due -. now () in
+          if dt > 0.0 then begin
+            Unix.sleepf dt;
+            pace ()
+          end
+        in
+        pace ()
+      end;
+      Mutex.lock t.lock;
+      t.sent.(i) <- now ();
+      Mutex.unlock t.lock;
+      send line)
+    t.lines
+
+let classify t response =
+  match Wire.member "error" response with
+  | None -> t.ok <- t.ok + 1
+  | Some err -> (
+      match Wire.member "code" err with
+      | Some (Wire.String "overloaded") -> t.overloaded <- t.overloaded + 1
+      | Some (Wire.String "timeout") -> t.timeouts <- t.timeouts + 1
+      | _ -> t.other_errors <- t.other_errors + 1)
+
+let note_response t line =
+  let arrived = now () in
+  Mutex.lock t.lock;
+  (match Wire.parse line with
+  | Error _ ->
+      t.other_errors <- t.other_errors + 1;
+      t.completed <- t.completed + 1
+  | Ok response -> (
+      match Wire.member "id" response with
+      | Some (Wire.Int id) when id >= 1 && id <= t.n && t.latency.(id - 1) < 0.0
+        ->
+          t.latency.(id - 1) <- arrived -. t.sent.(id - 1);
+          classify t response;
+          t.completed <- t.completed + 1
+      | _ ->
+          (* Unknown or duplicate id: a protocol error, but still progress —
+             count it so a confused run terminates rather than hangs. *)
+          t.other_errors <- t.other_errors + 1;
+          t.completed <- t.completed + 1));
+  t.t_last <- arrived;
+  if t.completed >= t.n then Condition.broadcast t.all_done;
+  Mutex.unlock t.lock
+
+let wait ?(timeout_s = 120.0) t =
+  let deadline = now () +. timeout_s in
+  Mutex.lock t.lock;
+  let rec loop () =
+    if t.completed >= t.n then true
+    else if now () >= deadline then false
+    else begin
+      (* Condition has no timed wait in the stdlib; poll coarsely. *)
+      Mutex.unlock t.lock;
+      Unix.sleepf 0.02;
+      Mutex.lock t.lock;
+      loop ()
+    end
+  in
+  let complete = loop () in
+  Mutex.unlock t.lock;
+  complete
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+type summary = {
+  requests : int;
+  completed : int;
+  ok : int;
+  overloaded : int;
+  timeouts : int;
+  other_errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+}
+
+let summary t =
+  Mutex.lock t.lock;
+  let latencies_ms =
+    Array.to_list t.latency
+    |> List.filter (fun l -> l >= 0.0)
+    |> List.map (fun l -> l *. 1000.0)
+  in
+  let wall_s = Float.max 1e-9 (t.t_last -. t.t_start) in
+  let pct p =
+    match latencies_ms with
+    | [] -> Float.nan
+    | ls -> Rvu_numerics.Stats.percentile p ls
+  in
+  let s =
+    {
+      requests = t.n;
+      completed = t.completed;
+      ok = t.ok;
+      overloaded = t.overloaded;
+      timeouts = t.timeouts;
+      other_errors = t.other_errors;
+      wall_s;
+      throughput_rps = float_of_int t.completed /. wall_s;
+      p50_ms = pct 50.0;
+      p95_ms = pct 95.0;
+      p99_ms = pct 99.0;
+      mean_ms = Rvu_numerics.Stats.mean latencies_ms;
+      max_ms = (match latencies_ms with [] -> Float.nan | ls -> List.fold_left Float.max 0.0 ls);
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let finite_or_null x = if Float.is_finite x then Wire.Float x else Wire.Null
+
+let summary_json s =
+  Wire.Obj
+    [
+      ("requests", Wire.Int s.requests);
+      ("completed", Wire.Int s.completed);
+      ("ok", Wire.Int s.ok);
+      ("overloaded", Wire.Int s.overloaded);
+      ("timeouts", Wire.Int s.timeouts);
+      ("other_errors", Wire.Int s.other_errors);
+      ("wall_s", Wire.Float s.wall_s);
+      ("throughput_rps", Wire.Float s.throughput_rps);
+      ("p50_ms", finite_or_null s.p50_ms);
+      ("p95_ms", finite_or_null s.p95_ms);
+      ("p99_ms", finite_or_null s.p99_ms);
+      ("mean_ms", finite_or_null s.mean_ms);
+      ("max_ms", finite_or_null s.max_ms);
+    ]
+
+let print_summary s =
+  Printf.printf "requests:    %d (%d completed)\n" s.requests s.completed;
+  Printf.printf "ok:          %d\n" s.ok;
+  Printf.printf "overloaded:  %d\n" s.overloaded;
+  Printf.printf "timeouts:    %d\n" s.timeouts;
+  Printf.printf "errors:      %d\n" s.other_errors;
+  Printf.printf "wall:        %.3f s (%.1f req/s)\n" s.wall_s s.throughput_rps;
+  Printf.printf "latency ms:  p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f\n%!"
+    s.p50_ms s.p95_ms s.p99_ms s.mean_ms s.max_ms

@@ -1,0 +1,61 @@
+(** The client-side load generator behind [rvu loadgen].
+
+    Replays a deterministic scenario mix against a server — over TCP, or
+    in-process through {!Server.handle_line} — at a target request rate,
+    matches pipelined responses back to requests by ["id"], and reports
+    throughput and latency percentiles. The mix interleaves repeated
+    scenarios (which exercise the result cache) with unique ones (which
+    exercise the simulation path), covering every request kind.
+
+    Transport-agnostic by design: the caller owns the socket or server
+    handle and wires [send] / {!note_response}; the generator owns pacing,
+    matching and measurement. *)
+
+type t
+
+val create : ?seed:int -> ?lines:string array -> requests:int -> unit -> t
+(** A generator for [requests] requests. The default mix is derived
+    deterministically from [seed] (default [0]); [lines] overrides it with
+    caller-built request lines (e.g. the [perf-serve] bench's fixed
+    workload), which must carry ids [1 … n] matching their positions.
+    Raises [Invalid_argument] if [requests < 1] or [lines] has the wrong
+    length. *)
+
+val drive : ?rate:float -> send:(string -> unit) -> t -> unit
+(** Send every request line through [send], pacing to [rate] requests per
+    second ([0.], the default, means as fast as [send] accepts — useful to
+    probe the overload behaviour). Send timestamps are recorded just
+    before each [send], so latency includes queueing. *)
+
+val note_response : t -> string -> unit
+(** Feed one response line back (from the socket-reader loop or the
+    in-process [respond] callback). Domain-safe; unmatched or duplicate
+    ids are counted as protocol errors. *)
+
+val wait : ?timeout_s:float -> t -> bool
+(** Block until every request has a response ([true]) or the timeout
+    (default [120.]) elapses ([false] — some responses never arrived). *)
+
+type summary = {
+  requests : int;
+  completed : int;
+  ok : int;
+  overloaded : int;
+  timeouts : int;
+  other_errors : int;
+  wall_s : float;  (** first send to last response *)
+  throughput_rps : float;  (** completed / wall *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+}
+
+val summary : t -> summary
+(** Latency statistics cover completed requests; an incomplete run (see
+    {!wait}) still summarizes what arrived. *)
+
+val summary_json : summary -> Wire.t
+val print_summary : summary -> unit
+(** Human-readable report on stdout. *)

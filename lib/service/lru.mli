@@ -1,0 +1,37 @@
+(** A mutex-guarded LRU map from canonical request keys to results.
+
+    The service's query space is the full attribute vector
+    [(v, τ, φ, χ, d, r)] — effectively infinite — but real request streams
+    repeat: the same scenario probed at different rates, dashboards
+    refreshing the same instances. Every response the scheduler computes
+    is stored here under the request's canonical printed form
+    ({!Proto.canonical_key}); repeats are answered without touching the
+    simulation layer (or even the worker pool).
+
+    Domain-safe: all operations take an internal lock. Recency is LRU over
+    both reads and writes. Counters make effectiveness observable through
+    the [stats] endpoint. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is the maximum number of retained entries; [0] disables the
+    cache (every [find] misses, [add] is a no-op). Raises
+    [Invalid_argument] on a negative capacity. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; refreshes the entry's recency and counts a hit or miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or overwrite, evicting the least-recently-used entry when the
+    capacity is exceeded. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** current size *)
+  capacity : int;
+}
+
+val stats : 'a t -> stats

@@ -1,0 +1,259 @@
+open Rvu_core
+
+type error_code =
+  | Parse_error
+  | Invalid_request
+  | Overloaded
+  | Timeout
+  | Internal
+
+let code_string = function
+  | Parse_error -> "parse_error"
+  | Invalid_request -> "invalid_request"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Internal -> "internal"
+
+type simulate = {
+  attrs : Attributes.t;
+  d : float;
+  bearing : float;
+  r : float;
+  horizon : float;
+  algorithm4 : bool;
+}
+
+type search = { d : float; bearing : float; r : float; horizon : float }
+type bound_query = { attrs : Attributes.t; d : float; r : float }
+
+type batch = {
+  attrs : Attributes.t;
+  d_lo : float;
+  d_hi : float;
+  points : int;
+  bearing : float;
+  r : float;
+  horizon : float;
+}
+
+type request =
+  | Simulate of simulate
+  | Search of search
+  | Feasibility of Attributes.t
+  | Bound of bound_query
+  | Schedule of int
+  | Batch of batch
+  | Stats
+
+type envelope = { id : Wire.t; timeout_ms : float option; request : request }
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+let ( let* ) = Result.bind
+
+let typed name expected = function
+  | v ->
+      Error
+        (Printf.sprintf "field %S: expected %s, got %s" name expected
+           (Wire.kind_name v))
+
+let float_field name = function
+  | Wire.Int i -> Ok (float_of_int i)
+  | Wire.Float f -> Ok f
+  | v -> typed name "a number" v
+
+let int_field name = function
+  | Wire.Int i -> Ok i
+  | v -> typed name "an integer" v
+
+let bool_field name = function
+  | Wire.Bool b -> Ok b
+  | v -> typed name "a boolean" v
+
+let string_field name = function
+  | Wire.String s -> Ok s
+  | v -> typed name "a string" v
+
+(* Absent and explicit-null fields take the CLI default. *)
+let opt w name getter ~default =
+  match Wire.member name w with
+  | None | Some Wire.Null -> Ok default
+  | Some v -> getter name v
+
+let positive name x =
+  let* x = x in
+  if Float.is_finite x && x > 0.0 then Ok x
+  else Error (Printf.sprintf "field %S: must be positive and finite" name)
+
+let at_least_1 name x =
+  let* x = x in
+  if x >= 1 then Ok x
+  else Error (Printf.sprintf "field %S: must be at least 1" name)
+
+let attrs_of w =
+  let* v = positive "v" (opt w "v" float_field ~default:1.0) in
+  let* tau = positive "tau" (opt w "tau" float_field ~default:1.0) in
+  let* phi = opt w "phi" float_field ~default:0.0 in
+  let* mirror = opt w "mirror" bool_field ~default:false in
+  if not (Float.is_finite phi) then Error "field \"phi\": must be finite"
+  else
+    Ok
+      (Attributes.make ~v ~tau ~phi
+         ~chi:(if mirror then Attributes.Opposite else Attributes.Same)
+         ())
+
+let instance_of w =
+  let* d = positive "d" (opt w "d" float_field ~default:2.0) in
+  let* bearing = opt w "bearing" float_field ~default:0.9 in
+  let* r = positive "r" (opt w "r" float_field ~default:0.1) in
+  let* horizon = positive "horizon" (opt w "horizon" float_field ~default:1e8) in
+  if not (Float.is_finite bearing) then Error "field \"bearing\": must be finite"
+  else Ok (d, bearing, r, horizon)
+
+let body_of_wire w kind =
+  match kind with
+  | "simulate" ->
+      let* attrs = attrs_of w in
+      let* d, bearing, r, horizon = instance_of w in
+      let* algorithm4 = opt w "algorithm4" bool_field ~default:false in
+      Ok (Simulate { attrs; d; bearing; r; horizon; algorithm4 })
+  | "search" ->
+      let* d, bearing, r, horizon = instance_of w in
+      Ok (Search { d; bearing; r; horizon })
+  | "feasibility" ->
+      let* attrs = attrs_of w in
+      Ok (Feasibility attrs)
+  | "bound" ->
+      let* attrs = attrs_of w in
+      let* d = positive "d" (opt w "d" float_field ~default:2.0) in
+      let* r = positive "r" (opt w "r" float_field ~default:0.1) in
+      Ok (Bound { attrs; d; r })
+  | "schedule" ->
+      let* rounds = at_least_1 "rounds" (opt w "rounds" int_field ~default:8) in
+      Ok (Schedule rounds)
+  | "batch" ->
+      let* attrs = attrs_of w in
+      let* d_lo = positive "d_lo" (opt w "d_lo" float_field ~default:1.0) in
+      let* d_hi = positive "d_hi" (opt w "d_hi" float_field ~default:4.0) in
+      let* points = at_least_1 "points" (opt w "points" int_field ~default:8) in
+      let* bearing = opt w "bearing" float_field ~default:0.9 in
+      let* r = positive "r" (opt w "r" float_field ~default:0.1) in
+      let* horizon =
+        positive "horizon" (opt w "horizon" float_field ~default:1e8)
+      in
+      if not (Float.is_finite bearing) then
+        Error "field \"bearing\": must be finite"
+      else Ok (Batch { attrs; d_lo; d_hi; points; bearing; r; horizon })
+  | "stats" -> Ok Stats
+  | k -> Error (Printf.sprintf "unknown request kind %S" k)
+
+let request_of_wire w =
+  match w with
+  | Wire.Obj _ ->
+      let* id =
+        match Wire.member "id" w with
+        | None -> Ok Wire.Null
+        | Some (Wire.Null | Wire.Int _ | Wire.String _) as v ->
+            Ok (Option.get v)
+        | Some v -> typed "id" "an integer or string" v
+      in
+      let* timeout_ms =
+        match Wire.member "timeout_ms" w with
+        | None | Some Wire.Null -> Ok None
+        | Some v ->
+            let* t = positive "timeout_ms" (float_field "timeout_ms" v) in
+            Ok (Some t)
+      in
+      let* kind =
+        match Wire.member "kind" w with
+        | None -> Error "missing required field \"kind\""
+        | Some v -> string_field "kind" v
+      in
+      let* request =
+        match body_of_wire w kind with
+        | Ok _ as ok -> ok
+        | Error _ as e -> e
+        | exception Invalid_argument msg -> Error msg
+      in
+      Ok { id; timeout_ms; request }
+  | v -> Error (Printf.sprintf "expected a request object, got %s" (Wire.kind_name v))
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let attrs_fields (a : Attributes.t) =
+  [
+    ("v", Wire.Float a.Attributes.v);
+    ("tau", Wire.Float a.Attributes.tau);
+    ("phi", Wire.Float a.Attributes.phi);
+    ("mirror", Wire.Bool (a.Attributes.chi = Attributes.Opposite));
+  ]
+
+let body_fields = function
+  | Simulate s ->
+      ( "simulate",
+        attrs_fields s.attrs
+        @ [
+            ("d", Wire.Float s.d);
+            ("bearing", Wire.Float s.bearing);
+            ("r", Wire.Float s.r);
+            ("horizon", Wire.Float s.horizon);
+            ("algorithm4", Wire.Bool s.algorithm4);
+          ] )
+  | Search s ->
+      ( "search",
+        [
+          ("d", Wire.Float s.d);
+          ("bearing", Wire.Float s.bearing);
+          ("r", Wire.Float s.r);
+          ("horizon", Wire.Float s.horizon);
+        ] )
+  | Feasibility attrs -> ("feasibility", attrs_fields attrs)
+  | Bound b ->
+      ( "bound",
+        attrs_fields b.attrs @ [ ("d", Wire.Float b.d); ("r", Wire.Float b.r) ]
+      )
+  | Schedule rounds -> ("schedule", [ ("rounds", Wire.Int rounds) ])
+  | Batch b ->
+      ( "batch",
+        attrs_fields b.attrs
+        @ [
+            ("d_lo", Wire.Float b.d_lo);
+            ("d_hi", Wire.Float b.d_hi);
+            ("points", Wire.Int b.points);
+            ("bearing", Wire.Float b.bearing);
+            ("r", Wire.Float b.r);
+            ("horizon", Wire.Float b.horizon);
+          ] )
+  | Stats -> ("stats", [])
+
+let wire_of_request ?id ?timeout_ms request =
+  let kind, fields = body_fields request in
+  let envelope =
+    (match id with Some id -> [ ("id", id) ] | None -> [])
+    @
+    match timeout_ms with
+    | Some t -> [ ("timeout_ms", Wire.Float t) ]
+    | None -> []
+  in
+  Wire.Obj (envelope @ (("kind", Wire.String kind) :: fields))
+
+let canonical_key request = Wire.print (wire_of_request request)
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let ok_response ~id result = Wire.Obj [ ("id", id); ("ok", result) ]
+
+let error_response ~id code message =
+  Wire.Obj
+    [
+      ("id", id);
+      ( "error",
+        Wire.Obj
+          [
+            ("code", Wire.String (code_string code));
+            ("message", Wire.String message);
+          ] );
+    ]

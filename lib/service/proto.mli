@@ -1,0 +1,86 @@
+(** The request/response protocol of the evaluation server.
+
+    One request per line, one response per line, both JSON ({!Wire}).
+    A request is an object with a ["kind"] field selecting the operation
+    and optional parameter fields; every omitted parameter takes the same
+    default as the corresponding [rvu] CLI flag, so
+    [{"kind":"simulate","tau":0.5}] means exactly [rvu simulate --tau 0.5].
+
+    Envelope fields (never part of the cache key):
+    - ["id"] — echoed verbatim in the response, so clients can pipeline
+      requests and match out-of-order completions. Integer or string (or
+      omitted, echoed as [null]).
+    - ["timeout_ms"] — per-request queue-wait budget, overriding the
+      server's [--timeout] default.
+
+    Responses are [{"id":…,"ok":…}] or
+    [{"id":…,"error":{"code":…,"message":…}}]. *)
+
+type error_code =
+  | Parse_error  (** the line was not valid JSON *)
+  | Invalid_request  (** valid JSON, but not a valid request *)
+  | Overloaded  (** shed by admission control: the pending queue is full *)
+  | Timeout  (** spent longer than its budget waiting in the queue *)
+  | Internal  (** the handler raised; the message carries the exception *)
+
+val code_string : error_code -> string
+(** Stable wire identifiers: ["parse_error"], ["invalid_request"],
+    ["overloaded"], ["timeout"], ["internal"]. *)
+
+type simulate = {
+  attrs : Rvu_core.Attributes.t;
+  d : float;
+  bearing : float;
+  r : float;
+  horizon : float;
+  algorithm4 : bool;
+}
+
+type search = { d : float; bearing : float; r : float; horizon : float }
+
+type bound_query = { attrs : Rvu_core.Attributes.t; d : float; r : float }
+
+type batch = {
+  attrs : Rvu_core.Attributes.t;
+  d_lo : float;
+  d_hi : float;
+  points : int;
+  bearing : float;
+  r : float;
+  horizon : float;
+}
+
+type request =
+  | Simulate of simulate
+  | Search of search
+  | Feasibility of Rvu_core.Attributes.t
+  | Bound of bound_query
+  | Schedule of int  (** rounds to list *)
+  | Batch of batch
+  | Stats  (** server counters; answered by the server itself, uncached *)
+
+type envelope = {
+  id : Wire.t;  (** [Null], [Int] or [String] *)
+  timeout_ms : float option;
+  request : request;
+}
+
+val request_of_wire : Wire.t -> (envelope, string) result
+(** Decode a parsed request line. [Error] messages name the offending
+    field and the type found, e.g.
+    ["field \"v\": expected a number, got string"]. All numeric parameters
+    are validated here (positive, finite; [points]/[rounds] at least 1) so
+    handlers never see nonsense. *)
+
+val wire_of_request : ?id:Wire.t -> ?timeout_ms:float -> request -> Wire.t
+(** Encode — the load generator builds its scenario mix with this, which
+    keeps it round-trip-consistent with {!request_of_wire} by
+    construction. *)
+
+val canonical_key : request -> string
+(** The cache key: the request printed compactly with fixed field order and
+    the envelope ([id], [timeout_ms]) stripped. Two textually different
+    request lines that decode to the same request share one key. *)
+
+val ok_response : id:Wire.t -> Wire.t -> Wire.t
+val error_response : id:Wire.t -> error_code -> string -> Wire.t

@@ -1,0 +1,74 @@
+type t = {
+  pool : Rvu_exec.Pool.Persistent.t;
+  cache : Wire.t Lru.t;
+  queue_depth : int;
+  default_timeout_ms : float option;
+  in_flight : int Atomic.t;
+}
+
+type outcome = (Wire.t, Proto.error_code * string) result
+
+let create ?jobs ?(queue_depth = 64) ?(cache_entries = 256) ?timeout_ms () =
+  if queue_depth < 1 then invalid_arg "Sched.create: queue_depth < 1";
+  let jobs =
+    match jobs with Some j -> j | None -> Rvu_exec.Pool.recommended_jobs ()
+  in
+  {
+    pool = Rvu_exec.Pool.Persistent.start ~jobs;
+    cache = Lru.create ~capacity:cache_entries;
+    queue_depth;
+    default_timeout_ms = timeout_ms;
+    in_flight = Atomic.make 0;
+  }
+
+let cache_stats t = Lru.stats t.cache
+let jobs t = Rvu_exec.Pool.Persistent.jobs t.pool
+let queue_depth t = t.queue_depth
+
+(* Queue-wait deadlines use the wall clock; a service timeout of
+   milliseconds-to-seconds granularity does not need monotonic precision. *)
+let now () = Unix.gettimeofday ()
+
+let submit t (env : Proto.envelope) ~k =
+  let key = Proto.canonical_key env.Proto.request in
+  match Lru.find t.cache key with
+  | Some cached -> k (Ok cached)
+  | None ->
+      if Atomic.fetch_and_add t.in_flight 1 >= t.queue_depth then begin
+        (* Shed: the pending queue is full. Decrement before replying so a
+           draining queue immediately re-opens admission. *)
+        Atomic.decr t.in_flight;
+        k
+          (Error
+             ( Proto.Overloaded,
+               Printf.sprintf "pending queue is full (depth %d)" t.queue_depth
+             ))
+      end
+      else begin
+        let deadline =
+          match (env.Proto.timeout_ms, t.default_timeout_ms) with
+          | Some ms, _ | None, Some ms -> Some (now () +. (ms /. 1000.0))
+          | None, None -> None
+        in
+        Rvu_exec.Pool.Persistent.submit t.pool (fun () ->
+            let result =
+              match deadline with
+              | Some dl when now () > dl ->
+                  Error
+                    ( Proto.Timeout,
+                      "request exceeded its queue-wait budget before a \
+                       worker picked it up" )
+              | _ -> (
+                  match Handler.run env.Proto.request with
+                  | v ->
+                      Lru.add t.cache key v;
+                      Ok v
+                  | exception Invalid_argument msg ->
+                      Error (Proto.Invalid_request, msg)
+                  | exception e -> Error (Proto.Internal, Printexc.to_string e))
+            in
+            Atomic.decr t.in_flight;
+            k result)
+      end
+
+let stop t = Rvu_exec.Pool.Persistent.stop t.pool

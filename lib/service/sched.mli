@@ -1,0 +1,52 @@
+(** The request scheduler: cache in front, admission control at the door,
+    persistent domain workers behind.
+
+    Request path, in order:
+
+    + {b Cache} — the canonical key ({!Proto.canonical_key}) is looked up
+      in the {!Lru}; a hit completes synchronously on the calling domain
+      without consuming a queue slot (cached repeats must stay fast even
+      when the queue is full).
+    + {b Admission} — an atomic in-flight counter bounds the pending
+      queue. At [queue_depth] the request is shed immediately with an
+      [overloaded] error instead of queueing unboundedly: under sustained
+      overload the server degrades to fast rejections, never to unbounded
+      memory growth or a hang.
+    + {b Execution} — admitted requests run on
+      {!Rvu_exec.Pool.Persistent} workers. A request whose queue wait
+      exceeded its timeout budget is answered [timeout] without running
+      (the work would be wasted — its client has given up). Successful
+      results are inserted into the cache; errors are not. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?queue_depth:int ->
+  ?cache_entries:int ->
+  ?timeout_ms:float ->
+  unit ->
+  t
+(** [jobs] worker domains (default {!Rvu_exec.Pool.recommended_jobs}),
+    [queue_depth] pending-request bound (default [64]),
+    [cache_entries] LRU capacity (default [256]; [0] disables caching),
+    [timeout_ms] default queue-wait budget (default: none — requests may
+    override per-request either way). Raises [Invalid_argument] on
+    [queue_depth < 1] or negative [cache_entries]. *)
+
+type outcome = (Wire.t, Proto.error_code * string) result
+
+val submit : t -> Proto.envelope -> k:(outcome -> unit) -> unit
+(** Run the request and deliver the outcome to [k] exactly once — on the
+    calling domain for cache hits and shed requests, on a worker domain
+    otherwise. [k] must not raise (a raise from a worker task is swallowed
+    by the pool; the caller would wait forever). {!Proto.Stats} requests
+    must not be submitted here — the server answers them directly. *)
+
+val cache_stats : t -> Lru.stats
+val jobs : t -> int
+val queue_depth : t -> int
+
+val stop : t -> unit
+(** Drain the worker pool: queued requests still complete, then the worker
+    domains are joined. *)

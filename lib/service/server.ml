@@ -1,0 +1,250 @@
+type config = {
+  jobs : int;
+  queue_depth : int;
+  cache_entries : int;
+  timeout_ms : float option;
+}
+
+let default_config =
+  {
+    jobs = Rvu_exec.Pool.recommended_jobs ();
+    queue_depth = 64;
+    cache_entries = 256;
+    timeout_ms = None;
+  }
+
+type t = {
+  sched : Sched.t;
+  config : config;
+  lock : Mutex.t;
+  idle : Condition.t;
+  mutable outstanding : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable overloaded : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    sched =
+      Sched.create ~jobs:config.jobs ~queue_depth:config.queue_depth
+        ~cache_entries:config.cache_entries ?timeout_ms:config.timeout_ms ();
+    config;
+    lock = Mutex.create ();
+    idle = Condition.create ();
+    outstanding = 0;
+    ok = 0;
+    errors = 0;
+    overloaded = 0;
+  }
+
+let count t outcome =
+  Mutex.lock t.lock;
+  (match outcome with
+  | `Ok -> t.ok <- t.ok + 1
+  | `Error -> t.errors <- t.errors + 1
+  | `Overloaded -> t.overloaded <- t.overloaded + 1);
+  Mutex.unlock t.lock
+
+let enter t =
+  Mutex.lock t.lock;
+  t.outstanding <- t.outstanding + 1;
+  Mutex.unlock t.lock
+
+let leave t =
+  Mutex.lock t.lock;
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.lock
+
+let wait_idle t =
+  Mutex.lock t.lock;
+  while t.outstanding > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let stream_cache_json key =
+  match Rvu_trajectory.Stream_cache.find_opt ~key with
+  | None -> Wire.Null
+  | Some c ->
+      let s = Rvu_trajectory.Stream_cache.stats c in
+      Wire.Obj
+        [
+          ("realized", Wire.Int (Rvu_trajectory.Stream_cache.realized c));
+          ("hits", Wire.Int s.Rvu_trajectory.Stream_cache.hits);
+          ("misses", Wire.Int s.Rvu_trajectory.Stream_cache.misses);
+          ("evictions", Wire.Int s.Rvu_trajectory.Stream_cache.evictions);
+        ]
+
+let stats_json t =
+  Mutex.lock t.lock;
+  let ok = t.ok
+  and errors = t.errors
+  and overloaded = t.overloaded
+  and outstanding = t.outstanding in
+  Mutex.unlock t.lock;
+  let c = Sched.cache_stats t.sched in
+  Wire.Obj
+    [
+      ( "requests",
+        Wire.Obj
+          [
+            ("ok", Wire.Int ok);
+            ("errors", Wire.Int errors);
+            ("overloaded", Wire.Int overloaded);
+            ("in_flight", Wire.Int outstanding);
+          ] );
+      ( "cache",
+        Wire.Obj
+          [
+            ("hits", Wire.Int c.Lru.hits);
+            ("misses", Wire.Int c.Lru.misses);
+            ("evictions", Wire.Int c.Lru.evictions);
+            ("entries", Wire.Int c.Lru.entries);
+            ("capacity", Wire.Int c.Lru.capacity);
+          ] );
+      ( "streams",
+        Wire.Obj
+          [
+            ("universal", stream_cache_json Rvu_exec.Batch.universal_key);
+            ("algorithm4", stream_cache_json Handler.algorithm4_key);
+          ] );
+      ( "config",
+        Wire.Obj
+          [
+            ("jobs", Wire.Int (Sched.jobs t.sched));
+            ("queue_depth", Wire.Int t.config.queue_depth);
+            ("cache_entries", Wire.Int t.config.cache_entries);
+            ( "timeout_ms",
+              match t.config.timeout_ms with
+              | Some ms -> Wire.Float ms
+              | None -> Wire.Null );
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request path *)
+
+let handle_line t line ~respond =
+  match Wire.parse line with
+  | Error e ->
+      count t `Error;
+      respond
+        (Wire.print
+           (Proto.error_response ~id:Wire.Null Proto.Parse_error
+              (Wire.error_to_string e)))
+  | Ok w -> (
+      match Proto.request_of_wire w with
+      | Error msg ->
+          (* Salvage the id if the envelope carried a usable one, so even a
+             rejected request can be matched by its client. *)
+          let id =
+            match Wire.member "id" w with
+            | Some ((Wire.Int _ | Wire.String _) as id) -> id
+            | _ -> Wire.Null
+          in
+          count t `Error;
+          respond
+            (Wire.print (Proto.error_response ~id Proto.Invalid_request msg))
+      | Ok env -> (
+          match env.Proto.request with
+          | Proto.Stats ->
+              count t `Ok;
+              respond
+                (Wire.print (Proto.ok_response ~id:env.Proto.id (stats_json t)))
+          | _ ->
+              enter t;
+              Sched.submit t.sched env ~k:(fun outcome ->
+                  let response =
+                    match outcome with
+                    | Ok v ->
+                        count t `Ok;
+                        Proto.ok_response ~id:env.Proto.id v
+                    | Error (code, msg) ->
+                        count t
+                          (match code with
+                          | Proto.Overloaded -> `Overloaded
+                          | _ -> `Error);
+                        Proto.error_response ~id:env.Proto.id code msg
+                  in
+                  (try respond (Wire.print response) with _ -> ());
+                  leave t)))
+
+let handle_sync t line =
+  let lock = Mutex.create () in
+  let done_ = Condition.create () in
+  let result = ref None in
+  handle_line t line ~respond:(fun resp ->
+      Mutex.lock lock;
+      result := Some resp;
+      Condition.signal done_;
+      Mutex.unlock lock);
+  Mutex.lock lock;
+  while !result = None do
+    Condition.wait done_ lock
+  done;
+  Mutex.unlock lock;
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Transports *)
+
+let serve_channels t ic oc =
+  let out_lock = Mutex.create () in
+  let respond line =
+    Mutex.lock out_lock;
+    (try
+       output_string oc line;
+       output_char oc '\n';
+       flush oc
+     with _ -> () (* client went away; keep serving the rest *));
+    Mutex.unlock out_lock
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then handle_line t line ~respond
+     done
+   with End_of_file -> ());
+  wait_idle t;
+  try flush oc with _ -> ()
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) ->
+        invalid_arg (Printf.sprintf "Server.serve_tcp: cannot resolve %S" host))
+
+let serve_tcp t ~host ~port ?connections () =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (resolve host, port));
+  Unix.listen sock 16;
+  Printf.eprintf "rvu serve: listening on %s:%d\n%!" host port;
+  let rec loop remaining =
+    if remaining <> Some 0 then begin
+      let fd, _peer = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try serve_channels t ic oc
+       with e ->
+         Printf.eprintf "rvu serve: connection error: %s\n%!"
+           (Printexc.to_string e));
+      (* One close only: ic and oc share the descriptor. *)
+      close_out_noerr oc;
+      loop (Option.map (fun n -> n - 1) remaining)
+    end
+  in
+  loop connections;
+  Unix.close sock
+
+let stop t = Sched.stop t.sched

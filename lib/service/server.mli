@@ -1,0 +1,60 @@
+(** The evaluation server: newline-delimited JSON over stdio, a TCP
+    socket, or in-process calls.
+
+    One request per input line; one response per output line, not
+    necessarily in request order (clients tag requests with ["id"] and
+    match completions — see {!Proto}). Malformed lines get a
+    [parse_error]/[invalid_request] response instead of killing the
+    session. [stats] requests are answered synchronously by the server
+    itself — they observe load, so they must not queue behind it.
+
+    The same [handle_line] entry point backs all three transports, so the
+    in-process form used by tests and the [perf-serve] bench exercises
+    exactly the scheduling, caching and backpressure that the socket form
+    serves. *)
+
+type config = {
+  jobs : int;  (** worker domains *)
+  queue_depth : int;  (** admission bound; past it requests are shed *)
+  cache_entries : int;  (** LRU capacity; [0] disables result caching *)
+  timeout_ms : float option;  (** default per-request queue-wait budget *)
+}
+
+val default_config : config
+(** [{jobs = recommended; queue_depth = 64; cache_entries = 256;
+    timeout_ms = None}]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val handle_line : t -> string -> respond:(string -> unit) -> unit
+(** Process one request line. [respond] is called exactly once with the
+    response line (no trailing newline) — synchronously for parse errors,
+    stats, cache hits and shed requests; from a worker domain otherwise.
+    [respond] must be domain-safe and must not raise. *)
+
+val handle_sync : t -> string -> string
+(** [handle_line] plus blocking until the response arrives. *)
+
+val wait_idle : t -> unit
+(** Block until no submitted request is outstanding. *)
+
+val stats_json : t -> Wire.t
+(** The [stats] payload: request counters, in-flight depth, result-cache
+    counters ({!Lru.stats}), shared reference-stream cache counters
+    ({!Rvu_trajectory.Stream_cache.stats}), and the effective config. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Serve until end-of-input, then drain outstanding requests and flush.
+    Responses are written under a lock, one line each, flushed per line. *)
+
+val serve_tcp : t -> host:string -> port:int -> ?connections:int -> unit -> unit
+(** Bind, listen, and serve connections sequentially (each runs
+    {!serve_channels} on the socket; requests within a connection are
+    still concurrent). [connections] bounds how many connections to serve
+    before returning (default: serve forever). A connection error is
+    logged to [stderr] and the accept loop continues. *)
+
+val stop : t -> unit
+(** Drain and join the worker domains. *)

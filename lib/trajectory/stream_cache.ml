@@ -5,7 +5,12 @@ type t = {
   mutable len : int;
   mutable tail : Timed.t Seq.t; (* unrealized remainder after [len] *)
   mutable ended : bool; (* the underlying stream is exhausted *)
+  mutable hits : int; (* chunk reads served from already-realized slots *)
+  mutable misses : int; (* chunk reads that had to realize forward *)
+  mutable evictions : int; (* chunk reads past the cap: retention declined *)
 }
+
+type stats = { hits : int; misses : int; evictions : int }
 
 (* Placeholder for unfilled buffer slots; never observable. *)
 let dummy =
@@ -21,6 +26,9 @@ let create ?(clocked = Realize.identity) ?(max_segments = 65536) program =
     len = 0;
     tail = Realize.realize clocked program;
     ended = false;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
   }
 
 let realized t =
@@ -30,6 +38,12 @@ let realized t =
   n
 
 let max_segments t = t.cap
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { hits = t.hits; misses = t.misses; evictions = t.evictions } in
+  Mutex.unlock t.lock;
+  s
 
 let ensure_capacity t n =
   if n > Array.length t.buf then begin
@@ -80,10 +94,17 @@ let chunk t i =
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
       let copy_from i = Array.sub t.buf i (min block (t.len - i)) in
-      if i < t.len then Segs (copy_from i)
+      if i < t.len then begin
+        t.hits <- t.hits + 1;
+        Segs (copy_from i)
+      end
       else if t.ended then Ended
-      else if i >= t.cap then Overflow t.tail
+      else if i >= t.cap then begin
+        t.evictions <- t.evictions + 1;
+        Overflow t.tail
+      end
       else begin
+        t.misses <- t.misses + 1;
         fill t i;
         if i < t.len then Segs (copy_from i)
         else if t.ended then Ended
@@ -121,6 +142,12 @@ let find_or_create ~key ?clocked ?max_segments make =
           let t = create ?clocked ?max_segments (make ()) in
           Hashtbl.add registry key t;
           t)
+
+let find_opt ~key =
+  Mutex.lock registry_lock;
+  let r = Hashtbl.find_opt registry key in
+  Mutex.unlock registry_lock;
+  r
 
 let drop ~key =
   Mutex.lock registry_lock;

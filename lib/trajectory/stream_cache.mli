@@ -42,6 +42,21 @@ val realized : t -> int
 val max_segments : t -> int
 (** The retention cap this cache was created with. *)
 
+type stats = { hits : int; misses : int; evictions : int }
+(** Block-read counters, for cache-effectiveness observability (the service
+    layer's [stats] endpoint reports them):
+
+    - [hits] — block reads served entirely from already-realized slots;
+    - [misses] — block reads that had to realize the stream forward;
+    - [evictions] — block reads past [max_segments], served from the
+      uncached lazy tail. The prefix cache never removes realized segments,
+      so this counts the reads whose segments it {e declined to retain} —
+      a persistently growing value means the cap is too small for the
+      workload's walk depth. *)
+
+val stats : t -> stats
+(** A consistent snapshot of the counters (taken under the cache lock). *)
+
 val find_or_create :
   key:string ->
   ?clocked:Realize.clocked ->
@@ -53,6 +68,10 @@ val find_or_create :
     thunk is forced only on the first use of [key]. The registry itself is
     domain-safe. Callers are responsible for key hygiene: a key must
     identify the program {e and} the frame. *)
+
+val find_opt : key:string -> t option
+(** Look a key up without creating it — observability code (e.g. a stats
+    endpoint) must not instantiate caches as a side effect. *)
 
 val drop : key:string -> unit
 (** Remove a key from the global registry (existing handles stay valid). *)

@@ -73,6 +73,33 @@ Gathering (the open problem): a pair gathers, three distinct speeds do not:
   swarm of 3 robots (reference at the origin), r = 0.4
   not gathered by t = 100000; smallest diameter seen 2.06155
 
+Count-like flags reject non-positive values at parse time, uniformly
+across subcommands:
+
+  $ rvu sweep --points 0
+  rvu: option '--points': expected a positive integer, got 0
+  Usage: rvu sweep [OPTION]…
+  Try 'rvu sweep --help' or 'rvu --help' for more information.
+  [124]
+
+  $ rvu schedule --rounds=0
+  rvu: option '--rounds': expected a positive integer, got 0
+  Usage: rvu schedule [--rounds=N] [OPTION]…
+  Try 'rvu schedule --help' or 'rvu --help' for more information.
+  [124]
+
+The evaluation server over stdio: one JSON request per line, one JSON
+response per line. The instance is the same asymmetric-clock simulation as
+above, and the meeting time is the same float — the service evaluates
+through the identical engine path, so its output is bit-exact and safe to
+match:
+
+  $ echo '{"id":1,"kind":"simulate","tau":0.5,"d":1.5,"r":0.5,"bearing":0}' | rvu serve --jobs 1
+  {"id":1,"ok":{"verdict":{"feasible":true,"reason":"different_clocks"},"outcome":{"kind":"hit","t":129.42477041723},"phase":{"round":1,"phase":"inactive"},"bound":{"round":8,"time":712884.0602771039},"stats":{"intervals":24,"min_distance":1.5}}}
+
+  $ echo '{"kind":"schedule","rounds":0,"id":9}' | rvu serve --jobs 1
+  {"id":9,"error":{"code":"invalid_request","message":"field \"rounds\": must be at least 1"}}
+
 SVG figure output:
 
   $ rvu simulate --speed 2 -d 2 -r 0.2 --svg meet.svg > /dev/null

@@ -158,6 +158,40 @@ let test_cache_concurrent_readers () =
   check_bool "cache stopped at its cap" true
     (Rvu_trajectory.Stream_cache.realized cache <= 64)
 
+(* ------------------------------------------------------------------ *)
+(* Persistent pool *)
+
+let test_persistent_runs_tasks () =
+  let pool = Pool.Persistent.start ~jobs:3 in
+  check_int "jobs accessor" 3 (Pool.Persistent.jobs pool);
+  let n = 200 in
+  let done_count = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  for i = 1 to n do
+    Pool.Persistent.submit pool (fun () ->
+        ignore (Atomic.fetch_and_add sum i);
+        ignore (Atomic.fetch_and_add done_count 1))
+  done;
+  Pool.Persistent.stop pool;
+  check_int "every task ran before stop returned" n (Atomic.get done_count);
+  check_int "tasks saw their arguments" (n * (n + 1) / 2) (Atomic.get sum)
+
+let test_persistent_task_exception_contained () =
+  let pool = Pool.Persistent.start ~jobs:2 in
+  let ran = Atomic.make 0 in
+  Pool.Persistent.submit pool (fun () -> failwith "boom");
+  Pool.Persistent.submit pool (fun () -> ignore (Atomic.fetch_and_add ran 1));
+  Pool.Persistent.stop pool;
+  check_int "a raising task does not kill its worker" 1 (Atomic.get ran)
+
+let test_persistent_submit_after_stop () =
+  let pool = Pool.Persistent.start ~jobs:1 in
+  Pool.Persistent.stop pool;
+  check_bool "submit after stop raises" true
+    (match Pool.Persistent.submit pool (fun () -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "exec"
     [
@@ -173,6 +207,15 @@ let () =
           Alcotest.test_case "deterministic exception" `Quick
             test_pool_exception_lowest_index;
           Alcotest.test_case "list wrapper" `Quick test_pool_map_list;
+        ] );
+      ( "persistent pool",
+        [
+          Alcotest.test_case "runs tasks, stop drains" `Quick
+            test_persistent_runs_tasks;
+          Alcotest.test_case "task exception contained" `Quick
+            test_persistent_task_exception_contained;
+          Alcotest.test_case "submit after stop raises" `Quick
+            test_persistent_submit_after_stop;
         ] );
       ( "batch",
         [

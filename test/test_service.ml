@@ -1,0 +1,483 @@
+(* Tests for Rvu_service: the JSON codec, the LRU, the protocol, and the
+   service's two load-bearing contracts —
+
+   - bit-identity: a simulate/search response carries the exact floats the
+     CLI path (Engine.run / Search_engine.run on a fresh realization)
+     produces, even though the service evaluates on worker domains against
+     shared cached reference streams;
+   - backpressure: flooding past the queue depth sheds with `overloaded`
+     and never drops or hangs a response. *)
+
+open Rvu_geom
+open Rvu_core
+module Wire = Rvu_service.Wire
+module Lru = Rvu_service.Lru
+module Proto = Rvu_service.Proto
+module Server = Rvu_service.Server
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Wire: round trip *)
+
+(* Value equality with bit-level floats: the codec must preserve the exact
+   bits, not just a close decimal. *)
+let rec wire_equal a b =
+  match (a, b) with
+  | Wire.Float x, Wire.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Wire.List xs, Wire.List ys ->
+      List.length xs = List.length ys && List.for_all2 wire_equal xs ys
+  | Wire.Obj xs, Wire.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k, v) (k', v') -> String.equal k k' && wire_equal v v')
+           xs ys
+  | _ -> a = b
+
+let finite_float_gen =
+  QCheck.Gen.map
+    (fun f -> if Float.is_finite f then f else Float.of_int (Hashtbl.hash f))
+    QCheck.Gen.float
+
+let wire_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 return Wire.Null;
+                 map (fun b -> Wire.Bool b) bool;
+                 map (fun i -> Wire.Int i) int;
+                 map (fun f -> Wire.Float f) finite_float_gen;
+                 map (fun s -> Wire.String s) (string_size (int_bound 12));
+               ]
+           in
+           if n <= 0 then leaf
+           else
+             frequency
+               [
+                 (3, leaf);
+                 ( 1,
+                   map
+                     (fun l -> Wire.List l)
+                     (list_size (int_bound 4) (self (n / 2))) );
+                 ( 1,
+                   map
+                     (fun l -> Wire.Obj l)
+                     (list_size (int_bound 4)
+                        (pair (string_size (int_bound 8)) (self (n / 2)))) );
+               ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse (print v) = Ok v, bit-exact"
+    (QCheck.make wire_gen ~print:(fun v -> Wire.print v))
+    (fun v ->
+      match Wire.parse (Wire.print v) with
+      | Ok v' -> wire_equal v v'
+      | Error e -> QCheck.Test.fail_reportf "%s" (Wire.error_to_string e))
+
+let test_parse_values () =
+  let ok s = Result.get_ok (Wire.parse s) in
+  check_bool "int stays int" true (ok "42" = Wire.Int 42);
+  check_bool "negative int" true (ok "-7" = Wire.Int (-7));
+  check_bool "exponent makes a float" true (ok "1e2" = Wire.Float 100.0);
+  check_bool "decimal point makes a float" true (ok "2.0" = Wire.Float 2.0);
+  check_bool "escapes decode" true
+    (ok {|"a\nbA"|} = Wire.String "a\nbA");
+  check_bool "surrogate pair decodes to UTF-8" true
+    (ok {|"😀"|} = Wire.String "\xf0\x9f\x98\x80");
+  check_bool "whitespace tolerated" true
+    (ok " { \"a\" : [ 1 , 2 ] } " = Wire.Obj [ ("a", Wire.List [ Wire.Int 1; Wire.Int 2 ]) ])
+
+let test_parse_errors () =
+  let err s =
+    match Wire.parse s with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  in
+  List.iter
+    (fun s -> ignore (err s))
+    [
+      "";
+      "{";
+      "[1,";
+      "tru";
+      "{}x";
+      "1e999";
+      "01e";
+      "\"ab";
+      {|"\q"|};
+      {|"\ud800"|};
+      "{\"a\" 1}";
+      "nan";
+      "--1";
+      "1.";
+    ];
+  (* Positions point at the offending byte. *)
+  let e = err "{}x" in
+  check_int "trailing-bytes position" 2 e.Wire.pos;
+  check_string "message" "trailing characters after value" e.Wire.msg;
+  let e = err "[1,\n  tru]" in
+  check_int "line tracks newlines" 2 e.Wire.line;
+  let e = err "1e999" in
+  check_string "overflow is an error, not inf" "number out of range" e.Wire.msg
+
+let test_print_rejects_nonfinite () =
+  List.iter
+    (fun f ->
+      check_bool "non-finite float raises" true
+        (match Wire.print (Wire.Float f) with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check_bool "a present" true (Lru.find c "a" = Some 1);
+  (* "a" was just used, so adding "c" must evict "b". *)
+  Lru.add c "c" 3;
+  check_bool "b evicted" true (Lru.find c "b" = None);
+  check_bool "a survived" true (Lru.find c "a" = Some 1);
+  check_bool "c present" true (Lru.find c "c" = Some 3);
+  let s = Lru.stats c in
+  check_int "hits" 3 s.Lru.hits;
+  check_int "misses" 1 s.Lru.misses;
+  check_int "evictions" 1 s.Lru.evictions;
+  check_int "entries" 2 s.Lru.entries
+
+let test_lru_zero_capacity () =
+  let c = Lru.create ~capacity:0 in
+  Lru.add c "a" 1;
+  check_bool "capacity 0 stores nothing" true (Lru.find c "a" = None);
+  check_int "no entries" 0 (Lru.stats c).Lru.entries
+
+(* ------------------------------------------------------------------ *)
+(* Proto *)
+
+let decode line =
+  Proto.request_of_wire (Result.get_ok (Wire.parse line))
+
+let test_proto_defaults_match_cli () =
+  (* {"kind":"simulate"} must mean exactly `rvu simulate` with no flags. *)
+  match decode {|{"kind":"simulate"}|} with
+  | Ok { Proto.request = Proto.Simulate s; id = Wire.Null; timeout_ms = None }
+    ->
+      check_bool "attrs default" true
+        (s.Proto.attrs = Attributes.make ~v:1.0 ~tau:1.0 ~phi:0.0 ());
+      check_bool "d default" true (s.Proto.d = 2.0);
+      check_bool "bearing default" true (s.Proto.bearing = 0.9);
+      check_bool "r default" true (s.Proto.r = 0.1);
+      check_bool "horizon default" true (s.Proto.horizon = 1e8);
+      check_bool "algorithm4 default" true (s.Proto.algorithm4 = false)
+  | Ok _ -> Alcotest.fail "decoded to the wrong request"
+  | Error e -> Alcotest.fail e
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let test_proto_invalid_requests () =
+  let expect_error line fragment =
+    match decode line with
+    | Error msg ->
+        check_bool
+          (Printf.sprintf "%S mentions %S (got %S)" line fragment msg)
+          true
+          (contains ~needle:fragment msg)
+    | Ok _ -> Alcotest.failf "%S unexpectedly decoded" line
+  in
+  expect_error {|{"kind":"oops"}|} "unknown request kind";
+  expect_error {|{"d":1.0}|} "kind";
+  expect_error {|{"kind":"simulate","v":"fast"}|} "\"v\"";
+  expect_error {|{"kind":"simulate","d":-1}|} "\"d\"";
+  expect_error {|{"kind":"schedule","rounds":0}|} "\"rounds\"";
+  expect_error {|{"kind":"batch","points":0}|} "\"points\"";
+  expect_error {|{"kind":"simulate","id":[1]}|} "\"id\"";
+  expect_error {|{"kind":"simulate","timeout_ms":"soon"}|} "\"timeout_ms\"";
+  expect_error "[1,2]" "object"
+
+let test_proto_canonical_key () =
+  let key line = Proto.canonical_key (Result.get_ok (decode line)).Proto.request in
+  (* Field order, envelope fields and spelling of numbers must not matter. *)
+  check_string "same request, same key"
+    (key {|{"kind":"simulate","tau":0.5,"d":1.5}|})
+    (key {|{"d":1.5e0,"id":7,"timeout_ms":50,"kind":"simulate","tau":0.5}|});
+  check_bool "different request, different key" true
+    (key {|{"kind":"simulate","tau":0.5,"d":1.5}|}
+    <> key {|{"kind":"simulate","tau":0.5,"d":1.51}|})
+
+let test_proto_encode_decode () =
+  (* wire_of_request and request_of_wire are inverse on every kind. *)
+  let requests =
+    [
+      Proto.Simulate
+        {
+          attrs = Attributes.make ~v:2.0 ~tau:0.5 ~phi:1.0 ~chi:Attributes.Opposite ();
+          d = 3.0;
+          bearing = 0.4;
+          r = 0.25;
+          horizon = 1e6;
+          algorithm4 = true;
+        };
+      Proto.Search { d = 4.0; bearing = 0.9; r = 0.5; horizon = 1e7 };
+      Proto.Feasibility (Attributes.make ~v:3.0 ());
+      Proto.Bound { attrs = Attributes.make ~tau:0.7 (); d = 8.0; r = 0.1 };
+      Proto.Schedule 5;
+      Proto.Batch
+        {
+          attrs = Attributes.make ();
+          d_lo = 1.0;
+          d_hi = 2.0;
+          points = 3;
+          bearing = 0.9;
+          r = 0.4;
+          horizon = 1e7;
+        };
+      Proto.Stats;
+    ]
+  in
+  List.iter
+    (fun request ->
+      match Proto.request_of_wire (Proto.wire_of_request request) with
+      | Ok env -> check_bool "request round-trips" true (env.Proto.request = request)
+      | Error e -> Alcotest.fail e)
+    requests
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity with the CLI evaluation path *)
+
+let float_member path response =
+  let v =
+    List.fold_left
+      (fun v name ->
+        match Wire.member name v with
+        | Some v -> v
+        | None -> Alcotest.failf "response lacks %s" name)
+      response path
+  in
+  match v with
+  | Wire.Float f -> f
+  | Wire.Int i -> float_of_int i
+  | v -> Alcotest.failf "expected a number, got %s" (Wire.kind_name v)
+
+let test_simulate_bit_identical () =
+  let attrs = Attributes.make ~tau:0.5 () in
+  let inst =
+    Rvu_sim.Engine.instance ~attributes:attrs
+      ~displacement:(Vec2.of_polar ~radius:1.5 ~angle:0.0)
+      ~r:0.5
+  in
+  let direct =
+    Rvu_sim.Engine.run ~horizon:1e8 ~program:(Universal.program ()) inst
+  in
+  let t_direct =
+    match direct.Rvu_sim.Engine.outcome with
+    | Rvu_sim.Detector.Hit t -> t
+    | _ -> Alcotest.fail "direct run did not hit"
+  in
+  let response =
+    Rvu_service.Handler.run
+      (Proto.Simulate
+         {
+           attrs;
+           d = 1.5;
+           bearing = 0.0;
+           r = 0.5;
+           horizon = 1e8;
+           algorithm4 = false;
+         })
+  in
+  (* Exact float equality, not approximate: the service evaluates on the
+     shared cached reference stream, which must replay identical bits. *)
+  check_bool "meeting time bit-identical" true
+    (float_member [ "outcome"; "t" ] response = t_direct);
+  check_bool "analytic bound bit-identical" true
+    (float_member [ "bound"; "time" ] response
+    = Option.get direct.Rvu_sim.Engine.bound.Universal.time);
+  check_int "interval count identical"
+    direct.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals
+    (int_of_float (float_member [ "stats"; "intervals" ] response))
+
+let test_search_bit_identical () =
+  let direct, _ =
+    Rvu_sim.Search_engine.run ~horizon:1e8
+      ~program:(Rvu_search.Algorithm4.program ())
+      ~target:(Vec2.of_polar ~radius:4.0 ~angle:0.9)
+      ~r:0.5 ()
+  in
+  let t_direct =
+    match direct with
+    | Rvu_sim.Search_engine.Found t -> t
+    | _ -> Alcotest.fail "direct search did not find"
+  in
+  let response =
+    Rvu_service.Handler.run
+      (Proto.Search { d = 4.0; bearing = 0.9; r = 0.5; horizon = 1e8 })
+  in
+  check_bool "discovery time bit-identical" true
+    (float_member [ "outcome"; "t" ] response = t_direct)
+
+(* ------------------------------------------------------------------ *)
+(* Server: caching, backpressure, timeouts *)
+
+let collecting_server config lines =
+  (* Run [lines] through a server, return every response (order of arrival). *)
+  let server = Server.create ~config () in
+  let lock = Mutex.create () in
+  let responses = ref [] in
+  Array.iter
+    (fun line ->
+      Server.handle_line server line ~respond:(fun resp ->
+          Mutex.lock lock;
+          responses := resp :: !responses;
+          Mutex.unlock lock))
+    lines;
+  Server.wait_idle server;
+  Server.stop server;
+  List.rev_map (fun r -> Result.get_ok (Wire.parse r)) !responses
+
+let error_code response =
+  match Wire.member "error" response with
+  | Some err -> (
+      match Wire.member "code" err with
+      | Some (Wire.String c) -> Some c
+      | _ -> Some "malformed-error")
+  | None -> None
+
+let simulate_line ?timeout_ms ~id d =
+  let request =
+    Proto.Simulate
+      {
+        attrs = Attributes.make ~tau:0.98 ();
+        d;
+        bearing = 0.7;
+        r = 0.005;
+        horizon = 1e13;
+        algorithm4 = false;
+      }
+  in
+  Wire.print (Proto.wire_of_request ~id:(Wire.Int id) ?timeout_ms request)
+
+let test_server_overload_sheds () =
+  let n = 12 in
+  let lines = Array.init n (fun i -> simulate_line ~id:(i + 1) (6.0 +. (0.01 *. float_of_int i))) in
+  let responses =
+    collecting_server
+      { Server.jobs = 1; queue_depth = 2; cache_entries = 0; timeout_ms = None }
+      lines
+  in
+  check_int "every request got exactly one response" n (List.length responses);
+  let shed =
+    List.length
+      (List.filter (fun r -> error_code r = Some "overloaded") responses)
+  in
+  check_bool "flood past depth 2 shed something" true (shed > 0);
+  check_bool "requests within depth still served" true (shed < n)
+
+let test_server_cache_hits () =
+  let config =
+    { Server.jobs = 1; queue_depth = 8; cache_entries = 8; timeout_ms = None }
+  in
+  let server = Server.create ~config () in
+  let line = {|{"kind":"feasibility","v":2.0,"id":1}|} in
+  let first = Server.handle_sync server line in
+  let second = Server.handle_sync server line in
+  check_string "cached repeat is byte-identical" first second;
+  let stats = Server.stats_json server in
+  Server.stop server;
+  check_bool "result cache recorded the hit" true
+    (float_member [ "cache"; "hits" ] stats >= 1.0)
+
+let test_server_timeout () =
+  let lines =
+    [|
+      simulate_line ~id:1 10.0 (* slow: occupies the single worker *);
+      simulate_line ~id:2 ~timeout_ms:1.0 10.5 (* budget expires in queue *);
+    |]
+  in
+  let responses =
+    collecting_server
+      { Server.jobs = 1; queue_depth = 8; cache_entries = 0; timeout_ms = None }
+      lines
+  in
+  check_int "both responded" 2 (List.length responses);
+  let code_of id =
+    List.find_map
+      (fun r ->
+        if Wire.member "id" r = Some (Wire.Int id) then Some (error_code r)
+        else None)
+      responses
+  in
+  check_bool "slow request completed" true (code_of 1 = Some None);
+  check_bool "queued request timed out" true (code_of 2 = Some (Some "timeout"))
+
+let test_server_malformed_lines () =
+  let server = Server.create ~config:{ Server.default_config with Server.jobs = 1 } () in
+  let parse_err = Result.get_ok (Wire.parse (Server.handle_sync server "{nope")) in
+  check_bool "parse error code" true (error_code parse_err = Some "parse_error");
+  check_bool "parse error id is null" true
+    (Wire.member "id" parse_err = Some Wire.Null);
+  let invalid =
+    Result.get_ok
+      (Wire.parse (Server.handle_sync server {|{"kind":"oops","id":"q7"}|}))
+  in
+  check_bool "invalid request code" true
+    (error_code invalid = Some "invalid_request");
+  check_bool "id salvaged from a rejected request" true
+    (Wire.member "id" invalid = Some (Wire.String "q7"));
+  Server.stop server
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          Alcotest.test_case "value forms" `Quick test_parse_values;
+          Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
+          Alcotest.test_case "non-finite floats rejected" `Quick
+            test_print_rejects_nonfinite;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order and stats" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "defaults match the CLI" `Quick
+            test_proto_defaults_match_cli;
+          Alcotest.test_case "invalid requests" `Quick
+            test_proto_invalid_requests;
+          Alcotest.test_case "canonical cache key" `Quick
+            test_proto_canonical_key;
+          Alcotest.test_case "encode/decode inverse" `Quick
+            test_proto_encode_decode;
+        ] );
+      ( "bit identity",
+        [
+          Alcotest.test_case "simulate = Engine.run" `Quick
+            test_simulate_bit_identical;
+          Alcotest.test_case "search = Search_engine.run" `Quick
+            test_search_bit_identical;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "overload sheds, never hangs" `Quick
+            test_server_overload_sheds;
+          Alcotest.test_case "result cache hits" `Quick test_server_cache_hits;
+          Alcotest.test_case "queue-wait timeout" `Quick test_server_timeout;
+          Alcotest.test_case "malformed lines answered" `Quick
+            test_server_malformed_lines;
+        ] );
+    ]

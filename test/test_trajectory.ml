@@ -415,6 +415,21 @@ let test_stream_cache_end_of_stream () =
     (Seq.length (Stream_cache.stream cache));
   Alcotest.(check int) "realized count" 1 (Stream_cache.realized cache)
 
+let test_stream_cache_stats () =
+  let take n s = ignore (List.of_seq (Seq.take n s)) in
+  let cache = Stream_cache.create ~max_segments:16 (zigzag_program ()) in
+  take 300 (Stream_cache.stream cache);
+  let s1 = Stream_cache.stats cache in
+  check_bool "first walk realizes the prefix" true (s1.Stream_cache.misses >= 1);
+  check_bool "walk past the cap declines retention" true
+    (s1.Stream_cache.evictions >= 1);
+  take 300 (Stream_cache.stream cache);
+  let s2 = Stream_cache.stats cache in
+  check_bool "replay is served from realized slots" true
+    (s2.Stream_cache.hits > s1.Stream_cache.hits);
+  Alcotest.(check int) "replay realizes nothing new" s1.Stream_cache.misses
+    s2.Stream_cache.misses
+
 let test_stream_cache_registry () =
   let calls = ref 0 in
   let make () = incr calls; zigzag_program () in
@@ -473,6 +488,8 @@ let () =
             test_stream_cache_replays_exactly;
           Alcotest.test_case "cap overflow" `Quick test_stream_cache_cap_overflow;
           Alcotest.test_case "end of stream" `Quick test_stream_cache_end_of_stream;
+          Alcotest.test_case "hit/miss/eviction counters" `Quick
+            test_stream_cache_stats;
           Alcotest.test_case "keyed registry" `Quick test_stream_cache_registry;
         ] );
       ( "drift",
