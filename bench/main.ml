@@ -24,7 +24,11 @@
      perf           — Bechamel kernel micro-benchmarks
      perf-batch     — batch-layer speedup vs --jobs 1; writes BENCH_1.json
      perf-serve     — server latency, cache speedup, backpressure;
-                      writes BENCH_2.json *)
+                      writes BENCH_2.json
+     perf-obs       — observability overhead (metrics off/on/traced);
+                      writes BENCH_3.json
+
+   --trace FILE records Chrome trace-event spans for the whole run. *)
 
 let all : (string * (unit -> unit)) list =
   [
@@ -46,6 +50,7 @@ let all : (string * (unit -> unit)) list =
     ("perf", Perf.run);
     ("perf-batch", Exp_perf_batch.run);
     ("perf-serve", Exp_perf_serve.run);
+    ("perf-obs", Exp_perf_obs.run);
   ]
 
 let () =
@@ -64,6 +69,12 @@ let () =
         | _ ->
             Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
             exit 2);
+        extract acc rest
+    | "--trace" :: path :: rest ->
+        (try Rvu_obs.Trace.enable ~path ()
+         with Sys_error msg ->
+           Printf.eprintf "--trace: cannot open trace file: %s\n" msg;
+           exit 2);
         extract acc rest
     | x :: rest -> extract (x :: acc) rest
     | [] -> List.rev acc

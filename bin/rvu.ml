@@ -69,6 +69,26 @@ let horizon_arg =
     & info [ "horizon" ] ~docv:"T"
         ~doc:"Give up after this much global time (infeasible instances never meet).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record per-phase tracing spans into $(i,FILE) in Chrome \
+           trace-event format (open it in chrome://tracing or \
+           ui.perfetto.dev).")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      (try Rvu_obs.Trace.enable ~path () with
+      | Sys_error msg ->
+          Format.eprintf "rvu: cannot open trace file: %s@." msg;
+          exit 1);
+      Fun.protect ~finally:Rvu_obs.Trace.close f
+
 let attributes v tau phi mirror =
   Attributes.make ~v ~tau ~phi
     ~chi:(if mirror then Attributes.Opposite else Attributes.Same)
@@ -297,7 +317,8 @@ let bound_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep attrs d_lo d_hi points bearing r horizon jobs =
+let sweep attrs d_lo d_hi points bearing r horizon jobs trace =
+  with_trace trace @@ fun () ->
   let ds = Rvu_workload.Sweep.linspace ~lo:d_lo ~hi:d_hi ~n:points in
   let instances =
     Array.of_list
@@ -370,7 +391,7 @@ let sweep_cmd =
           parallel.")
     Term.(
       const sweep $ attrs_term $ d_lo $ d_hi $ points $ bearing_arg $ r_arg
-      $ horizon_arg $ jobs)
+      $ horizon_arg $ jobs $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gather *)
@@ -488,7 +509,8 @@ let resolve_host host =
         Format.eprintf "rvu: cannot resolve host %S@." host;
         exit 1)
 
-let serve config tcp_port host connections =
+let serve config tcp_port host connections trace =
+  with_trace trace @@ fun () ->
   let server = Rvu_service.Server.create ~config () in
   (match tcp_port with
   | Some port ->
@@ -525,7 +547,7 @@ let serve_cmd =
        ~doc:
          "Run the evaluation server: one JSON request per line in, one JSON \
           response per line out (see DESIGN.md for the protocol).")
-    Term.(const serve $ config_term $ tcp $ host $ connections)
+    Term.(const serve $ config_term $ tcp $ host $ connections $ trace_arg)
 
 let loadgen_tcp lg ~host ~port ~rate =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in

@@ -65,6 +65,15 @@ module Persistent = struct
     jobs : int;
   }
 
+  (* Aggregated over every pool in the process (services run one). *)
+  let m_queue_depth =
+    Rvu_obs.Metrics.gauge ~help:"Tasks enqueued and not yet picked up"
+      "rvu_pool_queue_depth"
+
+  let m_task_wall =
+    Rvu_obs.Metrics.histogram ~help:"Wall seconds per executed pool task"
+      "rvu_pool_task_seconds"
+
   let worker t =
     let rec next () =
       if Queue.is_empty t.queue then
@@ -73,7 +82,10 @@ module Persistent = struct
           Condition.wait t.work t.lock;
           next ()
         end
-      else Some (Queue.pop t.queue)
+      else begin
+        Rvu_obs.Metrics.gauge_add m_queue_depth (-1.0);
+        Some (Queue.pop t.queue)
+      end
     in
     let rec loop () =
       Mutex.lock t.lock;
@@ -83,7 +95,9 @@ module Persistent = struct
           Mutex.unlock t.lock;
           (* Tasks own their error handling; a raising task must not take
              the worker domain down with it. *)
+          let t0 = Rvu_obs.Clock.now_s () in
           (try task () with _ -> ());
+          Rvu_obs.Metrics.observe m_task_wall (Rvu_obs.Clock.now_s () -. t0);
           loop ()
     in
     loop ()
@@ -112,6 +126,7 @@ module Persistent = struct
       invalid_arg "Pool.Persistent.submit: executor is stopped"
     end;
     Queue.push task t.queue;
+    Rvu_obs.Metrics.gauge_add m_queue_depth 1.0;
     Condition.signal t.work;
     Mutex.unlock t.lock
 

@@ -1,0 +1,18 @@
+(** Monotonic time for instrumentation.
+
+    All observability timestamps — span boundaries, latency observations,
+    queue-wait measurements — come from the monotonic clock (bechamel's
+    [CLOCK_MONOTONIC] stub), never [Unix.gettimeofday]: wall-clock
+    adjustments (NTP slew, manual changes) must not produce negative
+    durations or skew latency histograms. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. The epoch is arbitrary (boot
+    time on Linux); only differences are meaningful. *)
+
+val now_us : unit -> float
+(** {!now_ns} in microseconds — the unit of Chrome [trace_event]
+    timestamps. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds — the unit of every duration histogram. *)

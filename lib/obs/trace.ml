@@ -1,0 +1,133 @@
+type event = {
+  name : string;
+  ph : char; (* 'B' begin, 'E' end, 'i' instant *)
+  ts : float; (* microseconds, monotonic *)
+  tid : int;
+  args : (string * Wire.t) list;
+}
+
+type sink = {
+  oc : out_channel;
+  lock : Mutex.t;
+  ring : event option array;
+  mutable next : int; (* slot for the next event *)
+  mutable recorded : int; (* total events ever recorded *)
+}
+
+type span = Disabled | Span of { name : string }
+
+(* A single atomic holds the whole tracer state: the enabled check on
+   every instrumentation site is one [Atomic.get] and a branch. *)
+let sink : sink option Atomic.t = Atomic.make None
+
+let enabled () = Atomic.get sink <> None
+
+let record ev =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.lock;
+      s.ring.(s.next) <- Some ev;
+      s.next <- (s.next + 1) mod Array.length s.ring;
+      s.recorded <- s.recorded + 1;
+      Mutex.unlock s.lock
+
+let tid () = (Domain.self () :> int)
+
+let begin_span ?(args = []) name =
+  if Atomic.get sink = None then Disabled
+  else begin
+    record { name; ph = 'B'; ts = Clock.now_us (); tid = tid (); args };
+    Span { name }
+  end
+
+let end_span = function
+  | Disabled -> ()
+  | Span { name } ->
+      record { name; ph = 'E'; ts = Clock.now_us (); tid = tid (); args = [] }
+
+let with_span ?args name f =
+  let s = begin_span ?args name in
+  Fun.protect ~finally:(fun () -> end_span s) f
+
+let instant ?(args = []) name =
+  if Atomic.get sink <> None then
+    record { name; ph = 'i'; ts = Clock.now_us (); tid = tid (); args }
+
+(* ------------------------------------------------------------------ *)
+(* Sink lifecycle *)
+
+let event_json ev =
+  Wire.Obj
+    ([
+       ("name", Wire.String ev.name);
+       ("cat", Wire.String "rvu");
+       ("ph", Wire.String (String.make 1 ev.ph));
+       ("ts", Wire.Float ev.ts);
+       ("pid", Wire.Int 1);
+       ("tid", Wire.Int ev.tid);
+     ]
+    @
+    match (ev.ph, ev.args) with
+    | 'i', args -> ("s", Wire.String "t") :: [ ("args", Wire.Obj args) ]
+    | _, [] -> []
+    | _, args -> [ ("args", Wire.Obj args) ])
+
+let close () =
+  match Atomic.exchange sink None with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.lock;
+      let cap = Array.length s.ring in
+      (* Oldest-first: when the ring wrapped, the oldest retained event
+         sits at [next]. *)
+      let start = if s.recorded > cap then s.next else 0 in
+      let retained = min s.recorded cap in
+      let dropped = s.recorded - retained in
+      output_string s.oc "[\n";
+      let meta =
+        Wire.Obj
+          [
+            ("name", Wire.String "rvu.trace");
+            ("ph", Wire.String "i");
+            ("s", Wire.String "g");
+            ("ts", Wire.Float (Clock.now_us ()));
+            ("pid", Wire.Int 1);
+            ("tid", Wire.Int (tid ()));
+            ( "args",
+              Wire.Obj
+                [
+                  ("recorded", Wire.Int s.recorded);
+                  ("dropped_oldest", Wire.Int dropped);
+                ] );
+          ]
+      in
+      output_string s.oc (Wire.print meta);
+      for i = 0 to retained - 1 do
+        match s.ring.((start + i) mod cap) with
+        | None -> ()
+        | Some ev ->
+            output_string s.oc ",\n";
+            output_string s.oc (Wire.print (event_json ev))
+      done;
+      output_string s.oc "\n]\n";
+      close_out s.oc;
+      Mutex.unlock s.lock
+
+let enable ?(capacity = 65536) ~path () =
+  if capacity < 2 then invalid_arg "Trace.enable: capacity < 2";
+  let oc = open_out path in
+  let s =
+    {
+      oc;
+      lock = Mutex.create ();
+      ring = Array.make capacity None;
+      next = 0;
+      recorded = 0;
+    }
+  in
+  if not (Atomic.compare_and_set sink None (Some s)) then begin
+    close_out_noerr oc;
+    invalid_arg "Trace.enable: tracing is already enabled"
+  end;
+  at_exit close

@@ -1,0 +1,391 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+type error = { pos : int; line : int; col : int; msg : string }
+
+let error_to_string e = Printf.sprintf "line %d, col %d: %s" e.line e.col e.msg
+
+let kind_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "number"
+  | String _ -> "string"
+  | List _ -> "array"
+  | Obj _ -> "object"
+
+let member name = function Obj fields -> List.assoc_opt name fields | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+exception Fail of int * string
+
+let line_col s pos =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min pos (String.length s) - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail : 'a. ?at:int -> string -> 'a =
+   fun ?at msg ->
+    raise (Fail ((match at with Some p -> p | None -> !pos), msg))
+  in
+  let eof () = !pos >= n in
+  let cur () = s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if not (eof ()) then
+      match cur () with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    if eof () then
+      fail (Printf.sprintf "unexpected end of input, expected %C" c)
+    else if cur () <> c then
+      fail (Printf.sprintf "expected %C, found %C" c (cur ()))
+    else advance ()
+  in
+  let literal word value =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match cur () with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "invalid hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if eof () then fail "unterminated string"
+      else
+        match cur () with
+        | '"' ->
+            advance ();
+            Buffer.contents buf
+        | '\\' ->
+            advance ();
+            if eof () then fail "unterminated string";
+            (match cur () with
+            | '"' ->
+                Buffer.add_char buf '"';
+                advance ()
+            | '\\' ->
+                Buffer.add_char buf '\\';
+                advance ()
+            | '/' ->
+                Buffer.add_char buf '/';
+                advance ()
+            | 'b' ->
+                Buffer.add_char buf '\b';
+                advance ()
+            | 'f' ->
+                Buffer.add_char buf '\012';
+                advance ()
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                advance ()
+            | 'r' ->
+                Buffer.add_char buf '\r';
+                advance ()
+            | 't' ->
+                Buffer.add_char buf '\t';
+                advance ()
+            | 'u' ->
+                advance ();
+                let cp = hex4 () in
+                let cp =
+                  if cp >= 0xD800 && cp <= 0xDBFF then begin
+                    (* High surrogate: require the paired low surrogate. *)
+                    if !pos + 1 < n && cur () = '\\' && s.[!pos + 1] = 'u'
+                    then begin
+                      pos := !pos + 2;
+                      let lo = hex4 () in
+                      if lo >= 0xDC00 && lo <= 0xDFFF then
+                        0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                      else fail "invalid low surrogate"
+                    end
+                    else fail "unpaired high surrogate"
+                  end
+                  else if cp >= 0xDC00 && cp <= 0xDFFF then
+                    fail "unpaired low surrogate"
+                  else cp
+                in
+                add_utf8 buf cp
+            | c -> fail (Printf.sprintf "invalid escape \\%c" c));
+            go ()
+        | c when Char.code c < 0x20 ->
+            fail "unescaped control character in string"
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if (not (eof ())) && cur () = '-' then advance ();
+    let digits what =
+      let d0 = !pos in
+      while
+        (not (eof ())) && match cur () with '0' .. '9' -> true | _ -> false
+      do
+        advance ()
+      done;
+      if !pos = d0 then fail (Printf.sprintf "expected digits %s" what)
+    in
+    digits "in number";
+    let is_float = ref false in
+    if (not (eof ())) && cur () = '.' then begin
+      is_float := true;
+      advance ();
+      digits "after decimal point"
+    end;
+    if (not (eof ())) && (cur () = 'e' || cur () = 'E') then begin
+      is_float := true;
+      advance ();
+      if (not (eof ())) && (cur () = '+' || cur () = '-') then advance ();
+      digits "in exponent"
+    end;
+    let text = String.sub s start (!pos - start) in
+    let as_float () =
+      let f = float_of_string text in
+      if Float.is_finite f then Float f else fail ~at:start "number out of range"
+    in
+    if !is_float then as_float ()
+    else match int_of_string_opt text with Some i -> Int i | None -> as_float ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    if eof () then fail "unexpected end of input"
+    else
+      match cur () with
+      | '{' -> parse_obj ()
+      | '[' -> parse_list ()
+      | '"' -> String (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | '-' | '0' .. '9' -> parse_number ()
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if (not (eof ())) && cur () = '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        if eof () then fail "unexpected end of input in object"
+        else
+          match cur () with
+          | ',' ->
+              advance ();
+              members ((key, v) :: acc)
+          | '}' ->
+              advance ();
+              Obj (List.rev ((key, v) :: acc))
+          | c -> fail (Printf.sprintf "expected ',' or '}', found %C" c)
+      in
+      members []
+    end
+  and parse_list () =
+    expect '[';
+    skip_ws ();
+    if (not (eof ())) && cur () = ']' then begin
+      advance ();
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value () in
+        skip_ws ();
+        if eof () then fail "unexpected end of input in array"
+        else
+          match cur () with
+          | ',' ->
+              advance ();
+              elements (v :: acc)
+          | ']' ->
+              advance ();
+              List (List.rev (v :: acc))
+          | c -> fail (Printf.sprintf "expected ',' or ']', found %C" c)
+      in
+      elements []
+    end
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if not (eof ()) then fail "trailing characters after value";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (p, msg) ->
+      let line, col = line_col s p in
+      Error { pos = p; line; col; msg }
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let add_escaped buf str =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    str;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal form that parses back to the identical bits — cache
+   keys and bit-identity pins depend on this being exact. *)
+let float_string f =
+  if not (Float.is_finite f) then invalid_arg "Wire.print: non-finite float";
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let exact fmt =
+      let s = Printf.sprintf fmt f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact "%.15g" with
+    | Some s -> s
+    | None -> (
+        match exact "%.16g" with
+        | Some s -> s
+        | None -> Printf.sprintf "%.17g" f)
+
+let rec add_compact buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_string f)
+  | String s -> add_escaped buf s
+  | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_compact buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add_compact buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let print v =
+  let buf = Buffer.create 128 in
+  add_compact buf v;
+  Buffer.contents buf
+
+let rec add_hum buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> add_compact buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List vs ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          add_hum buf (indent + 2) v)
+        vs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          add_escaped buf k;
+          Buffer.add_string buf ": ";
+          add_hum buf (indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf '}'
+
+let print_hum v =
+  let buf = Buffer.create 256 in
+  add_hum buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

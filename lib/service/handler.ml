@@ -243,3 +243,5 @@ let run = function
   | Proto.Schedule rounds -> schedule rounds
   | Proto.Batch b -> batch b
   | Proto.Stats -> invalid_arg "Handler.run: stats is answered by the server"
+  | Proto.Metrics _ ->
+      invalid_arg "Handler.run: metrics is answered by the server"

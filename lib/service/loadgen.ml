@@ -197,23 +197,23 @@ type summary = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  p999_ms : float;
   mean_ms : float;
   max_ms : float;
 }
 
 let summary t =
   Mutex.lock t.lock;
-  let latencies_ms =
-    Array.to_list t.latency
-    |> List.filter (fun l -> l >= 0.0)
-    |> List.map (fun l -> l *. 1000.0)
-  in
+  (* One private histogram per summary call: the quantile machinery is
+     shared with the metrics registry, the data stays per-run. Retained
+     samples make the reported percentiles exact, not bucket estimates. *)
+  let h = Rvu_obs.Metrics.private_histogram ~retain_samples:true () in
+  Array.iter
+    (fun l -> if l >= 0.0 then Rvu_obs.Metrics.observe h (l *. 1000.0))
+    t.latency;
   let wall_s = Float.max 1e-9 (t.t_last -. t.t_start) in
-  let pct p =
-    match latencies_ms with
-    | [] -> Float.nan
-    | ls -> Rvu_numerics.Stats.percentile p ls
-  in
+  let pct q = Rvu_obs.Metrics.exact_quantile h q in
+  let count = Rvu_obs.Metrics.histogram_count h in
   let s =
     {
       requests = t.n;
@@ -224,11 +224,14 @@ let summary t =
       other_errors = t.other_errors;
       wall_s;
       throughput_rps = float_of_int t.completed /. wall_s;
-      p50_ms = pct 50.0;
-      p95_ms = pct 95.0;
-      p99_ms = pct 99.0;
-      mean_ms = Rvu_numerics.Stats.mean latencies_ms;
-      max_ms = (match latencies_ms with [] -> Float.nan | ls -> List.fold_left Float.max 0.0 ls);
+      p50_ms = pct 0.50;
+      p95_ms = pct 0.95;
+      p99_ms = pct 0.99;
+      p999_ms = pct 0.999;
+      mean_ms =
+        (if count = 0 then Float.nan
+         else Rvu_obs.Metrics.histogram_sum h /. float_of_int count);
+      max_ms = pct 1.0;
     }
   in
   Mutex.unlock t.lock;
@@ -250,6 +253,7 @@ let summary_json s =
       ("p50_ms", finite_or_null s.p50_ms);
       ("p95_ms", finite_or_null s.p95_ms);
       ("p99_ms", finite_or_null s.p99_ms);
+      ("p999_ms", finite_or_null s.p999_ms);
       ("mean_ms", finite_or_null s.mean_ms);
       ("max_ms", finite_or_null s.max_ms);
     ]
@@ -261,5 +265,8 @@ let print_summary s =
   Printf.printf "timeouts:    %d\n" s.timeouts;
   Printf.printf "errors:      %d\n" s.other_errors;
   Printf.printf "wall:        %.3f s (%.1f req/s)\n" s.wall_s s.throughput_rps;
-  Printf.printf "latency ms:  p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f\n%!"
-    s.p50_ms s.p95_ms s.p99_ms s.mean_ms s.max_ms
+  Printf.printf
+    "latency ms:  p50 %.3f  p95 %.3f  p99 %.3f  p99.9 %.3f  mean %.3f  max \
+     %.3f\n\
+     %!"
+    s.p50_ms s.p95_ms s.p99_ms s.p999_ms s.mean_ms s.max_ms

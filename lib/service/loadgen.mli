@@ -48,13 +48,17 @@ type summary = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  p999_ms : float;
   mean_ms : float;
   max_ms : float;
 }
 
 val summary : t -> summary
 (** Latency statistics cover completed requests; an incomplete run (see
-    {!wait}) still summarizes what arrived. *)
+    {!wait}) still summarizes what arrived. Percentiles are computed
+    through {!Rvu_obs.Metrics.exact_quantile} over a sample-retaining
+    {!Rvu_obs.Metrics.private_histogram} — the same interpolation
+    convention as {!Rvu_numerics.Stats.percentile}. *)
 
 val summary_json : summary -> Wire.t
 val print_summary : summary -> unit

@@ -27,6 +27,20 @@ type stats = {
   capacity : int;
 }
 
+(* Process-wide mirrors, aggregated over every LRU instance (in practice:
+   the scheduler's result cache) and cumulative since process start. *)
+let m_hits =
+  Rvu_obs.Metrics.counter ~help:"Result-cache lookups answered from the LRU"
+    "rvu_result_cache_hits_total"
+
+let m_misses =
+  Rvu_obs.Metrics.counter ~help:"Result-cache lookups that missed"
+    "rvu_result_cache_misses_total"
+
+let m_evictions =
+  Rvu_obs.Metrics.counter ~help:"Result-cache LRU evictions"
+    "rvu_result_cache_evictions_total"
+
 let create ~capacity =
   if capacity < 0 then invalid_arg "Lru.create: negative capacity";
   {
@@ -61,11 +75,13 @@ let find (t : 'a t) key =
       match Hashtbl.find_opt t.table key with
       | Some e ->
           t.hits <- t.hits + 1;
+          Rvu_obs.Metrics.incr m_hits;
           unlink t e;
           push_front t e;
           Some e.value
       | None ->
           t.misses <- t.misses + 1;
+          Rvu_obs.Metrics.incr m_misses;
           None)
 
 let add (t : 'a t) key value =
@@ -85,7 +101,8 @@ let add (t : 'a t) key value =
           | Some lru ->
               Hashtbl.remove t.table lru.key;
               unlink t lru;
-              t.evictions <- t.evictions + 1
+              t.evictions <- t.evictions + 1;
+              Rvu_obs.Metrics.incr m_evictions
           | None -> assert false)
 
 let stats (t : 'a t) =

@@ -10,7 +10,10 @@
 
     Domain-safe: all operations take an internal lock. Recency is LRU over
     both reads and writes. Counters make effectiveness observable through
-    the [stats] endpoint. *)
+    the [stats] endpoint, and every increment is mirrored into the
+    process-wide metrics registry ({!Rvu_obs.Metrics}) as
+    [rvu_result_cache_{hits,misses,evictions}_total] — aggregated over all
+    instances, cumulative since process start. *)
 
 type 'a t
 

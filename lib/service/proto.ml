@@ -36,6 +36,8 @@ type batch = {
   horizon : float;
 }
 
+type metrics_format = Metrics_json | Metrics_prometheus
+
 type request =
   | Simulate of simulate
   | Search of search
@@ -44,6 +46,7 @@ type request =
   | Schedule of int
   | Batch of batch
   | Stats
+  | Metrics of metrics_format
 
 type envelope = { id : Wire.t; timeout_ms : float option; request : request }
 
@@ -146,6 +149,16 @@ let body_of_wire w kind =
         Error "field \"bearing\": must be finite"
       else Ok (Batch { attrs; d_lo; d_hi; points; bearing; r; horizon })
   | "stats" -> Ok Stats
+  | "metrics" -> (
+      let* fmt = opt w "format" string_field ~default:"json" in
+      match fmt with
+      | "json" -> Ok (Metrics Metrics_json)
+      | "prometheus" -> Ok (Metrics Metrics_prometheus)
+      | f ->
+          Error
+            (Printf.sprintf
+               "field \"format\": expected \"json\" or \"prometheus\", got %S"
+               f))
   | k -> Error (Printf.sprintf "unknown request kind %S" k)
 
 let request_of_wire w =
@@ -227,6 +240,17 @@ let body_fields = function
             ("horizon", Wire.Float b.horizon);
           ] )
   | Stats -> ("stats", [])
+  | Metrics fmt ->
+      ( "metrics",
+        [
+          ( "format",
+            Wire.String
+              (match fmt with
+              | Metrics_json -> "json"
+              | Metrics_prometheus -> "prometheus") );
+        ] )
+
+let kind_string request = fst (body_fields request)
 
 let wire_of_request ?id ?timeout_ms request =
   let kind, fields = body_fields request in

@@ -50,6 +50,11 @@ type batch = {
   horizon : float;
 }
 
+type metrics_format =
+  | Metrics_json  (** the {!Rvu_obs.Metrics.json} snapshot *)
+  | Metrics_prometheus
+      (** {!Rvu_obs.Metrics.expose} text, delivered as one JSON string *)
+
 type request =
   | Simulate of simulate
   | Search of search
@@ -58,6 +63,10 @@ type request =
   | Schedule of int  (** rounds to list *)
   | Batch of batch
   | Stats  (** server counters; answered by the server itself, uncached *)
+  | Metrics of metrics_format
+      (** process-wide metrics registry; answered by the server itself,
+          uncached (selected by the optional ["format"] field, default
+          ["json"]) *)
 
 type envelope = {
   id : Wire.t;  (** [Null], [Int] or [String] *)
@@ -76,6 +85,10 @@ val wire_of_request : ?id:Wire.t -> ?timeout_ms:float -> request -> Wire.t
 (** Encode — the load generator builds its scenario mix with this, which
     keeps it round-trip-consistent with {!request_of_wire} by
     construction. *)
+
+val kind_string : request -> string
+(** The wire ["kind"] of a request (["simulate"], ["stats"], …) — the label
+    the server files per-kind latency metrics under. *)
 
 val canonical_key : request -> string
 (** The cache key: the request printed compactly with fixed field order and

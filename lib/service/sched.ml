@@ -8,6 +8,26 @@ type t = {
 
 type outcome = (Wire.t, Proto.error_code * string) result
 
+(* Cumulative since process start, aggregated over every scheduler in the
+   process — unlike [Lru.stats], which is per-instance. *)
+let m_admitted =
+  Rvu_obs.Metrics.counter ~help:"Requests admitted to the worker pool"
+    "rvu_sched_admitted_total"
+
+let m_shed =
+  Rvu_obs.Metrics.counter ~help:"Requests shed because the queue was full"
+    "rvu_sched_shed_total"
+
+let m_timeout =
+  Rvu_obs.Metrics.counter
+    ~help:"Requests that timed out waiting for a worker"
+    "rvu_sched_timeout_total"
+
+let m_queue_wait =
+  Rvu_obs.Metrics.histogram
+    ~help:"Seconds between admission and worker pickup"
+    "rvu_sched_queue_wait_seconds"
+
 let create ?jobs ?(queue_depth = 64) ?(cache_entries = 256) ?timeout_ms () =
   if queue_depth < 1 then invalid_arg "Sched.create: queue_depth < 1";
   let jobs =
@@ -38,6 +58,7 @@ let submit t (env : Proto.envelope) ~k =
         (* Shed: the pending queue is full. Decrement before replying so a
            draining queue immediately re-opens admission. *)
         Atomic.decr t.in_flight;
+        Rvu_obs.Metrics.incr m_shed;
         k
           (Error
              ( Proto.Overloaded,
@@ -45,15 +66,20 @@ let submit t (env : Proto.envelope) ~k =
              ))
       end
       else begin
+        Rvu_obs.Metrics.incr m_admitted;
         let deadline =
           match (env.Proto.timeout_ms, t.default_timeout_ms) with
           | Some ms, _ | None, Some ms -> Some (now () +. (ms /. 1000.0))
           | None, None -> None
         in
+        let admitted_at = Rvu_obs.Clock.now_s () in
         Rvu_exec.Pool.Persistent.submit t.pool (fun () ->
+            Rvu_obs.Metrics.observe m_queue_wait
+              (Rvu_obs.Clock.now_s () -. admitted_at);
             let result =
               match deadline with
               | Some dl when now () > dl ->
+                  Rvu_obs.Metrics.incr m_timeout;
                   Error
                     ( Proto.Timeout,
                       "request exceeded its queue-wait budget before a \

@@ -16,7 +16,15 @@
       {!Rvu_exec.Pool.Persistent} workers. A request whose queue wait
       exceeded its timeout budget is answered [timeout] without running
       (the work would be wasted — its client has given up). Successful
-      results are inserted into the cache; errors are not. *)
+      results are inserted into the cache; errors are not.
+
+    {b Counter semantics.} Every decision on this path increments a
+    process-wide metric in {!Rvu_obs.Metrics} —
+    [rvu_sched_{admitted,shed,timeout}_total] and the
+    [rvu_sched_queue_wait_seconds] histogram. These are {e cumulative since
+    process start} and aggregated over every scheduler instance; they never
+    reset, so rates must be computed by differencing successive snapshots.
+    [cache_stats] is the per-instance view of the same activity. *)
 
 type t
 

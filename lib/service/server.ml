@@ -38,6 +38,38 @@ let create ?(config = default_config) () =
     overloaded = 0;
   }
 
+(* In-flight from the transport's point of view: accepted and not yet
+   responded (cache hits and shed requests flash through it too, unlike the
+   scheduler's admission counter). *)
+let m_in_flight =
+  Rvu_obs.Metrics.gauge ~help:"Requests accepted and not yet responded"
+    "rvu_server_in_flight"
+
+(* One histogram per request kind, registered on first use. Registration is
+   idempotent, so looking the handle up through the registry on every
+   request would also work — the memo table just skips the registry lock on
+   the hot path. *)
+let request_seconds =
+  let lock = Mutex.create () in
+  let table = Hashtbl.create 8 in
+  fun kind ->
+    Mutex.lock lock;
+    let h =
+      match Hashtbl.find_opt table kind with
+      | Some h -> h
+      | None ->
+          let h =
+            Rvu_obs.Metrics.histogram
+              ~help:"Wall seconds from accept to response"
+              ~labels:[ ("kind", kind) ]
+              "rvu_server_request_seconds"
+          in
+          Hashtbl.add table kind h;
+          h
+    in
+    Mutex.unlock lock;
+    h
+
 let count t outcome =
   Mutex.lock t.lock;
   (match outcome with
@@ -49,11 +81,13 @@ let count t outcome =
 let enter t =
   Mutex.lock t.lock;
   t.outstanding <- t.outstanding + 1;
+  Rvu_obs.Metrics.gauge_add m_in_flight 1.0;
   Mutex.unlock t.lock
 
 let leave t =
   Mutex.lock t.lock;
   t.outstanding <- t.outstanding - 1;
+  Rvu_obs.Metrics.gauge_add m_in_flight (-1.0);
   if t.outstanding = 0 then Condition.broadcast t.idle;
   Mutex.unlock t.lock
 
@@ -79,6 +113,24 @@ let stream_cache_json key =
           ("misses", Wire.Int s.Rvu_trajectory.Stream_cache.misses);
           ("evictions", Wire.Int s.Rvu_trajectory.Stream_cache.evictions);
         ]
+
+(* Cumulative process-wide counters (since process start, never reset),
+   read back out of the metrics registry. Registration is idempotent, so
+   this resolves the handles the instrumented modules created at startup. *)
+let process_json () =
+  let cv name = Wire.Int (Rvu_obs.Metrics.(counter_value (counter name))) in
+  Wire.Obj
+    [
+      ("engine_runs", cv "rvu_engine_runs_total");
+      ("engine_intervals", cv "rvu_engine_intervals_total");
+      ("sched_admitted", cv "rvu_sched_admitted_total");
+      ("sched_shed", cv "rvu_sched_shed_total");
+      ("sched_timeouts", cv "rvu_sched_timeout_total");
+      ("stream_cache_hits", cv "rvu_stream_cache_hits_total");
+      ("stream_cache_misses", cv "rvu_stream_cache_misses_total");
+      ("result_cache_hits", cv "rvu_result_cache_hits_total");
+      ("result_cache_misses", cv "rvu_result_cache_misses_total");
+    ]
 
 let stats_json t =
   Mutex.lock t.lock;
@@ -113,6 +165,7 @@ let stats_json t =
             ("universal", stream_cache_json Rvu_exec.Batch.universal_key);
             ("algorithm4", stream_cache_json Handler.algorithm4_key);
           ] );
+      ("process", process_json ());
       ( "config",
         Wire.Obj
           [
@@ -151,11 +204,28 @@ let handle_line t line ~respond =
           respond
             (Wire.print (Proto.error_response ~id Proto.Invalid_request msg))
       | Ok env -> (
+          let t0 = Rvu_obs.Clock.now_s () in
+          let observe () =
+            Rvu_obs.Metrics.observe
+              (request_seconds (Proto.kind_string env.Proto.request))
+              (Rvu_obs.Clock.now_s () -. t0)
+          in
           match env.Proto.request with
           | Proto.Stats ->
               count t `Ok;
               respond
-                (Wire.print (Proto.ok_response ~id:env.Proto.id (stats_json t)))
+                (Wire.print (Proto.ok_response ~id:env.Proto.id (stats_json t)));
+              observe ()
+          | Proto.Metrics fmt ->
+              let body =
+                match fmt with
+                | Proto.Metrics_json -> Rvu_obs.Metrics.json ()
+                | Proto.Metrics_prometheus ->
+                    Wire.String (Rvu_obs.Metrics.expose ())
+              in
+              count t `Ok;
+              respond (Wire.print (Proto.ok_response ~id:env.Proto.id body));
+              observe ()
           | _ ->
               enter t;
               Sched.submit t.sched env ~k:(fun outcome ->
@@ -172,6 +242,7 @@ let handle_line t line ~respond =
                         Proto.error_response ~id:env.Proto.id code msg
                   in
                   (try respond (Wire.print response) with _ -> ());
+                  observe ();
                   leave t)))
 
 let handle_sync t line =

@@ -5,8 +5,15 @@
     necessarily in request order (clients tag requests with ["id"] and
     match completions — see {!Proto}). Malformed lines get a
     [parse_error]/[invalid_request] response instead of killing the
-    session. [stats] requests are answered synchronously by the server
-    itself — they observe load, so they must not queue behind it.
+    session. [stats] and [metrics] requests are answered synchronously by
+    the server itself — they observe load, so they must not queue behind
+    it.
+
+    Observability: every accepted request is timed into the
+    [rvu_server_request_seconds{kind=…}] histogram and counted in the
+    [rvu_server_in_flight] gauge of the process-wide registry
+    ({!Rvu_obs.Metrics}); the [metrics] request kind exposes the whole
+    registry as a JSON snapshot or Prometheus text.
 
     The same [handle_line] entry point backs all three transports, so the
     in-process form used by tests and the [perf-serve] bench exercises
@@ -43,7 +50,11 @@ val wait_idle : t -> unit
 val stats_json : t -> Wire.t
 (** The [stats] payload: request counters, in-flight depth, result-cache
     counters ({!Lru.stats}), shared reference-stream cache counters
-    ({!Rvu_trajectory.Stream_cache.stats}), and the effective config. *)
+    ({!Rvu_trajectory.Stream_cache.stats}), a ["process"] section of
+    cumulative registry counters (since process start, never reset —
+    unlike the per-instance cache sections, these aggregate over every
+    scheduler/cache the process ever created), and the effective
+    config. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve until end-of-input, then drain outstanding requests and flush.

@@ -19,6 +19,21 @@ type result = {
   bound : Universal.guarantee;
 }
 
+(* Observability: one counter bump and one histogram sample per engine
+   run (never per interval — the detector's inner loop stays untouched),
+   plus realize/detect/bound spans when tracing is on. *)
+let m_runs =
+  Rvu_obs.Metrics.counter ~help:"Two-robot engine runs" "rvu_engine_runs_total"
+
+let m_intervals =
+  Rvu_obs.Metrics.counter
+    ~help:"Segment-pair intervals scanned by the detector"
+    "rvu_engine_intervals_total"
+
+let m_detect =
+  Rvu_obs.Metrics.histogram ~help:"Wall seconds per detector pass"
+    "rvu_engine_detect_seconds"
+
 let streams ?program inst =
   let program =
     match program with Some p -> p | None -> Universal.program ()
@@ -36,17 +51,24 @@ let streams ?program inst =
 let run_with_reference ?closed_forms ?resolution ?horizon ~reference ~program
     inst =
   let s_r' =
-    Rvu_trajectory.Realize.realize
-      (Frame.clocked inst.attributes ~displacement:inst.displacement)
-      program
+    Rvu_obs.Trace.with_span "engine.realize" (fun () ->
+        Rvu_trajectory.Realize.realize
+          (Frame.clocked inst.attributes ~displacement:inst.displacement)
+          program)
   in
+  let t0 = Rvu_obs.Clock.now_s () in
   let outcome, stats =
-    Detector.first_meeting ?closed_forms ?resolution ?horizon ~r:inst.r
-      reference s_r'
+    Rvu_obs.Trace.with_span "engine.detect" (fun () ->
+        Detector.first_meeting ?closed_forms ?resolution ?horizon ~r:inst.r
+          reference s_r')
   in
+  Rvu_obs.Metrics.observe m_detect (Rvu_obs.Clock.now_s () -. t0);
+  Rvu_obs.Metrics.incr m_runs;
+  Rvu_obs.Metrics.incr ~by:stats.Detector.intervals m_intervals;
   let bound =
-    Universal.guarantee inst.attributes ~d:(Vec2.norm inst.displacement)
-      ~r:inst.r
+    Rvu_obs.Trace.with_span "engine.bound" (fun () ->
+        Universal.guarantee inst.attributes ~d:(Vec2.norm inst.displacement)
+          ~r:inst.r)
   in
   { outcome; stats; bound }
 

@@ -12,6 +12,25 @@ type t = {
 
 type stats = { hits : int; misses : int; evictions : int }
 
+(* Process-wide mirrors of the per-cache counters, aggregated over every
+   cache instance. The per-cache fields stay authoritative for a single
+   cache's [stats]; the registry series feed the service's [metrics]
+   endpoint. Cumulative since process start. *)
+let m_hits =
+  Rvu_obs.Metrics.counter
+    ~help:"Stream-cache block reads served from realized slots"
+    "rvu_stream_cache_hits_total"
+
+let m_misses =
+  Rvu_obs.Metrics.counter
+    ~help:"Stream-cache block reads that realized the stream forward"
+    "rvu_stream_cache_misses_total"
+
+let m_evictions =
+  Rvu_obs.Metrics.counter
+    ~help:"Stream-cache block reads past the retention cap (uncached tail)"
+    "rvu_stream_cache_evictions_total"
+
 (* Placeholder for unfilled buffer slots; never observable. *)
 let dummy =
   Timed.make ~t0:0.0 ~dur:0.0
@@ -96,15 +115,18 @@ let chunk t i =
       let copy_from i = Array.sub t.buf i (min block (t.len - i)) in
       if i < t.len then begin
         t.hits <- t.hits + 1;
+        Rvu_obs.Metrics.incr m_hits;
         Segs (copy_from i)
       end
       else if t.ended then Ended
       else if i >= t.cap then begin
         t.evictions <- t.evictions + 1;
+        Rvu_obs.Metrics.incr m_evictions;
         Overflow t.tail
       end
       else begin
         t.misses <- t.misses + 1;
+        Rvu_obs.Metrics.incr m_misses;
         fill t i;
         if i < t.len then Segs (copy_from i)
         else if t.ended then Ended

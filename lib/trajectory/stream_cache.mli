@@ -44,7 +44,10 @@ val max_segments : t -> int
 
 type stats = { hits : int; misses : int; evictions : int }
 (** Block-read counters, for cache-effectiveness observability (the service
-    layer's [stats] endpoint reports them):
+    layer's [stats] endpoint reports them). Each increment is also mirrored
+    into the process-wide metrics registry ({!Rvu_obs.Metrics}) as
+    [rvu_stream_cache_{hits,misses,evictions}_total], aggregated over every
+    cache instance and cumulative since process start.
 
     - [hits] — block reads served entirely from already-realized slots;
     - [misses] — block reads that had to realize the stream forward;

@@ -105,3 +105,21 @@ SVG figure output:
   $ rvu simulate --speed 2 -d 2 -r 0.2 --svg meet.svg > /dev/null
   $ grep -c "</svg>" meet.svg
   1
+
+Tracing: sweep records Chrome trace-event spans (three engine runs, one
+detect span each), and the server rejects an unwritable trace path up
+front instead of failing at the end of the run:
+
+  $ rvu sweep --d-lo 1 --d-hi 2 --points 3 -r 0.4 --tau 0.5 --jobs 2 --trace sweep.trace.json > /dev/null
+  $ grep -c '"name":"engine.detect","cat":"rvu","ph":"B"' sweep.trace.json
+  3
+
+  $ rvu serve --jobs 1 --trace /nonexistent-dir/rvu.trace.json < /dev/null
+  rvu: cannot open trace file: /nonexistent-dir/rvu.trace.json: No such file or directory
+  [1]
+
+The metrics endpoint serves the process-wide registry over the same
+transport (values vary per run, so match the series name, not the line):
+
+  $ echo '{"id":2,"kind":"metrics","format":"prometheus"}' | rvu serve --jobs 1 | grep -c 'rvu_result_cache_hits_total'
+  1

@@ -1,0 +1,386 @@
+(* Tests for Rvu_obs: the metrics registry and the tracing sink.
+
+   The registry's contracts: identity (same (name, labels) -> same metric,
+   kind mismatch raises), exactness under concurrency (counters are atomic:
+   N domains x k increments is exactly N*k), quantile accuracy (bucketed
+   estimates within one bucket width of the true percentile; retained-
+   sample quantiles exactly Stats.percentile), and faithful exposition in
+   both Prometheus text and JSON. The tracer's contract: the file it
+   writes is one valid JSON array of Chrome trace events, ring-bounded
+   with an honest dropped count.
+
+   Metric names here are namespaced "test_obs_*" — the registry is
+   process-global and these tests share the process with every other
+   suite. *)
+
+module Metrics = Rvu_obs.Metrics
+module Trace = Rvu_obs.Trace
+module Wire = Rvu_obs.Wire
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Registry identity *)
+
+let test_registration_idempotent () =
+  let a = Metrics.counter "test_obs_idem_total" in
+  let b = Metrics.counter "test_obs_idem_total" in
+  Metrics.incr a;
+  Metrics.incr b;
+  check_int "both handles hit one cell" 2 (Metrics.counter_value a);
+  (* Labels are part of the identity, order is not. *)
+  let l1 = Metrics.counter ~labels:[ ("a", "1"); ("b", "2") ] "test_obs_lbl" in
+  let l2 = Metrics.counter ~labels:[ ("b", "2"); ("a", "1") ] "test_obs_lbl" in
+  let l3 = Metrics.counter ~labels:[ ("a", "1"); ("b", "3") ] "test_obs_lbl" in
+  Metrics.incr l1;
+  check_int "label order irrelevant" 1 (Metrics.counter_value l2);
+  check_int "different labels, different cell" 0 (Metrics.counter_value l3)
+
+let test_kind_mismatch_raises () =
+  ignore (Metrics.counter "test_obs_kind_total" : Metrics.counter);
+  check_bool "gauge over counter raises" true
+    (match Metrics.gauge "test_obs_kind_total" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "histogram over counter raises" true
+    (match Metrics.histogram "test_obs_kind_total" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency *)
+
+let test_concurrent_counter_exact () =
+  let c = Metrics.counter "test_obs_hammer_total" in
+  let domains = 4 and per_domain = 50_000 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  check_int "no lost increments" (domains * per_domain)
+    (Metrics.counter_value c)
+
+let test_concurrent_histogram_count () =
+  let h = Metrics.private_histogram () in
+  let domains = 4 and per_domain = 10_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Metrics.observe h (float_of_int ((d * per_domain) + i) *. 1e-6)
+            done))
+  in
+  List.iter Domain.join workers;
+  check_int "no lost observations" (domains * per_domain)
+    (Metrics.histogram_count h)
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles *)
+
+let test_exact_quantile_is_stats_percentile () =
+  let samples =
+    List.init 257 (fun i -> Float.of_int ((i * 7919) mod 997) /. 100.0)
+  in
+  let h =
+    Metrics.private_histogram
+      ~buckets:(Metrics.exponential_buckets ~lo:0.01 ~factor:3.0 ~count:8)
+      ~retain_samples:true ()
+  in
+  List.iter (Metrics.observe h) samples;
+  List.iter
+    (fun q ->
+      let expected = Rvu_numerics.Stats.percentile (100.0 *. q) samples in
+      check_bool
+        (Printf.sprintf "q=%g matches Stats.percentile" q)
+        true
+        (Metrics.exact_quantile h q = expected))
+    [ 0.0; 0.25; 0.5; 0.95; 0.99; 0.999; 1.0 ]
+
+(* The bucketed estimate and the true nearest-rank sample must land in the
+   same bucket, so they differ by less than that bucket's width. *)
+let prop_bucketed_quantile_error_bounded =
+  let bounds = Metrics.default_buckets in
+  let last = bounds.(Array.length bounds - 1) in
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 200) (float_bound_exclusive last))
+        (float_bound_inclusive 1.0))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"bucketed quantile within one bucket width of exact"
+    (QCheck.make gen ~print:(fun (xs, q) ->
+         Printf.sprintf "q=%g over %d samples" q (List.length xs)))
+    (fun (samples, q) ->
+      QCheck.assume (samples <> []);
+      let samples = List.map Float.abs samples in
+      let h = Metrics.private_histogram ~retain_samples:true () in
+      List.iter (Metrics.observe h) samples;
+      let est = Metrics.quantile h q in
+      let n = List.length samples in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let exact = List.nth (List.sort Float.compare samples) (rank - 1) in
+      (* Width of the bucket holding [exact]. *)
+      let i = ref 0 in
+      while !i < Array.length bounds && exact > bounds.(!i) do
+        incr i
+      done;
+      let hi = bounds.(!i) in
+      let lo = if !i = 0 then Float.min 0.0 hi else bounds.(!i - 1) in
+      if Float.abs (est -. exact) <= hi -. lo then true
+      else
+        QCheck.Test.fail_reportf
+          "estimate %.9g vs exact %.9g exceeds bucket width %.9g" est exact
+          (hi -. lo))
+
+let test_quantile_edge_cases () =
+  let h = Metrics.private_histogram () in
+  check_bool "empty histogram -> nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  check_bool "q out of range raises" true
+    (match Metrics.quantile h 1.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* Overflow samples clamp to the last finite bound. *)
+  let bounds = Metrics.default_buckets in
+  let last = bounds.(Array.length bounds - 1) in
+  Metrics.observe h (10.0 *. last);
+  check_bool "overflow clamps to last bound" true
+    (Metrics.quantile h 1.0 = last);
+  check_bool "exact_quantile without retention raises" true
+    (match Metrics.exact_quantile h 0.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Kill switch *)
+
+let test_kill_switch () =
+  let c = Metrics.counter "test_obs_switch_total" in
+  let h =
+    Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test_obs_switch_seconds"
+  in
+  let p = Metrics.private_histogram ~retain_samples:true () in
+  Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled true)
+    (fun () ->
+      Metrics.incr c;
+      Metrics.observe h 1.5;
+      Metrics.observe p 1.5;
+      check_int "counter silenced" 0 (Metrics.counter_value c);
+      check_int "registry histogram silenced" 0 (Metrics.histogram_count h);
+      check_int "private histogram keeps recording" 1
+        (Metrics.histogram_count p));
+  Metrics.incr c;
+  check_int "recording resumes" 1 (Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* Exposition *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_exposition () =
+  let c =
+    Metrics.counter ~help:"An exposition test counter"
+      ~labels:[ ("kind", "demo") ] "test_obs_expo_total"
+  in
+  Metrics.incr ~by:3 c;
+  let h = Metrics.histogram ~buckets:[| 0.5; 1.0 |] "test_obs_expo_seconds" in
+  Metrics.observe h 0.25;
+  Metrics.observe h 0.75;
+  Metrics.observe h 99.0;
+  let text = Metrics.expose () in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "exposition contains %S" needle) true
+        (contains ~needle text))
+    [
+      "# HELP test_obs_expo_total An exposition test counter";
+      "# TYPE test_obs_expo_total counter";
+      "test_obs_expo_total{kind=\"demo\"} 3";
+      "# TYPE test_obs_expo_seconds histogram";
+      "test_obs_expo_seconds_bucket{le=\"0.5\"} 1";
+      "test_obs_expo_seconds_bucket{le=\"1.0\"} 2";
+      "test_obs_expo_seconds_bucket{le=\"+Inf\"} 3";
+      "test_obs_expo_seconds_sum 100.0";
+      "test_obs_expo_seconds_count 3";
+    ]
+
+let test_json_snapshot () =
+  let c = Metrics.counter "test_obs_json_total" in
+  Metrics.incr ~by:7 c;
+  (* The document must survive its own printer: parse (print (json ())). *)
+  let doc = Result.get_ok (Wire.parse (Wire.print (Metrics.json ()))) in
+  let metrics =
+    match Wire.member "metrics" doc with
+    | Some (Wire.List l) -> l
+    | _ -> Alcotest.fail "json (): no metrics list"
+  in
+  let entry =
+    List.find
+      (fun m -> Wire.member "name" m = Some (Wire.String "test_obs_json_total"))
+      metrics
+  in
+  check_bool "kind" true (Wire.member "kind" entry = Some (Wire.String "counter"));
+  check_bool "value" true (Wire.member "value" entry = Some (Wire.Int 7));
+  (* Snapshot agrees with the JSON view. *)
+  let s =
+    List.find
+      (fun (s : Metrics.sample) -> s.Metrics.name = "test_obs_json_total")
+      (Metrics.snapshot ())
+  in
+  check_bool "snapshot value" true (s.Metrics.value = Metrics.Counter 7)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_trace path =
+  match Wire.parse (read_file path) with
+  | Ok (Wire.List events) -> events
+  | Ok _ -> Alcotest.fail "trace file is not a JSON array"
+  | Error e -> Alcotest.failf "trace file: %s" (Wire.error_to_string e)
+
+let event_counts events =
+  List.fold_left
+    (fun (b, e, i) ev ->
+      match Wire.member "ph" ev with
+      | Some (Wire.String "B") -> (b + 1, e, i)
+      | Some (Wire.String "E") -> (b, e + 1, i)
+      | Some (Wire.String "i") -> (b, e, i + 1)
+      | _ -> (b, e, i))
+    (0, 0, 0) events
+
+let test_trace_file_well_formed () =
+  let path = Filename.temp_file "rvu_test" ".trace.json" in
+  check_bool "disabled by default" false (Trace.enabled ());
+  (* Disabled sites are free to call. *)
+  Trace.with_span "ignored" (fun () -> ());
+  Trace.enable ~path ();
+  check_bool "enabled" true (Trace.enabled ());
+  check_bool "double enable raises" true
+    (match Trace.enable ~path () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" (fun () -> Trace.instant "mark"));
+  let d =
+    Domain.spawn (fun () -> Trace.with_span "other-domain" (fun () -> ()))
+  in
+  Domain.join d;
+  Trace.close ();
+  Trace.close () (* idempotent *);
+  check_bool "disabled after close" false (Trace.enabled ());
+  let events = parse_trace path in
+  let b, e, i = event_counts events in
+  check_int "three spans open" 3 b;
+  check_int "three spans close" 3 e;
+  check_int "one instant plus metadata" 2 i;
+  (* Spans carry distinct tids per domain; Chrome nests by tid. *)
+  let tid_of name =
+    List.find_map
+      (fun ev ->
+        if
+          Wire.member "name" ev = Some (Wire.String name)
+          && Wire.member "ph" ev = Some (Wire.String "B")
+        then Wire.member "tid" ev
+        else None)
+      events
+  in
+  check_bool "domains get distinct tids" true
+    (tid_of "outer" <> tid_of "other-domain");
+  Sys.remove path
+
+let test_trace_ring_keeps_last () =
+  let path = Filename.temp_file "rvu_test" ".trace.json" in
+  Trace.enable ~capacity:4 ~path ();
+  for i = 1 to 10 do
+    Trace.instant (Printf.sprintf "ev%d" i)
+  done;
+  Trace.close ();
+  let events = parse_trace path in
+  (* Metadata event + the last 4 of 10 instants, oldest first. *)
+  check_int "capacity + metadata retained" 5 (List.length events);
+  let names =
+    List.filter_map
+      (fun ev ->
+        match (Wire.member "name" ev, Wire.member "cat" ev) with
+        | Some (Wire.String n), Some _ -> Some n
+        | _ -> None)
+      events
+  in
+  check_bool "last events survive, in order" true
+    (names = [ "ev7"; "ev8"; "ev9"; "ev10" ]);
+  let meta = List.hd events in
+  check_string "metadata event" "rvu.trace"
+    (match Wire.member "name" meta with
+    | Some (Wire.String s) -> s
+    | _ -> "?");
+  let dropped =
+    match Wire.member "args" meta with
+    | Some args -> Wire.member "dropped_oldest" args
+    | None -> None
+  in
+  check_bool "dropped count honest" true (dropped = Some (Wire.Int 6));
+  Sys.remove path
+
+let test_trace_unwritable_path () =
+  check_bool "unwritable path raises Sys_error at enable" true
+    (match Trace.enable ~path:"/nonexistent-dir/x.trace.json" () with
+    | _ -> false
+    | exception Sys_error _ -> true);
+  check_bool "failed enable leaves tracing off" false (Trace.enabled ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registration idempotent" `Quick
+            test_registration_idempotent;
+          Alcotest.test_case "kind mismatch raises" `Quick
+            test_kind_mismatch_raises;
+          Alcotest.test_case "concurrent counter exact" `Quick
+            test_concurrent_counter_exact;
+          Alcotest.test_case "concurrent histogram count" `Quick
+            test_concurrent_histogram_count;
+          Alcotest.test_case "kill switch" `Quick test_kill_switch;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "exact_quantile = Stats.percentile" `Quick
+            test_exact_quantile_is_stats_percentile;
+          QCheck_alcotest.to_alcotest prop_bucketed_quantile_error_bounded;
+          Alcotest.test_case "edge cases" `Quick test_quantile_edge_cases;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus text" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "json snapshot" `Quick test_json_snapshot;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "file well-formed" `Quick
+            test_trace_file_well_formed;
+          Alcotest.test_case "ring keeps the last events" `Quick
+            test_trace_ring_keeps_last;
+          Alcotest.test_case "unwritable path" `Quick
+            test_trace_unwritable_path;
+        ] );
+    ]

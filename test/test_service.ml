@@ -243,6 +243,8 @@ let test_proto_encode_decode () =
           horizon = 1e7;
         };
       Proto.Stats;
+      Proto.Metrics Proto.Metrics_json;
+      Proto.Metrics Proto.Metrics_prometheus;
     ]
   in
   List.iter
@@ -436,6 +438,93 @@ let test_server_malformed_lines () =
     (Wire.member "id" invalid = Some (Wire.String "q7"));
   Server.stop server
 
+(* ------------------------------------------------------------------ *)
+(* Metrics endpoint *)
+
+(* Pull one counter's value out of a metrics response body. *)
+let registry_counter body name =
+  match Wire.member "metrics" body with
+  | Some (Wire.List metrics) -> (
+      match
+        List.find_opt
+          (fun m -> Wire.member "name" m = Some (Wire.String name))
+          metrics
+      with
+      | Some m -> (
+          match Wire.member "value" m with
+          | Some (Wire.Int v) -> v
+          | _ -> Alcotest.failf "metric %s has no integer value" name)
+      | None -> Alcotest.failf "metric %s not in the registry" name)
+  | _ -> Alcotest.fail "metrics response lacks a metrics list"
+
+let test_server_metrics_endpoint () =
+  let config =
+    { Server.jobs = 1; queue_depth = 8; cache_entries = 8; timeout_ms = None }
+  in
+  let server = Server.create ~config () in
+  let metrics () =
+    match
+      Wire.member "ok"
+        (Result.get_ok
+           (Wire.parse (Server.handle_sync server {|{"kind":"metrics"}|})))
+    with
+    | Some body -> body
+    | None -> Alcotest.fail "metrics request failed"
+  in
+  let before = metrics () in
+  (* One cold feasibility (cache miss, admitted to the pool) and one warm
+     repeat (cache hit, never admitted). *)
+  let line = {|{"kind":"feasibility","v":3.5,"id":1}|} in
+  ignore (Server.handle_sync server line : string);
+  ignore (Server.handle_sync server line : string);
+  let after = metrics () in
+  let delta name = registry_counter after name - registry_counter before name in
+  check_int "one result-cache miss" 1 (delta "rvu_result_cache_misses_total");
+  check_int "one result-cache hit" 1 (delta "rvu_result_cache_hits_total");
+  check_int "only the miss was admitted" 1 (delta "rvu_sched_admitted_total");
+  check_int "nothing shed" 0 (delta "rvu_sched_shed_total");
+  (* The stats endpoint's cumulative process section reads the same
+     registry: the two views must agree when the server is quiet. *)
+  let stats = Server.stats_json server in
+  let process name =
+    int_of_float (float_member [ "process"; name ] stats)
+  in
+  check_int "stats process section agrees on admitted"
+    (registry_counter after "rvu_sched_admitted_total")
+    (process "sched_admitted");
+  check_int "stats process section agrees on result-cache hits"
+    (registry_counter after "rvu_result_cache_hits_total")
+    (process "result_cache_hits");
+  (* Simulations move the engine-run counter, and it shows up here too. *)
+  ignore (Server.handle_sync server (simulate_line ~id:9 1.25) : string);
+  let final = metrics () in
+  check_bool "engine runs advanced by the simulate" true
+    (registry_counter final "rvu_engine_runs_total"
+     - registry_counter after "rvu_engine_runs_total"
+    >= 1);
+  (* Prometheus format: same registry, text exposition in a JSON string. *)
+  let prom =
+    Result.get_ok
+      (Wire.parse
+         (Server.handle_sync server {|{"kind":"metrics","format":"prometheus"}|}))
+  in
+  (match Wire.member "ok" prom with
+  | Some (Wire.String text) ->
+      check_bool "exposition has TYPE headers" true
+        (String.length text > 0
+        && String.split_on_char '\n' text
+           |> List.exists (fun l ->
+                  String.length l > 7 && String.sub l 0 7 = "# TYPE "))
+  | _ -> Alcotest.fail "prometheus metrics body is not a string");
+  (* Unknown formats are rejected at decode time. *)
+  let bad =
+    Result.get_ok
+      (Wire.parse (Server.handle_sync server {|{"kind":"metrics","format":"xml"}|}))
+  in
+  check_bool "unknown format rejected" true
+    (error_code bad = Some "invalid_request");
+  Server.stop server
+
 let () =
   Alcotest.run "service"
     [
@@ -479,5 +568,7 @@ let () =
           Alcotest.test_case "queue-wait timeout" `Quick test_server_timeout;
           Alcotest.test_case "malformed lines answered" `Quick
             test_server_malformed_lines;
+          Alcotest.test_case "metrics endpoint reconciles" `Quick
+            test_server_metrics_endpoint;
         ] );
     ]
