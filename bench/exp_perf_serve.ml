@@ -36,6 +36,7 @@ let workload =
             r = 0.01;
             horizon = 1e13;
             algorithm4 = false;
+            transform = Rvu_core.Symmetry.identity;
           }
       in
       Wire.print
@@ -61,6 +62,7 @@ let flood_lines n =
             r = 0.01;
             horizon = 1e13;
             algorithm4 = false;
+            transform = Rvu_core.Symmetry.identity;
           }
       in
       Wire.print
@@ -89,6 +91,7 @@ let run () =
   (* Cold, then warm, against the same server. *)
   let config =
     {
+      Server.default_config with
       Server.jobs;
       queue_depth = 2 * Array.length workload;
       cache_entries = 256;
@@ -115,7 +118,7 @@ let run () =
 
   (* Overload probe: one worker, depth 2, 12 distinct requests at once. *)
   let overload_config =
-    { Server.jobs = 1; queue_depth = 2; cache_entries = 0; timeout_ms = None }
+    { Server.default_config with Server.jobs = 1; queue_depth = 2; cache_entries = 0; timeout_ms = None }
   in
   let overload_server = Server.create ~config:overload_config () in
   let overload = run_pass overload_server (flood_lines 12) in

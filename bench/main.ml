@@ -27,6 +27,8 @@
                       writes BENCH_2.json
      perf-obs       — observability overhead (metrics off/on/traced);
                       writes BENCH_3.json
+     perf-verify    — verification campaign throughput (symmetry + faults);
+                      writes BENCH_4.json
 
    --trace FILE records Chrome trace-event spans for the whole run. *)
 
@@ -51,6 +53,7 @@ let all : (string * (unit -> unit)) list =
     ("perf-batch", Exp_perf_batch.run);
     ("perf-serve", Exp_perf_serve.run);
     ("perf-obs", Exp_perf_obs.run);
+    ("perf-verify", Exp_perf_verify.run);
   ]
 
 let () =

@@ -486,19 +486,32 @@ let timeout_arg =
            still queued past it fail with a $(i,timeout) error. Values <= 0 \
            or absent mean no default timeout.")
 
-let service_config jobs queue_depth cache_entries timeout_ms =
+let max_request_bytes_arg =
+  Arg.(
+    value
+    & opt positive_int Rvu_service.Server.default_config.max_request_bytes
+    & info
+        [ "max-request-bytes" ]
+        ~docv:"N"
+        ~doc:
+          "Reject request lines longer than this many bytes with a \
+           structured $(i,invalid_request) error (they are never parsed).")
+
+let service_config jobs queue_depth cache_entries timeout_ms max_request_bytes
+    =
   {
     Rvu_service.Server.jobs;
     queue_depth;
     cache_entries = max 0 cache_entries;
     timeout_ms =
       (match timeout_ms with Some ms when ms > 0.0 -> Some ms | _ -> None);
+    max_request_bytes;
   }
 
 let config_term =
   Term.(
     const service_config $ service_jobs_arg $ queue_depth_arg
-    $ cache_entries_arg $ timeout_arg)
+    $ cache_entries_arg $ timeout_arg $ max_request_bytes_arg)
 
 let resolve_host host =
   try Unix.inet_addr_of_string host
@@ -509,8 +522,42 @@ let resolve_host host =
         Format.eprintf "rvu: cannot resolve host %S@." host;
         exit 1)
 
-let serve config tcp_port host connections trace =
+let inject_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i when i > 0 -> (
+        let site = String.sub s 0 i in
+        let prob = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt prob with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok (site, p)
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "expected SITE=PROB with PROB in [0, 1], got %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "expected SITE=PROB, got %S" s))
+  in
+  Arg.conv ~docv:"SITE=PROB"
+    (parse, fun ppf (s, p) -> Format.fprintf ppf "%s=%g" s p)
+
+let inject_arg =
+  Arg.(
+    value & opt_all inject_conv []
+    & info [ "inject" ] ~docv:"SITE=PROB"
+        ~doc:
+          "Arm the deterministic fault injector: fire the named injection \
+           site (e.g. $(i,server.torn_frame), $(i,handler.crash)) with the \
+           given probability. Repeatable. Off unless given.")
+
+let inject_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "inject-seed" ] ~docv:"N"
+        ~doc:"Seed for the fault injector's deterministic decisions.")
+
+let serve config tcp_port host connections trace inject inject_seed =
   with_trace trace @@ fun () ->
+  if inject <> [] then Rvu_obs.Fault.arm ~seed:inject_seed inject;
   let server = Rvu_service.Server.create ~config () in
   (match tcp_port with
   | Some port ->
@@ -547,7 +594,9 @@ let serve_cmd =
        ~doc:
          "Run the evaluation server: one JSON request per line in, one JSON \
           response per line out (see DESIGN.md for the protocol).")
-    Term.(const serve $ config_term $ tcp $ host $ connections $ trace_arg)
+    Term.(
+      const serve $ config_term $ tcp $ host $ connections $ trace_arg
+      $ inject_arg $ inject_seed_arg)
 
 let loadgen_tcp lg ~host ~port ~rate =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -658,6 +707,66 @@ let loadgen_cmd =
       $ fail_on_error)
 
 (* ------------------------------------------------------------------ *)
+(* verify *)
+
+let verify campaign seed cases report_path =
+  match Rvu_verify.Campaign.of_name campaign with
+  | None ->
+      Format.eprintf "rvu verify: unknown campaign %S (known: %s)@." campaign
+        (String.concat ", " Rvu_verify.Campaign.names);
+      exit 2
+  | Some run ->
+      let report = run ~seed ~cases in
+      print_string (Rvu_verify.Campaign.summary report);
+      (match report_path with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Rvu_service.Wire.print_hum report.Rvu_verify.Campaign.json);
+          close_out oc;
+          Printf.printf "(report written to %s)\n" path);
+      if report.Rvu_verify.Campaign.violations <> [] then exit 1
+
+let verify_cmd =
+  let campaign =
+    Arg.(
+      value & opt string "all"
+      & info [ "campaign" ] ~docv:"NAME"
+          ~doc:
+            "Which campaign to run: $(i,symmetry) (metamorphic oracles \
+             through engine, batch and server), $(i,faults) (deterministic \
+             fault injection across the service stack), or $(i,all).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed. The case list and every injection decision are \
+             a pure function of the seed and case count.")
+  in
+  let cases =
+    Arg.(
+      value & opt positive_int 100
+      & info [ "cases" ] ~docv:"N" ~doc:"Cases per campaign.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the full JSON report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run verification campaigns: metamorphic symmetry oracles and \
+          deterministic fault injection. Exits non-zero on any invariant \
+          violation.")
+    Term.(const verify $ campaign $ seed $ cases $ report)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -670,5 +779,5 @@ let () =
                 simulator and analytic bounds.")
           [
             simulate_cmd; search_cmd; feasibility_cmd; schedule_cmd; bound_cmd;
-            sweep_cmd; gather_cmd; serve_cmd; loadgen_cmd;
+            sweep_cmd; gather_cmd; serve_cmd; loadgen_cmd; verify_cmd;
           ]))

@@ -1,0 +1,55 @@
+open Rvu_geom
+module Segment = Rvu_trajectory.Segment
+
+type t = { rotate : float; mirror : bool; scale : float }
+
+let identity = { rotate = 0.0; mirror = false; scale = 1.0 }
+
+let make ?(rotate = 0.0) ?(mirror = false) ?(scale = 1.0) () =
+  if not (Float.is_finite scale && scale > 0.0) then
+    invalid_arg "Symmetry.make: scale must be positive and finite";
+  if not (Float.is_finite rotate) then
+    invalid_arg "Symmetry.make: rotate must be finite";
+  { rotate; mirror; scale }
+
+let is_identity g = g.rotate = 0.0 && (not g.mirror) && g.scale = 1.0
+
+let conformal g =
+  Conformal.make ~scale:g.scale ~angle:g.rotate ~reflect:g.mirror ()
+
+let time_factor g = g.scale
+
+let map_program g program =
+  let c = conformal g in
+  Seq.map
+    (fun seg ->
+      match Segment.map c seg with
+      | Segment.Wait { pos; dur } ->
+          (* Segment.map keeps wait durations (it maps geometry only);
+             the joint dilation stretches waits by the scale too. *)
+          Segment.wait ~at:pos ~dur:(dur *. g.scale)
+      | seg -> seg)
+    program
+
+let map_attributes g (a : Attributes.t) =
+  let psi = g.rotate in
+  let phi =
+    match (g.mirror, a.chi) with
+    | false, Attributes.Same -> a.phi
+    | false, Attributes.Opposite -> a.phi +. (2.0 *. psi)
+    | true, Attributes.Same -> -.a.phi
+    | true, Attributes.Opposite -> (2.0 *. psi) -. a.phi
+  in
+  Attributes.make ~v:a.v ~tau:a.tau ~phi ~chi:a.chi ()
+
+let map_bearing g theta =
+  g.rotate +. (if g.mirror then -.theta else theta)
+
+let equal ?(tol = 0.0) a b =
+  Float.abs (a.rotate -. b.rotate) <= tol
+  && a.mirror = b.mirror
+  && Float.abs (a.scale -. b.scale) <= tol
+
+let pp ppf g =
+  Format.fprintf ppf "@[<h>{rotate = %g; mirror = %b; scale = %g}@]" g.rotate
+    g.mirror g.scale

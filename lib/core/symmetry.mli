@@ -1,0 +1,67 @@
+(** The symmetry group of the rendezvous problem, as a metamorphic oracle.
+
+    The paper's statements are invariant under re-expressing the whole
+    problem in a different reference frame: rotate the plane, mirror it,
+    and rescale distance and time {e jointly} (so speeds are preserved).
+    Concretely, for a transform [g = (rotate ψ, mirror m, scale σ)] with
+    linear part [M = R(ψ)·F(m)] and conformal map [C = σ·M]:
+
+    - the common program [S] becomes its similarity image [S_g = C·S]
+      with wait durations multiplied by [σ];
+    - the hidden attributes conjugate, [A' = M·A·M⁻¹] — which fixes [v],
+      [τ] and [χ] and moves only the compass offset [φ] (see
+      {!map_attributes});
+    - the geometry maps by [C]: [d' = σd], the bearing reflects and
+      rotates, [r' = σr].
+
+    Then both realised trajectories satisfy [R_g(t) = C·R(t/σ)], so the
+    inter-robot distance obeys [dist_g(t) = σ·dist(t/σ)]: feasibility is
+    preserved exactly and every rendezvous time rescales by the factor
+    [σ] ({!time_factor}). The verification campaigns
+    ({!Rvu_verify.Oracle}) check this prediction end-to-end through the
+    engine, the batch layer and the server. *)
+
+type t = private {
+  rotate : float;  (** rotation ψ, applied after the mirror *)
+  mirror : bool;  (** reflection about the x-axis, applied first *)
+  scale : float;  (** joint space/time dilation σ, > 0 *)
+}
+
+val identity : t
+
+val make : ?rotate:float -> ?mirror:bool -> ?scale:float -> unit -> t
+(** Defaults give the identity. Raises [Invalid_argument] unless [scale]
+    is positive and finite and [rotate] is finite. *)
+
+val is_identity : t -> bool
+(** Structural identity (rotate 0, no mirror, scale 1) — used to keep the
+    untransformed fast paths untouched. *)
+
+val conformal : t -> Rvu_geom.Conformal.t
+(** The plane map [C = σ·R(ψ)·F(m)] (no offset). *)
+
+val time_factor : t -> float
+(** The factor by which every time (rendezvous time, horizon) rescales:
+    equal to [scale], because the dilation is joint. *)
+
+val map_program : t -> Rvu_trajectory.Program.t -> Rvu_trajectory.Program.t
+(** Similarity image of the program: each segment's geometry maps by
+    {!conformal} (which scales the implied durations of lines and arcs),
+    and wait durations are multiplied by [scale] explicitly. Lazy —
+    safe on infinite programs. *)
+
+val map_attributes : t -> Attributes.t -> Attributes.t
+(** Conjugation [A' = M·A·M⁻¹]: [v], [τ], [χ] unchanged; [φ] becomes
+    - [φ] if no mirror and [χ = Same],
+    - [φ + 2ψ] if no mirror and [χ = Opposite],
+    - [−φ] if mirrored and [χ = Same],
+    - [2ψ − φ] if mirrored and [χ = Opposite]
+    (normalised to [[0, 2π)] by {!Attributes.make}). In particular
+    whether [φ = 0] — the quantity Theorem 4's feasibility classification
+    depends on — is preserved. *)
+
+val map_bearing : t -> float -> float
+(** Image of a direction: [θ ↦ ψ + (if mirror then −θ else θ)]. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

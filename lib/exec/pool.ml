@@ -74,6 +74,13 @@ module Persistent = struct
     Rvu_obs.Metrics.histogram ~help:"Wall seconds per executed pool task"
       "rvu_pool_task_seconds"
 
+  let m_task_exceptions =
+    Rvu_obs.Metrics.counter
+      ~help:"Pool tasks that raised (swallowed to keep the worker alive)"
+      "rvu_pool_task_exceptions_total"
+
+  let fault_task_crash = Rvu_obs.Fault.site "pool.task_crash"
+
   let worker t =
     let rec next () =
       if Queue.is_empty t.queue then
@@ -96,7 +103,10 @@ module Persistent = struct
           (* Tasks own their error handling; a raising task must not take
              the worker domain down with it. *)
           let t0 = Rvu_obs.Clock.now_s () in
-          (try task () with _ -> ());
+          (try
+             Rvu_obs.Fault.crash fault_task_crash "worker task";
+             task ()
+           with _ -> Rvu_obs.Metrics.incr m_task_exceptions);
           Rvu_obs.Metrics.observe m_task_wall (Rvu_obs.Clock.now_s () -. t0);
           loop ()
     in

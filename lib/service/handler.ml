@@ -62,18 +62,26 @@ let simulate (s : Proto.simulate) =
     Rvu_sim.Engine.instance ~attributes:s.Proto.attrs ~displacement
       ~r:s.Proto.r
   in
-  let program =
+  let base_program () =
     if s.Proto.algorithm4 then Rvu_search.Algorithm4.program ()
     else Universal.program ()
   in
-  let reference = reference_stream ~algorithm4:s.Proto.algorithm4 in
+  let identity = Symmetry.is_identity s.Proto.transform in
   let res =
-    Rvu_sim.Engine.run_with_reference ~horizon:s.Proto.horizon ~reference
-      ~program inst
+    if identity then
+      (* The shared reference stream is only valid for the untransformed
+         program; keep that fast path exactly as before. *)
+      Rvu_sim.Engine.run_with_reference ~horizon:s.Proto.horizon
+        ~reference:(reference_stream ~algorithm4:s.Proto.algorithm4)
+        ~program:(base_program ()) inst
+    else
+      Rvu_sim.Engine.run ~horizon:s.Proto.horizon
+        ~program:(Symmetry.map_program s.Proto.transform (base_program ()))
+        inst
   in
   let phase =
     match res.Rvu_sim.Engine.outcome with
-    | Rvu_sim.Detector.Hit t when not s.Proto.algorithm4 -> (
+    | Rvu_sim.Detector.Hit t when (not s.Proto.algorithm4) && identity -> (
         match Phases.phase_at t with
         | Some (n, p) ->
             Wire.Obj

@@ -42,6 +42,7 @@ let mix ~seed n =
                 r = 0.5;
                 horizon = 1e7;
                 algorithm4 = false;
+                transform = Rvu_core.Symmetry.identity;
               }
         | 1 -> Proto.Feasibility (Attributes.make ~v:2.0 ())
         | 2 ->
@@ -58,6 +59,7 @@ let mix ~seed n =
                 r = 0.5;
                 horizon = 1e7;
                 algorithm4 = false;
+                transform = Rvu_core.Symmetry.identity;
               }
         | 6 ->
             Proto.Batch
@@ -81,6 +83,7 @@ let mix ~seed n =
                 r = 0.5;
                 horizon = 1e7;
                 algorithm4 = false;
+                transform = Rvu_core.Symmetry.identity;
               }
       in
       Wire.print (Proto.wire_of_request ~id:(Wire.Int (i + 1)) request))

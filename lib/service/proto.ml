@@ -21,6 +21,7 @@ type simulate = {
   r : float;
   horizon : float;
   algorithm4 : bool;
+  transform : Symmetry.t;
 }
 
 type search = { d : float; bearing : float; r : float; horizon : float }
@@ -114,13 +115,28 @@ let instance_of w =
   if not (Float.is_finite bearing) then Error "field \"bearing\": must be finite"
   else Ok (d, bearing, r, horizon)
 
+let transform_of w =
+  match Wire.member "transform" w with
+  | None | Some Wire.Null -> Ok Symmetry.identity
+  | Some (Wire.Obj _ as tw) ->
+      let* rotate = opt tw "rotate" float_field ~default:0.0 in
+      let* mirror = opt tw "mirror" bool_field ~default:false in
+      let* scale =
+        positive "transform.scale" (opt tw "scale" float_field ~default:1.0)
+      in
+      if not (Float.is_finite rotate) then
+        Error "field \"transform.rotate\": must be finite"
+      else Ok (Symmetry.make ~rotate ~mirror ~scale ())
+  | Some v -> typed "transform" "an object" v
+
 let body_of_wire w kind =
   match kind with
   | "simulate" ->
       let* attrs = attrs_of w in
       let* d, bearing, r, horizon = instance_of w in
       let* algorithm4 = opt w "algorithm4" bool_field ~default:false in
-      Ok (Simulate { attrs; d; bearing; r; horizon; algorithm4 })
+      let* transform = transform_of w in
+      Ok (Simulate { attrs; d; bearing; r; horizon; algorithm4; transform })
   | "search" ->
       let* d, bearing, r, horizon = instance_of w in
       Ok (Search { d; bearing; r; horizon })
@@ -213,6 +229,20 @@ let body_fields = function
             ("r", Wire.Float s.r);
             ("horizon", Wire.Float s.horizon);
             ("algorithm4", Wire.Bool s.algorithm4);
+          ]
+        @
+        (* Identity transforms are omitted so pre-transform request lines
+           keep their exact canonical cache keys. *)
+        if Symmetry.is_identity s.transform then []
+        else
+          [
+            ( "transform",
+              Wire.Obj
+                [
+                  ("rotate", Wire.Float s.transform.Symmetry.rotate);
+                  ("mirror", Wire.Bool s.transform.Symmetry.mirror);
+                  ("scale", Wire.Float s.transform.Symmetry.scale);
+                ] );
           ] )
   | Search s ->
       ( "search",

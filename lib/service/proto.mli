@@ -34,6 +34,14 @@ type simulate = {
   r : float;
   horizon : float;
   algorithm4 : bool;
+  transform : Rvu_core.Symmetry.t;
+      (** frame transform applied to the {e program} (the geometry fields
+          above are taken as already transformed). Wire form: optional
+          nested object [{"transform":{"rotate":ψ,"mirror":m,"scale":σ}}],
+          default identity; identity is omitted on encode so existing
+          request lines keep their canonical cache keys. The verify
+          campaigns use this to push metamorphic cases through a live
+          server. *)
 }
 
 type search = { d : float; bearing : float; r : float; horizon : float }

@@ -28,6 +28,14 @@ let m_queue_wait =
     ~help:"Seconds between admission and worker pickup"
     "rvu_sched_queue_wait_seconds"
 
+(* Injection points (Rvu_obs.Fault, disarmed in production): forced shed
+   and forced timeout take the existing degraded paths; handler.crash
+   raises inside the handler's try scope to prove arbitrary handler
+   failure still yields a structured [internal] error. *)
+let fault_force_shed = Rvu_obs.Fault.site "sched.force_shed"
+let fault_force_timeout = Rvu_obs.Fault.site "sched.force_timeout"
+let fault_handler_crash = Rvu_obs.Fault.site "handler.crash"
+
 let create ?jobs ?(queue_depth = 64) ?(cache_entries = 256) ?timeout_ms () =
   if queue_depth < 1 then invalid_arg "Sched.create: queue_depth < 1";
   let jobs =
@@ -54,7 +62,15 @@ let submit t (env : Proto.envelope) ~k =
   match Lru.find t.cache key with
   | Some cached -> k (Ok cached)
   | None ->
-      if Atomic.fetch_and_add t.in_flight 1 >= t.queue_depth then begin
+      if Rvu_obs.Fault.fire fault_force_shed then begin
+        Rvu_obs.Metrics.incr m_shed;
+        k
+          (Error
+             ( Proto.Overloaded,
+               Printf.sprintf "pending queue is full (depth %d)" t.queue_depth
+             ))
+      end
+      else if Atomic.fetch_and_add t.in_flight 1 >= t.queue_depth then begin
         (* Shed: the pending queue is full. Decrement before replying so a
            draining queue immediately re-opens admission. *)
         Atomic.decr t.in_flight;
@@ -84,8 +100,17 @@ let submit t (env : Proto.envelope) ~k =
                     ( Proto.Timeout,
                       "request exceeded its queue-wait budget before a \
                        worker picked it up" )
+              | _ when Rvu_obs.Fault.fire fault_force_timeout ->
+                  Rvu_obs.Metrics.incr m_timeout;
+                  Error
+                    ( Proto.Timeout,
+                      "request exceeded its queue-wait budget before a \
+                       worker picked it up" )
               | _ -> (
-                  match Handler.run env.Proto.request with
+                  match
+                    Rvu_obs.Fault.crash fault_handler_crash "request handler";
+                    Handler.run env.Proto.request
+                  with
                   | v ->
                       Lru.add t.cache key v;
                       Ok v

@@ -3,6 +3,7 @@ type config = {
   queue_depth : int;
   cache_entries : int;
   timeout_ms : float option;
+  max_request_bytes : int;
 }
 
 let default_config =
@@ -11,7 +12,14 @@ let default_config =
     queue_depth = 64;
     cache_entries = 256;
     timeout_ms = None;
+    max_request_bytes = 1_048_576;
   }
+
+(* Injection points (Rvu_obs.Fault): a torn NDJSON frame must surface as a
+   structured parse error, a dropped connection mid-write must not take the
+   serving loop down. *)
+let fault_torn_frame = Rvu_obs.Fault.site "server.torn_frame"
+let fault_drop_conn = Rvu_obs.Fault.site "server.drop_conn"
 
 type t = {
   sched : Sched.t;
@@ -183,6 +191,24 @@ let stats_json t =
 (* Request path *)
 
 let handle_line t line ~respond =
+  let line =
+    (* Injected torn frame: the transport delivered only a prefix of the
+       request. A strict prefix of a JSON object is invalid, so this must
+       fall into the parse-error path below, never crash or hang. *)
+    if Rvu_obs.Fault.fire fault_torn_frame then
+      String.sub line 0 (String.length line / 2)
+    else line
+  in
+  if String.length line > t.config.max_request_bytes then begin
+    count t `Error;
+    respond
+      (Wire.print
+         (Proto.error_response ~id:Wire.Null Proto.Invalid_request
+            (Printf.sprintf
+               "request line of %d bytes exceeds the %d byte limit"
+               (String.length line) t.config.max_request_bytes)))
+  end
+  else
   match Wire.parse line with
   | Error e ->
       count t `Error;
@@ -269,6 +295,9 @@ let serve_channels t ic oc =
   let respond line =
     Mutex.lock out_lock;
     (try
+       (* Injected connection drop: the client vanished between accept and
+          response. The write path must swallow it like a real EPIPE. *)
+       if Rvu_obs.Fault.fire fault_drop_conn then raise Exit;
        output_string oc line;
        output_char oc '\n';
        flush oc

@@ -25,11 +25,16 @@ type config = {
   queue_depth : int;  (** admission bound; past it requests are shed *)
   cache_entries : int;  (** LRU capacity; [0] disables result caching *)
   timeout_ms : float option;  (** default per-request queue-wait budget *)
+  max_request_bytes : int;
+      (** request lines longer than this are rejected up front with a
+          structured [invalid_request] error (they are never parsed, so a
+          hostile client cannot make the server materialise an arbitrary
+          JSON document) *)
 }
 
 val default_config : config
 (** [{jobs = recommended; queue_depth = 64; cache_entries = 256;
-    timeout_ms = None}]. *)
+    timeout_ms = None; max_request_bytes = 1_048_576}]. *)
 
 type t
 

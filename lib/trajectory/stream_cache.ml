@@ -31,6 +31,8 @@ let m_evictions =
     ~help:"Stream-cache block reads past the retention cap (uncached tail)"
     "rvu_stream_cache_evictions_total"
 
+let fault_force_evict = Rvu_obs.Fault.site "stream_cache.force_evict"
+
 (* Placeholder for unfilled buffer slots; never observable. *)
 let dummy =
   Timed.make ~t0:0.0 ~dur:0.0
@@ -120,6 +122,16 @@ let chunk t i =
       end
       else if t.ended then Ended
       else if i >= t.cap then begin
+        t.evictions <- t.evictions + 1;
+        Rvu_obs.Metrics.incr m_evictions;
+        Overflow t.tail
+      end
+      else if i = t.len && Rvu_obs.Fault.fire fault_force_evict then begin
+        (* Forced eviction: hand out the uncached remainder as if the cap
+           had been hit. Only sound at the frontier ([i = t.len]), where
+           [t.tail] is exactly the stream at position [i] — the consumer
+           replays the same pure segments uncached, so results stay
+           bit-identical. *)
         t.evictions <- t.evictions + 1;
         Rvu_obs.Metrics.incr m_evictions;
         Overflow t.tail

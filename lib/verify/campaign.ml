@@ -1,0 +1,514 @@
+module Rng = Rvu_workload.Rng
+module Scenario = Rvu_workload.Scenario
+module Engine = Rvu_sim.Engine
+module Wire = Rvu_service.Wire
+module Proto = Rvu_service.Proto
+module Server = Rvu_service.Server
+module Fault = Rvu_obs.Fault
+module Metrics = Rvu_obs.Metrics
+
+type report = {
+  campaign : string;
+  seed : int;
+  cases : int;
+  violations : string list;
+  borderline : int;
+  json : Wire.t;
+}
+
+let counter_by_name name = Metrics.counter_value (Metrics.counter name)
+
+let violations_json vs =
+  (* Cap the listed detail; the count is always exact. *)
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  Wire.List (List.map (fun v -> Wire.String v) (take 20 vs))
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry campaign *)
+
+let symmetry_cases ~seed ~cases =
+  let rng = Rng.create ~seed:(Int64.of_int seed) in
+  List.init cases (fun _ -> Oracle.random_case rng)
+
+let symmetry ~seed ~cases =
+  let case_list = symmetry_cases ~seed ~cases in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.jobs = 2;
+          queue_depth = cases + 8;
+          cache_entries = 0;
+          timeout_ms = None;
+        }
+      ()
+  in
+  let server_sync = Server.handle_sync server in
+  let hits = ref 0 in
+  let violations = ref [] in
+  let borderline = ref [] in
+  let per_family = Hashtbl.create 8 in
+  List.iter
+    (fun case ->
+      let tag fmt =
+        Printf.ksprintf
+          (fun m ->
+            Printf.sprintf "%s [case %s]" m
+              (Wire.print (Oracle.case_json case)))
+          fmt
+      in
+      let c = Oracle.check_symmetry ~server_sync case in
+      if c.Oracle.hit then incr hits;
+      let fam = Scenario.family_name case.Oracle.family in
+      Hashtbl.replace per_family fam
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_family fam));
+      violations :=
+        !violations @ List.map (fun v -> tag "%s" v) c.Oracle.violations;
+      borderline :=
+        !borderline @ List.map (fun v -> tag "%s" v) c.Oracle.borderline)
+    case_list;
+  Server.stop server;
+  let families =
+    List.filter_map
+      (fun f ->
+        let name = Scenario.family_name f in
+        Option.map (fun n -> (name, Wire.Int n)) (Hashtbl.find_opt per_family name))
+      Scenario.families
+  in
+  let json =
+    Wire.Obj
+      [
+        ("campaign", Wire.String "symmetry");
+        ("seed", Wire.Int seed);
+        ("cases", Wire.Int cases);
+        ("hits", Wire.Int !hits);
+        ("horizons", Wire.Int (cases - !hits));
+        ("families", Wire.Obj families);
+        ("paths", Wire.List [ Wire.String "engine"; Wire.String "batch"; Wire.String "server" ]);
+        ("violations", Wire.Int (List.length !violations));
+        ("borderline", Wire.Int (List.length !borderline));
+        ("violation_detail", violations_json !violations);
+        ("borderline_detail", violations_json !borderline);
+      ]
+  in
+  {
+    campaign = "symmetry";
+    seed;
+    cases;
+    violations = !violations;
+    borderline = List.length !borderline;
+    json;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fault campaign *)
+
+(* Each phase arms exactly one site family, drives the component, then
+   reconciles: injected counts (from the Fault registry) must equal the
+   observed degradations (structured error responses, metric deltas),
+   and nothing may crash, hang or change an answer. *)
+
+type phase_result = {
+  phase : string;
+  injected : (string * int) list;
+  checks : (string * bool * string) list; (* name, ok, detail *)
+}
+
+let phase_json p =
+  Wire.Obj
+    [
+      ("phase", Wire.String p.phase);
+      ("injected", Wire.Obj (List.map (fun (s, n) -> (s, Wire.Int n)) p.injected));
+      ( "checks",
+        Wire.List
+          (List.map
+             (fun (name, ok, detail) ->
+               Wire.Obj
+                 [
+                   ("check", Wire.String name);
+                   ("ok", Wire.Bool ok);
+                   ("detail", Wire.String detail);
+                 ])
+             p.checks) );
+    ]
+
+let phase_violations p =
+  List.filter_map
+    (fun (name, ok, detail) ->
+      if ok then None
+      else Some (Printf.sprintf "faults/%s: %s (%s)" p.phase name detail))
+    p.checks
+
+let check name ~expect ~got =
+  (name, expect = got, Printf.sprintf "expected %d, got %d" expect got)
+
+(* Worker-task crashes: the pool must survive them, account for them, and
+   still drain cleanly. Exercised standalone — a crashed task through the
+   scheduler would orphan its reply continuation by design, which is the
+   pool's documented contract, not a service-path degradation. *)
+let pool_phase ~seed ~cases =
+  let site = Fault.site "pool.task_crash" in
+  let exceptions_before = counter_by_name "rvu_pool_task_exceptions_total" in
+  Fault.arm ~seed [ ("pool.task_crash", 0.3) ];
+  let pool = Rvu_exec.Pool.Persistent.start ~jobs:4 in
+  let executed = Atomic.make 0 in
+  for _ = 1 to cases do
+    Rvu_exec.Pool.Persistent.submit pool (fun () -> Atomic.incr executed)
+  done;
+  Rvu_exec.Pool.Persistent.stop pool;
+  Fault.disarm ();
+  let injected = Fault.injected_count site in
+  let exceptions = counter_by_name "rvu_pool_task_exceptions_total" - exceptions_before in
+  {
+    phase = "pool";
+    injected = [ ("pool.task_crash", injected) ];
+    checks =
+      [
+        check "every task executed or crashed" ~expect:cases
+          ~got:(Atomic.get executed + injected);
+        check "task-exception counter reconciles" ~expect:injected
+          ~got:exceptions;
+      ];
+  }
+
+let cheap_simulate i =
+  Proto.Simulate
+    {
+      Proto.attrs = Rvu_core.Attributes.make ~v:1.5 ();
+      d = 2.0 +. (0.001 *. float_of_int i);
+      bearing = 0.9;
+      r = 0.1;
+      horizon = 50.0;
+      algorithm4 = false;
+      transform = Rvu_core.Symmetry.identity;
+    }
+
+(* Forced shed, forced timeout, and handler crashes through a live
+   scheduler: every request must get exactly one structured response, and
+   the response mix must match the injections exactly. *)
+let sched_phase ~seed ~cases =
+  let shed_site = Fault.site "sched.force_shed" in
+  let timeout_site = Fault.site "sched.force_timeout" in
+  let crash_site = Fault.site "handler.crash" in
+  let shed_before = counter_by_name "rvu_sched_shed_total" in
+  let timeout_before = counter_by_name "rvu_sched_timeout_total" in
+  Fault.arm ~seed
+    [
+      ("sched.force_shed", 0.15);
+      ("sched.force_timeout", 0.15);
+      ("handler.crash", 0.15);
+    ];
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.jobs = 2;
+          queue_depth = cases + 8;
+          cache_entries = 0;
+          timeout_ms = None;
+        }
+      ()
+  in
+  let lock = Mutex.create () in
+  let responses = ref [] in
+  for i = 1 to cases do
+    let line =
+      Wire.print (Proto.wire_of_request ~id:(Wire.Int i) (cheap_simulate i))
+    in
+    Server.handle_line server line ~respond:(fun resp ->
+        Mutex.lock lock;
+        responses := resp :: !responses;
+        Mutex.unlock lock)
+  done;
+  Server.wait_idle server;
+  Server.stop server;
+  Fault.disarm ();
+  let tally code =
+    List.length
+      (List.filter
+         (fun resp ->
+           match Wire.parse resp with
+           | Ok w -> (
+               match Wire.member "error" w with
+               | Some e -> Wire.member "code" e = Some (Wire.String code)
+               | None -> false)
+           | Error _ -> false)
+         !responses)
+  in
+  let ok_count =
+    List.length
+      (List.filter
+         (fun resp ->
+           match Wire.parse resp with
+           | Ok w -> Wire.member "ok" w <> None
+           | Error _ -> false)
+         !responses)
+  in
+  let shed = Fault.injected_count shed_site in
+  let timeout = Fault.injected_count timeout_site in
+  let crash = Fault.injected_count crash_site in
+  {
+    phase = "sched";
+    injected =
+      [
+        ("sched.force_shed", shed);
+        ("sched.force_timeout", timeout);
+        ("handler.crash", crash);
+      ];
+    checks =
+      [
+        check "every request answered" ~expect:cases
+          ~got:(List.length !responses);
+        check "overloaded responses match injections" ~expect:shed
+          ~got:(tally "overloaded");
+        check "timeout responses match injections" ~expect:timeout
+          ~got:(tally "timeout");
+        check "internal responses match injections" ~expect:crash
+          ~got:(tally "internal");
+        check "remaining responses are ok" ~expect:(cases - shed - timeout - crash)
+          ~got:ok_count;
+        check "shed counter reconciles" ~expect:shed
+          ~got:(counter_by_name "rvu_sched_shed_total" - shed_before);
+        check "timeout counter reconciles" ~expect:timeout
+          ~got:(counter_by_name "rvu_sched_timeout_total" - timeout_before);
+      ];
+  }
+
+let stats_line i = Wire.print (Proto.wire_of_request ~id:(Wire.Int i) Proto.Stats)
+
+(* Torn NDJSON frames: the server sees a strict prefix of each faulted
+   line and must answer a structured parse error, never crash. *)
+let torn_phase ~seed ~cases =
+  let site = Fault.site "server.torn_frame" in
+  Fault.arm ~seed [ ("server.torn_frame", 0.4) ];
+  let server = Server.create ~config:{ Server.default_config with Server.jobs = 1 } () in
+  let parse_errors = ref 0 in
+  let ok = ref 0 in
+  for i = 1 to cases do
+    let resp = Server.handle_sync server (stats_line i) in
+    match Wire.parse resp with
+    | Ok w -> (
+        match Wire.member "error" w with
+        | Some e when Wire.member "code" e = Some (Wire.String "parse_error")
+          ->
+            incr parse_errors
+        | Some _ -> ()
+        | None -> if Wire.member "ok" w <> None then incr ok)
+    | Error _ -> ()
+  done;
+  Server.stop server;
+  Fault.disarm ();
+  let injected = Fault.injected_count site in
+  {
+    phase = "torn_frame";
+    injected = [ ("server.torn_frame", injected) ];
+    checks =
+      [
+        check "torn frames answered with parse_error" ~expect:injected
+          ~got:!parse_errors;
+        check "intact frames answered ok" ~expect:(cases - injected) ~got:!ok;
+      ];
+  }
+
+(* Mid-write connection drops: the transport loses exactly the injected
+   responses and the serving loop survives to end-of-input. *)
+let drop_phase ~seed ~cases =
+  let site = Fault.site "server.drop_conn" in
+  Fault.arm ~seed [ ("server.drop_conn", 0.3) ];
+  let server = Server.create ~config:{ Server.default_config with Server.jobs = 1 } () in
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr in_r in
+  let oc = Unix.out_channel_of_descr out_w in
+  let serving =
+    Domain.spawn (fun () ->
+        Server.serve_channels server ic oc;
+        close_out_noerr oc)
+  in
+  let w = Unix.out_channel_of_descr in_w in
+  for i = 1 to cases do
+    output_string w (stats_line i);
+    output_char w '\n'
+  done;
+  close_out w;
+  let reader = Unix.in_channel_of_descr out_r in
+  let received = ref 0 in
+  (try
+     while true do
+       ignore (input_line reader);
+       incr received
+     done
+   with End_of_file -> ());
+  Domain.join serving;
+  close_in_noerr reader;
+  close_in_noerr ic;
+  Server.stop server;
+  Fault.disarm ();
+  let injected = Fault.injected_count site in
+  {
+    phase = "drop_conn";
+    injected = [ ("server.drop_conn", injected) ];
+    checks =
+      [
+        check "exactly the dropped responses are missing"
+          ~expect:(cases - injected) ~got:!received;
+      ];
+  }
+
+(* Forced stream-cache evictions: consumers fall back to the uncached
+   tail and must still produce bit-identical results. *)
+let evict_phase ~seed ~cases:_ =
+  let site = Fault.site "stream_cache.force_evict" in
+  let evict_before = counter_by_name "rvu_stream_cache_evictions_total" in
+  Fault.arm ~seed [ ("stream_cache.force_evict", 0.9) ];
+  let cache =
+    Rvu_trajectory.Stream_cache.create (Rvu_core.Universal.program ())
+  in
+  let rng = Rng.create ~seed:(Int64.of_int (seed + 1)) in
+  let horizon = 2e3 in
+  let identical = ref true in
+  for _ = 1 to 4 do
+    let s = Scenario.random_speeds rng in
+    let inst =
+      Engine.instance ~attributes:s.Scenario.attributes
+        ~displacement:(Scenario.displacement s) ~r:s.Scenario.r
+    in
+    let cached =
+      Engine.run_with_reference ~horizon
+        ~reference:(Rvu_trajectory.Stream_cache.stream cache)
+        ~program:(Rvu_core.Universal.program ())
+        inst
+    in
+    let fresh =
+      Engine.run ~horizon ~program:(Rvu_core.Universal.program ()) inst
+    in
+    if cached <> fresh then identical := false
+  done;
+  Fault.disarm ();
+  let injected = Fault.injected_count site in
+  let evictions =
+    counter_by_name "rvu_stream_cache_evictions_total" - evict_before
+  in
+  {
+    phase = "stream_cache";
+    injected = [ ("stream_cache.force_evict", injected) ];
+    checks =
+      [
+        ( "results bit-identical under forced eviction",
+          !identical,
+          if !identical then "cached = fresh for all instances"
+          else "cached run diverged from fresh run" );
+        check "eviction counter reconciles" ~expect:injected ~got:evictions;
+        ( "injector exercised the site",
+          injected > 0,
+          Printf.sprintf "%d forced evictions" injected );
+      ];
+  }
+
+let faults ~seed ~cases =
+  let phases =
+    [
+      pool_phase ~seed ~cases;
+      sched_phase ~seed ~cases;
+      torn_phase ~seed ~cases;
+      drop_phase ~seed ~cases;
+      evict_phase ~seed ~cases;
+    ]
+  in
+  let violations = List.concat_map phase_violations phases in
+  let injected = List.concat_map (fun p -> p.injected) phases in
+  let json =
+    Wire.Obj
+      [
+        ("campaign", Wire.String "faults");
+        ("seed", Wire.Int seed);
+        ("cases", Wire.Int cases);
+        ( "injected_total",
+          Wire.Int (List.fold_left (fun acc (_, n) -> acc + n) 0 injected) );
+        ("phases", Wire.List (List.map phase_json phases));
+        ("violations", Wire.Int (List.length violations));
+        ("violation_detail", violations_json violations);
+      ]
+  in
+  { campaign = "faults"; seed; cases; violations; borderline = 0; json }
+
+(* ------------------------------------------------------------------ *)
+(* Composition *)
+
+let all ~seed ~cases =
+  let s = symmetry ~seed ~cases in
+  let f = faults ~seed ~cases in
+  let violations = s.violations @ f.violations in
+  let json =
+    Wire.Obj
+      [
+        ("campaign", Wire.String "all");
+        ("seed", Wire.Int seed);
+        ("cases", Wire.Int cases);
+        ("symmetry", s.json);
+        ("faults", f.json);
+        ("violations", Wire.Int (List.length violations));
+      ]
+  in
+  {
+    campaign = "all";
+    seed;
+    cases;
+    violations;
+    borderline = s.borderline;
+    json;
+  }
+
+let names = [ "symmetry"; "faults"; "all" ]
+
+let of_name = function
+  | "symmetry" -> Some (fun ~seed ~cases -> symmetry ~seed ~cases)
+  | "faults" -> Some (fun ~seed ~cases -> faults ~seed ~cases)
+  | "all" -> Some (fun ~seed ~cases -> all ~seed ~cases)
+  | _ -> None
+
+let int_member name w =
+  match Wire.member name w with Some (Wire.Int i) -> Some i | _ -> None
+
+let summary r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "campaign %s: seed %d, %d cases\n" r.campaign r.seed
+       r.cases);
+  let sym_line json =
+    match (int_member "hits" json, int_member "borderline" json) with
+    | Some hits, Some borderline ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "  symmetry: %d hits, %d at horizon, %d borderline\n" hits
+             (r.cases - hits) borderline)
+    | _ -> ()
+  in
+  let fault_line json =
+    match int_member "injected_total" json with
+    | Some n ->
+        Buffer.add_string b
+          (Printf.sprintf "  faults: %d injected across 5 phases\n" n)
+    | None -> ()
+  in
+  (match r.campaign with
+  | "symmetry" -> sym_line r.json
+  | "faults" -> fault_line r.json
+  | _ ->
+      (match Wire.member "symmetry" r.json with
+      | Some j -> sym_line j
+      | None -> ());
+      (match Wire.member "faults" r.json with
+      | Some j -> fault_line j
+      | None -> ()));
+  List.iteri
+    (fun i v -> if i < 10 then Buffer.add_string b ("  violation: " ^ v ^ "\n"))
+    r.violations;
+  Buffer.add_string b
+    (Printf.sprintf "verify: %d violations\n" (List.length r.violations));
+  Buffer.contents b

@@ -1,0 +1,46 @@
+(** Verification campaigns: batches of oracle cases with a JSON report.
+
+    Two campaigns, both fully deterministic in [(seed, cases)]:
+
+    - [symmetry] — {!Oracle.check_symmetry} on [cases] random cases, each
+      checked through the engine, batch and an in-process server (the
+      same [handle_line] path the socket transport serves).
+    - [faults] — arms {!Rvu_obs.Fault} one site family at a time and
+      drives the stack through each: worker-task crashes in a standalone
+      {!Rvu_exec.Pool.Persistent}, forced shed/timeout and handler
+      crashes through a live scheduler, torn frames and dropped
+      connections through the server transports, and forced stream-cache
+      evictions under the engine. Every phase asserts the system degraded
+      to structured errors (never a crash, hang or changed answer) and
+      that the number of injected faults {e exactly} reconciles with the
+      counters the degraded paths bump.
+
+    Reports carry no timestamps or timings, so their output is stable
+    enough to pin in cram tests. *)
+
+type report = {
+  campaign : string;
+  seed : int;
+  cases : int;
+  violations : string list;  (** empty on a clean run *)
+  borderline : int;
+  json : Rvu_service.Wire.t;  (** the full report document *)
+}
+
+val symmetry_cases : seed:int -> cases:int -> Oracle.case list
+(** The exact case list the [symmetry] campaign runs — exposed so tests
+    can pin seed reproducibility. *)
+
+val symmetry : seed:int -> cases:int -> report
+val faults : seed:int -> cases:int -> report
+
+val all : seed:int -> cases:int -> report
+(** Both campaigns with the same seed; violations concatenated. *)
+
+val of_name : string -> (seed:int -> cases:int -> report) option
+(** ["symmetry"], ["faults"], ["all"]. *)
+
+val names : string list
+
+val summary : report -> string
+(** Deterministic multi-line human summary (no timings). *)

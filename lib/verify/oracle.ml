@@ -1,0 +1,279 @@
+open Rvu_core
+module Scenario = Rvu_workload.Scenario
+module Rng = Rvu_workload.Rng
+module Engine = Rvu_sim.Engine
+module Detector = Rvu_sim.Detector
+module Wire = Rvu_service.Wire
+module Proto = Rvu_service.Proto
+
+type case = {
+  family : Scenario.family;
+  scenario : Scenario.t;
+  transform : Symmetry.t;
+  horizon : float;
+}
+
+let default_horizon = 2e4
+
+let random_case ?(horizon = default_horizon) rng =
+  let families = Array.of_list Scenario.families in
+  let family = families.(Rng.int rng ~bound:(Array.length families)) in
+  let scenario = Scenario.random_of_family family rng in
+  let transform =
+    Symmetry.make ~rotate:(Rng.angle rng) ~mirror:(Rng.bool rng)
+      ~scale:(Rng.log_uniform rng ~lo:0.5 ~hi:2.0)
+      ()
+  in
+  { family; scenario; transform; horizon }
+
+let case_json c =
+  let a = c.scenario.Scenario.attributes in
+  Wire.Obj
+    [
+      ("family", Wire.String (Scenario.family_name c.family));
+      ("v", Wire.Float a.Attributes.v);
+      ("tau", Wire.Float a.Attributes.tau);
+      ("phi", Wire.Float a.Attributes.phi);
+      ("mirror", Wire.Bool (a.Attributes.chi = Attributes.Opposite));
+      ("d", Wire.Float c.scenario.Scenario.d);
+      ("bearing", Wire.Float c.scenario.Scenario.bearing);
+      ("r", Wire.Float c.scenario.Scenario.r);
+      ("horizon", Wire.Float c.horizon);
+      ( "transform",
+        Wire.Obj
+          [
+            ("rotate", Wire.Float c.transform.Symmetry.rotate);
+            ("mirror", Wire.Bool c.transform.Symmetry.mirror);
+            ("scale", Wire.Float c.transform.Symmetry.scale);
+          ] );
+    ]
+
+type check = {
+  violations : string list;
+  borderline : string list;
+  hit : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let instance_of (s : Scenario.t) =
+  Engine.instance ~attributes:s.Scenario.attributes
+    ~displacement:(Scenario.displacement s) ~r:s.Scenario.r
+
+let rel_close ~tol a b = Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.abs b)
+
+let outcome_string = function
+  | Detector.Hit t -> Printf.sprintf "hit@%.17g" t
+  | Detector.Horizon h -> Printf.sprintf "horizon@%.17g" h
+  | Detector.Stream_end t -> Printf.sprintf "stream_end@%.17g" t
+
+let result_equal (a : Engine.result) (b : Engine.result) =
+  a.Engine.outcome = b.Engine.outcome
+  && a.Engine.stats.Detector.intervals = b.Engine.stats.Detector.intervals
+  && Float.equal a.Engine.stats.Detector.min_distance
+       b.Engine.stats.Detector.min_distance
+  && a.Engine.bound = b.Engine.bound
+
+(* Extract the engine-result fields out of a server response payload.
+   Wire floats round-trip bit-exactly, so these compare with [Float.equal]
+   against the in-process results. *)
+let server_result_of_response line =
+  let ( let* ) = Result.bind in
+  let* w =
+    Result.map_error Wire.error_to_string (Wire.parse line)
+  in
+  let* ok =
+    match Wire.member "ok" w with
+    | Some ok -> Ok ok
+    | None -> Error ("server returned an error response: " ^ line)
+  in
+  let field name obj =
+    match Wire.member name obj with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "response missing %S" name)
+  in
+  let* outcome_w = field "outcome" ok in
+  let* kind = field "kind" outcome_w in
+  let* t = field "t" outcome_w in
+  let* outcome =
+    match (kind, t) with
+    | Wire.String "hit", Wire.Float t -> Ok (Detector.Hit t)
+    | Wire.String "horizon", Wire.Float t -> Ok (Detector.Horizon t)
+    | Wire.String "stream_end", Wire.Float t -> Ok (Detector.Stream_end t)
+    | _ -> Error "response outcome malformed"
+  in
+  let* stats_w = field "stats" ok in
+  let* intervals =
+    match field "intervals" stats_w with
+    | Ok (Wire.Int i) -> Ok i
+    | Ok _ -> Error "response stats.intervals malformed"
+    | Error _ as e -> e
+  in
+  let* min_distance =
+    match field "min_distance" stats_w with
+    | Ok (Wire.Float f) -> Ok f
+    | Ok Wire.Null -> Ok Float.infinity
+    | Ok _ -> Error "response stats.min_distance malformed"
+    | Error _ as e -> e
+  in
+  let* bound_w = field "bound" ok in
+  let* round =
+    match field "round" bound_w with
+    | Ok (Wire.Int i) -> Ok (Some i)
+    | Ok Wire.Null -> Ok None
+    | Ok _ -> Error "response bound.round malformed"
+    | Error _ as e -> e
+  in
+  let* time =
+    match field "time" bound_w with
+    | Ok (Wire.Float f) -> Ok (Some f)
+    | Ok Wire.Null -> Ok None
+    | Ok _ -> Error "response bound.time malformed"
+    | Error _ as e -> e
+  in
+  let* phase = field "phase" ok in
+  Ok (outcome, intervals, min_distance, round, time, phase)
+
+(* ------------------------------------------------------------------ *)
+(* The oracle *)
+
+let transformed_scenario conjugate g (s : Scenario.t) =
+  let sigma = (g : Symmetry.t).Symmetry.scale in
+  Scenario.make
+    ~attributes:(conjugate g s.Scenario.attributes)
+    ~d:(sigma *. s.Scenario.d)
+    ~bearing:(Symmetry.map_bearing g s.Scenario.bearing)
+    ~r:(sigma *. s.Scenario.r) ()
+
+let check_symmetry ?(conjugate = Symmetry.map_attributes) ?server_sync case =
+  let g = case.transform in
+  let sigma = Symmetry.time_factor g in
+  let violations = ref [] in
+  let borderline = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  let soft fmt = Printf.ksprintf (fun m -> borderline := m :: !borderline) fmt in
+  let s = case.scenario in
+  let s' = transformed_scenario conjugate g s in
+  let horizon' = sigma *. case.horizon in
+  let orig =
+    Engine.run ~horizon:case.horizon ~program:(Universal.program ())
+      (instance_of s)
+  in
+  let tprog () = Symmetry.map_program g (Universal.program ()) in
+  let eng =
+    Engine.run ~horizon:horizon' ~program:(tprog ()) (instance_of s')
+  in
+  (* Path 2: the batch layer, which replays a cached reference stream. *)
+  let bat =
+    (Rvu_exec.Batch.run ~horizon:horizon' ~program:tprog ~jobs:1
+       [| instance_of s' |]).(0)
+  in
+  if not (result_equal eng bat) then
+    fail "engine/batch disagree: %s vs %s"
+      (outcome_string eng.Engine.outcome)
+      (outcome_string bat.Engine.outcome);
+  (* Path 3: a live server, fed the transformed geometry plus the
+     transform itself through the wire protocol. *)
+  (match server_sync with
+  | None -> ()
+  | Some sync ->
+      let request =
+        Proto.Simulate
+          {
+            Proto.attrs = s'.Scenario.attributes;
+            d = s'.Scenario.d;
+            bearing = s'.Scenario.bearing;
+            r = s'.Scenario.r;
+            horizon = horizon';
+            algorithm4 = false;
+            transform = g;
+          }
+      in
+      let line = Wire.print (Proto.wire_of_request ~id:(Wire.Int 1) request) in
+      match server_result_of_response (sync line) with
+      | Error msg -> fail "server path: %s" msg
+      | Ok (outcome, intervals, min_distance, round, time, phase) ->
+          if outcome <> eng.Engine.outcome then
+            fail "engine/server outcomes disagree: %s vs %s"
+              (outcome_string eng.Engine.outcome)
+              (outcome_string outcome);
+          if intervals <> eng.Engine.stats.Detector.intervals then
+            fail "engine/server interval counts disagree: %d vs %d"
+              eng.Engine.stats.Detector.intervals intervals;
+          if
+            not
+              (Float.equal min_distance
+                 eng.Engine.stats.Detector.min_distance)
+          then
+            fail "engine/server min_distance disagree: %.17g vs %.17g"
+              eng.Engine.stats.Detector.min_distance min_distance;
+          if round <> eng.Engine.bound.Universal.round then
+            fail "engine/server bound rounds disagree";
+          if
+            not
+              (match (time, eng.Engine.bound.Universal.time) with
+              | None, None -> true
+              | Some a, Some b -> Float.equal a b
+              | _ -> false)
+          then fail "engine/server bound times disagree";
+          if phase <> Wire.Null then
+            fail "server reported a phase for a transformed request");
+  (* Metamorphic predictions against the original run. *)
+  let verdict = Feasibility.classify s.Scenario.attributes in
+  let verdict' = Feasibility.classify s'.Scenario.attributes in
+  if verdict <> verdict' then
+    fail "feasibility not preserved by conjugation";
+  let tol = 1e-6 in
+  let near_threshold () =
+    (* An outcome-kind flip is only meaningful away from the decision
+       boundaries: a grazing approach (min distance within tolerance of
+       r) or a hit within tolerance of the horizon can legitimately
+       resolve differently under rescaled float arithmetic. *)
+    let md = orig.Engine.stats.Detector.min_distance in
+    let graze =
+      Float.is_finite md && Float.abs (md -. s.Scenario.r) <= 1e-4 *. s.Scenario.r
+    in
+    let late =
+      match orig.Engine.outcome with
+      | Detector.Hit t -> t >= 0.9999 *. case.horizon
+      | _ -> false
+    in
+    graze || late
+  in
+  (match (orig.Engine.outcome, eng.Engine.outcome) with
+  | Detector.Hit t, Detector.Hit t' ->
+      if not (rel_close ~tol t' (sigma *. t)) then
+        fail "hit time did not rescale: %.17g expected %.17g" t' (sigma *. t)
+  | Detector.Horizon h, Detector.Horizon h' ->
+      if not (rel_close ~tol h' (sigma *. h)) then
+        fail "horizon did not rescale: %.17g expected %.17g" h' (sigma *. h)
+  | Detector.Stream_end _, _ | _, Detector.Stream_end _ ->
+      fail "universal program ended (it must be infinite)"
+  | o, o' ->
+      if near_threshold () then
+        soft "outcome kind flipped on a threshold case: %s vs %s"
+          (outcome_string o) (outcome_string o')
+      else
+        fail "outcome kind not preserved: %s vs %s" (outcome_string o)
+          (outcome_string o'));
+  (let md = orig.Engine.stats.Detector.min_distance
+   and md' = eng.Engine.stats.Detector.min_distance in
+   match (Float.is_finite md, Float.is_finite md') with
+   | true, true ->
+       (* Sampled at interval starts; boundaries correspond under the
+          scaling but can merge differently, so this check is looser than
+          the time check and only escalates clear contradictions. *)
+       if not (rel_close ~tol:1e-3 md' (sigma *. md)) then
+         fail "min_distance did not rescale: %.17g expected %.17g" md'
+           (sigma *. md)
+       else if not (rel_close ~tol md' (sigma *. md)) then
+         soft "min_distance rescaled only loosely: %.17g expected %.17g" md'
+           (sigma *. md)
+   | false, false -> ()
+   | _ -> fail "min_distance finiteness not preserved");
+  {
+    violations = List.rev !violations;
+    borderline = List.rev !borderline;
+    hit = (match orig.Engine.outcome with Detector.Hit _ -> true | _ -> false);
+  }

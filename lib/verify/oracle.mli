@@ -1,0 +1,55 @@
+(** Metamorphic symmetry oracle.
+
+    A test case is a random scenario plus a random frame transform
+    [g = (rotate, mirror, scale)]. The model predicts exactly how the
+    transformed problem relates to the original ({!Rvu_core.Symmetry}):
+    feasibility is invariant, a [Hit t] becomes [Hit (σ·t)], a
+    [Horizon h] becomes [Horizon (σ·h)], and the sampled minimum
+    distance scales by [σ]. The oracle runs the original through the
+    engine, runs the transformed problem through {e three} independent
+    paths — {!Rvu_sim.Engine.run}, {!Rvu_exec.Batch.run}, and a live
+    server round-trip (the ["transform"] field of a [simulate] request)
+    — demands the three agree bit-for-bit, and checks the metamorphic
+    prediction against the original up to float tolerance (the original
+    and transformed runs execute {e different} float operations, so only
+    the three same-input paths can be compared exactly). *)
+
+type case = {
+  family : Rvu_workload.Scenario.family;
+  scenario : Rvu_workload.Scenario.t;
+  transform : Rvu_core.Symmetry.t;
+  horizon : float;  (** detector horizon for the {e original} problem *)
+}
+
+val random_case : ?horizon:float -> Rvu_workload.Rng.t -> case
+(** Draw a family uniformly (all five, including [Infeasible]), a
+    scenario from its generator, and a transform with uniform rotation,
+    fair mirror coin, and scale log-uniform in [[1/2, 2]]. Default
+    [horizon] is [2e4]. *)
+
+val case_json : case -> Rvu_service.Wire.t
+(** The case in the shape the campaign report lists (attributes,
+    geometry, transform — everything needed to replay it). *)
+
+type check = {
+  violations : string list;  (** hard failures: the model was contradicted *)
+  borderline : string list;
+      (** outcome-kind flips on cases sitting within float tolerance of
+          the visibility or horizon threshold — where the metamorphic
+          relation genuinely cannot decide the kind. Reported, not
+          counted as violations. *)
+  hit : bool;  (** the original run met within the horizon *)
+}
+
+val check_symmetry :
+  ?conjugate:(Rvu_core.Symmetry.t -> Rvu_core.Attributes.t -> Rvu_core.Attributes.t) ->
+  ?server_sync:(string -> string) ->
+  case ->
+  check
+(** Run the full oracle on one case. [server_sync] sends one request
+    line to a live server and returns the response line
+    ({!Rvu_service.Server.handle_sync} partially applied); without it
+    the server path is skipped. [conjugate] replaces the attribute
+    conjugation — the test suite passes a deliberately wrong one to
+    prove the oracle catches it (mutation check); campaigns use the
+    default {!Rvu_core.Symmetry.map_attributes}. *)

@@ -60,12 +60,48 @@ let random_clocks ?range rng =
   with_geometry ?range rng
     (Attributes.make ~v ~tau ~phi:(Rng.angle rng) ~chi ())
 
-let random_infeasible rng =
+let random_infeasible ?range rng =
   let attributes =
     if Rng.bool rng then Attributes.reference
     else Attributes.make ~phi:(Rng.angle rng) ~chi:Attributes.Opposite ()
   in
-  with_geometry rng attributes
+  with_geometry ?range rng attributes
+
+type family = Speeds | Rotated | Mirror | Clocks | Infeasible
+
+let families = [ Speeds; Rotated; Mirror; Clocks; Infeasible ]
+
+let family_name = function
+  | Speeds -> "speeds"
+  | Rotated -> "rotated"
+  | Mirror -> "mirror"
+  | Clocks -> "clocks"
+  | Infeasible -> "infeasible"
+
+let family_of_name = function
+  | "speeds" -> Some Speeds
+  | "rotated" -> Some Rotated
+  | "mirror" -> Some Mirror
+  | "clocks" -> Some Clocks
+  | "infeasible" -> Some Infeasible
+  | _ -> None
+
+let random_of_family ?range family rng =
+  match family with
+  | Speeds -> random_speeds ?range rng
+  | Rotated -> random_rotated ?range rng
+  | Mirror -> random_mirror ?range rng
+  | Clocks -> random_clocks ?range rng
+  | Infeasible -> random_infeasible ?range rng
+
+let transformed g s =
+  let sigma = (g : Symmetry.t).scale in
+  {
+    attributes = Symmetry.map_attributes g s.attributes;
+    d = sigma *. s.d;
+    bearing = Symmetry.map_bearing g s.bearing;
+    r = sigma *. s.r;
+  }
 
 let random_swarm ?(n = 3) rng =
   if n < 2 then invalid_arg "Scenario.random_swarm: n < 2";

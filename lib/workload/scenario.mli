@@ -60,9 +60,37 @@ val random_clocks : ?range:geometry_range -> Rng.t -> t
 (** τ log-uniform in [\[0.4, 0.85\]], other attributes random but mild —
     the Theorem 3 case, parameters sized so Algorithm 7 stays simulable. *)
 
-val random_infeasible : Rng.t -> t
+val random_infeasible : ?range:geometry_range -> Rng.t -> t
 (** One of the two infeasible families of Theorem 4: identical robots, or
     mirror twins with [v = τ = 1] and random φ. *)
+
+(** {2 Families}
+
+    The named generator families above, reified so campaigns and load
+    mixes can enumerate and report them. *)
+
+type family = Speeds | Rotated | Mirror | Clocks | Infeasible
+
+val families : family list
+(** All five, in declaration order. *)
+
+val family_name : family -> string
+(** Lowercase name as used in reports ("speeds", …, "infeasible"). *)
+
+val family_of_name : string -> family option
+
+val random_of_family : ?range:geometry_range -> family -> Rng.t -> t
+(** Dispatch to the family's generator. *)
+
+(** {2 Symmetry} *)
+
+val transformed : Rvu_core.Symmetry.t -> t -> t
+(** Image of the scenario under a frame transform: attributes conjugate
+    ({!Rvu_core.Symmetry.map_attributes}), distance and radius scale,
+    bearing reflects and rotates. Together with the transformed program
+    this preserves feasibility and rescales rendezvous times by
+    {!Rvu_core.Symmetry.time_factor} — the metamorphic relation the
+    verify campaigns check. *)
 
 val random_swarm :
   ?n:int -> Rng.t -> (Rvu_core.Attributes.t * Rvu_geom.Vec2.t) list

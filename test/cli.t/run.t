@@ -123,3 +123,35 @@ transport (values vary per run, so match the series name, not the line):
 
   $ echo '{"id":2,"kind":"metrics","format":"prometheus"}' | rvu serve --jobs 1 | grep -c 'rvu_result_cache_hits_total'
   1
+
+Server error paths degrade to structured errors, never crashes. A torn
+frame — the client dies mid-object, so the line ends at EOF without a
+newline — is answered with a parse error and the exact truncation point:
+
+  $ printf '{"id":7,"kind":"stats"' | rvu serve --jobs 1
+  {"id":null,"error":{"code":"parse_error","message":"line 1, col 23: unexpected end of input in object"}}
+
+A request line over the configured byte limit is refused before any
+parsing looks at it (the id is unknown, so it is null by protocol):
+
+  $ echo "{\"id\":1,\"pad\":\"$(head -c 200 /dev/zero | tr '\0' x)\"}" | rvu serve --jobs 1 --max-request-bytes 64
+  {"id":null,"error":{"code":"invalid_request","message":"request line of 217 bytes exceeds the 64 byte limit"}}
+
+The same paths can be driven by the deterministic fault injector that the
+verification campaigns use. server.torn_frame truncates the frame inside
+the transport (here: every frame, p=1), and server.drop_conn simulates the
+client vanishing before the response is written — the server swallows the
+broken pipe and keeps serving (no output, clean exit):
+
+  $ echo '{"id":7,"kind":"stats"}' | rvu serve --jobs 1 --inject server.torn_frame=1 --inject-seed 42
+  {"id":null,"error":{"code":"parse_error","message":"line 1, col 12: unterminated string"}}
+
+  $ echo '{"id":7,"kind":"stats"}' | rvu serve --jobs 1 --inject server.drop_conn=1 --inject-seed 42
+
+The verification campaigns themselves are deterministic in (seed, cases) —
+no timestamps, no timings — so their summaries pin exactly:
+
+  $ rvu verify --campaign symmetry --seed 42 --cases 10
+  campaign symmetry: seed 42, 10 cases
+    symmetry: 6 hits, 4 at horizon, 0 borderline
+  verify: 0 violations

@@ -9,17 +9,8 @@ let check_float = Alcotest.(check (float 1e-9))
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let attrs_arb =
-  QCheck.map
-    (fun (((v, tau), phi), chi) ->
-      Attributes.make ~v ~tau ~phi
-        ~chi:(if chi then Attributes.Same else Attributes.Opposite)
-        ())
-    QCheck.(
-      pair
-        (pair (pair (float_range 0.2 5.0) (float_range 0.2 5.0))
-           (float_range 0.0 6.28))
-        bool)
+(* Shared with every suite; wide ranges, see test/gen.ml. *)
+let attrs_arb = Gen.attrs_arb
 
 (* ------------------------------------------------------------------ *)
 (* Attributes *)

@@ -61,10 +61,9 @@ let test_pool_map_list () =
 (* ------------------------------------------------------------------ *)
 (* Batch vs sequential Engine.run: bit-identical *)
 
-let result_equal (a : Rvu_sim.Engine.result) (b : Rvu_sim.Engine.result) =
-  a.Rvu_sim.Engine.outcome = b.Rvu_sim.Engine.outcome
-  && a.Rvu_sim.Engine.stats = b.Rvu_sim.Engine.stats
-  && a.Rvu_sim.Engine.bound = b.Rvu_sim.Engine.bound
+(* Shared generators and the bit-identity comparator; see test/gen.ml. *)
+let result_equal = Gen.result_equal
+let instance_arbitrary = Gen.instance_arbitrary
 
 let test_batch_matches_engine () =
   let instances =
@@ -82,40 +81,6 @@ let test_batch_matches_engine () =
   let seq = Array.map (Rvu_sim.Engine.run ~horizon) instances in
   check_bool "bit-identical" true
     (Array.for_all2 result_equal batch seq)
-
-let attributes_gen =
-  QCheck.Gen.(
-    let* v = float_range 0.6 2.2 in
-    let* tau = float_range 0.5 2.0 in
-    let* phi = float_range 0.0 6.2 in
-    let* mirror = bool in
-    return
-      (Rvu_core.Attributes.make ~v ~tau ~phi
-         ~chi:(if mirror then Rvu_core.Attributes.Opposite else Rvu_core.Attributes.Same)
-         ()))
-
-let instance_gen =
-  QCheck.Gen.(
-    let* attributes = attributes_gen in
-    let* d = float_range 0.8 3.0 in
-    let* bearing = float_range 0.0 6.2 in
-    let* r = float_range 0.15 0.6 in
-    return
-      (Rvu_sim.Engine.instance ~attributes
-         ~displacement:(Vec2.of_polar ~radius:d ~angle:bearing)
-         ~r))
-
-let print_instance (inst : Rvu_sim.Engine.instance) =
-  Format.asprintf "{attrs=%a; disp=%a; r=%g}" Rvu_core.Attributes.pp
-    inst.Rvu_sim.Engine.attributes Vec2.pp inst.Rvu_sim.Engine.displacement
-    inst.Rvu_sim.Engine.r
-
-let instance_arbitrary =
-  QCheck.make
-    ~print:(fun instances ->
-      String.concat "; "
-        (Array.to_list (Array.map print_instance instances)))
-    QCheck.Gen.(array_size (int_range 1 6) instance_gen)
 
 let prop_batch_bit_identical =
   QCheck.Test.make ~count:12

@@ -36,40 +36,8 @@ let rec wire_equal a b =
            xs ys
   | _ -> a = b
 
-let finite_float_gen =
-  QCheck.Gen.map
-    (fun f -> if Float.is_finite f then f else Float.of_int (Hashtbl.hash f))
-    QCheck.Gen.float
-
-let wire_gen =
-  QCheck.Gen.(
-    sized
-    @@ fix (fun self n ->
-           let leaf =
-             oneof
-               [
-                 return Wire.Null;
-                 map (fun b -> Wire.Bool b) bool;
-                 map (fun i -> Wire.Int i) int;
-                 map (fun f -> Wire.Float f) finite_float_gen;
-                 map (fun s -> Wire.String s) (string_size (int_bound 12));
-               ]
-           in
-           if n <= 0 then leaf
-           else
-             frequency
-               [
-                 (3, leaf);
-                 ( 1,
-                   map
-                     (fun l -> Wire.List l)
-                     (list_size (int_bound 4) (self (n / 2))) );
-                 ( 1,
-                   map
-                     (fun l -> Wire.Obj l)
-                     (list_size (int_bound 4)
-                        (pair (string_size (int_bound 8)) (self (n / 2)))) );
-               ]))
+(* Shared wire-document generator; see test/gen.ml. *)
+let wire_gen = Gen.wire_gen
 
 let prop_roundtrip =
   QCheck.Test.make ~count:500 ~name:"parse (print v) = Ok v, bit-exact"
@@ -227,6 +195,7 @@ let test_proto_encode_decode () =
           r = 0.25;
           horizon = 1e6;
           algorithm4 = true;
+          transform = Rvu_core.Symmetry.identity;
         };
       Proto.Search { d = 4.0; bearing = 0.9; r = 0.5; horizon = 1e7 };
       Proto.Feasibility (Attributes.make ~v:3.0 ());
@@ -296,6 +265,7 @@ let test_simulate_bit_identical () =
            r = 0.5;
            horizon = 1e8;
            algorithm4 = false;
+           transform = Rvu_core.Symmetry.identity;
          })
   in
   (* Exact float equality, not approximate: the service evaluates on the
@@ -365,6 +335,7 @@ let simulate_line ?timeout_ms ~id d =
         r = 0.005;
         horizon = 1e13;
         algorithm4 = false;
+        transform = Rvu_core.Symmetry.identity;
       }
   in
   Wire.print (Proto.wire_of_request ~id:(Wire.Int id) ?timeout_ms request)
@@ -374,7 +345,7 @@ let test_server_overload_sheds () =
   let lines = Array.init n (fun i -> simulate_line ~id:(i + 1) (6.0 +. (0.01 *. float_of_int i))) in
   let responses =
     collecting_server
-      { Server.jobs = 1; queue_depth = 2; cache_entries = 0; timeout_ms = None }
+      { Server.default_config with Server.jobs = 1; queue_depth = 2; cache_entries = 0; timeout_ms = None }
       lines
   in
   check_int "every request got exactly one response" n (List.length responses);
@@ -387,7 +358,7 @@ let test_server_overload_sheds () =
 
 let test_server_cache_hits () =
   let config =
-    { Server.jobs = 1; queue_depth = 8; cache_entries = 8; timeout_ms = None }
+    { Server.default_config with Server.jobs = 1; queue_depth = 8; cache_entries = 8; timeout_ms = None }
   in
   let server = Server.create ~config () in
   let line = {|{"kind":"feasibility","v":2.0,"id":1}|} in
@@ -408,7 +379,7 @@ let test_server_timeout () =
   in
   let responses =
     collecting_server
-      { Server.jobs = 1; queue_depth = 8; cache_entries = 0; timeout_ms = None }
+      { Server.default_config with Server.jobs = 1; queue_depth = 8; cache_entries = 0; timeout_ms = None }
       lines
   in
   check_int "both responded" 2 (List.length responses);
@@ -459,7 +430,7 @@ let registry_counter body name =
 
 let test_server_metrics_endpoint () =
   let config =
-    { Server.jobs = 1; queue_depth = 8; cache_entries = 8; timeout_ms = None }
+    { Server.default_config with Server.jobs = 1; queue_depth = 8; cache_entries = 8; timeout_ms = None }
   in
   let server = Server.create ~config () in
   let metrics () =

@@ -366,57 +366,10 @@ let test_search_engine_validation () =
    random attributes, the detector's verdict must match a fine brute-force
    sampling of the two realised trajectories. *)
 
-let chained_program_arb =
-  (* A continuous program: each piece starts where the previous ended. *)
-  let open QCheck in
-  let piece =
-    oneof
-      [
-        map (fun d -> `Wait d) (float_range 0.5 3.0);
-        map (fun (x, y) -> `Go (Vec2.make x y))
-          (pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0));
-        map
-          (fun ((cx, cy), sweep) -> `Turn (Vec2.make cx cy, sweep))
-          (pair
-             (pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
-             (oneof [ float_range 0.5 5.0; float_range (-5.0) (-0.5) ]));
-      ]
-  in
-  map
-    (fun pieces ->
-      let segs, _ =
-        List.fold_left
-          (fun (acc, pos) piece ->
-            match piece with
-            | `Wait dur -> (Segment.wait ~at:pos ~dur :: acc, pos)
-            | `Go dst ->
-                if Vec2.dist pos dst < 1e-6 then (acc, pos)
-                else (Segment.line ~src:pos ~dst :: acc, dst)
-            | `Turn (offset, sweep) ->
-                let center = Vec2.add pos offset in
-                let radius = Vec2.dist pos center in
-                if radius < 1e-6 then (acc, pos)
-                else begin
-                  let from = Vec2.angle_of (Vec2.sub pos center) in
-                  let seg = Segment.arc ~center ~radius ~from ~sweep in
-                  (seg :: acc, Segment.end_pos seg)
-                end)
-          ([], Vec2.zero) pieces
-      in
-      List.rev segs)
-    (list_of_size (Gen.int_range 2 6) piece)
+let chained_program_arb = Gen.chained_program_arb
 
-let attrs_arb =
-  QCheck.map
-    (fun (((v, tau), phi), chi) ->
-      Rvu_core.Attributes.make ~v ~tau ~phi
-        ~chi:(if chi then Rvu_core.Attributes.Same else Rvu_core.Attributes.Opposite)
-        ())
-    QCheck.(
-      pair
-        (pair (pair (float_range 0.3 3.0) (float_range 0.3 3.0))
-           (float_range 0.0 6.28))
-        bool)
+(* Mild ranges shared with the other suites; see test/gen.ml. *)
+let attrs_arb = Gen.attrs_mild_arb
 
 let prop_separation_certificate_sound =
   (* The certificate must lower-bound every sampled inter-robot distance. *)

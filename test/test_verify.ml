@@ -1,0 +1,200 @@
+(* Tests for Rvu_verify: the metamorphic oracle must catch a broken
+   conjugation (mutation check), the fault registry must be off by
+   default and deterministic when armed, campaign reports must keep
+   their shape, and case generation must be a pure function of the
+   seed. *)
+
+open Rvu_verify
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: mutation check *)
+
+(* The whole point of the oracle is that it would notice if the symmetry
+   model were wrong. Feed it a deliberately broken attribute conjugation
+   (identity — correct only when the transform happens to fix the
+   attributes) and demand violations; with the real conjugation the same
+   cases must be clean. *)
+let test_oracle_catches_broken_conjugate () =
+  let cases = Campaign.symmetry_cases ~seed:7 ~cases:40 in
+  let clean =
+    List.concat_map (fun c -> (Oracle.check_symmetry c).Oracle.violations) cases
+  in
+  check_int "default conjugation is clean" 0 (List.length clean);
+  let broken =
+    List.concat_map
+      (fun c ->
+        (Oracle.check_symmetry ~conjugate:(fun _g a -> a) c).Oracle.violations)
+      cases
+  in
+  check_bool "identity conjugation is caught" true (broken <> [])
+
+let test_oracle_catches_unscaled_time () =
+  (* A conjugation that also sabotages the clock: scaling tau by sigma^2
+     makes the transformed robot's clock disagree with the predicted
+     time rescaling, so hit times stop matching dist'(t) = s*dist(t/s). *)
+  let cases = Campaign.symmetry_cases ~seed:11 ~cases:40 in
+  let sabotage g a =
+    let a' = Rvu_core.Symmetry.map_attributes g a in
+    let s = Rvu_core.Symmetry.time_factor g in
+    if Float.equal s 1.0 then a'
+    else
+      Rvu_core.Attributes.make ~v:a'.Rvu_core.Attributes.v
+        ~tau:(a'.Rvu_core.Attributes.tau *. s)
+        ~phi:a'.Rvu_core.Attributes.phi ~chi:a'.Rvu_core.Attributes.chi ()
+  in
+  let broken =
+    List.concat_map
+      (fun c -> (Oracle.check_symmetry ~conjugate:sabotage c).Oracle.violations)
+      cases
+  in
+  check_bool "tau sabotage is caught" true (broken <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Fault registry *)
+
+let test_fault_disarmed () =
+  Rvu_obs.Fault.disarm ();
+  let s = Rvu_obs.Fault.site "test_verify.disarmed" in
+  check_bool "not armed" false (Rvu_obs.Fault.armed ());
+  for _ = 1 to 100 do
+    check_bool "never fires when disarmed" false (Rvu_obs.Fault.fire s)
+  done;
+  Rvu_obs.Fault.crash s "noop";
+  check_int "nothing counted" 0 (Rvu_obs.Fault.injected_count s)
+
+let test_fault_extremes () =
+  let s = Rvu_obs.Fault.site "test_verify.extremes" in
+  Rvu_obs.Fault.arm ~seed:5 [ ("test_verify.extremes", 1.0) ];
+  for _ = 1 to 50 do
+    check_bool "p=1 always fires" true (Rvu_obs.Fault.fire s)
+  done;
+  check_int "every fire counted" 50 (Rvu_obs.Fault.injected_count s);
+  check_bool "crash raises" true
+    (match Rvu_obs.Fault.crash s "boom" with
+    | () -> false
+    | exception Rvu_obs.Fault.Injected _ -> true);
+  Rvu_obs.Fault.arm ~seed:5 [ ("test_verify.extremes", 0.0) ];
+  check_int "arm resets the counter" 0 (Rvu_obs.Fault.injected_count s);
+  for _ = 1 to 50 do
+    check_bool "p=0 never fires" false (Rvu_obs.Fault.fire s)
+  done;
+  check_int "still zero" 0 (Rvu_obs.Fault.injected_count s);
+  Rvu_obs.Fault.disarm ()
+
+let test_fault_deterministic () =
+  let s = Rvu_obs.Fault.site "test_verify.det" in
+  let draw seed =
+    Rvu_obs.Fault.arm ~seed [ ("test_verify.det", 0.3) ];
+    let fires = List.init 200 (fun _ -> Rvu_obs.Fault.fire s) in
+    let n = Rvu_obs.Fault.injected_count s in
+    Rvu_obs.Fault.disarm ();
+    (fires, n)
+  in
+  let fires_a, n_a = draw 42 in
+  let fires_b, n_b = draw 42 in
+  check_bool "same seed, same decisions" true (fires_a = fires_b);
+  check_int "same seed, same count" n_a n_b;
+  check_int "count matches decisions" n_a
+    (List.length (List.filter Fun.id fires_a));
+  check_bool "p=0.3 fires sometimes" true (n_a > 0);
+  check_bool "p=0.3 misses sometimes" true (n_a < 200);
+  let fires_c, _ = draw 43 in
+  check_bool "different seed, different decisions" true (fires_a <> fires_c)
+
+let test_fault_bad_probability () =
+  Alcotest.check_raises "p > 1 rejected"
+    (Invalid_argument
+       "Fault.arm: probability 1.5 for \"test_verify.bad\" outside [0, 1]")
+    (fun () -> Rvu_obs.Fault.arm ~seed:1 [ ("test_verify.bad", 1.5) ]);
+  Rvu_obs.Fault.disarm ()
+
+let test_fault_counts_listing () =
+  let a = Rvu_obs.Fault.site "test_verify.list_a" in
+  let _b = Rvu_obs.Fault.site "test_verify.list_b" in
+  Rvu_obs.Fault.arm ~seed:9 [ ("test_verify.list_a", 1.0) ];
+  for _ = 1 to 3 do
+    ignore (Rvu_obs.Fault.fire a)
+  done;
+  let counts = Rvu_obs.Fault.injected_counts () in
+  check_bool "sorted by name" true
+    (List.sort compare counts = counts);
+  check_int "fired site listed" 3
+    (List.assoc "test_verify.list_a" counts);
+  check_int "silent site listed at zero" 0
+    (List.assoc "test_verify.list_b" counts);
+  Rvu_obs.Fault.disarm ()
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: report shape and seed reproducibility *)
+
+let test_symmetry_report_shape () =
+  let module Wire = Rvu_service.Wire in
+  let r = Campaign.symmetry ~seed:3 ~cases:5 in
+  check_string "campaign name" "symmetry" r.Campaign.campaign;
+  check_int "seed echoed" 3 r.Campaign.seed;
+  check_int "cases echoed" 5 r.Campaign.cases;
+  check_int "clean run" 0 (List.length r.Campaign.violations);
+  (match r.Campaign.json with
+  | Wire.Obj members ->
+      let has k = List.mem_assoc k members in
+      List.iter
+        (fun k -> check_bool ("member " ^ k) true (has k))
+        [
+          "campaign"; "seed"; "cases"; "hits"; "horizons"; "families";
+          "paths"; "violations"; "borderline"; "violation_detail";
+        ];
+      check_bool "violations member is an Int" true
+        (match List.assoc "violations" members with
+        | Wire.Int _ -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "report json must be an object");
+  (* The summary is deterministic: no timings, no timestamps. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let s = Campaign.summary r in
+  check_bool "summary mentions campaign" true (contains s "campaign symmetry")
+
+let test_seed_reproducibility () =
+  let a = Campaign.symmetry_cases ~seed:42 ~cases:10 in
+  let b = Campaign.symmetry_cases ~seed:42 ~cases:10 in
+  check_bool "same seed, same cases" true (a = b);
+  let c = Campaign.symmetry_cases ~seed:43 ~cases:10 in
+  check_bool "different seed, different cases" true (a <> c);
+  check_int "requested count" 10 (List.length a)
+
+let () =
+  Alcotest.run "rvu_verify"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "mutation: broken conjugate caught" `Slow
+            test_oracle_catches_broken_conjugate;
+          Alcotest.test_case "mutation: tau sabotage caught" `Slow
+            test_oracle_catches_unscaled_time;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "disarmed is inert" `Quick test_fault_disarmed;
+          Alcotest.test_case "p=0 and p=1 extremes" `Quick test_fault_extremes;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_fault_deterministic;
+          Alcotest.test_case "bad probability rejected" `Quick
+            test_fault_bad_probability;
+          Alcotest.test_case "injected_counts listing" `Quick
+            test_fault_counts_listing;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "symmetry report shape" `Slow
+            test_symmetry_report_shape;
+          Alcotest.test_case "seed reproducibility" `Quick
+            test_seed_reproducibility;
+        ] );
+    ]
