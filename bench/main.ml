@@ -29,6 +29,8 @@
                       writes BENCH_3.json
      perf-verify    — verification campaign throughput (symmetry + faults);
                       writes BENCH_4.json
+     perf-log       — structured-logging overhead (off/info/debug+flight);
+                      writes BENCH_5.json
 
    --trace FILE records Chrome trace-event spans for the whole run. *)
 
@@ -54,6 +56,7 @@ let all : (string * (unit -> unit)) list =
     ("perf-serve", Exp_perf_serve.run);
     ("perf-obs", Exp_perf_obs.run);
     ("perf-verify", Exp_perf_verify.run);
+    ("perf-log", Exp_perf_log.run);
   ]
 
 let () =

@@ -89,6 +89,70 @@ let with_trace trace f =
           exit 1);
       Fun.protect ~finally:Rvu_obs.Trace.close f
 
+(* Structured-logging flags, shared by the long-running subcommands
+   (serve, loadgen, verify). Logging is off unless --log is given; an
+   unwritable file is rejected up front, like an unwritable --trace. *)
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Write NDJSON structured log records to $(docv) (one JSON object \
+           per line; $(b,-) means stderr). Off unless given.")
+
+let log_level_conv =
+  let parse s =
+    match Rvu_obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "expected debug, info, warn or error, got %S" s))
+  in
+  Arg.conv ~docv:"LEVEL"
+    ( parse,
+      fun ppf l -> Format.pp_print_string ppf (Rvu_obs.Log.string_of_level l)
+    )
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt log_level_conv Rvu_obs.Log.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Lowest record level written to the $(b,--log) sink: debug, info \
+           (default), warn or error.")
+
+let flight_recorder_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "flight-recorder" ] ~docv:"N"
+        ~doc:
+          "Keep the last $(docv) log records of every level (including \
+           below $(b,--log-level)) in memory, and dump them to the log \
+           sink when an error record is emitted or an armed fault fires. \
+           0 (default) disables the recorder. Needs $(b,--log).")
+
+let logging_term =
+  Term.(
+    const (fun log level flight -> (log, level, flight))
+    $ log_arg $ log_level_arg $ flight_recorder_arg)
+
+let with_logging (log, level, flight) f =
+  match log with
+  | None -> f ()
+  | Some path ->
+      let sink =
+        if path = "-" then Rvu_obs.Log.Stderr else Rvu_obs.Log.File path
+      in
+      (try Rvu_obs.Log.configure ~level ~flight_recorder:(max 0 flight) sink
+       with Sys_error msg ->
+         Format.eprintf "rvu: cannot open log file: %s@." msg;
+         exit 1);
+      Fun.protect ~finally:Rvu_obs.Log.close f
+
 let attributes v tau phi mirror =
   Attributes.make ~v ~tau ~phi
     ~chi:(if mirror then Attributes.Opposite else Attributes.Same)
@@ -522,6 +586,22 @@ let resolve_host host =
         Format.eprintf "rvu: cannot resolve host %S@." host;
         exit 1)
 
+let hostport_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> begin
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ ->
+            Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s))
+      end
+    | None -> Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s))
+  in
+  Arg.conv ~docv:"HOST:PORT"
+    (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
 let inject_conv =
   let parse s =
     match String.index_opt s '=' with
@@ -555,10 +635,13 @@ let inject_seed_arg =
     & info [ "inject-seed" ] ~docv:"N"
         ~doc:"Seed for the fault injector's deterministic decisions.")
 
-let serve config tcp_port host connections trace inject inject_seed =
+let serve config tcp_port host connections trace logging inject inject_seed =
   with_trace trace @@ fun () ->
+  with_logging logging @@ fun () ->
   if inject <> [] then Rvu_obs.Fault.arm ~seed:inject_seed inject;
+  Rvu_obs.Runtime.start ();
   let server = Rvu_service.Server.create ~config () in
+  Fun.protect ~finally:Rvu_obs.Runtime.stop @@ fun () ->
   (match tcp_port with
   | Some port ->
       Rvu_service.Server.serve_tcp server ~host ~port ?connections ()
@@ -596,7 +679,7 @@ let serve_cmd =
           response per line out (see DESIGN.md for the protocol).")
     Term.(
       const serve $ config_term $ tcp $ host $ connections $ trace_arg
-      $ inject_arg $ inject_seed_arg)
+      $ logging_term $ inject_arg $ inject_seed_arg)
 
 let loadgen_tcp lg ~host ~port ~rate =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -634,8 +717,9 @@ let loadgen_local lg ~config ~rate =
   Rvu_service.Server.stop server;
   complete
 
-let loadgen connect requests rate seed config fail_on_error =
-  let lg = Rvu_service.Loadgen.create ~seed ~requests () in
+let loadgen connect requests rate seed slow_ms config logging fail_on_error =
+  with_logging logging @@ fun () ->
+  let lg = Rvu_service.Loadgen.create ~seed ?slow_ms ~requests () in
   let complete =
     match connect with
     | Some (host, port) -> loadgen_tcp lg ~host ~port ~rate
@@ -652,21 +736,9 @@ let loadgen connect requests rate seed config fail_on_error =
 
 let loadgen_cmd =
   let connect =
-    let parse s =
-      match String.rindex_opt s ':' with
-      | Some i -> begin
-          let host = String.sub s 0 i in
-          let port = String.sub s (i + 1) (String.length s - i - 1) in
-          match int_of_string_opt port with
-          | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
-          | _ -> Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s))
-        end
-      | None -> Error (`Msg (Printf.sprintf "bad address %S (want HOST:PORT)" s))
-    in
-    let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
     Arg.(
       value
-      & opt (some (conv ~docv:"HOST:PORT" (parse, print))) None
+      & opt (some hostport_conv) None
       & info [ "connect" ] ~docv:"HOST:PORT"
           ~doc:
             "Drive a running $(b,rvu serve --tcp) instance. Without this the \
@@ -689,6 +761,28 @@ let loadgen_cmd =
       value & opt int 0
       & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario-mix derivation seed.")
   in
+  let slow_ms =
+    let positive_float =
+      let parse s =
+        match float_of_string_opt s with
+        | Some x when Float.is_finite x && x > 0.0 -> Ok x
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf "expected a positive number of ms, got %S" s))
+      in
+      Arg.conv ~docv:"MS" (parse, fun ppf x -> Format.fprintf ppf "%g" x)
+    in
+    Arg.(
+      value
+      & opt (some positive_float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log a $(i,warn) record — under the request's correlation id, \
+             so it joins the server's own log — for every response slower \
+             than $(docv) milliseconds (e.g. a p99 objective). Needs \
+             $(b,--log).")
+  in
   let fail_on_error =
     Arg.(
       value & flag
@@ -703,13 +797,14 @@ let loadgen_cmd =
          "Replay a deterministic scenario mix against the evaluation server \
           and report throughput and latency percentiles.")
     Term.(
-      const loadgen $ connect $ requests $ rate $ seed $ config_term
-      $ fail_on_error)
+      const loadgen $ connect $ requests $ rate $ seed $ slow_ms
+      $ config_term $ logging_term $ fail_on_error)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
 
-let verify campaign seed cases report_path =
+let verify campaign seed cases report_path logging =
+  with_logging logging @@ fun () ->
   match Rvu_verify.Campaign.of_name campaign with
   | None ->
       Format.eprintf "rvu verify: unknown campaign %S (known: %s)@." campaign
@@ -764,7 +859,196 @@ let verify_cmd =
          "Run verification campaigns: metamorphic symmetry oracles and \
           deterministic fault injection. Exits non-zero on any invariant \
           violation.")
-    Term.(const verify $ campaign $ seed $ cases $ report)
+    Term.(const verify $ campaign $ seed $ cases $ report $ logging_term)
+
+(* ------------------------------------------------------------------ *)
+(* health *)
+
+let health connect =
+  let host, port = connect in
+  let addr = Unix.ADDR_INET (resolve_host host, port) in
+  (* The server may still be binding (smoke tests fork it just before the
+     probe): retry the connection briefly before giving up. *)
+  let rec connect_retry tries =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect sock addr with
+    | () -> sock
+    | exception Unix.Unix_error (e, _, _) ->
+        Unix.close sock;
+        if tries <= 1 then begin
+          Format.eprintf "rvu: cannot connect to %s:%d: %s@." host port
+            (Unix.error_message e);
+          exit 1
+        end;
+        Unix.sleepf 0.1;
+        connect_retry (tries - 1)
+  in
+  let sock = connect_retry 50 in
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  output_string oc "{\"id\":0,\"kind\":\"health\"}\n";
+  flush oc;
+  let line =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file ->
+        Format.eprintf "rvu: server closed the connection without answering@.";
+        exit 1
+  in
+  (try Unix.shutdown sock Unix.SHUTDOWN_ALL with _ -> ());
+  close_in_noerr ic;
+  let bad reason =
+    Format.eprintf "rvu: malformed health response (%s): %s@." reason line;
+    exit 1
+  in
+  let open Rvu_service in
+  match Wire.parse line with
+  | Error _ -> bad "not JSON"
+  | Ok response -> (
+      match Wire.member "ok" response with
+      | None -> bad "no ok payload"
+      | Some payload -> (
+          let int_field obj name =
+            match Option.bind obj (Wire.member name) with
+            | Some (Wire.Int n) -> n
+            | _ -> bad (Printf.sprintf "missing %s" name)
+          in
+          match Wire.member "status" payload with
+          | Some (Wire.String status) ->
+              let queue = Wire.member "queue" payload in
+              Printf.printf
+                "%s: %d in flight (depth %d), %d shed since last probe\n"
+                status
+                (int_field queue "in_flight")
+                (int_field queue "depth")
+                (int_field (Some payload) "shed_since_last_probe");
+              if status = "ready" then exit 0 else exit 2
+          | _ -> bad "missing status"))
+
+let health_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some hostport_conv) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"The $(b,rvu serve --tcp) instance to probe.")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Probe a running server's health endpoint. Exits 0 when ready, 2 \
+          when degraded (admission saturated or recent shedding), 1 when \
+          the probe itself fails.")
+    Term.(const health $ connect)
+
+(* ------------------------------------------------------------------ *)
+(* bench-diff *)
+
+(* Numeric leaves of a bench artifact as dotted paths: {"cold":{"wall_s":
+   1.2}} becomes ("cold.wall_s", 1.2). List elements get their index as a
+   path segment. *)
+let rec flatten_numeric prefix v acc =
+  let child k v acc =
+    flatten_numeric (if prefix = "" then k else prefix ^ "." ^ k) v acc
+  in
+  match v with
+  | Rvu_service.Wire.Obj fields ->
+      List.fold_left (fun acc (k, v) -> child k v acc) acc fields
+  | Rvu_service.Wire.List items ->
+      List.fold_left
+        (fun (i, acc) v -> (i + 1, child (string_of_int i) v acc))
+        (0, acc) items
+      |> snd
+  | Rvu_service.Wire.Int n -> (prefix, float_of_int n) :: acc
+  | Rvu_service.Wire.Float f -> (prefix, f) :: acc
+  | _ -> acc
+
+let contains_wall path =
+  (* Compare wall-clock series only: counters and derived ratios move for
+     benign reasons (cache sizes, request mixes), walls are the contract. *)
+  let n = String.length path and m = 4 in
+  let rec scan i =
+    i + m <= n && (String.sub path i m = "wall" || scan (i + 1))
+  in
+  scan 0
+
+let bench_diff old_file new_file threshold =
+  let load path =
+    let contents =
+      try In_channel.with_open_bin path In_channel.input_all
+      with Sys_error msg ->
+        Format.eprintf "rvu: cannot read %s: %s@." path msg;
+        exit 1
+    in
+    match Rvu_service.Wire.parse contents with
+    | Ok v -> v
+    | Error e ->
+        Format.eprintf "rvu: %s is not valid JSON: %s@." path
+          (Rvu_service.Wire.error_to_string e);
+        exit 1
+  in
+  let olds = flatten_numeric "" (load old_file) [] in
+  let news = flatten_numeric "" (load new_file) [] in
+  let shared =
+    List.filter_map
+      (fun (path, old_v) ->
+        if contains_wall path then
+          match List.assoc_opt path news with
+          | Some new_v -> Some (path, old_v, new_v)
+          | None -> None
+        else None)
+      olds
+    |> List.sort compare
+  in
+  if shared = [] then begin
+    Format.eprintf
+      "rvu: no shared wall-time series between %s and %s — nothing to \
+       compare@."
+      old_file new_file;
+    exit 1
+  end;
+  let regressions = ref 0 in
+  List.iter
+    (fun (path, old_v, new_v) ->
+      let delta_pct =
+        if old_v > 0.0 then (new_v -. old_v) /. old_v *. 100.0
+        else if new_v > 0.0 then Float.infinity
+        else 0.0
+      in
+      let regressed = delta_pct > threshold in
+      if regressed then incr regressions;
+      Printf.printf "%-40s %12.6g %12.6g %+8.1f%%%s\n" path old_v new_v
+        delta_pct
+        (if regressed then "  REGRESSION" else ""))
+    shared;
+  flush stdout;
+  if !regressions > 0 then begin
+    Format.eprintf "rvu: %d wall-time series regressed by more than %g%%@."
+      !regressions threshold;
+    exit 1
+  end
+
+let bench_diff_cmd =
+  let file n doc = Arg.(required & pos n (some string) None & info [] ~docv:"FILE" ~doc) in
+  let threshold =
+    Arg.(
+      value & opt float 20.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Fail when any shared wall-time series is more than $(docv) \
+             percent slower in the new artifact.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench JSON artifacts (e.g. bench/baselines/BENCH_4.json \
+          against a fresh run) on their shared wall-time series, and exit \
+          non-zero on a regression beyond the threshold.")
+    Term.(
+      const bench_diff
+      $ file 0 "Baseline bench artifact."
+      $ file 1 "Fresh bench artifact."
+      $ threshold)
 
 (* ------------------------------------------------------------------ *)
 
@@ -780,4 +1064,5 @@ let () =
           [
             simulate_cmd; search_cmd; feasibility_cmd; schedule_cmd; bound_cmd;
             sweep_cmd; gather_cmd; serve_cmd; loadgen_cmd; verify_cmd;
+            health_cmd; bench_diff_cmd;
           ]))

@@ -59,7 +59,8 @@ module Persistent = struct
   type t = {
     lock : Mutex.t;
     work : Condition.t;
-    queue : (unit -> unit) Queue.t;
+    queue : (string option * (unit -> unit)) Queue.t;
+        (* (correlation id, task) *)
     mutable stopped : bool;
     mutable workers : unit Domain.t list;
     jobs : int;
@@ -78,6 +79,10 @@ module Persistent = struct
     Rvu_obs.Metrics.counter
       ~help:"Pool tasks that raised (swallowed to keep the worker alive)"
       "rvu_pool_task_exceptions_total"
+
+  let m_workers =
+    Rvu_obs.Metrics.gauge ~help:"Live persistent-pool worker domains"
+      "rvu_pool_workers"
 
   let fault_task_crash = Rvu_obs.Fault.site "pool.task_crash"
 
@@ -98,15 +103,27 @@ module Persistent = struct
       Mutex.lock t.lock;
       match next () with
       | None -> Mutex.unlock t.lock
-      | Some task ->
+      | Some (ctx, task) ->
           Mutex.unlock t.lock;
           (* Tasks own their error handling; a raising task must not take
-             the worker domain down with it. *)
+             the worker domain down with it. The submitter's correlation
+             id is re-installed on this domain for the task's extent so
+             logs and trace spans from inside it stay correlated. *)
           let t0 = Rvu_obs.Clock.now_s () in
-          (try
-             Rvu_obs.Fault.crash fault_task_crash "worker task";
-             task ()
-           with _ -> Rvu_obs.Metrics.incr m_task_exceptions);
+          let run () =
+            try
+              Rvu_obs.Fault.crash fault_task_crash "worker task";
+              task ()
+            with e ->
+              Rvu_obs.Metrics.incr m_task_exceptions;
+              Rvu_obs.Log.error
+                ~fields:
+                  [ ("exn", Rvu_obs.Wire.String (Printexc.to_string e)) ]
+                "pool task raised"
+          in
+          (match ctx with
+          | None -> run ()
+          | Some cid -> Rvu_obs.Ctx.with_ctx cid run);
           Rvu_obs.Metrics.observe m_task_wall (Rvu_obs.Clock.now_s () -. t0);
           loop ()
     in
@@ -125,17 +142,18 @@ module Persistent = struct
       }
     in
     t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+    Rvu_obs.Metrics.gauge_add m_workers (float_of_int jobs);
     t
 
   let jobs t = t.jobs
 
-  let submit t task =
+  let submit ?ctx t task =
     Mutex.lock t.lock;
     if t.stopped then begin
       Mutex.unlock t.lock;
       invalid_arg "Pool.Persistent.submit: executor is stopped"
     end;
-    Queue.push task t.queue;
+    Queue.push (ctx, task) t.queue;
     Rvu_obs.Metrics.gauge_add m_queue_depth 1.0;
     Condition.signal t.work;
     Mutex.unlock t.lock
@@ -146,5 +164,6 @@ module Persistent = struct
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
     List.iter Domain.join t.workers;
+    Rvu_obs.Metrics.gauge_add m_workers (-.float_of_int (List.length t.workers));
     t.workers <- []
 end

@@ -51,10 +51,14 @@ module Persistent : sig
   val jobs : t -> int
   (** The worker count the pool was started with (after clamping). *)
 
-  val submit : t -> (unit -> unit) -> unit
+  val submit : ?ctx:string -> t -> (unit -> unit) -> unit
   (** Enqueue a task. The queue is unbounded — admission control (shedding
       past a depth limit) belongs to the layer above, which can count
-      in-flight tasks. Raises [Invalid_argument] after {!stop}. *)
+      in-flight tasks. [ctx] is a {!Rvu_obs.Ctx} correlation id to install
+      on the worker domain for the task's extent, so log records and trace
+      spans emitted inside the task stay correlated with the submitting
+      request; an uncaught task exception is logged at [error] level under
+      that id. Raises [Invalid_argument] after {!stop}. *)
 
   val stop : t -> unit
   (** Drain: no new tasks are accepted, already-queued tasks still run,

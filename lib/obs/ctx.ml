@@ -1,0 +1,34 @@
+let key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current () = Domain.DLS.get key
+
+let with_ctx cid f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some cid);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+(* Generated ids come from the same SplitMix64 finaliser as Fault's firing
+   decisions, stepped by the SplitMix64 gamma (the finaliser alone maps 0
+   to 0, which would make the default stream start at all-zeros).
+   Deterministic per process under the default seed so cram tests can pin
+   them. *)
+let gamma = 0x9e3779b97f4a7c15L
+let seed_state = Atomic.make 0L
+let counter = Atomic.make 0
+
+let set_seed s =
+  Atomic.set seed_state (Fault.mix64 (Int64.of_int s));
+  Atomic.set counter 0
+
+let generate () =
+  let n = Atomic.fetch_and_add counter 1 in
+  let z =
+    Int64.add (Atomic.get seed_state) (Int64.mul (Int64.of_int (n + 1)) gamma)
+  in
+  Printf.sprintf "c%016Lx" (Fault.mix64 z)
+
+let of_id = function
+  | Wire.Int n -> Some ("req-" ^ string_of_int n)
+  | Wire.String s -> Some ("req-" ^ s)
+  | _ -> None
+
+let derive id = match of_id id with Some cid -> cid | None -> generate ()

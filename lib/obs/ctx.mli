@@ -1,0 +1,41 @@
+(** Per-request correlation ids.
+
+    A correlation id (a short string such as ["req-42"] or ["c1b2…"]) names
+    one request as it moves through the stack: [Server] derives it from the
+    wire envelope, [Sched] carries it into the worker pool, and every
+    {!Log} record, {!Trace} span and wire response emitted while it is in
+    scope is stamped with it — so one grep links a log line, a trace lane
+    and a response.
+
+    The ambient id is domain-local ([Domain.DLS]): {!with_ctx} installs it
+    for the dynamic extent of a callback on the calling domain, and crossing
+    a domain boundary (e.g. handing a task to [Pool.Persistent]) requires
+    passing the id explicitly and re-installing it on the worker — which is
+    exactly what the service stack does. *)
+
+val of_id : Wire.t -> string option
+(** [of_id id] derives a correlation id from a request envelope [id]:
+    [Some "req-<n>"] for [Int n], [Some "req-<s>"] for [String s], [None]
+    for other shapes (including [Null]). *)
+
+val derive : Wire.t -> string
+(** [of_id id], falling back to {!generate} when the envelope id has no
+    usable shape. *)
+
+val generate : unit -> string
+(** A fresh id ["c<16 hex digits>"] from the seeded SplitMix64 stream
+    ({!Fault.mix64} of seed + a process-global counter). With the default
+    seed the sequence is identical in every process, which keeps ids
+    pinnable in cram tests; call {!set_seed} to decorrelate. *)
+
+val set_seed : int -> unit
+(** Reseed the generator and reset its counter. *)
+
+val with_ctx : string -> (unit -> 'a) -> 'a
+(** [with_ctx cid f] runs [f] with [cid] as the ambient correlation id on
+    this domain, restoring the previous ambient id (if any) afterwards,
+    exceptions included. *)
+
+val current : unit -> string option
+(** The ambient correlation id installed by the innermost {!with_ctx} on
+    this domain, if any. *)

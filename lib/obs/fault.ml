@@ -56,6 +56,8 @@ let mix z =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
   logxor z (shift_right_logical z 31)
 
+let mix64 = mix
+
 let string_hash s =
   (* FNV-1a folded into 64 bits; stable across runs (unlike Hashtbl.hash
      seeded builds, this is ours to keep fixed). *)
@@ -77,6 +79,20 @@ let decide s n =
   let h = mix (Int64.add h (Int64.of_int n)) in
   unit_float h
 
+(* Injection listeners: consulted only when a site actually fires, so the
+   disarmed fast path is untouched. [Log] registers one to dump its flight
+   recorder; keeping the hook here avoids a module cycle (Fault must not
+   depend on Log). *)
+let listeners : (string -> unit) list Atomic.t = Atomic.make []
+
+let on_injection f =
+  with_lock (fun () -> Atomic.set listeners (f :: Atomic.get listeners))
+
+let notify site_name =
+  List.iter
+    (fun f -> try f site_name with _ -> ())
+    (Atomic.get listeners)
+
 let fire s =
   if not (Atomic.get switch) then false
   else
@@ -87,6 +103,7 @@ let fire s =
       if decide s n < p then begin
         Atomic.incr s.injected;
         Metrics.incr s.metric;
+        notify s.site_name;
         true
       end
       else false

@@ -59,6 +59,18 @@ val arm : seed:int -> (string * float) list -> unit
 val disarm : unit -> unit
 (** Stop injecting. Counters keep their values for reading. *)
 
+val on_injection : (string -> unit) -> unit
+(** [on_injection f] registers [f] to be called with the site name each
+    time a site actually fires. Listeners run on the firing domain, cost
+    nothing on the disarmed fast path, cannot be unregistered, and any
+    exception they raise is swallowed. {!Log} uses this to dump its
+    flight recorder when an armed site fires. *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finaliser used for firing decisions, exported so other
+    observability layers ({!Ctx} correlation ids) can derive deterministic
+    pseudo-random values without a second generator. *)
+
 val armed : unit -> bool
 
 val injected_count : site -> int

@@ -1,0 +1,85 @@
+(** Domain-safe structured logging — the third observability pillar.
+
+    Records are NDJSON: one {!Wire} object per line, so
+    [Wire.parse (line) = Ok _] holds for every emitted line and the log
+    file is greppable and machine-readable with the same codec the wire
+    protocol uses. Field order is fixed: [ts] (wall-clock epoch seconds),
+    [level], [msg], [ctx] (when a {!Ctx} correlation id is ambient), then
+    caller fields sorted by key. Caller fields that collide with the
+    reserved keys are dropped.
+
+    {b One branch when off.} Like the {!Metrics} kill switch and the
+    {!Fault} disarmed path, an unconfigured logger (or a record below the
+    level gate with no flight recorder armed) costs a single atomic-int
+    comparison per call site — field lists are only constructed and
+    rendered past the gate. Wrap expensive field computations in
+    [if Log.enabled Debug then …] if even the list allocation matters.
+
+    {b Flight recorder.} When armed with capacity [N], records of {e
+    every} level — including those below the sink level — are rendered
+    into a lock-striped in-memory ring (8 stripes keyed by domain id, each
+    holding [N] slots). When an [error] record is emitted, or an armed
+    {!Fault} site fires, the last [N] records overall are dumped to the
+    sink (oldest first, preceded by a ["flight-recorder dump"] marker
+    record) and the ring is cleared — post-mortems get the debug-level
+    prelude without debug-level I/O in steady state. The price is that
+    sub-level records are still rendered while the recorder is armed.
+
+    All operations are safe to call from any domain: sink writes are
+    serialised by a mutex (so concurrent domains never tear a line), and
+    ring pushes touch only the calling domain's stripe. *)
+
+type level = Debug | Info | Warn | Error
+
+val string_of_level : level -> string
+val level_of_string : string -> level option
+
+type sink =
+  | Stderr
+  | File of string  (** opened (truncating) at {!configure} time *)
+  | Ring of int  (** bounded in-memory ring of the last [n] lines *)
+
+val configure : ?level:level -> ?flight_recorder:int -> sink -> unit
+(** [configure ~level ~flight_recorder sink] turns logging on. [level]
+    (default [Info]) gates what reaches the sink; [flight_recorder]
+    (default [0] = off) arms the recorder with that capacity. Raises
+    [Sys_error] if a [File] sink cannot be opened — callers should fail
+    fast, like [Trace.enable] — [Invalid_argument] if already configured
+    ({!close} first) or if a [Ring]/[flight_recorder] capacity is
+    non-positive. *)
+
+val close : unit -> unit
+(** Disable logging, flush and (for [File]) close the sink. The flight
+    recorder's unflushed contents are discarded — a dump is a reaction to
+    a failure, not a shutdown rite. No-op when not configured. *)
+
+val set_level : level -> unit
+(** Change the sink level of the running logger. No-op when not
+    configured. *)
+
+val enabled : level -> bool
+(** Would a record at this level be processed (sunk or ringed) right now?
+    One atomic read; use it to skip expensive field construction. *)
+
+val debug : ?fields:(string * Wire.t) list -> string -> unit
+val info : ?fields:(string * Wire.t) list -> string -> unit
+val warn : ?fields:(string * Wire.t) list -> string -> unit
+
+val error : ?fields:(string * Wire.t) list -> string -> unit
+(** [error] additionally triggers a flight-recorder dump (the error
+    record itself is both written directly and included in the dump,
+    having been ringed first). *)
+
+val flight_dump : reason:string -> unit -> unit
+(** Force a dump, as the {!Fault} injection hook does. No-op when the
+    logger or the recorder is off, or the ring is empty. *)
+
+val emitted_records : unit -> int
+(** Lines written to the sink since process start (cumulative across
+    {!configure}/{!close} cycles, dump markers and dumped records
+    included) — lets benches reconcile record counts against request
+    counters. *)
+
+val ring_contents : unit -> string list
+(** The lines currently held by a [Ring] sink, oldest first; [[]] for
+    other sinks or when unconfigured. For tests. *)

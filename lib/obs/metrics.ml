@@ -308,14 +308,20 @@ let snapshot () =
    Prometheus and JSON exposition print identical numbers. *)
 let float_str x = Wire.print (Wire.Float x)
 
-let label_str labels =
+(* The exposition endpoint is scraped, so each line is written with
+   [Printf.bprintf] straight into the buffer — no intermediate strings.
+   [%a] with [bprint_labels] keeps the label block allocation-free too. *)
+let bprint_labels b labels =
   match labels with
-  | [] -> ""
+  | [] -> ()
   | _ ->
-      "{"
-      ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
-      ^ "}"
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "%s=%S" k v)
+        labels;
+      Buffer.add_char b '}'
 
 let expose () =
   let b = Buffer.create 1024 in
@@ -330,36 +336,27 @@ let expose () =
       in
       if not (Hashtbl.mem seen_header s.name) then begin
         Hashtbl.add seen_header s.name ();
-        if s.help <> "" then
-          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" s.name s.help);
-        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" s.name kind)
+        if s.help <> "" then Printf.bprintf b "# HELP %s %s\n" s.name s.help;
+        Printf.bprintf b "# TYPE %s %s\n" s.name kind
       end;
       match s.value with
-      | Counter v ->
-          Buffer.add_string b
-            (Printf.sprintf "%s%s %d\n" s.name (label_str s.labels) v)
+      | Counter v -> Printf.bprintf b "%s%a %d\n" s.name bprint_labels s.labels v
       | Gauge v ->
-          Buffer.add_string b
-            (Printf.sprintf "%s%s %s\n" s.name (label_str s.labels)
-               (float_str v))
+          Printf.bprintf b "%s%a %s\n" s.name bprint_labels s.labels
+            (float_str v)
       | Histogram { buckets; count; sum } ->
           List.iter
             (fun (le, cum) ->
-              Buffer.add_string b
-                (Printf.sprintf "%s_bucket%s %d\n" s.name
-                   (label_str (s.labels @ [ ("le", float_str le) ]))
-                   cum))
+              Printf.bprintf b "%s_bucket%a %d\n" s.name bprint_labels
+                (s.labels @ [ ("le", float_str le) ])
+                cum)
             buckets;
-          Buffer.add_string b
-            (Printf.sprintf "%s_bucket%s %d\n" s.name
-               (label_str (s.labels @ [ ("le", "+Inf") ]))
-               count);
-          Buffer.add_string b
-            (Printf.sprintf "%s_sum%s %s\n" s.name (label_str s.labels)
-               (float_str sum));
-          Buffer.add_string b
-            (Printf.sprintf "%s_count%s %d\n" s.name (label_str s.labels)
-               count))
+          Printf.bprintf b "%s_bucket%a %d\n" s.name bprint_labels
+            (s.labels @ [ ("le", "+Inf") ])
+            count;
+          Printf.bprintf b "%s_sum%a %s\n" s.name bprint_labels s.labels
+            (float_str sum);
+          Printf.bprintf b "%s_count%a %d\n" s.name bprint_labels s.labels count)
     (snapshot ());
   Buffer.contents b
 

@@ -1,0 +1,114 @@
+let m_minor =
+  Metrics.counter ~help:"Minor GC collections (sampled by Runtime)"
+    "rvu_gc_minor_collections_total"
+
+let m_major =
+  Metrics.counter ~help:"Major GC collections (sampled by Runtime)"
+    "rvu_gc_major_collections_total"
+
+let m_compactions =
+  Metrics.counter ~help:"Heap compactions (sampled by Runtime)"
+    "rvu_gc_compactions_total"
+
+let g_heap = Metrics.gauge ~help:"Major heap size in words" "rvu_gc_heap_words"
+
+let g_top_heap =
+  Metrics.gauge ~help:"Largest major heap size reached, in words"
+    "rvu_gc_top_heap_words"
+
+let lock = Mutex.create ()
+let last : Gc.stat option ref = ref None
+let t0 = Clock.now_s () (* anchor for uptime: first use of this module *)
+
+let sample () =
+  let s = Gc.quick_stat () in
+  Mutex.lock lock;
+  let prev = !last in
+  last := Some s;
+  Mutex.unlock lock;
+  (* Counters advance by the delta since the previous sample, so the
+     registry series stays cumulative-since-process-start no matter how
+     often (or rarely) anyone samples. *)
+  let delta get =
+    match prev with None -> get s | Some p -> max 0 (get s - get p)
+  in
+  Metrics.incr ~by:(delta (fun (s : Gc.stat) -> s.minor_collections)) m_minor;
+  Metrics.incr ~by:(delta (fun (s : Gc.stat) -> s.major_collections)) m_major;
+  Metrics.incr ~by:(delta (fun (s : Gc.stat) -> s.compactions)) m_compactions;
+  Metrics.gauge_set g_heap (float_of_int s.heap_words);
+  Metrics.gauge_set g_top_heap (float_of_int s.top_heap_words);
+  s
+
+let json () =
+  let s = sample () in
+  Wire.Obj
+    [
+      ("minor_collections", Wire.Int s.minor_collections);
+      ("major_collections", Wire.Int s.major_collections);
+      ("compactions", Wire.Int s.compactions);
+      ("heap_words", Wire.Int s.heap_words);
+      ("top_heap_words", Wire.Int s.top_heap_words);
+      ("minor_words", Wire.Float s.minor_words);
+      ("recommended_domains", Wire.Int (Domain.recommended_domain_count ()));
+      ("uptime_s", Wire.Float (Clock.now_s () -. t0));
+    ]
+
+type sampler = { stop_flag : bool Atomic.t; dom : unit Domain.t }
+
+let sampler : sampler option ref = ref None (* guarded by [lock] *)
+
+let loop stop_flag interval pace_warn =
+  let last_majors = ref (Gc.quick_stat ()).Gc.major_collections in
+  let continue_ = ref true in
+  while !continue_ do
+    (* Sleep in 50 ms slices so [stop] is prompt. *)
+    let deadline = Clock.now_s () +. interval in
+    while (not (Atomic.get stop_flag)) && Clock.now_s () < deadline do
+      Unix.sleepf 0.05
+    done;
+    if Atomic.get stop_flag then continue_ := false
+    else begin
+      let s = sample () in
+      let majors = s.major_collections in
+      let pace = float_of_int (majors - !last_majors) /. interval in
+      last_majors := majors;
+      if pace > pace_warn then
+        Log.warn
+          ~fields:
+            [
+              ("majors_per_s", Wire.Float pace);
+              ("threshold", Wire.Float pace_warn);
+              ("heap_words", Wire.Int s.heap_words);
+            ]
+          "gc major pace high"
+    end
+  done
+
+let start ?(interval_s = 5.0) ?(major_pace_warn = 10.0) () =
+  if not (interval_s > 0.0) then
+    invalid_arg "Runtime.start: interval must be positive";
+  Mutex.lock lock;
+  if !sampler <> None then Mutex.unlock lock
+  else begin
+    let stop_flag = Atomic.make false in
+    let dom = Domain.spawn (fun () -> loop stop_flag interval_s major_pace_warn) in
+    sampler := Some { stop_flag; dom };
+    Mutex.unlock lock
+  end
+
+let stop () =
+  Mutex.lock lock;
+  let r = !sampler in
+  sampler := None;
+  Mutex.unlock lock;
+  match r with
+  | None -> ()
+  | Some { stop_flag; dom } ->
+      Atomic.set stop_flag true;
+      Domain.join dom
+
+let running () =
+  Mutex.lock lock;
+  let r = !sampler <> None in
+  Mutex.unlock lock;
+  r

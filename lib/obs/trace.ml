@@ -34,10 +34,27 @@ let record ev =
 
 let tid () = (Domain.self () :> int)
 
+(* Spans opened while a request's correlation id is ambient carry it as a
+   ["ctx"] arg, so a log grep and a trace lane meet on the same string.
+   Only consulted when tracing is on — the disabled path is unchanged. *)
+let stamp_ctx args =
+  if List.mem_assoc "ctx" args then args
+  else
+    match Ctx.current () with
+    | Some cid -> args @ [ ("ctx", Wire.String cid) ]
+    | None -> args
+
 let begin_span ?(args = []) name =
   if Atomic.get sink = None then Disabled
   else begin
-    record { name; ph = 'B'; ts = Clock.now_us (); tid = tid (); args };
+    record
+      {
+        name;
+        ph = 'B';
+        ts = Clock.now_us ();
+        tid = tid ();
+        args = stamp_ctx args;
+      };
     Span { name }
   end
 
@@ -52,7 +69,14 @@ let with_span ?args name f =
 
 let instant ?(args = []) name =
   if Atomic.get sink <> None then
-    record { name; ph = 'i'; ts = Clock.now_us (); tid = tid (); args }
+    record
+      {
+        name;
+        ph = 'i';
+        ts = Clock.now_us ();
+        tid = tid ();
+        args = stamp_ctx args;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Sink lifecycle *)

@@ -253,3 +253,4 @@ let run = function
   | Proto.Stats -> invalid_arg "Handler.run: stats is answered by the server"
   | Proto.Metrics _ ->
       invalid_arg "Handler.run: metrics is answered by the server"
+  | Proto.Health -> invalid_arg "Handler.run: health is answered by the server"

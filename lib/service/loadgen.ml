@@ -7,6 +7,7 @@ type t = {
   lines : string array;
   sent : float array;
   latency : float array; (* seconds; negative until the response arrives *)
+  slow_ms : float option; (* log responses slower than this at warn *)
   mutable completed : int;
   mutable ok : int;
   mutable overloaded : int;
@@ -88,8 +89,12 @@ let mix ~seed n =
       in
       Wire.print (Proto.wire_of_request ~id:(Wire.Int (i + 1)) request))
 
-let create ?(seed = 0) ?lines ~requests () =
+let create ?(seed = 0) ?lines ?slow_ms ~requests () =
   if requests < 1 then invalid_arg "Loadgen.create: requests < 1";
+  (match slow_ms with
+  | Some ms when not (Float.is_finite ms && ms > 0.0) ->
+      invalid_arg "Loadgen.create: slow_ms must be positive and finite"
+  | _ -> ());
   let lines =
     match lines with
     | Some l ->
@@ -105,6 +110,7 @@ let create ?(seed = 0) ?lines ~requests () =
     lines;
     sent = Array.make requests 0.0;
     latency = Array.make requests (-1.0);
+    slow_ms;
     completed = 0;
     ok = 0;
     overloaded = 0;
@@ -155,7 +161,25 @@ let note_response t line =
       match Wire.member "id" response with
       | Some (Wire.Int id) when id >= 1 && id <= t.n && t.latency.(id - 1) < 0.0
         ->
-          t.latency.(id - 1) <- arrived -. t.sent.(id - 1);
+          let latency = arrived -. t.sent.(id - 1) in
+          t.latency.(id - 1) <- latency;
+          (match t.slow_ms with
+          | Some target when latency *. 1000.0 > target ->
+              (* The request's correlation id ("req-<id>" by construction:
+                 the mix numbers envelope ids 1..n) is installed so the
+                 warn record joins the server's own logs for the same
+                 request. *)
+              Rvu_obs.Ctx.with_ctx
+                ("req-" ^ string_of_int id)
+                (fun () ->
+                  Rvu_obs.Log.warn
+                    ~fields:
+                      [
+                        ("latency_ms", Wire.Float (latency *. 1000.0));
+                        ("target_ms", Wire.Float target);
+                      ]
+                    "slow request")
+          | _ -> ());
           classify t response;
           t.completed <- t.completed + 1
       | _ ->

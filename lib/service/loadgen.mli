@@ -13,13 +13,18 @@
 
 type t
 
-val create : ?seed:int -> ?lines:string array -> requests:int -> unit -> t
+val create :
+  ?seed:int -> ?lines:string array -> ?slow_ms:float -> requests:int -> unit -> t
 (** A generator for [requests] requests. The default mix is derived
     deterministically from [seed] (default [0]); [lines] overrides it with
     caller-built request lines (e.g. the [perf-serve] bench's fixed
     workload), which must carry ids [1 … n] matching their positions.
-    Raises [Invalid_argument] if [requests < 1] or [lines] has the wrong
-    length. *)
+    [slow_ms] logs a {!Rvu_obs.Log.warn} ["slow request"] record — under
+    the request's ["req-<id>"] correlation id — for every response slower
+    than that target (e.g. a p99 objective), so slow outliers can be
+    joined against the server's logs and traces. Raises
+    [Invalid_argument] if [requests < 1], [lines] has the wrong length, or
+    [slow_ms] is not positive and finite. *)
 
 val drive : ?rate:float -> send:(string -> unit) -> t -> unit
 (** Send every request line through [send], pacing to [rate] requests per

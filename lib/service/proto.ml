@@ -48,6 +48,7 @@ type request =
   | Batch of batch
   | Stats
   | Metrics of metrics_format
+  | Health
 
 type envelope = { id : Wire.t; timeout_ms : float option; request : request }
 
@@ -165,6 +166,7 @@ let body_of_wire w kind =
         Error "field \"bearing\": must be finite"
       else Ok (Batch { attrs; d_lo; d_hi; points; bearing; r; horizon })
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
   | "metrics" -> (
       let* fmt = opt w "format" string_field ~default:"json" in
       match fmt with
@@ -270,6 +272,7 @@ let body_fields = function
             ("horizon", Wire.Float b.horizon);
           ] )
   | Stats -> ("stats", [])
+  | Health -> ("health", [])
   | Metrics fmt ->
       ( "metrics",
         [
@@ -298,16 +301,24 @@ let canonical_key request = Wire.print (wire_of_request request)
 (* ------------------------------------------------------------------ *)
 (* Responses *)
 
-let ok_response ~id result = Wire.Obj [ ("id", id); ("ok", result) ]
+(* Responses echo the request's correlation id at the envelope level, so a
+   client holding a response and an operator holding the log file meet on
+   the same ["ctx"] string without consulting the server. *)
+let ctx_field = function
+  | Some cid -> [ ("ctx", Wire.String cid) ]
+  | None -> []
 
-let error_response ~id code message =
+let ok_response ?ctx ~id result =
+  Wire.Obj ((("id", id) :: ctx_field ctx) @ [ ("ok", result) ])
+
+let error_response ?ctx ~id code message =
   Wire.Obj
-    [
-      ("id", id);
-      ( "error",
-        Wire.Obj
-          [
-            ("code", Wire.String (code_string code));
-            ("message", Wire.String message);
-          ] );
-    ]
+    ((("id", id) :: ctx_field ctx)
+    @ [
+        ( "error",
+          Wire.Obj
+            [
+              ("code", Wire.String (code_string code));
+              ("message", Wire.String message);
+            ] );
+      ])

@@ -75,6 +75,11 @@ type request =
       (** process-wide metrics registry; answered by the server itself,
           uncached (selected by the optional ["format"] field, default
           ["json"]) *)
+  | Health
+      (** readiness probe for load balancers; answered by the server
+          itself, synchronously and uncached, as
+          [{"status":"ready"|"degraded",…}] — degraded while the queue is
+          saturated or requests were shed since the previous probe *)
 
 type envelope = {
   id : Wire.t;  (** [Null], [Int] or [String] *)
@@ -103,5 +108,8 @@ val canonical_key : request -> string
     the envelope ([id], [timeout_ms]) stripped. Two textually different
     request lines that decode to the same request share one key. *)
 
-val ok_response : id:Wire.t -> Wire.t -> Wire.t
-val error_response : id:Wire.t -> error_code -> string -> Wire.t
+val ok_response : ?ctx:string -> id:Wire.t -> Wire.t -> Wire.t
+val error_response : ?ctx:string -> id:Wire.t -> error_code -> string -> Wire.t
+(** [ctx] is the request's {!Rvu_obs.Ctx} correlation id, echoed as an
+    envelope-level ["ctx"] field ([{"id":…,"ctx":…,"ok":…}]) so responses,
+    log records and trace spans can be joined on one string. *)

@@ -57,29 +57,29 @@ let queue_depth t = t.queue_depth
    milliseconds-to-seconds granularity does not need monotonic precision. *)
 let now () = Unix.gettimeofday ()
 
-let submit t (env : Proto.envelope) ~k =
+let in_flight t = Atomic.get t.in_flight
+
+let submit ?ctx t (env : Proto.envelope) ~k =
   let key = Proto.canonical_key env.Proto.request in
+  let shed () =
+    Rvu_obs.Metrics.incr m_shed;
+    Rvu_obs.Log.warn
+      ~fields:[ ("queue_depth", Wire.Int t.queue_depth) ]
+      "request shed";
+    k
+      (Error
+         ( Proto.Overloaded,
+           Printf.sprintf "pending queue is full (depth %d)" t.queue_depth ))
+  in
   match Lru.find t.cache key with
   | Some cached -> k (Ok cached)
   | None ->
-      if Rvu_obs.Fault.fire fault_force_shed then begin
-        Rvu_obs.Metrics.incr m_shed;
-        k
-          (Error
-             ( Proto.Overloaded,
-               Printf.sprintf "pending queue is full (depth %d)" t.queue_depth
-             ))
-      end
+      if Rvu_obs.Fault.fire fault_force_shed then shed ()
       else if Atomic.fetch_and_add t.in_flight 1 >= t.queue_depth then begin
         (* Shed: the pending queue is full. Decrement before replying so a
            draining queue immediately re-opens admission. *)
         Atomic.decr t.in_flight;
-        Rvu_obs.Metrics.incr m_shed;
-        k
-          (Error
-             ( Proto.Overloaded,
-               Printf.sprintf "pending queue is full (depth %d)" t.queue_depth
-             ))
+        shed ()
       end
       else begin
         Rvu_obs.Metrics.incr m_admitted;
@@ -89,23 +89,29 @@ let submit t (env : Proto.envelope) ~k =
           | None, None -> None
         in
         let admitted_at = Rvu_obs.Clock.now_s () in
-        Rvu_exec.Pool.Persistent.submit t.pool (fun () ->
+        let timed_out () =
+          Rvu_obs.Metrics.incr m_timeout;
+          Rvu_obs.Log.warn
+            ~fields:
+              [
+                ( "queue_wait_s",
+                  Wire.Float (Rvu_obs.Clock.now_s () -. admitted_at) );
+              ]
+            "request timed out in queue";
+          Error
+            ( Proto.Timeout,
+              "request exceeded its queue-wait budget before a worker picked \
+               it up" )
+        in
+        (* The worker re-installs [ctx] (Pool.Persistent does it), so logs
+           and trace spans from the handler carry the request's id. *)
+        Rvu_exec.Pool.Persistent.submit ?ctx t.pool (fun () ->
             Rvu_obs.Metrics.observe m_queue_wait
               (Rvu_obs.Clock.now_s () -. admitted_at);
             let result =
               match deadline with
-              | Some dl when now () > dl ->
-                  Rvu_obs.Metrics.incr m_timeout;
-                  Error
-                    ( Proto.Timeout,
-                      "request exceeded its queue-wait budget before a \
-                       worker picked it up" )
-              | _ when Rvu_obs.Fault.fire fault_force_timeout ->
-                  Rvu_obs.Metrics.incr m_timeout;
-                  Error
-                    ( Proto.Timeout,
-                      "request exceeded its queue-wait budget before a \
-                       worker picked it up" )
+              | Some dl when now () > dl -> timed_out ()
+              | _ when Rvu_obs.Fault.fire fault_force_timeout -> timed_out ()
               | _ -> (
                   match
                     Rvu_obs.Fault.crash fault_handler_crash "request handler";

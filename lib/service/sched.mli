@@ -44,16 +44,23 @@ val create :
 
 type outcome = (Wire.t, Proto.error_code * string) result
 
-val submit : t -> Proto.envelope -> k:(outcome -> unit) -> unit
+val submit : ?ctx:string -> t -> Proto.envelope -> k:(outcome -> unit) -> unit
 (** Run the request and deliver the outcome to [k] exactly once — on the
     calling domain for cache hits and shed requests, on a worker domain
     otherwise. [k] must not raise (a raise from a worker task is swallowed
-    by the pool; the caller would wait forever). {!Proto.Stats} requests
-    must not be submitted here — the server answers them directly. *)
+    by the pool; the caller would wait forever). [ctx] is the request's
+    {!Rvu_obs.Ctx} correlation id, re-installed on the worker domain for
+    the task's extent. Shed and timed-out requests are logged at [warn]
+    level. {!Proto.Stats} requests must not be submitted here — the server
+    answers them directly. *)
 
 val cache_stats : t -> Lru.stats
 val jobs : t -> int
 val queue_depth : t -> int
+
+val in_flight : t -> int
+(** Requests admitted and not yet completed — the health probe's queue
+    saturation signal. Racy by nature; a point-in-time read. *)
 
 val stop : t -> unit
 (** Drain the worker pool: queued requests still complete, then the worker

@@ -30,6 +30,8 @@ type t = {
   mutable ok : int;
   mutable errors : int;
   mutable overloaded : int;
+  mutable last_shed_seen : int;
+      (* cumulative shed counter at the previous health probe *)
 }
 
 let create ?(config = default_config) () =
@@ -44,6 +46,8 @@ let create ?(config = default_config) () =
     ok = 0;
     errors = 0;
     overloaded = 0;
+    last_shed_seen =
+      Rvu_obs.Metrics.(counter_value (counter "rvu_sched_shed_total"));
   }
 
 (* In-flight from the transport's point of view: accepted and not yet
@@ -174,6 +178,7 @@ let stats_json t =
             ("algorithm4", stream_cache_json Handler.algorithm4_key);
           ] );
       ("process", process_json ());
+      ("runtime", Rvu_obs.Runtime.json ());
       ( "config",
         Wire.Obj
           [
@@ -187,8 +192,55 @@ let stats_json t =
           ] );
     ]
 
+(* Degraded when the admission queue is saturated right now, or requests
+   were shed since the previous probe — both mean a load balancer should
+   prefer another replica until the next probe. The shed delta is per
+   probe: each health request advances [last_shed_seen]. *)
+let health_json t =
+  let in_flight = Sched.in_flight t.sched in
+  let depth = t.config.queue_depth in
+  let shed_now =
+    Rvu_obs.Metrics.(counter_value (counter "rvu_sched_shed_total"))
+  in
+  Mutex.lock t.lock;
+  let shed_recent = max 0 (shed_now - t.last_shed_seen) in
+  t.last_shed_seen <- shed_now;
+  Mutex.unlock t.lock;
+  let degraded = in_flight >= depth || shed_recent > 0 in
+  Wire.Obj
+    [
+      ("status", Wire.String (if degraded then "degraded" else "ready"));
+      ( "queue",
+        Wire.Obj
+          [ ("in_flight", Wire.Int in_flight); ("depth", Wire.Int depth) ] );
+      ("shed_since_last_probe", Wire.Int shed_recent);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Request path *)
+
+let log_response ~kind ~t0 outcome =
+  if Rvu_obs.Log.enabled Rvu_obs.Log.Info then begin
+    let ms = (Rvu_obs.Clock.now_s () -. t0) *. 1000.0 in
+    let fields label =
+      [
+        ("kind", Wire.String kind);
+        ("outcome", Wire.String label);
+        ("ms", Wire.Float ms);
+      ]
+    in
+    match outcome with
+    | Ok _ -> Rvu_obs.Log.info ~fields:(fields "ok") "response"
+    | Error (code, msg) ->
+        let f =
+          fields (Proto.code_string code) @ [ ("message", Wire.String msg) ]
+        in
+        (* Internal errors are true faults (they trigger a flight-recorder
+           dump); degraded-path outcomes are expected under load. *)
+        (match code with
+        | Proto.Internal -> Rvu_obs.Log.error ~fields:f "response"
+        | _ -> Rvu_obs.Log.warn ~fields:f "response")
+  end
 
 let handle_line t line ~respond =
   let line =
@@ -200,22 +252,33 @@ let handle_line t line ~respond =
     else line
   in
   if String.length line > t.config.max_request_bytes then begin
-    count t `Error;
-    respond
-      (Wire.print
-         (Proto.error_response ~id:Wire.Null Proto.Invalid_request
-            (Printf.sprintf
-               "request line of %d bytes exceeds the %d byte limit"
-               (String.length line) t.config.max_request_bytes)))
+    let ctx = Rvu_obs.Ctx.generate () in
+    Rvu_obs.Ctx.with_ctx ctx (fun () ->
+        count t `Error;
+        Rvu_obs.Log.warn
+          ~fields:[ ("bytes", Wire.Int (String.length line)) ]
+          "request rejected: oversized";
+        respond
+          (Wire.print
+             (Proto.error_response ~ctx ~id:Wire.Null Proto.Invalid_request
+                (Printf.sprintf
+                   "request line of %d bytes exceeds the %d byte limit"
+                   (String.length line) t.config.max_request_bytes))))
   end
   else
   match Wire.parse line with
   | Error e ->
-      count t `Error;
-      respond
-        (Wire.print
-           (Proto.error_response ~id:Wire.Null Proto.Parse_error
-              (Wire.error_to_string e)))
+      let ctx = Rvu_obs.Ctx.generate () in
+      Rvu_obs.Ctx.with_ctx ctx (fun () ->
+          count t `Error;
+          Rvu_obs.Log.warn
+            ~fields:
+              [ ("error", Wire.String (Wire.error_to_string e)) ]
+            "request parse error";
+          respond
+            (Wire.print
+               (Proto.error_response ~ctx ~id:Wire.Null Proto.Parse_error
+                  (Wire.error_to_string e))))
   | Ok w -> (
       match Proto.request_of_wire w with
       | Error msg ->
@@ -226,50 +289,68 @@ let handle_line t line ~respond =
             | Some ((Wire.Int _ | Wire.String _) as id) -> id
             | _ -> Wire.Null
           in
-          count t `Error;
-          respond
-            (Wire.print (Proto.error_response ~id Proto.Invalid_request msg))
-      | Ok env -> (
-          let t0 = Rvu_obs.Clock.now_s () in
-          let observe () =
-            Rvu_obs.Metrics.observe
-              (request_seconds (Proto.kind_string env.Proto.request))
-              (Rvu_obs.Clock.now_s () -. t0)
-          in
-          match env.Proto.request with
-          | Proto.Stats ->
-              count t `Ok;
+          let ctx = Rvu_obs.Ctx.derive id in
+          Rvu_obs.Ctx.with_ctx ctx (fun () ->
+              count t `Error;
+              Rvu_obs.Log.warn
+                ~fields:[ ("error", Wire.String msg) ]
+                "request invalid";
               respond
-                (Wire.print (Proto.ok_response ~id:env.Proto.id (stats_json t)));
-              observe ()
-          | Proto.Metrics fmt ->
-              let body =
-                match fmt with
-                | Proto.Metrics_json -> Rvu_obs.Metrics.json ()
-                | Proto.Metrics_prometheus ->
-                    Wire.String (Rvu_obs.Metrics.expose ())
+                (Wire.print
+                   (Proto.error_response ~ctx ~id Proto.Invalid_request msg)))
+      | Ok env ->
+          let ctx = Rvu_obs.Ctx.derive env.Proto.id in
+          let kind = Proto.kind_string env.Proto.request in
+          Rvu_obs.Ctx.with_ctx ctx (fun () ->
+              let t0 = Rvu_obs.Clock.now_s () in
+              let observe () =
+                Rvu_obs.Metrics.observe (request_seconds kind)
+                  (Rvu_obs.Clock.now_s () -. t0)
               in
-              count t `Ok;
-              respond (Wire.print (Proto.ok_response ~id:env.Proto.id body));
-              observe ()
-          | _ ->
-              enter t;
-              Sched.submit t.sched env ~k:(fun outcome ->
-                  let response =
-                    match outcome with
-                    | Ok v ->
-                        count t `Ok;
-                        Proto.ok_response ~id:env.Proto.id v
-                    | Error (code, msg) ->
-                        count t
-                          (match code with
-                          | Proto.Overloaded -> `Overloaded
-                          | _ -> `Error);
-                        Proto.error_response ~id:env.Proto.id code msg
-                  in
-                  (try respond (Wire.print response) with _ -> ());
-                  observe ();
-                  leave t)))
+              Rvu_obs.Log.debug
+                ~fields:[ ("kind", Wire.String kind) ]
+                "request";
+              let sync body =
+                count t `Ok;
+                respond
+                  (Wire.print (Proto.ok_response ~ctx ~id:env.Proto.id body));
+                log_response ~kind ~t0 (Ok ());
+                observe ()
+              in
+              match env.Proto.request with
+              | Proto.Stats -> sync (stats_json t)
+              | Proto.Health -> sync (health_json t)
+              | Proto.Metrics fmt ->
+                  sync
+                    (match fmt with
+                    | Proto.Metrics_json -> Rvu_obs.Metrics.json ()
+                    | Proto.Metrics_prometheus ->
+                        Wire.String (Rvu_obs.Metrics.expose ()))
+              | _ ->
+                  enter t;
+                  Sched.submit ~ctx t.sched env ~k:(fun outcome ->
+                      (* [k] may run on a worker domain; re-install the id
+                         so the response record and any respond-side spans
+                         stay correlated. *)
+                      Rvu_obs.Ctx.with_ctx ctx (fun () ->
+                          let response =
+                            match outcome with
+                            | Ok v ->
+                                count t `Ok;
+                                Proto.ok_response ~ctx ~id:env.Proto.id v
+                            | Error (code, msg) ->
+                                count t
+                                  (match code with
+                                  | Proto.Overloaded -> `Overloaded
+                                  | _ -> `Error);
+                                Proto.error_response ~ctx ~id:env.Proto.id
+                                  code msg
+                          in
+                          (try respond (Wire.print response) with _ -> ());
+                          log_response ~kind ~t0
+                            (Result.map (fun _ -> ()) outcome);
+                          observe ();
+                          leave t))))
 
 let handle_sync t line =
   let lock = Mutex.create () in
@@ -335,10 +416,15 @@ let serve_tcp t ~host ~port ?connections () =
       let fd, _peer = Unix.accept sock in
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
+      Rvu_obs.Log.debug "connection accepted";
       (try serve_channels t ic oc
        with e ->
+         Rvu_obs.Log.error
+           ~fields:[ ("exn", Wire.String (Printexc.to_string e)) ]
+           "connection error";
          Printf.eprintf "rvu serve: connection error: %s\n%!"
            (Printexc.to_string e));
+      Rvu_obs.Log.debug "connection closed";
       (* One close only: ic and oc share the descriptor. *)
       close_out_noerr oc;
       loop (Option.map (fun n -> n - 1) remaining)

@@ -5,15 +5,26 @@
     necessarily in request order (clients tag requests with ["id"] and
     match completions — see {!Proto}). Malformed lines get a
     [parse_error]/[invalid_request] response instead of killing the
-    session. [stats] and [metrics] requests are answered synchronously by
-    the server itself — they observe load, so they must not queue behind
-    it.
+    session. [stats], [metrics] and [health] requests are answered
+    synchronously by the server itself — they observe load, so they must
+    not queue behind it.
 
     Observability: every accepted request is timed into the
     [rvu_server_request_seconds{kind=…}] histogram and counted in the
     [rvu_server_in_flight] gauge of the process-wide registry
     ({!Rvu_obs.Metrics}); the [metrics] request kind exposes the whole
     registry as a JSON snapshot or Prometheus text.
+
+    Correlation: each request line gets a {!Rvu_obs.Ctx} id — ["req-<id>"]
+    when the envelope carries an [Int]/[String] id, a generated
+    ["c<hex>"] otherwise — installed for the whole handling extent
+    (including the worker domain), stamped on every {!Rvu_obs.Log} record
+    and {!Rvu_obs.Trace} span emitted on the way, and echoed as the
+    response's envelope ["ctx"] field. When logging is configured the
+    server writes a [debug]-level ["request"] record on accept and an
+    [info]/[warn]/[error] ["response"] record on completion ([error] for
+    [internal] outcomes, which also dump the flight recorder when one is
+    armed).
 
     The same [handle_line] entry point backs all three transports, so the
     in-process form used by tests and the [perf-serve] bench exercises
@@ -58,8 +69,16 @@ val stats_json : t -> Wire.t
     ({!Rvu_trajectory.Stream_cache.stats}), a ["process"] section of
     cumulative registry counters (since process start, never reset —
     unlike the per-instance cache sections, these aggregate over every
-    scheduler/cache the process ever created), and the effective
-    config. *)
+    scheduler/cache the process ever created), a ["runtime"] section
+    ({!Rvu_obs.Runtime.json}: GC counters, heap size, uptime), and the
+    effective config. *)
+
+val health_json : t -> Wire.t
+(** The [health] payload:
+    [{"status":"ready"|"degraded","queue":{"in_flight":…,"depth":…},
+      "shed_since_last_probe":…}]. Degraded while admission is saturated
+    ([in_flight >= depth]) or any request was shed since the previous
+    probe (each probe advances that mark). *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve until end-of-input, then drain outstanding requests and flush.

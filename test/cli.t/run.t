@@ -95,10 +95,10 @@ through the identical engine path, so its output is bit-exact and safe to
 match:
 
   $ echo '{"id":1,"kind":"simulate","tau":0.5,"d":1.5,"r":0.5,"bearing":0}' | rvu serve --jobs 1
-  {"id":1,"ok":{"verdict":{"feasible":true,"reason":"different_clocks"},"outcome":{"kind":"hit","t":129.42477041723},"phase":{"round":1,"phase":"inactive"},"bound":{"round":8,"time":712884.0602771039},"stats":{"intervals":24,"min_distance":1.5}}}
+  {"id":1,"ctx":"req-1","ok":{"verdict":{"feasible":true,"reason":"different_clocks"},"outcome":{"kind":"hit","t":129.42477041723},"phase":{"round":1,"phase":"inactive"},"bound":{"round":8,"time":712884.0602771039},"stats":{"intervals":24,"min_distance":1.5}}}
 
   $ echo '{"kind":"schedule","rounds":0,"id":9}' | rvu serve --jobs 1
-  {"id":9,"error":{"code":"invalid_request","message":"field \"rounds\": must be at least 1"}}
+  {"id":9,"ctx":"req-9","error":{"code":"invalid_request","message":"field \"rounds\": must be at least 1"}}
 
 SVG figure output:
 
@@ -129,13 +129,13 @@ frame — the client dies mid-object, so the line ends at EOF without a
 newline — is answered with a parse error and the exact truncation point:
 
   $ printf '{"id":7,"kind":"stats"' | rvu serve --jobs 1
-  {"id":null,"error":{"code":"parse_error","message":"line 1, col 23: unexpected end of input in object"}}
+  {"id":null,"ctx":"ce220a8397b1dcdaf","error":{"code":"parse_error","message":"line 1, col 23: unexpected end of input in object"}}
 
 A request line over the configured byte limit is refused before any
 parsing looks at it (the id is unknown, so it is null by protocol):
 
   $ echo "{\"id\":1,\"pad\":\"$(head -c 200 /dev/zero | tr '\0' x)\"}" | rvu serve --jobs 1 --max-request-bytes 64
-  {"id":null,"error":{"code":"invalid_request","message":"request line of 217 bytes exceeds the 64 byte limit"}}
+  {"id":null,"ctx":"ce220a8397b1dcdaf","error":{"code":"invalid_request","message":"request line of 217 bytes exceeds the 64 byte limit"}}
 
 The same paths can be driven by the deterministic fault injector that the
 verification campaigns use. server.torn_frame truncates the frame inside
@@ -144,7 +144,7 @@ client vanishing before the response is written — the server swallows the
 broken pipe and keeps serving (no output, clean exit):
 
   $ echo '{"id":7,"kind":"stats"}' | rvu serve --jobs 1 --inject server.torn_frame=1 --inject-seed 42
-  {"id":null,"error":{"code":"parse_error","message":"line 1, col 12: unterminated string"}}
+  {"id":null,"ctx":"ce220a8397b1dcdaf","error":{"code":"parse_error","message":"line 1, col 12: unterminated string"}}
 
   $ echo '{"id":7,"kind":"stats"}' | rvu serve --jobs 1 --inject server.drop_conn=1 --inject-seed 42
 
@@ -155,3 +155,59 @@ no timestamps, no timings — so their summaries pin exactly:
   campaign symmetry: seed 42, 10 cases
     symmetry: 6 hits, 4 at horizon, 0 borderline
   verify: 0 violations
+
+Structured logging on the serve path: --log writes NDJSON records — at
+debug level, a request record and a response record per request, both
+stamped with the request's correlation id:
+
+  $ echo '{"id":1,"kind":"schedule","rounds":2}' | rvu serve --jobs 1 --log serve.log --log-level debug > /dev/null
+  $ grep -c '"msg":"request"' serve.log
+  1
+  $ grep -c '"msg":"response"' serve.log
+  1
+  $ grep -c '"ctx":"req-1"' serve.log
+  2
+
+An unwritable --log path is rejected up front, like --trace:
+
+  $ rvu serve --jobs 1 --log /nonexistent-dir/rvu.log < /dev/null
+  rvu: cannot open log file: /nonexistent-dir/rvu.log: No such file or directory
+  [1]
+
+The health probe over TCP. --connections 1 makes the server exit cleanly
+after the probe's connection, and rvu health retries the connect until
+the listener is up, so the startup race is safe:
+
+  $ rvu serve --tcp 7471 --connections 1 --jobs 1 > /dev/null 2>&1 &
+  $ rvu health --connect 127.0.0.1:7471
+  ready: 0 in flight (depth 64), 0 shed since last probe
+  $ wait
+
+The fault campaigns dump the flight recorder on every injection, so a
+debug-level post-mortem of each faulting case rides along with the
+summary without debug-level I/O in steady state:
+
+  $ rvu verify --campaign faults --seed 42 --cases 5 --log verify.log --flight-recorder 16
+  campaign faults: seed 42, 5 cases
+    faults: 8 injected across 5 phases
+  verify: 0 violations
+  $ grep -c '"msg":"flight-recorder dump"' verify.log
+  5
+
+bench-diff compares the wall-time series of two benchmark JSON files and
+fails when any series regressed past the threshold (default 20%):
+
+  $ cat > bench_old.json <<'EOF'
+  > {"experiment":"demo","off":{"wall_s":1.0,"records_per_run":0},"info":{"wall_s":2.0,"records_per_run":384}}
+  > EOF
+  $ cat > bench_new.json <<'EOF'
+  > {"experiment":"demo","off":{"wall_s":1.1,"records_per_run":0},"info":{"wall_s":2.6,"records_per_run":384}}
+  > EOF
+  $ rvu bench-diff --threshold 50 bench_old.json bench_new.json
+  info.wall_s                                         2          2.6    +30.0%
+  off.wall_s                                          1          1.1    +10.0%
+  $ rvu bench-diff bench_old.json bench_new.json
+  info.wall_s                                         2          2.6    +30.0%  REGRESSION
+  off.wall_s                                          1          1.1    +10.0%
+  rvu: 1 wall-time series regressed by more than 20%
+  [1]

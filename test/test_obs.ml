@@ -240,6 +240,224 @@ let test_json_snapshot () =
   in
   check_bool "snapshot value" true (s.Metrics.value = Metrics.Counter 7)
 
+(* Exposition pinned byte-for-byte: [expose] builds its lines with
+   [Printf.bprintf] into one buffer; this test is the contract that the
+   buffered writer emits exactly the same text as the string-concatenation
+   form it replaced. Labels print sorted by key (registration order is
+   irrelevant), floats through the shared Wire printer. *)
+let test_exposition_exact_lines () =
+  let c =
+    Metrics.counter ~help:"Buffer exposition pin"
+      ~labels:[ ("b", "y"); ("a", "x") ]
+      "test_obs_bprint_total"
+  in
+  Metrics.incr ~by:2 c;
+  let g = Metrics.gauge "test_obs_bprint_gauge" in
+  Metrics.gauge_set g 1.5;
+  let h =
+    Metrics.histogram ~buckets:[| 0.5 |]
+      ~labels:[ ("q", "z") ]
+      "test_obs_bprint_seconds"
+  in
+  Metrics.observe h 0.25;
+  Metrics.observe h 2.5;
+  let ours =
+    List.filter
+      (contains ~needle:"test_obs_bprint")
+      (String.split_on_char '\n' (Metrics.expose ()))
+  in
+  Alcotest.(check (list string))
+    "exact exposition lines"
+    [
+      "# TYPE test_obs_bprint_gauge gauge";
+      "test_obs_bprint_gauge 1.5";
+      "# TYPE test_obs_bprint_seconds histogram";
+      "test_obs_bprint_seconds_bucket{q=\"z\",le=\"0.5\"} 1";
+      "test_obs_bprint_seconds_bucket{q=\"z\",le=\"+Inf\"} 2";
+      "test_obs_bprint_seconds_sum{q=\"z\"} 2.75";
+      "test_obs_bprint_seconds_count{q=\"z\"} 2";
+      "# HELP test_obs_bprint_total Buffer exposition pin";
+      "# TYPE test_obs_bprint_total counter";
+      "test_obs_bprint_total{a=\"x\",b=\"y\"} 2";
+    ]
+    ours
+
+(* ------------------------------------------------------------------ *)
+(* Structured logging *)
+
+module Log = Rvu_obs.Log
+module Ctx = Rvu_obs.Ctx
+
+let parse_line line =
+  match Wire.parse line with
+  | Ok (Wire.Obj fields) -> fields
+  | Ok _ -> Alcotest.failf "log line is not an object: %s" line
+  | Error e ->
+      Alcotest.failf "log line unparseable: %s (%s)" line
+        (Wire.error_to_string e)
+
+let field name fields = List.assoc_opt name fields
+
+let test_log_level_gate () =
+  (* Unconfigured: every level reads as disabled, calls are no-ops. *)
+  check_bool "debug disabled" false (Log.enabled Log.Debug);
+  check_bool "error disabled" false (Log.enabled Log.Error);
+  Log.info "dropped on the floor";
+  Log.configure ~level:Log.Warn (Log.Ring 8);
+  Fun.protect ~finally:Log.close (fun () ->
+      check_bool "debug below gate" false (Log.enabled Log.Debug);
+      check_bool "info below gate" false (Log.enabled Log.Info);
+      check_bool "warn at gate" true (Log.enabled Log.Warn);
+      check_bool "error above gate" true (Log.enabled Log.Error);
+      check_bool "double configure raises" true
+        (match Log.configure (Log.Ring 4) with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      Log.debug "no";
+      Log.info "no";
+      Log.warn "yes";
+      check_int "only the warn reached the sink" 1
+        (List.length (Log.ring_contents ()));
+      Log.set_level Log.Debug;
+      check_bool "set_level opens the gate" true (Log.enabled Log.Debug);
+      Log.debug "now yes";
+      check_int "debug lands after set_level" 2
+        (List.length (Log.ring_contents ())));
+  check_bool "closed -> disabled again" false (Log.enabled Log.Error);
+  check_bool "non-positive ring capacity raises" true
+    (match Log.configure (Log.Ring 0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_log_ndjson_round_trip () =
+  Log.configure ~level:Log.Debug (Log.Ring 16);
+  Fun.protect ~finally:Log.close (fun () ->
+      Ctx.with_ctx "req-rt" (fun () ->
+          (* Unsorted caller fields plus attempts to spoof reserved keys. *)
+          Log.info
+            ~fields:
+              [
+                ("zeta", Wire.Int 3);
+                ("msg", Wire.String "spoof");
+                ("alpha", Wire.String "a");
+                ("ts", Wire.Int 0);
+              ]
+            "round trip");
+      match Log.ring_contents () with
+      | [ line ] ->
+          let fields = parse_line line in
+          Alcotest.(check (list string))
+            "field order: ts level msg ctx then sorted callers"
+            [ "ts"; "level"; "msg"; "ctx"; "alpha"; "zeta" ]
+            (List.map fst fields);
+          check_bool "level" true
+            (field "level" fields = Some (Wire.String "info"));
+          check_bool "msg survives the spoof" true
+            (field "msg" fields = Some (Wire.String "round trip"));
+          check_bool "ctx stamped" true
+            (field "ctx" fields = Some (Wire.String "req-rt"));
+          check_bool "ts is a float" true
+            (match field "ts" fields with
+            | Some (Wire.Float _) -> true
+            | _ -> false);
+          (* The codec round-trips its own log lines bit-exactly. *)
+          check_string "print (parse line) = line" line
+            (Wire.print (Result.get_ok (Wire.parse line)))
+      | l -> Alcotest.failf "expected 1 line, got %d" (List.length l))
+
+let test_log_multi_domain_interleaving () =
+  let domains = 4 and per_domain = 500 in
+  Log.configure ~level:Log.Info (Log.Ring (domains * per_domain));
+  Fun.protect ~finally:Log.close (fun () ->
+      let before = Log.emitted_records () in
+      let workers =
+        List.init domains (fun d ->
+            Domain.spawn (fun () ->
+                Ctx.with_ctx
+                  (Printf.sprintf "dom-%d" d)
+                  (fun () ->
+                    for i = 1 to per_domain do
+                      Log.info ~fields:[ ("i", Wire.Int i) ] "interleaved"
+                    done)))
+      in
+      List.iter Domain.join workers;
+      check_int "every record emitted exactly once" (domains * per_domain)
+        (Log.emitted_records () - before);
+      let lines = Log.ring_contents () in
+      check_int "ring holds them all" (domains * per_domain)
+        (List.length lines);
+      (* No torn lines: every line parses, and per-domain counts are
+         exact — the sink mutex never interleaved two records. *)
+      let counts = Hashtbl.create 4 in
+      List.iter
+        (fun line ->
+          match field "ctx" (parse_line line) with
+          | Some (Wire.String c) ->
+              Hashtbl.replace counts c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+          | _ -> Alcotest.failf "line without ctx: %s" line)
+        lines;
+      for d = 0 to domains - 1 do
+        check_int
+          (Printf.sprintf "dom-%d count" d)
+          per_domain
+          (Option.value ~default:0
+             (Hashtbl.find_opt counts (Printf.sprintf "dom-%d" d)))
+      done)
+
+let test_log_flight_recorder_dump () =
+  Log.configure ~level:Log.Warn ~flight_recorder:8 (Log.Ring 64);
+  Fun.protect ~finally:Log.close (fun () ->
+      check_bool "recorder forces the gate open" true (Log.enabled Log.Debug);
+      for i = 1 to 20 do
+        Log.debug ~fields:[ ("i", Wire.Int i) ] "prelude"
+      done;
+      check_int "below-level records not sunk" 0
+        (List.length (Log.ring_contents ()));
+      Log.error "boom";
+      let lines = Log.ring_contents () in
+      (* Direct error write, then the dump: marker + the last 8 records by
+         sequence — prelude 14..20 and the error itself (ringed before it
+         was written). *)
+      check_int "error + marker + 8 dumped" 10 (List.length lines);
+      let nth n = parse_line (List.nth lines n) in
+      check_bool "first line is the error" true
+        (field "msg" (nth 0) = Some (Wire.String "boom"));
+      let marker = nth 1 in
+      check_bool "marker msg" true
+        (field "msg" marker = Some (Wire.String "flight-recorder dump"));
+      check_bool "marker reason" true
+        (field "reason" marker = Some (Wire.String "error record"));
+      check_bool "marker count" true
+        (field "records" marker = Some (Wire.Int 8));
+      let dumped = List.filteri (fun i _ -> i >= 2) lines in
+      let is =
+        List.filter_map
+          (fun l ->
+            match field "i" (parse_line l) with
+            | Some (Wire.Int i) -> Some i
+            | _ -> None)
+          dumped
+      in
+      Alcotest.(check (list int))
+        "last prelude records, in sequence order"
+        [ 14; 15; 16; 17; 18; 19; 20 ]
+        is;
+      check_bool "dump ends with the error" true
+        (field "msg" (nth 9) = Some (Wire.String "boom"));
+      (* The dump drained the ring: a second error dumps only itself. *)
+      Log.error "boom2";
+      let lines2 = Log.ring_contents () in
+      check_int "second dump holds only the new error" 13
+        (List.length lines2);
+      check_bool "second marker count" true
+        (field "records" (parse_line (List.nth lines2 11))
+        = Some (Wire.Int 1));
+      (* And a drained ring makes a forced dump a no-op. *)
+      Log.flight_dump ~reason:"manual" ();
+      check_int "manual dump of an empty ring adds nothing" 13
+        (List.length (Log.ring_contents ())))
+
 (* ------------------------------------------------------------------ *)
 (* Tracing *)
 
@@ -373,6 +591,18 @@ let () =
           Alcotest.test_case "prometheus text" `Quick
             test_prometheus_exposition;
           Alcotest.test_case "json snapshot" `Quick test_json_snapshot;
+          Alcotest.test_case "buffered writer output pinned" `Quick
+            test_exposition_exact_lines;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level gate" `Quick test_log_level_gate;
+          Alcotest.test_case "ndjson round trip" `Quick
+            test_log_ndjson_round_trip;
+          Alcotest.test_case "multi-domain interleaving" `Quick
+            test_log_multi_domain_interleaving;
+          Alcotest.test_case "flight-recorder dump" `Quick
+            test_log_flight_recorder_dump;
         ] );
       ( "trace",
         [

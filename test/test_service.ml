@@ -496,6 +496,145 @@ let test_server_metrics_endpoint () =
     (error_code bad = Some "invalid_request");
   Server.stop server
 
+(* ------------------------------------------------------------------ *)
+(* Correlation ids, flight recorder, health *)
+
+module Log = Rvu_obs.Log
+
+let ctx_of response =
+  match Wire.member "ctx" response with
+  | Some (Wire.String c) -> c
+  | _ -> Alcotest.fail "response envelope has no ctx"
+
+let log_field name line =
+  match Wire.parse line with
+  | Ok (Wire.Obj fields) -> List.assoc_opt name fields
+  | Ok _ -> Alcotest.failf "log line is not an object: %s" line
+  | Error e ->
+      Alcotest.failf "log line unparseable: %s (%s)" line
+        (Wire.error_to_string e)
+
+(* An injected scheduler fault must leave a correlated post-mortem: the
+   error response, the shed log record, and the flight-recorder dump all
+   carry the faulting request's id. *)
+let test_server_fault_correlation () =
+  Log.configure ~level:Log.Warn ~flight_recorder:16 (Log.Ring 64);
+  Rvu_obs.Fault.arm ~seed:7 [ ("sched.force_shed", 1.0) ];
+  Fun.protect ~finally:(fun () ->
+      Rvu_obs.Fault.disarm ();
+      Log.close ())
+  @@ fun () ->
+  let config =
+    { Server.default_config with Server.jobs = 1; cache_entries = 0 }
+  in
+  let server = Server.create ~config () in
+  let response =
+    Result.get_ok (Wire.parse (Server.handle_sync server (simulate_line ~id:42 2.0)))
+  in
+  Server.stop server;
+  check_bool "forced shed answered as overloaded" true
+    (error_code response = Some "overloaded");
+  check_string "response ctx is the request's correlation id" "req-42"
+    (ctx_of response);
+  let lines = Log.ring_contents () in
+  check_bool "the fault produced log records" true (lines <> []);
+  check_bool "flight recorder dumped on the injection" true
+    (List.exists
+       (fun l -> log_field "msg" l = Some (Wire.String "flight-recorder dump"))
+       lines);
+  check_bool "dump contains the faulting request's id" true
+    (List.exists
+       (fun l -> log_field "ctx" l = Some (Wire.String "req-42"))
+       lines)
+
+(* Spans recorded while a request is in flight carry the same correlation
+   id in their args — a log grep and a trace lane meet on "req-5". *)
+let test_server_trace_span_ctx () =
+  let path = Filename.temp_file "rvu-test-trace" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Rvu_obs.Trace.enable ~path ();
+  let config =
+    { Server.default_config with Server.jobs = 1; cache_entries = 0 }
+  in
+  let server = Server.create ~config () in
+  let response =
+    Result.get_ok (Wire.parse (Server.handle_sync server (simulate_line ~id:5 1.25)))
+  in
+  Server.stop server;
+  Rvu_obs.Trace.close ();
+  check_bool "simulate succeeded" true (error_code response = None);
+  check_string "response ctx" "req-5" (ctx_of response);
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  let span_with_ctx =
+    String.split_on_char '\n' body
+    |> List.exists (fun line ->
+           contains ~needle:{|"name":"engine.detect"|} line
+           && contains ~needle:{|"ctx":"req-5"|} line)
+  in
+  check_bool "engine span args carry the request ctx" true span_with_ctx
+
+(* The health endpoint: ready when quiet, degraded after a shed, and the
+   per-probe shed mark advances so the next probe is ready again. *)
+let test_server_health_probe () =
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 1;
+      queue_depth = 2;
+      cache_entries = 0;
+      timeout_ms = None;
+    }
+  in
+  let server = Server.create ~config () in
+  let probe () =
+    let r =
+      Result.get_ok
+        (Wire.parse (Server.handle_sync server {|{"kind":"health","id":1}|}))
+    in
+    match Wire.member "ok" r with
+    | Some body ->
+        let str path =
+          match Wire.member path body with
+          | Some (Wire.String s) -> s
+          | _ -> Alcotest.failf "health payload lacks %s" path
+        in
+        let shed =
+          match Wire.member "shed_since_last_probe" body with
+          | Some (Wire.Int n) -> n
+          | _ -> Alcotest.fail "health payload lacks shed count"
+        in
+        (str "status", shed)
+    | None -> Alcotest.fail "health request failed"
+  in
+  check_bool "quiet server is ready" true (probe () = ("ready", 0));
+  (* Flood past the depth-2 queue to force sheds. *)
+  let n = 12 in
+  let lines =
+    Array.init n (fun i ->
+        simulate_line ~id:(100 + i) (6.0 +. (0.01 *. float_of_int i)))
+  in
+  let remaining = ref n in
+  let lock = Mutex.create () in
+  Array.iter
+    (fun line ->
+      Server.handle_line server line ~respond:(fun _ ->
+          Mutex.lock lock;
+          decr remaining;
+          Mutex.unlock lock))
+    lines;
+  Server.wait_idle server;
+  check_int "flood fully answered" 0 !remaining;
+  let status, shed = probe () in
+  check_string "shed flips the probe to degraded" "degraded" status;
+  check_bool "probe reports the sheds" true (shed > 0);
+  check_bool "the probe advanced the mark: next probe is ready" true
+    (probe () = ("ready", 0));
+  Server.stop server
+
 let () =
   Alcotest.run "service"
     [
@@ -541,5 +680,10 @@ let () =
             test_server_malformed_lines;
           Alcotest.test_case "metrics endpoint reconciles" `Quick
             test_server_metrics_endpoint;
+          Alcotest.test_case "injected fault is fully correlated" `Quick
+            test_server_fault_correlation;
+          Alcotest.test_case "trace spans carry the request ctx" `Quick
+            test_server_trace_span_ctx;
+          Alcotest.test_case "health probe" `Quick test_server_health_probe;
         ] );
     ]
