@@ -44,24 +44,33 @@ let identical (a : Rvu_sim.Engine.result array)
 let json_path () =
   Option.value (Sys.getenv_opt "RVU_BENCH_JSON") ~default:"BENCH_1.json"
 
-let write_json ~jobs ~intervals ~wall1 ~walln ~speedup =
+let write_json ~jobs_requested ~jobs ~intervals ~wall1 ~walln ~speedup
+    ~parallel_wins ~warning =
   let path = json_path () in
   let mi wall = float_of_int intervals /. Float.max 1e-9 wall /. 1e6 in
   let json =
     Rvu_service.Wire.Obj
-      [
-        ("experiment", Rvu_service.Wire.String "perf-batch");
-        ("instances", Rvu_service.Wire.Int (Array.length instances));
-        ("intervals", Rvu_service.Wire.Int intervals);
-        ("jobs", Rvu_service.Wire.Int jobs);
-        ( "recommended_domains",
-          Rvu_service.Wire.Int (Domain.recommended_domain_count ()) );
-        ("wall_s_jobs1", Rvu_service.Wire.Float wall1);
-        ("wall_s_jobsN", Rvu_service.Wire.Float walln);
-        ("mintervals_per_s_jobs1", Rvu_service.Wire.Float (mi wall1));
-        ("mintervals_per_s_jobsN", Rvu_service.Wire.Float (mi walln));
-        ("speedup", Rvu_service.Wire.Float speedup);
-      ]
+      ([
+         ("experiment", Rvu_service.Wire.String "perf-batch");
+         ("instances", Rvu_service.Wire.Int (Array.length instances));
+         ("intervals", Rvu_service.Wire.Int intervals);
+         ("jobs_requested", Rvu_service.Wire.Int jobs_requested);
+         ("jobs", Rvu_service.Wire.Int jobs);
+         ( "recommended_domains",
+           Rvu_service.Wire.Int (Domain.recommended_domain_count ()) );
+         ( "recommended_jobs",
+           Rvu_service.Wire.Int (if parallel_wins then jobs else 1) );
+         ("parallel_wins", Rvu_service.Wire.Bool parallel_wins);
+         ("wall_s_jobs1", Rvu_service.Wire.Float wall1);
+         ("wall_s_jobsN", Rvu_service.Wire.Float walln);
+         ("mintervals_per_s_jobs1", Rvu_service.Wire.Float (mi wall1));
+         ("mintervals_per_s_jobsN", Rvu_service.Wire.Float (mi walln));
+         ("speedup", Rvu_service.Wire.Float speedup);
+       ]
+      @
+      match warning with
+      | None -> []
+      | Some w -> [ ("warning", Rvu_service.Wire.String w) ])
   in
   let oc = open_out path in
   output_string oc (Rvu_service.Wire.print_hum json);
@@ -69,9 +78,17 @@ let write_json ~jobs ~intervals ~wall1 ~walln ~speedup =
   Util.note "(json written to %s)" path
 
 let run () =
-  let jobs = !Util.jobs in
+  let jobs_requested = !Util.jobs in
+  (* Never spawn past the hardware: domains beyond
+     [recommended_domain_count] only contend for the same cores, which is
+     how the seed's jobs=2 run ended up ~2x slower than sequential on a
+     single-core box. A capped request is reported, not honoured. *)
+  let jobs = max 1 (min jobs_requested (Domain.recommended_domain_count ())) in
   Util.banner "PERF-BATCH"
-    (Printf.sprintf "Batch throughput: --jobs 1 vs --jobs %d" jobs);
+    (Printf.sprintf "Batch throughput: --jobs 1 vs --jobs %d%s" jobs
+       (if jobs < jobs_requested then
+          Printf.sprintf " (requested %d, capped to hardware)" jobs_requested
+        else ""));
   let seq_results, wall1 =
     Util.wall_clock (fun () -> Rvu_exec.Batch.run ~horizon:1e13 ~jobs:1 instances)
   in
@@ -85,6 +102,23 @@ let run () =
     failwith "perf-batch: parallel results diverge from sequential";
   let intervals = total_intervals seq_results in
   let speedup = wall1 /. Float.max 1e-9 walln in
+  let parallel_wins = jobs > 1 && speedup > 1.0 in
+  let warning =
+    if jobs < jobs_requested then
+      Some
+        (Printf.sprintf
+           "requested --jobs %d capped to %d (hardware parallelism); use \
+            --jobs 1 numbers for comparisons on this machine"
+           jobs_requested jobs)
+    else if jobs > 1 && not parallel_wins then
+      Some
+        (Printf.sprintf
+           "parallel run lost to sequential (speedup %.3f); prefer --jobs 1 \
+            on this machine"
+           speedup)
+    else None
+  in
+  Option.iter (fun w -> Util.note "WARNING: %s" w) warning;
   let t =
     Table.create
       ~columns:
@@ -104,4 +138,5 @@ let run () =
     "%d instances, %d segment-pair intervals; parallel results bit-identical \
      to sequential."
     (Array.length instances) intervals;
-  write_json ~jobs ~intervals ~wall1 ~walln ~speedup
+  write_json ~jobs_requested ~jobs ~intervals ~wall1 ~walln ~speedup
+    ~parallel_wins ~warning

@@ -1,0 +1,246 @@
+(* PERF-COMPILE — interpreted vs compiled detector kernel.
+
+   Same 24-instance family as perf-batch, run through Batch.run three
+   ways: interpreted kernel at --jobs 1, compiled kernel at --jobs 1
+   (the headline throughput ratio), compiled kernel at --jobs N (the
+   parallel sanity probe). All three result arrays must be bit-identical
+   — the compiled kernel's whole contract is that it changes the clock,
+   never the floats. Also samples Gc minor words per run for both
+   kernels (the compiled path's reason to exist is allocation
+   elimination) and replays a small checkpointed sweep atlas to verify
+   interrupted-run resume is byte-identical. Emits BENCH_6.json
+   (override the path with RVU_BENCH_JSON).
+
+   Gate: the run fails if the kernels' results diverge, if the resume
+   atlas differs from the full-run atlas, or if the compiled/interpreted
+   speedup falls below RVU_PERF_COMPILE_MIN (default 2.0). *)
+
+open Rvu_geom
+open Rvu_core
+open Rvu_report
+
+let instances =
+  let n = 24 in
+  Array.init n (fun i ->
+      let bearing = 0.2 +. (2.4 *. float_of_int i /. float_of_int n) in
+      let tau = 0.980 +. (0.002 *. float_of_int (i mod 6)) in
+      Rvu_sim.Engine.instance
+        ~attributes:(Attributes.make ~tau ())
+        ~displacement:(Vec2.of_polar ~radius:10.0 ~angle:bearing)
+        ~r:0.005)
+
+let horizon = 1e13
+
+let total_intervals results =
+  Array.fold_left
+    (fun acc (res : Rvu_sim.Engine.result) ->
+      acc + res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals)
+    0 results
+
+let identical (a : Rvu_sim.Engine.result array)
+    (b : Rvu_sim.Engine.result array) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Rvu_sim.Engine.result) (y : Rvu_sim.Engine.result) ->
+         x.Rvu_sim.Engine.outcome = y.Rvu_sim.Engine.outcome
+         && x.Rvu_sim.Engine.stats = y.Rvu_sim.Engine.stats)
+       a b
+
+(* Minor-heap words allocated by one engine run (single-instance, so the
+   measurement is not smeared over pool workers on other domains), through
+   the same shared-cache reference source the batch hot path uses — a bare
+   [Engine.run] realises its reference stream from scratch and would
+   charge both kernels for it. *)
+let minor_words_per_run ~kernel inst =
+  let cache =
+    Rvu_trajectory.Stream_cache.find_or_create
+      ~key:Rvu_exec.Batch.universal_key (fun () -> Universal.program ())
+  in
+  let reference () =
+    match kernel with
+    | Rvu_sim.Engine.Interpreted ->
+        Rvu_sim.Detector.source_of_seq (Rvu_trajectory.Stream_cache.stream cache)
+    | Rvu_sim.Engine.Compiled ->
+        let tbl, tail = Rvu_trajectory.Stream_cache.compiled_source cache in
+        Rvu_sim.Detector.source_of_table tbl ~tail
+  in
+  let before = Gc.minor_words () in
+  let (_ : Rvu_sim.Engine.result) =
+    Rvu_sim.Engine.run_with_source ~horizon ~kernel ~reference:(reference ())
+      ~program:(Universal.program ()) inst
+  in
+  Gc.minor_words () -. before
+
+(* ------------------------------------------------------------------ *)
+(* Sweep-atlas resume: a full run and an interrupted-then-resumed run
+   must produce byte-identical atlas files. *)
+
+let resume_roundtrip () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rvu-perf-compile-%d" (Unix.getpid ()))
+  in
+  let cells = 24 and shards = 6 in
+  let eval_calls = ref 0 in
+  let eval start stop =
+    incr eval_calls;
+    Array.init (stop - start) (fun k ->
+        let i = start + k in
+        let d = 1.0 +. (0.1 *. float_of_int i) in
+        let inst =
+          Rvu_sim.Engine.instance
+            ~attributes:(Attributes.make ~v:1.3 ())
+            ~displacement:(Vec2.make d 0.0) ~r:0.25
+        in
+        let res = Rvu_sim.Engine.run ~horizon:100.0 inst in
+        Rvu_service.Wire.Obj
+          [
+            ("cell", Rvu_service.Wire.Int i);
+            ("d", Rvu_service.Wire.Float d);
+            ( "intervals",
+              Rvu_service.Wire.Int
+                res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals );
+          ])
+  in
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let atlas = Rvu_workload.Checkpoint.run ~dir ~shards ~cells ~eval () in
+  let full = read atlas in
+  (* "Interrupt": drop two shards and the assembled atlas, keep the rest. *)
+  Sys.remove atlas;
+  Sys.remove (Rvu_workload.Checkpoint.shard_file ~dir 1);
+  Sys.remove (Rvu_workload.Checkpoint.shard_file ~dir 4);
+  eval_calls := 0;
+  let atlas' =
+    Rvu_workload.Checkpoint.run ~dir ~shards ~resume:true ~cells ~eval ()
+  in
+  let resumed = read atlas' in
+  let recomputed = !eval_calls in
+  (* Clean up the scratch directory. *)
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir;
+  (full = resumed, recomputed)
+
+(* ------------------------------------------------------------------ *)
+
+let json_path () =
+  Option.value (Sys.getenv_opt "RVU_BENCH_JSON") ~default:"BENCH_6.json"
+
+let min_speedup () =
+  match Option.bind (Sys.getenv_opt "RVU_PERF_COMPILE_MIN") float_of_string_opt
+  with
+  | Some m -> m
+  | None -> 2.0
+
+let run () =
+  let jobs_requested = !Util.jobs in
+  let recommended = Domain.recommended_domain_count () in
+  (* Never oversubscribe: asking the pool for more domains than cores is
+     exactly the BENCH_1 regression this series fixes. *)
+  let jobs = max 1 (min jobs_requested recommended) in
+  Util.banner "PERF-COMPILE"
+    (Printf.sprintf "Detector kernels: interpreted vs compiled (--jobs %d)"
+       jobs);
+  (* Warm the shared reference cache (realize + compile once) so neither
+     timed run pays first-touch realization for the other. *)
+  let warm = Rvu_exec.Batch.run ~horizon ~jobs:1 instances in
+  let interp, wall_i =
+    Util.wall_clock (fun () ->
+        Rvu_exec.Batch.run ~horizon ~kernel:Rvu_sim.Engine.Interpreted ~jobs:1
+          instances)
+  in
+  let comp, wall_c =
+    Util.wall_clock (fun () ->
+        Rvu_exec.Batch.run ~horizon ~kernel:Rvu_sim.Engine.Compiled ~jobs:1
+          instances)
+  in
+  if not (identical interp comp && identical warm comp) then
+    failwith "perf-compile: compiled results diverge from interpreted";
+  let par, wall_p =
+    if jobs <= 1 then (comp, wall_c)
+    else
+      Util.wall_clock (fun () ->
+          Rvu_exec.Batch.run ~horizon ~kernel:Rvu_sim.Engine.Compiled ~jobs
+            instances)
+  in
+  if not (identical comp par) then
+    failwith "perf-compile: parallel results diverge from sequential";
+  let intervals = total_intervals comp in
+  let mi wall = float_of_int intervals /. Float.max 1e-9 wall /. 1e6 in
+  let speedup = wall_i /. Float.max 1e-9 wall_c in
+  let par_speedup = wall_c /. Float.max 1e-9 wall_p in
+  let minor_i = minor_words_per_run ~kernel:Rvu_sim.Engine.Interpreted instances.(0) in
+  let minor_c = minor_words_per_run ~kernel:Rvu_sim.Engine.Compiled instances.(0) in
+  let resume_ok, resumed_shards = resume_roundtrip () in
+  let t =
+    Table.create
+      ~columns:
+        (List.map Table.column
+           [ "kernel"; "jobs"; "wall (s)"; "Mintervals/s"; "minor words/run" ])
+  in
+  Table.add_row t
+    [
+      "interpreted"; Table.istr 1; Table.fstr wall_i;
+      Table.fstr (mi wall_i); Table.fstr minor_i;
+    ];
+  Table.add_row t
+    [
+      "compiled"; Table.istr 1; Table.fstr wall_c;
+      Table.fstr (mi wall_c); Table.fstr minor_c;
+    ];
+  Table.add_row t
+    [
+      "compiled"; Table.istr jobs; Table.fstr wall_p;
+      Table.fstr (mi wall_p); "-";
+    ];
+  Util.table ~id:"perf-compile" t;
+  Util.note
+    "%d instances, %d intervals; compiled/interpreted speedup %.2fx; \
+     minor words/run %.3g -> %.3g (%.1fx less); resume atlas %s \
+     (%d shard(s) recomputed)."
+    (Array.length instances) intervals speedup minor_i minor_c
+    (minor_i /. Float.max 1.0 minor_c)
+    (if resume_ok then "byte-identical" else "DIVERGED")
+    resumed_shards;
+  let json =
+    Rvu_service.Wire.Obj
+      [
+        ("experiment", Rvu_service.Wire.String "perf-compile");
+        ("instances", Rvu_service.Wire.Int (Array.length instances));
+        ("intervals", Rvu_service.Wire.Int intervals);
+        ("jobs", Rvu_service.Wire.Int jobs);
+        ("jobs_requested", Rvu_service.Wire.Int jobs_requested);
+        ("recommended_domains", Rvu_service.Wire.Int recommended);
+        ("wall_s_interpreted", Rvu_service.Wire.Float wall_i);
+        ("wall_s_compiled", Rvu_service.Wire.Float wall_c);
+        ("wall_s_compiled_jobsN", Rvu_service.Wire.Float wall_p);
+        ("mintervals_per_s_interpreted", Rvu_service.Wire.Float (mi wall_i));
+        ("mintervals_per_s_compiled", Rvu_service.Wire.Float (mi wall_c));
+        ("speedup_compiled_vs_interpreted", Rvu_service.Wire.Float speedup);
+        ("parallel_speedup", Rvu_service.Wire.Float par_speedup);
+        ("parallel_wins", Rvu_service.Wire.Bool (par_speedup >= 1.0));
+        ("minor_words_per_run_interpreted", Rvu_service.Wire.Float minor_i);
+        ("minor_words_per_run_compiled", Rvu_service.Wire.Float minor_c);
+        ("resume_byte_identical", Rvu_service.Wire.Bool resume_ok);
+        ("resume_shards_recomputed", Rvu_service.Wire.Int resumed_shards);
+      ]
+  in
+  let path = json_path () in
+  let oc = open_out path in
+  output_string oc (Rvu_service.Wire.print_hum json);
+  close_out oc;
+  Util.note "(json written to %s)" path;
+  if not resume_ok then
+    failwith "perf-compile: resumed atlas is not byte-identical";
+  let floor = min_speedup () in
+  if speedup < floor then
+    Printf.ksprintf failwith
+      "perf-compile: compiled kernel speedup %.2fx below the %.2fx gate"
+      speedup floor

@@ -23,6 +23,9 @@
      stress         — deep-schedule throughput, batched over --jobs domains
      perf           — Bechamel kernel micro-benchmarks
      perf-batch     — batch-layer speedup vs --jobs 1; writes BENCH_1.json
+     perf-compile   — interpreted vs compiled detector kernel, minor
+                      words/run, sweep-resume byte-identity;
+                      writes BENCH_6.json
      perf-serve     — server latency, cache speedup, backpressure;
                       writes BENCH_2.json
      perf-obs       — observability overhead (metrics off/on/traced);
@@ -53,6 +56,7 @@ let all : (string * (unit -> unit)) list =
     ("stress", Exp_stress.run);
     ("perf", Perf.run);
     ("perf-batch", Exp_perf_batch.run);
+    ("perf-compile", Exp_perf_compile.run);
     ("perf-serve", Exp_perf_serve.run);
     ("perf-obs", Exp_perf_obs.run);
     ("perf-verify", Exp_perf_verify.run);

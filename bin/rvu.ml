@@ -381,51 +381,102 @@ let bound_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep attrs d_lo d_hi points bearing r horizon jobs trace =
+let sweep attrs d_lo d_hi points bearing r horizon jobs out shards resume
+    trace =
   with_trace trace @@ fun () ->
+  if resume && out = None then begin
+    Format.eprintf "rvu: --resume requires --out DIR@.";
+    exit 1
+  end;
   let ds = Rvu_workload.Sweep.linspace ~lo:d_lo ~hi:d_hi ~n:points in
-  let instances =
-    Array.of_list
-      (List.map
-         (fun d ->
-           Rvu_sim.Engine.instance ~attributes:attrs
-             ~displacement:(Vec2.of_polar ~radius:d ~angle:bearing)
-             ~r)
-         ds)
+  let darr = Array.of_list ds in
+  let instance_of d =
+    Rvu_sim.Engine.instance ~attributes:attrs
+      ~displacement:(Vec2.of_polar ~radius:d ~angle:bearing)
+      ~r
   in
   Format.printf "R' attributes: %a@." Attributes.pp attrs;
   Format.printf "sweeping d over %d point(s) in [%g, %g], r = %g@."
     (List.length ds) d_lo d_hi r;
-  let results = Rvu_exec.Batch.run ~horizon ~jobs instances in
-  let t =
-    Rvu_report.Table.create
-      ~columns:
-        (List.map Rvu_report.Table.column
-           [ "d"; "outcome"; "t"; "bound"; "intervals" ])
-  in
-  Array.iteri
-    (fun i res ->
-      let d = List.nth ds i in
-      let outcome, time =
-        match res.Rvu_sim.Engine.outcome with
-        | Rvu_sim.Detector.Hit t -> ("hit", Rvu_report.Table.fstr t)
-        | Rvu_sim.Detector.Horizon h -> ("horizon", Rvu_report.Table.fstr h)
-        | Rvu_sim.Detector.Stream_end t ->
-            ("stream end", Rvu_report.Table.fstr t)
+  match out with
+  | None ->
+      let instances = Array.map instance_of darr in
+      let results = Rvu_exec.Batch.run ~horizon ~jobs instances in
+      let t =
+        Rvu_report.Table.create
+          ~columns:
+            (List.map Rvu_report.Table.column
+               [ "d"; "outcome"; "t"; "bound"; "intervals" ])
       in
-      let bound =
-        match res.Rvu_sim.Engine.bound.Universal.time with
-        | Some b -> Rvu_report.Table.fstr b
-        | None -> "-"
+      Array.iteri
+        (fun i res ->
+          let d = darr.(i) in
+          let outcome, time =
+            match res.Rvu_sim.Engine.outcome with
+            | Rvu_sim.Detector.Hit t -> ("hit", Rvu_report.Table.fstr t)
+            | Rvu_sim.Detector.Horizon h ->
+                ("horizon", Rvu_report.Table.fstr h)
+            | Rvu_sim.Detector.Stream_end t ->
+                ("stream end", Rvu_report.Table.fstr t)
+          in
+          let bound =
+            match res.Rvu_sim.Engine.bound.Universal.time with
+            | Some b -> Rvu_report.Table.fstr b
+            | None -> "-"
+          in
+          Rvu_report.Table.add_row t
+            [
+              Rvu_report.Table.fstr d; outcome; time; bound;
+              Rvu_report.Table.istr
+                res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals;
+            ])
+        results;
+      Rvu_report.Table.print t
+  | Some dir ->
+      (* Checkpointed atlas mode: every row is a deterministic function of
+         its cell (no timestamps, no machine state), so a resumed run's
+         atlas is byte-identical to an uninterrupted one. *)
+      let eval start stop =
+        let insts =
+          Array.init (stop - start) (fun k -> instance_of darr.(start + k))
+        in
+        let results = Rvu_exec.Batch.run ~horizon ~jobs insts in
+        Array.mapi
+          (fun k (res : Rvu_sim.Engine.result) ->
+            let i = start + k in
+            let kind, time =
+              match res.Rvu_sim.Engine.outcome with
+              | Rvu_sim.Detector.Hit t -> ("hit", t)
+              | Rvu_sim.Detector.Horizon h -> ("horizon", h)
+              | Rvu_sim.Detector.Stream_end t -> ("stream_end", t)
+            in
+            Rvu_obs.Wire.Obj
+              [
+                ("cell", Rvu_obs.Wire.Int i);
+                ("d", Rvu_obs.Wire.Float darr.(i));
+                ("outcome", Rvu_obs.Wire.String kind);
+                ("t", Rvu_obs.Wire.Float time);
+                ( "bound",
+                  match res.Rvu_sim.Engine.bound.Universal.time with
+                  | Some b -> Rvu_obs.Wire.Float b
+                  | None -> Rvu_obs.Wire.Null );
+                ( "intervals",
+                  Rvu_obs.Wire.Int
+                    res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals );
+              ])
+          results
       in
-      Rvu_report.Table.add_row t
-        [
-          Rvu_report.Table.fstr d; outcome; time; bound;
-          Rvu_report.Table.istr
-            res.Rvu_sim.Engine.stats.Rvu_sim.Detector.intervals;
-        ])
-    results;
-  Rvu_report.Table.print t
+      let on_shard (p : Rvu_workload.Checkpoint.progress) =
+        Format.printf "shard %d: %d cell(s)%s@." p.Rvu_workload.Checkpoint.shard
+          p.Rvu_workload.Checkpoint.cells
+          (if p.Rvu_workload.Checkpoint.skipped then " (checkpoint reused)"
+           else "")
+      in
+      let atlas =
+        Rvu_workload.Checkpoint.run ~dir ~shards ~resume ~on_shard
+          ~cells:(Array.length darr) ~eval ()
+      in
+      Format.printf "atlas written to %s@." atlas
 
 let sweep_cmd =
   let d_lo =
@@ -448,14 +499,40 @@ let sweep_cmd =
             "Domains to run the batch on (default: all cores). Results are \
              bit-identical for every job count.")
   in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write the sweep as a checkpointed NDJSON atlas under $(docv) \
+             (one shard file per cell block, then an assembled \
+             atlas.ndjson) instead of printing a table.")
+  in
+  let shards =
+    Arg.(
+      value & opt positive_int 8
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Checkpoint granularity for --out (default 8).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Reuse existing shard checkpoints under --out instead of \
+             recomputing them; the assembled atlas is byte-identical to an \
+             uninterrupted run's.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Run a batch of rendezvous instances over a distance sweep, in \
-          parallel.")
+          parallel — optionally as a checkpointed, resumable NDJSON atlas \
+          (--out, --resume).")
     Term.(
       const sweep $ attrs_term $ d_lo $ d_hi $ points $ bearing_arg $ r_arg
-      $ horizon_arg $ jobs $ trace_arg)
+      $ horizon_arg $ jobs $ out $ shards $ resume $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gather *)

@@ -3,8 +3,8 @@ open Rvu_trajectory
 let universal_key = "rvu.universal.reference"
 let default_program () = Rvu_core.Universal.program ()
 
-let run ?closed_forms ?resolution ?horizon ?program ?key ?cache ?jobs instances
-    =
+let run ?closed_forms ?resolution ?horizon ?kernel ?program ?key ?cache ?jobs
+    instances =
   let make = Option.value program ~default:default_program in
   let cache =
     match (cache, key, program) with
@@ -13,9 +13,19 @@ let run ?closed_forms ?resolution ?horizon ?program ?key ?cache ?jobs instances
     | None, None, None -> Stream_cache.find_or_create ~key:universal_key make
     | None, None, Some _ -> Stream_cache.create (make ())
   in
-  let reference = Stream_cache.stream cache in
+  (* Per task, not per batch: the cache's realized prefix grows as early
+     tasks walk the stream, so later tasks pick up a larger (memoized)
+     compiled table instead of re-walking the prefix segment by segment. *)
+  let reference () =
+    match kernel with
+    | Some Rvu_sim.Engine.Interpreted ->
+        Rvu_sim.Detector.source_of_seq (Stream_cache.stream cache)
+    | Some Rvu_sim.Engine.Compiled | None ->
+        let tbl, tail = Stream_cache.compiled_source cache in
+        Rvu_sim.Detector.source_of_table tbl ~tail
+  in
   Pool.parallel_map ?jobs
     (fun inst ->
-      Rvu_sim.Engine.run_with_reference ?closed_forms ?resolution ?horizon
-        ~reference ~program:(make ()) inst)
+      Rvu_sim.Engine.run_with_source ?closed_forms ?resolution ?horizon ?kernel
+        ~reference:(reference ()) ~program:(make ()) inst)
     instances

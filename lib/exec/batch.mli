@@ -21,6 +21,7 @@ val run :
   ?closed_forms:bool ->
   ?resolution:float ->
   ?horizon:float ->
+  ?kernel:Rvu_sim.Engine.kernel ->
   ?program:(unit -> Rvu_trajectory.Program.t) ->
   ?key:string ->
   ?cache:Rvu_trajectory.Stream_cache.t ->
@@ -43,7 +44,15 @@ val run :
       the realization;
     - with neither, a default: the universal program is cached under a
       well-known key, while a custom [program] gets a fresh private cache
-      (a closure has no identity to key on). *)
+      (a closure has no identity to key on).
+
+    With the default [Compiled] kernel each task additionally receives the
+    cache's realized prefix as a shared precompiled table
+    ({!Rvu_trajectory.Stream_cache.compiled_source}) — realize once,
+    compile once, reuse across every instance of the batch (and across
+    batches sharing a registry key, e.g. neighbouring sweep shards). Pass
+    [~kernel:Interpreted] to run the oracle path instead; results are
+    bit-identical. *)
 
 val universal_key : string
 (** Registry key under which {!run} caches the universal program's

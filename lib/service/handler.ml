@@ -3,13 +3,17 @@ open Rvu_core
 
 let algorithm4_key = "rvu.service.algorithm4.reference"
 
-let reference_stream ~algorithm4 =
+let reference_source ~algorithm4 =
   let key, make =
     if algorithm4 then (algorithm4_key, Rvu_search.Algorithm4.program)
     else (Rvu_exec.Batch.universal_key, Universal.program)
   in
-  Rvu_trajectory.Stream_cache.stream
-    (Rvu_trajectory.Stream_cache.find_or_create ~key make)
+  let cache = Rvu_trajectory.Stream_cache.find_or_create ~key make in
+  (* The compiled prefix is realised and flattened once per process and
+     shared by every request; the engine's compiled kernel then derives
+     the displaced robot's table from it instead of re-realising. *)
+  let tbl, tail = Rvu_trajectory.Stream_cache.compiled_source cache in
+  Rvu_sim.Detector.source_of_table tbl ~tail
 
 (* ------------------------------------------------------------------ *)
 (* JSON shapes *)
@@ -69,10 +73,10 @@ let simulate (s : Proto.simulate) =
   let identity = Symmetry.is_identity s.Proto.transform in
   let res =
     if identity then
-      (* The shared reference stream is only valid for the untransformed
+      (* The shared reference table is only valid for the untransformed
          program; keep that fast path exactly as before. *)
-      Rvu_sim.Engine.run_with_reference ~horizon:s.Proto.horizon
-        ~reference:(reference_stream ~algorithm4:s.Proto.algorithm4)
+      Rvu_sim.Engine.run_with_source ~horizon:s.Proto.horizon
+        ~reference:(reference_source ~algorithm4:s.Proto.algorithm4)
         ~program:(base_program ()) inst
     else
       Rvu_sim.Engine.run ~horizon:s.Proto.horizon

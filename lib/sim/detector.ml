@@ -102,6 +102,281 @@ let first_meeting ?(closed_forms = true) ?(resolution = 1e-9)
   let outcome = walk ~horizon s1 s2 ~f ~finish:Fun.id in
   (outcome, { intervals = !intervals; min_distance = !min_distance })
 
+(* ------------------------------------------------------------------ *)
+(* Compiled kernel.
+
+   Same merged-timeline scan as [walk]/[first_meeting] above, but over
+   flat [Compiled.t] tables: per-segment quantities are unboxed float
+   array reads, positions are written into one preallocated scratch
+   buffer, and the only steady-state allocations left are the lazy-stream
+   pulls at block boundaries (every [block] segments) and the closure of
+   the rare non-escaping arc-pair Lipschitz solve. Control flow and float
+   evaluation order mirror the interpreted path expression by expression —
+   the QCheck suite pins outcomes, interval counts and min-distances to be
+   bit-identical, which is what lets the interpreted walker remain the
+   oracle. *)
+
+type source =
+  | Src_seq of Timed.t Seq.t
+  | Src_table of Compiled.t * Timed.t Seq.t
+  | Src_chunks of (int -> Compiled.t)
+
+let source_of_seq s = Src_seq s
+let source_of_table tbl ~tail = Src_table (tbl, tail)
+let source_of_chunks f = Src_chunks f
+
+let seq_of_source = function
+  | Src_seq s -> s
+  | Src_table (tbl, tail) -> Seq.append (Compiled.to_seq tbl) tail
+  | Src_chunks _ ->
+      invalid_arg "Detector.seq_of_source: chunked sources have no stream view"
+
+let table_of_source = function
+  | Src_seq _ | Src_chunks _ -> None
+  | Src_table (tbl, tail) -> Some (tbl, tail)
+
+(* Segments compiled per stream pull: large enough to amortise the table
+   build, small enough that runs ending early don't realize far past
+   their horizon. *)
+let block = 512
+
+(* Chunked sources (a [Compiled.deriver]) produce segments with a flat
+   array pass, ~50x cheaper per segment than a stream compile — so the
+   early-exit waste of a large block is negligible and bigger blocks
+   amortise the per-pull overhead. *)
+let chunk_block = 16384
+
+(* One robot's scan position: an index into the current compiled block,
+   plus how to produce the next block ([pull n] returns an empty table
+   when the stream is exhausted). *)
+type side = {
+  mutable tbl : Compiled.t;
+  mutable idx : int;
+  mutable pull : int -> Compiled.t;
+  block : int;
+  mutable ended : bool;
+}
+
+let pull_of_seq s =
+  let tail = ref s in
+  fun n ->
+    let tbl, rest = Compiled.of_seq ~max_segments:n !tail in
+    tail := rest;
+    tbl
+
+let side_of_source = function
+  | Src_seq s ->
+      { tbl = Compiled.empty; idx = 0; pull = pull_of_seq s; block;
+        ended = false }
+  | Src_table (tbl, tail) ->
+      { tbl; idx = 0; pull = pull_of_seq tail; block; ended = false }
+  | Src_chunks f ->
+      { tbl = Compiled.empty; idx = 0; pull = f; block = chunk_block;
+        ended = false }
+
+(* Advance [side] to its first segment ending after [scratch.(5)] — the
+   compiled counterpart of [pull]: skips zero-duration stragglers, pulls
+   the next block when the current one is exhausted, marks the end of a
+   finite stream. The target time travels through the scratch array
+   rather than a parameter: [ensure] is too big to inline, and a float
+   argument would be boxed at every advance — one allocation per
+   interval, the single largest heap cost left in the scan.
+
+   The [unsafe_get] is guarded by the branch shape: it is only reached
+   when [side.idx < n], and every column of a table (including
+   arena-backed chunks) is at least [n] long. *)
+let ensure side (scratch : float array) =
+  let t = Array.unsafe_get scratch 5 in
+  let continue = ref (not side.ended) in
+  while !continue do
+    let tbl = side.tbl in
+    if side.idx >= tbl.Compiled.n then begin
+      let next = side.pull side.block in
+      if next.Compiled.n = 0 then begin
+        side.ended <- true;
+        continue := false
+      end
+      else begin
+        side.tbl <- next;
+        side.idx <- 0
+      end
+    end
+    else if Array.unsafe_get tbl.Compiled.t_end side.idx <= t then
+      side.idx <- side.idx + 1
+    else continue := false
+  done
+
+let first_meeting_sources ?(closed_forms = true) ?(resolution = 1e-9)
+    ?(horizon = Float.infinity) ~r src1 src2 =
+  if r <= 0.0 then invalid_arg "Detector.first_meeting_sources: r <= 0";
+  let s1 = side_of_source src1 and s2 = side_of_source src2 in
+  (* Scratch: slots 0-3 hold the two evaluated positions; slot 4 is the
+     running min distance; slot 5 the scan's current time, doubling as
+     [ensure]'s target. Every mutable float of the loop lives in this one
+     flat array — locals, [float ref]s or a recursive scan function with
+     a float parameter would each box per interval, and at millions of
+     intervals per run those boxes were the remaining heap cost. *)
+  let scratch = Array.make 6 0.0 in
+  scratch.(4) <- Float.infinity;
+  scratch.(5) <- Float.neg_infinity;
+  let intervals = ref 0 in
+  ensure s1 scratch;
+  ensure s2 scratch;
+  scratch.(5) <- 0.0;
+  let outcome = ref (Horizon horizon) in
+  let running = ref true in
+  (* Index reads below are [unsafe_get]: [ensure] only leaves a side with
+     [idx < n] (or [ended], checked first), and every column is at least
+     [n] long. *)
+  while !running do
+    let now = Array.unsafe_get scratch 5 in
+    if s1.ended || s2.ended then begin
+      outcome := Stream_end now;
+      running := false
+    end
+    else if now >= horizon then begin
+      outcome := Horizon horizon;
+      running := false
+    end
+    else begin
+      let a = s1.tbl and ai = s1.idx in
+      let b = s2.tbl and bi = s2.idx in
+      let a_end = Array.unsafe_get a.Compiled.t_end ai
+      and b_end = Array.unsafe_get b.Compiled.t_end bi in
+      let lo =
+        Float.max now
+          (Float.max
+             (Array.unsafe_get a.Compiled.t0 ai)
+             (Array.unsafe_get b.Compiled.t0 bi))
+      in
+      let hi = Float.min horizon (Float.min a_end b_end) in
+      if lo >= horizon then begin
+        outcome := Horizon horizon;
+        running := false
+      end
+      else if lo >= hi then begin
+        (* Zero-length overlap: advance the earlier-ending side past
+           [now] (still in [scratch.(5)]) and rescan. *)
+        if a_end <= b_end then begin
+          s1.idx <- ai + 1;
+          ensure s1 scratch
+        end
+        else begin
+          s2.idx <- bi + 1;
+          ensure s2 scratch
+        end
+      end
+      else begin
+        incr intervals;
+        let hit =
+          if
+            closed_forms
+            && Array.unsafe_get a.Compiled.kind ai <> Compiled.kind_arc
+            && Array.unsafe_get b.Compiled.kind bi <> Compiled.kind_arc
+          then begin
+            (* Both sides affine: relative motion p(t) = rb + rs·t. *)
+            let rbx =
+              Array.unsafe_get a.Compiled.abx ai
+              -. Array.unsafe_get b.Compiled.abx bi
+            in
+            let rby =
+              Array.unsafe_get a.Compiled.aby ai
+              -. Array.unsafe_get b.Compiled.aby bi
+            in
+            let rsx =
+              Array.unsafe_get a.Compiled.asx ai
+              -. Array.unsafe_get b.Compiled.asx bi
+            in
+            let rsy =
+              Array.unsafe_get a.Compiled.asy ai
+              -. Array.unsafe_get b.Compiled.asy bi
+            in
+            let d0 = Float.hypot (rbx +. (lo *. rsx)) (rby +. (lo *. rsy)) in
+            if d0 < Array.unsafe_get scratch 4 then
+              Array.unsafe_set scratch 4 d0;
+            let lipschitz =
+              Array.unsafe_get a.Compiled.speed ai
+              +. Array.unsafe_get b.Compiled.speed bi
+            in
+            (* [Approach.escapes], inlined: a cross-library call would box
+               five floats per interval. *)
+            if d0 -. (lipschitz *. (hi -. lo)) > r then Float.nan
+            else if d0 <= r then lo
+            else begin
+              let qa = (rsx *. rsx) +. (rsy *. rsy) in
+              let qb = 2.0 *. ((rbx *. rsx) +. (rby *. rsy)) in
+              let qc = ((rbx *. rbx) +. (rby *. rby)) -. (r *. r) in
+              if qa = 0.0 then Float.nan
+              else begin
+                let disc = (qb *. qb) -. (4.0 *. qa *. qc) in
+                if disc < 0.0 then Float.nan
+                else begin
+                  let sd = sqrt disc in
+                  let t1 = (-.qb -. sd) /. (2.0 *. qa) in
+                  if t1 >= lo && t1 <= hi then t1 else Float.nan
+                end
+              end
+            end
+          end
+          else begin
+            Compiled.eval_into a ai lo scratch 0;
+            Compiled.eval_into b bi lo scratch 2;
+            let d0 =
+              Float.hypot
+                (scratch.(0) -. scratch.(2))
+                (scratch.(1) -. scratch.(3))
+            in
+            if d0 < scratch.(4) then scratch.(4) <- d0;
+            let lipschitz =
+              Array.unsafe_get a.Compiled.speed ai
+              +. Array.unsafe_get b.Compiled.speed bi
+            in
+            if d0 -. (lipschitz *. (hi -. lo)) > r then Float.nan
+            else begin
+              let f t =
+                Compiled.eval_into a ai t scratch 0;
+                Compiled.eval_into b bi t scratch 2;
+                Float.hypot
+                  (scratch.(0) -. scratch.(2))
+                  (scratch.(1) -. scratch.(3))
+                -. r
+              in
+              match
+                Rvu_numerics.Lipschitz.first_below ~lipschitz ~resolution ~f
+                  ~lo ~hi ()
+              with
+              | Rvu_numerics.Lipschitz.First_below t -> t
+              | Rvu_numerics.Lipschitz.Stays_above -> Float.nan
+            end
+          end
+        in
+        (* NaN is the in-band "no hit": hit times are real by construction
+           (the quadratic path filters non-finite roots via the range
+           check, the Lipschitz solver only returns in-range times). *)
+        if not (Float.is_nan hit) then begin
+          outcome := Hit hit;
+          running := false
+        end
+        else if hi >= horizon then begin
+          outcome := Horizon horizon;
+          running := false
+        end
+        else begin
+          Array.unsafe_set scratch 5 hi;
+          if a_end <= b_end then begin
+            s1.idx <- ai + 1;
+            ensure s1 scratch
+          end
+          else begin
+            s2.idx <- bi + 1;
+            ensure s2 scratch
+          end
+        end
+      end
+    end
+  done;
+  (!outcome, { intervals = !intervals; min_distance = scratch.(4) })
+
 let fold_intervals ?(horizon = Float.infinity) s1 s2 ~init ~f =
   let acc = ref init in
   let g ~lo ~hi a b =

@@ -45,6 +45,61 @@ val first_meeting :
     Requires [r > 0]. [closed_forms] (default [true]) — see
     {!Approach.first_within}; disable to ablate the exact fast path. *)
 
+(** {1 Compiled kernel}
+
+    The interpreted walker above derives per-segment quantities into heap
+    nodes and allocates [Vec2.t]s per interval. The compiled kernel scans
+    {!Rvu_trajectory.Compiled} tables instead — unboxed float-array reads,
+    one preallocated scratch buffer, block-wise compilation of the lazy
+    streams — and is pinned bit-identical (outcome, interval count,
+    min-distance) to [first_meeting] by the QCheck suite, so the
+    interpreted path stays available as the oracle. *)
+
+type source
+(** Where a robot's realised trajectory comes from: a plain lazy stream,
+    or a precompiled table prefix (shared via
+    {!Rvu_trajectory.Stream_cache.compiled_source}) followed by the
+    stream of the remainder. *)
+
+val source_of_seq : Rvu_trajectory.Timed.t Seq.t -> source
+
+val source_of_table :
+  Rvu_trajectory.Compiled.t -> tail:Rvu_trajectory.Timed.t Seq.t -> source
+(** [source_of_table tbl ~tail]: scan [tbl]'s segments first (no
+    recompilation), then continue block-compiling [tail]. [tail] must be
+    the stream continuation immediately after [tbl]'s last segment. *)
+
+val source_of_chunks : (int -> Rvu_trajectory.Compiled.t) -> source
+(** [source_of_chunks pull]: scan successive table chunks produced by
+    [pull max_segments] — an empty table ends the stream. Built for
+    {!Rvu_trajectory.Compiled.next_chunk}, whose chunks are only valid
+    until the next pull: the scan honours that by discarding each chunk
+    before pulling the next. *)
+
+val seq_of_source : source -> Rvu_trajectory.Timed.t Seq.t
+(** The segments of a source as one stream — how the interpreted oracle
+    consumes a source built for the compiled kernel. Raises
+    [Invalid_argument] on a chunked source (its chunks alias reused
+    storage, so no persistent stream view exists). *)
+
+val table_of_source :
+  source ->
+  (Rvu_trajectory.Compiled.t * Rvu_trajectory.Timed.t Seq.t) option
+(** The table and tail behind a {!source_of_table} source, [None] for a
+    plain stream. Lets the engine derive the displaced robot's table from
+    a shared reference table ({!Rvu_trajectory.Compiled.derive}) instead
+    of re-realising its stream. *)
+
+val first_meeting_sources :
+  ?closed_forms:bool ->
+  ?resolution:float ->
+  ?horizon:float ->
+  r:float ->
+  source ->
+  source ->
+  outcome * stats
+(** Exactly {!first_meeting}, over compiled tables. Requires [r > 0]. *)
+
 val fold_intervals :
   ?horizon:float ->
   Rvu_trajectory.Timed.t Seq.t ->

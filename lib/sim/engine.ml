@@ -48,19 +48,57 @@ let streams ?program inst =
   in
   (s_r, s_r')
 
-let run_with_reference ?closed_forms ?resolution ?horizon ~reference ~program
-    inst =
-  let s_r' =
-    Rvu_obs.Trace.with_span "engine.realize" (fun () ->
-        Rvu_trajectory.Realize.realize
-          (Frame.clocked inst.attributes ~displacement:inst.displacement)
-          program)
-  in
+type kernel = Interpreted | Compiled
+
+(* One derive arena per domain: batch tasks run sequentially within a
+   domain and no run outlives the next derive, so the aliasing contract
+   of [Compiled.derive ?arena] holds. *)
+let derive_arena = Domain.DLS.new_key Rvu_trajectory.Compiled.arena
+
+let run_with_source ?closed_forms ?resolution ?horizon ?(kernel = Compiled)
+    ~reference ~program inst =
+  let clocked = Frame.clocked inst.attributes ~displacement:inst.displacement in
   let t0 = Rvu_obs.Clock.now_s () in
   let outcome, stats =
     Rvu_obs.Trace.with_span "engine.detect" (fun () ->
-        Detector.first_meeting ?closed_forms ?resolution ?horizon ~r:inst.r
-          reference s_r')
+        match kernel with
+        | Compiled -> (
+            match Detector.table_of_source reference with
+            | Some (tbl, rtail) ->
+                (* The reference source is a shared compiled table of the
+                   same program: derive the displaced robot's table from
+                   it chunk by chunk with flat array passes instead of
+                   re-realising the whole stream — this is where the
+                   compiled path stops paying the lazy-realisation cost
+                   the interpreted path is stuck with, and streaming the
+                   derivation means a run that meets early never derives
+                   past its meeting. *)
+                let d =
+                  Rvu_trajectory.Compiled.deriver
+                    ~arena:(Domain.DLS.get derive_arena)
+                    clocked tbl ~tail:rtail
+                in
+                Detector.first_meeting_sources ?closed_forms ?resolution
+                  ?horizon ~r:inst.r reference
+                  (Detector.source_of_chunks (fun n ->
+                       Rvu_trajectory.Compiled.next_chunk d ~max_segments:n))
+            | None ->
+                let s_r' =
+                  Rvu_obs.Trace.with_span "engine.realize" (fun () ->
+                      Rvu_trajectory.Realize.realize clocked program)
+                in
+                Detector.first_meeting_sources ?closed_forms ?resolution
+                  ?horizon ~r:inst.r reference
+                  (Detector.source_of_seq s_r'))
+        | Interpreted ->
+            let s_r' =
+              Rvu_obs.Trace.with_span "engine.realize" (fun () ->
+                  Rvu_trajectory.Realize.realize clocked program)
+            in
+            Detector.first_meeting ?closed_forms ?resolution ?horizon
+              ~r:inst.r
+              (Detector.seq_of_source reference)
+              s_r')
   in
   Rvu_obs.Metrics.observe m_detect (Rvu_obs.Clock.now_s () -. t0);
   Rvu_obs.Metrics.incr m_runs;
@@ -72,15 +110,21 @@ let run_with_reference ?closed_forms ?resolution ?horizon ~reference ~program
   in
   { outcome; stats; bound }
 
-let run ?closed_forms ?resolution ?horizon ?program inst =
+let run_with_reference ?closed_forms ?resolution ?horizon ?kernel ~reference
+    ~program inst =
+  run_with_source ?closed_forms ?resolution ?horizon ?kernel
+    ~reference:(Detector.source_of_seq reference)
+    ~program inst
+
+let run ?closed_forms ?resolution ?horizon ?kernel ?program inst =
   let program =
     match program with Some p -> p | None -> Universal.program ()
   in
   let reference =
     Rvu_trajectory.Realize.realize Frame.reference_clocked program
   in
-  run_with_reference ?closed_forms ?resolution ?horizon ~reference ~program
-    inst
+  run_with_reference ?closed_forms ?resolution ?horizon ?kernel ~reference
+    ~program inst
 
 let run_two ?closed_forms ?resolution ?horizon ~program_r ~program_r' inst =
   let s_r = Rvu_trajectory.Realize.realize Frame.reference_clocked program_r in

@@ -26,10 +26,17 @@ type result = {
           reporting *)
 }
 
+type kernel =
+  | Interpreted  (** the lazy-stream walker — the oracle path *)
+  | Compiled
+      (** flat-table kernel ({!Detector.first_meeting_sources}); default.
+          Pinned bit-identical to [Interpreted] by the QCheck suite. *)
+
 val run :
   ?closed_forms:bool ->
   ?resolution:float ->
   ?horizon:float ->
+  ?kernel:kernel ->
   ?program:Rvu_trajectory.Program.t ->
   instance ->
   result
@@ -37,12 +44,14 @@ val run :
     {!Rvu_core.Universal.program}; pass [?program] to ablate with
     Algorithm 4 or anything else) on the instance. Supply a [horizon] for
     possibly-infeasible instances — the default is infinite and Algorithm 7
-    never terminates on its own. *)
+    never terminates on its own. [kernel] (default [Compiled]) selects the
+    detector implementation; results are bit-identical either way. *)
 
 val run_with_reference :
   ?closed_forms:bool ->
   ?resolution:float ->
   ?horizon:float ->
+  ?kernel:kernel ->
   reference:Rvu_trajectory.Timed.t Seq.t ->
   program:Rvu_trajectory.Program.t ->
   instance ->
@@ -53,6 +62,21 @@ val run_with_reference :
     reference realization is paid once, not per instance. [reference] must
     be (bit-identical to) [Realize.realize Frame.reference_clocked program];
     [run] is exactly this function with a freshly realized reference. *)
+
+val run_with_source :
+  ?closed_forms:bool ->
+  ?resolution:float ->
+  ?horizon:float ->
+  ?kernel:kernel ->
+  reference:Detector.source ->
+  program:Rvu_trajectory.Program.t ->
+  instance ->
+  result
+(** The most general entry point: the reference side arrives as a
+    {!Detector.source}, so a batch can hand every run the same
+    precompiled table ({!Rvu_trajectory.Stream_cache.compiled_source}) —
+    realize once, compile once, share everywhere. [run_with_reference] is
+    this function with a seq-backed source. *)
 
 val run_two :
   ?closed_forms:bool ->

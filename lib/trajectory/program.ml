@@ -3,7 +3,16 @@ open Rvu_geom
 type t = Segment.t Seq.t
 
 let empty = Seq.empty
-let of_list = List.to_seq
+
+let of_list segs =
+  List.iteri
+    (fun i seg ->
+      match Segment.check seg with
+      | Ok () -> ()
+      | Error reason ->
+          invalid_arg (Printf.sprintf "Program.of_list: segment %d: %s" i reason))
+    segs;
+  List.to_seq segs
 let append = Seq.append
 let concat_list ps = Seq.concat (List.to_seq ps)
 

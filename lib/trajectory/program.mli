@@ -12,7 +12,13 @@ open Rvu_geom
 type t = Segment.t Seq.t
 
 val empty : t
+
 val of_list : Segment.t list -> t
+(** Validates every segment with {!Segment.check} and raises
+    [Invalid_argument] with the offending index
+    (["Program.of_list: segment 3: non-finite arc angle"]) — construction
+    is the place to stop NaN, not the detector three layers down. *)
+
 val append : t -> t -> t
 val concat_list : t list -> t
 

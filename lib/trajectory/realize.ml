@@ -6,6 +6,8 @@ let identity = { frame = Conformal.identity; time_unit = 1.0 }
 
 let make ~frame ~time_unit =
   if time_unit <= 0.0 then invalid_arg "Realize.make: non-positive time unit";
+  if not (Float.is_finite time_unit) then
+    invalid_arg "Realize.make: non-finite time unit";
   { frame; time_unit }
 
 type state = { sum : float; comp : float }

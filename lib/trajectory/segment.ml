@@ -5,14 +5,42 @@ type t =
   | Line of { src : Vec2.t; dst : Vec2.t }
   | Arc of { center : Vec2.t; radius : float; from : float; sweep : float }
 
+let finite2 (v : Vec2.t) = Float.is_finite v.Vec2.x && Float.is_finite v.Vec2.y
+
+let check = function
+  | Wait { pos; dur } ->
+      if dur < 0.0 then Error "negative wait duration"
+      else if not (Float.is_finite dur) then Error "non-finite wait duration"
+      else if not (finite2 pos) then Error "non-finite wait position"
+      else Ok ()
+  | Line { src; dst } ->
+      if not (finite2 src && finite2 dst) then Error "non-finite line endpoint"
+      else Ok ()
+  | Arc { center; radius; from; sweep } ->
+      if radius < 0.0 then Error "negative arc radius"
+      else if not (Float.is_finite radius) then Error "non-finite arc radius"
+      else if not (finite2 center) then Error "non-finite arc center"
+      else if not (Float.is_finite from && Float.is_finite sweep) then
+        Error "non-finite arc angle"
+      else Ok ()
+
 let wait ~at ~dur =
   if dur < 0.0 then invalid_arg "Segment.wait: negative duration";
+  if not (Float.is_finite dur) then invalid_arg "Segment.wait: non-finite duration";
+  if not (finite2 at) then invalid_arg "Segment.wait: non-finite position";
   Wait { pos = at; dur }
 
-let line ~src ~dst = Line { src; dst }
+let line ~src ~dst =
+  if not (finite2 src && finite2 dst) then
+    invalid_arg "Segment.line: non-finite endpoint";
+  Line { src; dst }
 
 let arc ~center ~radius ~from ~sweep =
   if radius < 0.0 then invalid_arg "Segment.arc: negative radius";
+  if not (Float.is_finite radius) then invalid_arg "Segment.arc: non-finite radius";
+  if not (finite2 center) then invalid_arg "Segment.arc: non-finite center";
+  if not (Float.is_finite from && Float.is_finite sweep) then
+    invalid_arg "Segment.arc: non-finite angle";
   Arc { center; radius; from; sweep }
 
 let full_circle ?(from = 0.0) ~center ~radius () =

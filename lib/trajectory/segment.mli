@@ -20,12 +20,22 @@ type t =
           duration [radius · |sweep|]. *)
 
 val wait : at:Vec2.t -> dur:float -> t
-(** Raises [Invalid_argument] on negative duration. *)
+(** Raises [Invalid_argument] on a negative or non-finite duration, or a
+    non-finite position. *)
 
 val line : src:Vec2.t -> dst:Vec2.t -> t
+(** Raises [Invalid_argument] on a non-finite endpoint. *)
 
 val arc : center:Vec2.t -> radius:float -> from:float -> sweep:float -> t
-(** Raises [Invalid_argument] on negative radius. *)
+(** Raises [Invalid_argument] on a negative or non-finite radius, or a
+    non-finite center/angle. *)
+
+val check : t -> (unit, string) result
+(** Re-validates an already-built segment (the variant constructors are
+    public, so values can bypass the smart constructors): finite geometry,
+    non-negative durations and radii. [Error] carries a human-readable
+    reason without position information — {!Program.of_list} adds the
+    segment index. *)
 
 val full_circle : ?from:float -> center:Vec2.t -> radius:float -> unit -> t
 (** Counter-clockwise full turn starting at polar angle [from]

@@ -8,6 +8,9 @@ type t = {
   mutable hits : int; (* chunk reads served from already-realized slots *)
   mutable misses : int; (* chunk reads that had to realize forward *)
   mutable evictions : int; (* chunk reads past the cap: retention declined *)
+  mutable compiled : Compiled.t;
+      (* memoized compilation of [buf.(0) .. buf.(len-1)]; valid iff
+         [compiled.n = len] (the prefix only grows, never changes) *)
 }
 
 type stats = { hits : int; misses : int; evictions : int }
@@ -38,7 +41,7 @@ let dummy =
   Timed.make ~t0:0.0 ~dur:0.0
     ~shape:(Segment.wait ~at:Rvu_geom.Vec2.zero ~dur:0.0)
 
-let create ?(clocked = Realize.identity) ?(max_segments = 65536) program =
+let create ?(clocked = Realize.identity) ?(max_segments = 524288) program =
   if max_segments < 1 then invalid_arg "Stream_cache.create: max_segments < 1";
   {
     lock = Mutex.create ();
@@ -50,6 +53,7 @@ let create ?(clocked = Realize.identity) ?(max_segments = 65536) program =
     hits = 0;
     misses = 0;
     evictions = 0;
+    compiled = Compiled.empty;
   }
 
 let realized t =
@@ -145,7 +149,8 @@ let chunk t i =
         else Overflow t.tail
       end)
 
-let stream t =
+let stream_from t start =
+  if start < 0 then invalid_arg "Stream_cache.stream_from: negative index";
   let rec from i () =
     match chunk t i with
     | Segs segs ->
@@ -157,7 +162,27 @@ let stream t =
     | Ended -> Seq.Nil
     | Overflow tail -> tail ()
   in
-  from 0
+  from start
+
+let stream t = stream_from t 0
+
+let compiled_source t =
+  Mutex.lock t.lock;
+  let tbl =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        if t.compiled.Compiled.n = t.len then t.compiled
+        else begin
+          (* Compile a snapshot of the realized prefix. [buf] may be
+             swapped by a concurrent [ensure_capacity], so the sub-copy
+             under the lock is load-bearing, not defensive. *)
+          let tbl = Compiled.of_timed (Array.sub t.buf 0 t.len) in
+          t.compiled <- tbl;
+          tbl
+        end)
+  in
+  (tbl, stream_from t tbl.Compiled.n)
 
 (* ------------------------------------------------------------------ *)
 (* Keyed registry *)

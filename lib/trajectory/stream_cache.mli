@@ -29,12 +29,27 @@ type t
 val create : ?clocked:Realize.clocked -> ?max_segments:int -> Program.t -> t
 (** [create ?clocked ?max_segments program] caches the realization of
     [program] under [clocked] (default {!Realize.identity}, the reference
-    robot). At most [max_segments] (default [65536]) segments are retained;
+    robot). At most [max_segments] (default [524288]) segments are retained;
     the program is consumed lazily, so creation itself is cheap. *)
 
 val stream : t -> Timed.t Seq.t
 (** The realized stream, replayed from the cache. Safe to share across
     domains; every call (and every traversal) starts from the beginning. *)
+
+val stream_from : t -> int -> Timed.t Seq.t
+(** [stream_from t i] replays the cached stream starting at segment index
+    [i] (empty if the stream has fewer than [i + 1] segments). [stream t]
+    is [stream_from t 0]. Raises [Invalid_argument] on a negative index. *)
+
+val compiled_source : t -> Compiled.t * Timed.t Seq.t
+(** The realized prefix as a {!Compiled} table, plus the stream of
+    everything after it. The compilation is memoized and only redone when
+    the prefix has grown since the last call, so a batch that shares this
+    cache realizes once and compiles once — later callers (including
+    neighbouring sweep cells resolving the same registry key) get the
+    same table for free. Segments are identical to [stream t]'s, in the
+    same order: [table-prefix ++ tail] {e is} the reference stream, so
+    compiled and interpreted consumers stay bit-identical. *)
 
 val realized : t -> int
 (** Number of segments realized into the prefix buffer so far. *)

@@ -2,6 +2,7 @@ type t = { t0 : float; dur : float; shape : Segment.t }
 
 let make ~t0 ~dur ~shape =
   if dur < 0.0 then invalid_arg "Timed.make: negative duration";
+  if not (Float.is_finite dur) then invalid_arg "Timed.make: non-finite duration";
   if not (Float.is_finite t0) then invalid_arg "Timed.make: non-finite start";
   { t0; dur; shape }
 

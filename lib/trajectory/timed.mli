@@ -10,7 +10,8 @@ open Rvu_geom
 type t = private { t0 : float; dur : float; shape : Segment.t }
 
 val make : t0:float -> dur:float -> shape:Segment.t -> t
-(** Raises [Invalid_argument] if [dur < 0] or [t0] is not finite. *)
+(** Raises [Invalid_argument] if [dur < 0] or [t0] or [dur] is not
+    finite. *)
 
 val t1 : t -> float
 (** End time, [t0 +. dur]. *)

@@ -1,0 +1,74 @@
+let plan ~cells ~shards =
+  if cells < 0 then invalid_arg "Checkpoint.plan: cells < 0";
+  if shards < 1 then invalid_arg "Checkpoint.plan: shards < 1";
+  let shards = min shards (max 1 cells) in
+  let base = cells / shards and extra = cells mod shards in
+  let ranges = ref [] in
+  let start = ref 0 in
+  for s = 0 to shards - 1 do
+    let size = base + if s < extra then 1 else 0 in
+    if size > 0 then ranges := (!start, !start + size) :: !ranges;
+    start := !start + size
+  done;
+  Array.of_list (List.rev !ranges)
+
+let shard_file ~dir s = Filename.concat dir (Printf.sprintf "shard-%04d.ndjson" s)
+let atlas_file ~dir = Filename.concat dir "atlas.ndjson"
+
+type progress = { shard : int; cells : int; skipped : bool }
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Checkpoint: %s exists and is not a directory" dir)
+
+(* Atomic publication: write into a dot-temp in the same directory, then
+   rename. A crash mid-write leaves a temp file (ignored by resume and by
+   assembly), never a truncated checkpoint. *)
+let write_atomic ~path content =
+  let tmp = Filename.concat (Filename.dirname path) ("." ^ Filename.basename path ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run ~dir ?(shards = 8) ?(resume = false) ?on_shard ~cells ~eval () =
+  let ranges = plan ~cells ~shards in
+  ensure_dir dir;
+  Array.iteri
+    (fun s (start, stop) ->
+      let path = shard_file ~dir s in
+      let skipped = resume && Sys.file_exists path in
+      if not skipped then begin
+        let rows = eval start stop in
+        if Array.length rows <> stop - start then
+          invalid_arg
+            (Printf.sprintf
+               "Checkpoint.run: eval %d %d returned %d rows, expected %d" start
+               stop (Array.length rows) (stop - start));
+        let buf = Buffer.create 4096 in
+        Array.iter
+          (fun row ->
+            Buffer.add_string buf (Rvu_obs.Wire.print row);
+            Buffer.add_char buf '\n')
+          rows;
+        write_atomic ~path (Buffer.contents buf)
+      end;
+      Option.iter
+        (fun f -> f { shard = s; cells = stop - start; skipped })
+        on_shard)
+    ranges;
+  let atlas = atlas_file ~dir in
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun s (_ : int * int) -> Buffer.add_string buf (read_file (shard_file ~dir s)))
+    ranges;
+  write_atomic ~path:atlas (Buffer.contents buf);
+  atlas

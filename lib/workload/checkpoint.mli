@@ -1,0 +1,64 @@
+(** Checkpointable, resumable sweep atlases.
+
+    A large parameter sweep is a pure function from cell index to result
+    row; nothing about it needs to be recomputed after an interruption
+    except the cells whose results were never written. This module shards
+    the cell range [0 .. cells-1] into contiguous blocks, evaluates each
+    shard, writes it as one NDJSON checkpoint file (one {!Rvu_obs.Wire}
+    object per line, atomically via write-to-temp-then-rename), and
+    finally concatenates the shards into [atlas.ndjson]. A resumed run
+    skips every shard whose checkpoint file already exists — and because
+    rows are required to be deterministic (no timestamps, no randomness),
+    the resumed atlas is {e byte-identical} to the one an uninterrupted
+    run would have produced. The perf-compile bench gates on exactly
+    that. *)
+
+val plan : cells:int -> shards:int -> (int * int) array
+(** [plan ~cells ~shards] splits [0 .. cells-1] into at most [shards]
+    contiguous [(start, stop)] half-open ranges, in ascending order,
+    covering every cell exactly once; earlier shards are at most one cell
+    larger. Empty ranges are dropped ([shards > cells] yields [cells]
+    singleton shards). Raises [Invalid_argument] if [cells < 0] or
+    [shards < 1]. *)
+
+val shard_file : dir:string -> int -> string
+(** [dir/shard-0007.ndjson] — the checkpoint for shard 7. Fixed-width
+    numbering keeps lexicographic and shard order identical. *)
+
+val atlas_file : dir:string -> string
+(** [dir/atlas.ndjson], the assembled result. *)
+
+type progress = {
+  shard : int;
+  cells : int;  (** cells in this shard *)
+  skipped : bool;  (** true when an existing checkpoint was reused *)
+}
+
+val run :
+  dir:string ->
+  ?shards:int ->
+  ?resume:bool ->
+  ?on_shard:(progress -> unit) ->
+  cells:int ->
+  eval:(int -> int -> Rvu_obs.Wire.t array) ->
+  unit ->
+  string
+(** [run ~dir ~cells ~eval ()] evaluates the whole grid and returns the
+    path of the assembled atlas. [eval start stop] must return one row
+    per cell in [start .. stop-1], in order, deterministically — the
+    caller decides how (typically {!Rvu_exec.Batch.run} over the shard's
+    instances, which parallelizes within the shard while keeping shard
+    files' contents independent of the job count). [shards] defaults to
+    [8]; [resume] (default [false]) reuses existing checkpoint files
+    instead of recomputing them — pass it only with a [dir] written by a
+    run with the same grid and shard count, or the atlas will be
+    assembled from mismatched pieces. Without [resume], stale checkpoint
+    files from earlier runs are overwritten. [on_shard] is called after
+    each shard is computed or skipped. Rows are printed with
+    {!Rvu_obs.Wire.print} (compact, deterministic), one per line.
+
+    Crash safety: each checkpoint appears atomically (temp file + rename
+    within [dir]), so an interrupted run leaves only complete shards
+    behind; the atlas itself is also assembled through a rename and is
+    rewritten by every run. Raises [Invalid_argument] on [cells < 0],
+    [shards < 1], or an [eval] returning the wrong number of rows. *)

@@ -63,6 +63,42 @@ so exact matching is safe even across machines:
   |   2 |     hit |   254 | 7.129e+05 |        74 |
   +-----+---------+-------+-----------+-----------+
 
+The same sweep as a checkpointed atlas: shard files appear under --out,
+then the assembled NDJSON atlas. Interrupt it (delete a shard and the
+atlas), resume, and the rebuilt atlas is byte-identical — only the missing
+shard is recomputed:
+
+  $ rvu sweep --d-lo 1 --d-hi 2 --points 3 -r 0.4 --tau 0.5 --jobs 1 --out atlas --shards 3
+  R' attributes: {v=1; tau=0.5; phi=0; chi=+1}
+  sweeping d over 3 point(s) in [1, 2], r = 0.4
+  shard 0: 1 cell(s)
+  shard 1: 1 cell(s)
+  shard 2: 1 cell(s)
+  atlas written to atlas/atlas.ndjson
+
+  $ cat atlas/atlas.ndjson
+  {"cell":0,"d":1.0,"outcome":"hit","t":122.58008033418272,"bound":712884.0602771039,"intervals":21}
+  {"cell":1,"d":1.5,"outcome":"hit","t":240.59038281318323,"bound":712884.0602771039,"intervals":71}
+  {"cell":2,"d":2.0,"outcome":"hit","t":253.9656858575362,"bound":712884.0602771039,"intervals":74}
+
+  $ cp atlas/atlas.ndjson full.ndjson
+  $ rm atlas/atlas.ndjson atlas/shard-0001.ndjson
+  $ rvu sweep --d-lo 1 --d-hi 2 --points 3 -r 0.4 --tau 0.5 --jobs 1 --out atlas --shards 3 --resume
+  R' attributes: {v=1; tau=0.5; phi=0; chi=+1}
+  sweeping d over 3 point(s) in [1, 2], r = 0.4
+  shard 0: 1 cell(s) (checkpoint reused)
+  shard 1: 1 cell(s)
+  shard 2: 1 cell(s) (checkpoint reused)
+  atlas written to atlas/atlas.ndjson
+
+  $ cmp full.ndjson atlas/atlas.ndjson
+
+--resume without --out is rejected:
+
+  $ rvu sweep --resume
+  rvu: --resume requires --out DIR
+  [1]
+
 Gathering (the open problem): a pair gathers, three distinct speeds do not:
 
   $ rvu gather --robot 2,2,1 -r 0.3 --horizon 1000000

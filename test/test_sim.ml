@@ -443,6 +443,96 @@ let prop_engine_matches_brute_force =
       | (Rvu_sim.Detector.Horizon _ | Rvu_sim.Detector.Stream_end _), None -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Compiled kernel vs the interpreted oracle.
+
+   The contract is bit-identity, not tolerance: same outcome constructor
+   with the same float, same interval count, same min-distance. Anything
+   weaker would let the compiled kernel drift from the oracle one ulp at a
+   time. *)
+
+let detector_pair_equal (o1, (s1 : Detector.stats)) (o2, (s2 : Detector.stats))
+    =
+  o1 = o2 && s1 = s2
+
+let prop_compiled_detector_bit_identical =
+  QCheck.Test.make
+    ~name:
+      "detector: compiled kernel bit-identical to interpreted (incl. \
+       closed-form ablation)"
+    ~count:80
+    (QCheck.triple chained_program_arb attrs_arb QCheck.bool)
+    (fun (segs, attributes, closed_forms) ->
+      QCheck.assume (segs <> []);
+      let program = Program.of_list segs in
+      let displacement = Vec2.make 1.3 0.7 in
+      let clocked_r' = Rvu_core.Frame.clocked attributes ~displacement in
+      let s_r = Realize.realize Realize.identity program in
+      let s_r' = Realize.realize clocked_r' program in
+      let r = 0.35 and horizon = 40.0 in
+      let interpreted =
+        Detector.first_meeting ~closed_forms ~horizon ~r s_r s_r'
+      in
+      let compiled =
+        Detector.first_meeting_sources ~closed_forms ~horizon ~r
+          (Detector.source_of_seq s_r)
+          (Detector.source_of_seq s_r')
+      in
+      detector_pair_equal interpreted compiled)
+
+let prop_compiled_engine_bit_identical =
+  QCheck.Test.make
+    ~name:"engine: Compiled kernel = Interpreted kernel (bit-identical)"
+    ~count:8 Gen.instance_arbitrary
+    (fun instances ->
+      let horizon = 2e4 in
+      Array.for_all
+        (fun inst ->
+          Gen.result_equal
+            (Engine.run ~horizon ~kernel:Engine.Interpreted inst)
+            (Engine.run ~horizon ~kernel:Engine.Compiled inst))
+        instances)
+
+let test_compiled_table_source () =
+  (* A precompiled reference prefix + lazy tail must give the same result
+     as compiling everything from the stream — the sharing path Batch uses
+     via Stream_cache.compiled_source. *)
+  let program = Rvu_core.Universal.program () in
+  let inst =
+    Engine.instance
+      ~attributes:(Rvu_core.Attributes.make ~v:1.4 ~tau:0.8 ())
+      ~displacement:(Vec2.make 1.7 0.4) ~r:0.3
+  in
+  let horizon = 5e3 in
+  let tbl, tail =
+    Compiled.of_seq ~max_segments:100 (Realize.realize Realize.identity program)
+  in
+  let via_table =
+    Engine.run_with_source ~horizon
+      ~reference:(Detector.source_of_table tbl ~tail)
+      ~program inst
+  in
+  let plain = Engine.run ~horizon inst in
+  check_bool "table-prefix source bit-identical" true
+    (Gen.result_equal via_table plain)
+
+let test_compiled_empty_streams () =
+  let outcome, (stats : Detector.stats) =
+    Detector.first_meeting_sources ~r:1.0
+      (Detector.source_of_seq Seq.empty)
+      (Detector.source_of_seq Seq.empty)
+  in
+  check_bool "empty streams end at 0" true (outcome = Detector.Stream_end 0.0);
+  check_bool "no intervals scanned" true (stats.Detector.intervals = 0)
+
+let test_compiled_sources_validation () =
+  Alcotest.check_raises "r = 0 rejected"
+    (Invalid_argument "Detector.first_meeting_sources: r <= 0") (fun () ->
+      ignore
+        (Detector.first_meeting_sources ~r:0.0
+           (Detector.source_of_seq Seq.empty)
+           (Detector.source_of_seq Seq.empty)))
+
+(* ------------------------------------------------------------------ *)
 (* Multi (gathering) *)
 
 let reference_robot =
@@ -610,6 +700,15 @@ let () =
           Alcotest.test_case "program override" `Quick test_engine_program_override;
           qc prop_engine_matches_brute_force;
           qc prop_separation_certificate_sound;
+        ] );
+      ( "compiled kernel",
+        [
+          qc prop_compiled_detector_bit_identical;
+          qc prop_compiled_engine_bit_identical;
+          Alcotest.test_case "table-prefix source" `Quick
+            test_compiled_table_source;
+          Alcotest.test_case "empty streams" `Quick test_compiled_empty_streams;
+          Alcotest.test_case "validation" `Quick test_compiled_sources_validation;
         ] );
       ( "search engine",
         [

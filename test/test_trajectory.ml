@@ -442,6 +442,252 @@ let test_stream_cache_registry () =
   check_bool "dropped key rebuilds" true (not (c == a));
   Stream_cache.drop ~key:"test.zigzag"
 
+(* ------------------------------------------------------------------ *)
+(* Compiled *)
+
+(* Exact float comparison (NaN-free here): the compiled table's whole
+   contract is bit-identity with the interpreted walk, so no tolerance. *)
+let vec2_bit_equal (a : Vec2.t) (b : Vec2.t) =
+  a.Vec2.x = b.Vec2.x && a.Vec2.y = b.Vec2.y
+
+let clocked_arb =
+  QCheck.map
+    (fun (frame, time_unit) -> Realize.make ~frame ~time_unit)
+    QCheck.(pair conformal_arb (float_range 0.2 3.0))
+
+(* Gen.chained_program_arb can drop every degenerate piece; keep the
+   compiled stream non-empty so the table APIs are exercised. *)
+let nonempty_program_arb =
+  QCheck.map
+    (fun segs ->
+      Program.of_list
+        (if segs = [] then [ Segment.wait ~at:Vec2.zero ~dur:1.0 ] else segs))
+    Gen.chained_program_arb
+
+(* The interpreted oracle for [index_at]: linear scan for the least [i]
+   with [t < t1 segs.(i)], clamped to the last segment. *)
+let oracle_index segs t =
+  let n = Array.length segs in
+  let rec go i =
+    if i >= n - 1 then n - 1 else if t < Timed.t1 segs.(i) then i else go (i + 1)
+  in
+  go 0
+
+let prop_compiled_prefix_monotone =
+  QCheck.Test.make ~name:"compiled: prefix-summed timeline is monotone"
+    ~count:200
+    (QCheck.pair clocked_arb nonempty_program_arb)
+    (fun (c, p) ->
+      let tbl, _ = Compiled.of_seq (Realize.realize c p) in
+      let n = Compiled.length tbl in
+      let ok = ref (n > 0 && tbl.Compiled.start = tbl.Compiled.t0.(0)) in
+      for i = 0 to n - 1 do
+        ok :=
+          !ok
+          && tbl.Compiled.t_end.(i)
+             = tbl.Compiled.t0.(i) +. tbl.Compiled.dur.(i)
+          && tbl.Compiled.t0.(i) <= tbl.Compiled.t_end.(i)
+          && (i = 0 || tbl.Compiled.t_end.(i - 1) <= tbl.Compiled.t_end.(i))
+      done;
+      !ok && tbl.Compiled.stop = tbl.Compiled.t_end.(n - 1))
+
+let prop_compiled_position_matches_interpreted =
+  QCheck.Test.make
+    ~name:"compiled: position_at is bit-identical to the interpreted walk"
+    ~count:200
+    (QCheck.triple clocked_arb nonempty_program_arb
+       (QCheck.float_range (-0.1) 1.1))
+    (fun (c, p, frac) ->
+      let segs = Array.of_seq (Realize.realize c p) in
+      let tbl, _ = Compiled.of_seq (Realize.realize c p) in
+      let agree t =
+        let i = Compiled.index_at tbl t in
+        i = oracle_index segs t
+        && vec2_bit_equal (Compiled.position_at tbl t)
+             (Timed.position segs.(i) t)
+      in
+      (* A random time spilling slightly outside the covered range... *)
+      let span = tbl.Compiled.stop -. tbl.Compiled.start in
+      agree (tbl.Compiled.start +. (frac *. span))
+      (* ...and every exact segment boundary, where [t < t_end] tips over. *)
+      && Array.for_all agree tbl.Compiled.t_end
+      && Array.for_all agree tbl.Compiled.t0)
+
+let prop_compiled_cursor_matches_binary_search =
+  QCheck.Test.make
+    ~name:"compiled: cursor agrees with binary search (backward seeks too)"
+    ~count:200
+    (QCheck.pair
+       (QCheck.pair clocked_arb nonempty_program_arb)
+       (QCheck.list_of_size
+          (QCheck.Gen.int_range 1 12)
+          (QCheck.float_range (-0.1) 1.1)))
+    (fun ((c, p), fracs) ->
+      let tbl, _ = Compiled.of_seq (Realize.realize c p) in
+      let cur = Compiled.cursor tbl in
+      let span = tbl.Compiled.stop -. tbl.Compiled.start in
+      (* The times arrive unsorted, so the cursor must handle forward
+         scans and backward jumps alike. *)
+      List.for_all
+        (fun frac ->
+          let t = tbl.Compiled.start +. (frac *. span) in
+          Compiled.seek cur t = Compiled.index_at tbl t
+          && vec2_bit_equal (Compiled.position cur t) (Compiled.position_at tbl t))
+        fracs)
+
+let prop_compiled_of_seq_split_roundtrip =
+  QCheck.Test.make ~name:"compiled: of_seq cap splits without losing segments"
+    ~count:200
+    (QCheck.pair
+       (QCheck.pair clocked_arb nonempty_program_arb)
+       QCheck.(int_range 0 8))
+    (fun ((c, p), cap) ->
+      let full = List.of_seq (Realize.realize c p) in
+      let head, rest = Compiled.of_seq ~max_segments:cap (Realize.realize c p) in
+      let tail, rest' = Compiled.of_seq rest in
+      let glued =
+        List.of_seq (Compiled.to_seq head) @ List.of_seq (Compiled.to_seq tail)
+      in
+      Compiled.length head = min cap (List.length full)
+      && Seq.is_empty rest'
+      && List.length glued = List.length full
+      && List.for_all2 timed_equal glued full)
+
+let prop_compiled_derive_matches_realize =
+  QCheck.Test.make
+    ~name:"compiled: derive equals compiling the re-realised stream" ~count:200
+    (QCheck.pair
+       (QCheck.pair clocked_arb nonempty_program_arb)
+       QCheck.(int_range 0 8))
+    (fun ((c, p), cap) ->
+      (* Identity-clocked reference split into table + tail, as
+         Stream_cache.compiled_source hands it to the engine. *)
+      let ref_tbl, ref_tail =
+        Compiled.of_seq ~max_segments:cap (Realize.realize Realize.identity p)
+      in
+      let got, got_tail = Compiled.derive c ref_tbl ~tail:ref_tail in
+      let want, want_tail =
+        Compiled.of_seq ~max_segments:(Compiled.length got)
+          (Realize.realize c p)
+      in
+      (* Structural [=] on float arrays compares numerically, so the
+         documented ±0.0 slack is exactly what it admits. *)
+      Compiled.length got = Compiled.length want
+      && got.Compiled.start = want.Compiled.start
+      && got.Compiled.stop = want.Compiled.stop
+      && got.Compiled.t0 = want.Compiled.t0
+      && got.Compiled.dur = want.Compiled.dur
+      && got.Compiled.t_end = want.Compiled.t_end
+      && got.Compiled.speed = want.Compiled.speed
+      && got.Compiled.kind = want.Compiled.kind
+      && got.Compiled.local_dur = want.Compiled.local_dur
+      && got.Compiled.g0 = want.Compiled.g0
+      && got.Compiled.g1 = want.Compiled.g1
+      && got.Compiled.g2 = want.Compiled.g2
+      && got.Compiled.g3 = want.Compiled.g3
+      && got.Compiled.g4 = want.Compiled.g4
+      && got.Compiled.abx = want.Compiled.abx
+      && got.Compiled.aby = want.Compiled.aby
+      && got.Compiled.asx = want.Compiled.asx
+      && got.Compiled.asy = want.Compiled.asy
+      && List.for_all2 timed_equal
+           (List.of_seq got_tail)
+           (List.of_seq want_tail))
+
+let prop_compiled_deriver_chunks_concat =
+  QCheck.Test.make
+    ~name:"compiled: chunked deriver concatenates to the one-shot derive"
+    ~count:200
+    (QCheck.pair
+       (QCheck.pair clocked_arb nonempty_program_arb)
+       (QCheck.pair
+          QCheck.(int_range 0 8)
+          (QCheck.list_of_size (QCheck.Gen.int_range 1 6) QCheck.(int_range 1 7))))
+    (fun ((c, p), (cap, sizes)) ->
+      let reference () =
+        Compiled.of_seq ~max_segments:cap (Realize.realize Realize.identity p)
+      in
+      let ref_tbl, ref_tail = reference () in
+      let full_tbl, full_tail = Compiled.derive c ref_tbl ~tail:ref_tail in
+      let want =
+        List.of_seq (Compiled.to_seq full_tbl) @ List.of_seq full_tail
+      in
+      let ref_tbl', ref_tail' = reference () in
+      let d = Compiled.deriver c ref_tbl' ~tail:ref_tail' in
+      let sizes = Array.of_list sizes in
+      let rec collect acc k =
+        let chunk =
+          Compiled.next_chunk d
+            ~max_segments:sizes.(k mod Array.length sizes)
+        in
+        if Compiled.length chunk = 0 then List.rev acc
+        else
+          (* Materialise before the next pull: chunks alias the arena. *)
+          collect (List.rev_append (List.of_seq (Compiled.to_seq chunk)) acc)
+            (k + 1)
+      in
+      let got = collect [] 0 in
+      List.length got = List.length want
+      && List.for_all2 timed_equal got want
+      (* Exhaustion is sticky: further pulls stay empty. *)
+      && Compiled.length (Compiled.next_chunk d ~max_segments:4) = 0)
+
+let test_compiled_validation () =
+  Alcotest.check_raises "of_seq negative cap"
+    (Invalid_argument "Compiled.of_seq: negative max_segments") (fun () ->
+      ignore (Compiled.of_seq ~max_segments:(-1) Seq.empty));
+  Alcotest.check_raises "index_at on empty"
+    (Invalid_argument "Compiled.index_at: empty table") (fun () ->
+      ignore (Compiled.index_at Compiled.empty 0.0));
+  Alcotest.check_raises "cursor on empty"
+    (Invalid_argument "Compiled.cursor: empty table") (fun () ->
+      ignore (Compiled.cursor Compiled.empty));
+  let tbl, tail =
+    Compiled.of_seq
+      (Realize.realize Realize.identity
+         (Program.of_list [ Segment.wait ~at:Vec2.zero ~dur:1.0 ]))
+  in
+  Alcotest.check_raises "next_chunk non-positive cap"
+    (Invalid_argument "Compiled.next_chunk: max_segments <= 0") (fun () ->
+      ignore
+        (Compiled.next_chunk
+           (Compiled.deriver Realize.identity tbl ~tail)
+           ~max_segments:0));
+  (* Re-clocking a huge duration overflows to infinity; derive must fail
+     with exactly the interpreted pipeline's error, eagerly. *)
+  let huge, huge_tail =
+    Compiled.of_seq
+      (Realize.realize Realize.identity
+         (Program.of_list [ Segment.wait ~at:Vec2.zero ~dur:1e308 ]))
+  in
+  Alcotest.check_raises "derive overflow"
+    (Invalid_argument "Timed.make: non-finite duration") (fun () ->
+      ignore
+        (Compiled.derive
+           (Realize.make ~frame:Conformal.identity ~time_unit:10.0)
+           huge ~tail:huge_tail))
+
+let test_program_of_list_positioned_errors () =
+  (* The variant constructors are public, so a malformed segment can reach
+     Program.of_list; the error must carry the segment index. *)
+  Alcotest.check_raises "positioned duration error"
+    (Invalid_argument "Program.of_list: segment 1: negative wait duration")
+    (fun () ->
+      ignore
+        (Program.of_list
+           [
+             Segment.wait ~at:Vec2.zero ~dur:1.0;
+             Segment.Wait { pos = Vec2.zero; dur = -1.0 };
+           ]
+          : Program.t));
+  Alcotest.check_raises "positioned geometry error"
+    (Invalid_argument "Program.of_list: segment 0: non-finite line endpoint")
+    (fun () ->
+      ignore
+        (Program.of_list
+           [ Segment.Line { src = Vec2.zero; dst = Vec2.make Float.nan 0.0 } ]
+          : Program.t))
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "rvu_trajectory"
@@ -491,6 +737,18 @@ let () =
           Alcotest.test_case "hit/miss/eviction counters" `Quick
             test_stream_cache_stats;
           Alcotest.test_case "keyed registry" `Quick test_stream_cache_registry;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "validation" `Quick test_compiled_validation;
+          Alcotest.test_case "program positioned errors" `Quick
+            test_program_of_list_positioned_errors;
+          qc prop_compiled_prefix_monotone;
+          qc prop_compiled_position_matches_interpreted;
+          qc prop_compiled_cursor_matches_binary_search;
+          qc prop_compiled_of_seq_split_roundtrip;
+          qc prop_compiled_derive_matches_realize;
+          qc prop_compiled_deriver_chunks_concat;
         ] );
       ( "drift",
         [

@@ -237,6 +237,120 @@ let test_boundary_cells () =
     (Invalid_argument "Atlas.boundary_cells: epsilon outside (0, 0.5)")
     (fun () -> ignore (Atlas.boundary_cells ~epsilon:0.0))
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint *)
+
+let test_checkpoint_plan () =
+  let check_cover ~cells ~shards =
+    let plan = Checkpoint.plan ~cells ~shards in
+    (* Ranges are ascending, contiguous, and cover [0 .. cells-1] once. *)
+    let covered =
+      Array.fold_left
+        (fun next (start, stop) ->
+          check_bool "contiguous" true (start = next);
+          check_bool "non-empty" true (stop > start);
+          stop)
+        0 plan
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "covers %d cells in %d shards" cells shards)
+      cells covered;
+    check_bool "at most [shards] ranges" true (Array.length plan <= shards);
+    (* Earlier shards are at most one cell larger than later ones. *)
+    let sizes = Array.map (fun (a, b) -> b - a) plan in
+    Array.iteri
+      (fun i s ->
+        if i > 0 then
+          check_bool "balanced" true (sizes.(i - 1) >= s && sizes.(i - 1) <= s + 1))
+      sizes
+  in
+  check_cover ~cells:24 ~shards:6;
+  check_cover ~cells:10 ~shards:3;
+  check_cover ~cells:3 ~shards:8;
+  check_cover ~cells:1 ~shards:1;
+  Alcotest.(check int) "zero cells, zero shards" 0
+    (Array.length (Checkpoint.plan ~cells:0 ~shards:4));
+  Alcotest.check_raises "cells < 0"
+    (Invalid_argument "Checkpoint.plan: cells < 0") (fun () ->
+      ignore (Checkpoint.plan ~cells:(-1) ~shards:2));
+  Alcotest.check_raises "shards < 1"
+    (Invalid_argument "Checkpoint.plan: shards < 1") (fun () ->
+      ignore (Checkpoint.plan ~cells:4 ~shards:0))
+
+let scratch_dir name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rvu-test-%s-%d" name (Unix.getpid ()))
+
+let remove_tree dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Deterministic rows keyed by cell index, counting eval calls. *)
+let counting_eval calls start stop =
+  incr calls;
+  Array.init (stop - start) (fun k ->
+      let i = start + k in
+      Rvu_obs.Wire.Obj
+        [ ("cell", Rvu_obs.Wire.Int i); ("sq", Rvu_obs.Wire.Int (i * i)) ])
+
+let test_checkpoint_resume_skips_done_shards () =
+  let dir = scratch_dir "ckpt-resume" in
+  remove_tree dir;
+  let calls = ref 0 in
+  let eval = counting_eval calls in
+  let atlas = Checkpoint.run ~dir ~shards:4 ~cells:10 ~eval () in
+  Alcotest.(check int) "full run evaluates every shard" 4 !calls;
+  let full = read_file atlas in
+  (* Resume with everything present: nothing recomputed, atlas rebuilt. *)
+  calls := 0;
+  let progress = ref [] in
+  let atlas' =
+    Checkpoint.run ~dir ~shards:4 ~resume:true
+      ~on_shard:(fun p -> progress := p :: !progress)
+      ~cells:10 ~eval ()
+  in
+  Alcotest.(check int) "resume with all checkpoints evaluates nothing" 0 !calls;
+  check_bool "all shards reported skipped" true
+    (List.for_all (fun p -> p.Checkpoint.skipped) !progress);
+  Alcotest.(check int) "one progress report per shard" 4 (List.length !progress);
+  check_bool "atlas unchanged" true (read_file atlas' = full);
+  remove_tree dir
+
+let test_checkpoint_resume_byte_identical () =
+  let dir = scratch_dir "ckpt-bytes" in
+  remove_tree dir;
+  let calls = ref 0 in
+  let eval = counting_eval calls in
+  let atlas = Checkpoint.run ~dir ~shards:5 ~cells:17 ~eval () in
+  let full = read_file atlas in
+  (* "Crash": lose the atlas and two checkpoints, keep the other shards. *)
+  Sys.remove atlas;
+  Sys.remove (Checkpoint.shard_file ~dir 0);
+  Sys.remove (Checkpoint.shard_file ~dir 3);
+  calls := 0;
+  let atlas' = Checkpoint.run ~dir ~shards:5 ~resume:true ~cells:17 ~eval () in
+  Alcotest.(check int) "only the missing shards are recomputed" 2 !calls;
+  check_bool "resumed atlas is byte-identical" true (read_file atlas' = full);
+  remove_tree dir
+
+let test_checkpoint_row_count_mismatch () =
+  let dir = scratch_dir "ckpt-mismatch" in
+  remove_tree dir;
+  let bad_eval _ _ = [| Rvu_obs.Wire.Null |] in
+  Alcotest.check_raises "wrong row count"
+    (Invalid_argument "Checkpoint.run: eval 0 3 returned 1 rows, expected 3")
+    (fun () -> ignore (Checkpoint.run ~dir ~shards:2 ~cells:6 ~eval:bad_eval ()));
+  remove_tree dir
+
 let () =
   Alcotest.run "rvu_workload"
     [
@@ -278,5 +392,15 @@ let () =
             test_atlas_verdicts_match_classifier;
           Alcotest.test_case "covers all classes" `Quick test_atlas_covers_all_classes;
           Alcotest.test_case "boundary cells" `Quick test_boundary_cells;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "plan" `Quick test_checkpoint_plan;
+          Alcotest.test_case "resume skips done shards" `Quick
+            test_checkpoint_resume_skips_done_shards;
+          Alcotest.test_case "resume is byte-identical" `Quick
+            test_checkpoint_resume_byte_identical;
+          Alcotest.test_case "row count mismatch" `Quick
+            test_checkpoint_row_count_mismatch;
         ] );
     ]
