@@ -1,0 +1,237 @@
+(* PERF-CLUSTER — warm-cache throughput scaling across worker shards.
+
+   The cluster exists to scale the warm path: once every shard's LRU holds
+   its slice of the keyspace, adding shards should multiply throughput
+   until the router (one process, byte-splicing only) or the core count
+   saturates. Two probes against real spawned `rvu serve` worker
+   processes behind a Router:
+
+     1 shard   the whole keyspace on one worker — the single-process
+               ceiling the cluster is measured against (BENCH_2's warm
+               pass, plus the routing hop)
+     4 shards  the same workload consistent-hash-spread over four workers
+
+   Both passes replay the same fixed mix of distinct simulate scenarios
+   (caches pre-warmed by a cold pass), so the measured delta is routing +
+   parallelism, nothing else. Also asserted:
+
+     - every routed response is bit-identical to a direct in-process
+       server's answer for the same line (the router splices bytes, never
+       re-prints bodies);
+     - zero non-ok responses in every pass.
+
+   The scaling floor (default 2.5x) is enforced only when the machine has
+   enough cores to run 4 workers and the router concurrently (>= 5);
+   below that the run still reports honest numbers but only warns, since
+   process parallelism cannot exceed the core count. Override the floor
+   with RVU_PERF_CLUSTER_MIN (e.g. 0 to disable, 3.5 to tighten).
+
+   Emits BENCH_7.json (override the path with RVU_BENCH7_JSON). *)
+
+open Rvu_core
+module Wire = Rvu_service.Wire
+module Proto = Rvu_service.Proto
+module Loadgen = Rvu_service.Loadgen
+module Server = Rvu_service.Server
+module Router = Rvu_cluster.Router
+
+let scenarios = 32
+let warm_requests = 3_000
+let base_port = 7610
+
+(* The scenario mix: distinct moderate simulate instances (same family as
+   perf-serve's workload, so the single-shard pass is comparable to
+   BENCH_2). [line ~id i] prints scenario [i mod scenarios] under the
+   given envelope id; the router masks the id out of the routing key, so
+   every copy of a scenario lands on the same shard. *)
+let request i =
+  let i = i mod scenarios in
+  let bearing = 0.2 +. (2.4 *. float_of_int i /. float_of_int scenarios) in
+  let tau = 0.980 +. (0.002 *. float_of_int (i mod 6)) in
+  Proto.Simulate
+    {
+      attrs = Attributes.make ~tau ();
+      d = 8.0;
+      bearing;
+      r = 0.01;
+      horizon = 1e13;
+      algorithm4 = false;
+      transform = Rvu_core.Symmetry.identity;
+    }
+
+let line ~id i = Wire.print (Proto.wire_of_request ~id:(Wire.Int id) (request i))
+
+(* The spawned workers run the real binary: resolve it next to this bench
+   executable (_build/default/bench/main.exe -> ../bin/rvu.exe), or take
+   RVU_BIN. *)
+let rvu_bin () =
+  match Sys.getenv_opt "RVU_BIN" with
+  | Some p -> p
+  | None ->
+      let p =
+        Filename.concat
+          (Filename.dirname (Filename.dirname Sys.executable_name))
+          "bin/rvu.exe"
+      in
+      if Sys.file_exists p then p
+      else
+        failwith
+          (Printf.sprintf
+             "perf-cluster: worker binary not found at %s (set RVU_BIN)" p)
+
+let worker_endpoint ~bin port =
+  {
+    Router.host = "127.0.0.1";
+    port;
+    spawn =
+      Some
+        [|
+          bin; "serve"; "--tcp"; string_of_int port; "--jobs"; "1";
+          "--cache-entries"; "256";
+        |];
+  }
+
+(* One cluster pass: spawn, cold-run every scenario once (returns the
+   responses for the bit-identity check and warms every shard's cache),
+   then replay the warm mix flat-out and summarize. *)
+let bench_cluster ~shards ~bin =
+  let endpoints =
+    List.init shards (fun i -> worker_endpoint ~bin (base_port + i))
+  in
+  let config = { Router.default_config with connect_timeout_ms = 20_000. } in
+  let router = Router.create ~config ~endpoints () in
+  Fun.protect ~finally:(fun () -> Router.stop router) @@ fun () ->
+  let cold =
+    Array.init scenarios (fun i ->
+        Router.handle_sync router (line ~id:(i + 1) i))
+  in
+  let lines = Array.init warm_requests (fun k -> line ~id:(k + 1) k) in
+  let lg = Loadgen.create ~lines ~requests:warm_requests () in
+  Loadgen.drive lg ~send:(fun l ->
+      Router.handle_line router l ~respond:(Loadgen.note_response lg));
+  if not (Loadgen.wait lg) then
+    failwith "perf-cluster: responses missing after 120 s";
+  let s = Loadgen.summary lg in
+  if s.Loadgen.ok <> s.Loadgen.requests then
+    failwith
+      (Printf.sprintf "perf-cluster: %d of %d warm requests not ok on %d shard(s)"
+         (s.Loadgen.requests - s.Loadgen.ok)
+         s.Loadgen.requests shards);
+  (cold, s)
+
+let json_path () =
+  Option.value (Sys.getenv_opt "RVU_BENCH7_JSON") ~default:"BENCH_7.json"
+
+let min_scaling ~cores =
+  match
+    Option.bind (Sys.getenv_opt "RVU_PERF_CLUSTER_MIN") float_of_string_opt
+  with
+  | Some m -> m
+  | None -> if cores >= 5 then 2.5 else 0.0
+
+let pass_json (s : Loadgen.summary) =
+  Wire.Obj
+    [
+      ("wall_s", Wire.Float s.Loadgen.wall_s);
+      ("throughput_rps", Wire.Float s.Loadgen.throughput_rps);
+      ("p50_ms", Wire.Float s.Loadgen.p50_ms);
+      ("p95_ms", Wire.Float s.Loadgen.p95_ms);
+      ("p99_ms", Wire.Float s.Loadgen.p99_ms);
+      ("mean_ms", Wire.Float s.Loadgen.mean_ms);
+      ("max_ms", Wire.Float s.Loadgen.max_ms);
+    ]
+
+let run () =
+  let cores = Domain.recommended_domain_count () in
+  Util.banner "PERF-CLUSTER"
+    (Printf.sprintf "Warm-cache scaling: 1 vs 4 worker shards (%d core(s))"
+       cores);
+  let bin = rvu_bin () in
+
+  (* The bit-identity reference: the same scenarios through an in-process
+     server with the workers' effective config. *)
+  let direct_server =
+    Server.create
+      ~config:{ Server.default_config with jobs = 1; cache_entries = 256 }
+      ()
+  in
+  let direct =
+    Array.init scenarios (fun i ->
+        Server.handle_sync direct_server (line ~id:(i + 1) i))
+  in
+  Server.stop direct_server;
+
+  let cold1, warm1 = bench_cluster ~shards:1 ~bin in
+  let cold4, warm4 = bench_cluster ~shards:4 ~bin in
+  Array.iteri
+    (fun i d ->
+      if cold1.(i) <> d || cold4.(i) <> d then
+        failwith
+          (Printf.sprintf
+             "perf-cluster: routed response for scenario %d differs from the \
+              direct server's"
+             i))
+    direct;
+
+  let scaling =
+    warm4.Loadgen.throughput_rps /. Float.max 1e-9 warm1.Loadgen.throughput_rps
+  in
+  let floor = min_scaling ~cores in
+  let enforced = floor > 0.0 in
+  if enforced && scaling < floor then
+    failwith
+      (Printf.sprintf
+         "perf-cluster: 4-shard warm throughput only %.2fx the 1-shard run \
+          (floor %.2fx)"
+         scaling floor);
+
+  let t =
+    Rvu_report.Table.create
+      ~columns:
+        (List.map Rvu_report.Table.column
+           [ "shards"; "wall (s)"; "req/s"; "p50 ms"; "p95 ms"; "p99 ms" ])
+  in
+  let row name (s : Loadgen.summary) =
+    Rvu_report.Table.add_row t
+      [
+        name;
+        Rvu_report.Table.fstr s.Loadgen.wall_s;
+        Rvu_report.Table.fstr s.Loadgen.throughput_rps;
+        Rvu_report.Table.fstr s.Loadgen.p50_ms;
+        Rvu_report.Table.fstr s.Loadgen.p95_ms;
+        Rvu_report.Table.fstr s.Loadgen.p99_ms;
+      ]
+  in
+  row "1" warm1;
+  row "4" warm4;
+  Util.table ~id:"perf-cluster" t;
+  Util.note
+    "scaling %.2fx over %d warm requests (%d scenarios); bit-identical to a \
+     direct server; floor %s."
+    scaling warm_requests scenarios
+    (if enforced then Printf.sprintf "%.2fx enforced" floor
+     else
+       Printf.sprintf
+         "not enforced (%d core(s) cannot parallelize 4 workers + router)"
+         cores);
+
+  let json =
+    Wire.Obj
+      [
+        ("experiment", Wire.String "perf-cluster");
+        ("scenarios", Wire.Int scenarios);
+        ("warm_requests", Wire.Int warm_requests);
+        ("cores", Wire.Int cores);
+        ("shard1", Wire.Obj [ ("warm", pass_json warm1) ]);
+        ("shard4", Wire.Obj [ ("warm", pass_json warm4) ]);
+        ("scaling_x", Wire.Float scaling);
+        ("scaling_floor", Wire.Float floor);
+        ("scaling_floor_enforced", Wire.Bool enforced);
+        ("bit_identical_to_direct", Wire.Bool true);
+      ]
+  in
+  let path = json_path () in
+  let oc = open_out path in
+  output_string oc (Wire.print_hum json);
+  close_out oc;
+  Util.note "(json written to %s)" path

@@ -28,6 +28,8 @@
                       writes BENCH_6.json
      perf-serve     — server latency, cache speedup, backpressure;
                       writes BENCH_2.json
+     perf-cluster   — warm-cache throughput scaling, 1 vs 4 router
+                      shards; writes BENCH_7.json
      perf-obs       — observability overhead (metrics off/on/traced);
                       writes BENCH_3.json
      perf-verify    — verification campaign throughput (symmetry + faults);
@@ -58,6 +60,7 @@ let all : (string * (unit -> unit)) list =
     ("perf-batch", Exp_perf_batch.run);
     ("perf-compile", Exp_perf_compile.run);
     ("perf-serve", Exp_perf_serve.run);
+    ("perf-cluster", Exp_perf_cluster.run);
     ("perf-obs", Exp_perf_obs.run);
     ("perf-verify", Exp_perf_verify.run);
     ("perf-log", Exp_perf_log.run);

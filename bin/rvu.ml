@@ -758,31 +758,53 @@ let serve_cmd =
       const serve $ config_term $ tcp $ host $ connections $ trace_arg
       $ logging_term $ inject_arg $ inject_seed_arg)
 
-let loadgen_tcp lg ~host ~port ~rate =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect sock (Unix.ADDR_INET (resolve_host host, port))
-   with Unix.Unix_error (e, _, _) ->
-     Format.eprintf "rvu: cannot connect to %s:%d: %s@." host port
-       (Unix.error_message e);
-     exit 1);
-  let ic = Unix.in_channel_of_descr sock in
-  let oc = Unix.out_channel_of_descr sock in
-  let reader =
-    Domain.spawn (fun () ->
-        try
-          while true do
-            Rvu_service.Loadgen.note_response lg (input_line ic)
-          done
-        with _ -> ())
+let loadgen_tcp lg ~host ~port ~rate ~connections =
+  (* [Loadgen.drive] sends from one thread, so round-robin over the
+     connection pool is a bare counter — no lock. [note_response] is
+     domain-safe, so each connection gets its own reader domain and
+     responses interleave freely; percentile reporting stays exact
+     because every sample still lands in the one retained-samples
+     histogram. *)
+  let socks =
+    Array.init connections (fun _ ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect sock (Unix.ADDR_INET (resolve_host host, port))
+         with Unix.Unix_error (e, _, _) ->
+           Format.eprintf "rvu: cannot connect to %s:%d: %s@." host port
+             (Unix.error_message e);
+           exit 1);
+        sock)
   in
+  let chans =
+    Array.map
+      (fun sock ->
+        (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock))
+      socks
+  in
+  let readers =
+    Array.map
+      (fun (ic, _) ->
+        Domain.spawn (fun () ->
+            try
+              while true do
+                Rvu_service.Loadgen.note_response lg (input_line ic)
+              done
+            with _ -> ()))
+      chans
+  in
+  let next = ref 0 in
   Rvu_service.Loadgen.drive ~rate lg ~send:(fun line ->
+      let _, oc = chans.(!next) in
+      next := (!next + 1) mod connections;
       output_string oc line;
       output_char oc '\n';
       flush oc);
   let complete = Rvu_service.Loadgen.wait lg in
-  (try Unix.shutdown sock Unix.SHUTDOWN_ALL with _ -> ());
-  Domain.join reader;
-  close_out_noerr oc;
+  Array.iter
+    (fun sock -> try Unix.shutdown sock Unix.SHUTDOWN_ALL with _ -> ())
+    socks;
+  Array.iter Domain.join readers;
+  Array.iter (fun (_, oc) -> close_out_noerr oc) chans;
   complete
 
 let loadgen_local lg ~config ~rate =
@@ -794,13 +816,19 @@ let loadgen_local lg ~config ~rate =
   Rvu_service.Server.stop server;
   complete
 
-let loadgen connect requests rate seed slow_ms config logging fail_on_error =
+let loadgen connect connections requests rate seed slow_ms config logging
+    fail_on_error =
   with_logging logging @@ fun () ->
   let lg = Rvu_service.Loadgen.create ~seed ?slow_ms ~requests () in
   let complete =
     match connect with
-    | Some (host, port) -> loadgen_tcp lg ~host ~port ~rate
-    | None -> loadgen_local lg ~config ~rate
+    | Some (host, port) -> loadgen_tcp lg ~host ~port ~rate ~connections
+    | None ->
+        if connections > 1 then begin
+          Format.eprintf "rvu: --connections needs --connect@.";
+          exit 1
+        end;
+        loadgen_local lg ~config ~rate
   in
   let s = Rvu_service.Loadgen.summary lg in
   Rvu_service.Loadgen.print_summary s;
@@ -826,6 +854,16 @@ let loadgen_cmd =
     Arg.(
       value & opt positive_int 200
       & info [ "requests" ] ~docv:"N" ~doc:"Requests to send.")
+  in
+  let connections =
+    Arg.(
+      value & opt positive_int 1
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "Drive the target over this many concurrent TCP connections, \
+             round-robining the scenario mix across them — a single \
+             closed-loop connection under-drives a multi-shard router. \
+             Needs $(b,--connect).")
   in
   let rate =
     Arg.(
@@ -874,8 +912,176 @@ let loadgen_cmd =
          "Replay a deterministic scenario mix against the evaluation server \
           and report throughput and latency percentiles.")
     Term.(
-      const loadgen $ connect $ requests $ rate $ seed $ slow_ms
+      const loadgen $ connect $ connections $ requests $ rate $ seed $ slow_ms
       $ config_term $ logging_term $ fail_on_error)
+
+(* ------------------------------------------------------------------ *)
+(* router *)
+
+let worker_argv config port inject inject_seed =
+  let open Rvu_service.Server in
+  Array.of_list
+    ([
+       Sys.executable_name;
+       "serve";
+       "--tcp";
+       string_of_int port;
+       "--jobs";
+       string_of_int config.jobs;
+       "--queue-depth";
+       string_of_int config.queue_depth;
+       "--cache-entries";
+       string_of_int config.cache_entries;
+       "--max-request-bytes";
+       string_of_int config.max_request_bytes;
+     ]
+    @ (match config.timeout_ms with
+      | Some ms -> [ "--timeout"; Printf.sprintf "%g" ms ]
+      | None -> [])
+    @ List.concat_map
+        (fun (site, prob) ->
+          [ "--inject"; Printf.sprintf "%s=%g" site prob ])
+        inject
+    @
+    if inject = [] then [] else [ "--inject-seed"; string_of_int inject_seed ])
+
+let router config workers connect worker_base_port tcp_port host connections
+    probe_interval_ms restart_backoff_ms route_timeout_ms trace logging inject
+    inject_seed =
+  with_trace trace @@ fun () ->
+  with_logging logging @@ fun () ->
+  let endpoints =
+    match (workers, connect) with
+    | Some _, _ :: _ ->
+        Format.eprintf "rvu: --workers and --connect are mutually exclusive@.";
+        exit 1
+    | None, [] ->
+        Format.eprintf "rvu: router needs --workers N or --connect HOST:PORT@.";
+        exit 1
+    | None, eps ->
+        List.map
+          (fun (host, port) ->
+            { Rvu_cluster.Router.host; port; spawn = None })
+          eps
+    | Some n, [] ->
+        (* Spawned workers inherit the serve-config flags and the fault
+           injection setup; the router itself never fires faults. *)
+        List.init n (fun i ->
+            let port = worker_base_port + i in
+            {
+              Rvu_cluster.Router.host = "127.0.0.1";
+              port;
+              spawn = Some (worker_argv config port inject inject_seed);
+            })
+  in
+  Rvu_obs.Runtime.start ();
+  let rconfig =
+    {
+      Rvu_cluster.Router.default_config with
+      probe_interval_ms = float_of_int probe_interval_ms;
+      restart_backoff_ms = float_of_int restart_backoff_ms;
+      route_timeout_ms = float_of_int route_timeout_ms;
+      max_request_bytes = config.Rvu_service.Server.max_request_bytes;
+    }
+  in
+  let rt = Rvu_cluster.Router.create ~config:rconfig ~endpoints () in
+  Fun.protect
+    ~finally:(fun () ->
+      Rvu_cluster.Router.stop rt;
+      Rvu_obs.Runtime.stop ())
+  @@ fun () ->
+  match tcp_port with
+  | Some port -> Rvu_cluster.Router.serve_tcp rt ~host ~port ?connections ()
+  | None -> Rvu_cluster.Router.serve_channels rt stdin stdout
+
+let router_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Spawn $(docv) worker $(b,rvu serve --tcp) processes on \
+             consecutive ports from $(b,--worker-base-port) and route over \
+             them. The router owns these workers: it restarts any that die \
+             and re-admits them once their health probe reports ready.")
+  in
+  let connect =
+    Arg.(
+      value & opt_all hostport_conv []
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Route over an externally managed worker (repeatable). The \
+             router reconnects with backoff but never spawns or restarts \
+             these. Mutually exclusive with $(b,--workers).")
+  in
+  let worker_base_port =
+    Arg.(
+      value & opt positive_int 7800
+      & info [ "worker-base-port" ] ~docv:"PORT"
+          ~doc:"First worker port with $(b,--workers) (worker $(i,i) gets \
+                port + $(i,i)).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Listen on a TCP port instead of serving newline-delimited JSON \
+             over stdin/stdout.")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (with $(b,--tcp)).")
+  in
+  let connections =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "Exit after serving this many TCP connections (default: serve \
+             forever). Useful for smoke tests.")
+  in
+  let probe_interval =
+    Arg.(
+      value & opt positive_int 250
+      & info [ "probe-interval-ms" ] ~docv:"MS"
+          ~doc:
+            "Health-probe period per shard. A shard that reports degraded \
+             or misses a probe is evicted from the routing ring until a \
+             probe reports it ready again.")
+  in
+  let restart_backoff =
+    Arg.(
+      value & opt positive_int 500
+      & info [ "restart-backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Delay before reconnecting to (and, for spawned workers, \
+             restarting) a downed shard.")
+  in
+  let route_timeout =
+    Arg.(
+      value & opt positive_int 30000
+      & info [ "route-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Budget for one shard to answer a routed request before the \
+             router re-routes it to a surviving shard (after the retry \
+             budget it is shed with an $(i,overloaded) error).")
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:
+         "Front a cluster of $(b,rvu serve) worker shards: consistent-hash \
+          route requests on their canonical cache key, evict and restart \
+          unhealthy shards, and serve merged $(i,stats)/$(i,metrics)/\
+          $(i,health) aggregates. Speaks exactly the single-server protocol.")
+    Term.(
+      const router $ config_term $ workers $ connect $ worker_base_port $ tcp
+      $ host $ connections $ probe_interval $ restart_backoff $ route_timeout
+      $ trace_arg $ logging_term $ inject_arg $ inject_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
@@ -1140,6 +1346,6 @@ let () =
                 simulator and analytic bounds.")
           [
             simulate_cmd; search_cmd; feasibility_cmd; schedule_cmd; bound_cmd;
-            sweep_cmd; gather_cmd; serve_cmd; loadgen_cmd; verify_cmd;
-            health_cmd; bench_diff_cmd;
+            sweep_cmd; gather_cmd; serve_cmd; router_cmd; loadgen_cmd;
+            verify_cmd; health_cmd; bench_diff_cmd;
           ]))

@@ -1,0 +1,175 @@
+(* Byte-span surgery on NDJSON lines. See frame.mli for why the router
+   splices bytes instead of re-printing parsed trees.
+
+   The scanners below are deliberately lenient: they run only on lines
+   that already passed [Wire.parse] (requests) or that a worker printed
+   (responses), so they can assume well-formed JSON and just walk
+   structure. Any surprise raises [Exit] internally and the caller's
+   wrapper degrades to a safe default. *)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws s i =
+  let n = String.length s in
+  let i = ref i in
+  while !i < n && is_ws s.[!i] do
+    incr i
+  done;
+  !i
+
+(* [i] at the opening quote; index just past the closing quote. *)
+let skip_string s i =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then raise Exit
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' -> go (i + 2)
+      | _ -> go (i + 1)
+  in
+  go (i + 1)
+
+(* [i] at the first byte of a value; index just past it. *)
+let skip_value s i =
+  let n = String.length s in
+  let i = skip_ws s i in
+  if i >= n then raise Exit
+  else
+    match s.[i] with
+    | '"' -> skip_string s i
+    | '{' | '[' ->
+        let rec go i depth =
+          if i >= n then raise Exit
+          else
+            match s.[i] with
+            | '"' -> go (skip_string s i) depth
+            | '{' | '[' -> go (i + 1) (depth + 1)
+            | '}' | ']' -> if depth = 1 then i + 1 else go (i + 1) (depth - 1)
+            | _ -> go (i + 1) depth
+        in
+        go i 0
+    | _ ->
+        (* number / true / false / null *)
+        let rec go i =
+          if i >= n then i
+          else
+            match s.[i] with
+            | ',' | '}' | ']' -> i
+            | c when is_ws c -> i
+            | _ -> go (i + 1)
+        in
+        go (i + 1)
+
+(* Walk the top-level members of an object line, reporting each raw
+   (unescaped) key text with its value span. *)
+let iter_members line f =
+  let n = String.length line in
+  let i = skip_ws line 0 in
+  if i >= n || line.[i] <> '{' then raise Exit;
+  let i = ref (i + 1) in
+  let stop = ref false in
+  while not !stop do
+    let j = skip_ws line !i in
+    if j >= n then raise Exit
+    else if line.[j] = '}' then stop := true
+    else begin
+      let j = if line.[j] = ',' then skip_ws line (j + 1) else j in
+      if j >= n || line.[j] <> '"' then raise Exit;
+      let key_end = skip_string line j in
+      let key = String.sub line (j + 1) (key_end - j - 2) in
+      let j = skip_ws line key_end in
+      if j >= n || line.[j] <> ':' then raise Exit;
+      let vstart = skip_ws line (j + 1) in
+      let vend = skip_value line vstart in
+      f key (vstart, vend);
+      i := vend
+    end
+  done
+
+let routing_parts line =
+  match
+    let spans = ref [] in
+    iter_members line (fun key span ->
+        if key = "id" || key = "timeout_ms" then spans := span :: !spans);
+    List.sort compare !spans
+  with
+  | exception Exit -> [ line ]
+  | spans ->
+      let n = String.length line in
+      let parts = ref [] and pos = ref 0 in
+      List.iter
+        (fun (s, e) ->
+          if s > !pos then parts := String.sub line !pos (s - !pos) :: !parts;
+          pos := e)
+        spans;
+      if !pos < n then parts := String.sub line !pos (n - !pos) :: !parts;
+      List.rev !parts
+
+let forward_parts line =
+  match
+    let n = String.length line in
+    let i = skip_ws line 0 in
+    if i >= n || line.[i] <> '{' then raise Exit;
+    let j = skip_ws line (i + 1) in
+    if j >= n then raise Exit;
+    if line.[j] = '}' then ("{\"id\":", "}")
+    else ("{\"id\":", "," ^ String.sub line j (n - j))
+  with
+  | exception Exit ->
+      (* Not reachable for parse-validated objects; forward untouched with
+         the id as an unused prefix-free spelling so the worker still gets
+         valid JSON to reject. *)
+      ("{\"id\":", "}")
+  | parts -> parts
+
+let response_spans line =
+  let n = String.length line in
+  let prefix = "{\"id\":" in
+  let plen = String.length prefix in
+  if n < plen + 2 || not (String.starts_with ~prefix line) then None
+  else begin
+    let j = ref plen in
+    while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+      incr j
+    done;
+    if !j = plen then None
+    else
+      match int_of_string_opt (String.sub line plen (!j - plen)) with
+      | None -> None
+      | Some rid ->
+          let id_span = (plen, !j) in
+          let ctx_prefix = ",\"ctx\":\"" in
+          let cplen = String.length ctx_prefix in
+          let ctx_span =
+            if
+              n >= !j + cplen
+              && String.sub line !j cplen = ctx_prefix
+            then
+              let cstart = !j + cplen - 1 in
+              match skip_string line cstart with
+              | cend -> Some (cstart, cend)
+              | exception Exit -> None
+            else None
+          in
+          Some (rid, id_span, ctx_span)
+  end
+
+let splice_response line ~id_span:(is, ie) ~ctx_span ~id ~ctx =
+  let n = String.length line in
+  let b = Buffer.create (n + 16) in
+  Buffer.add_substring b line 0 is;
+  Buffer.add_string b id;
+  (match (ctx_span, ctx) with
+  | Some (cs, ce), Some ctx ->
+      Buffer.add_substring b line ie (cs - ie);
+      Buffer.add_string b ctx;
+      Buffer.add_substring b line ce (n - ce)
+  | None, Some ctx ->
+      (* Worker response without a ctx field (should not happen with our
+         servers): insert ours right after the id. *)
+      Buffer.add_string b ",\"ctx\":";
+      Buffer.add_string b ctx;
+      Buffer.add_substring b line ie (n - ie)
+  | _, None -> Buffer.add_substring b line ie (n - ie));
+  Buffer.contents b

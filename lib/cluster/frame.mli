@@ -1,0 +1,60 @@
+(** Byte-span surgery on request and response lines.
+
+    The router never re-prints request or response bodies: a warm worker
+    answer is dominated by codec cost, so re-encoding every line at the
+    router would cancel the scaling the cluster exists for. Instead the
+    router validates each client line once with {!Rvu_service.Wire.parse}
+    (so parse errors are answered locally, with the same messages a
+    direct server gives) and then works on the raw bytes:
+
+    - requests are forwarded verbatim with a fresh router-chosen integer
+      ["id"] member {e prepended} to the object ({!forward_parts}) — JSON
+      object field names may repeat and {!Rvu_service.Wire.member} takes
+      the first, so the worker sees the router's id while the client's
+      spelling of everything else (including its own id) rides along
+      untouched;
+    - the routing key is the line with the envelope value spans (["id"],
+      ["timeout_ms"]) blanked out ({!routing_parts}), so retries of the
+      same scenario under fresh client ids still land on the same shard;
+    - worker responses come back with only the ["id"] and ["ctx"] value
+      spans spliced ({!response_spans} / {!splice_response}), leaving the
+      ["ok"]/["error"] body bytes — floats included — exactly as the
+      worker printed them. Bit-identity with a direct [rvu serve]
+      round-trip holds by construction.
+
+    All request-side functions assume the line already passed
+    [Wire.parse] as a JSON object; on malformed input they degrade to
+    safe defaults rather than raise. *)
+
+val routing_parts : string -> string list
+(** The line split into the byte runs {e between} the top-level ["id"] and
+    ["timeout_ms"] value spans — the shard-routing key fed to {!Ring}.
+    For canonically-printed requests this is equivalent to keying on
+    [Proto.canonical_key]; for exotic-but-equal spellings (extra
+    whitespace, escaped field names) it may differ, which costs cache
+    locality only, never correctness. *)
+
+val forward_parts : string -> string * string
+(** [(pre, post)] such that [pre ^ string_of_int rid ^ post] is the line
+    to send a worker: the object with a fresh ["id"] member at the front.
+    Computed once per request; retries re-use it with a new [rid]. *)
+
+val response_spans : string -> (int * (int * int) * (int * int) option) option
+(** Fast-path scan of a worker-printed response line
+    [{"id":<digits>,"ctx":"…",…}]: [Some (rid, id_span, ctx_span)] where
+    the spans are [\[start, stop)] byte ranges of the ["id"] value and the
+    ["ctx"] value (quotes included). [None] when the line is not of that
+    shape (e.g. the worker salvaged a null id) — the router then falls
+    back to a full parse. *)
+
+val splice_response :
+  string ->
+  id_span:int * int ->
+  ctx_span:(int * int) option ->
+  id:string ->
+  ctx:string option ->
+  string
+(** The response line with the ["id"] value span replaced by [id] (the
+    client's id, canonically printed) and the ["ctx"] value span replaced
+    by [ctx] (a printed JSON string) when both are present. Every other
+    byte is copied through. *)

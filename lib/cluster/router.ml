@@ -1,0 +1,1004 @@
+(* The cluster router. See router.mli for the contract; frame.ml for why
+   requests and responses are byte-spliced rather than re-printed.
+
+   Locking order (always taken in this order, never reversed):
+     router lock (t.lock)  — outstanding counter, reader registry
+     shard lock (sh.lock)  — status, connection, pending table
+   Log/Metrics have their own internal locks and never call back here.
+   Callbacks (respond, fan-out delivery, probe verdicts) are always
+   invoked with no lock held. *)
+
+module Wire = Rvu_service.Wire
+module Proto = Rvu_service.Proto
+module Metrics = Rvu_obs.Metrics
+module Log = Rvu_obs.Log
+module Ctx = Rvu_obs.Ctx
+module Clock = Rvu_obs.Clock
+
+type endpoint = { host : string; port : int; spawn : string array option }
+
+type config = {
+  probe_interval_ms : float;
+  restart_backoff_ms : float;
+  route_timeout_ms : float;
+  max_retries : int;
+  max_request_bytes : int;
+  connect_timeout_ms : float;
+}
+
+let default_config =
+  {
+    probe_interval_ms = 250.0;
+    restart_backoff_ms = 500.0;
+    route_timeout_ms = 30_000.0;
+    max_retries = 3;
+    max_request_bytes = 1_048_576;
+    connect_timeout_ms = 10_000.0;
+  }
+
+type status = Ready | Degraded | Down
+
+let status_string = function
+  | Ready -> "ready"
+  | Degraded -> "degraded"
+  | Down -> "down"
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  gen : int;  (** connection generation; stale events are ignored *)
+}
+
+(* A routed client request. [r_pre ^ rid ^ r_post] is the worker line, so
+   a retry is one string concatenation away. *)
+type routed = {
+  r_pre : string;
+  r_post : string;
+  r_parts : string list;
+  r_id : Wire.t;
+  r_id_bytes : string;
+  r_ctx : string;
+  r_ctx_bytes : string;
+  r_kind : string;
+  r_t0 : float;
+  r_retries : int;
+  r_respond : string -> unit;
+}
+
+type pending =
+  | Routed of routed
+  | Internal of { deliver : string option -> unit }
+      (** probes and fan-out sub-requests; [deliver None] on timeout or
+          connection loss, [Some line] on reply *)
+
+type shard = {
+  index : int;
+  endpoint : endpoint;
+  lock : Mutex.t;
+  mutable status : status;
+  mutable conn : conn option;
+  mutable gen : int;
+  mutable pid : int option;
+  pending : (int, pending * float) Hashtbl.t;  (* rid -> entry, deadline *)
+  mutable probe_rid : int option;
+  mutable probe_misses : int;
+  mutable next_attempt : float;
+  mutable was_connected : bool;
+  m_in_flight : Metrics.gauge;
+  m_routed : Metrics.counter;
+  m_evicted : Metrics.counter;
+  m_restarts : Metrics.counter;
+}
+
+type reader = { r_done : bool Atomic.t; mutable r_domain : unit Domain.t option }
+
+type t = {
+  config : config;
+  shards : shard array;
+  rid : int Atomic.t;
+  lock : Mutex.t;
+  idle : Condition.t;
+  mutable outstanding : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable supervisor : unit Domain.t option;
+  mutable readers : reader list;
+  m_retried : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_stale : Metrics.counter;
+  m_fanout : Metrics.counter;
+  m_latency : Metrics.histogram;
+}
+
+let interval_s t = t.config.probe_interval_ms /. 1000.0
+
+(* A probe is only declared missed well past the next probe tick: the
+   point is catching shards that swallow responses ([server.drop_conn])
+   or hang, not shards whose transport thread lost the CPU for a tick
+   under full load — a spurious eviction strands and re-routes every
+   pending request on the shard, which is far costlier than waiting two
+   more ticks. *)
+let probe_deadline_s t = Float.max (3.0 *. interval_s t) 1.0
+let backoff_s t = t.config.restart_backoff_ms /. 1000.0
+let route_timeout_s t = t.config.route_timeout_ms /. 1000.0
+
+let endpoint_string ep = Printf.sprintf "%s:%d" ep.host ep.port
+
+let shard_fields sh =
+  [
+    ("shard", Wire.Int sh.index);
+    ("endpoint", Wire.String (endpoint_string sh.endpoint));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Outstanding-request accounting *)
+
+let enter t =
+  Mutex.lock t.lock;
+  t.outstanding <- t.outstanding + 1;
+  Mutex.unlock t.lock
+
+let leave t =
+  Mutex.lock t.lock;
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.lock
+
+let wait_idle t =
+  Mutex.lock t.lock;
+  while t.outstanding > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let next_rid t = Atomic.fetch_and_add t.rid 1
+
+(* Racy by design: a stale [Ready] just means one failed dispatch and a
+   retry; a stale [Down] costs cache locality for one request. The ring
+   itself is pure, so no lock is worth taking here. *)
+let live t = Array.map (fun (sh : shard) -> sh.status = Ready) t.shards
+
+let shard_statuses t = Array.map (fun (sh : shard) -> status_string sh.status) t.shards
+
+(* Must hold [sh.lock]. *)
+let set_status_locked sh status ~reason =
+  if sh.status <> status then begin
+    let was = sh.status in
+    sh.status <- status;
+    let fields =
+      shard_fields sh
+      @ [
+          ("from", Wire.String (status_string was));
+          ("to", Wire.String (status_string status));
+          ("reason", Wire.String reason);
+        ]
+    in
+    if was = Ready then begin
+      Metrics.incr sh.m_evicted;
+      Log.warn ~fields "shard evicted"
+    end
+    else if status = Ready then Log.info ~fields "shard ready"
+    else Log.warn ~fields "shard state"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch, eviction, retry *)
+
+let rec dispatch t (r : routed) =
+  match Ring.pick ~live:(live t) ~parts:r.r_parts with
+  | None -> shed t r "no live shard"
+  | Some i -> (
+      let sh = t.shards.(i) in
+      let rid = next_rid t in
+      let line = r.r_pre ^ string_of_int rid ^ r.r_post in
+      Mutex.lock sh.lock;
+      match sh.conn with
+      | None ->
+          Mutex.unlock sh.lock;
+          redispatch t { r with r_retries = r.r_retries + 1 }
+      | Some c -> (
+          Hashtbl.replace sh.pending rid
+            (Routed r, r.r_t0 +. route_timeout_s t);
+          Metrics.gauge_add sh.m_in_flight 1.0;
+          Metrics.incr sh.m_routed;
+          match
+            output_string c.oc line;
+            output_char c.oc '\n';
+            flush c.oc
+          with
+          | () -> Mutex.unlock sh.lock
+          | exception _ ->
+              Hashtbl.remove sh.pending rid;
+              Metrics.gauge_add sh.m_in_flight (-1.0);
+              let gen = c.gen in
+              Mutex.unlock sh.lock;
+              mark_down t sh ~gen ~reason:"write error";
+              redispatch t { r with r_retries = r.r_retries + 1 }))
+
+and redispatch t (r : routed) =
+  if r.r_retries > t.config.max_retries then shed t r "shard retries exhausted"
+  else begin
+    Metrics.incr t.m_retried;
+    Log.warn
+      ~fields:
+        [ ("ctx", Wire.String r.r_ctx); ("retries", Wire.Int r.r_retries) ]
+      "request rerouted";
+    dispatch t r
+  end
+
+and shed t (r : routed) reason =
+  Metrics.incr t.m_shed;
+  Log.warn
+    ~fields:[ ("ctx", Wire.String r.r_ctx); ("reason", Wire.String reason) ]
+    "request shed";
+  r.r_respond
+    (Wire.print (Proto.error_response ~ctx:r.r_ctx ~id:r.r_id Proto.Overloaded reason));
+  Metrics.observe t.m_latency (Clock.now_s () -. r.r_t0);
+  leave t
+
+(* Tear down a shard connection (if it is still the [gen] one), strand its
+   pending requests onto the surviving shards, and schedule a reconnect.
+   Idempotent per generation: the reader, a failed writer, the probe
+   supervisor and [stop] can all race into it. *)
+and mark_down t (sh : shard) ~gen ~reason =
+  Mutex.lock sh.lock;
+  match sh.conn with
+  | Some c when c.gen = gen ->
+      sh.conn <- None;
+      (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with _ -> ());
+      set_status_locked sh Down ~reason;
+      sh.probe_rid <- None;
+      sh.probe_misses <- 0;
+      sh.next_attempt <- Clock.now_s () +. backoff_s t;
+      let stranded =
+        Hashtbl.fold (fun _rid (p, _) acc -> p :: acc) sh.pending []
+      in
+      Hashtbl.reset sh.pending;
+      Metrics.gauge_set sh.m_in_flight 0.0;
+      Mutex.unlock sh.lock;
+      List.iter
+        (function
+          | Routed r -> redispatch t { r with r_retries = r.r_retries + 1 }
+          | Internal i -> i.deliver None)
+        stranded
+  | _ -> Mutex.unlock sh.lock
+
+(* ------------------------------------------------------------------ *)
+(* Shard lines coming back *)
+
+let rebuild_response line w (r : routed) =
+  match w with
+  | Wire.Obj fields ->
+      let fields =
+        List.map
+          (fun (k, v) ->
+            match k with
+            | "id" -> (k, r.r_id)
+            | "ctx" -> (k, Wire.String r.r_ctx)
+            | _ -> (k, v))
+          fields
+      in
+      Wire.print (Wire.Obj fields)
+  | _ -> line
+
+let handle_shard_line t (sh : shard) line =
+  let rid_opt, build =
+    match Frame.response_spans line with
+    | Some (rid, id_span, ctx_span) ->
+        ( Some rid,
+          fun r ->
+            Frame.splice_response line ~id_span ~ctx_span ~id:r.r_id_bytes
+              ~ctx:(Some r.r_ctx_bytes) )
+    | None -> (
+        match Wire.parse line with
+        | Ok w -> (
+            match Wire.member "id" w with
+            | Some (Wire.Int rid) -> (Some rid, fun r -> rebuild_response line w r)
+            | _ -> (None, fun _ -> line))
+        | Error _ -> (None, fun _ -> line))
+  in
+  match rid_opt with
+  | None ->
+      Metrics.incr t.m_stale;
+      Log.debug ~fields:(shard_fields sh) "unmatched shard line"
+  | Some rid -> (
+      Mutex.lock sh.lock;
+      let entry = Hashtbl.find_opt sh.pending rid in
+      (match entry with
+      | Some (p, _) ->
+          Hashtbl.remove sh.pending rid;
+          (match p with
+          | Routed _ -> Metrics.gauge_add sh.m_in_flight (-1.0)
+          | Internal _ -> ());
+          if sh.probe_rid = Some rid then sh.probe_rid <- None
+      | None -> ());
+      Mutex.unlock sh.lock;
+      match entry with
+      | None ->
+          Metrics.incr t.m_stale;
+          Log.debug ~fields:(shard_fields sh) "stale shard response"
+      | Some (Routed r, _) ->
+          r.r_respond (build r);
+          Metrics.observe t.m_latency (Clock.now_s () -. r.r_t0);
+          leave t
+      | Some (Internal i, _) -> i.deliver (Some line))
+
+let spawn_reader t (sh : shard) conn =
+  let reader = { r_done = Atomic.make false; r_domain = None } in
+  let d =
+    Domain.spawn (fun () ->
+        (try
+           while true do
+             let line = input_line conn.ic in
+             handle_shard_line t sh line
+           done
+         with _ -> ());
+        mark_down t sh ~gen:conn.gen ~reason:"connection closed";
+        (* Single closer: the reader owns the descriptor's lifetime. The
+           writer stops at [mark_down] (conn is gone before we get here),
+           so closing cannot race a write. *)
+        close_in_noerr conn.ic;
+        Atomic.set reader.r_done true)
+  in
+  reader.r_domain <- Some d;
+  Mutex.lock t.lock;
+  t.readers <- reader :: t.readers;
+  Mutex.unlock t.lock
+
+let reap_readers t ~all =
+  Mutex.lock t.lock;
+  let finished, running =
+    List.partition
+      (fun r -> all || Atomic.get r.r_done)
+      t.readers
+  in
+  t.readers <- running;
+  Mutex.unlock t.lock;
+  List.iter
+    (fun r -> match r.r_domain with Some d -> Domain.join d | None -> ())
+    finished
+
+(* ------------------------------------------------------------------ *)
+(* Internal sub-requests (probes, fan-out) *)
+
+let send_internal t (sh : shard) ~rid ~deadline ~deliver line =
+  ignore t;
+  Mutex.lock sh.lock;
+  match sh.conn with
+  | None ->
+      Mutex.unlock sh.lock;
+      deliver None
+  | Some c -> (
+      Hashtbl.replace sh.pending rid (Internal { deliver }, deadline);
+      match
+        output_string c.oc line;
+        output_char c.oc '\n';
+        flush c.oc
+      with
+      | () -> Mutex.unlock sh.lock
+      | exception _ ->
+          Hashtbl.remove sh.pending rid;
+          let gen = c.gen in
+          Mutex.unlock sh.lock;
+          mark_down t sh ~gen ~reason:"write error";
+          deliver None)
+
+let probe_deliver t (sh : shard) = function
+  | Some line ->
+      let ready =
+        match Wire.parse line with
+        | Ok w -> (
+            match Option.bind (Wire.member "ok" w) (Wire.member "status") with
+            | Some (Wire.String "ready") -> true
+            | _ -> false)
+        | Error _ -> false
+      in
+      Mutex.lock sh.lock;
+      sh.probe_misses <- 0;
+      if sh.conn <> None then
+        set_status_locked sh
+          (if ready then Ready else Degraded)
+          ~reason:(if ready then "probe ready" else "probe degraded");
+      Mutex.unlock sh.lock
+  | None ->
+      (* Timed out, or the connection died under it. Degrade on the first
+         miss; force a reconnect cycle on the second — [server.drop_conn]
+         swallows responses without closing the socket, so a silent shard
+         must be torn down actively. *)
+      let force = ref None in
+      Mutex.lock sh.lock;
+      (match sh.conn with
+      | Some c ->
+          sh.probe_misses <- sh.probe_misses + 1;
+          set_status_locked sh Degraded ~reason:"probe timeout";
+          if sh.probe_misses >= 2 then force := Some c.gen
+      | None -> ());
+      Mutex.unlock sh.lock;
+      (match !force with
+      | Some gen -> mark_down t sh ~gen ~reason:"probe timeouts"
+      | None -> ())
+
+let send_probe t (sh : shard) now =
+  let rid_opt =
+    Mutex.lock sh.lock;
+    let r =
+      if sh.conn <> None && sh.probe_rid = None then begin
+        let rid = next_rid t in
+        sh.probe_rid <- Some rid;
+        Some rid
+      end
+      else None
+    in
+    Mutex.unlock sh.lock;
+    r
+  in
+  match rid_opt with
+  | None -> ()
+  | Some rid ->
+      send_internal t sh ~rid
+        ~deadline:(now +. probe_deadline_s t)
+        ~deliver:(probe_deliver t sh)
+        (Printf.sprintf "{\"id\":%d,\"kind\":\"health\"}" rid)
+
+(* ------------------------------------------------------------------ *)
+(* Worker processes and connections *)
+
+let ensure_process t (sh : shard) ~initial =
+  match sh.endpoint.spawn with
+  | None -> ()
+  | Some argv ->
+      let alive =
+        match sh.pid with
+        | None -> false
+        | Some pid -> (
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> true
+            | _ -> false
+            | exception Unix.Unix_error _ -> false)
+      in
+      if not alive then begin
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+        let pid = Unix.create_process argv.(0) argv devnull devnull devnull in
+        Unix.close devnull;
+        sh.pid <- Some pid;
+        if initial then
+          Log.info
+            ~fields:(shard_fields sh @ [ ("pid", Wire.Int pid) ])
+            "shard spawned"
+        else begin
+          Metrics.incr sh.m_restarts;
+          Log.warn
+            ~fields:(shard_fields sh @ [ ("pid", Wire.Int pid) ])
+            "shard restarted"
+        end;
+        ignore t
+      end
+
+let attempt_connect t (sh : shard) ~initial =
+  ensure_process t sh ~initial;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect sock
+      (Unix.ADDR_INET
+         (Rvu_service.Server.resolve_host sh.endpoint.host, sh.endpoint.port))
+  with
+  | exception _ ->
+      (try Unix.close sock with _ -> ());
+      Mutex.lock sh.lock;
+      sh.next_attempt <- Clock.now_s () +. backoff_s t;
+      Mutex.unlock sh.lock;
+      false
+  | () ->
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      Mutex.lock sh.lock;
+      sh.gen <- sh.gen + 1;
+      let conn = { fd = sock; ic; oc; gen = sh.gen } in
+      sh.conn <- Some conn;
+      sh.probe_misses <- 0;
+      sh.probe_rid <- None;
+      let readmit = sh.was_connected in
+      sh.was_connected <- true;
+      (* First connection is admitted optimistically (nothing is pending
+         yet and the alternative is shedding the first requests); after a
+         restart the shard re-enters the ring only on a ready probe. *)
+      set_status_locked sh
+        (if readmit then Degraded else Ready)
+        ~reason:(if readmit then "reconnected, awaiting probe" else "connected");
+      Mutex.unlock sh.lock;
+      spawn_reader t sh conn;
+      Log.info ~fields:(shard_fields sh) "shard connected";
+      if readmit then send_probe t sh (Clock.now_s ());
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor *)
+
+let supervisor_loop t =
+  let tick = Float.max 0.005 (Float.min 0.05 (interval_s t /. 4.0)) in
+  let next_probe = ref 0.0 in
+  while not t.stopping do
+    let now = Clock.now_s () in
+    (* Expired pending entries: re-route requests, fail probes/fan-outs. *)
+    Array.iter
+      (fun (sh : shard) ->
+        let expired = ref [] in
+        Mutex.lock sh.lock;
+        Hashtbl.iter
+          (fun rid (p, deadline) ->
+            if now > deadline then expired := (rid, p) :: !expired)
+          sh.pending;
+        List.iter
+          (fun (rid, p) ->
+            Hashtbl.remove sh.pending rid;
+            (match p with
+            | Routed _ -> Metrics.gauge_add sh.m_in_flight (-1.0)
+            | Internal _ -> ());
+            if sh.probe_rid = Some rid then sh.probe_rid <- None)
+          !expired;
+        Mutex.unlock sh.lock;
+        List.iter
+          (fun (_, p) ->
+            match p with
+            | Routed r ->
+                Log.warn
+                  ~fields:(shard_fields sh @ [ ("ctx", Wire.String r.r_ctx) ])
+                  "request timed out on shard";
+                redispatch t { r with r_retries = r.r_retries + 1 }
+            | Internal i -> i.deliver None)
+          !expired)
+      t.shards;
+    (* Probes. *)
+    if now >= !next_probe then begin
+      next_probe := now +. interval_s t;
+      Array.iter (fun (sh : shard) -> send_probe t sh now) t.shards
+    end;
+    (* Reconnect / respawn downed shards. *)
+    Array.iter
+      (fun (sh : shard) ->
+        if sh.conn = None && now >= sh.next_attempt then
+          ignore (attempt_connect t sh ~initial:false))
+      t.shards;
+    reap_readers t ~all:false;
+    Unix.sleepf tick
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fan-out requests *)
+
+let router_stats t =
+  let sum f = Array.fold_left (fun acc sh -> acc + f sh) 0 t.shards in
+  Wire.Obj
+    [
+      ( "requests",
+        Wire.Obj
+          [
+            ("routed", Wire.Int (sum (fun (sh : shard) -> Metrics.counter_value sh.m_routed)));
+            ("fanout", Wire.Int (Metrics.counter_value t.m_fanout));
+            ("retried", Wire.Int (Metrics.counter_value t.m_retried));
+            ("shed", Wire.Int (Metrics.counter_value t.m_shed));
+            ("stale", Wire.Int (Metrics.counter_value t.m_stale));
+          ] );
+      ( "shards",
+        Wire.List
+          (Array.to_list
+             (Array.map
+                (fun (sh : shard) ->
+                  Wire.Obj
+                    [
+                      ("shard", Wire.Int sh.index);
+                      ("endpoint", Wire.String (endpoint_string sh.endpoint));
+                      ("status", Wire.String (status_string sh.status));
+                      ( "in_flight",
+                        Wire.Int (int_of_float (Metrics.gauge_value sh.m_in_flight)) );
+                      ("routed", Wire.Int (Metrics.counter_value sh.m_routed));
+                      ("evicted", Wire.Int (Metrics.counter_value sh.m_evicted));
+                      ("restarts", Wire.Int (Metrics.counter_value sh.m_restarts));
+                    ])
+                t.shards)) );
+    ]
+
+let int_at path w =
+  let rec go path w =
+    match path with
+    | [] -> ( match w with Wire.Int n -> n | _ -> 0)
+    | k :: rest -> (
+        match Wire.member k w with Some v -> go rest v | None -> 0)
+  in
+  go path w
+
+let handle_fanout t env ~line:_ ~respond =
+  enter t;
+  Metrics.incr t.m_fanout;
+  let ctx = Ctx.derive env.Proto.id in
+  let t0 = Clock.now_s () in
+  let n_shards = Array.length t.shards in
+  let results : Wire.t option array = Array.make n_shards None in
+  let finish_lock = Mutex.create () in
+  let finalize () =
+    let oks = Array.to_list results |> List.filter_map Fun.id in
+    let per_shard extra =
+      Wire.List
+        (Array.to_list
+           (Array.map
+              (fun (sh : shard) ->
+                Wire.Obj
+                  ([
+                     ("shard", Wire.Int sh.index);
+                     ("endpoint", Wire.String (endpoint_string sh.endpoint));
+                     ("status", Wire.String (status_string sh.status));
+                   ]
+                  @
+                  match results.(sh.index) with
+                  | Some ok -> [ (extra, ok) ]
+                  | None -> []))
+              t.shards))
+    in
+    let payload =
+      match env.Proto.request with
+      | Proto.Stats ->
+          Wire.Obj
+            [
+              ("aggregate", Merge.sum_json oks);
+              ("router", router_stats t);
+              ("shards", per_shard "stats");
+            ]
+      | Proto.Health ->
+          let agg = Merge.sum_json oks in
+          let all_ready =
+            Array.for_all (fun (sh : shard) -> sh.status = Ready) t.shards
+            && List.length oks = n_shards
+            && List.for_all
+                 (fun ok ->
+                   match Wire.member "status" ok with
+                   | Some (Wire.String "ready") -> true
+                   | _ -> false)
+                 oks
+          in
+          Wire.Obj
+            [
+              ( "status",
+                Wire.String (if all_ready then "ready" else "degraded") );
+              ( "queue",
+                Wire.Obj
+                  [
+                    ("in_flight", Wire.Int (int_at [ "queue"; "in_flight" ] agg));
+                    ("depth", Wire.Int (int_at [ "queue"; "depth" ] agg));
+                  ] );
+              ( "shed_since_last_probe",
+                Wire.Int (int_at [ "shed_since_last_probe" ] agg) );
+              ("shards", per_shard "health");
+            ]
+      | Proto.Metrics fmt -> (
+          let merged = Merge.metrics (Metrics.json () :: oks) in
+          match fmt with
+          | Proto.Metrics_json -> merged
+          | Proto.Metrics_prometheus -> Wire.String (Merge.prometheus merged))
+      | _ -> Wire.Null
+    in
+    respond (Wire.print (Proto.ok_response ~ctx ~id:env.Proto.id payload));
+    Metrics.observe t.m_latency (Clock.now_s () -. t0);
+    leave t
+  in
+  let sub_kind =
+    match env.Proto.request with
+    | Proto.Stats -> "stats"
+    | Proto.Health -> "health"
+    | _ -> "metrics"
+  in
+  let targets =
+    Array.to_list t.shards |> List.filter (fun (sh : shard) -> sh.conn <> None)
+  in
+  match targets with
+  | [] -> finalize ()
+  | _ ->
+      let remaining = ref (List.length targets) in
+      List.iter
+        (fun (sh : shard) ->
+          let rid = next_rid t in
+          let deliver line_opt =
+            let last =
+              Mutex.lock finish_lock;
+              (results.(sh.index) <-
+                 (match line_opt with
+                 | Some l -> (
+                     match Wire.parse l with
+                     | Ok w -> Wire.member "ok" w
+                     | Error _ -> None)
+                 | None -> None));
+              decr remaining;
+              let last = !remaining = 0 in
+              Mutex.unlock finish_lock;
+              last
+            in
+            if last then finalize ()
+          in
+          send_internal t sh ~rid
+            ~deadline:(t0 +. route_timeout_s t)
+            ~deliver
+            (Printf.sprintf "{\"id\":%d,\"kind\":%S}" rid sub_kind))
+        targets
+
+(* ------------------------------------------------------------------ *)
+(* Client lines *)
+
+let local_error t ~respond ~count_latency ~id code msg =
+  let ctx = Ctx.derive id in
+  Log.warn
+    ~fields:[ ("ctx", Wire.String ctx); ("error", Wire.String msg) ]
+    "request rejected";
+  respond (Wire.print (Proto.error_response ~ctx ~id code msg));
+  if count_latency then Metrics.observe t.m_latency 0.0
+
+let handle_line t line ~respond =
+  (* Keep 64 bytes of headroom under the workers' limit: the router
+     prepends its own id member, and a forwarded line must never bounce
+     off a worker's oversized-line guard (those rejections carry a null
+     id and could not be matched back). *)
+  let limit = t.config.max_request_bytes - 64 in
+  if String.length line > limit then
+    let ctx = Ctx.generate () in
+    respond
+      (Wire.print
+         (Proto.error_response ~ctx ~id:Wire.Null Proto.Invalid_request
+            (Printf.sprintf "request line of %d bytes exceeds the %d byte limit"
+               (String.length line) limit)))
+  else
+    match Wire.parse line with
+    | Error e ->
+        let ctx = Ctx.generate () in
+        Log.warn
+          ~fields:[ ("error", Wire.String (Wire.error_to_string e)) ]
+          "request parse error";
+        respond
+          (Wire.print
+             (Proto.error_response ~ctx ~id:Wire.Null Proto.Parse_error
+                (Wire.error_to_string e)))
+    | Ok (Wire.Obj _ as w) -> (
+        let id =
+          match Wire.member "id" w with
+          | Some ((Wire.Int _ | Wire.String _) as id) -> id
+          | _ -> Wire.Null
+        in
+        match Wire.member "id" w with
+        | Some ((Wire.Bool _ | Wire.Float _ | Wire.List _ | Wire.Obj _) as v) ->
+            (* Mirror [Proto.request_of_wire]'s envelope validation so a
+               bad id is rejected here, with the server's exact message —
+               a forwarded bad id would come back unmatchable. *)
+            local_error t ~respond ~count_latency:false ~id:Wire.Null
+              Proto.Invalid_request
+              (Printf.sprintf "field %S: expected %s, got %s" "id"
+                 "an integer or string" (Wire.kind_name v))
+        | _ -> (
+            match Wire.member "kind" w with
+            | Some (Wire.String ("stats" | "metrics" | "health")) -> (
+                (* Fan-out kinds are decoded fully so malformed envelopes
+                   (bad timeout, bad format) get the server's messages. *)
+                match Proto.request_of_wire w with
+                | Error msg ->
+                    local_error t ~respond ~count_latency:false ~id
+                      Proto.Invalid_request msg
+                | Ok env -> handle_fanout t env ~line ~respond)
+            | _ ->
+                let ctx = Ctx.derive id in
+                let pre, post = Frame.forward_parts line in
+                let kind =
+                  match Wire.member "kind" w with
+                  | Some (Wire.String k) -> k
+                  | _ -> "?"
+                in
+                enter t;
+                Log.debug
+                  ~fields:[ ("ctx", Wire.String ctx); ("kind", Wire.String kind) ]
+                  "request accepted";
+                dispatch t
+                  {
+                    r_pre = pre;
+                    r_post = post;
+                    r_parts = Frame.routing_parts line;
+                    r_id = id;
+                    r_id_bytes = Wire.print id;
+                    r_ctx = ctx;
+                    r_ctx_bytes = Wire.print (Wire.String ctx);
+                    r_kind = kind;
+                    r_t0 = Clock.now_s ();
+                    r_retries = 0;
+                    r_respond = respond;
+                  }))
+    | Ok v ->
+        local_error t ~respond ~count_latency:false ~id:Wire.Null
+          Proto.Invalid_request
+          (Printf.sprintf "expected a request object, got %s" (Wire.kind_name v))
+
+let handle_sync t line =
+  let result = ref None in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  handle_line t line ~respond:(fun resp ->
+      Mutex.lock m;
+      result := Some resp;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while !result = None do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Transports *)
+
+let serve_channels t ic oc =
+  let out_lock = Mutex.create () in
+  let respond line =
+    Mutex.lock out_lock;
+    (try
+       output_string oc line;
+       output_char oc '\n';
+       flush oc
+     with _ -> ());
+    Mutex.unlock out_lock
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then handle_line t line ~respond
+     done
+   with End_of_file -> ());
+  wait_idle t;
+  try flush oc with _ -> ()
+
+let serve_tcp t ~host ~port ?connections () =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Rvu_service.Server.resolve_host host, port));
+  Unix.listen sock 64;
+  Printf.eprintf "rvu router: listening on %s:%d\n%!" host port;
+  let sessions = ref [] in
+  let rec loop remaining =
+    if remaining <> Some 0 then begin
+      let fd, _peer = Unix.accept sock in
+      let d =
+        Domain.spawn (fun () ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            Log.debug "router connection accepted";
+            (try serve_channels t ic oc
+             with e ->
+               Log.error
+                 ~fields:[ ("exn", Wire.String (Printexc.to_string e)) ]
+                 "router connection error");
+            Log.debug "router connection closed";
+            close_out_noerr oc)
+      in
+      sessions := d :: !sessions;
+      loop (Option.map (fun n -> n - 1) remaining)
+    end
+  in
+  loop connections;
+  List.iter Domain.join !sessions;
+  Unix.close sock
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let create ?(config = default_config) ~endpoints () =
+  if endpoints = [] then invalid_arg "Router.create: no endpoints";
+  let mk index endpoint =
+    let labels = [ ("shard", string_of_int index) ] in
+    {
+      index;
+      endpoint;
+      lock = Mutex.create ();
+      status = Down;
+      conn = None;
+      gen = 0;
+      pid = None;
+      pending = Hashtbl.create 64;
+      probe_rid = None;
+      probe_misses = 0;
+      next_attempt = 0.0;
+      was_connected = false;
+      m_in_flight =
+        Metrics.gauge ~labels ~help:"Requests in flight on this shard"
+          "rvu_router_shard_in_flight";
+      m_routed =
+        Metrics.counter ~labels ~help:"Requests routed to this shard"
+          "rvu_router_routed_total";
+      m_evicted =
+        Metrics.counter ~labels ~help:"Times this shard left the ring"
+          "rvu_router_evicted_total";
+      m_restarts =
+        Metrics.counter ~labels ~help:"Worker processes (re)started"
+          "rvu_router_restarts_total";
+    }
+  in
+  let t =
+    {
+      config;
+      shards = Array.of_list (List.mapi mk endpoints);
+      rid = Atomic.make 1;
+      lock = Mutex.create ();
+      idle = Condition.create ();
+      outstanding = 0;
+      stopping = false;
+      stopped = false;
+      supervisor = None;
+      readers = [];
+      m_retried =
+        Metrics.counter ~help:"Requests re-routed after a shard failure"
+          "rvu_router_retried_total";
+      m_shed =
+        Metrics.counter ~help:"Requests shed with overloaded"
+          "rvu_router_shed_total";
+      m_stale =
+        Metrics.counter ~help:"Shard lines that matched no pending request"
+          "rvu_router_stale_total";
+      m_fanout =
+        Metrics.counter ~help:"Fan-out requests (stats/metrics/health)"
+          "rvu_router_fanout_total";
+      m_latency =
+        Metrics.histogram ~help:"Wall seconds from accept to response"
+          "rvu_router_request_seconds";
+    }
+  in
+  Array.iter (fun (sh : shard) -> ensure_process t sh ~initial:true) t.shards;
+  let deadline = Clock.now_s () +. (config.connect_timeout_ms /. 1000.0) in
+  let rec wait () =
+    Array.iter
+      (fun (sh : shard) ->
+        if sh.conn = None then ignore (attempt_connect t sh ~initial:true))
+      t.shards;
+    if
+      Array.exists (fun (sh : shard) -> sh.conn = None) t.shards
+      && Clock.now_s () < deadline
+    then begin
+      Unix.sleepf 0.05;
+      wait ()
+    end
+  in
+  wait ();
+  t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t));
+  Log.info
+    ~fields:
+      [
+        ("shards", Wire.Int (Array.length t.shards));
+        ( "live",
+          Wire.Int
+            (Array.fold_left
+               (fun acc sh -> if sh.status = Ready then acc + 1 else acc)
+               0 t.shards) );
+      ]
+    "router started";
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Mutex.unlock t.lock;
+    (match t.supervisor with Some d -> Domain.join d | None -> ());
+    t.supervisor <- None;
+    Array.iter
+      (fun (sh : shard) ->
+        let gen = match sh.conn with Some c -> c.gen | None -> -1 in
+        if gen >= 0 then mark_down t sh ~gen ~reason:"router stopping")
+      t.shards;
+    reap_readers t ~all:true;
+    Array.iter
+      (fun (sh : shard) ->
+        match sh.pid with
+        | Some pid ->
+            (try Unix.kill pid Sys.sigterm with _ -> ());
+            (try ignore (Unix.waitpid [] pid) with _ -> ());
+            sh.pid <- None
+        | None -> ())
+      t.shards;
+    Log.info "router stopped"
+  end

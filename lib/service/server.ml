@@ -402,6 +402,8 @@ let resolve host =
     | _ | (exception Not_found) ->
         invalid_arg (Printf.sprintf "Server.serve_tcp: cannot resolve %S" host))
 
+let resolve_host = resolve
+
 let serve_tcp t ~host ~port ?connections () =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore

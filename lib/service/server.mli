@@ -84,6 +84,12 @@ val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve until end-of-input, then drain outstanding requests and flush.
     Responses are written under a lock, one line each, flushed per line. *)
 
+val resolve_host : string -> Unix.inet_addr
+(** Resolve a host name or dotted quad (first address wins), raising
+    [Invalid_argument] when it does not resolve — shared with the cluster
+    router and the CLI's client-side connectors so every component
+    resolves endpoints the same way. *)
+
 val serve_tcp : t -> host:string -> port:int -> ?connections:int -> unit -> unit
 (** Bind, listen, and serve connections sequentially (each runs
     {!serve_channels} on the socket; requests within a connection are

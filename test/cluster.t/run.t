@@ -1,0 +1,119 @@
+The sharded cluster: rvu router over N worker shards. Ports 759x are
+reserved for this file (cli.t uses 7471).
+
+Count-like router flags reject non-positive values at parse time, with
+the same convention as every other subcommand:
+
+  $ rvu router --workers 0
+  rvu: option '--workers': expected a positive integer, got 0
+  Usage: rvu router [OPTION]…
+  Try 'rvu router --help' or 'rvu --help' for more information.
+  [124]
+
+  $ rvu router --workers 2 --probe-interval-ms 0
+  rvu: option '--probe-interval-ms': expected a positive integer, got 0
+  Usage: rvu router [OPTION]…
+  Try 'rvu router --help' or 'rvu --help' for more information.
+  [124]
+
+  $ rvu router --workers 2 --restart-backoff-ms 0
+  rvu: option '--restart-backoff-ms': expected a positive integer, got 0
+  Usage: rvu router [OPTION]…
+  Try 'rvu router --help' or 'rvu --help' for more information.
+  [124]
+
+  $ rvu router --connect not-a-port
+  rvu: option '--connect': bad address "not-a-port" (want HOST:PORT)
+  Usage: rvu router [OPTION]…
+  Try 'rvu router --help' or 'rvu --help' for more information.
+  [124]
+
+The router either owns its workers (--workers) or attaches to external
+ones (--connect), never both, and needs one of the two:
+
+  $ rvu router --workers 2 --connect 127.0.0.1:7590 < /dev/null
+  rvu: --workers and --connect are mutually exclusive
+  [1]
+
+  $ rvu router < /dev/null
+  rvu: router needs --workers N or --connect HOST:PORT
+  [1]
+
+loadgen's --connections is validated the same way, and multi-connection
+driving only makes sense against a TCP endpoint:
+
+  $ rvu loadgen --connections 0
+  rvu: option '--connections': expected a positive integer, got 0
+  Usage: rvu loadgen [OPTION]…
+  Try 'rvu loadgen --help' or 'rvu --help' for more information.
+  [124]
+
+  $ rvu loadgen --requests 1 --connections 2
+  rvu: --connections needs --connect
+  [1]
+
+Routing is invisible to the client: the same simulate request cli.t pins
+against a direct `rvu serve` answers byte-identically through a router
+over two spawned shards (the response body is spliced, never re-printed,
+so the floats carry the worker's exact bits):
+
+  $ echo '{"id":1,"kind":"simulate","tau":0.5,"d":1.5,"r":0.5,"bearing":0}' | rvu router --workers 2 --worker-base-port 7590 --jobs 1
+  {"id":1,"ctx":"req-1","ok":{"verdict":{"feasible":true,"reason":"different_clocks"},"outcome":{"kind":"hit","t":129.42477041723},"phase":{"round":1,"phase":"inactive"},"bound":{"round":8,"time":712884.0602771039},"stats":{"intervals":24,"min_distance":1.5}}}
+
+Pipelined requests come back with the client's own ids (responses may
+reorder across shards, so sort):
+
+  $ printf '{"id":1,"kind":"schedule","rounds":1}\n{"id":2,"kind":"schedule","rounds":2}\n{"id":3,"kind":"schedule","rounds":3}\n' | rvu router --workers 2 --worker-base-port 7590 --jobs 1 | sort | grep -c '"ok"'
+  3
+
+health fans out to every shard and returns the single-server shape at
+the top level — a load balancer probing the router needs no cluster
+awareness — with the per-shard breakdown alongside and the queue an
+exact sum over the shards:
+
+  $ echo '{"id":3,"kind":"health"}' | rvu router --workers 3 --worker-base-port 7592 --jobs 1
+  {"id":3,"ctx":"req-3","ok":{"status":"ready","queue":{"in_flight":0,"depth":192},"shed_since_last_probe":0,"shards":[{"shard":0,"endpoint":"127.0.0.1:7592","status":"ready","health":{"status":"ready","queue":{"in_flight":0,"depth":64},"shed_since_last_probe":0}},{"shard":1,"endpoint":"127.0.0.1:7593","status":"ready","health":{"status":"ready","queue":{"in_flight":0,"depth":64},"shed_since_last_probe":0}},{"shard":2,"endpoint":"127.0.0.1:7594","status":"ready","health":{"status":"ready","queue":{"in_flight":0,"depth":64},"shed_since_last_probe":0}}]}}
+
+stats merges counters across the shards (aggregate + router's own
+counters + per-shard breakdown):
+
+  $ echo '{"id":2,"kind":"stats"}' | rvu router --workers 3 --worker-base-port 7592 --jobs 1 | grep -c '"aggregate".*"router".*"shards"'
+  1
+
+Eviction under a black-hole fault: one external worker swallows every
+response (server.drop_conn), so the router's health probes go
+unanswered. The supervisor evicts the shard from the ring, its
+in-flight requests are re-routed to the survivor, and every request
+still completes — no errors, only slower:
+
+  $ rvu serve --tcp 7595 --jobs 1 --connections 1 --inject server.drop_conn=1 --inject-seed 42 > /dev/null 2>&1 &
+  $ rvu serve --tcp 7596 --jobs 1 --connections 1 > /dev/null 2>&1 &
+  $ for i in 1 2 3 4 5 6 7 8; do echo "{\"id\":$i,\"kind\":\"schedule\",\"rounds\":$i}"; done | rvu router --connect 127.0.0.1:7595 --connect 127.0.0.1:7596 --probe-interval-ms 100 --restart-backoff-ms 100 --log evict.log > evict.out
+  $ grep -c '"ok"' evict.out
+  8
+  $ grep -c '"error"' evict.out
+  0
+  [1]
+  $ grep -q '"msg":"shard evicted"' evict.log && echo evicted
+  evicted
+  $ grep -q '"msg":"request rerouted"' evict.log && echo rerouted
+  rerouted
+
+Rolling restart: kill a spawned worker mid-stream. The dead shard's
+in-flight requests re-route to the survivor, the supervisor respawns
+the worker with backoff and re-admits it after a clean probe, and all
+30 requests answer ok — zero failures end to end:
+
+  $ { for i in $(seq 1 30); do echo "{\"id\":$i,\"kind\":\"schedule\",\"rounds\":$i}"; sleep 0.05; done; } | rvu router --workers 2 --worker-base-port 7597 --jobs 1 --probe-interval-ms 100 --restart-backoff-ms 100 --log restart.log > restart.out &
+  $ sleep 0.7
+  $ pkill -f "[s]erve --tcp 7597"
+  $ wait
+  $ grep -c '"ok"' restart.out
+  30
+  $ grep -c '"error"' restart.out
+  0
+  [1]
+  $ grep -q '"msg":"shard restarted"' restart.log && echo restarted
+  restarted
+  $ grep -q '"msg":"shard ready"' restart.log && echo readmitted
+  readmitted
