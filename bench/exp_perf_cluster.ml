@@ -215,6 +215,24 @@ let run () =
          "not enforced (%d core(s) cannot parallelize 4 workers + router)"
          cores);
 
+  (* The router's own health counters, cumulative over both passes. A
+     clean run leaves all three at zero, so the committed baseline pins
+     them there and bench-diff's gated-series check turns any retry,
+     shed or stale-response leak into a regression. *)
+  let router_counter name =
+    Rvu_obs.Metrics.counter_value (Rvu_obs.Metrics.counter name)
+  in
+  let router_json =
+    Wire.Obj
+      [
+        ( "rvu_router_retried_total",
+          Wire.Int (router_counter "rvu_router_retried_total") );
+        ( "rvu_router_shed_total",
+          Wire.Int (router_counter "rvu_router_shed_total") );
+        ( "rvu_router_stale_total",
+          Wire.Int (router_counter "rvu_router_stale_total") );
+      ]
+  in
   let json =
     Wire.Obj
       [
@@ -228,6 +246,7 @@ let run () =
         ("scaling_floor", Wire.Float floor);
         ("scaling_floor_enforced", Wire.Bool enforced);
         ("bit_identical_to_direct", Wire.Bool true);
+        ("router", router_json);
       ]
   in
   let path = json_path () in

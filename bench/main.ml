@@ -30,6 +30,9 @@
                       writes BENCH_2.json
      perf-cluster   — warm-cache throughput scaling, 1 vs 4 router
                       shards; writes BENCH_7.json
+     perf-models    — model registry serving: cold/warm per model,
+                      closed-form oracle agreement, registry/server
+                      byte-identity; writes BENCH_8.json
      perf-obs       — observability overhead (metrics off/on/traced);
                       writes BENCH_3.json
      perf-verify    — verification campaign throughput (symmetry + faults);
@@ -61,6 +64,7 @@ let all : (string * (unit -> unit)) list =
     ("perf-compile", Exp_perf_compile.run);
     ("perf-serve", Exp_perf_serve.run);
     ("perf-cluster", Exp_perf_cluster.run);
+    ("perf-models", Exp_perf_models.run);
     ("perf-obs", Exp_perf_obs.run);
     ("perf-verify", Exp_perf_verify.run);
     ("perf-log", Exp_perf_log.run);

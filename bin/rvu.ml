@@ -209,7 +209,47 @@ let draw_svg ~file ~program ~attrs ~displacement ~r ~t_end ~meeting =
   Rvu_report.Svg.write ~path:file shapes;
   Format.printf "trajectories written to %s@." file
 
-let simulate attrs d bearing r horizon use_alg4 svg_file =
+(* --set FIELD=VALUE carries untyped strings; each value takes the most
+   specific JSON form it parses as, and the model's own [of_wire] does
+   the real validation with the protocol's error messages. *)
+let set_value s =
+  match s with
+  | "true" -> Rvu_obs.Wire.Bool true
+  | "false" -> Rvu_obs.Wire.Bool false
+  | _ -> (
+      match int_of_string_opt s with
+      | Some i -> Rvu_obs.Wire.Int i
+      | None -> (
+          match float_of_string_opt s with
+          | Some f when Float.is_finite f -> Rvu_obs.Wire.Float f
+          | _ -> Rvu_obs.Wire.String s))
+
+let registry_entry name =
+  match Rvu_model.Registry.find name with
+  | Some e -> e
+  | None ->
+      Format.eprintf "rvu: unknown model %S (known: %s)@." name
+        (String.concat ", " Rvu_model.Registry.names);
+      exit 1
+
+let simulate_model name sets =
+  let e = registry_entry name in
+  let fields = List.map (fun (k, v) -> (k, set_value v)) sets in
+  match e.Rvu_model.Registry.of_wire (Rvu_obs.Wire.Obj fields) with
+  | Error msg ->
+      Format.eprintf "rvu: %s@." msg;
+      exit 1
+  | Ok inst ->
+      print_string (Rvu_obs.Wire.print_hum (inst.Rvu_model.Model.payload ()))
+
+let simulate attrs d bearing r horizon use_alg4 svg_file model sets =
+  match model with
+  | Some name -> simulate_model name sets
+  | None ->
+  if sets <> [] then begin
+    Format.eprintf "rvu: --set needs --model@.";
+    exit 1
+  end;
   let displacement = Vec2.of_polar ~radius:d ~angle:bearing in
   let inst = Rvu_sim.Engine.instance ~attributes:attrs ~displacement ~r in
   let program =
@@ -261,11 +301,31 @@ let simulate_cmd =
       & info [ "svg" ] ~docv:"FILE"
           ~doc:"Write both robots' trajectories (up to the meeting) as an SVG figure.")
   in
+  let model =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"NAME"
+          ~doc:
+            "Simulate a registered rendezvous model instead of the paper's \
+             (one of: unknown_attributes, cycle_speed, visible_bits). The \
+             run prints the model's response document; parameters come \
+             from $(b,--set).")
+  in
+  let sets =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "set" ] ~docv:"FIELD=VALUE"
+          ~doc:
+            "Set a model parameter field (repeatable), e.g. \
+             $(b,--set c=1.5 --set gap=3). Needs $(b,--model).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a two-robot rendezvous instance.")
     Term.(
       const simulate $ attrs_term $ d_arg $ bearing_arg $ r_arg $ horizon_arg
-      $ alg4 $ svg)
+      $ alg4 $ svg $ model $ sets)
 
 (* ------------------------------------------------------------------ *)
 (* search *)
@@ -381,9 +441,46 @@ let bound_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
+let sweep_model name ~lo ~hi ~points ~out =
+  if out <> None then begin
+    Format.eprintf "rvu: --model sweeps do not support --out@.";
+    exit 1
+  end;
+  let e = registry_entry name in
+  let axis = e.Rvu_model.Registry.sweep_axis in
+  let xs = Rvu_workload.Sweep.linspace ~lo ~hi ~n:points in
+  Format.printf "sweeping %s's %s over %d point(s) in [%g, %g]@." name axis
+    (List.length xs) lo hi;
+  let t =
+    Rvu_report.Table.create
+      ~columns:
+        (List.map Rvu_report.Table.column
+           [ axis; "outcome"; "t"; "steps"; "min_distance" ])
+  in
+  List.iter
+    (fun x ->
+      let inst = e.Rvu_model.Registry.sweep x in
+      let res = inst.Rvu_model.Model.run () in
+      let outcome, time =
+        match res.Rvu_model.Model.outcome with
+        | Rvu_model.Model.Hit t -> ("hit", Rvu_report.Table.fstr t)
+        | Rvu_model.Model.Horizon h -> ("horizon", Rvu_report.Table.fstr h)
+      in
+      Rvu_report.Table.add_row t
+        [
+          Rvu_report.Table.fstr x; outcome; time;
+          Rvu_report.Table.istr res.Rvu_model.Model.steps;
+          Rvu_report.Table.fstr res.Rvu_model.Model.min_distance;
+        ])
+    xs;
+  Rvu_report.Table.print t
+
 let sweep attrs d_lo d_hi points bearing r horizon jobs out shards resume
-    trace =
+    trace model =
   with_trace trace @@ fun () ->
+  match model with
+  | Some name -> sweep_model name ~lo:d_lo ~hi:d_hi ~points ~out
+  | None ->
   if resume && out = None then begin
     Format.eprintf "rvu: --resume requires --out DIR@.";
     exit 1
@@ -524,15 +621,28 @@ let sweep_cmd =
              recomputing them; the assembled atlas is byte-identical to an \
              uninterrupted run's.")
   in
+  let model =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"NAME"
+          ~doc:
+            "Sweep a registered rendezvous model's own axis (gap for \
+             cycle_speed, d for visible_bits and unknown_attributes) over \
+             [$(b,--d-lo), $(b,--d-hi)] with $(b,--points) points; other \
+             parameters stay at the model's defaults. Not combinable with \
+             $(b,--out).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Run a batch of rendezvous instances over a distance sweep, in \
           parallel — optionally as a checkpointed, resumable NDJSON atlas \
-          (--out, --resume).")
+          (--out, --resume) — or a registered model's one-axis sweep \
+          (--model).")
     Term.(
       const sweep $ attrs_term $ d_lo $ d_hi $ points $ bearing_arg $ r_arg
-      $ horizon_arg $ jobs $ out $ shards $ resume $ trace_arg)
+      $ horizon_arg $ jobs $ out $ shards $ resume $ trace_arg $ model)
 
 (* ------------------------------------------------------------------ *)
 (* gather *)
@@ -816,10 +926,10 @@ let loadgen_local lg ~config ~rate =
   Rvu_service.Server.stop server;
   complete
 
-let loadgen connect connections requests rate seed slow_ms config logging
+let loadgen connect connections requests rate seed slow_ms zipf config logging
     fail_on_error =
   with_logging logging @@ fun () ->
-  let lg = Rvu_service.Loadgen.create ~seed ?slow_ms ~requests () in
+  let lg = Rvu_service.Loadgen.create ~seed ?slow_ms ?zipf ~requests () in
   let complete =
     match connect with
     | Some (host, port) -> loadgen_tcp lg ~host ~port ~rate ~connections
@@ -898,6 +1008,29 @@ let loadgen_cmd =
              than $(docv) milliseconds (e.g. a p99 objective). Needs \
              $(b,--log).")
   in
+  let zipf =
+    let positive_float =
+      let parse s =
+        match float_of_string_opt s with
+        | Some x when Float.is_finite x && x > 0.0 -> Ok x
+        | _ ->
+            Error
+              (`Msg (Printf.sprintf "expected a positive exponent, got %S" s))
+      in
+      Arg.conv ~docv:"S" (parse, fun ppf x -> Format.fprintf ppf "%g" x)
+    in
+    Arg.(
+      value
+      & opt (some positive_float) None
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:
+            "Draw requests from a Zipf-skewed popularity distribution with \
+             exponent $(docv) over a fixed scenario population (instead of \
+             cycling the uniform mix): rank k is sent with probability \
+             proportional to 1/k^$(docv). Higher exponents concentrate \
+             traffic on fewer distinct requests — a cache-friendliness \
+             dial. Pacing ($(b,--rate)) is unchanged.")
+  in
   let fail_on_error =
     Arg.(
       value & flag
@@ -913,7 +1046,7 @@ let loadgen_cmd =
           and report throughput and latency percentiles.")
     Term.(
       const loadgen $ connect $ connections $ requests $ rate $ seed $ slow_ms
-      $ config_term $ logging_term $ fail_on_error)
+      $ zipf $ config_term $ logging_term $ fail_on_error)
 
 (* ------------------------------------------------------------------ *)
 (* router *)
@@ -1246,14 +1379,19 @@ let rec flatten_numeric prefix v acc =
   | Rvu_service.Wire.Float f -> (prefix, f) :: acc
   | _ -> acc
 
-let contains_wall path =
-  (* Compare wall-clock series only: counters and derived ratios move for
-     benign reasons (cache sizes, request mixes), walls are the contract. *)
-  let n = String.length path and m = 4 in
-  let rec scan i =
-    i + m <= n && (String.sub path i m = "wall" || scan (i + 1))
-  in
+let contains path needle =
+  let n = String.length path and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub path i m = needle || scan (i + 1)) in
   scan 0
+
+let gated_series path =
+  (* Compare wall-clock series plus the router's self-metrics: most
+     counters and derived ratios move for benign reasons (cache sizes,
+     request mixes), but walls are the latency contract and the router
+     counters are a reliability one — a retry, shed or stale-epoch count
+     rising above its zero baseline is an infinite delta, i.e. an
+     automatic regression. *)
+  contains path "wall" || contains path "router_"
 
 let bench_diff old_file new_file threshold =
   let load path =
@@ -1275,7 +1413,7 @@ let bench_diff old_file new_file threshold =
   let shared =
     List.filter_map
       (fun (path, old_v) ->
-        if contains_wall path then
+        if gated_series path then
           match List.assoc_opt path news with
           | Some new_v -> Some (path, old_v, new_v)
           | None -> None
@@ -1285,8 +1423,7 @@ let bench_diff old_file new_file threshold =
   in
   if shared = [] then begin
     Format.eprintf
-      "rvu: no shared wall-time series between %s and %s — nothing to \
-       compare@."
+      "rvu: no shared gated series between %s and %s — nothing to compare@."
       old_file new_file;
     exit 1
   end;
@@ -1306,7 +1443,7 @@ let bench_diff old_file new_file threshold =
     shared;
   flush stdout;
   if !regressions > 0 then begin
-    Format.eprintf "rvu: %d wall-time series regressed by more than %g%%@."
+    Format.eprintf "rvu: %d gated series regressed by more than %g%%@."
       !regressions threshold;
     exit 1
   end
@@ -1318,15 +1455,16 @@ let bench_diff_cmd =
       value & opt float 20.0
       & info [ "threshold" ] ~docv:"PCT"
           ~doc:
-            "Fail when any shared wall-time series is more than $(docv) \
-             percent slower in the new artifact.")
+            "Fail when any shared gated series is more than $(docv) percent \
+             higher in the new artifact.")
   in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
          "Compare two bench JSON artifacts (e.g. bench/baselines/BENCH_4.json \
-          against a fresh run) on their shared wall-time series, and exit \
-          non-zero on a regression beyond the threshold.")
+          against a fresh run) on their shared gated series — wall-time \
+          numbers plus the router's self-metric counters — and exit non-zero \
+          on a regression beyond the threshold.")
     Term.(
       const bench_diff
       $ file 0 "Baseline bench artifact."

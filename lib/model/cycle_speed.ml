@@ -1,0 +1,185 @@
+(* Two agents on a cycle with different speeds (Feinerman–Korman–Kutten–
+   Rodeh, "Fast Rendezvous on a Cycle by Agents with Different Speeds").
+
+   Both agents walk the cycle of circumference [length] in the same
+   direction, the fast one at speed [c >= 1], the slow one at speed 1,
+   starting [gap] apart (oriented arc from fast to slow). They meet when
+   their arc distance first drops to the detection radius [r]. The whole
+   model is one linear equation — the oriented gap closes at rate
+   [c - 1] — which is exactly what makes it a good registry rival: the
+   run's event-driven walk must agree with the closed form to float
+   tolerance, every time. *)
+
+module Wire = Rvu_obs.Wire
+module Rng = Rvu_workload.Rng
+open Model
+
+let name = "cycle_speed"
+
+type params = {
+  length : float;  (** cycle circumference, > 0 *)
+  c : float;  (** fast agent's speed ratio, >= 1 (slow agent has speed 1) *)
+  gap : float;  (** initial oriented arc from fast to slow, in [0, length) *)
+  r : float;  (** detection radius, 0 < r < length/2 *)
+  horizon : float;  (** give-up time *)
+}
+
+let default = { length = 10.0; c = 2.0; gap = 5.0; r = 0.5; horizon = 1e6 }
+
+let validate p =
+  let* _ = positive "length" (Ok p.length) in
+  let* _ =
+    if Float.is_finite p.c && p.c >= 1.0 then Ok p.c
+    else Error "field \"c\": must be at least 1 and finite"
+  in
+  let* _ =
+    if Float.is_finite p.gap && p.gap >= 0.0 && p.gap < p.length then Ok p.gap
+    else Error "field \"gap\": must be in [0, length)"
+  in
+  let* _ = positive "r" (Ok p.r) in
+  let* _ =
+    if p.r < p.length /. 2.0 then Ok p.r
+    else Error "field \"r\": must be less than length/2"
+  in
+  let* _ = positive "horizon" (Ok p.horizon) in
+  Ok p
+
+let arc_distance ~length u =
+  let u = Float.rem u length in
+  let u = if u < 0.0 then u +. length else u in
+  Float.min u (length -. u)
+
+(* Oriented gap at time t: u(t) = gap - (c-1)·t (mod length). *)
+let oracle p =
+  let dist0 = arc_distance ~length:p.length p.gap in
+  if dist0 <= p.r then { feasible = true; time = Some 0.0; exact = true }
+  else if p.c <= 1.0 then
+    (* Equal speeds: the gap is invariant forever — provably never meets. *)
+    { feasible = false; time = None; exact = true }
+  else
+    (* u decreases monotonically from gap and first touches r before it
+       can wrap (gap <= length - r here, else dist0 <= r above). *)
+    { feasible = true; time = Some ((p.gap -. p.r) /. (p.c -. 1.0)); exact = true }
+
+let run p =
+  let dist0 = arc_distance ~length:p.length p.gap in
+  if dist0 <= p.r then { outcome = Hit 0.0; min_distance = dist0; steps = 0 }
+  else if p.c <= 1.0 then
+    { outcome = Horizon p.horizon; min_distance = dist0; steps = 0 }
+  else begin
+    (* Event-driven walk: step boundaries are the lap (wrap) events of
+       either agent; within a segment the oriented gap is linear, so the
+       first crossing of r is solved exactly per segment. The number of
+       events before the crossing is bounded by (c+1)/(c-1) laps, so the
+       walk terminates regardless of horizon. *)
+    let rel = p.c -. 1.0 in
+    let t_hit = (p.gap -. p.r) /. rel in
+    let steps = ref 0 in
+    let min_d = ref dist0 in
+    let t = ref 0.0 in
+    let result = ref None in
+    while !result = None do
+      let next_wrap speed =
+        let k = Float.floor (speed *. !t /. p.length) +. 1.0 in
+        let tn = k *. p.length /. speed in
+        (* [speed·t/length] can round to just below an integer, making
+           [tn] round back to exactly [t]; skip to the following lap so
+           the walk always makes strict progress. *)
+        if tn > !t then tn else (k +. 1.0) *. p.length /. speed
+      in
+      let t_next =
+        Float.min p.horizon (Float.min (next_wrap p.c) (next_wrap 1.0))
+      in
+      if t_hit <= t_next && t_hit <= p.horizon then begin
+        min_d := p.r;
+        result := Some (Hit t_hit)
+      end
+      else begin
+        incr steps;
+        min_d :=
+          Float.min !min_d
+            (arc_distance ~length:p.length (p.gap -. (rel *. t_next)));
+        if t_next >= p.horizon then result := Some (Horizon p.horizon)
+        else t := t_next
+      end
+    done;
+    match !result with
+    | Some outcome -> { outcome; min_distance = !min_d; steps = !steps }
+    | None -> assert false
+  end
+
+let key_fields p =
+  [
+    ("length", Wire.Float p.length);
+    ("c", Wire.Float p.c);
+    ("gap", Wire.Float p.gap);
+    ("r", Wire.Float p.r);
+    ("horizon", Wire.Float p.horizon);
+  ]
+
+let payload p =
+  let res = run p in
+  let o = oracle p in
+  let reason =
+    if not o.feasible then Wire.Null
+    else if arc_distance ~length:p.length p.gap <= p.r then
+      Wire.String "visible_at_start"
+    else Wire.String "different_speeds"
+  in
+  Wire.Obj
+    [
+      ("model", Wire.String name);
+      ( "verdict",
+        Wire.Obj [ ("feasible", Wire.Bool o.feasible); ("reason", reason) ] );
+      ("outcome", outcome_json res.outcome);
+      ("oracle", oracle_json o);
+      ("stats", stats_json res);
+    ]
+
+let instance p =
+  {
+    model = name;
+    key_fields = key_fields p;
+    horizon = p.horizon;
+    run = (fun () -> run p);
+    payload = (fun () -> payload p);
+    oracle = oracle p;
+  }
+
+let of_wire w =
+  let* length = positive "length" (opt w "length" float_field ~default:default.length) in
+  let* c = opt w "c" float_field ~default:default.c in
+  let* gap = opt w "gap" float_field ~default:default.gap in
+  let* r = positive "r" (opt w "r" float_field ~default:default.r) in
+  let* horizon =
+    positive "horizon" (opt w "horizon" float_field ~default:default.horizon)
+  in
+  let* p = validate { length; c; gap; r; horizon } in
+  Ok (instance p)
+
+(* Drawn so that every feasible case meets well within the horizon:
+   c - 1 >= 0.05 gives t* < length/0.05, and horizon = 200·length covers
+   it. One case in five gets c = 1, the provably-infeasible family. *)
+let random_params rng =
+  let length = Rng.log_uniform rng ~lo:2.0 ~hi:50.0 in
+  let c =
+    if Rng.int rng ~bound:5 = 0 then 1.0
+    else 1.0 +. Rng.log_uniform rng ~lo:0.05 ~hi:3.0
+  in
+  let gap = Rng.uniform rng ~lo:0.0 ~hi:length in
+  let r = Rng.log_uniform rng ~lo:(length *. 0.01) ~hi:(length *. 0.4) in
+  { length; c; gap; r; horizon = length *. 200.0 }
+
+let rescale s p =
+  { p with length = p.length *. s; gap = p.gap *. s; r = p.r *. s;
+    horizon = p.horizon *. s }
+
+let random rng =
+  let p = random_params rng in
+  {
+    instance = instance p;
+    rescaled = Some (fun s -> instance (rescale s p));
+    time_factor = (fun s -> s);
+  }
+
+let sweep gap = instance { default with gap }

@@ -1,0 +1,25 @@
+(** Two agents on a cycle with different speeds (Feinerman–Korman–
+    Kutten–Rodeh): both walk the same direction, the fast one at speed
+    [c >= 1], the slow one at speed 1, and they meet when their arc
+    distance first drops to [r]. The oracle is the exact closed form
+    [(gap - r) / (c - 1)], so the event-driven run is pinned tight. *)
+
+val name : string
+
+type params = {
+  length : float;  (** cycle circumference, > 0 *)
+  c : float;  (** fast agent's speed ratio, >= 1 (slow agent has speed 1) *)
+  gap : float;  (** initial oriented arc from fast to slow, in [0, length) *)
+  r : float;  (** detection radius, 0 < r < length/2 *)
+  horizon : float;  (** give-up time *)
+}
+
+val default : params
+val validate : params -> (params, string) result
+val oracle : params -> Model.oracle
+val run : params -> Model.run
+val instance : params -> Model.instance
+val of_wire : Rvu_obs.Wire.t -> (Model.instance, string) result
+val random : Rvu_workload.Rng.t -> Model.case
+val sweep : float -> Model.instance
+(** Defaults with the given [gap]. *)

@@ -1,0 +1,148 @@
+module Wire = Rvu_obs.Wire
+
+(* ------------------------------------------------------------------ *)
+(* The common outcome vocabulary *)
+
+type outcome = Hit of float | Horizon of float
+
+type run = { outcome : outcome; min_distance : float; steps : int }
+
+type oracle = { feasible : bool; time : float option; exact : bool }
+
+type instance = {
+  model : string;
+  key_fields : (string * Wire.t) list;
+  horizon : float;
+  run : unit -> run;
+  payload : unit -> Wire.t;
+  oracle : oracle;
+}
+
+type case = {
+  instance : instance;
+  rescaled : (float -> instance) option;
+  time_factor : float -> float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Wire field parsing, shared with Proto *)
+
+let ( let* ) = Result.bind
+
+let typed name expected = function
+  | v ->
+      Error
+        (Printf.sprintf "field %S: expected %s, got %s" name expected
+           (Wire.kind_name v))
+
+let float_field name = function
+  | Wire.Int i -> Ok (float_of_int i)
+  | Wire.Float f -> Ok f
+  | v -> typed name "a number" v
+
+let int_field name = function
+  | Wire.Int i -> Ok i
+  | v -> typed name "an integer" v
+
+let bool_field name = function
+  | Wire.Bool b -> Ok b
+  | v -> typed name "a boolean" v
+
+let string_field name = function
+  | Wire.String s -> Ok s
+  | v -> typed name "a string" v
+
+(* Absent and explicit-null fields take the CLI default. *)
+let opt w name getter ~default =
+  match Wire.member name w with
+  | None | Some Wire.Null -> Ok default
+  | Some v -> getter name v
+
+let positive name x =
+  let* x = x in
+  if Float.is_finite x && x > 0.0 then Ok x
+  else Error (Printf.sprintf "field %S: must be positive and finite" name)
+
+let at_least_1 name x =
+  let* x = x in
+  if x >= 1 then Ok x
+  else Error (Printf.sprintf "field %S: must be at least 1" name)
+
+(* ------------------------------------------------------------------ *)
+(* JSON shapes *)
+
+let outcome_json = function
+  | Hit t ->
+      Wire.Obj [ ("kind", Wire.String "hit"); ("t", Wire.Float t) ]
+  | Horizon h ->
+      Wire.Obj [ ("kind", Wire.String "horizon"); ("t", Wire.Float h) ]
+
+let oracle_json o =
+  Wire.Obj
+    [
+      ("feasible", Wire.Bool o.feasible);
+      ("time", match o.time with Some t -> Wire.Float t | None -> Wire.Null);
+      ("exact", Wire.Bool o.exact);
+    ]
+
+let stats_json (r : run) =
+  Wire.Obj
+    [
+      ("steps", Wire.Int r.steps);
+      ( "min_distance",
+        if Float.is_finite r.min_distance then Wire.Float r.min_distance
+        else Wire.Null );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Oracle agreement *)
+
+let rel_close ~tol a b =
+  Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let outcome_string = function
+  | Hit t -> Printf.sprintf "hit at %g" t
+  | Horizon h -> Printf.sprintf "horizon at %g" h
+
+let oracle_agrees ?(tol = 1e-6) ~horizon oracle run =
+  match oracle with
+  | { feasible = true; time = Some t_pred; exact } -> (
+      if t_pred > horizon *. (1.0 -. tol) then
+        (* The prediction lies past the run's horizon: the run cannot
+           witness it either way. *)
+        Ok ()
+      else
+        match run.outcome with
+        | Hit t when exact ->
+            if rel_close ~tol t t_pred then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "oracle predicts rendezvous at exactly %g, run hit at %g"
+                   t_pred t)
+        | Hit t ->
+            if t <= t_pred *. (1.0 +. tol) then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "oracle bounds rendezvous by %g, run hit only at %g" t_pred
+                   t)
+        | Horizon _ ->
+            Error
+              (Printf.sprintf "oracle predicts rendezvous by %g, run saw %s"
+                 t_pred
+                 (outcome_string run.outcome)))
+  | { feasible = true; time = None; _ } ->
+      (* Feasible but no closed-form time: nothing checkable. *)
+      Ok ()
+  | { feasible = false; exact = true; _ } -> (
+      match run.outcome with
+      | Horizon _ -> Ok ()
+      | Hit t ->
+          Error
+            (Printf.sprintf
+               "oracle proves rendezvous impossible, run hit at %g" t))
+  | { feasible = false; exact = false; _ } ->
+      (* "No guarantee" (not "provably never meets"): the run may still
+         get lucky, so nothing is checkable. *)
+      Ok ()

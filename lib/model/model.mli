@@ -1,0 +1,99 @@
+(** The common vocabulary of the pluggable rendezvous-model registry.
+
+    Every model in {!Registry} packages a scenario type behind one closed
+    interface: validated construction from a {!Wire} object, a [run]
+    producing the shared outcome type, a closed-form feasibility/timing
+    {!oracle} the run is pinned against, and the canonical wire fields
+    that make the model's requests cacheable and routable. The service
+    layer ({!Proto}, the scheduler's LRU, the router's HRW ring) only
+    ever sees {!instance} values, so adding a model never touches the
+    serving stack. *)
+
+module Wire = Rvu_obs.Wire
+
+type outcome =
+  | Hit of float  (** rendezvous at this (global) time *)
+  | Horizon of float  (** gave up at this time without meeting *)
+
+type run = {
+  outcome : outcome;
+  min_distance : float;  (** closest sampled approach over the run *)
+  steps : int;  (** simulation steps / events walked *)
+}
+
+type oracle = {
+  feasible : bool;
+  time : float option;
+      (** when feasible: the meeting time ([exact = true]) or an upper
+          bound on it ([exact = false]); [None] when infeasible or no
+          closed form applies *)
+  exact : bool;
+      (** [true]: [time] is the exact meeting time, and infeasibility
+          means {e provably never meets}. [false]: [time] is only an
+          upper bound, and infeasibility means only "no guarantee". *)
+}
+
+type instance = {
+  model : string;  (** registry name *)
+  key_fields : (string * Wire.t) list;
+      (** the instance's parameters in canonical order — appended after
+          ["kind"]/["model"] they form the request's cache/routing key *)
+  horizon : float;  (** the run's give-up time, for oracle comparisons *)
+  run : unit -> run;
+  payload : unit -> Wire.t;  (** the response ["ok"] document *)
+  oracle : oracle;
+}
+
+type case = {
+  instance : instance;
+  rescaled : (float -> instance) option;
+      (** the model's symmetry transform group, where one exists: the
+          same scenario with every length scaled by the factor *)
+  time_factor : float -> float;
+      (** predicted effect of [rescaled σ] on hit times — [σ] for
+          geometry-scaling models, [1.0] for round-counting ones *)
+}
+
+(** {2 Wire field parsing}
+
+    Shared by every model's [of_wire] and by {!Proto} itself, so field
+    errors read identically everywhere
+    (["field \"v\": expected a number, got string"]). *)
+
+val ( let* ) :
+  ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+
+val typed : string -> string -> Wire.t -> ('a, string) result
+val float_field : string -> Wire.t -> (float, string) result
+val int_field : string -> Wire.t -> (int, string) result
+val bool_field : string -> Wire.t -> (bool, string) result
+val string_field : string -> Wire.t -> (string, string) result
+
+val opt :
+  Wire.t ->
+  string ->
+  (string -> Wire.t -> ('a, string) result) ->
+  default:'a ->
+  ('a, string) result
+(** Absent and explicit-null fields take [default]. *)
+
+val positive : string -> (float, string) result -> (float, string) result
+val at_least_1 : string -> (int, string) result -> (int, string) result
+
+(** {2 JSON shapes} *)
+
+val outcome_json : outcome -> Wire.t
+val oracle_json : oracle -> Wire.t
+val stats_json : run -> Wire.t
+
+(** {2 Oracle agreement} *)
+
+val rel_close : tol:float -> float -> float -> bool
+
+val oracle_agrees :
+  ?tol:float -> horizon:float -> oracle -> run -> (unit, string) result
+(** The QCheck/bench/campaign gate. Exact oracles must be matched to
+    relative [tol] (default [1e-6]); bound oracles must not be exceeded;
+    an exact infeasibility verdict forbids a hit. Predictions past the
+    run's horizon, missing closed forms, and mere "no guarantee"
+    infeasibility are vacuously [Ok]. *)

@@ -1,0 +1,43 @@
+module Wire = Rvu_obs.Wire
+module Rng = Rvu_workload.Rng
+
+type entry = {
+  name : string;
+  summary : string;
+  of_wire : Wire.t -> (Model.instance, string) result;
+  random : Rng.t -> Model.case;
+  sweep : float -> Model.instance;
+  sweep_axis : string;
+}
+
+let all () =
+  [
+    {
+      name = Unknown_attributes.name;
+      summary =
+        "the paper's model: unknown speed, clock, compass and chirality";
+      of_wire = Unknown_attributes.of_wire;
+      random = Unknown_attributes.random;
+      sweep = Unknown_attributes.sweep;
+      sweep_axis = "d";
+    };
+    {
+      name = Cycle_speed.name;
+      summary = "two agents on a cycle meeting by speed difference";
+      of_wire = Cycle_speed.of_wire;
+      random = Cycle_speed.random;
+      sweep = Cycle_speed.sweep;
+      sweep_axis = "gap";
+    };
+    {
+      name = Visible_bits.name;
+      summary = "two robots on a line breaking symmetry with visible lights";
+      of_wire = Visible_bits.of_wire;
+      random = Visible_bits.random;
+      sweep = Visible_bits.sweep;
+      sweep_axis = "d";
+    };
+  ]
+
+let names = List.map (fun e -> e.name) (all ())
+let find name = List.find_opt (fun e -> e.name = name) (all ())

@@ -1,0 +1,28 @@
+(** The model registry: every rendezvous model the stack can serve.
+
+    An entry is everything the rest of the system needs to treat a model
+    as a first-class workload: decoding (for [Proto] and the CLI),
+    random-case generation (for verify campaigns, QCheck and the
+    oracle-agreement bench), and a one-axis sweep (for
+    [rvu sweep --model]). The serving layers never branch on a model
+    name beyond the lookup here. *)
+
+type entry = {
+  name : string;  (** wire/CLI name, e.g. ["cycle_speed"] *)
+  summary : string;  (** one line for [--help] and docs *)
+  of_wire : Rvu_obs.Wire.t -> (Model.instance, string) result;
+      (** decode a request object's model-specific fields; errors use the
+          same ["field %S: …"] grammar as the core protocol *)
+  random : Rvu_workload.Rng.t -> Model.case;
+      (** a random case, with the model's rescaling transform attached
+          when it has one *)
+  sweep : float -> Model.instance;
+      (** defaults with the [sweep_axis] field set to the given value *)
+  sweep_axis : string;  (** name of the swept field, e.g. ["gap"] *)
+}
+
+val all : unit -> entry list
+(** Every registered model, [unknown_attributes] first. *)
+
+val names : string list
+val find : string -> entry option

@@ -1,0 +1,238 @@
+(* Rendezvous of two robots with visible bits (Viglietta, "Rendezvous of
+   two robots with visible bits").
+
+   Two deterministic robots on a line, at 0 and d, each carrying a light
+   with [colors] possible colors that the other robot can see. A round
+   activates a set of robots (the scheduler); each active robot reads
+   both lights, then sets its own light and moves. Rendezvous means exact
+   position equality.
+
+   Solvability depends only on the scheduler and the color count — the
+   paper's table, which is this model's oracle:
+
+     fsync  (both robots active every round)     solvable for any colors
+     ssync  (a fair adversary; here the worst    solvable iff colors >= 2
+            case, strict alternation)
+     async  (not a runnable scheduler here)      solvable iff colors >= 3,
+                                                 per the paper — documented
+                                                 in README, not simulated
+
+   The k >= 2 automaton (both lights start at color 0):
+
+     see (me 0, other 0)  ->  set 1, stay          (claim leadership)
+     see (me 1, other 0)  ->  jump to the other    (leader moves)
+     see (me 0, other 1)  ->  stay                 (follower holds still)
+     see (me 1, other 1)  ->  set 0, move to the   (symmetric claim:
+                              midpoint              restart closer)
+
+   Under fsync both robots claim in round 1 and meet at the midpoint in
+   round 2. Under any fair ssync schedule, once exactly one robot shows
+   color 1 the pair is in a trap state: activating the follower changes
+   nothing, and fairness forces the leader's activation, which meets.
+   Strict alternation (the schedule that defeats lightless
+   midpoint-chasing) meets in round 3. With a single color the only
+   symmetric rule is "move to the midpoint", which fsync solves in one
+   round and alternation defeats forever — the gap halves but never
+   closes.
+
+   The walk runs in gap coordinates (robot A at 0, robot B at [gap]),
+   never absolute positions: halving a float is exact while it stays
+   normal, and a meet sets the gap to an exact 0.0, so rendezvous is
+   exact equality with no tolerance and the unsolvable family can never
+   "meet" through rounding. (In absolute coordinates the gap vanishes
+   after ~53 halvings, at the relative epsilon of the positions — a
+   float artifact that would contradict the impossibility proof.) *)
+
+module Wire = Rvu_obs.Wire
+module Rng = Rvu_workload.Rng
+open Model
+
+let name = "visible_bits"
+
+type sched = Fsync | Ssync
+
+let sched_name = function Fsync -> "fsync" | Ssync -> "ssync"
+
+let sched_of_name = function
+  | "fsync" -> Some Fsync
+  | "ssync" -> Some Ssync
+  | _ -> None
+
+type params = {
+  d : float;  (** initial distance, > 0 *)
+  colors : int;  (** light colors, 1..8 *)
+  sched : sched;
+  rounds : int;  (** give-up round, 1..512 *)
+}
+
+let default = { d = 1.0; colors = 2; sched = Ssync; rounds = 64 }
+
+(* [rounds] is capped at 512 and [d] bounded below at 1e-150 so the
+   unsolvable family's halving gap stays a normal float for the whole
+   run: d/2^512 >= 7.4e-305 > the smallest normal. Below normals,
+   halving stops being exact and would underflow to a spurious 0.0. *)
+let validate p =
+  let* _ = positive "d" (Ok p.d) in
+  let* _ =
+    if p.d >= 1e-150 then Ok p.d
+    else Error "field \"d\": must be at least 1e-150"
+  in
+  let* _ =
+    if p.colors >= 1 && p.colors <= 8 then Ok p.colors
+    else Error "field \"colors\": must be between 1 and 8"
+  in
+  let* _ =
+    if p.rounds >= 1 && p.rounds <= 512 then Ok p.rounds
+    else Error "field \"rounds\": must be between 1 and 512"
+  in
+  Ok p
+
+let solvable ~sched ~colors =
+  match sched with Fsync -> colors >= 1 | Ssync -> colors >= 2
+
+(* Deterministic automaton + deterministic scheduler: the hit round is a
+   constant of (sched, colors), independent of d. *)
+let hit_round ~sched ~colors =
+  match (sched, colors) with
+  | Fsync, 1 -> 1
+  | Fsync, _ -> 2
+  | Ssync, _ -> 3
+
+let oracle p =
+  if solvable ~sched:p.sched ~colors:p.colors then
+    {
+      feasible = true;
+      time = Some (float_of_int (hit_round ~sched:p.sched ~colors:p.colors));
+      exact = true;
+    }
+  else { feasible = false; time = None; exact = true }
+
+(* One robot's rule, in gap coordinates: (new light, target position). *)
+let rule ~colors ~me ~other ~my_pos ~other_pos ~mid =
+  if colors = 1 then (me, mid)
+  else
+    match (me, other) with
+    | 0, 0 -> (1, my_pos)
+    | 1, 0 -> (me, other_pos)
+    | 0, _ -> (me, my_pos)
+    | _, _ -> (0, mid)
+
+let run p =
+  let light = [| 0; 0 |] in
+  let pos = [| 0.0; p.d |] in
+  let min_d = ref p.d in
+  let result = ref None in
+  let round = ref 0 in
+  while !result = None && !round < p.rounds do
+    incr round;
+    let actives =
+      match p.sched with
+      | Fsync -> [ 0; 1 ]
+      | Ssync -> if !round mod 2 = 1 then [ 0 ] else [ 1 ]
+    in
+    (* Look happens for every active robot before any compute/move: the
+       midpoint and all light readings are snapshotted first. *)
+    let mid = (pos.(0) +. pos.(1)) /. 2.0 in
+    let decisions =
+      List.map
+        (fun i ->
+          ( i,
+            rule ~colors:p.colors ~me:light.(i) ~other:light.(1 - i)
+              ~my_pos:pos.(i) ~other_pos:pos.(1 - i) ~mid ))
+        actives
+    in
+    List.iter
+      (fun (i, (l, target)) ->
+        light.(i) <- l;
+        pos.(i) <- target)
+      decisions;
+    (* Re-anchor so robot A sits at 0: the state is fully described by
+       the gap, and anchoring it keeps every halving exact (pos.(1) is
+       always d/2^k, a normal float by the validation bounds). *)
+    let gap = pos.(1) -. pos.(0) in
+    pos.(0) <- 0.0;
+    pos.(1) <- gap;
+    min_d := Float.min !min_d (Float.abs gap);
+    if gap = 0.0 then result := Some (Hit (float_of_int !round))
+  done;
+  match !result with
+  | Some outcome -> { outcome; min_distance = !min_d; steps = !round }
+  | None ->
+      {
+        outcome = Horizon (float_of_int p.rounds);
+        min_distance = !min_d;
+        steps = !round;
+      }
+
+let key_fields p =
+  [
+    ("d", Wire.Float p.d);
+    ("colors", Wire.Int p.colors);
+    ("sched", Wire.String (sched_name p.sched));
+    ("rounds", Wire.Int p.rounds);
+  ]
+
+let payload p =
+  let res = run p in
+  let o = oracle p in
+  let reason =
+    if not o.feasible then Wire.Null
+    else if p.colors = 1 then Wire.String "fsync_midpoint"
+    else Wire.String "lights_break_symmetry"
+  in
+  Wire.Obj
+    [
+      ("model", Wire.String name);
+      ( "verdict",
+        Wire.Obj [ ("feasible", Wire.Bool o.feasible); ("reason", reason) ] );
+      ("outcome", outcome_json res.outcome);
+      ("oracle", oracle_json o);
+      ("stats", stats_json res);
+    ]
+
+let instance p =
+  {
+    model = name;
+    key_fields = key_fields p;
+    horizon = float_of_int p.rounds;
+    run = (fun () -> run p);
+    payload = (fun () -> payload p);
+    oracle = oracle p;
+  }
+
+let of_wire w =
+  let* d = positive "d" (opt w "d" float_field ~default:default.d) in
+  let* colors = opt w "colors" int_field ~default:default.colors in
+  let* sched_s =
+    opt w "sched" string_field ~default:(sched_name default.sched)
+  in
+  let* sched =
+    match sched_of_name sched_s with
+    | Some s -> Ok s
+    | None ->
+        Error
+          (Printf.sprintf
+             "field \"sched\": expected \"fsync\" or \"ssync\", got %S" sched_s)
+  in
+  let* rounds = opt w "rounds" int_field ~default:default.rounds in
+  let* p = validate { d; colors; sched; rounds } in
+  Ok (instance p)
+
+let random_params rng =
+  let d = Rng.log_uniform rng ~lo:0.1 ~hi:100.0 in
+  let colors = 1 + Rng.int rng ~bound:4 in
+  let sched = if Rng.bool rng then Fsync else Ssync in
+  let rounds = 16 + Rng.int rng ~bound:49 in
+  { d; colors; sched; rounds }
+
+let random rng =
+  let p = random_params rng in
+  {
+    instance = instance p;
+    (* The scaling group acts on the only length in the model; rounds are
+       counted, not measured, so hit times are invariant. *)
+    rescaled = Some (fun s -> instance { p with d = p.d *. s });
+    time_factor = (fun _ -> 1.0);
+  }
+
+let sweep d = instance { default with d }

@@ -1,0 +1,32 @@
+(** Two robots with visible lights (Viglietta): rendezvous on a line
+    where each robot sees both lights, under a full-synchronous or a
+    worst-case semi-synchronous (strict alternation) scheduler. The
+    oracle is the paper's solvability table — fsync needs 1 color,
+    ssync needs 2 — together with the exact hit round of the
+    deterministic automaton. The asynchronous case (3 colors suffice)
+    has no runnable scheduler here and is documented only. *)
+
+val name : string
+
+type sched = Fsync | Ssync
+
+val sched_name : sched -> string
+val sched_of_name : string -> sched option
+
+type params = {
+  d : float;  (** initial distance, > 0 *)
+  colors : int;  (** light colors, 1..8 *)
+  sched : sched;
+  rounds : int;  (** give-up round, 1..512 *)
+}
+
+val default : params
+val validate : params -> (params, string) result
+val solvable : sched:sched -> colors:int -> bool
+val oracle : params -> Model.oracle
+val run : params -> Model.run
+val instance : params -> Model.instance
+val of_wire : Rvu_obs.Wire.t -> (Model.instance, string) result
+val random : Rvu_workload.Rng.t -> Model.case
+val sweep : float -> Model.instance
+(** Defaults with the given [d]. *)

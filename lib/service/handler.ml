@@ -1,113 +1,20 @@
 open Rvu_geom
 open Rvu_core
 
-let algorithm4_key = "rvu.service.algorithm4.reference"
+(* The simulate computation, its JSON shapes and the shared reference
+   source moved to {!Rvu_model.Unknown_attributes} when the paper's model
+   became registry entry zero; the service re-exports them unchanged. *)
 
-let reference_source ~algorithm4 =
-  let key, make =
-    if algorithm4 then (algorithm4_key, Rvu_search.Algorithm4.program)
-    else (Rvu_exec.Batch.universal_key, Universal.program)
-  in
-  let cache = Rvu_trajectory.Stream_cache.find_or_create ~key make in
-  (* The compiled prefix is realised and flattened once per process and
-     shared by every request; the engine's compiled kernel then derives
-     the displaced robot's table from it instead of re-realising. *)
-  let tbl, tail = Rvu_trajectory.Stream_cache.compiled_source cache in
-  Rvu_sim.Detector.source_of_table tbl ~tail
-
-(* ------------------------------------------------------------------ *)
-(* JSON shapes *)
-
+let algorithm4_key = Rvu_model.Unknown_attributes.algorithm4_key
 let opt_float = function Some x -> Wire.Float x | None -> Wire.Null
-let opt_int = function Some i -> Wire.Int i | None -> Wire.Null
-let finite_or_null x = if Float.is_finite x then Wire.Float x else Wire.Null
-
-let verdict_json v =
-  let feasible, reason =
-    match v with
-    | Feasibility.Feasible Feasibility.Different_clocks ->
-        (true, Wire.String "different_clocks")
-    | Feasibility.Feasible Feasibility.Different_speeds ->
-        (true, Wire.String "different_speeds")
-    | Feasibility.Feasible Feasibility.Rotated_same_chirality ->
-        (true, Wire.String "rotated_same_chirality")
-    | Feasibility.Infeasible -> (false, Wire.Null)
-  in
-  Wire.Obj [ ("feasible", Wire.Bool feasible); ("reason", reason) ]
-
-let outcome_json outcome =
-  let kind, t =
-    match outcome with
-    | Rvu_sim.Detector.Hit t -> ("hit", t)
-    | Rvu_sim.Detector.Horizon h -> ("horizon", h)
-    | Rvu_sim.Detector.Stream_end t -> ("stream_end", t)
-  in
-  Wire.Obj [ ("kind", Wire.String kind); ("t", Wire.Float t) ]
-
-let guarantee_json (g : Universal.guarantee) =
-  Wire.Obj
-    [
-      ("round", opt_int g.Universal.round); ("time", opt_float g.Universal.time);
-    ]
-
-let detector_stats_json (s : Rvu_sim.Detector.stats) =
-  Wire.Obj
-    [
-      ("intervals", Wire.Int s.Rvu_sim.Detector.intervals);
-      ("min_distance", finite_or_null s.Rvu_sim.Detector.min_distance);
-    ]
+let verdict_json = Rvu_model.Unknown_attributes.verdict_json
+let outcome_json = Rvu_model.Unknown_attributes.detector_outcome_json
+let guarantee_json = Rvu_model.Unknown_attributes.guarantee_json
 
 (* ------------------------------------------------------------------ *)
 (* Handlers — each mirrors the like-named CLI subcommand in bin/rvu.ml. *)
 
-let simulate (s : Proto.simulate) =
-  let displacement = Vec2.of_polar ~radius:s.Proto.d ~angle:s.Proto.bearing in
-  let inst =
-    Rvu_sim.Engine.instance ~attributes:s.Proto.attrs ~displacement
-      ~r:s.Proto.r
-  in
-  let base_program () =
-    if s.Proto.algorithm4 then Rvu_search.Algorithm4.program ()
-    else Universal.program ()
-  in
-  let identity = Symmetry.is_identity s.Proto.transform in
-  let res =
-    if identity then
-      (* The shared reference table is only valid for the untransformed
-         program; keep that fast path exactly as before. *)
-      Rvu_sim.Engine.run_with_source ~horizon:s.Proto.horizon
-        ~reference:(reference_source ~algorithm4:s.Proto.algorithm4)
-        ~program:(base_program ()) inst
-    else
-      Rvu_sim.Engine.run ~horizon:s.Proto.horizon
-        ~program:(Symmetry.map_program s.Proto.transform (base_program ()))
-        inst
-  in
-  let phase =
-    match res.Rvu_sim.Engine.outcome with
-    | Rvu_sim.Detector.Hit t when (not s.Proto.algorithm4) && identity -> (
-        match Phases.phase_at t with
-        | Some (n, p) ->
-            Wire.Obj
-              [
-                ("round", Wire.Int n);
-                ( "phase",
-                  Wire.String
-                    (match p with
-                    | Phases.Active -> "active"
-                    | Phases.Inactive -> "inactive") );
-              ]
-        | None -> Wire.Null)
-    | _ -> Wire.Null
-  in
-  Wire.Obj
-    [
-      ("verdict", verdict_json (Feasibility.classify s.Proto.attrs));
-      ("outcome", outcome_json res.Rvu_sim.Engine.outcome);
-      ("phase", phase);
-      ("bound", guarantee_json res.Rvu_sim.Engine.bound);
-      ("stats", detector_stats_json res.Rvu_sim.Engine.stats);
-    ]
+let simulate (s : Proto.simulate) = Rvu_model.Unknown_attributes.response s
 
 let search (s : Proto.search) =
   let target = Vec2.of_polar ~radius:s.Proto.d ~angle:s.Proto.bearing in
@@ -249,6 +156,7 @@ let batch (b : Proto.batch) =
 
 let run = function
   | Proto.Simulate s -> simulate s
+  | Proto.Model_run { instance; _ } -> instance.Rvu_model.Model.payload ()
   | Proto.Search s -> search s
   | Proto.Feasibility attrs -> feasibility attrs
   | Proto.Bound b -> bound b

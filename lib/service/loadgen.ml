@@ -22,18 +22,14 @@ let now () = Unix.gettimeofday ()
 (* ------------------------------------------------------------------ *)
 (* The default scenario mix *)
 
-(* Ten templates covering every request kind. Nine repeat verbatim across
-   cycles — those are the cache's bread and butter — while template 5 takes
-   a per-request unique distance, keeping a steady trickle of cold
-   simulations in the stream. All instances are shallow (large r, small d)
-   so a smoke run of a few hundred requests finishes in seconds. *)
-let mix ~seed n =
-  Array.init n (fun i ->
-      let unique_d =
-        2.0 +. (float_of_int (((seed * 7919) + (i * 104729)) mod 997) /. 997.0)
-      in
-      let request =
-        match i mod 10 with
+(* Twelve templates covering every request kind and every registered
+   model. Eleven repeat verbatim across cycles — those are the cache's
+   bread and butter — while template 5 takes a per-request unique
+   distance, keeping a steady trickle of cold simulations in the stream.
+   All instances are shallow (large r, small d) so a smoke run of a few
+   hundred requests finishes in seconds. *)
+let template ~unique_d ~rounds i =
+  match i mod 12 with
         | 0 ->
             Proto.Simulate
               {
@@ -49,7 +45,7 @@ let mix ~seed n =
         | 2 ->
             Proto.Bound
               { attrs = Attributes.make ~tau:0.7 (); d = 8.0; r = 0.1 }
-        | 3 -> Proto.Schedule 8
+        | 3 -> Proto.Schedule rounds
         | 4 -> Proto.Search { d = 4.0; bearing = 0.9; r = 0.5; horizon = 1e7 }
         | 5 ->
             Proto.Simulate
@@ -75,7 +71,7 @@ let mix ~seed n =
               }
         | 7 -> Proto.Feasibility (Attributes.make ~chi:Attributes.Opposite ())
         | 8 -> Proto.Bound { attrs = Attributes.make ~v:3.0 (); d = 5.0; r = 0.2 }
-        | _ ->
+        | 9 ->
             Proto.Simulate
               {
                 attrs = Attributes.make ~v:1.5 ~tau:0.5 ();
@@ -86,22 +82,93 @@ let mix ~seed n =
                 algorithm4 = false;
                 transform = Rvu_core.Symmetry.identity;
               }
+        | 10 ->
+            Proto.Model_run
+              {
+                model = Rvu_model.Cycle_speed.name;
+                instance =
+                  Rvu_model.Cycle_speed.(instance { default with gap = unique_d });
+              }
+        | _ ->
+            Proto.Model_run
+              {
+                model = Rvu_model.Visible_bits.name;
+                instance =
+                  Rvu_model.Visible_bits.(instance { default with d = unique_d });
+              }
+
+let mix ~seed n =
+  Array.init n (fun i ->
+      let unique_d =
+        2.0 +. (float_of_int (((seed * 7919) + (i * 104729)) mod 997) /. 997.0)
       in
+      (* The model templates pin their length parameter to the seed-0
+         cycle start, so they repeat verbatim like the other cached
+         templates do. *)
+      let cached_d = 2.0 +. (float_of_int ((seed * 7919) mod 997) /. 997.0) in
+      let d = if i mod 12 = 5 then unique_d else cached_d in
+      let request = template ~unique_d:d ~rounds:8 i in
       Wire.print (Proto.wire_of_request ~id:(Wire.Int (i + 1)) request))
 
-let create ?(seed = 0) ?lines ?slow_ms ~requests () =
+(* ------------------------------------------------------------------ *)
+(* The Zipf-skewed mix *)
+
+(* A fixed population of distinct requests spanning every kind and model:
+   member j is the template cycle with a per-member jitter on one
+   parameter (distance, or rounds for schedules) so all 64 members have
+   distinct canonical keys. Rank follows membership order. *)
+let zipf_population ~seed n =
+  Array.init n (fun j ->
+      let dj =
+        2.0 +. (float_of_int (((j * 37) + seed) mod 101) /. 101.0)
+      in
+      template ~unique_d:dj ~rounds:(1 + j) j)
+
+(* Closed-loop Zipf sampling: request i draws population rank k with
+   probability proportional to 1/(k+1)^s via inverse-CDF lookup. Pacing,
+   id assignment and response matching are untouched — only which line
+   gets sent changes. *)
+let zipf_lines ~seed ~s n =
+  let pop = zipf_population ~seed 64 in
+  let m = Array.length pop in
+  let weights = Array.init m (fun k -> 1.0 /. (float_of_int (k + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make m 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. w;
+      cdf.(k) <- !acc /. total)
+    weights;
+  let rng = Rvu_workload.Rng.create ~seed:(Int64.of_int (seed lxor 0x5eed)) in
+  Array.init n (fun i ->
+      let u = Rvu_workload.Rng.float rng in
+      let rec find k = if k >= m - 1 || u <= cdf.(k) then k else find (k + 1) in
+      Wire.print
+        (Proto.wire_of_request ~id:(Wire.Int (i + 1)) pop.(find 0)))
+
+let create ?(seed = 0) ?lines ?slow_ms ?zipf ~requests () =
   if requests < 1 then invalid_arg "Loadgen.create: requests < 1";
   (match slow_ms with
   | Some ms when not (Float.is_finite ms && ms > 0.0) ->
       invalid_arg "Loadgen.create: slow_ms must be positive and finite"
   | _ -> ());
+  (match zipf with
+  | Some s when not (Float.is_finite s && s > 0.0) ->
+      invalid_arg "Loadgen.create: zipf must be positive and finite"
+  | _ -> ());
   let lines =
     match lines with
     | Some l ->
+        if zipf <> None then
+          invalid_arg "Loadgen.create: lines and zipf are exclusive";
         if Array.length l <> requests then
           invalid_arg "Loadgen.create: lines length does not match requests";
         l
-    | None -> mix ~seed requests
+    | None -> (
+        match zipf with
+        | Some s -> zipf_lines ~seed ~s requests
+        | None -> mix ~seed requests)
   in
   {
     lock = Mutex.create ();

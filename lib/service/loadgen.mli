@@ -14,17 +14,30 @@
 type t
 
 val create :
-  ?seed:int -> ?lines:string array -> ?slow_ms:float -> requests:int -> unit -> t
+  ?seed:int ->
+  ?lines:string array ->
+  ?slow_ms:float ->
+  ?zipf:float ->
+  requests:int ->
+  unit ->
+  t
 (** A generator for [requests] requests. The default mix is derived
-    deterministically from [seed] (default [0]); [lines] overrides it with
-    caller-built request lines (e.g. the [perf-serve] bench's fixed
-    workload), which must carry ids [1 … n] matching their positions.
-    [slow_ms] logs a {!Rvu_obs.Log.warn} ["slow request"] record — under
-    the request's ["req-<id>"] correlation id — for every response slower
-    than that target (e.g. a p99 objective), so slow outliers can be
-    joined against the server's logs and traces. Raises
-    [Invalid_argument] if [requests < 1], [lines] has the wrong length, or
-    [slow_ms] is not positive and finite. *)
+    deterministically from [seed] (default [0]) and cycles twelve
+    templates covering every request kind and every registered model;
+    [lines] overrides it with caller-built request lines (e.g. the
+    [perf-serve] bench's fixed workload), which must carry ids [1 … n]
+    matching their positions. [zipf] replaces the uniform cycle with a
+    Zipf-skewed draw over a fixed 64-member scenario population: rank [k]
+    (1-based) is sent with probability proportional to [1/k^s], so higher
+    exponents concentrate traffic on fewer distinct requests — the
+    cache-friendliness dial. The draw is a pure function of [seed];
+    pacing, id assignment and matching are unchanged. [slow_ms] logs a
+    {!Rvu_obs.Log.warn} ["slow request"] record — under the request's
+    ["req-<id>"] correlation id — for every response slower than that
+    target (e.g. a p99 objective), so slow outliers can be joined against
+    the server's logs and traces. Raises [Invalid_argument] if
+    [requests < 1], [lines] has the wrong length or is combined with
+    [zipf], or [slow_ms]/[zipf] is not positive and finite. *)
 
 val drive : ?rate:float -> send:(string -> unit) -> t -> unit
 (** Send every request line through [send], pacing to [rate] requests per

@@ -1,4 +1,6 @@
 open Rvu_core
+module Registry = Rvu_model.Registry
+module Unknown_attributes = Rvu_model.Unknown_attributes
 
 type error_code =
   | Parse_error
@@ -14,7 +16,7 @@ let code_string = function
   | Timeout -> "timeout"
   | Internal -> "internal"
 
-type simulate = {
+type simulate = Unknown_attributes.args = {
   attrs : Attributes.t;
   d : float;
   bearing : float;
@@ -41,6 +43,7 @@ type metrics_format = Metrics_json | Metrics_prometheus
 
 type request =
   | Simulate of simulate
+  | Model_run of { model : string; instance : Rvu_model.Model.instance }
   | Search of search
   | Feasibility of Attributes.t
   | Bound of bound_query
@@ -57,87 +60,44 @@ type envelope = { id : Wire.t; timeout_ms : float option; request : request }
 
 let ( let* ) = Result.bind
 
-let typed name expected = function
-  | v ->
-      Error
-        (Printf.sprintf "field %S: expected %s, got %s" name expected
-           (Wire.kind_name v))
-
-let float_field name = function
-  | Wire.Int i -> Ok (float_of_int i)
-  | Wire.Float f -> Ok f
-  | v -> typed name "a number" v
-
-let int_field name = function
-  | Wire.Int i -> Ok i
-  | v -> typed name "an integer" v
-
-let bool_field name = function
-  | Wire.Bool b -> Ok b
-  | v -> typed name "a boolean" v
-
-let string_field name = function
-  | Wire.String s -> Ok s
-  | v -> typed name "a string" v
-
-(* Absent and explicit-null fields take the CLI default. *)
-let opt w name getter ~default =
-  match Wire.member name w with
-  | None | Some Wire.Null -> Ok default
-  | Some v -> getter name v
-
-let positive name x =
-  let* x = x in
-  if Float.is_finite x && x > 0.0 then Ok x
-  else Error (Printf.sprintf "field %S: must be positive and finite" name)
-
-let at_least_1 name x =
-  let* x = x in
-  if x >= 1 then Ok x
-  else Error (Printf.sprintf "field %S: must be at least 1" name)
-
-let attrs_of w =
-  let* v = positive "v" (opt w "v" float_field ~default:1.0) in
-  let* tau = positive "tau" (opt w "tau" float_field ~default:1.0) in
-  let* phi = opt w "phi" float_field ~default:0.0 in
-  let* mirror = opt w "mirror" bool_field ~default:false in
-  if not (Float.is_finite phi) then Error "field \"phi\": must be finite"
-  else
-    Ok
-      (Attributes.make ~v ~tau ~phi
-         ~chi:(if mirror then Attributes.Opposite else Attributes.Same)
-         ())
-
-let instance_of w =
-  let* d = positive "d" (opt w "d" float_field ~default:2.0) in
-  let* bearing = opt w "bearing" float_field ~default:0.9 in
-  let* r = positive "r" (opt w "r" float_field ~default:0.1) in
-  let* horizon = positive "horizon" (opt w "horizon" float_field ~default:1e8) in
-  if not (Float.is_finite bearing) then Error "field \"bearing\": must be finite"
-  else Ok (d, bearing, r, horizon)
-
-let transform_of w =
-  match Wire.member "transform" w with
-  | None | Some Wire.Null -> Ok Symmetry.identity
-  | Some (Wire.Obj _ as tw) ->
-      let* rotate = opt tw "rotate" float_field ~default:0.0 in
-      let* mirror = opt tw "mirror" bool_field ~default:false in
-      let* scale =
-        positive "transform.scale" (opt tw "scale" float_field ~default:1.0)
-      in
-      if not (Float.is_finite rotate) then
-        Error "field \"transform.rotate\": must be finite"
-      else Ok (Symmetry.make ~rotate ~mirror ~scale ())
-  | Some v -> typed "transform" "an object" v
+(* The field-parsing grammar and the attribute/geometry parsers moved to
+   {!Rvu_model} (every model's [of_wire] shares them); the aliases keep
+   the protocol's error strings and defaults exactly as they were. *)
+let typed = Rvu_model.Model.typed
+let float_field = Rvu_model.Model.float_field
+let int_field = Rvu_model.Model.int_field
+let string_field = Rvu_model.Model.string_field
+let opt = Rvu_model.Model.opt
+let positive = Rvu_model.Model.positive
+let at_least_1 = Rvu_model.Model.at_least_1
+let attrs_of = Unknown_attributes.attrs_of
+let instance_of = Unknown_attributes.geometry_of
 
 let body_of_wire w kind =
   match kind with
-  | "simulate" ->
-      let* attrs = attrs_of w in
-      let* d, bearing, r, horizon = instance_of w in
-      let* algorithm4 = opt w "algorithm4" bool_field ~default:false in
-      let* transform = transform_of w in
-      Ok (Simulate { attrs; d; bearing; r; horizon; algorithm4; transform })
+  | "simulate" -> (
+      (* The optional ["model"] field selects a registry entry; absent
+         means the paper's own model, and naming it explicitly decodes to
+         the same plain [Simulate] (the canonical key then omits the
+         field, so both spellings share one cache entry). *)
+      match Wire.member "model" w with
+      | None | Some Wire.Null ->
+          let* s = Unknown_attributes.args_of_wire w in
+          Ok (Simulate s)
+      | Some (Wire.String m) when m = Unknown_attributes.name ->
+          let* s = Unknown_attributes.args_of_wire w in
+          Ok (Simulate s)
+      | Some (Wire.String m) -> (
+          match Registry.find m with
+          | Some e ->
+              let* instance = e.Registry.of_wire w in
+              Ok (Model_run { model = m; instance })
+          | None ->
+              Error
+                (Printf.sprintf
+                   "field \"model\": unknown model %S (known: %s)" m
+                   (String.concat ", " Registry.names)))
+      | Some v -> typed "model" "a string" v)
   | "search" ->
       let* d, bearing, r, horizon = instance_of w in
       Ok (Search { d; bearing; r; horizon })
@@ -213,39 +173,16 @@ let request_of_wire w =
 (* ------------------------------------------------------------------ *)
 (* Encoding *)
 
-let attrs_fields (a : Attributes.t) =
-  [
-    ("v", Wire.Float a.Attributes.v);
-    ("tau", Wire.Float a.Attributes.tau);
-    ("phi", Wire.Float a.Attributes.phi);
-    ("mirror", Wire.Bool (a.Attributes.chi = Attributes.Opposite));
-  ]
+let attrs_fields = Unknown_attributes.attrs_fields
 
 let body_fields = function
-  | Simulate s ->
+  | Simulate s -> ("simulate", Unknown_attributes.key_fields s)
+  | Model_run { model; instance } ->
+      (* The model name leads the body, so canonical keys of different
+         models can never collide even when their parameter fields
+         coincide. *)
       ( "simulate",
-        attrs_fields s.attrs
-        @ [
-            ("d", Wire.Float s.d);
-            ("bearing", Wire.Float s.bearing);
-            ("r", Wire.Float s.r);
-            ("horizon", Wire.Float s.horizon);
-            ("algorithm4", Wire.Bool s.algorithm4);
-          ]
-        @
-        (* Identity transforms are omitted so pre-transform request lines
-           keep their exact canonical cache keys. *)
-        if Symmetry.is_identity s.transform then []
-        else
-          [
-            ( "transform",
-              Wire.Obj
-                [
-                  ("rotate", Wire.Float s.transform.Symmetry.rotate);
-                  ("mirror", Wire.Bool s.transform.Symmetry.mirror);
-                  ("scale", Wire.Float s.transform.Symmetry.scale);
-                ] );
-          ] )
+        ("model", Wire.String model) :: instance.Rvu_model.Model.key_fields )
   | Search s ->
       ( "search",
         [

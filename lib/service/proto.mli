@@ -27,7 +27,7 @@ val code_string : error_code -> string
 (** Stable wire identifiers: ["parse_error"], ["invalid_request"],
     ["overloaded"], ["timeout"], ["internal"]. *)
 
-type simulate = {
+type simulate = Rvu_model.Unknown_attributes.args = {
   attrs : Rvu_core.Attributes.t;
   d : float;
   bearing : float;
@@ -65,6 +65,12 @@ type metrics_format =
 
 type request =
   | Simulate of simulate
+  | Model_run of { model : string; instance : Rvu_model.Model.instance }
+      (** a rival model's simulate request, selected by the wire field
+          ["model"] on a ["simulate"] line (absent means the paper's
+          model, and an explicit ["unknown_attributes"] normalises to
+          plain [Simulate]). The decoded {!Rvu_model.Model.instance} is
+          self-contained, so handlers never branch on the model name. *)
   | Search of search
   | Feasibility of Rvu_core.Attributes.t
   | Bound of bound_query

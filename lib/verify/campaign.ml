@@ -410,6 +410,164 @@ let evict_phase ~seed ~cases:_ =
       ];
   }
 
+(* ------------------------------------------------------------------ *)
+(* Models campaign *)
+
+(* Every registered rendezvous model, three checks per random case:
+
+   - closed-form oracle agreement ({!Rvu_model.Model.oracle_agrees}) —
+     exact oracles must match the run to float tolerance, bound oracles
+     must not be exceeded, and a provably-infeasible case must never hit;
+   - the rescaling metamorphic law, where the model has one: scaling
+     every length by a random sigma must scale hit times by the model's
+     declared [time_factor] (an outcome-kind flip near the horizon is
+     counted borderline, like the symmetry campaign does);
+   - a live-server round trip on every other case: a ["model"]-tagged
+     request line through {!Server.handle_sync} must answer the exact
+     bytes of the instance's own payload. *)
+
+let models ~seed ~cases =
+  let entries = Rvu_model.Registry.all () in
+  let per_model = max 1 (cases / List.length entries) in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          Server.jobs = 2;
+          queue_depth = cases + 8;
+          cache_entries = 0;
+          timeout_ms = None;
+        }
+      ()
+  in
+  let server_sync = Server.handle_sync server in
+  let hits = ref 0 in
+  let total = ref 0 in
+  let violations = ref [] in
+  let borderline = ref [] in
+  let model_reports =
+    List.mapi
+      (fun idx e ->
+        let rng = Rng.create ~seed:(Int64.of_int ((seed * 31) + idx)) in
+        let m_hits = ref 0 in
+        let oracle_ok = ref 0 in
+        let rescales = ref 0 in
+        let roundtrips = ref 0 in
+        for i = 1 to per_model do
+          incr total;
+          let case = e.Rvu_model.Registry.random rng in
+          let inst = case.Rvu_model.Model.instance in
+          let tag fmt =
+            Printf.ksprintf
+              (fun m ->
+                Printf.sprintf "models/%s: %s [case %s]"
+                  e.Rvu_model.Registry.name m
+                  (Wire.print (Wire.Obj inst.Rvu_model.Model.key_fields)))
+              fmt
+          in
+          let res = inst.Rvu_model.Model.run () in
+          (match res.Rvu_model.Model.outcome with
+          | Rvu_model.Model.Hit _ ->
+              incr hits;
+              incr m_hits
+          | Rvu_model.Model.Horizon _ -> ());
+          (match
+             Rvu_model.Model.oracle_agrees ~horizon:inst.Rvu_model.Model.horizon
+               inst.Rvu_model.Model.oracle res
+           with
+          | Ok () -> incr oracle_ok
+          | Error msg -> violations := !violations @ [ tag "%s" msg ]);
+          (match case.Rvu_model.Model.rescaled with
+          | Some rescale ->
+              let sigma = Rng.log_uniform rng ~lo:0.5 ~hi:2.0 in
+              let inst' = rescale sigma in
+              let res' = inst'.Rvu_model.Model.run () in
+              incr rescales;
+              (match
+                 (res.Rvu_model.Model.outcome, res'.Rvu_model.Model.outcome)
+               with
+              | Rvu_model.Model.Hit t, Rvu_model.Model.Hit t' ->
+                  let expect = case.Rvu_model.Model.time_factor sigma *. t in
+                  if not (Rvu_model.Model.rel_close ~tol:1e-6 t' expect) then
+                    violations :=
+                      !violations
+                      @ [
+                          tag "rescale sigma=%g: hit at %g, predicted %g" sigma
+                            t' expect;
+                        ]
+              | Rvu_model.Model.Horizon _, Rvu_model.Model.Horizon _ -> ()
+              | _ ->
+                  borderline :=
+                    !borderline
+                    @ [ tag "rescale sigma=%g flipped the outcome kind" sigma ])
+          | None -> ());
+          if i mod 2 = 1 then begin
+            incr roundtrips;
+            let line =
+              Wire.print
+                (Wire.Obj
+                   (("id", Wire.Int !total)
+                   :: ("kind", Wire.String "simulate")
+                   :: ("model", Wire.String inst.Rvu_model.Model.model)
+                   :: inst.Rvu_model.Model.key_fields))
+            in
+            match Wire.parse (server_sync line) with
+            | Ok w -> (
+                match Wire.member "ok" w with
+                | Some ok_payload ->
+                    if
+                      Wire.print ok_payload
+                      <> Wire.print (inst.Rvu_model.Model.payload ())
+                    then
+                      violations :=
+                        !violations
+                        @ [ tag "server response differs from direct payload" ]
+                | None ->
+                    violations :=
+                      !violations @ [ tag "server answered an error" ])
+            | Error _ ->
+                violations :=
+                  !violations @ [ tag "unparseable server response" ]
+          end
+        done;
+        ( e.Rvu_model.Registry.name,
+          Wire.Obj
+            [
+              ("cases", Wire.Int per_model);
+              ("hits", Wire.Int !m_hits);
+              ("oracle_ok", Wire.Int !oracle_ok);
+              ("rescales", Wire.Int !rescales);
+              ("roundtrips", Wire.Int !roundtrips);
+            ] ))
+      entries
+  in
+  Server.stop server;
+  let json =
+    Wire.Obj
+      [
+        ("campaign", Wire.String "models");
+        ("seed", Wire.Int seed);
+        ("cases", Wire.Int !total);
+        ("models", Wire.Obj model_reports);
+        ("model_hits", Wire.Int !hits);
+        ("violations", Wire.Int (List.length !violations));
+        ("borderline", Wire.Int (List.length !borderline));
+        ("violation_detail", violations_json !violations);
+        ("borderline_detail", violations_json !borderline);
+      ]
+  in
+  {
+    campaign = "models";
+    seed;
+    cases = !total;
+    violations = !violations;
+    borderline = List.length !borderline;
+    json;
+  }
+
+(* ------------------------------------------------------------------ *)
+
 let faults ~seed ~cases =
   let phases =
     [
@@ -442,8 +600,9 @@ let faults ~seed ~cases =
 
 let all ~seed ~cases =
   let s = symmetry ~seed ~cases in
+  let m = models ~seed ~cases in
   let f = faults ~seed ~cases in
-  let violations = s.violations @ f.violations in
+  let violations = s.violations @ m.violations @ f.violations in
   let json =
     Wire.Obj
       [
@@ -451,6 +610,7 @@ let all ~seed ~cases =
         ("seed", Wire.Int seed);
         ("cases", Wire.Int cases);
         ("symmetry", s.json);
+        ("models", m.json);
         ("faults", f.json);
         ("violations", Wire.Int (List.length violations));
       ]
@@ -460,14 +620,15 @@ let all ~seed ~cases =
     seed;
     cases;
     violations;
-    borderline = s.borderline;
+    borderline = s.borderline + m.borderline;
     json;
   }
 
-let names = [ "symmetry"; "faults"; "all" ]
+let names = [ "symmetry"; "models"; "faults"; "all" ]
 
 let of_name = function
   | "symmetry" -> Some (fun ~seed ~cases -> symmetry ~seed ~cases)
+  | "models" -> Some (fun ~seed ~cases -> models ~seed ~cases)
   | "faults" -> Some (fun ~seed ~cases -> faults ~seed ~cases)
   | "all" -> Some (fun ~seed ~cases -> all ~seed ~cases)
   | _ -> None
@@ -496,12 +657,30 @@ let summary r =
           (Printf.sprintf "  faults: %d injected across 5 phases\n" n)
     | None -> ()
   in
+  let models_line json =
+    match
+      (int_member "cases" json, int_member "model_hits" json,
+       int_member "borderline" json)
+    with
+    | Some cases, Some hits, Some borderline ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "  models: %d cases across %d models, %d hits, %d borderline\n"
+             cases
+             (List.length Rvu_model.Registry.names)
+             hits borderline)
+    | _ -> ()
+  in
   (match r.campaign with
   | "symmetry" -> sym_line r.json
+  | "models" -> models_line r.json
   | "faults" -> fault_line r.json
   | _ ->
       (match Wire.member "symmetry" r.json with
       | Some j -> sym_line j
+      | None -> ());
+      (match Wire.member "models" r.json with
+      | Some j -> models_line j
       | None -> ());
       (match Wire.member "faults" r.json with
       | Some j -> fault_line j

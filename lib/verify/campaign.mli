@@ -1,10 +1,15 @@
 (** Verification campaigns: batches of oracle cases with a JSON report.
 
-    Two campaigns, both fully deterministic in [(seed, cases)]:
+    Three campaigns, all fully deterministic in [(seed, cases)]:
 
     - [symmetry] — {!Oracle.check_symmetry} on [cases] random cases, each
       checked through the engine, batch and an in-process server (the
       same [handle_line] path the socket transport serves).
+    - [models] — every {!Rvu_model.Registry} entry on its share of
+      [cases] random cases: closed-form oracle agreement, the model's
+      rescaling metamorphic law where it has one, and live-server round
+      trips whose responses must be bit-identical to the instance's own
+      payload.
     - [faults] — arms {!Rvu_obs.Fault} one site family at a time and
       drives the stack through each: worker-task crashes in a standalone
       {!Rvu_exec.Pool.Persistent}, forced shed/timeout and handler
@@ -32,13 +37,14 @@ val symmetry_cases : seed:int -> cases:int -> Oracle.case list
     can pin seed reproducibility. *)
 
 val symmetry : seed:int -> cases:int -> report
+val models : seed:int -> cases:int -> report
 val faults : seed:int -> cases:int -> report
 
 val all : seed:int -> cases:int -> report
-(** Both campaigns with the same seed; violations concatenated. *)
+(** All campaigns with the same seed; violations concatenated. *)
 
 val of_name : string -> (seed:int -> cases:int -> report) option
-(** ["symmetry"], ["faults"], ["all"]. *)
+(** ["symmetry"], ["models"], ["faults"], ["all"]. *)
 
 val names : string list
 

@@ -41,6 +41,74 @@ A full simulation with asymmetric clocks:
   analytic guarantee: round 8, time 712884
   segment-pair intervals scanned: 24; closest sampled approach: 1.5
 
+Rival rendezvous models are first-class workloads: --model selects a
+registry entry and repeatable --set FIELD=VALUE flags fill its
+parameters. The payload carries the model's closed-form oracle next to
+the run, so agreement is visible at a glance — here cycle_speed's
+(gap - r) / (c - 1) = (3 - 0.5) / 0.5:
+
+  $ rvu simulate --model cycle_speed --set c=1.5 --set gap=3
+  {
+    "model": "cycle_speed",
+    "verdict": {
+      "feasible": true,
+      "reason": "different_speeds"
+    },
+    "outcome": {
+      "kind": "hit",
+      "t": 5.0
+    },
+    "oracle": {
+      "feasible": true,
+      "time": 5.0,
+      "exact": true
+    },
+    "stats": {
+      "steps": 0,
+      "min_distance": 0.5
+    }
+  }
+
+The lights model under its worst-case semi-synchronous scheduler meets
+at the automaton's round-3 constant:
+
+  $ rvu simulate --model visible_bits
+  {
+    "model": "visible_bits",
+    "verdict": {
+      "feasible": true,
+      "reason": "lights_break_symmetry"
+    },
+    "outcome": {
+      "kind": "hit",
+      "t": 3.0
+    },
+    "oracle": {
+      "feasible": true,
+      "time": 3.0,
+      "exact": true
+    },
+    "stats": {
+      "steps": 3,
+      "min_distance": 0.0
+    }
+  }
+
+The model axis rejects unknown names, stray --set flags and the model's
+own field validation up front:
+
+  $ rvu simulate --model nope
+  rvu: unknown model "nope" (known: unknown_attributes, cycle_speed, visible_bits)
+  [1]
+
+  $ rvu simulate --set c=2
+  rvu: --set needs --model
+  [1]
+
+  $ rvu simulate --model cycle_speed --set gap=99
+  rvu: field "gap": must be in [0, length)
+  [1]
+
 Search for a stationary target (Section 2):
 
   $ rvu search -d 2 -r 0.05 --bearing 0
@@ -99,6 +167,23 @@ shard is recomputed:
   rvu: --resume requires --out DIR
   [1]
 
+A rival model sweeps along its own natural axis (the registry names it);
+the checkpointed atlas machinery stays with the paper's d-sweep:
+
+  $ rvu sweep --model cycle_speed --d-lo 1 --d-hi 9 --points 3
+  sweeping cycle_speed's gap over 3 point(s) in [1, 9]
+  +-----+---------+-----+-------+--------------+
+  | gap | outcome |   t | steps | min_distance |
+  +-----+---------+-----+-------+--------------+
+  |   1 |     hit | 0.5 |     0 |          0.5 |
+  |   5 |     hit | 4.5 |     0 |          0.5 |
+  |   9 |     hit | 8.5 |     1 |          0.5 |
+  +-----+---------+-----+-------+--------------+
+
+  $ rvu sweep --model cycle_speed --out atlas2
+  rvu: --model sweeps do not support --out
+  [1]
+
 Gathering (the open problem): a pair gathers, three distinct speeds do not:
 
   $ rvu gather --robot 2,2,1 -r 0.3 --horizon 1000000
@@ -124,6 +209,12 @@ across subcommands:
   Try 'rvu schedule --help' or 'rvu --help' for more information.
   [124]
 
+  $ rvu loadgen --zipf 0
+  rvu: option '--zipf': expected a positive exponent, got "0"
+  Usage: rvu loadgen [OPTION]…
+  Try 'rvu loadgen --help' or 'rvu --help' for more information.
+  [124]
+
 The evaluation server over stdio: one JSON request per line, one JSON
 response per line. The instance is the same asymmetric-clock simulation as
 above, and the meeting time is the same float — the service evaluates
@@ -135,6 +226,21 @@ match:
 
   $ echo '{"kind":"schedule","rounds":0,"id":9}' | rvu serve --jobs 1
   {"id":9,"ctx":"req-9","error":{"code":"invalid_request","message":"field \"rounds\": must be at least 1"}}
+
+The model axis over the same wire: a "model" field on a simulate line
+selects the registry entry, and the response body is byte-identical to
+the CLI payload above — the registry instance IS the handler. Unknown
+and ill-typed model fields degrade to invalid_request like any other
+field:
+
+  $ echo '{"id":3,"kind":"simulate","model":"cycle_speed","gap":3,"c":1.5}' | rvu serve --jobs 1
+  {"id":3,"ctx":"req-3","ok":{"model":"cycle_speed","verdict":{"feasible":true,"reason":"different_speeds"},"outcome":{"kind":"hit","t":5.0},"oracle":{"feasible":true,"time":5.0,"exact":true},"stats":{"steps":0,"min_distance":0.5}}}
+
+  $ echo '{"id":4,"kind":"simulate","model":"nope"}' | rvu serve --jobs 1
+  {"id":4,"ctx":"req-4","error":{"code":"invalid_request","message":"field \"model\": unknown model \"nope\" (known: unknown_attributes, cycle_speed, visible_bits)"}}
+
+  $ echo '{"id":5,"kind":"simulate","model":7}' | rvu serve --jobs 1
+  {"id":5,"ctx":"req-5","error":{"code":"invalid_request","message":"field \"model\": expected a string, got int"}}
 
 SVG figure output:
 
@@ -192,6 +298,14 @@ no timestamps, no timings — so their summaries pin exactly:
     symmetry: 6 hits, 4 at horizon, 0 borderline
   verify: 0 violations
 
+The models campaign drives every registry entry against its closed-form
+oracle, its rescaling law and a live server round trip:
+
+  $ rvu verify --campaign models --seed 42 --cases 6
+  campaign models: seed 42, 6 cases
+    models: 6 cases across 3 models, 4 hits, 0 borderline
+  verify: 0 violations
+
 Structured logging on the serve path: --log writes NDJSON records — at
 debug level, a request record and a response record per request, both
 stamped with the request's correlation id:
@@ -230,20 +344,35 @@ summary without debug-level I/O in steady state:
   $ grep -c '"msg":"flight-recorder dump"' verify.log
   5
 
-bench-diff compares the wall-time series of two benchmark JSON files and
-fails when any series regressed past the threshold (default 20%):
+bench-diff compares the gated series of two benchmark JSON files — wall
+times and the router's health counters — and fails when any of them
+regressed past the threshold (default 20%):
 
   $ cat > bench_old.json <<'EOF'
-  > {"experiment":"demo","off":{"wall_s":1.0,"records_per_run":0},"info":{"wall_s":2.0,"records_per_run":384}}
+  > {"experiment":"demo","off":{"wall_s":1.0,"records_per_run":0},"info":{"wall_s":2.0,"records_per_run":384},"router":{"rvu_router_shed_total":0}}
   > EOF
   $ cat > bench_new.json <<'EOF'
-  > {"experiment":"demo","off":{"wall_s":1.1,"records_per_run":0},"info":{"wall_s":2.6,"records_per_run":384}}
+  > {"experiment":"demo","off":{"wall_s":1.1,"records_per_run":0},"info":{"wall_s":2.6,"records_per_run":384},"router":{"rvu_router_shed_total":0}}
   > EOF
   $ rvu bench-diff --threshold 50 bench_old.json bench_new.json
   info.wall_s                                         2          2.6    +30.0%
   off.wall_s                                          1          1.1    +10.0%
+  router.rvu_router_shed_total                        0            0     +0.0%
   $ rvu bench-diff bench_old.json bench_new.json
   info.wall_s                                         2          2.6    +30.0%  REGRESSION
   off.wall_s                                          1          1.1    +10.0%
-  rvu: 1 wall-time series regressed by more than 20%
+  router.rvu_router_shed_total                        0            0     +0.0%
+  rvu: 1 gated series regressed by more than 20%
+  [1]
+
+A router counter that was zero at baseline and is not anymore is an
+infinite regression, whatever the threshold — retries, sheds and stale
+responses are not allowed to creep into a clean bench:
+
+  $ sed 's/"rvu_router_shed_total":0/"rvu_router_shed_total":2/' bench_new.json > bench_shed.json
+  $ rvu bench-diff --threshold 500 bench_old.json bench_shed.json
+  info.wall_s                                         2          2.6    +30.0%
+  off.wall_s                                          1          1.1    +10.0%
+  router.rvu_router_shed_total                        0            2     +inf%  REGRESSION
+  rvu: 1 gated series regressed by more than 500%
   [1]

@@ -60,6 +60,16 @@ so the floats carry the worker's exact bits):
   $ echo '{"id":1,"kind":"simulate","tau":0.5,"d":1.5,"r":0.5,"bearing":0}' | rvu router --workers 2 --worker-base-port 7590 --jobs 1
   {"id":1,"ctx":"req-1","ok":{"verdict":{"feasible":true,"reason":"different_clocks"},"outcome":{"kind":"hit","t":129.42477041723},"phase":{"round":1,"phase":"inactive"},"bound":{"round":8,"time":712884.0602771039},"stats":{"intervals":24,"min_distance":1.5}}}
 
+Rival models route the same way — the "model" field is part of the
+canonical routing key, and the routed response carries the worker's
+exact bytes (cli.t pins this body against a direct serve):
+
+  $ echo '{"id":2,"kind":"simulate","model":"cycle_speed","gap":3,"c":1.5}' | rvu router --workers 2 --worker-base-port 7590 --jobs 1
+  {"id":2,"ctx":"req-2","ok":{"model":"cycle_speed","verdict":{"feasible":true,"reason":"different_speeds"},"outcome":{"kind":"hit","t":5.0},"oracle":{"feasible":true,"time":5.0,"exact":true},"stats":{"steps":0,"min_distance":0.5}}}
+
+  $ echo '{"id":9,"kind":"simulate","model":"nope"}' | rvu router --workers 2 --worker-base-port 7590 --jobs 1
+  {"id":9,"ctx":"req-9","error":{"code":"invalid_request","message":"field \"model\": unknown model \"nope\" (known: unknown_attributes, cycle_speed, visible_bits)"}}
+
 Pipelined requests come back with the client's own ids (responses may
 reorder across shards, so sort):
 
