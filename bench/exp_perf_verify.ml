@@ -74,15 +74,15 @@ let run () =
        symmetry_cases fault_cases seed);
   (* Warm-up outside the timed window: fault in the code paths and the
      shared reference stream with a tiny campaign. *)
-  ignore (Rvu_verify.Campaign.symmetry ~seed ~cases:2);
+  ignore (Rvu_verify.Campaign.symmetry ~seed ~cases:2 ());
 
   let sym, wall_symmetry =
     Util.wall_clock (fun () ->
-        Rvu_verify.Campaign.symmetry ~seed ~cases:symmetry_cases)
+        Rvu_verify.Campaign.symmetry ~seed ~cases:symmetry_cases ())
   in
   let flt, wall_faults =
     Util.wall_clock (fun () ->
-        Rvu_verify.Campaign.faults ~seed ~cases:fault_cases)
+        Rvu_verify.Campaign.faults ~seed ~cases:fault_cases ())
   in
 
   (* Correctness gate first: a fast wrong verifier is worthless. *)

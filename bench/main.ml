@@ -39,6 +39,9 @@
                       writes BENCH_4.json
      perf-log       — structured-logging overhead (off/info/debug+flight);
                       writes BENCH_5.json
+     perf-wire      — binary wire codec vs JSON: encode/decode ns/op,
+                      bytes/op, warm-serve minor words per request;
+                      writes BENCH_9.json
 
    --trace FILE records Chrome trace-event spans for the whole run. *)
 
@@ -68,6 +71,7 @@ let all : (string * (unit -> unit)) list =
     ("perf-obs", Exp_perf_obs.run);
     ("perf-verify", Exp_perf_verify.run);
     ("perf-log", Exp_perf_log.run);
+    ("perf-wire", Exp_perf_wire.run);
   ]
 
 let () =

@@ -822,7 +822,30 @@ let inject_seed_arg =
     & info [ "inject-seed" ] ~docv:"N"
         ~doc:"Seed for the fault injector's deterministic decisions.")
 
-let serve config tcp_port host connections trace logging inject inject_seed =
+(* The wire-codec enum (--wire json|binary), shared by serve, loadgen,
+   router and verify — one converter so every subcommand rejects a bad
+   codec name the same way, at parse time. *)
+let wire_conv =
+  let parse s =
+    match Rvu_service.Wire_bin.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "expected \"json\" or \"binary\", got %S" s))
+  in
+  Arg.conv ~docv:"WIRE"
+    ( parse,
+      fun ppf m ->
+        Format.pp_print_string ppf (Rvu_service.Wire_bin.mode_string m) )
+
+let wire_arg ~doc =
+  Arg.(
+    value
+    & opt wire_conv Rvu_service.Wire_bin.Json
+    & info [ "wire" ] ~docv:"WIRE" ~doc)
+
+let serve config tcp_port host connections wire trace logging inject inject_seed
+    =
   with_trace trace @@ fun () ->
   with_logging logging @@ fun () ->
   if inject <> [] then Rvu_obs.Fault.arm ~seed:inject_seed inject;
@@ -831,8 +854,8 @@ let serve config tcp_port host connections trace logging inject inject_seed =
   Fun.protect ~finally:Rvu_obs.Runtime.stop @@ fun () ->
   (match tcp_port with
   | Some port ->
-      Rvu_service.Server.serve_tcp server ~host ~port ?connections ()
-  | None -> Rvu_service.Server.serve_channels server stdin stdout);
+      Rvu_service.Server.serve_tcp ~wire server ~host ~port ?connections ()
+  | None -> Rvu_service.Server.serve_channels ~wire server stdin stdout);
   Rvu_service.Server.stop server
 
 let serve_cmd =
@@ -859,16 +882,65 @@ let serve_cmd =
             "Exit after serving this many TCP connections (default: serve \
              forever). Useful for smoke tests.")
   in
+  let wire =
+    wire_arg
+      ~doc:
+        "Starting wire codec for every connection: $(i,json) (default, \
+         NDJSON; a $(i,hello) record can still upgrade a connection to \
+         binary) or $(i,binary) (length-prefixed frames from byte zero, \
+         for peers pinned with the same flag)."
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the evaluation server: one JSON request per line in, one JSON \
           response per line out (see DESIGN.md for the protocol).")
     Term.(
-      const serve $ config_term $ tcp $ host $ connections $ trace_arg
+      const serve $ config_term $ tcp $ host $ connections $ wire $ trace_arg
       $ logging_term $ inject_arg $ inject_seed_arg)
 
-let loadgen_tcp lg ~host ~port ~rate ~connections =
+(* Client-side binary shims: [Loadgen] itself is transport-agnostic and
+   speaks JSON lines, so driving a binary connection means transcoding at
+   the edges — encode each generated line into a frame on the way out,
+   print each decoded response back to its canonical JSON line for
+   [note_response] on the way in. Both codecs are canonical over the same
+   value domain, so the latency/ok accounting sees exactly the lines a
+   JSON connection would. *)
+let frame_of_line line =
+  match Rvu_service.Wire.parse line with
+  | Ok w -> Rvu_service.Wire_bin.encode w
+  | Error _ ->
+      (* Loadgen only emits well-formed scenario lines. *)
+      invalid_arg "loadgen: cannot encode scenario line"
+
+let line_of_frame payload =
+  match Rvu_service.Wire_bin.decode payload with
+  | Ok w -> Rvu_service.Wire.print w
+  | Error _ -> "{\"error\":{\"code\":\"internal\"}}"
+
+(* Upgrade one fresh connection to binary frames: hello (with the
+   reserved id 0 — Loadgen's own ids start at 1) must be the first
+   record, and its response is still a JSON line. *)
+let client_hello ic oc =
+  output_string oc "{\"id\":0,\"kind\":\"hello\",\"wire\":\"binary\"}\n";
+  flush oc;
+  let ok =
+    match Rvu_service.Wire.parse (input_line ic) with
+    | Error _ -> false
+    | Ok w -> (
+        match
+          Option.bind (Rvu_service.Wire.member "ok" w)
+            (Rvu_service.Wire.member "wire")
+        with
+        | Some (Rvu_service.Wire.String "binary") -> true
+        | _ -> false)
+  in
+  if not ok then begin
+    Format.eprintf "rvu: server rejected the binary wire upgrade@.";
+    exit 1
+  end
+
+let loadgen_tcp lg ~host ~port ~rate ~connections ~wire =
   (* [Loadgen.drive] sends from one thread, so round-robin over the
      connection pool is a bare counter — no lock. [note_response] is
      domain-safe, so each connection gets its own reader domain and
@@ -891,14 +963,32 @@ let loadgen_tcp lg ~host ~port ~rate ~connections =
         (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock))
       socks
   in
+  (match wire with
+  | Rvu_service.Wire_bin.Json -> ()
+  | Rvu_service.Wire_bin.Binary ->
+      Array.iter (fun (ic, oc) -> client_hello ic oc) chans);
   let readers =
     Array.map
       (fun (ic, _) ->
         Domain.spawn (fun () ->
             try
-              while true do
-                Rvu_service.Loadgen.note_response lg (input_line ic)
-              done
+              match wire with
+              | Rvu_service.Wire_bin.Json ->
+                  while true do
+                    Rvu_service.Loadgen.note_response lg (input_line ic)
+                  done
+              | Rvu_service.Wire_bin.Binary ->
+                  let live = ref true in
+                  while !live do
+                    match Rvu_service.Wire_bin.input_frame ic with
+                    | Rvu_service.Wire_bin.Frame payload ->
+                        Rvu_service.Loadgen.note_response lg
+                          (line_of_frame payload)
+                    | Rvu_service.Wire_bin.Eof
+                    | Rvu_service.Wire_bin.Truncated
+                    | Rvu_service.Wire_bin.Oversized _ ->
+                        live := false
+                  done
             with _ -> ()))
       chans
   in
@@ -906,8 +996,12 @@ let loadgen_tcp lg ~host ~port ~rate ~connections =
   Rvu_service.Loadgen.drive ~rate lg ~send:(fun line ->
       let _, oc = chans.(!next) in
       next := (!next + 1) mod connections;
-      output_string oc line;
-      output_char oc '\n';
+      (match wire with
+      | Rvu_service.Wire_bin.Json ->
+          output_string oc line;
+          output_char oc '\n'
+      | Rvu_service.Wire_bin.Binary ->
+          Rvu_service.Wire_bin.output_frame oc (frame_of_line line));
       flush oc);
   let complete = Rvu_service.Loadgen.wait lg in
   Array.iter
@@ -917,28 +1011,37 @@ let loadgen_tcp lg ~host ~port ~rate ~connections =
   Array.iter (fun (_, oc) -> close_out_noerr oc) chans;
   complete
 
-let loadgen_local lg ~config ~rate =
+let loadgen_local lg ~config ~rate ~wire =
   let server = Rvu_service.Server.create ~config () in
   Rvu_service.Loadgen.drive ~rate lg ~send:(fun line ->
-      Rvu_service.Server.handle_line server line
-        ~respond:(Rvu_service.Loadgen.note_response lg));
+      match wire with
+      | Rvu_service.Wire_bin.Json ->
+          Rvu_service.Server.handle_line server line
+            ~respond:(Rvu_service.Loadgen.note_response lg)
+      | Rvu_service.Wire_bin.Binary ->
+          (* Same transcode shim as the TCP path, so the local mode still
+             exercises the server's binary decode/encode/frame-cache
+             path end to end. *)
+          Rvu_service.Server.handle_payload server (frame_of_line line)
+            ~respond:(fun payload ->
+              Rvu_service.Loadgen.note_response lg (line_of_frame payload)));
   let complete = Rvu_service.Loadgen.wait lg in
   Rvu_service.Server.stop server;
   complete
 
-let loadgen connect connections requests rate seed slow_ms zipf config logging
-    fail_on_error =
+let loadgen connect connections requests rate seed slow_ms zipf wire config
+    logging fail_on_error =
   with_logging logging @@ fun () ->
   let lg = Rvu_service.Loadgen.create ~seed ?slow_ms ?zipf ~requests () in
   let complete =
     match connect with
-    | Some (host, port) -> loadgen_tcp lg ~host ~port ~rate ~connections
+    | Some (host, port) -> loadgen_tcp lg ~host ~port ~rate ~connections ~wire
     | None ->
         if connections > 1 then begin
           Format.eprintf "rvu: --connections needs --connect@.";
           exit 1
         end;
-        loadgen_local lg ~config ~rate
+        loadgen_local lg ~config ~rate ~wire
   in
   let s = Rvu_service.Loadgen.summary lg in
   Rvu_service.Loadgen.print_summary s;
@@ -1039,6 +1142,14 @@ let loadgen_cmd =
             "Exit non-zero unless every request completed with an $(i,ok) \
              response.")
   in
+  let wire =
+    wire_arg
+      ~doc:
+        "Wire codec to drive the target with: $(i,json) (default, NDJSON) \
+         or $(i,binary) (upgrade each connection with a $(i,hello) \
+         handshake, then length-prefixed frames both ways). Latency and \
+         ok/error accounting are codec-independent."
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -1046,7 +1157,7 @@ let loadgen_cmd =
           and report throughput and latency percentiles.")
     Term.(
       const loadgen $ connect $ connections $ requests $ rate $ seed $ slow_ms
-      $ zipf $ config_term $ logging_term $ fail_on_error)
+      $ zipf $ wire $ config_term $ logging_term $ fail_on_error)
 
 (* ------------------------------------------------------------------ *)
 (* router *)
@@ -1079,8 +1190,8 @@ let worker_argv config port inject inject_seed =
     if inject = [] then [] else [ "--inject-seed"; string_of_int inject_seed ])
 
 let router config workers connect worker_base_port tcp_port host connections
-    probe_interval_ms restart_backoff_ms route_timeout_ms trace logging inject
-    inject_seed =
+    probe_interval_ms restart_backoff_ms route_timeout_ms wire trace logging
+    inject inject_seed =
   with_trace trace @@ fun () ->
   with_logging logging @@ fun () ->
   let endpoints =
@@ -1115,6 +1226,7 @@ let router config workers connect worker_base_port tcp_port host connections
       restart_backoff_ms = float_of_int restart_backoff_ms;
       route_timeout_ms = float_of_int route_timeout_ms;
       max_request_bytes = config.Rvu_service.Server.max_request_bytes;
+      wire;
     }
   in
   let rt = Rvu_cluster.Router.create ~config:rconfig ~endpoints () in
@@ -1204,6 +1316,15 @@ let router_cmd =
              router re-routes it to a surviving shard (after the retry \
              budget it is shed with an $(i,overloaded) error).")
   in
+  let wire =
+    wire_arg
+      ~doc:
+        "Shard-side wire codec: $(i,json) (default) or $(i,binary) \
+         (upgrade every worker connection with a $(i,hello) handshake and \
+         route length-prefixed frames). Client connections negotiate \
+         their own codec per connection regardless; the router transcodes \
+         when the two sides differ."
+  in
   Cmd.v
     (Cmd.info "router"
        ~doc:
@@ -1214,12 +1335,12 @@ let router_cmd =
     Term.(
       const router $ config_term $ workers $ connect $ worker_base_port $ tcp
       $ host $ connections $ probe_interval $ restart_backoff $ route_timeout
-      $ trace_arg $ logging_term $ inject_arg $ inject_seed_arg)
+      $ wire $ trace_arg $ logging_term $ inject_arg $ inject_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
 
-let verify campaign seed cases report_path logging =
+let verify campaign seed cases wire report_path logging =
   with_logging logging @@ fun () ->
   match Rvu_verify.Campaign.of_name campaign with
   | None ->
@@ -1227,7 +1348,7 @@ let verify campaign seed cases report_path logging =
         (String.concat ", " Rvu_verify.Campaign.names);
       exit 2
   | Some run ->
-      let report = run ~seed ~cases in
+      let report = run ~wire ~seed ~cases () in
       print_string (Rvu_verify.Campaign.summary report);
       (match report_path with
       | None -> ()
@@ -1262,6 +1383,14 @@ let verify_cmd =
       value & opt positive_int 100
       & info [ "cases" ] ~docv:"N" ~doc:"Cases per campaign.")
   in
+  let wire =
+    wire_arg
+      ~doc:
+        "Wire codec for every live-server round trip in the campaigns: \
+         $(i,json) (default) or $(i,binary) (requests and responses \
+         travel the binary frame path; the oracles compared against are \
+         unchanged)."
+  in
   let report =
     Arg.(
       value
@@ -1275,7 +1404,8 @@ let verify_cmd =
          "Run verification campaigns: metamorphic symmetry oracles and \
           deterministic fault injection. Exits non-zero on any invariant \
           violation.")
-    Term.(const verify $ campaign $ seed $ cases $ report $ logging_term)
+    Term.(
+      const verify $ campaign $ seed $ cases $ wire $ report $ logging_term)
 
 (* ------------------------------------------------------------------ *)
 (* health *)

@@ -123,6 +123,114 @@ let forward_parts line =
       ("{\"id\":", "}")
   | parts -> parts
 
+(* ------------------------------------------------------------------ *)
+(* Binary-frame analogues ({!Rvu_service.Wire_bin} payloads).
+
+   The same validate-once / splice-verbatim discipline, one structural
+   difference: a binary object carries its member count in the header,
+   so prepending the router's id member must also bump that count —
+   [bin_forward_parts]'s prefix re-encodes the header, and everything
+   from the first original member on is forwarded untouched. Duplicate
+   keys decode fine and [Wire.member] takes the first, exactly like the
+   JSON path. *)
+
+module Wb = Rvu_service.Wire_bin
+
+let bin_u32 s pos =
+  let b i = Char.code s.[pos + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let add_bin_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let bin_routing_parts payload =
+  match
+    let spans = ref [] in
+    Wb.iter_members payload (fun kpos klen vstart vend ->
+        if
+          Wb.key_is payload kpos klen "id"
+          || Wb.key_is payload kpos klen "timeout_ms"
+        then spans := (vstart, vend) :: !spans);
+    List.sort compare !spans
+  with
+  | exception _ -> [ payload ]
+  | spans ->
+      let n = String.length payload in
+      let parts = ref [] and pos = ref 0 in
+      List.iter
+        (fun (s, e) ->
+          if s > !pos then
+            parts := String.sub payload !pos (s - !pos) :: !parts;
+          pos := e)
+        spans;
+      if !pos < n then parts := String.sub payload !pos (n - !pos) :: !parts;
+      List.rev !parts
+
+let bin_forward_parts payload =
+  match
+    if String.length payload < 5 || payload.[0] <> '\x07' then raise Exit;
+    let count = bin_u32 payload 1 in
+    let b = Buffer.create 16 in
+    Buffer.add_char b '\x07';
+    add_bin_u32 b (count + 1);
+    add_bin_u32 b 2;
+    Buffer.add_string b "id";
+    ( Buffer.contents b,
+      String.sub payload 5 (String.length payload - 5) )
+  with
+  | exception Exit ->
+      (* Not reachable for decode-validated objects; forward an empty
+         object carrying only the router id so the worker still gets a
+         well-formed frame to reject. *)
+      ("\x07\x00\x00\x00\x01\x00\x00\x00\x02id", "")
+  | parts -> parts
+
+(* A worker's binary response opens with the id member (Int) followed by
+   the ctx member (String) — the shape our servers always emit. Returns
+   [(rid, id_value_span, ctx_value_span)] or [None] (e.g. a salvaged
+   null id), sending the caller to the full-decode fallback. *)
+let bin_response_spans payload =
+  match
+    let n = String.length payload in
+    if n < 5 + 4 + 2 + 9 || payload.[0] <> '\x07' then raise Exit;
+    (* first member: key "id", value Int *)
+    if not (bin_u32 payload 5 = 2 && payload.[9] = 'i' && payload.[10] = 'd')
+    then raise Exit;
+    if payload.[11] <> '\x03' then raise Exit;
+    let rid = Int64.to_int (String.get_int64_be payload 12) in
+    let id_span = (11, 20) in
+    (* second member: key "ctx", value String *)
+    if n < 20 + 4 + 3 + 5 then raise Exit;
+    if
+      not
+        (bin_u32 payload 20 = 3
+        && payload.[24] = 'c'
+        && payload.[25] = 't'
+        && payload.[26] = 'x')
+    then raise Exit;
+    if payload.[27] <> '\x05' then raise Exit;
+    let slen = bin_u32 payload 28 in
+    let cend = 32 + slen in
+    if cend > n then raise Exit;
+    Some (rid, id_span, (27, cend))
+  with
+  | exception Exit -> None
+  | spans -> spans
+
+let bin_splice_response payload ~id_span:(is, ie) ~ctx_span:(cs, ce) ~id ~ctx
+    =
+  let n = String.length payload in
+  let b = Buffer.create (n + 16) in
+  Buffer.add_substring b payload 0 is;
+  Buffer.add_string b id;
+  Buffer.add_substring b payload ie (cs - ie);
+  Buffer.add_string b ctx;
+  Buffer.add_substring b payload ce (n - ce);
+  Buffer.contents b
+
 let response_spans line =
   let n = String.length line in
   let prefix = "{\"id\":" in

@@ -58,3 +58,40 @@ val splice_response :
     client's id, canonically printed) and the ["ctx"] value span replaced
     by [ctx] (a printed JSON string) when both are present. Every other
     byte is copied through. *)
+
+(** {1 Binary-frame analogues}
+
+    The same discipline over {!Rvu_service.Wire_bin} payloads. One
+    structural difference: a binary object carries its member count in
+    the header, so {!bin_forward_parts}'s prefix re-encodes the header
+    with the count bumped for the prepended router id; everything from
+    the first original member on is forwarded byte-verbatim (duplicate
+    keys decode fine and [Wire.member] takes the first, exactly like the
+    JSON path). Splice results stay byte-identical to a direct binary
+    server because the encoding is canonical and compositional. *)
+
+val bin_routing_parts : string -> string list
+(** {!routing_parts} over a binary payload: the byte runs between the
+    top-level ["id"] and ["timeout_ms"] {e value} spans. *)
+
+val bin_forward_parts : string -> string * string
+(** [(pre, post)] such that [pre ^ rid ^ post] — [rid] the 9-byte
+    encoding of the router's Int id — is the frame payload to send a
+    worker. *)
+
+val bin_response_spans : string -> (int * (int * int) * (int * int)) option
+(** Fast-path scan of a worker binary response opening with an Int ["id"]
+    member then a String ["ctx"] member (the shape our servers always
+    emit): [Some (rid, id_value_span, ctx_value_span)], or [None] to send
+    the caller to the full-decode fallback. *)
+
+val bin_splice_response :
+  string ->
+  id_span:int * int ->
+  ctx_span:int * int ->
+  id:string ->
+  ctx:string ->
+  string
+(** The response payload with the two value spans replaced by the
+    client's encoded id value bytes and encoded ctx String value bytes;
+    every other byte is copied through. *)

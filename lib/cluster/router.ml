@@ -9,6 +9,7 @@
    invoked with no lock held. *)
 
 module Wire = Rvu_service.Wire
+module Wb = Rvu_service.Wire_bin
 module Proto = Rvu_service.Proto
 module Metrics = Rvu_obs.Metrics
 module Log = Rvu_obs.Log
@@ -24,6 +25,7 @@ type config = {
   max_retries : int;
   max_request_bytes : int;
   connect_timeout_ms : float;
+  wire : Wb.mode;
 }
 
 let default_config =
@@ -34,6 +36,7 @@ let default_config =
     max_retries = 3;
     max_request_bytes = 1_048_576;
     connect_timeout_ms = 10_000.0;
+    wire = Wb.Json;
   }
 
 type status = Ready | Degraded | Down
@@ -50,12 +53,17 @@ type conn = {
   gen : int;  (** connection generation; stale events are ignored *)
 }
 
-(* A routed client request. [r_pre ^ rid ^ r_post] is the worker line, so
-   a retry is one string concatenation away. *)
+(* A routed client request. [r_pre ^ rid ^ r_post] is the worker line (or
+   binary frame payload), so a retry is one string concatenation away.
+   [r_id_bytes]/[r_ctx_bytes] are spelled in the {e shard} codec — the
+   splice fast path is only taken when the client connection speaks the
+   same codec as the shards; mismatched codecs transcode through the
+   parsed tree instead. *)
 type routed = {
   r_pre : string;
   r_post : string;
   r_parts : string list;
+  r_client : Wb.mode;
   r_id : Wire.t;
   r_id_bytes : string;
   r_ctx : string;
@@ -68,9 +76,11 @@ type routed = {
 
 type pending =
   | Routed of routed
-  | Internal of { deliver : string option -> unit }
-      (** probes and fan-out sub-requests; [deliver None] on timeout or
-          connection loss, [Some line] on reply *)
+  | Internal of { deliver : Wire.t option -> unit }
+      (** probes and fan-out sub-requests; [deliver None] on timeout,
+          connection loss or an unreadable reply, [Some w] on a decoded
+          reply (codec-independent — the reader parses before
+          delivering) *)
 
 type shard = {
   index : int;
@@ -185,13 +195,35 @@ let set_status_locked sh status ~reason =
 (* ------------------------------------------------------------------ *)
 (* Dispatch, eviction, retry *)
 
+(* Render a value in the codec of a client connection. *)
+let render_client client w =
+  match client with Wb.Json -> Wire.print w | Wb.Binary -> Wb.encode w
+
+(* The router-id spelling spliced between [r_pre] and [r_post] — JSON
+   digits on NDJSON shard connections, the 9-byte Int encoding on binary
+   ones. *)
+let rid_enc t rid =
+  match t.config.wire with
+  | Wb.Json -> string_of_int rid
+  | Wb.Binary -> Wb.encode (Wire.Int rid)
+
+(* Write one request to a shard connection in the shard codec. Must hold
+   [sh.lock] (callers handle the write-error teardown). *)
+let write_conn t (c : conn) payload =
+  (match t.config.wire with
+  | Wb.Json ->
+      output_string c.oc payload;
+      output_char c.oc '\n'
+  | Wb.Binary -> Wb.output_frame c.oc payload);
+  flush c.oc
+
 let rec dispatch t (r : routed) =
   match Ring.pick ~live:(live t) ~parts:r.r_parts with
   | None -> shed t r "no live shard"
   | Some i -> (
       let sh = t.shards.(i) in
       let rid = next_rid t in
-      let line = r.r_pre ^ string_of_int rid ^ r.r_post in
+      let line = r.r_pre ^ rid_enc t rid ^ r.r_post in
       Mutex.lock sh.lock;
       match sh.conn with
       | None ->
@@ -202,11 +234,7 @@ let rec dispatch t (r : routed) =
             (Routed r, r.r_t0 +. route_timeout_s t);
           Metrics.gauge_add sh.m_in_flight 1.0;
           Metrics.incr sh.m_routed;
-          match
-            output_string c.oc line;
-            output_char c.oc '\n';
-            flush c.oc
-          with
+          match write_conn t c line with
           | () -> Mutex.unlock sh.lock
           | exception _ ->
               Hashtbl.remove sh.pending rid;
@@ -233,7 +261,8 @@ and shed t (r : routed) reason =
     ~fields:[ ("ctx", Wire.String r.r_ctx); ("reason", Wire.String reason) ]
     "request shed";
   r.r_respond
-    (Wire.print (Proto.error_response ~ctx:r.r_ctx ~id:r.r_id Proto.Overloaded reason));
+    (render_client r.r_client
+       (Proto.error_response ~ctx:r.r_ctx ~id:r.r_id Proto.Overloaded reason));
   Metrics.observe t.m_latency (Clock.now_s () -. r.r_t0);
   leave t
 
@@ -265,39 +294,28 @@ and mark_down t (sh : shard) ~gen ~reason =
   | _ -> Mutex.unlock sh.lock
 
 (* ------------------------------------------------------------------ *)
-(* Shard lines coming back *)
+(* Shard lines / frames coming back *)
 
-let rebuild_response line w (r : routed) =
+(* Substitute the client's id and ctx into a parsed worker response — the
+   transcoding fallback when the splice fast path does not apply (client
+   and shard codecs differ, or the response is not span-shaped). *)
+let substitute_envelope w (r : routed) =
   match w with
   | Wire.Obj fields ->
-      let fields =
-        List.map
-          (fun (k, v) ->
-            match k with
-            | "id" -> (k, r.r_id)
-            | "ctx" -> (k, Wire.String r.r_ctx)
-            | _ -> (k, v))
-          fields
-      in
-      Wire.print (Wire.Obj fields)
-  | _ -> line
+      Wire.Obj
+        (List.map
+           (fun (k, v) ->
+             match k with
+             | "id" -> (k, r.r_id)
+             | "ctx" -> (k, Wire.String r.r_ctx)
+             | _ -> (k, v))
+           fields)
+  | w -> w
 
-let handle_shard_line t (sh : shard) line =
-  let rid_opt, build =
-    match Frame.response_spans line with
-    | Some (rid, id_span, ctx_span) ->
-        ( Some rid,
-          fun r ->
-            Frame.splice_response line ~id_span ~ctx_span ~id:r.r_id_bytes
-              ~ctx:(Some r.r_ctx_bytes) )
-    | None -> (
-        match Wire.parse line with
-        | Ok w -> (
-            match Wire.member "id" w with
-            | Some (Wire.Int rid) -> (Some rid, fun r -> rebuild_response line w r)
-            | _ -> (None, fun _ -> line))
-        | Error _ -> (None, fun _ -> line))
-  in
+(* Match a shard reply back to its pending entry and finish it. [build]
+   renders the client response for a routed request; [parsed] decodes the
+   reply for internal (probe/fan-out) delivery. *)
+let resolve_shard t (sh : shard) rid_opt ~build ~parsed =
   match rid_opt with
   | None ->
       Metrics.incr t.m_stale;
@@ -322,17 +340,93 @@ let handle_shard_line t (sh : shard) line =
           r.r_respond (build r);
           Metrics.observe t.m_latency (Clock.now_s () -. r.r_t0);
           leave t
-      | Some (Internal i, _) -> i.deliver (Some line))
+      | Some (Internal i, _) -> i.deliver (parsed ()))
+
+let handle_shard_line t (sh : shard) line =
+  let parsed = lazy (Wire.parse line) in
+  let rid_opt, build =
+    match Frame.response_spans line with
+    | Some (rid, id_span, ctx_span) ->
+        ( Some rid,
+          fun (r : routed) ->
+            match r.r_client with
+            | Wb.Json ->
+                Frame.splice_response line ~id_span ~ctx_span ~id:r.r_id_bytes
+                  ~ctx:(Some r.r_ctx_bytes)
+            | Wb.Binary -> (
+                match Lazy.force parsed with
+                | Ok w -> Wb.encode (substitute_envelope w r)
+                | Error _ ->
+                    Wb.encode
+                      (Proto.error_response ~ctx:r.r_ctx ~id:r.r_id
+                         Proto.Internal "unreadable shard response")) )
+    | None -> (
+        match Lazy.force parsed with
+        | Ok w -> (
+            match Wire.member "id" w with
+            | Some (Wire.Int rid) ->
+                ( Some rid,
+                  fun (r : routed) ->
+                    render_client r.r_client (substitute_envelope w r) )
+            | _ -> (None, fun _ -> line))
+        | Error _ -> (None, fun _ -> line))
+  in
+  resolve_shard t sh rid_opt ~build ~parsed:(fun () ->
+      Result.to_option (Lazy.force parsed))
+
+let handle_shard_frame t (sh : shard) payload =
+  let parsed = lazy (Wb.decode payload) in
+  let rid_opt, build =
+    match Frame.bin_response_spans payload with
+    | Some (rid, id_span, ctx_span) ->
+        ( Some rid,
+          fun (r : routed) ->
+            match r.r_client with
+            | Wb.Binary ->
+                Frame.bin_splice_response payload ~id_span ~ctx_span
+                  ~id:r.r_id_bytes ~ctx:r.r_ctx_bytes
+            | Wb.Json -> (
+                match Lazy.force parsed with
+                | Ok w -> Wire.print (substitute_envelope w r)
+                | Error _ ->
+                    Wire.print
+                      (Proto.error_response ~ctx:r.r_ctx ~id:r.r_id
+                         Proto.Internal "unreadable shard response")) )
+    | None -> (
+        match Lazy.force parsed with
+        | Ok w -> (
+            match Wire.member "id" w with
+            | Some (Wire.Int rid) ->
+                ( Some rid,
+                  fun (r : routed) ->
+                    render_client r.r_client (substitute_envelope w r) )
+            | _ -> (None, fun _ -> payload))
+        | Error _ -> (None, fun _ -> payload))
+  in
+  resolve_shard t sh rid_opt ~build ~parsed:(fun () ->
+      Result.to_option (Lazy.force parsed))
 
 let spawn_reader t (sh : shard) conn =
   let reader = { r_done = Atomic.make false; r_domain = None } in
   let d =
     Domain.spawn (fun () ->
         (try
-           while true do
-             let line = input_line conn.ic in
-             handle_shard_line t sh line
-           done
+           match t.config.wire with
+           | Wb.Json ->
+               while true do
+                 let line = input_line conn.ic in
+                 handle_shard_line t sh line
+               done
+           | Wb.Binary ->
+               let running = ref true in
+               while !running do
+                 match
+                   Wb.input_frame ~max_bytes:t.config.max_request_bytes
+                     conn.ic
+                 with
+                 | Wb.Frame payload -> handle_shard_frame t sh payload
+                 | Wb.Eof | Wb.Truncated | Wb.Oversized _ -> running := false
+               done
          with _ -> ());
         mark_down t sh ~gen:conn.gen ~reason:"connection closed";
         (* Single closer: the reader owns the descriptor's lifetime. The
@@ -362,8 +456,15 @@ let reap_readers t ~all =
 (* ------------------------------------------------------------------ *)
 (* Internal sub-requests (probes, fan-out) *)
 
-let send_internal t (sh : shard) ~rid ~deadline ~deliver line =
-  ignore t;
+(* An internal sub-request ([health]/[stats]/[metrics]) in the shard
+   codec. *)
+let internal_request t ~rid kind =
+  match t.config.wire with
+  | Wb.Json -> Printf.sprintf "{\"id\":%d,\"kind\":%S}" rid kind
+  | Wb.Binary ->
+      Wb.encode (Wire.Obj [ ("id", Wire.Int rid); ("kind", Wire.String kind) ])
+
+let send_internal t (sh : shard) ~rid ~deadline ~deliver payload =
   Mutex.lock sh.lock;
   match sh.conn with
   | None ->
@@ -371,11 +472,7 @@ let send_internal t (sh : shard) ~rid ~deadline ~deliver line =
       deliver None
   | Some c -> (
       Hashtbl.replace sh.pending rid (Internal { deliver }, deadline);
-      match
-        output_string c.oc line;
-        output_char c.oc '\n';
-        flush c.oc
-      with
+      match write_conn t c payload with
       | () -> Mutex.unlock sh.lock
       | exception _ ->
           Hashtbl.remove sh.pending rid;
@@ -385,14 +482,11 @@ let send_internal t (sh : shard) ~rid ~deadline ~deliver line =
           deliver None)
 
 let probe_deliver t (sh : shard) = function
-  | Some line ->
+  | Some w ->
       let ready =
-        match Wire.parse line with
-        | Ok w -> (
-            match Option.bind (Wire.member "ok" w) (Wire.member "status") with
-            | Some (Wire.String "ready") -> true
-            | _ -> false)
-        | Error _ -> false
+        match Option.bind (Wire.member "ok" w) (Wire.member "status") with
+        | Some (Wire.String "ready") -> true
+        | _ -> false
       in
       Mutex.lock sh.lock;
       sh.probe_misses <- 0;
@@ -439,7 +533,7 @@ let send_probe t (sh : shard) now =
       send_internal t sh ~rid
         ~deadline:(now +. probe_deadline_s t)
         ~deliver:(probe_deliver t sh)
-        (Printf.sprintf "{\"id\":%d,\"kind\":\"health\"}" rid)
+        (internal_request t ~rid "health")
 
 (* ------------------------------------------------------------------ *)
 (* Worker processes and connections *)
@@ -489,9 +583,46 @@ let attempt_connect t (sh : shard) ~initial =
       sh.next_attempt <- Clock.now_s () +. backoff_s t;
       Mutex.unlock sh.lock;
       false
-  | () ->
+  | () -> (
       let ic = Unix.in_channel_of_descr sock in
       let oc = Unix.out_channel_of_descr sock in
+      (* In binary mode, upgrade the connection before the reader exists —
+         the hello exchange is the only synchronous round-trip a shard
+         connection ever makes, and rid 0 is reserved for it ([t.rid]
+         starts at 1, so the reply can never collide with a pending
+         request even if it raced one). *)
+      let negotiated =
+        match t.config.wire with
+        | Wb.Json -> true
+        | Wb.Binary -> (
+            match
+              Unix.setsockopt_float sock Unix.SO_RCVTIMEO
+                (Float.max 1.0 (t.config.connect_timeout_ms /. 1000.0));
+              output_string oc "{\"id\":0,\"kind\":\"hello\",\"wire\":\"binary\"}\n";
+              flush oc;
+              let reply = input_line ic in
+              Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.0;
+              match Wire.parse reply with
+              | Ok w -> (
+                  match
+                    Option.bind (Wire.member "ok" w) (Wire.member "wire")
+                  with
+                  | Some (Wire.String "binary") -> true
+                  | _ -> false)
+              | Error _ -> false
+            with
+            | ok -> ok
+            | exception _ -> false)
+      in
+      match negotiated with
+      | false ->
+          Log.warn ~fields:(shard_fields sh) "shard hello rejected";
+          (try Unix.close sock with _ -> ());
+          Mutex.lock sh.lock;
+          sh.next_attempt <- Clock.now_s () +. backoff_s t;
+          Mutex.unlock sh.lock;
+          false
+      | true ->
       Mutex.lock sh.lock;
       sh.gen <- sh.gen + 1;
       let conn = { fd = sock; ic; oc; gen = sh.gen } in
@@ -510,7 +641,7 @@ let attempt_connect t (sh : shard) ~initial =
       spawn_reader t sh conn;
       Log.info ~fields:(shard_fields sh) "shard connected";
       if readmit then send_probe t sh (Clock.now_s ());
-      true
+      true)
 
 (* ------------------------------------------------------------------ *)
 (* Supervisor *)
@@ -608,7 +739,7 @@ let int_at path w =
   in
   go path w
 
-let handle_fanout t env ~line:_ ~respond =
+let handle_fanout t ~client env ~respond =
   enter t;
   Metrics.incr t.m_fanout;
   let ctx = Ctx.derive env.Proto.id in
@@ -677,7 +808,7 @@ let handle_fanout t env ~line:_ ~respond =
           | Proto.Metrics_prometheus -> Wire.String (Merge.prometheus merged))
       | _ -> Wire.Null
     in
-    respond (Wire.print (Proto.ok_response ~ctx ~id:env.Proto.id payload));
+    respond (render_client client (Proto.ok_response ~ctx ~id:env.Proto.id payload));
     Metrics.observe t.m_latency (Clock.now_s () -. t0);
     leave t
   in
@@ -697,16 +828,11 @@ let handle_fanout t env ~line:_ ~respond =
       List.iter
         (fun (sh : shard) ->
           let rid = next_rid t in
-          let deliver line_opt =
+          let deliver w_opt =
             let last =
               Mutex.lock finish_lock;
-              (results.(sh.index) <-
-                 (match line_opt with
-                 | Some l -> (
-                     match Wire.parse l with
-                     | Ok w -> Wire.member "ok" w
-                     | Error _ -> None)
-                 | None -> None));
+              results.(sh.index) <-
+                Option.bind w_opt (Wire.member "ok");
               decr remaining;
               let last = !remaining = 0 in
               Mutex.unlock finish_lock;
@@ -717,19 +843,105 @@ let handle_fanout t env ~line:_ ~respond =
           send_internal t sh ~rid
             ~deadline:(t0 +. route_timeout_s t)
             ~deliver
-            (Printf.sprintf "{\"id\":%d,\"kind\":%S}" rid sub_kind))
+            (internal_request t ~rid sub_kind))
         targets
 
 (* ------------------------------------------------------------------ *)
-(* Client lines *)
+(* Client lines / frames *)
 
-let local_error t ~respond ~count_latency ~id code msg =
+let local_error t ~client ~respond ~count_latency ~id code msg =
   let ctx = Ctx.derive id in
   Log.warn
     ~fields:[ ("ctx", Wire.String ctx); ("error", Wire.String msg) ]
     "request rejected";
-  respond (Wire.print (Proto.error_response ~ctx ~id code msg));
+  respond (render_client client (Proto.error_response ~ctx ~id code msg));
   if count_latency then Metrics.observe t.m_latency 0.0
+
+(* A client request that passed its codec's parse as an object. [bytes]
+   is the request in the client's codec: forwarded verbatim when the
+   shards speak the same codec, re-rendered into the shard codec
+   otherwise (a transcode per request — the price of bridging a JSON
+   client onto binary shards or vice versa). *)
+let route_parsed t ~client ~bytes w ~respond =
+  let id =
+    match Wire.member "id" w with
+    | Some ((Wire.Int _ | Wire.String _) as id) -> id
+    | _ -> Wire.Null
+  in
+  match Wire.member "id" w with
+  | Some ((Wire.Bool _ | Wire.Float _ | Wire.List _ | Wire.Obj _) as v) ->
+      (* Mirror [Proto.request_of_wire]'s envelope validation so a
+         bad id is rejected here, with the server's exact message —
+         a forwarded bad id would come back unmatchable. *)
+      local_error t ~client ~respond ~count_latency:false ~id:Wire.Null
+        Proto.Invalid_request
+        (Printf.sprintf "field %S: expected %s, got %s" "id"
+           "an integer or string" (Wire.kind_name v))
+  | _ -> (
+      match Wire.member "kind" w with
+      | Some (Wire.String "hello") ->
+          (* Transport negotiation never reaches a shard; past the first
+             record (the transports answer that one) it is an error, with
+             the server's message. *)
+          local_error t ~client ~respond ~count_latency:false ~id
+            Proto.Invalid_request
+            "hello must be the first record on a connection"
+      | Some (Wire.String ("stats" | "metrics" | "health")) -> (
+          (* Fan-out kinds are decoded fully so malformed envelopes
+             (bad timeout, bad format) get the server's messages. *)
+          match Proto.request_of_wire w with
+          | Error msg ->
+              local_error t ~client ~respond ~count_latency:false ~id
+                Proto.Invalid_request msg
+          | Ok env -> handle_fanout t ~client env ~respond)
+      | _ ->
+          let ctx = Ctx.derive id in
+          let shard_bytes =
+            if client = t.config.wire then bytes
+            else
+              match t.config.wire with
+              | Wb.Json -> Wire.print w
+              | Wb.Binary -> Wb.encode w
+          in
+          let pre, post =
+            match t.config.wire with
+            | Wb.Json -> Frame.forward_parts shard_bytes
+            | Wb.Binary -> Frame.bin_forward_parts shard_bytes
+          in
+          let parts =
+            match t.config.wire with
+            | Wb.Json -> Frame.routing_parts shard_bytes
+            | Wb.Binary -> Frame.bin_routing_parts shard_bytes
+          in
+          let id_bytes, ctx_bytes =
+            match t.config.wire with
+            | Wb.Json -> (Wire.print id, Wire.print (Wire.String ctx))
+            | Wb.Binary -> (Wb.encode id, Wb.encode (Wire.String ctx))
+          in
+          let kind =
+            match Wire.member "kind" w with
+            | Some (Wire.String k) -> k
+            | _ -> "?"
+          in
+          enter t;
+          Log.debug
+            ~fields:[ ("ctx", Wire.String ctx); ("kind", Wire.String kind) ]
+            "request accepted";
+          dispatch t
+            {
+              r_pre = pre;
+              r_post = post;
+              r_parts = parts;
+              r_client = client;
+              r_id = id;
+              r_id_bytes = id_bytes;
+              r_ctx = ctx;
+              r_ctx_bytes = ctx_bytes;
+              r_kind = kind;
+              r_t0 = Clock.now_s ();
+              r_retries = 0;
+              r_respond = respond;
+            })
 
 let handle_line t line ~respond =
   (* Keep 64 bytes of headroom under the workers' limit: the router
@@ -755,67 +967,47 @@ let handle_line t line ~respond =
           (Wire.print
              (Proto.error_response ~ctx ~id:Wire.Null Proto.Parse_error
                 (Wire.error_to_string e)))
-    | Ok (Wire.Obj _ as w) -> (
-        let id =
-          match Wire.member "id" w with
-          | Some ((Wire.Int _ | Wire.String _) as id) -> id
-          | _ -> Wire.Null
-        in
-        match Wire.member "id" w with
-        | Some ((Wire.Bool _ | Wire.Float _ | Wire.List _ | Wire.Obj _) as v) ->
-            (* Mirror [Proto.request_of_wire]'s envelope validation so a
-               bad id is rejected here, with the server's exact message —
-               a forwarded bad id would come back unmatchable. *)
-            local_error t ~respond ~count_latency:false ~id:Wire.Null
-              Proto.Invalid_request
-              (Printf.sprintf "field %S: expected %s, got %s" "id"
-                 "an integer or string" (Wire.kind_name v))
-        | _ -> (
-            match Wire.member "kind" w with
-            | Some (Wire.String ("stats" | "metrics" | "health")) -> (
-                (* Fan-out kinds are decoded fully so malformed envelopes
-                   (bad timeout, bad format) get the server's messages. *)
-                match Proto.request_of_wire w with
-                | Error msg ->
-                    local_error t ~respond ~count_latency:false ~id
-                      Proto.Invalid_request msg
-                | Ok env -> handle_fanout t env ~line ~respond)
-            | _ ->
-                let ctx = Ctx.derive id in
-                let pre, post = Frame.forward_parts line in
-                let kind =
-                  match Wire.member "kind" w with
-                  | Some (Wire.String k) -> k
-                  | _ -> "?"
-                in
-                enter t;
-                Log.debug
-                  ~fields:[ ("ctx", Wire.String ctx); ("kind", Wire.String kind) ]
-                  "request accepted";
-                dispatch t
-                  {
-                    r_pre = pre;
-                    r_post = post;
-                    r_parts = Frame.routing_parts line;
-                    r_id = id;
-                    r_id_bytes = Wire.print id;
-                    r_ctx = ctx;
-                    r_ctx_bytes = Wire.print (Wire.String ctx);
-                    r_kind = kind;
-                    r_t0 = Clock.now_s ();
-                    r_retries = 0;
-                    r_respond = respond;
-                  }))
+    | Ok (Wire.Obj _ as w) ->
+        route_parsed t ~client:Wb.Json ~bytes:line w ~respond
     | Ok v ->
-        local_error t ~respond ~count_latency:false ~id:Wire.Null
-          Proto.Invalid_request
+        local_error t ~client:Wb.Json ~respond ~count_latency:false
+          ~id:Wire.Null Proto.Invalid_request
           (Printf.sprintf "expected a request object, got %s" (Wire.kind_name v))
 
-let handle_sync t line =
+let handle_payload t payload ~respond =
+  (* Same headroom logic as [handle_line]: the router's prepended id
+     member must never push a forwarded frame over a worker's limit. *)
+  let limit = t.config.max_request_bytes - 64 in
+  if String.length payload > limit then
+    let ctx = Ctx.generate () in
+    respond
+      (Wb.encode
+         (Proto.error_response ~ctx ~id:Wire.Null Proto.Invalid_request
+            (Printf.sprintf
+               "request frame of %d bytes exceeds the %d byte limit"
+               (String.length payload) limit)))
+  else
+    match Wb.decode payload with
+    | Error msg ->
+        let ctx = Ctx.generate () in
+        Log.warn
+          ~fields:[ ("error", Wire.String msg) ]
+          "request parse error";
+        respond
+          (Wb.encode
+             (Proto.error_response ~ctx ~id:Wire.Null Proto.Parse_error msg))
+    | Ok (Wire.Obj _ as w) ->
+        route_parsed t ~client:Wb.Binary ~bytes:payload w ~respond
+    | Ok v ->
+        local_error t ~client:Wb.Binary ~respond ~count_latency:false
+          ~id:Wire.Null Proto.Invalid_request
+          (Printf.sprintf "expected a request object, got %s" (Wire.kind_name v))
+
+let await handle t input =
   let result = ref None in
   let m = Mutex.create () in
   let c = Condition.create () in
-  handle_line t line ~respond:(fun resp ->
+  handle t input ~respond:(fun resp ->
       Mutex.lock m;
       result := Some resp;
       Condition.signal c;
@@ -827,24 +1019,85 @@ let handle_sync t line =
   Mutex.unlock m;
   Option.get !result
 
+let handle_sync t line = await handle_line t line
+let handle_payload_sync t payload = await handle_payload t payload
+
 (* ------------------------------------------------------------------ *)
 (* Transports *)
 
+(* The first record on a connection may be a transport-negotiation hello;
+   the router answers it itself (it owns the client connection — shards
+   only ever see evaluation traffic). *)
+let hello_env line =
+  match Wire.parse line with
+  | Ok w -> (
+      match Proto.request_of_wire w with
+      | Ok ({ Proto.request = Proto.Hello m; _ } as env) -> Some (env, m)
+      | _ -> None)
+  | Error _ -> None
+
 let serve_channels t ic oc =
   let out_lock = Mutex.create () in
-  let respond line =
+  let mode = ref Wb.Json in
+  let respond payload =
     Mutex.lock out_lock;
     (try
-       output_string oc line;
-       output_char oc '\n';
+       (match !mode with
+       | Wb.Json ->
+           output_string oc payload;
+           output_char oc '\n'
+       | Wb.Binary -> Wb.output_frame oc payload);
        flush oc
      with _ -> ());
     Mutex.unlock out_lock
   in
+  (* The hello response is written before [mode] flips, so it always goes
+     out as a JSON line — same handshake as a direct server. No routed
+     request can be in flight yet (hello is only honoured first), so no
+     concurrent [respond] can observe the flip mid-connection. *)
+  let negotiate env m =
+    let ctx = Ctx.derive env.Proto.id in
+    respond
+      (Wire.print
+         (Proto.ok_response ~ctx ~id:env.Proto.id
+            (Wire.Obj [ ("wire", Wire.String (Wb.mode_string m)) ])));
+    mode := m
+  in
+  let first = ref true in
+  let closed = ref false in
   (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then handle_line t line ~respond
+     while not !closed do
+       match !mode with
+       | Wb.Json -> (
+           match input_line ic with
+           | exception End_of_file -> closed := true
+           | line ->
+               if String.trim line <> "" then begin
+                 let was_first = !first in
+                 first := false;
+                 match if was_first then hello_env line else None with
+                 | Some (env, m) -> negotiate env m
+                 | None -> handle_line t line ~respond
+               end)
+       | Wb.Binary -> (
+           match Wb.input_frame ~max_bytes:t.config.max_request_bytes ic with
+           | Wb.Frame payload -> handle_payload t payload ~respond
+           | Wb.Eof -> closed := true
+           | Wb.Truncated ->
+               Log.warn "connection closed mid-frame";
+               closed := true
+           | Wb.Oversized len ->
+               (* Resynchronising after a hostile length prefix is
+                  guesswork: answer, then close. *)
+               let ctx = Ctx.generate () in
+               respond
+                 (Wb.encode
+                    (Proto.error_response ~ctx ~id:Wire.Null
+                       Proto.Invalid_request
+                       (Printf.sprintf
+                          "request frame of %d bytes exceeds the %d byte limit"
+                          len t.config.max_request_bytes)));
+               closed := true)
      done
    with End_of_file -> ());
   wait_idle t;

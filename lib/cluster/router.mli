@@ -54,12 +54,22 @@ type config = {
       (** how long {!create} waits for the initial shard connections;
           shards still unreachable stay down and keep being retried by
           the supervisor *)
+  wire : Rvu_service.Wire_bin.mode;
+      (** the {e shard-side} codec. [Binary] upgrades every worker
+          connection with a [hello] handshake right after connect and
+          then speaks length-prefixed frames both ways; requests and
+          responses are byte-spliced exactly like the JSON path
+          ({!Frame}), so routed binary responses stay byte-identical to
+          a direct binary server's. Client connections negotiate their
+          own codec per connection regardless ({!serve_channels}), with a
+          transcode at the router when the two sides differ. *)
 }
 
 val default_config : config
 (** [{probe_interval_ms = 250.; restart_backoff_ms = 500.;
     route_timeout_ms = 30_000.; max_retries = 3;
-    max_request_bytes = 1_048_576; connect_timeout_ms = 10_000.}]. *)
+    max_request_bytes = 1_048_576; connect_timeout_ms = 10_000.;
+    wire = Json}]. *)
 
 type t
 
@@ -78,6 +88,17 @@ val handle_line : t -> string -> respond:(string -> unit) -> unit
 val handle_sync : t -> string -> string
 (** [handle_line] plus blocking until the response arrives. *)
 
+val handle_payload : t -> string -> respond:(string -> unit) -> unit
+(** The binary-path analogue of {!handle_line}: process one decoded
+    frame payload from a binary-mode client ({!Rvu_service.Wire_bin},
+    length prefix already stripped); [respond] receives the response
+    payload (unframed). Works against shards of either codec — verbatim
+    forwarding when they match the client, a per-request transcode when
+    they do not. *)
+
+val handle_payload_sync : t -> string -> string
+(** [handle_payload] plus blocking until the response arrives. *)
+
 val wait_idle : t -> unit
 (** Block until no accepted request is outstanding. *)
 
@@ -86,9 +107,11 @@ val shard_statuses : t -> string array
     the ring admits exactly the ["ready"] ones. For tests and stats. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
-(** Serve one NDJSON session until end-of-input, then drain and flush.
-    Responses are written under a lock, one line each, flushed per
-    line. *)
+(** Serve one session until end-of-input, then drain and flush.
+    Connections start as NDJSON; a [hello] record with ["wire":"binary"]
+    as the first record upgrades the connection to length-prefixed
+    binary frames, exactly as on a direct server. Responses are written
+    under a lock, flushed per record. *)
 
 val serve_tcp : t -> host:string -> port:int -> ?connections:int -> unit -> unit
 (** Bind, listen, and serve each accepted connection on its own domain

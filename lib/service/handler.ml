@@ -166,3 +166,4 @@ let run = function
   | Proto.Metrics _ ->
       invalid_arg "Handler.run: metrics is answered by the server"
   | Proto.Health -> invalid_arg "Handler.run: health is answered by the server"
+  | Proto.Hello _ -> invalid_arg "Handler.run: hello is answered by the server"

@@ -70,19 +70,25 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* No [locked] here: the body cannot raise, and the closures [locked]'s
+   [Fun.protect] costs would land on every warm-path lookup. *)
 let find (t : 'a t) key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some e ->
-          t.hits <- t.hits + 1;
-          Rvu_obs.Metrics.incr m_hits;
-          unlink t e;
-          push_front t e;
-          Some e.value
-      | None ->
-          t.misses <- t.misses + 1;
-          Rvu_obs.Metrics.incr m_misses;
-          None)
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        Rvu_obs.Metrics.incr m_hits;
+        unlink t e;
+        push_front t e;
+        Some e.value
+    | None ->
+        t.misses <- t.misses + 1;
+        Rvu_obs.Metrics.incr m_misses;
+        None
+  in
+  Mutex.unlock t.lock;
+  r
 
 let add (t : 'a t) key value =
   if t.capacity > 0 then

@@ -52,6 +52,7 @@ type request =
   | Stats
   | Metrics of metrics_format
   | Health
+  | Hello of Wire_bin.mode
 
 type envelope = { id : Wire.t; timeout_ms : float option; request : request }
 
@@ -127,6 +128,14 @@ let body_of_wire w kind =
       else Ok (Batch { attrs; d_lo; d_hi; points; bearing; r; horizon })
   | "stats" -> Ok Stats
   | "health" -> Ok Health
+  | "hello" -> (
+      let* wire = opt w "wire" string_field ~default:"json" in
+      match Wire_bin.mode_of_string wire with
+      | Some m -> Ok (Hello m)
+      | None ->
+          Error
+            (Printf.sprintf
+               "field \"wire\": expected \"json\" or \"binary\", got %S" wire))
   | "metrics" -> (
       let* fmt = opt w "format" string_field ~default:"json" in
       match fmt with
@@ -210,6 +219,7 @@ let body_fields = function
           ] )
   | Stats -> ("stats", [])
   | Health -> ("health", [])
+  | Hello m -> ("hello", [ ("wire", Wire.String (Wire_bin.mode_string m)) ])
   | Metrics fmt ->
       ( "metrics",
         [

@@ -86,6 +86,11 @@ type request =
           itself, synchronously and uncached, as
           [{"status":"ready"|"degraded",…}] — degraded while the queue is
           saturated or requests were shed since the previous probe *)
+  | Hello of Wire_bin.mode
+      (** wire-codec negotiation (the optional ["wire"] field, default
+          ["json"]); answered by the server itself, synchronously and
+          uncached, with [{"ok":{"wire":…}}]. Only honoured as the
+          {e first} record on a connection — see DESIGN.md section 17 *)
 
 type envelope = {
   id : Wire.t;  (** [Null], [Int] or [String] *)

@@ -1,12 +1,12 @@
 type t = {
   pool : Rvu_exec.Pool.Persistent.t;
-  cache : Wire.t Lru.t;
+  cache : Payload.t Lru.t;
   queue_depth : int;
   default_timeout_ms : float option;
   in_flight : int Atomic.t;
 }
 
-type outcome = (Wire.t, Proto.error_code * string) result
+type outcome = (Payload.t, Proto.error_code * string) result
 
 (* Cumulative since process start, aggregated over every scheduler in the
    process — unlike [Lru.stats], which is per-instance. *)
@@ -118,8 +118,9 @@ let submit ?ctx t (env : Proto.envelope) ~k =
                     Handler.run env.Proto.request
                   with
                   | v ->
-                      Lru.add t.cache key v;
-                      Ok v
+                      let p = Payload.of_wire v in
+                      Lru.add t.cache key p;
+                      Ok p
                   | exception Invalid_argument msg ->
                       Error (Proto.Invalid_request, msg)
                   | exception e -> Error (Proto.Internal, Printexc.to_string e))

@@ -42,7 +42,10 @@ val create :
     override per-request either way). Raises [Invalid_argument] on
     [queue_depth < 1] or negative [cache_entries]. *)
 
-type outcome = (Wire.t, Proto.error_code * string) result
+type outcome = (Payload.t, Proto.error_code * string) result
+(** Successful outcomes carry the cached {!Payload} so each transport
+    renders (or splices) its own codec's bytes from the memoized forms
+    instead of re-printing the tree per response. *)
 
 val submit : ?ctx:string -> t -> Proto.envelope -> k:(outcome -> unit) -> unit
 (** Run the request and deliver the outcome to [k] exactly once — on the

@@ -21,8 +21,18 @@ let default_config =
 let fault_torn_frame = Rvu_obs.Fault.site "server.torn_frame"
 let fault_drop_conn = Rvu_obs.Fault.site "server.drop_conn"
 
+(* A frame-cache entry: the memoized ok payload plus the kind label the
+   fast path files latency metrics under (the hit never decodes the
+   request, so the kind must ride along). *)
+type cached_frame = { f_kind : string; f_ok : Payload.t }
+
 type t = {
   sched : Sched.t;
+  frames : cached_frame Lru.t;
+      (* binary fast path: keyed on the request payload bytes with the id
+         member excised, filled on every scheduler [Ok] for a cacheable
+         binary request. A hit splices the response from memoized bytes
+         without decoding anything. *)
   config : config;
   lock : Mutex.t;
   idle : Condition.t;
@@ -39,6 +49,7 @@ let create ?(config = default_config) () =
     sched =
       Sched.create ~jobs:config.jobs ~queue_depth:config.queue_depth
         ~cache_entries:config.cache_entries ?timeout_ms:config.timeout_ms ();
+    frames = Lru.create ~capacity:config.cache_entries;
     config;
     lock = Mutex.create ();
     idle = Condition.create ();
@@ -242,6 +253,132 @@ let log_response ~kind ~t0 outcome =
         | _ -> Rvu_obs.Log.warn ~fields:f "response")
   end
 
+(* Response rendering, parameterized by the connection's wire codec.
+   The JSON spellings are byte-for-byte what [Wire.print] always
+   produced (the {!Payload} splice is pinned identical), so negotiating
+   the codec per connection never moved a JSON byte. *)
+
+let render_ok_body ~wire ~ctx ~id body =
+  match wire with
+  | Wire_bin.Json -> Wire.print (Proto.ok_response ~ctx ~id body)
+  | Wire_bin.Binary -> Wire_bin.encode (Proto.ok_response ~ctx ~id body)
+
+let render_ok_payload ~wire ~ctx ~id p =
+  match wire with
+  | Wire_bin.Json -> Payload.ok_json p ~ctx ~id
+  | Wire_bin.Binary -> Payload.ok_bin p ~ctx ~id
+
+let render_error ~wire ~ctx ~id code msg =
+  match wire with
+  | Wire_bin.Json -> Wire.print (Proto.error_response ~ctx ~id code msg)
+  | Wire_bin.Binary -> Wire_bin.encode (Proto.error_response ~ctx ~id code msg)
+
+(* The shared post-decode path: sync kinds are answered in place, the
+   rest go through the scheduler. [frame_key] (set by the binary fast
+   path on a frame-cache miss) files the ok payload under the request's
+   id-excised frame bytes so the next identical frame skips decoding. *)
+let handle_env ?frame_key ~wire t env ~respond =
+  let ctx = Rvu_obs.Ctx.derive env.Proto.id in
+  let kind = Proto.kind_string env.Proto.request in
+  Rvu_obs.Ctx.with_ctx ctx (fun () ->
+      let t0 = Rvu_obs.Clock.now_s () in
+      let observe () =
+        Rvu_obs.Metrics.observe (request_seconds kind)
+          (Rvu_obs.Clock.now_s () -. t0)
+      in
+      Rvu_obs.Log.debug ~fields:[ ("kind", Wire.String kind) ] "request";
+      let sync body =
+        count t `Ok;
+        respond (render_ok_body ~wire ~ctx ~id:env.Proto.id body);
+        log_response ~kind ~t0 (Ok ());
+        observe ()
+      in
+      match env.Proto.request with
+      | Proto.Stats -> sync (stats_json t)
+      | Proto.Health -> sync (health_json t)
+      | Proto.Metrics fmt ->
+          sync
+            (match fmt with
+            | Proto.Metrics_json -> Rvu_obs.Metrics.json ()
+            | Proto.Metrics_prometheus ->
+                Wire.String (Rvu_obs.Metrics.expose ()))
+      | Proto.Hello _ ->
+          (* Connection state, not a computation: the transports intercept
+             a first-record hello before it reaches this path, so one seen
+             here arrived mid-stream (or through the in-process entry). *)
+          let msg = "hello must be the first record on a connection" in
+          count t `Error;
+          Rvu_obs.Log.warn
+            ~fields:[ ("error", Wire.String msg) ]
+            "request invalid";
+          respond
+            (render_error ~wire ~ctx ~id:env.Proto.id Proto.Invalid_request
+               msg)
+      | _ ->
+          enter t;
+          Sched.submit ~ctx t.sched env ~k:(fun outcome ->
+              (* [k] may run on a worker domain; re-install the id so the
+                 response record and any respond-side spans stay
+                 correlated. *)
+              Rvu_obs.Ctx.with_ctx ctx (fun () ->
+                  let response =
+                    match outcome with
+                    | Ok p ->
+                        count t `Ok;
+                        (match frame_key with
+                        | Some key ->
+                            Lru.add t.frames key { f_kind = kind; f_ok = p }
+                        | None -> ());
+                        render_ok_payload ~wire ~ctx ~id:env.Proto.id p
+                    | Error (code, msg) ->
+                        count t
+                          (match code with
+                          | Proto.Overloaded -> `Overloaded
+                          | _ -> `Error);
+                        render_error ~wire ~ctx ~id:env.Proto.id code msg
+                  in
+                  (try respond response with _ -> ());
+                  log_response ~kind ~t0 (Result.map (fun _ -> ()) outcome);
+                  observe ();
+                  leave t)))
+
+(* Decoded but not yet validated: reject with the id salvaged if the
+   envelope carried a usable one, so even a rejected request can be
+   matched by its client. *)
+let handle_wire ?frame_key ~wire t w ~respond =
+  match Proto.request_of_wire w with
+  | Error msg ->
+      let id =
+        match Wire.member "id" w with
+        | Some ((Wire.Int _ | Wire.String _) as id) -> id
+        | _ -> Wire.Null
+      in
+      let ctx = Rvu_obs.Ctx.derive id in
+      Rvu_obs.Ctx.with_ctx ctx (fun () ->
+          count t `Error;
+          Rvu_obs.Log.warn ~fields:[ ("error", Wire.String msg) ] "request invalid";
+          respond (render_error ~wire ~ctx ~id Proto.Invalid_request msg))
+  | Ok env -> handle_env ?frame_key ~wire t env ~respond
+
+let reject_parse ~wire t msg ~respond =
+  let ctx = Rvu_obs.Ctx.generate () in
+  Rvu_obs.Ctx.with_ctx ctx (fun () ->
+      count t `Error;
+      Rvu_obs.Log.warn ~fields:[ ("error", Wire.String msg) ] "request parse error";
+      respond (render_error ~wire ~ctx ~id:Wire.Null Proto.Parse_error msg))
+
+let reject_oversized ~wire ~noun t bytes ~respond =
+  let ctx = Rvu_obs.Ctx.generate () in
+  Rvu_obs.Ctx.with_ctx ctx (fun () ->
+      count t `Error;
+      Rvu_obs.Log.warn
+        ~fields:[ ("bytes", Wire.Int bytes) ]
+        "request rejected: oversized";
+      respond
+        (render_error ~wire ~ctx ~id:Wire.Null Proto.Invalid_request
+           (Printf.sprintf "request %s of %d bytes exceeds the %d byte limit"
+              noun bytes t.config.max_request_bytes)))
+
 let handle_line t line ~respond =
   let line =
     (* Injected torn frame: the transport delivered only a prefix of the
@@ -251,112 +388,107 @@ let handle_line t line ~respond =
       String.sub line 0 (String.length line / 2)
     else line
   in
-  if String.length line > t.config.max_request_bytes then begin
-    let ctx = Rvu_obs.Ctx.generate () in
-    Rvu_obs.Ctx.with_ctx ctx (fun () ->
-        count t `Error;
-        Rvu_obs.Log.warn
-          ~fields:[ ("bytes", Wire.Int (String.length line)) ]
-          "request rejected: oversized";
-        respond
-          (Wire.print
-             (Proto.error_response ~ctx ~id:Wire.Null Proto.Invalid_request
-                (Printf.sprintf
-                   "request line of %d bytes exceeds the %d byte limit"
-                   (String.length line) t.config.max_request_bytes))))
-  end
+  if String.length line > t.config.max_request_bytes then
+    reject_oversized ~wire:Wire_bin.Json ~noun:"line" t (String.length line)
+      ~respond
   else
-  match Wire.parse line with
-  | Error e ->
-      let ctx = Rvu_obs.Ctx.generate () in
-      Rvu_obs.Ctx.with_ctx ctx (fun () ->
-          count t `Error;
-          Rvu_obs.Log.warn
-            ~fields:
-              [ ("error", Wire.String (Wire.error_to_string e)) ]
-            "request parse error";
-          respond
-            (Wire.print
-               (Proto.error_response ~ctx ~id:Wire.Null Proto.Parse_error
-                  (Wire.error_to_string e))))
-  | Ok w -> (
-      match Proto.request_of_wire w with
-      | Error msg ->
-          (* Salvage the id if the envelope carried a usable one, so even a
-             rejected request can be matched by its client. *)
-          let id =
-            match Wire.member "id" w with
-            | Some ((Wire.Int _ | Wire.String _) as id) -> id
-            | _ -> Wire.Null
-          in
-          let ctx = Rvu_obs.Ctx.derive id in
-          Rvu_obs.Ctx.with_ctx ctx (fun () ->
-              count t `Error;
-              Rvu_obs.Log.warn
-                ~fields:[ ("error", Wire.String msg) ]
-                "request invalid";
-              respond
-                (Wire.print
-                   (Proto.error_response ~ctx ~id Proto.Invalid_request msg)))
-      | Ok env ->
-          let ctx = Rvu_obs.Ctx.derive env.Proto.id in
-          let kind = Proto.kind_string env.Proto.request in
-          Rvu_obs.Ctx.with_ctx ctx (fun () ->
-              let t0 = Rvu_obs.Clock.now_s () in
-              let observe () =
-                Rvu_obs.Metrics.observe (request_seconds kind)
-                  (Rvu_obs.Clock.now_s () -. t0)
-              in
-              Rvu_obs.Log.debug
-                ~fields:[ ("kind", Wire.String kind) ]
-                "request";
-              let sync body =
-                count t `Ok;
-                respond
-                  (Wire.print (Proto.ok_response ~ctx ~id:env.Proto.id body));
-                log_response ~kind ~t0 (Ok ());
-                observe ()
-              in
-              match env.Proto.request with
-              | Proto.Stats -> sync (stats_json t)
-              | Proto.Health -> sync (health_json t)
-              | Proto.Metrics fmt ->
-                  sync
-                    (match fmt with
-                    | Proto.Metrics_json -> Rvu_obs.Metrics.json ()
-                    | Proto.Metrics_prometheus ->
-                        Wire.String (Rvu_obs.Metrics.expose ()))
-              | _ ->
-                  enter t;
-                  Sched.submit ~ctx t.sched env ~k:(fun outcome ->
-                      (* [k] may run on a worker domain; re-install the id
-                         so the response record and any respond-side spans
-                         stay correlated. *)
-                      Rvu_obs.Ctx.with_ctx ctx (fun () ->
-                          let response =
-                            match outcome with
-                            | Ok v ->
-                                count t `Ok;
-                                Proto.ok_response ~ctx ~id:env.Proto.id v
-                            | Error (code, msg) ->
-                                count t
-                                  (match code with
-                                  | Proto.Overloaded -> `Overloaded
-                                  | _ -> `Error);
-                                Proto.error_response ~ctx ~id:env.Proto.id
-                                  code msg
-                          in
-                          (try respond (Wire.print response) with _ -> ());
-                          log_response ~kind ~t0
-                            (Result.map (fun _ -> ()) outcome);
-                          observe ();
-                          leave t))))
+    match Wire.parse line with
+    | Error e ->
+        reject_parse ~wire:Wire_bin.Json t (Wire.error_to_string e) ~respond
+    | Ok w -> handle_wire ~wire:Wire_bin.Json t w ~respond
 
-let handle_sync t line =
+(* ------------------------------------------------------------------ *)
+(* The binary request path *)
+
+(* The frame-cache key: the request payload with the first id member
+   excised (key length prefix through value end). The member count byte
+   is left as sent, so an id-less request can never share a key with an
+   id-carrying one, and any non-envelope difference — field order,
+   spelling, extra members — keys separately (harmless fragmentation;
+   the scheduler's canonical cache still unifies the compute). *)
+let frame_key payload (scan : Wire_bin.request_scan) =
+  match scan.Wire_bin.id_member with
+  | None -> payload
+  | Some (mstart, mend) ->
+      let n = String.length payload in
+      let b = Bytes.create (n - (mend - mstart)) in
+      Bytes.blit_string payload 0 b 0 mstart;
+      Bytes.blit_string payload mend b mstart (n - mend);
+      Bytes.unsafe_to_string b
+
+(* Decode and run a binary payload the long way (mirrors [handle_line]
+   after the line-level concerns). *)
+let handle_payload_slow ?frame_key t payload ~respond =
+  match Wire_bin.decode payload with
+  | Error msg -> reject_parse ~wire:Wire_bin.Binary t msg ~respond
+  | Ok w -> handle_wire ?frame_key ~wire:Wire_bin.Binary t w ~respond
+
+let handle_payload t payload ~respond =
+  let payload =
+    (* Injected torn frame: a prefix of a binary value is malformed (its
+       headers promise bytes that never come), so this must fall into the
+       parse-error path, never crash or desync. *)
+    if Rvu_obs.Fault.fire fault_torn_frame then
+      String.sub payload 0 (String.length payload / 2)
+    else payload
+  in
+  if String.length payload > t.config.max_request_bytes then
+    reject_oversized ~wire:Wire_bin.Binary ~noun:"frame" t
+      (String.length payload) ~respond
+  else
+    (* Warm fast path: a well-formed envelope whose id is echoable
+       ([null]/int/string — anything else is invalid and must take the
+       slow path to be rejected) and that carries no per-request timeout
+       is looked up by its id-excised bytes. A hit answers from memoized
+       bytes without decoding anything; a miss decodes and arms the
+       cache fill. *)
+    let fast =
+      match Wire_bin.scan_request payload with
+      | Some scan when not scan.Wire_bin.has_timeout -> (
+          match scan.Wire_bin.id_value with
+          | None -> Some (scan, Wire.Null)
+          | Some (vstart, vend) -> (
+              match
+                if
+                  payload.[vstart] = '\x00'
+                  || payload.[vstart] = '\x03'
+                  || payload.[vstart] = '\x05'
+                then
+                  Wire_bin.decode_span payload ~pos:vstart ~len:(vend - vstart)
+                else Error "id not echoable"
+              with
+              | Ok id -> Some (scan, id)
+              | Error _ -> None))
+      | _ -> None
+    in
+    match fast with
+    | None -> handle_payload_slow t payload ~respond
+    | Some (scan, id) -> (
+        let key = frame_key payload scan in
+        match Lru.find t.frames key with
+        | None -> handle_payload_slow ~frame_key:key t payload ~respond
+        | Some { f_kind; f_ok } ->
+            let ctx = Rvu_obs.Ctx.derive id in
+            Rvu_obs.Ctx.with_ctx ctx (fun () ->
+                let t0 = Rvu_obs.Clock.now_s () in
+                count t `Ok;
+                let response =
+                  match scan.Wire_bin.id_value with
+                  | Some (vstart, vend) ->
+                      Payload.ok_bin_sub f_ok ~ctx ~id_src:payload
+                        ~id_pos:vstart ~id_len:(vend - vstart)
+                  | None -> Payload.ok_bin f_ok ~ctx ~id
+                in
+                (try respond response with _ -> ());
+                log_response ~kind:f_kind ~t0 (Ok ());
+                Rvu_obs.Metrics.observe (request_seconds f_kind)
+                  (Rvu_obs.Clock.now_s () -. t0)))
+
+let await handle =
   let lock = Mutex.create () in
   let done_ = Condition.create () in
   let result = ref None in
-  handle_line t line ~respond:(fun resp ->
+  handle ~respond:(fun resp ->
       Mutex.lock lock;
       result := Some resp;
       Condition.signal done_;
@@ -368,27 +500,126 @@ let handle_sync t line =
   Mutex.unlock lock;
   Option.get !result
 
+let handle_sync t line = await (handle_line t line)
+let handle_payload_sync t payload = await (handle_payload t payload)
+let frame_cache_stats t = Lru.stats t.frames
+
 (* ------------------------------------------------------------------ *)
 (* Transports *)
 
-let serve_channels t ic oc =
+(* The first record on a connection, if it is a well-formed hello —
+   anything else (including a malformed one) takes the ordinary request
+   path and the connection stays JSON. *)
+let hello_env line =
+  match Wire.parse line with
+  | Error _ -> None
+  | Ok w -> (
+      match Proto.request_of_wire w with
+      | Ok ({ Proto.request = Proto.Hello m; _ } as env) -> Some (env, m)
+      | Ok _ | Error _ -> None)
+
+let serve_channels ?(wire = Wire_bin.Json) t ic oc =
   let out_lock = Mutex.create () in
-  let respond line =
+  (* The connection's codec. Starts at [wire] (binary-from-byte-zero for
+     [--wire binary] deployments; Json by default). Flipped only between
+     the (JSON) hello response and the next read, with no request
+     outstanding — every other read of this ref sees a settled value. *)
+  let mode = ref wire in
+  let respond payload =
     Mutex.lock out_lock;
     (try
        (* Injected connection drop: the client vanished between accept and
           response. The write path must swallow it like a real EPIPE. *)
        if Rvu_obs.Fault.fire fault_drop_conn then raise Exit;
-       output_string oc line;
-       output_char oc '\n';
+       (match !mode with
+       | Wire_bin.Json ->
+           output_string oc payload;
+           output_char oc '\n'
+       | Wire_bin.Binary -> Wire_bin.output_frame oc payload);
        flush oc
      with _ -> () (* client went away; keep serving the rest *));
     Mutex.unlock out_lock
   in
+  let negotiate env m =
+    let ctx = Rvu_obs.Ctx.derive env.Proto.id in
+    Rvu_obs.Ctx.with_ctx ctx (fun () ->
+        let t0 = Rvu_obs.Clock.now_s () in
+        count t `Ok;
+        (* The hello response is always JSON (the mode flips after it),
+           so a client can read it with line discipline before switching
+           its own codec. *)
+        respond
+          (Wire.print
+             (Proto.ok_response ~ctx ~id:env.Proto.id
+                (Wire.Obj [ ("wire", Wire.String (Wire_bin.mode_string m)) ])));
+        log_response ~kind:"hello" ~t0 (Ok ());
+        Rvu_obs.Metrics.observe (request_seconds "hello")
+          (Rvu_obs.Clock.now_s () -. t0));
+    mode := m
+  in
+  let first = ref true in
+  let closed = ref false in
+  (* Pinned-binary start ([~wire:Binary]): sniff the connection's first
+     byte. A frame's length prefix never starts with '{' under any sane
+     request limit (0x7B as its high byte would announce a >= 2 GiB
+     frame), so a '{' first byte is a JSON client — typically a hello
+     upgrade line — and the connection falls back to line discipline,
+     the hello still honoured. Pinned peers start framing at byte zero
+     and never hit this. *)
+  let carry_line = ref None in
+  let carry_byte = ref None in
+  (match !mode with
+  | Wire_bin.Json -> ()
+  | Wire_bin.Binary -> (
+      match input_char ic with
+      | exception End_of_file -> closed := true
+      | '{' ->
+          mode := Wire_bin.Json;
+          carry_line :=
+            Some
+              (match input_line ic with
+              | rest -> "{" ^ rest
+              | exception End_of_file -> "{")
+      | c -> carry_byte := Some c));
   (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then handle_line t line ~respond
+     while not !closed do
+       match !mode with
+       | Wire_bin.Json ->
+           let line =
+             match !carry_line with
+             | Some l ->
+                 carry_line := None;
+                 l
+             | None -> input_line ic
+           in
+           if String.trim line <> "" then begin
+             let is_first = !first in
+             first := false;
+             match if is_first then hello_env line else None with
+             | Some (env, m) -> negotiate env m
+             | None -> handle_line t line ~respond
+           end
+       | Wire_bin.Binary -> (
+           let first_byte = !carry_byte in
+           carry_byte := None;
+           match
+             Wire_bin.input_frame ?first:first_byte
+               ~max_bytes:t.config.max_request_bytes ic
+           with
+           | Wire_bin.Frame payload -> handle_payload t payload ~respond
+           | Wire_bin.Eof -> closed := true
+           | Wire_bin.Truncated ->
+               (* Mid-frame EOF: nothing to answer (the record never
+                  arrived whole) and nothing to resync to. *)
+               Rvu_obs.Log.warn "connection closed mid-frame";
+               closed := true
+           | Wire_bin.Oversized len ->
+               (* The remaining payload bytes were not consumed, so the
+                  stream position is unknowable — answer and close rather
+                  than guess at a resync. *)
+               reject_oversized ~wire:Wire_bin.Binary ~noun:"frame" t len
+                 ~respond;
+               closed := true)
      done
    with End_of_file -> ());
   wait_idle t;
@@ -404,7 +635,7 @@ let resolve host =
 
 let resolve_host = resolve
 
-let serve_tcp t ~host ~port ?connections () =
+let serve_tcp ?wire t ~host ~port ?connections () =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
@@ -419,7 +650,7 @@ let serve_tcp t ~host ~port ?connections () =
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
       Rvu_obs.Log.debug "connection accepted";
-      (try serve_channels t ic oc
+      (try serve_channels ?wire t ic oc
        with e ->
          Rvu_obs.Log.error
            ~fields:[ ("exn", Wire.String (Printexc.to_string e)) ]

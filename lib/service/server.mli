@@ -60,6 +60,22 @@ val handle_line : t -> string -> respond:(string -> unit) -> unit
 val handle_sync : t -> string -> string
 (** [handle_line] plus blocking until the response arrives. *)
 
+val handle_payload : t -> string -> respond:(string -> unit) -> unit
+(** The binary-path analogue of {!handle_line}: process one decoded
+    frame payload ({!Wire_bin}, length prefix already stripped);
+    [respond] is called exactly once with the response payload (no
+    length prefix — the transport frames it). Warm repeats of a
+    cacheable request are answered from the frame cache by splicing
+    memoized bytes, without decoding the payload. *)
+
+val handle_payload_sync : t -> string -> string
+(** [handle_payload] plus blocking until the response arrives. *)
+
+val frame_cache_stats : t -> Lru.stats
+(** Counters of the binary-path frame cache (hits answer without
+    decoding; misses fall through to the full decode path and arm the
+    fill). *)
+
 val wait_idle : t -> unit
 (** Block until no submitted request is outstanding. *)
 
@@ -80,9 +96,19 @@ val health_json : t -> Wire.t
     ([in_flight >= depth]) or any request was shed since the previous
     probe (each probe advances that mark). *)
 
-val serve_channels : t -> in_channel -> out_channel -> unit
+val serve_channels :
+  ?wire:Wire_bin.mode -> t -> in_channel -> out_channel -> unit
 (** Serve until end-of-input, then drain outstanding requests and flush.
-    Responses are written under a lock, one line each, flushed per line. *)
+    Responses are written under a lock, flushed per record.
+
+    [wire] (default [Json]) is the connection's starting codec. In the
+    default NDJSON start, a [hello] record with ["wire":"binary"] as the
+    first record upgrades the connection to length-prefixed binary frames
+    ({!Wire_bin}); [~wire:Binary] instead expects frames from byte zero
+    (for peers pinned with [--wire binary]) but sniffs the first byte: a
+    connection opening with ['{'] — a byte no sane length prefix starts
+    with — falls back to line discipline, so hello-negotiating clients
+    still work against a pinned server. *)
 
 val resolve_host : string -> Unix.inet_addr
 (** Resolve a host name or dotted quad (first address wins), raising
@@ -90,12 +116,20 @@ val resolve_host : string -> Unix.inet_addr
     router and the CLI's client-side connectors so every component
     resolves endpoints the same way. *)
 
-val serve_tcp : t -> host:string -> port:int -> ?connections:int -> unit -> unit
+val serve_tcp :
+  ?wire:Wire_bin.mode ->
+  t ->
+  host:string ->
+  port:int ->
+  ?connections:int ->
+  unit ->
+  unit
 (** Bind, listen, and serve connections sequentially (each runs
-    {!serve_channels} on the socket; requests within a connection are
-    still concurrent). [connections] bounds how many connections to serve
-    before returning (default: serve forever). A connection error is
-    logged to [stderr] and the accept loop continues. *)
+    {!serve_channels} on the socket with the same [wire] starting codec;
+    requests within a connection are still concurrent). [connections]
+    bounds how many connections to serve before returning (default: serve
+    forever). A connection error is logged to [stderr] and the accept
+    loop continues. *)
 
 val stop : t -> unit
 (** Drain and join the worker domains. *)

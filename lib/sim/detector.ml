@@ -9,38 +9,52 @@ type stats = { intervals : int; min_distance : float }
    many merged-timeline intervals (a long inactive-phase wait pairs against
    thousands of the other robot's segments), so deriving end time, speed
    and the affine form per interval — as a naive walker would — repeats
-   work proportional to the interval count, not the segment count. *)
+   work proportional to the interval count, not the segment count.
+
+   The fields are mutable because each side of a walk owns exactly one
+   node for its whole lifetime (an arena of size one): [pull] refills it
+   in place instead of allocating a record per consumed segment. This is
+   safe because the walker never holds two generations of the same side
+   at once — [f] has returned before the next [pull] overwrites the
+   node — and it keeps a long scan's minor-heap traffic down to the
+   per-segment [affine] payloads the maths genuinely needs. *)
 type node = {
-  seg : Timed.t;
-  t_end : float;
-  speed : float;
-  affine : Approach.affine option;
+  mutable seg : Timed.t;
+  mutable t_end : float;
+  mutable speed : float;
+  mutable affine : Approach.affine option;
 }
 
 type cursor = End | Node of node * Timed.t Seq.t
 
 (* Resume the stream from the last consumed position: skip segments that
    ended at or before [t] (zero-duration stragglers), then cache the new
-   head's derived quantities. *)
-let rec pull (s : Timed.t Seq.t) t =
+   head's derived quantities in the side's arena node. *)
+let rec pull arena (s : Timed.t Seq.t) t =
   match s () with
   | Seq.Nil -> End
   | Seq.Cons (seg, rest) ->
-      if Timed.t1 seg <= t then pull rest t
-      else
-        Node
-          ( {
-              seg;
-              t_end = Timed.t1 seg;
-              speed = Timed.speed seg;
-              affine = Approach.affine_of seg;
-            },
-            rest )
+      if Timed.t1 seg <= t then pull arena rest t
+      else begin
+        arena.seg <- seg;
+        arena.t_end <- Timed.t1 seg;
+        arena.speed <- Timed.speed seg;
+        arena.affine <- Approach.affine_of seg;
+        Node (arena, rest)
+      end
 
 (* Shared merged-timeline walker. Calls [f ~lo ~hi a b] on each maximal
    interval where both robots occupy a single segment; [f] may short-circuit
    by returning [Some _]. [finish] receives how the walk ended. *)
 let walk ~horizon s1 s2 ~f ~finish =
+  let dummy_seg =
+    Timed.make ~t0:0.0 ~dur:0.0
+      ~shape:(Segment.wait ~at:Rvu_geom.Vec2.zero ~dur:0.0)
+  in
+  let arena () =
+    { seg = dummy_seg; t_end = 0.0; speed = 0.0; affine = None }
+  in
+  let arena1 = arena () and arena2 = arena () in
   let rec scan now c1 c2 =
     match (c1, c2) with
     | End, _ | _, End -> finish (Stream_end now)
@@ -51,19 +65,19 @@ let walk ~horizon s1 s2 ~f ~finish =
           let hi = Float.min horizon (Float.min a.t_end b.t_end) in
           if lo >= horizon then finish (Horizon horizon)
           else if lo >= hi then
-            if a.t_end <= b.t_end then scan now (pull rest1 now) c2
-            else scan now c1 (pull rest2 now)
+            if a.t_end <= b.t_end then scan now (pull arena1 rest1 now) c2
+            else scan now c1 (pull arena2 rest2 now)
           else begin
             match f ~lo ~hi a b with
             | Some result -> result
             | None ->
                 if hi >= horizon then finish (Horizon horizon)
-                else if a.t_end <= b.t_end then scan hi (pull rest1 hi) c2
-                else scan hi c1 (pull rest2 hi)
+                else if a.t_end <= b.t_end then scan hi (pull arena1 rest1 hi) c2
+                else scan hi c1 (pull arena2 rest2 hi)
           end
         end
   in
-  scan 0.0 (pull s1 Float.neg_infinity) (pull s2 Float.neg_infinity)
+  scan 0.0 (pull arena1 s1 Float.neg_infinity) (pull arena2 s2 Float.neg_infinity)
 
 let first_meeting ?(closed_forms = true) ?(resolution = 1e-9)
     ?(horizon = Float.infinity) ~r s1 s2 =

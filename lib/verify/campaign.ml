@@ -2,6 +2,7 @@ module Rng = Rvu_workload.Rng
 module Scenario = Rvu_workload.Scenario
 module Engine = Rvu_sim.Engine
 module Wire = Rvu_service.Wire
+module Wb = Rvu_service.Wire_bin
 module Proto = Rvu_service.Proto
 module Server = Rvu_service.Server
 module Fault = Rvu_obs.Fault
@@ -18,6 +19,28 @@ type report = {
 
 let counter_by_name name = Metrics.counter_value (Metrics.counter name)
 
+(* The server oracle as a line-in/line-out function in the requested
+   codec. [Binary] transcodes each request line through {!Wb} and the
+   response payload back to its canonical JSON print — both codecs are
+   canonical over the same value domain, so a campaign's oracles compare
+   the exact same bytes either way. Any binary-path divergence (encode,
+   frame cache, splice) therefore surfaces as an ordinary violation. *)
+let server_sync_for ~wire server =
+  match wire with
+  | Wb.Json -> Server.handle_sync server
+  | Wb.Binary -> (
+      fun line ->
+        match Wire.parse line with
+        | Error _ -> Server.handle_sync server line
+        | Ok w -> (
+            let payload = Server.handle_payload_sync server (Wb.encode w) in
+            match Wb.decode payload with
+            | Ok rw -> Wire.print rw
+            | Error msg ->
+                Printf.sprintf
+                  "{\"error\":{\"code\":\"internal\",\"message\":%S}}"
+                  ("undecodable binary response: " ^ msg)))
+
 let violations_json vs =
   (* Cap the listed detail; the count is always exact. *)
   let rec take n = function
@@ -33,7 +56,7 @@ let symmetry_cases ~seed ~cases =
   let rng = Rng.create ~seed:(Int64.of_int seed) in
   List.init cases (fun _ -> Oracle.random_case rng)
 
-let symmetry ~seed ~cases =
+let symmetry ?(wire = Wb.Json) ~seed ~cases () =
   let case_list = symmetry_cases ~seed ~cases in
   let server =
     Server.create
@@ -47,7 +70,7 @@ let symmetry ~seed ~cases =
         }
       ()
   in
-  let server_sync = Server.handle_sync server in
+  let server_sync = server_sync_for ~wire server in
   let hits = ref 0 in
   let violations = ref [] in
   let borderline = ref [] in
@@ -85,6 +108,7 @@ let symmetry ~seed ~cases =
         ("campaign", Wire.String "symmetry");
         ("seed", Wire.Int seed);
         ("cases", Wire.Int cases);
+        ("wire", Wire.String (Wb.mode_string wire));
         ("hits", Wire.Int !hits);
         ("horizons", Wire.Int (cases - !hits));
         ("families", Wire.Obj families);
@@ -281,16 +305,18 @@ let sched_phase ~seed ~cases =
 
 let stats_line i = Wire.print (Proto.wire_of_request ~id:(Wire.Int i) Proto.Stats)
 
-(* Torn NDJSON frames: the server sees a strict prefix of each faulted
-   line and must answer a structured parse error, never crash. *)
-let torn_phase ~seed ~cases =
+(* Torn frames: the server sees a strict prefix of each faulted line (or
+   binary frame payload — the same fault site guards both transports) and
+   must answer a structured parse error, never crash. *)
+let torn_phase ~wire ~seed ~cases =
   let site = Fault.site "server.torn_frame" in
   Fault.arm ~seed [ ("server.torn_frame", 0.4) ];
   let server = Server.create ~config:{ Server.default_config with Server.jobs = 1 } () in
+  let server_sync = server_sync_for ~wire server in
   let parse_errors = ref 0 in
   let ok = ref 0 in
   for i = 1 to cases do
-    let resp = Server.handle_sync server (stats_line i) in
+    let resp = server_sync (stats_line i) in
     match Wire.parse resp with
     | Ok w -> (
         match Wire.member "error" w with
@@ -426,7 +452,7 @@ let evict_phase ~seed ~cases:_ =
      request line through {!Server.handle_sync} must answer the exact
      bytes of the instance's own payload. *)
 
-let models ~seed ~cases =
+let models ?(wire = Wb.Json) ~seed ~cases () =
   let entries = Rvu_model.Registry.all () in
   let per_model = max 1 (cases / List.length entries) in
   let server =
@@ -441,7 +467,7 @@ let models ~seed ~cases =
         }
       ()
   in
-  let server_sync = Server.handle_sync server in
+  let server_sync = server_sync_for ~wire server in
   let hits = ref 0 in
   let total = ref 0 in
   let violations = ref [] in
@@ -549,6 +575,7 @@ let models ~seed ~cases =
         ("campaign", Wire.String "models");
         ("seed", Wire.Int seed);
         ("cases", Wire.Int !total);
+        ("wire", Wire.String (Wb.mode_string wire));
         ("models", Wire.Obj model_reports);
         ("model_hits", Wire.Int !hits);
         ("violations", Wire.Int (List.length !violations));
@@ -568,12 +595,15 @@ let models ~seed ~cases =
 
 (* ------------------------------------------------------------------ *)
 
-let faults ~seed ~cases =
+(* Only the torn-frame phase is codec-sensitive (it exercises the
+   transport decode path); the other four fault sites live below or
+   beside the codec and stay on the JSON oracle in either mode. *)
+let faults ?(wire = Wb.Json) ~seed ~cases () =
   let phases =
     [
       pool_phase ~seed ~cases;
       sched_phase ~seed ~cases;
-      torn_phase ~seed ~cases;
+      torn_phase ~wire ~seed ~cases;
       drop_phase ~seed ~cases;
       evict_phase ~seed ~cases;
     ]
@@ -586,6 +616,7 @@ let faults ~seed ~cases =
         ("campaign", Wire.String "faults");
         ("seed", Wire.Int seed);
         ("cases", Wire.Int cases);
+        ("wire", Wire.String (Wb.mode_string wire));
         ( "injected_total",
           Wire.Int (List.fold_left (fun acc (_, n) -> acc + n) 0 injected) );
         ("phases", Wire.List (List.map phase_json phases));
@@ -598,10 +629,10 @@ let faults ~seed ~cases =
 (* ------------------------------------------------------------------ *)
 (* Composition *)
 
-let all ~seed ~cases =
-  let s = symmetry ~seed ~cases in
-  let m = models ~seed ~cases in
-  let f = faults ~seed ~cases in
+let all ?(wire = Wb.Json) ~seed ~cases () =
+  let s = symmetry ~wire ~seed ~cases () in
+  let m = models ~wire ~seed ~cases () in
+  let f = faults ~wire ~seed ~cases () in
   let violations = s.violations @ m.violations @ f.violations in
   let json =
     Wire.Obj
@@ -609,6 +640,7 @@ let all ~seed ~cases =
         ("campaign", Wire.String "all");
         ("seed", Wire.Int seed);
         ("cases", Wire.Int cases);
+        ("wire", Wire.String (Wb.mode_string wire));
         ("symmetry", s.json);
         ("models", m.json);
         ("faults", f.json);
@@ -627,10 +659,10 @@ let all ~seed ~cases =
 let names = [ "symmetry"; "models"; "faults"; "all" ]
 
 let of_name = function
-  | "symmetry" -> Some (fun ~seed ~cases -> symmetry ~seed ~cases)
-  | "models" -> Some (fun ~seed ~cases -> models ~seed ~cases)
-  | "faults" -> Some (fun ~seed ~cases -> faults ~seed ~cases)
-  | "all" -> Some (fun ~seed ~cases -> all ~seed ~cases)
+  | "symmetry" -> Some symmetry
+  | "models" -> Some models
+  | "faults" -> Some faults
+  | "all" -> Some all
   | _ -> None
 
 let int_member name w =

@@ -36,14 +36,32 @@ val symmetry_cases : seed:int -> cases:int -> Oracle.case list
 (** The exact case list the [symmetry] campaign runs — exposed so tests
     can pin seed reproducibility. *)
 
-val symmetry : seed:int -> cases:int -> report
-val models : seed:int -> cases:int -> report
-val faults : seed:int -> cases:int -> report
+val symmetry :
+  ?wire:Rvu_service.Wire_bin.mode -> seed:int -> cases:int -> unit -> report
 
-val all : seed:int -> cases:int -> report
-(** All campaigns with the same seed; violations concatenated. *)
+val models :
+  ?wire:Rvu_service.Wire_bin.mode -> seed:int -> cases:int -> unit -> report
 
-val of_name : string -> (seed:int -> cases:int -> report) option
+val faults :
+  ?wire:Rvu_service.Wire_bin.mode -> seed:int -> cases:int -> unit -> report
+
+val all :
+  ?wire:Rvu_service.Wire_bin.mode -> seed:int -> cases:int -> unit -> report
+(** All campaigns with the same seed; violations concatenated.
+
+    [wire] (default [Json]) selects the codec of every live-server round
+    trip: [Binary] drives {!Rvu_service.Server.handle_payload_sync} with
+    transcoded requests, making the binary encode/decode/frame-cache path
+    answer the same oracles the JSON path must — both codecs are
+    canonical over the same value domain, so the compared bytes are
+    identical on a correct implementation. In [faults], only the
+    torn-frame phase is codec-sensitive; the other fault sites live below
+    the codec and stay on the JSON oracle. *)
+
+val of_name :
+  string ->
+  (?wire:Rvu_service.Wire_bin.mode -> seed:int -> cases:int -> unit -> report)
+  option
 (** ["symmetry"], ["models"], ["faults"], ["all"]. *)
 
 val names : string list

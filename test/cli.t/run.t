@@ -215,6 +215,21 @@ across subcommands:
   Try 'rvu loadgen --help' or 'rvu --help' for more information.
   [124]
 
+The --wire enum is validated the same uniform way on every subcommand
+that takes it:
+
+  $ rvu serve --wire nope < /dev/null
+  rvu: option '--wire': expected "json" or "binary", got "nope"
+  Usage: rvu serve [OPTION]…
+  Try 'rvu serve --help' or 'rvu --help' for more information.
+  [124]
+
+  $ rvu loadgen --wire frames
+  rvu: option '--wire': expected "json" or "binary", got "frames"
+  Usage: rvu loadgen [OPTION]…
+  Try 'rvu loadgen --help' or 'rvu --help' for more information.
+  [124]
+
 The evaluation server over stdio: one JSON request per line, one JSON
 response per line. The instance is the same asymmetric-clock simulation as
 above, and the meeting time is the same float — the service evaluates
@@ -294,6 +309,15 @@ The verification campaigns themselves are deterministic in (seed, cases) —
 no timestamps, no timings — so their summaries pin exactly:
 
   $ rvu verify --campaign symmetry --seed 42 --cases 10
+  campaign symmetry: seed 42, 10 cases
+    symmetry: 6 hits, 4 at horizon, 0 borderline
+  verify: 0 violations
+
+Running the same campaign with its live-server round trips on the binary
+frame path changes the wire bytes, not the results — same seed, same
+cases, same summary:
+
+  $ rvu verify --campaign symmetry --seed 42 --cases 10 --wire binary
   campaign symmetry: seed 42, 10 cases
     symmetry: 6 hits, 4 at horizon, 0 borderline
   verify: 0 violations

@@ -155,7 +155,29 @@ let finite_float_gen =
     (fun f -> if Float.is_finite f then f else Float.of_int (Hashtbl.hash f))
     QCheck.Gen.float
 
-let wire_gen =
+(* The finite floats a codec is most likely to mangle: signed zeros (the
+   structural [=] conflates them — only the bits tell), the subnormal
+   extremes, the normal extremes, and a repeating fraction whose decimal
+   printing needs all 17 digits. *)
+let edge_floats =
+  [
+    0.0;
+    -0.0;
+    Int64.float_of_bits 1L (* smallest positive subnormal *);
+    Int64.float_of_bits 0x8000000000000001L (* smallest negative subnormal *);
+    Float.min_float (* smallest positive normal *);
+    -.Float.min_float;
+    Float.max_float;
+    -.Float.max_float;
+    Float.epsilon;
+    1.0 /. 3.0;
+    -1.2345678901234567e308;
+  ]
+
+let edge_float_gen =
+  QCheck.Gen.(frequency [ (1, oneofl edge_floats); (1, finite_float_gen) ])
+
+let wire_gen_with float_gen =
   let module Wire = Rvu_service.Wire in
   QCheck.Gen.(
     sized
@@ -166,7 +188,7 @@ let wire_gen =
                  return Wire.Null;
                  map (fun b -> Wire.Bool b) bool;
                  map (fun i -> Wire.Int i) int;
-                 map (fun f -> Wire.Float f) finite_float_gen;
+                 map (fun f -> Wire.Float f) float_gen;
                  map (fun s -> Wire.String s) (string_size (int_bound 12));
                ]
            in
@@ -185,3 +207,64 @@ let wire_gen =
                      (list_size (int_bound 4)
                         (pair (string_size (int_bound 8)) (self (n / 2)))) );
                ]))
+
+let wire_gen = wire_gen_with finite_float_gen
+
+(* Same structural distribution with floats biased to the edge set — the
+   binary codec battery draws from this one. *)
+let wire_edge_gen = wire_gen_with edge_float_gen
+
+(* ------------------------------------------------------------------ *)
+(* Protocol requests *)
+
+(* Every deterministic-compute request shape, with mild parameters so the
+   differential JSON/binary server oracle finishes quickly. Stats,
+   metrics, health and hello answer with time-varying or connection-local
+   payloads — the codec shape tests cover those separately. *)
+let proto_compute_request_gen =
+  let module Proto = Rvu_service.Proto in
+  QCheck.Gen.(
+    let simulate =
+      let* attrs = attributes_gen in
+      let* d = float_range 0.8 3.0 in
+      let* bearing = float_range 0.0 6.2 in
+      let* r = float_range 0.15 0.6 in
+      let* algorithm4 = bool in
+      return
+        (Proto.Simulate
+           {
+             attrs;
+             d;
+             bearing;
+             r;
+             horizon = 1e8;
+             algorithm4;
+             transform = Rvu_core.Symmetry.identity;
+           })
+    in
+    let search =
+      let* d = float_range 0.8 3.0 in
+      let* bearing = float_range 0.0 6.2 in
+      let* r = float_range 0.15 0.6 in
+      return (Proto.Search { d; bearing; r; horizon = 1e8 })
+    in
+    let feasibility = map (fun a -> Proto.Feasibility a) attributes_gen in
+    let bound =
+      let* attrs = attributes_gen in
+      let* d = float_range 0.8 3.0 in
+      let* r = float_range 0.15 0.6 in
+      return (Proto.Bound { attrs; d; r })
+    in
+    let schedule = map (fun n -> Proto.Schedule n) (int_range 1 6) in
+    let batch =
+      let* attrs = attributes_gen in
+      let* d_lo = float_range 0.8 1.5 in
+      let* width = float_range 0.1 1.0 in
+      let* points = int_range 1 3 in
+      let* bearing = float_range 0.0 6.2 in
+      let* r = float_range 0.15 0.6 in
+      return
+        (Proto.Batch
+           { attrs; d_lo; d_hi = d_lo +. width; points; bearing; r; horizon = 1e8 })
+    in
+    oneof [ simulate; search; feasibility; bound; schedule; batch ])

@@ -547,6 +547,48 @@ let test_router_routes_around_dead_endpoint () =
             (Wire.member "stats" s1 = None)
       | _ -> Alcotest.fail "expected a two-shard breakdown")
 
+(* Routed binary traffic: a router whose shard connections are upgraded
+   to frames must answer a binary client byte-identically to a direct
+   binary server — cold (decoded, routed, spliced) and warm (spliced
+   from the owning shard's frame cache). *)
+let test_router_binary_bit_identity () =
+  let module Wb = Rvu_service.Wire_bin in
+  let ports = [ 7561; 7562 ] in
+  let workers = List.map spawn_worker ports in
+  let config =
+    {
+      Router.default_config with
+      probe_interval_ms = 100.;
+      connect_timeout_ms = 5000.;
+      wire = Wb.Binary;
+    }
+  in
+  let router = Router.create ~config ~endpoints:(List.map endpoint ports) () in
+  let reference = Server.create ~config:worker_config () in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop router;
+      stop_workers workers;
+      Server.stop reference)
+  @@ fun () ->
+  check_bool "both shards admitted over frames" true
+    (Array.for_all (String.equal "ready") (Router.shard_statuses router));
+  let payloads =
+    List.init 6 (fun i ->
+        Wb.encode
+          (Result.get_ok
+             (Wire.parse
+                (simulate_line ~id:(i + 1) (1.0 +. (0.25 *. float_of_int i))))))
+  in
+  for _pass = 1 to 2 do
+    List.iter
+      (fun payload ->
+        check_string "routed binary = direct binary, byte for byte"
+          (Server.handle_payload_sync reference payload)
+          (Router.handle_payload_sync router payload))
+      payloads
+  done
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -589,5 +631,7 @@ let () =
             test_router_bit_identity_and_fanout;
           Alcotest.test_case "routes around a dead endpoint" `Quick
             test_router_routes_around_dead_endpoint;
+          Alcotest.test_case "routed binary is byte-identical" `Quick
+            test_router_binary_bit_identity;
         ] );
     ]

@@ -11,6 +11,7 @@
 open Rvu_geom
 open Rvu_core
 module Wire = Rvu_service.Wire
+module Wb = Rvu_service.Wire_bin
 module Lru = Rvu_service.Lru
 module Proto = Rvu_service.Proto
 module Server = Rvu_service.Server
@@ -18,6 +19,11 @@ module Server = Rvu_service.Server
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
 
 (* ------------------------------------------------------------------ *)
 (* Wire: round trip *)
@@ -103,6 +109,177 @@ let test_print_rejects_nonfinite () =
     [ Float.nan; Float.infinity; Float.neg_infinity ]
 
 (* ------------------------------------------------------------------ *)
+(* Wire_bin: the binary codec against the JSON value domain *)
+
+let decode_bin_exn p =
+  match Wb.decode p with
+  | Ok w -> w
+  | Error msg -> Alcotest.failf "binary decode failed: %s" msg
+
+(* Both directions of the canonical contract, on documents whose floats
+   are biased toward the values a codec is most likely to mangle. *)
+let prop_bin_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"decode_bin (encode_bin v) = v, bit-exact"
+    (QCheck.make Gen.wire_edge_gen ~print:(fun v -> Wire.print v))
+    (fun v -> wire_equal v (decode_bin_exn (Wb.encode v)))
+
+let prop_bin_canonical =
+  QCheck.Test.make ~count:500
+    ~name:"encode_bin (decode_bin p) = p, byte-exact"
+    (QCheck.make Gen.wire_edge_gen ~print:(fun v -> Wire.print v))
+    (fun v ->
+      let p = Wb.encode v in
+      String.equal p (Wb.encode (decode_bin_exn p)))
+
+let test_bin_float_edges () =
+  List.iter
+    (fun f ->
+      match decode_bin_exn (Wb.encode (Wire.Float f)) with
+      | Wire.Float f' ->
+          check_bool
+            (Printf.sprintf "%h carries its exact bits" f)
+            true
+            (Int64.bits_of_float f = Int64.bits_of_float f')
+      | v -> Alcotest.failf "float decoded as %s" (Wire.kind_name v))
+    Gen.edge_floats;
+  (* Negative zero specifically: the structural [=] above would accept
+     +0.0 for it, so pin the sign through the round trip. *)
+  match decode_bin_exn (Wb.encode (Wire.Float (-0.0))) with
+  | Wire.Float f ->
+      check_bool "negative zero keeps its sign" true (1.0 /. f < 0.0)
+  | _ -> Alcotest.fail "negative zero did not decode as a float"
+
+let test_bin_nonfinite_policy () =
+  (* Encode refuses non-finite floats, exactly like Wire.print … *)
+  List.iter
+    (fun f ->
+      check_bool "non-finite float raises on encode" true
+        (match Wb.encode (Wire.Float f) with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* … and a crafted payload carrying non-finite bits is rejected on
+     decode, so the binary value domain stays exactly the JSON one. *)
+  let crafted bits =
+    let b = Buffer.create 9 in
+    Buffer.add_char b '\x04';
+    Buffer.add_int64_be b bits;
+    Buffer.contents b
+  in
+  List.iter
+    (fun bits ->
+      check_bool
+        (Printf.sprintf "float bits %Lx rejected on decode" bits)
+        true
+        (Result.is_error (Wb.decode (crafted bits))))
+    [
+      Int64.bits_of_float Float.nan;
+      Int64.bits_of_float Float.infinity;
+      Int64.bits_of_float Float.neg_infinity;
+      0x7ff8000000000dedL (* a NaN payload no OCaml program produced *);
+    ]
+
+let test_bin_decode_malformed () =
+  let err p =
+    match Wb.decode p with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "payload %S unexpectedly decoded" p
+  in
+  List.iter
+    (fun p -> ignore (err p : string))
+    [
+      "" (* empty payload *);
+      "\x09" (* unknown tag *);
+      "\x03\x00\x01" (* int missing bytes *);
+      "\x05\x00\x00\x00\x05ab" (* string shorter than its length *);
+      "\x06\x00\x00\x00\x02\x00" (* list promising more items *);
+      "\x07\x00\x00\x00\x01\x00\x00\x00\x01k" (* member value missing *);
+      "\x00\x00" (* trailing byte after a complete value *);
+    ];
+  (* Error messages carry the byte offset of the defect. *)
+  check_bool "trailing-bytes error names the offset" true
+    (contains ~needle:"1" (err "\x00\x00"))
+
+(* wire_of_request documents for every request shape survive the binary
+   codec — value round trip, canonical bytes, and a full decode back
+   through request_of_wire. *)
+let test_bin_proto_shapes () =
+  let requests =
+    [
+      Proto.Simulate
+        {
+          attrs =
+            Attributes.make ~v:2.0 ~tau:0.5 ~phi:1.0 ~chi:Attributes.Opposite ();
+          d = 3.0;
+          bearing = 0.4;
+          r = 0.25;
+          horizon = 1e6;
+          algorithm4 = true;
+          transform = Rvu_core.Symmetry.identity;
+        };
+      Proto.Search { d = 4.0; bearing = 0.9; r = 0.5; horizon = 1e7 };
+      Proto.Feasibility (Attributes.make ~v:3.0 ());
+      Proto.Bound { attrs = Attributes.make ~tau:0.7 (); d = 8.0; r = 0.1 };
+      Proto.Schedule 5;
+      Proto.Batch
+        {
+          attrs = Attributes.make ();
+          d_lo = 1.0;
+          d_hi = 2.0;
+          points = 3;
+          bearing = 0.9;
+          r = 0.4;
+          horizon = 1e7;
+        };
+      Proto.Stats;
+      Proto.Metrics Proto.Metrics_json;
+      Proto.Metrics Proto.Metrics_prometheus;
+      Proto.Health;
+      Proto.Hello Wb.Json;
+      Proto.Hello Wb.Binary;
+    ]
+  in
+  List.iteri
+    (fun i request ->
+      let doc =
+        Proto.wire_of_request ~id:(Wire.Int (i + 1)) ~timeout_ms:125.0 request
+      in
+      let p = Wb.encode doc in
+      check_bool "binary round trip is the identity" true
+        (wire_equal doc (decode_bin_exn p));
+      check_string "re-encode is byte-identical" p
+        (Wb.encode (decode_bin_exn p));
+      match Proto.request_of_wire (decode_bin_exn p) with
+      | Ok env ->
+          check_bool "request survives the binary codec" true
+            (env.Proto.request = request)
+      | Error e -> Alcotest.fail e)
+    requests;
+  (* The response shapes too: ok and every error code. *)
+  let responses =
+    Proto.ok_response ~ctx:"req-1" ~id:(Wire.Int 1)
+      (Wire.Obj
+         [ ("outcome", Wire.Obj [ ("t", Wire.Float 12.5) ]); ("n", Wire.Int 3) ])
+    :: List.map
+         (fun code ->
+           Proto.error_response ~ctx:"c0ffee" ~id:Wire.Null code "details here")
+         [
+           Proto.Parse_error;
+           Proto.Invalid_request;
+           Proto.Overloaded;
+           Proto.Timeout;
+           Proto.Internal;
+         ]
+  in
+  List.iter
+    (fun doc ->
+      let p = Wb.encode doc in
+      check_bool "response round-trips" true (wire_equal doc (decode_bin_exn p));
+      check_string "response re-encode is byte-identical" p
+        (Wb.encode (decode_bin_exn p)))
+    responses
+
+(* ------------------------------------------------------------------ *)
 (* Lru *)
 
 let test_lru_eviction_order () =
@@ -147,11 +324,6 @@ let test_proto_defaults_match_cli () =
       check_bool "algorithm4 default" true (s.Proto.algorithm4 = false)
   | Ok _ -> Alcotest.fail "decoded to the wrong request"
   | Error e -> Alcotest.fail e
-
-let contains ~needle hay =
-  let nh = String.length hay and nn = String.length needle in
-  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
-  nn = 0 || at 0
 
 let test_proto_invalid_requests () =
   let expect_error line fragment =
@@ -635,6 +807,319 @@ let test_server_health_probe () =
     (probe () = ("ready", 0));
   Server.stop server
 
+(* ------------------------------------------------------------------ *)
+(* Binary request path: differential against the JSON path *)
+
+(* One server, every deterministic-compute request shape through both
+   entry points: a client must be able to switch codecs without
+   observing anything. The JSON pass runs first, so the binary pass also
+   exercises the warm frame-path against result-cache state. *)
+let test_bin_json_differential () =
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 2;
+      queue_depth = 64;
+      cache_entries = 256;
+      timeout_ms = None;
+    }
+  in
+  let server = Server.create ~config () in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let rand = Random.State.make [| 0x42; 0x1009 |] in
+  let requests =
+    QCheck.Gen.generate ~rand ~n:25 Gen.proto_compute_request_gen
+  in
+  List.iteri
+    (fun i request ->
+      let doc = Proto.wire_of_request ~id:(Wire.Int (i + 1)) request in
+      let via_json =
+        Result.get_ok (Wire.parse (Server.handle_sync server (Wire.print doc)))
+      in
+      let via_bin =
+        decode_bin_exn (Server.handle_payload_sync server (Wb.encode doc))
+      in
+      check_bool
+        (Printf.sprintf "case %d: binary response = json response, bit-exact"
+           (i + 1))
+        true
+        (wire_equal via_json via_bin))
+    requests;
+  (* A warm binary repeat must come from the frame cache (memoized bytes,
+     no decode) and still answer identically. *)
+  let doc = Proto.wire_of_request ~id:(Wire.Int 1) (List.hd requests) in
+  let payload = Wb.encode doc in
+  let first = Server.handle_payload_sync server payload in
+  let hits_before = (Server.frame_cache_stats server).Lru.hits in
+  check_string "warm binary repeat is byte-identical" first
+    (Server.handle_payload_sync server payload);
+  check_bool "warm repeat hit the frame cache" true
+    ((Server.frame_cache_stats server).Lru.hits > hits_before);
+  (* The reject path too: an invalid request earns the same structured
+     error on either codec (the ctx derives from the id, so it agrees). *)
+  let invalid = Result.get_ok (Wire.parse {|{"id":77,"kind":"oops"}|}) in
+  let via_json =
+    Result.get_ok
+      (Wire.parse (Server.handle_sync server (Wire.print invalid)))
+  in
+  let via_bin =
+    decode_bin_exn (Server.handle_payload_sync server (Wb.encode invalid))
+  in
+  check_bool "invalid request rejected identically" true
+    (wire_equal via_json via_bin)
+
+(* The torn-frame fault site on the binary path: a frame truncated by the
+   (simulated) transport is malformed by construction — its headers
+   promise bytes that never arrive — and must answer parse_error. *)
+let test_bin_torn_frame_fault () =
+  Rvu_obs.Fault.arm ~seed:11 [ ("server.torn_frame", 1.0) ];
+  Fun.protect ~finally:(fun () -> Rvu_obs.Fault.disarm ()) @@ fun () ->
+  let server =
+    Server.create ~config:{ Server.default_config with Server.jobs = 1 } ()
+  in
+  let payload =
+    Wb.encode (Result.get_ok (Wire.parse (simulate_line ~id:3 1.5)))
+  in
+  let response = decode_bin_exn (Server.handle_payload_sync server payload) in
+  Server.stop server;
+  check_bool "torn frame answers parse_error" true
+    (error_code response = Some "parse_error")
+
+(* ------------------------------------------------------------------ *)
+(* Warm binary path: allocation ceiling *)
+
+(* The zero-allocation claim, pinned as a tier-1 regression: a warm
+   cacheable request through the binary path (scan, frame-cache hit,
+   byte splice) must stay under a fixed minor-words budget. Measured
+   ~160 words/request; the 512 ceiling leaves slack for runtime drift
+   without letting a closure creep back into the scan path (the JSON
+   line path costs ~1900). *)
+let test_bin_warm_allocation_ceiling () =
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = 1;
+      queue_depth = 16;
+      cache_entries = 64;
+      timeout_ms = None;
+    }
+  in
+  let server = Server.create ~config () in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let frames =
+    Array.init 8 (fun i ->
+        Wb.encode
+          (Result.get_ok
+             (Wire.parse
+                (simulate_line ~id:(i + 1) (1.0 +. (0.1 *. float_of_int i))))))
+  in
+  (* Fill pass: every later repeat is a frame-cache hit, answered
+     synchronously on this domain — which is what makes the per-domain
+     Gc.minor_words delta the warm path's own allocation. *)
+  Array.iter (fun p -> ignore (Server.handle_payload_sync server p : string)) frames;
+  let rounds = 50 in
+  let n = rounds * Array.length frames in
+  let hits = ref 0 in
+  let respond _ = incr hits in
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    Array.iter (fun p -> Server.handle_payload server p ~respond) frames
+  done;
+  let words = (Gc.minor_words () -. before) /. float_of_int n in
+  check_int "every warm request answered synchronously" n !hits;
+  check_bool
+    (Printf.sprintf "%.0f minor words/request under the 512 ceiling" words)
+    true (words < 512.0)
+
+(* ------------------------------------------------------------------ *)
+(* Framed transport: serve_channels over pipes *)
+
+(* One serve_channels session over OS pipes. [f] drives the client ends
+   (oc: requests out, ic: responses in) and must close [oc] when it
+   wants the server to see end-of-input; the server domain returning
+   cleanly — never crashing, never hanging — is itself the property the
+   hardening tests below rely on (a crash would surface in Domain.join,
+   a hang as a test timeout). *)
+let with_conn ?wire config f =
+  let server = Server.create ~config () in
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+  let sic = Unix.in_channel_of_descr req_r in
+  let soc = Unix.out_channel_of_descr resp_w in
+  let domain =
+    Domain.spawn (fun () ->
+        Server.serve_channels ?wire server sic soc;
+        close_in_noerr sic;
+        close_out_noerr soc)
+  in
+  let oc = Unix.out_channel_of_descr req_w in
+  let ic = Unix.in_channel_of_descr resp_r in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      Domain.join domain;
+      close_in_noerr ic;
+      Server.stop server)
+  @@ fun () -> f oc ic
+
+let conn_config =
+  {
+    Server.default_config with
+    Server.jobs = 1;
+    queue_depth = 8;
+    cache_entries = 8;
+    timeout_ms = None;
+  }
+
+let expect_eof ic what =
+  match input_char ic with
+  | exception End_of_file -> ()
+  | c -> Alcotest.failf "expected a clean close after %s, got byte %C" what c
+
+(* A pinned-binary connection that dies inside the 4-byte length prefix:
+   nothing to answer, nothing to desync — the server closes cleanly. *)
+let test_frame_truncated_prefix () =
+  with_conn ~wire:Wb.Binary conn_config @@ fun oc ic ->
+  output_string oc "\x00\x00";
+  close_out oc;
+  expect_eof ic "a truncated length prefix"
+
+(* A length prefix past max_request_bytes: the payload is never read, so
+   the stream position is unknowable — answer invalid and close. *)
+let test_frame_oversized_length () =
+  let config = { conn_config with Server.max_request_bytes = 64 } in
+  with_conn ~wire:Wb.Binary config @@ fun oc ic ->
+  output_string oc "\x00\x01\x00\x00" (* announces 65536 bytes *);
+  flush oc;
+  (match Wb.input_frame ic with
+  | Wb.Frame p ->
+      let r = decode_bin_exn p in
+      check_bool "oversized length answers invalid_request" true
+        (error_code r = Some "invalid_request");
+      let msg =
+        match Wire.member "error" r with
+        | Some err -> (
+            match Wire.member "message" err with
+            | Some (Wire.String m) -> m
+            | _ -> Alcotest.fail "error without message")
+        | None -> Alcotest.fail "no error member"
+      in
+      check_bool "message names the byte limit" true
+        (contains ~needle:"exceeds the 64 byte limit" msg)
+  | _ -> Alcotest.fail "no response frame for the oversized length");
+  expect_eof ic "an oversized length"
+
+(* A connection dropped mid-payload: the record never arrived whole, so
+   there is nothing to answer — log and close, never block. *)
+let test_frame_midframe_drop () =
+  with_conn ~wire:Wb.Binary conn_config @@ fun oc ic ->
+  output_string oc "\x00\x00\x00\x0a1234" (* promises 10 bytes, sends 4 *);
+  close_out oc;
+  expect_eof ic "a mid-frame drop"
+
+(* A confused client sends binary frames down a JSON connection: the
+   frame bytes read as one garbage line and earn a parse_error — the
+   server neither crashes nor interprets them as framing. *)
+let test_frame_binary_on_json_conn () =
+  with_conn conn_config @@ fun oc ic ->
+  output_string oc (Wb.frame (Wb.encode (Wire.Int 5)));
+  close_out oc;
+  let r = Result.get_ok (Wire.parse (input_line ic)) in
+  check_bool "binary frame on a JSON connection answers parse_error" true
+    (error_code r = Some "parse_error");
+  expect_eof ic "the parse_error response"
+
+(* The hello upgrade, end to end over the default JSON start: JSON hello
+   line, JSON ok response, then binary frames both ways. *)
+let test_frame_hello_upgrade () =
+  with_conn conn_config @@ fun oc ic ->
+  output_string oc "{\"id\":0,\"kind\":\"hello\",\"wire\":\"binary\"}\n";
+  flush oc;
+  let hello = Result.get_ok (Wire.parse (input_line ic)) in
+  check_bool "hello acknowledged in JSON" true
+    (Wire.member "ok" hello = Some (Wire.Obj [ ("wire", Wire.String "binary") ]));
+  let doc = Result.get_ok (Wire.parse {|{"id":1,"kind":"feasibility","v":2.0}|}) in
+  Wb.output_frame oc (Wb.encode doc);
+  flush oc;
+  (match Wb.input_frame ic with
+  | Wb.Frame p ->
+      let r = decode_bin_exn p in
+      check_bool "framed response is ok" true (error_code r = None);
+      check_bool "id echoed through the upgrade" true
+        (Wire.member "id" r = Some (Wire.Int 1))
+  | _ -> Alcotest.fail "no framed response after the upgrade");
+  close_out oc;
+  match Wb.input_frame ic with
+  | Wb.Eof -> ()
+  | _ -> Alcotest.fail "upgraded connection did not close cleanly"
+
+(* The same hello against a server pinned with --wire binary: the sniffed
+   '{' falls the connection back to line discipline and the upgrade still
+   lands — a negotiating client cannot tell the deployments apart. *)
+let test_frame_hello_against_pinned_binary () =
+  with_conn ~wire:Wb.Binary conn_config @@ fun oc ic ->
+  output_string oc "{\"id\":0,\"kind\":\"hello\",\"wire\":\"binary\"}\n";
+  flush oc;
+  let hello = Result.get_ok (Wire.parse (input_line ic)) in
+  check_bool "hello acknowledged despite the pinned start" true
+    (Wire.member "ok" hello = Some (Wire.Obj [ ("wire", Wire.String "binary") ]));
+  let doc = Result.get_ok (Wire.parse {|{"id":4,"kind":"schedule","rounds":2}|}) in
+  Wb.output_frame oc (Wb.encode doc);
+  flush oc;
+  (match Wb.input_frame ic with
+  | Wb.Frame p ->
+      check_bool "request served over frames" true
+        (error_code (decode_bin_exn p) = None)
+  | _ -> Alcotest.fail "no framed response from the pinned server");
+  close_out oc
+
+(* A client that upgrades and then forgets, sending a JSON line where a
+   frame belongs: its '{' reads as a ~2 GiB length prefix, which trips
+   the size limit — answer invalid and close rather than wait forever
+   for gigabytes that are not coming. *)
+let test_frame_json_line_after_upgrade () =
+  with_conn conn_config @@ fun oc ic ->
+  output_string oc "{\"id\":0,\"kind\":\"hello\",\"wire\":\"binary\"}\n";
+  flush oc;
+  ignore (input_line ic : string);
+  output_string oc "{\"id\":1,\"kind\":\"stats\"}\n";
+  flush oc;
+  (match Wb.input_frame ic with
+  | Wb.Frame p ->
+      check_bool "desynced JSON line answers invalid_request" true
+        (error_code (decode_bin_exn p) = Some "invalid_request")
+  | _ -> Alcotest.fail "no response to the desynced line");
+  match Wb.input_frame ic with
+  | Wb.Eof -> ()
+  | _ -> Alcotest.fail "connection not closed after the desync"
+
+(* hello anywhere but first is connection state arriving too late:
+   rejected with a structured error, and the connection keeps serving. *)
+let test_frame_midstream_hello_rejected () =
+  with_conn conn_config @@ fun oc ic ->
+  output_string oc "{\"id\":1,\"kind\":\"health\"}\n";
+  flush oc;
+  ignore (input_line ic : string);
+  output_string oc "{\"id\":2,\"kind\":\"hello\",\"wire\":\"binary\"}\n";
+  flush oc;
+  let r = Result.get_ok (Wire.parse (input_line ic)) in
+  check_bool "mid-stream hello rejected" true
+    (error_code r = Some "invalid_request");
+  (match Wire.member "error" r with
+  | Some err -> (
+      match Wire.member "message" err with
+      | Some (Wire.String m) ->
+          check_bool "names the first-record rule" true
+            (contains ~needle:"first record" m)
+      | _ -> Alcotest.fail "error without message")
+  | None -> Alcotest.fail "no error member");
+  output_string oc "{\"id\":3,\"kind\":\"health\"}\n";
+  flush oc;
+  let r = Result.get_ok (Wire.parse (input_line ic)) in
+  check_bool "connection still serves JSON after the rejection" true
+    (error_code r = None);
+  close_out oc
+
 let () =
   Alcotest.run "service"
     [
@@ -645,6 +1130,19 @@ let () =
           Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
           Alcotest.test_case "non-finite floats rejected" `Quick
             test_print_rejects_nonfinite;
+        ] );
+      ( "wire_bin",
+        [
+          QCheck_alcotest.to_alcotest prop_bin_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bin_canonical;
+          Alcotest.test_case "float edge cases carry their bits" `Quick
+            test_bin_float_edges;
+          Alcotest.test_case "non-finite floats rejected both ways" `Quick
+            test_bin_nonfinite_policy;
+          Alcotest.test_case "malformed payloads rejected" `Quick
+            test_bin_decode_malformed;
+          Alcotest.test_case "every protocol shape round-trips" `Quick
+            test_bin_proto_shapes;
         ] );
       ( "lru",
         [
@@ -685,5 +1183,33 @@ let () =
           Alcotest.test_case "trace spans carry the request ctx" `Quick
             test_server_trace_span_ctx;
           Alcotest.test_case "health probe" `Quick test_server_health_probe;
+        ] );
+      ( "binary path",
+        [
+          Alcotest.test_case "differential against the JSON path" `Quick
+            test_bin_json_differential;
+          Alcotest.test_case "torn frame answers parse_error" `Quick
+            test_bin_torn_frame_fault;
+          Alcotest.test_case "warm allocation ceiling" `Quick
+            test_bin_warm_allocation_ceiling;
+        ] );
+      ( "framed transport",
+        [
+          Alcotest.test_case "truncated length prefix" `Quick
+            test_frame_truncated_prefix;
+          Alcotest.test_case "oversized length answers and closes" `Quick
+            test_frame_oversized_length;
+          Alcotest.test_case "mid-frame drop closes cleanly" `Quick
+            test_frame_midframe_drop;
+          Alcotest.test_case "binary frame on a JSON connection" `Quick
+            test_frame_binary_on_json_conn;
+          Alcotest.test_case "hello upgrade serves frames" `Quick
+            test_frame_hello_upgrade;
+          Alcotest.test_case "hello against a pinned-binary server" `Quick
+            test_frame_hello_against_pinned_binary;
+          Alcotest.test_case "JSON line after upgrade answers and closes"
+            `Quick test_frame_json_line_after_upgrade;
+          Alcotest.test_case "mid-stream hello rejected" `Quick
+            test_frame_midstream_hello_rejected;
         ] );
     ]

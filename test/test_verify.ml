@@ -133,7 +133,7 @@ let test_fault_counts_listing () =
 
 let test_symmetry_report_shape () =
   let module Wire = Rvu_service.Wire in
-  let r = Campaign.symmetry ~seed:3 ~cases:5 in
+  let r = Campaign.symmetry ~seed:3 ~cases:5 () in
   check_string "campaign name" "symmetry" r.Campaign.campaign;
   check_int "seed echoed" 3 r.Campaign.seed;
   check_int "cases echoed" 5 r.Campaign.cases;
