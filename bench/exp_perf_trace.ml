@@ -1,0 +1,303 @@
+(* PERF-TRACE — the cost and the integrity of cross-process tracing.
+
+   Two phases.
+
+   Overhead: the same warm serve workload runs against an in-process
+   server with tracing off, then on (a span context minted per request,
+   serve/encode records into the ring). Each mode takes the minimum of
+   [repeats] passes — minimum, not mean, because noise only ever adds
+   time — and the traced overhead must stay within 5% of the untraced
+   wall: tracing is designed to be cheap enough to leave on.
+
+   Integrity: a router over two spawned `rvu serve --trace` workers, the
+   router itself tracing, drives a cold + warm load, stops the cluster
+   (Router.stop SIGTERMs and reaps the workers, which flush their rings
+   on the way out), and stitches the three per-process files with
+   {!Rvu_obs.Trace_merge}. The merged timeline must show at least one
+   cross-process trace id, at least one shard serve span re-parented
+   under a router forward span, at least one trace id reaching a GC
+   lane, and every exemplar trace id recorded by the router's
+   forward-phase histogram must appear in the merged file — the
+   histogram-to-timeline round trip a latency investigation follows.
+
+   Emits BENCH_10.json (override the path with RVU_BENCH10_JSON). *)
+
+open Rvu_core
+module Wire = Rvu_service.Wire
+module Proto = Rvu_service.Proto
+module Server = Rvu_service.Server
+module Loadgen = Rvu_service.Loadgen
+module Router = Rvu_cluster.Router
+module Metrics = Rvu_obs.Metrics
+module Trace = Rvu_obs.Trace
+module Phase = Rvu_obs.Phase
+module Trace_merge = Rvu_obs.Trace_merge
+
+let repeats = 5
+let scenarios = 32
+let warm_requests = 2_000
+let cluster_requests = 600
+let shards = 2
+let base_port = 7650
+
+let serve_trace_path = "perf_trace.serve.json"
+let router_trace_path = "perf_trace.router.trace"
+let worker_trace_path i = Printf.sprintf "perf_trace.worker%d.trace" i
+let merged_path = "perf_trace.merged.json"
+
+(* The same scenario family as perf-cluster, so the serve walls here are
+   comparable to BENCH_7's workers. *)
+let request i =
+  let i = i mod scenarios in
+  let bearing = 0.2 +. (2.4 *. float_of_int i /. float_of_int scenarios) in
+  let tau = 0.980 +. (0.002 *. float_of_int (i mod 6)) in
+  Proto.Simulate
+    {
+      attrs = Attributes.make ~tau ();
+      d = 8.0;
+      bearing;
+      r = 0.01;
+      horizon = 1e13;
+      algorithm4 = false;
+      transform = Rvu_core.Symmetry.identity;
+    }
+
+let line ~id i = Wire.print (Proto.wire_of_request ~id:(Wire.Int id) (request i))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let min_wall f =
+  let best = ref Float.infinity in
+  for _ = 1 to repeats do
+    let (), wall = Util.wall_clock f in
+    best := Float.min !best wall
+  done;
+  !best
+
+let exemplar_ids h = List.map (fun (_, t, _) -> t) (Metrics.exemplars h)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: tracing overhead on the serve path *)
+
+let bench_overhead () =
+  let server =
+    Server.create
+      ~config:{ Server.default_config with jobs = 1; cache_entries = 256 }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let pass () =
+    for k = 1 to warm_requests do
+      ignore (Server.handle_sync server (line ~id:k k) : string)
+    done
+  in
+  (* Warm every scenario's cache entry outside the timed windows. *)
+  pass ();
+  let wall_off = min_wall pass in
+  Trace.enable ~path:serve_trace_path ();
+  let wall_traced = min_wall pass in
+  (* Exemplars land only during the traced passes (no ambient span
+     context exists with tracing off), so whatever the request histogram
+     holds now was stamped by spans that are in the ring. *)
+  let serve_ids =
+    exemplar_ids
+      (Metrics.histogram
+         ~labels:[ ("kind", "simulate") ]
+         "rvu_server_request_seconds")
+  in
+  Trace.close ();
+  if serve_ids = [] then
+    failwith "perf-trace: traced serve passes attached no exemplars";
+  let trace = read_file serve_trace_path in
+  List.iter
+    (fun t ->
+      if not (contains ~needle:t trace) then
+        failwith
+          (Printf.sprintf
+             "perf-trace: exemplar trace id %s missing from %s" t
+             serve_trace_path))
+    serve_ids;
+  (wall_off, wall_traced, List.length serve_ids)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: router + traced workers, stitched *)
+
+let rvu_bin () =
+  match Sys.getenv_opt "RVU_BIN" with
+  | Some p -> p
+  | None ->
+      let p =
+        Filename.concat
+          (Filename.dirname (Filename.dirname Sys.executable_name))
+          "bin/rvu.exe"
+      in
+      if Sys.file_exists p then p
+      else
+        failwith
+          (Printf.sprintf
+             "perf-trace: worker binary not found at %s (set RVU_BIN)" p)
+
+let worker_endpoint ~bin i =
+  let port = base_port + i in
+  {
+    Router.host = "127.0.0.1";
+    port;
+    spawn =
+      Some
+        [|
+          bin; "serve"; "--tcp"; string_of_int port; "--jobs"; "1";
+          "--cache-entries"; "256"; "--trace"; worker_trace_path i;
+          "--ctx-seed"; string_of_int (i + 1);
+        |];
+  }
+
+let bench_cluster ~bin =
+  Trace.enable ~path:router_trace_path ();
+  let endpoints = List.init shards (worker_endpoint ~bin) in
+  let config = { Router.default_config with connect_timeout_ms = 20_000. } in
+  let router = Router.create ~config ~endpoints () in
+  let stopped = ref false in
+  let stop () =
+    if not !stopped then begin
+      stopped := true;
+      Router.stop router
+    end
+  in
+  Fun.protect ~finally:stop @@ fun () ->
+  (* Cold pass: every scenario once — engine work inside traced serve
+     spans, which is what gives the workers' GC lanes something to
+     overlap. *)
+  Array.iteri
+    (fun i r ->
+      if not (contains ~needle:"\"ok\"" r) then
+        failwith (Printf.sprintf "perf-trace: cold request %d not ok" i))
+    (Array.init scenarios (fun i -> Router.handle_sync router (line ~id:(i + 1) i)));
+  let lines = Array.init cluster_requests (fun k -> line ~id:(k + 1) k) in
+  let lg = Loadgen.create ~lines ~requests:cluster_requests () in
+  Loadgen.drive lg ~send:(fun l ->
+      Router.handle_line router l ~respond:(Loadgen.note_response lg));
+  if not (Loadgen.wait lg) then
+    failwith "perf-trace: responses missing after 120 s";
+  let s = Loadgen.summary lg in
+  if s.Loadgen.ok <> s.Loadgen.requests then
+    failwith
+      (Printf.sprintf "perf-trace: %d of %d routed requests not ok"
+         (s.Loadgen.requests - s.Loadgen.ok)
+         s.Loadgen.requests);
+  (* Let the workers' runtime-events pollers (50 ms cadence) drain the
+     last GC pauses into their rings before the SIGTERM flush. *)
+  Unix.sleepf 0.15;
+  stop ();
+  let forward_ids = exemplar_ids (Phase.seconds "forward") in
+  Trace.close ();
+  if forward_ids = [] then
+    failwith "perf-trace: router forward histogram attached no exemplars";
+  let inputs =
+    ("router", router_trace_path)
+    :: List.init shards (fun i ->
+           (Printf.sprintf "worker%d" i, worker_trace_path i))
+  in
+  match Trace_merge.merge ~inputs ~out:merged_path with
+  | Error e -> failwith ("perf-trace: trace-merge failed: " ^ e)
+  | Ok sum ->
+      if sum.Trace_merge.cross_process < 1 then
+        failwith "perf-trace: no trace id crosses a process boundary";
+      if sum.Trace_merge.reparented < 1 then
+        failwith
+          "perf-trace: no shard serve span re-parented under a router \
+           forward span";
+      if sum.Trace_merge.three_lane < 1 then
+        failwith "perf-trace: no trace id reaches a GC lane";
+      let merged = read_file merged_path in
+      List.iter
+        (fun t ->
+          if not (contains ~needle:t merged) then
+            failwith
+              (Printf.sprintf
+                 "perf-trace: forward exemplar trace id %s missing from %s" t
+                 merged_path))
+        forward_ids;
+      (sum, List.length forward_ids, s)
+
+(* ------------------------------------------------------------------ *)
+
+let json_path () =
+  Option.value (Sys.getenv_opt "RVU_BENCH10_JSON") ~default:"BENCH_10.json"
+
+let run () =
+  if Trace.enabled () then
+    failwith
+      "perf-trace: manages its own trace sinks; run it without --trace";
+  Util.banner "PERF-TRACE"
+    (Printf.sprintf
+       "Tracing overhead (%d warm requests x %d repeats) + stitched \
+        router/%d-worker timeline (%d requests)"
+       warm_requests repeats shards cluster_requests);
+  let wall_off, wall_traced, serve_exemplars = bench_overhead () in
+  let overhead =
+    100.0 *. ((wall_traced /. Float.max 1e-9 wall_off) -. 1.0)
+  in
+  let bin = rvu_bin () in
+  let sum, forward_exemplars, warm = bench_cluster ~bin in
+
+  let t =
+    Rvu_report.Table.create
+      ~columns:(List.map Rvu_report.Table.column [ "mode"; "wall (s)"; "overhead (%)" ])
+  in
+  Rvu_report.Table.add_row t
+    [ "off"; Rvu_report.Table.fstr wall_off; Rvu_report.Table.fstr 0.0 ];
+  Rvu_report.Table.add_row t
+    [ "traced"; Rvu_report.Table.fstr wall_traced; Rvu_report.Table.fstr overhead ];
+  Util.table ~id:"perf-trace" t;
+  Util.note
+    "stitched %d file(s), %d event(s): %d trace id(s), %d cross-process, %d \
+     on 3+ lanes, %d re-parented; %d serve + %d forward exemplar(s) \
+     round-tripped; merged timeline in %s."
+    sum.Trace_merge.files sum.Trace_merge.events sum.Trace_merge.trace_ids
+    sum.Trace_merge.cross_process sum.Trace_merge.three_lane
+    sum.Trace_merge.reparented serve_exemplars forward_exemplars merged_path;
+  (* Generous bar — CI machines are noisy; the expectation is low single
+     digits. A negative overhead just means the gap is below noise. *)
+  if Float.is_finite overhead && overhead > 5.0 then
+    failwith
+      (Printf.sprintf
+         "perf-trace: tracing-on overhead %.2f%% exceeds the 5%% budget"
+         overhead);
+
+  let json =
+    Wire.Obj
+      [
+        ("experiment", Wire.String "perf-trace");
+        ("scenarios", Wire.Int scenarios);
+        ("warm_requests", Wire.Int warm_requests);
+        ("repeats", Wire.Int repeats);
+        ("wall_s_off", Wire.Float wall_off);
+        ("wall_s_traced", Wire.Float wall_traced);
+        ("overhead_traced_pct", Wire.Float overhead);
+        ("serve_exemplars", Wire.Int serve_exemplars);
+        ("serve_exemplars_in_trace", Wire.Bool true);
+        ( "cluster",
+          Wire.Obj
+            [
+              ("shards", Wire.Int shards);
+              ("requests", Wire.Int (scenarios + cluster_requests));
+              ("throughput_rps", Wire.Float warm.Loadgen.throughput_rps);
+              ("trace_ids", Wire.Int sum.Trace_merge.trace_ids);
+              ("cross_process", Wire.Int sum.Trace_merge.cross_process);
+              ("three_lane", Wire.Int sum.Trace_merge.three_lane);
+              ("reparented", Wire.Int sum.Trace_merge.reparented);
+              ("forward_exemplars", Wire.Int forward_exemplars);
+              ("exemplars_in_merged", Wire.Bool true);
+            ] );
+      ]
+  in
+  let path = json_path () in
+  let oc = open_out path in
+  output_string oc (Wire.print_hum json);
+  close_out oc;
+  Util.note "(json written to %s)" path

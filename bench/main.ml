@@ -42,6 +42,10 @@
      perf-wire      — binary wire codec vs JSON: encode/decode ns/op,
                       bytes/op, warm-serve minor words per request;
                       writes BENCH_9.json
+     perf-trace     — tracing overhead on the serve path + a stitched
+                      router/2-worker timeline (cross-process trace ids,
+                      re-parenting, GC lanes, exemplar round-trip);
+                      writes BENCH_10.json
 
    --trace FILE records Chrome trace-event spans for the whole run. *)
 
@@ -72,6 +76,7 @@ let all : (string * (unit -> unit)) list =
     ("perf-verify", Exp_perf_verify.run);
     ("perf-log", Exp_perf_log.run);
     ("perf-wire", Exp_perf_wire.run);
+    ("perf-trace", Exp_perf_trace.run);
   ]
 
 let () =

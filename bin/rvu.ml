@@ -441,11 +441,20 @@ let bound_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let sweep_model name ~lo ~hi ~points ~out =
-  if out <> None then begin
-    Format.eprintf "rvu: --model sweeps do not support --out@.";
-    exit 1
-  end;
+let sweep_model name ~lo ~hi ~points ~out ~shards ~resume =
+  (* The checkpointed-atlas flags all belong to the paper model's d-sweep;
+     each is rejected by name so the message says which flag to drop. *)
+  List.iter
+    (fun (given, flag) ->
+      if given then begin
+        Format.eprintf "rvu: --model sweeps do not support %s@." flag;
+        exit 1
+      end)
+    [
+      (out <> None, "--out");
+      (shards <> None, "--shards");
+      (resume, "--resume");
+    ];
   let e = registry_entry name in
   let axis = e.Rvu_model.Registry.sweep_axis in
   let xs = Rvu_workload.Sweep.linspace ~lo ~hi ~n:points in
@@ -479,8 +488,9 @@ let sweep attrs d_lo d_hi points bearing r horizon jobs out shards resume
     trace model =
   with_trace trace @@ fun () ->
   match model with
-  | Some name -> sweep_model name ~lo:d_lo ~hi:d_hi ~points ~out
+  | Some name -> sweep_model name ~lo:d_lo ~hi:d_hi ~points ~out ~shards ~resume
   | None ->
+  let shards = Option.value shards ~default:8 in
   if resume && out = None then begin
     Format.eprintf "rvu: --resume requires --out DIR@.";
     exit 1
@@ -608,7 +618,8 @@ let sweep_cmd =
   in
   let shards =
     Arg.(
-      value & opt positive_int 8
+      value
+      & opt (some positive_int) None
       & info [ "shards" ] ~docv:"N"
           ~doc:"Checkpoint granularity for --out (default 8).")
   in
@@ -631,7 +642,7 @@ let sweep_cmd =
              cycle_speed, d for visible_bits and unknown_attributes) over \
              [$(b,--d-lo), $(b,--d-hi)] with $(b,--points) points; other \
              parameters stay at the model's defaults. Not combinable with \
-             $(b,--out).")
+             the atlas flags ($(b,--out), $(b,--shards), $(b,--resume)).")
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -757,6 +768,7 @@ let service_config jobs queue_depth cache_entries timeout_ms max_request_bytes
     timeout_ms =
       (match timeout_ms with Some ms when ms > 0.0 -> Some ms | _ -> None);
     max_request_bytes;
+    slow_ms = None;
   }
 
 let config_term =
@@ -845,7 +857,22 @@ let wire_arg ~doc =
     & info [ "wire" ] ~docv:"WIRE" ~doc)
 
 let serve config tcp_port host connections wire trace logging inject inject_seed
-    =
+    slow_ms ctx_seed =
+  (* A router-owned worker is stopped with SIGTERM, which would skip
+     [at_exit] and lose the trace file's final flush — convert it to a
+     clean exit while tracing so {!Rvu_obs.Trace.close} runs. Without
+     --trace the default termination semantics are kept. *)
+  (if trace <> None && Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 0))
+     with _ -> ());
+  Option.iter Rvu_obs.Ctx.set_seed ctx_seed;
+  let config =
+    {
+      config with
+      Rvu_service.Server.slow_ms =
+        (match slow_ms with Some ms when ms > 0.0 -> Some ms | _ -> None);
+    }
+  in
   with_trace trace @@ fun () ->
   with_logging logging @@ fun () ->
   if inject <> [] then Rvu_obs.Fault.arm ~seed:inject_seed inject;
@@ -890,6 +917,27 @@ let serve_cmd =
          binary) or $(i,binary) (length-prefixed frames from byte zero, \
          for peers pinned with the same flag)."
   in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-request trigger (with $(b,--trace)): a request slower \
+             than $(docv) milliseconds gets its trace spans force-retained \
+             past ring wrap-around, and a $(i,warn) log record with its \
+             trace id.")
+  in
+  let ctx_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ctx-seed" ] ~docv:"N"
+          ~doc:
+            "Reseed the correlation-id generator. The router passes each \
+             spawned worker a distinct seed so generated ids never collide \
+             across shards; the default seed keeps ids pinnable in tests.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -897,7 +945,7 @@ let serve_cmd =
           response per line out (see DESIGN.md for the protocol).")
     Term.(
       const serve $ config_term $ tcp $ host $ connections $ wire $ trace_arg
-      $ logging_term $ inject_arg $ inject_seed_arg)
+      $ logging_term $ inject_arg $ inject_seed_arg $ slow_ms $ ctx_seed)
 
 (* Client-side binary shims: [Loadgen] itself is transport-agnostic and
    speaks JSON lines, so driving a binary connection means transcoding at
@@ -1162,7 +1210,7 @@ let loadgen_cmd =
 (* ------------------------------------------------------------------ *)
 (* router *)
 
-let worker_argv config port inject inject_seed =
+let worker_argv ?worker_trace ~index config port inject inject_seed =
   let open Rvu_service.Server in
   Array.of_list
     ([
@@ -1178,7 +1226,17 @@ let worker_argv config port inject inject_seed =
        string_of_int config.cache_entries;
        "--max-request-bytes";
        string_of_int config.max_request_bytes;
+       (* A distinct per-worker seed: default-seed workers would generate
+          the same correlation-id sequence on every shard, so a merged
+          trace or log aggregate would join unrelated requests. +1 keeps
+          shard 0 off the default sequence too. *)
+       "--ctx-seed";
+       string_of_int (index + 1);
      ]
+    @ (match worker_trace with
+      | Some prefix ->
+          [ "--trace"; Printf.sprintf "%s%d.trace" prefix index ]
+      | None -> [])
     @ (match config.timeout_ms with
       | Some ms -> [ "--timeout"; Printf.sprintf "%g" ms ]
       | None -> [])
@@ -1191,7 +1249,7 @@ let worker_argv config port inject inject_seed =
 
 let router config workers connect worker_base_port tcp_port host connections
     probe_interval_ms restart_backoff_ms route_timeout_ms wire trace logging
-    inject inject_seed =
+    inject inject_seed worker_trace =
   with_trace trace @@ fun () ->
   with_logging logging @@ fun () ->
   let endpoints =
@@ -1215,7 +1273,10 @@ let router config workers connect worker_base_port tcp_port host connections
             {
               Rvu_cluster.Router.host = "127.0.0.1";
               port;
-              spawn = Some (worker_argv config port inject inject_seed);
+              spawn =
+                Some
+                  (worker_argv ?worker_trace ~index:i config port inject
+                     inject_seed);
             })
   in
   Rvu_obs.Runtime.start ();
@@ -1325,6 +1386,17 @@ let router_cmd =
          their own codec per connection regardless; the router transcodes \
          when the two sides differ."
   in
+  let worker_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker-trace" ] ~docv:"PREFIX"
+          ~doc:
+            "With $(b,--workers), give each spawned worker \
+             $(b,--trace) $(docv)$(i,i)$(b,.trace) (worker $(i,i)'s own \
+             trace file). Combine with the router's $(b,--trace) and \
+             $(b,rvu trace-merge) for one cross-process timeline.")
+  in
   Cmd.v
     (Cmd.info "router"
        ~doc:
@@ -1335,7 +1407,8 @@ let router_cmd =
     Term.(
       const router $ config_term $ workers $ connect $ worker_base_port $ tcp
       $ host $ connections $ probe_interval $ restart_backoff $ route_timeout
-      $ wire $ trace_arg $ logging_term $ inject_arg $ inject_seed_arg)
+      $ wire $ trace_arg $ logging_term $ inject_arg $ inject_seed_arg
+      $ worker_trace)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
@@ -1578,6 +1651,58 @@ let bench_diff old_file new_file threshold =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* trace-merge *)
+
+let trace_merge inputs out =
+  let inputs =
+    List.map
+      (fun path ->
+        (Filename.remove_extension (Filename.basename path), path))
+      inputs
+  in
+  match Rvu_obs.Trace_merge.merge ~inputs ~out with
+  | Error msg ->
+      Format.eprintf "rvu trace-merge: %s@." msg;
+      exit 1
+  | Ok s ->
+      Format.printf "merged %d file(s), %d event(s) into %s@."
+        s.Rvu_obs.Trace_merge.files s.Rvu_obs.Trace_merge.events out;
+      Format.printf "trace ids: %d@." s.Rvu_obs.Trace_merge.trace_ids;
+      Format.printf "cross-process trace ids: %d@."
+        s.Rvu_obs.Trace_merge.cross_process;
+      Format.printf "trace ids spanning 3+ lanes: %d@."
+        s.Rvu_obs.Trace_merge.three_lane;
+      Format.printf "re-parented serve spans: %d@."
+        s.Rvu_obs.Trace_merge.reparented
+
+let trace_merge_cmd =
+  let inputs =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Per-process trace files ($(b,--trace)/$(b,--worker-trace) \
+             outputs). Conventionally the router's file first; each becomes \
+             a process lane named after its basename.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the merged timeline to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Stitch per-process trace files (router + worker shards) into one \
+          Perfetto-loadable timeline: named process lanes, GC lanes \
+          annotated with the requests they interrupted, and shard serve \
+          spans linked under the router forward spans that carried them \
+          (matched on the propagated trace context).")
+    Term.(const trace_merge $ inputs $ out)
+
 let bench_diff_cmd =
   let file n doc = Arg.(required & pos n (some string) None & info [] ~docv:"FILE" ~doc) in
   let threshold =
@@ -1615,5 +1740,5 @@ let () =
           [
             simulate_cmd; search_cmd; feasibility_cmd; schedule_cmd; bound_cmd;
             sweep_cmd; gather_cmd; serve_cmd; router_cmd; loadgen_cmd;
-            verify_cmd; health_cmd; bench_diff_cmd;
+            verify_cmd; health_cmd; bench_diff_cmd; trace_merge_cmd;
           ]))

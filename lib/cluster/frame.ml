@@ -91,7 +91,8 @@ let routing_parts line =
   match
     let spans = ref [] in
     iter_members line (fun key span ->
-        if key = "id" || key = "timeout_ms" then spans := span :: !spans);
+        if key = "id" || key = "timeout_ms" || key = "trace" then
+          spans := span :: !spans);
     List.sort compare !spans
   with
   | exception Exit -> [ line ]
@@ -106,21 +107,30 @@ let routing_parts line =
       if !pos < n then parts := String.sub line !pos (n - !pos) :: !parts;
       List.rev !parts
 
-let forward_parts line =
+let forward_parts ?trace line =
+  (* The propagated span context rides right behind the router id, ahead
+     of the client's members, so [Wire.member "trace"] sees the router's
+     context even when the client sent its own. A traceparent is hex and
+     dashes only — no JSON escaping needed. *)
+  let post_prefix =
+    match trace with
+    | None -> ""
+    | Some tp -> ",\"trace\":\"" ^ tp ^ "\""
+  in
   match
     let n = String.length line in
     let i = skip_ws line 0 in
     if i >= n || line.[i] <> '{' then raise Exit;
     let j = skip_ws line (i + 1) in
     if j >= n then raise Exit;
-    if line.[j] = '}' then ("{\"id\":", "}")
-    else ("{\"id\":", "," ^ String.sub line j (n - j))
+    if line.[j] = '}' then ("{\"id\":", post_prefix ^ "}")
+    else ("{\"id\":", post_prefix ^ "," ^ String.sub line j (n - j))
   with
   | exception Exit ->
       (* Not reachable for parse-validated objects; forward untouched with
          the id as an unused prefix-free spelling so the worker still gets
          valid JSON to reject. *)
-      ("{\"id\":", "}")
+      ("{\"id\":", post_prefix ^ "}")
   | parts -> parts
 
 (* ------------------------------------------------------------------ *)
@@ -153,6 +163,7 @@ let bin_routing_parts payload =
         if
           Wb.key_is payload kpos klen "id"
           || Wb.key_is payload kpos klen "timeout_ms"
+          || Wb.key_is payload kpos klen "trace"
         then spans := (vstart, vend) :: !spans);
     List.sort compare !spans
   with
@@ -169,23 +180,44 @@ let bin_routing_parts payload =
       if !pos < n then parts := String.sub payload !pos (n - !pos) :: !parts;
       List.rev !parts
 
-let bin_forward_parts payload =
+(* The encoded trace member ([u32 5]["trace"]['\x05'][u32 len][bytes]),
+   prepended to [post] so it lands right behind the spliced router id. *)
+let bin_trace_member tp =
+  let b = Buffer.create (16 + String.length tp) in
+  add_bin_u32 b 5;
+  Buffer.add_string b "trace";
+  Buffer.add_char b '\x05';
+  add_bin_u32 b (String.length tp);
+  Buffer.add_string b tp;
+  Buffer.contents b
+
+let bin_forward_parts ?trace payload =
+  let extra, post_prefix =
+    match trace with
+    | None -> (1, "")
+    | Some tp -> (2, bin_trace_member tp)
+  in
   match
     if String.length payload < 5 || payload.[0] <> '\x07' then raise Exit;
     let count = bin_u32 payload 1 in
     let b = Buffer.create 16 in
     Buffer.add_char b '\x07';
-    add_bin_u32 b (count + 1);
+    add_bin_u32 b (count + extra);
     add_bin_u32 b 2;
     Buffer.add_string b "id";
     ( Buffer.contents b,
-      String.sub payload 5 (String.length payload - 5) )
+      post_prefix ^ String.sub payload 5 (String.length payload - 5) )
   with
   | exception Exit ->
       (* Not reachable for decode-validated objects; forward an empty
-         object carrying only the router id so the worker still gets a
-         well-formed frame to reject. *)
-      ("\x07\x00\x00\x00\x01\x00\x00\x00\x02id", "")
+         object carrying only the router envelope so the worker still
+         gets a well-formed frame to reject. *)
+      let b = Buffer.create 16 in
+      Buffer.add_char b '\x07';
+      add_bin_u32 b extra;
+      add_bin_u32 b 2;
+      Buffer.add_string b "id";
+      (Buffer.contents b, post_prefix)
   | parts -> parts
 
 (* A worker's binary response opens with the id member (Int) followed by

@@ -27,16 +27,20 @@
     safe defaults rather than raise. *)
 
 val routing_parts : string -> string list
-(** The line split into the byte runs {e between} the top-level ["id"] and
-    ["timeout_ms"] value spans — the shard-routing key fed to {!Ring}.
+(** The line split into the byte runs {e between} the top-level ["id"],
+    ["timeout_ms"] and ["trace"] value spans — the shard-routing key fed
+    to {!Ring}.
     For canonically-printed requests this is equivalent to keying on
     [Proto.canonical_key]; for exotic-but-equal spellings (extra
     whitespace, escaped field names) it may differ, which costs cache
     locality only, never correctness. *)
 
-val forward_parts : string -> string * string
+val forward_parts : ?trace:string -> string -> string * string
 (** [(pre, post)] such that [pre ^ string_of_int rid ^ post] is the line
-    to send a worker: the object with a fresh ["id"] member at the front.
+    to send a worker: the object with a fresh ["id"] member at the front,
+    followed — when [trace] (a W3C traceparent string) is given — by a
+    ["trace"] member carrying the router's span context, ahead of the
+    client's members so the worker's [Wire.member "trace"] sees it first.
     Computed once per request; retries re-use it with a new [rid]. *)
 
 val response_spans : string -> (int * (int * int) * (int * int) option) option
@@ -72,12 +76,14 @@ val splice_response :
 
 val bin_routing_parts : string -> string list
 (** {!routing_parts} over a binary payload: the byte runs between the
-    top-level ["id"] and ["timeout_ms"] {e value} spans. *)
+    top-level ["id"], ["timeout_ms"] and ["trace"] {e value} spans. *)
 
-val bin_forward_parts : string -> string * string
+val bin_forward_parts : ?trace:string -> string -> string * string
 (** [(pre, post)] such that [pre ^ rid ^ post] — [rid] the 9-byte
     encoding of the router's Int id — is the frame payload to send a
-    worker. *)
+    worker. [trace] prepends an encoded ["trace"] String member to
+    [post] (the header count is bumped for it), mirroring
+    {!forward_parts}. *)
 
 val bin_response_spans : string -> (int * (int * int) * (int * int)) option
 (** Fast-path scan of a worker binary response opening with an Int ["id"]

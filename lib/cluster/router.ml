@@ -15,6 +15,8 @@ module Metrics = Rvu_obs.Metrics
 module Log = Rvu_obs.Log
 module Ctx = Rvu_obs.Ctx
 module Clock = Rvu_obs.Clock
+module Trace = Rvu_obs.Trace
+module Phase = Rvu_obs.Phase
 
 type endpoint = { host : string; port : int; spawn : string array option }
 
@@ -69,6 +71,10 @@ type routed = {
   r_ctx : string;
   r_ctx_bytes : string;
   r_kind : string;
+  r_span : Trace.span_context option;
+      (** the root span context minted for this request when tracing is
+          on — serialized into the forwarded frame's ["trace"] member and
+          stamped on the forward span; retries reuse it *)
   r_t0 : float;
   r_retries : int;
   r_respond : string -> unit;
@@ -217,6 +223,33 @@ let write_conn t (c : conn) payload =
   | Wb.Binary -> Wb.output_frame c.oc payload);
   flush c.oc
 
+(* Close out a routed request's forward span: an 'X' complete event
+   (the span begins on the client connection's domain and resolves on
+   the shard reader's domain, so B/E pairs cannot pair up) stamped with
+   the request's span context {e explicitly} — no context is ambient on
+   the resolving domain. The shard's serve span is parented under this
+   span's id, which is the join [rvu trace-merge] re-parents on. *)
+let finish_forward ?shard (r : routed) dt =
+  (* Observe under the routed span's context so the forward histogram's
+     exemplars point at the trace that produced the latency. *)
+  Trace.with_context_opt r.r_span (fun () -> Phase.observe "forward" dt);
+  match r.r_span with
+  | None -> ()
+  | Some sc ->
+      Trace.complete
+        ~args:
+          ([
+             ("kind", Wire.String r.r_kind);
+             ("ctx", Wire.String r.r_ctx);
+             ("trace_id", Wire.String sc.Trace.trace_id);
+             ("span_id", Wire.String sc.Trace.span_id);
+           ]
+          @
+          match shard with
+          | Some i -> [ ("shard", Wire.Int i) ]
+          | None -> [])
+        ~ts_us:(r.r_t0 *. 1e6) ~dur_us:(dt *. 1e6) "forward"
+
 let rec dispatch t (r : routed) =
   match Ring.pick ~live:(live t) ~parts:r.r_parts with
   | None -> shed t r "no live shard"
@@ -263,7 +296,9 @@ and shed t (r : routed) reason =
   r.r_respond
     (render_client r.r_client
        (Proto.error_response ~ctx:r.r_ctx ~id:r.r_id Proto.Overloaded reason));
-  Metrics.observe t.m_latency (Clock.now_s () -. r.r_t0);
+  let dt = Clock.now_s () -. r.r_t0 in
+  Metrics.observe t.m_latency dt;
+  finish_forward r dt;
   leave t
 
 (* Tear down a shard connection (if it is still the [gen] one), strand its
@@ -338,7 +373,9 @@ let resolve_shard t (sh : shard) rid_opt ~build ~parsed =
           Log.debug ~fields:(shard_fields sh) "stale shard response"
       | Some (Routed r, _) ->
           r.r_respond (build r);
-          Metrics.observe t.m_latency (Clock.now_s () -. r.r_t0);
+          let dt = Clock.now_s () -. r.r_t0 in
+          Metrics.observe t.m_latency dt;
+          finish_forward ~shard:sh.index r dt;
           leave t
       | Some (Internal i, _) -> i.deliver (parsed ()))
 
@@ -896,6 +933,12 @@ let route_parsed t ~client ~bytes w ~respond =
           | Ok env -> handle_fanout t ~client env ~respond)
       | _ ->
           let ctx = Ctx.derive id in
+          (* The root span context for this routed request, serialized as
+             a traceparent into the forwarded frame. The shard serves
+             under a child of it, so router and shard spans share one
+             trace id. Minted once; retries reuse it. *)
+          let span = if Trace.enabled () then Some (Trace.new_root ()) else None in
+          let trace = Option.map Trace.to_traceparent span in
           let shard_bytes =
             if client = t.config.wire then bytes
             else
@@ -905,8 +948,8 @@ let route_parsed t ~client ~bytes w ~respond =
           in
           let pre, post =
             match t.config.wire with
-            | Wb.Json -> Frame.forward_parts shard_bytes
-            | Wb.Binary -> Frame.bin_forward_parts shard_bytes
+            | Wb.Json -> Frame.forward_parts ?trace shard_bytes
+            | Wb.Binary -> Frame.bin_forward_parts ?trace shard_bytes
           in
           let parts =
             match t.config.wire with
@@ -938,6 +981,7 @@ let route_parsed t ~client ~bytes w ~respond =
               r_ctx = ctx;
               r_ctx_bytes = ctx_bytes;
               r_kind = kind;
+              r_span = span;
               r_t0 = Clock.now_s ();
               r_retries = 0;
               r_respond = respond;

@@ -59,8 +59,10 @@ module Persistent = struct
   type t = {
     lock : Mutex.t;
     work : Condition.t;
-    queue : (string option * (unit -> unit)) Queue.t;
-        (* (correlation id, task) *)
+    queue :
+      (string option * Rvu_obs.Trace.span_context option * (unit -> unit))
+      Queue.t;
+        (* (correlation id, span context, task) *)
     mutable stopped : bool;
     mutable workers : unit Domain.t list;
     jobs : int;
@@ -103,12 +105,13 @@ module Persistent = struct
       Mutex.lock t.lock;
       match next () with
       | None -> Mutex.unlock t.lock
-      | Some (ctx, task) ->
+      | Some (ctx, span, task) ->
           Mutex.unlock t.lock;
           (* Tasks own their error handling; a raising task must not take
              the worker domain down with it. The submitter's correlation
-             id is re-installed on this domain for the task's extent so
-             logs and trace spans from inside it stay correlated. *)
+             id and span context are re-installed on this domain for the
+             task's extent so logs, trace spans and exemplars from inside
+             it stay correlated. *)
           let t0 = Rvu_obs.Clock.now_s () in
           let run () =
             try
@@ -121,6 +124,7 @@ module Persistent = struct
                   [ ("exn", Rvu_obs.Wire.String (Printexc.to_string e)) ]
                 "pool task raised"
           in
+          let run () = Rvu_obs.Trace.with_context_opt span run in
           (match ctx with
           | None -> run ()
           | Some cid -> Rvu_obs.Ctx.with_ctx cid run);
@@ -147,13 +151,13 @@ module Persistent = struct
 
   let jobs t = t.jobs
 
-  let submit ?ctx t task =
+  let submit ?ctx ?span t task =
     Mutex.lock t.lock;
     if t.stopped then begin
       Mutex.unlock t.lock;
       invalid_arg "Pool.Persistent.submit: executor is stopped"
     end;
-    Queue.push (ctx, task) t.queue;
+    Queue.push (ctx, span, task) t.queue;
     Rvu_obs.Metrics.gauge_add m_queue_depth 1.0;
     Condition.signal t.work;
     Mutex.unlock t.lock

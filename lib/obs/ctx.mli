@@ -26,7 +26,13 @@ val generate : unit -> string
 (** A fresh id ["c<16 hex digits>"] from the seeded SplitMix64 stream
     ({!Fault.mix64} of seed + a process-global counter). With the default
     seed the sequence is identical in every process, which keeps ids
-    pinnable in cram tests; call {!set_seed} to decorrelate. *)
+    pinnable in cram tests; call {!set_seed} to decorrelate. The router
+    relies on this: every spawned worker is passed a distinct
+    [--ctx-seed] (its shard index), because workers left on the default
+    seed would generate {e colliding} ids across shards — identical
+    [c<hex>] strings naming different requests in a merged log or
+    trace. Tests that want pinnable worker ids pass an explicit seed and
+    get a deterministic, per-seed sequence. *)
 
 val set_seed : int -> unit
 (** Reseed the generator and reset its counter. *)

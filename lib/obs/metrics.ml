@@ -6,6 +6,8 @@ type gauge = {
   mutable g_value : float;
 }
 
+type exemplar = { e_value : float; e_trace : string; e_ts : float }
+
 type histogram = {
   h_ident : string * (string * string) list;
   h_lock : Mutex.t;
@@ -15,6 +17,9 @@ type histogram = {
   mutable h_sum : float;
   mutable samples : float array option; (* Some when retaining; grown 2x *)
   mutable n_samples : int;
+  mutable h_exemplars : exemplar option array option;
+      (* length bounds + 1, allocated on the first exemplar; slot i holds
+         the latest exemplar that landed in bucket i *)
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -24,6 +29,15 @@ type metric = C of counter | G of gauge | H of histogram
 let switch = Atomic.make true
 let set_enabled b = Atomic.set switch b
 let enabled () = Atomic.get switch
+
+(* The exemplar source is injected (by Trace, whose module initializer
+   installs the ambient trace id lookup) rather than referenced directly:
+   Metrics sits below Ctx and Trace in the obs dependency order and must
+   not depend on either. The default source reports no trace, so
+   exemplars cost one closure call per named-histogram observation until
+   something installs a real source. *)
+let exemplar_source : (unit -> string option) ref = ref (fun () -> None)
+let set_exemplar_source f = exemplar_source := f
 
 (* ------------------------------------------------------------------ *)
 (* Registry *)
@@ -111,6 +125,7 @@ let make_histogram ~buckets ~retain_samples id =
     h_sum = 0.0;
     samples = (if retain_samples then Some (Array.make 64 0.0) else None);
     n_samples = 0;
+    h_exemplars = None;
   }
 
 let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets)
@@ -190,6 +205,25 @@ let observe h x =
         in
         buf.(h.n_samples) <- x;
         h.n_samples <- h.n_samples + 1);
+    (* Registry histograms attach the ambient trace id (if any) as an
+       OpenMetrics exemplar — last writer per bucket wins, which is the
+       conventional "most recent exemplar" policy. Private histograms
+       (empty identity) are measurement state and take none. *)
+    (if fst h.h_ident <> "" then
+       match !exemplar_source () with
+       | None -> ()
+       | Some trace_id ->
+           let arr =
+             match h.h_exemplars with
+             | Some a -> a
+             | None ->
+                 let a = Array.make (Array.length h.bounds + 1) None in
+                 h.h_exemplars <- Some a;
+                 a
+           in
+           arr.(i) <-
+             Some
+               { e_value = x; e_trace = trace_id; e_ts = Unix.gettimeofday () });
     Mutex.unlock h.h_lock
   end
 
@@ -253,6 +287,15 @@ let exact_quantile h q =
           else
             Rvu_numerics.Stats.percentile (100.0 *. q)
               (Array.to_list (Array.sub buf 0 h.n_samples)))
+
+let exemplars h =
+  locked_h h (fun () ->
+      match h.h_exemplars with
+      | None -> []
+      | Some arr ->
+          Array.to_list arr
+          |> List.filter_map
+               (Option.map (fun e -> (e.e_value, e.e_trace, e.e_ts))))
 
 (* ------------------------------------------------------------------ *)
 (* Exposition *)
@@ -358,6 +401,82 @@ let expose () =
             (float_str sum);
           Printf.bprintf b "%s_count%a %d\n" s.name bprint_labels s.labels count)
     (snapshot ());
+  Buffer.contents b
+
+(* OpenMetrics-flavoured exposition: the Prometheus text above plus
+   exemplar annotations on histogram bucket lines and the mandatory
+   [# EOF] terminator. Counter series keep their registry spelling
+   (already [_total]-suffixed), so this is pragmatic OpenMetrics — enough
+   for exemplar-aware scrapers — not a conformance-complete encoder. *)
+let expose_openmetrics () =
+  let b = Buffer.create 1024 in
+  let regs =
+    Mutex.lock registry_lock;
+    let l = Hashtbl.fold (fun _ r acc -> r :: acc) registry [] in
+    Mutex.unlock registry_lock;
+    let id r =
+      match r.metric with
+      | C c -> c.c_ident
+      | G g -> g.g_ident
+      | H h -> h.h_ident
+    in
+    List.sort (fun a b -> compare (id a) (id b)) l
+  in
+  let seen_header = Hashtbl.create 16 in
+  let header name help kind =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.add seen_header name ();
+      if help <> "" then Printf.bprintf b "# HELP %s %s\n" name help;
+      Printf.bprintf b "# TYPE %s %s\n" name kind
+    end
+  in
+  let bprint_exemplar = function
+    | None -> ()
+    | Some e ->
+        Printf.bprintf b " # {trace_id=%S} %s %s" e.e_trace
+          (float_str e.e_value) (float_str e.e_ts)
+  in
+  List.iter
+    (fun { help; metric } ->
+      match metric with
+      | C c ->
+          let name, labels = c.c_ident in
+          header name help "counter";
+          Printf.bprintf b "%s%a %d\n" name bprint_labels labels
+            (counter_value c)
+      | G g ->
+          let name, labels = g.g_ident in
+          header name help "gauge";
+          Printf.bprintf b "%s%a %s\n" name bprint_labels labels
+            (float_str (gauge_value g))
+      | H h ->
+          let name, labels = h.h_ident in
+          header name help "histogram";
+          locked_h h (fun () ->
+              let ex i =
+                match h.h_exemplars with None -> None | Some a -> a.(i)
+              in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i le ->
+                  cum := !cum + h.counts.(i);
+                  Printf.bprintf b "%s_bucket%a %d" name bprint_labels
+                    (labels @ [ ("le", float_str le) ])
+                    !cum;
+                  bprint_exemplar (ex i);
+                  Buffer.add_char b '\n')
+                h.bounds;
+              Printf.bprintf b "%s_bucket%a %d" name bprint_labels
+                (labels @ [ ("le", "+Inf") ])
+                h.h_count;
+              bprint_exemplar (ex (Array.length h.bounds));
+              Buffer.add_char b '\n';
+              Printf.bprintf b "%s_sum%a %s\n" name bprint_labels labels
+                (float_str h.h_sum);
+              Printf.bprintf b "%s_count%a %d\n" name bprint_labels labels
+                h.h_count))
+    regs;
+  Buffer.add_string b "# EOF\n";
   Buffer.contents b
 
 let json () =

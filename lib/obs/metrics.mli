@@ -85,7 +85,16 @@ val gauge_add : gauge -> float -> unit
 
 val observe : histogram -> float -> unit
 (** Record one sample. Samples are expected non-negative (durations,
-    sizes); negative samples land in the first bucket. *)
+    sizes); negative samples land in the first bucket. If the installed
+    {!set_exemplar_source} reports an ambient trace id, the observation
+    is also retained as that bucket's exemplar (latest wins). *)
+
+val set_exemplar_source : (unit -> string option) -> unit
+(** Install the ambient-trace-id lookup used to attach exemplars to
+    histogram observations. Called once per registry-histogram [observe];
+    return [None] (the default source always does) to attach nothing.
+    [Rvu_obs.Trace] installs the real source at module initialization —
+    this hook exists because Metrics must not depend on Trace. *)
 
 (** {1 Reading} *)
 
@@ -109,6 +118,11 @@ val exact_quantile : histogram -> float -> float
     {!Rvu_numerics.Stats.percentile}) over the retained samples. [nan]
     on an empty histogram; raises [Invalid_argument] unless the
     histogram was created with [~retain_samples:true]. *)
+
+val exemplars : histogram -> (float * string * float) list
+(** The latest exemplar per bucket, bucket-ascending, as
+    [(observed value, trace id, unix timestamp)] — empty until an
+    observation lands while the exemplar source reports a trace id. *)
 
 (** {1 Exposition} *)
 
@@ -138,6 +152,12 @@ val expose : unit -> string
 (** Prometheus text exposition format ([# HELP]/[# TYPE] then samples;
     histograms as [_bucket{le=…}]/[_sum]/[_count] with cumulative bucket
     counts ending at [le="+Inf"]). *)
+
+val expose_openmetrics : unit -> string
+(** The same exposition in OpenMetrics flavour: bucket lines carry
+    [# {trace_id="…"} value timestamp] exemplar annotations when present,
+    and the output ends with the mandatory [# EOF] terminator. Series
+    names and label rendering are identical to {!expose}. *)
 
 val json : unit -> Wire.t
 (** The same snapshot as a JSON document:

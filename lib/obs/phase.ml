@@ -1,0 +1,30 @@
+let lock = Mutex.create ()
+let tbl : (string, Metrics.histogram) Hashtbl.t = Hashtbl.create 8
+
+(* One histogram per phase label, memoized: [Metrics.histogram] is
+   already idempotent, but it sorts labels and takes the registry lock on
+   every call — instrumentation sites run per request, so they hit this
+   table instead. *)
+let seconds phase =
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt tbl phase with
+    | Some h -> h
+    | None ->
+        let h =
+          Metrics.histogram
+            ~help:"Serve latency decomposed by phase (seconds)."
+            ~labels:[ ("phase", phase) ]
+            "rvu_phase_seconds"
+        in
+        Hashtbl.add tbl phase h;
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let observe phase x = Metrics.observe (seconds phase) x
+
+let time phase f =
+  let t0 = Clock.now_s () in
+  Fun.protect ~finally:(fun () -> observe phase (Clock.now_s () -. t0)) f

@@ -57,14 +57,85 @@ type sampler = { stop_flag : bool Atomic.t; dom : unit Domain.t }
 
 let sampler : sampler option ref = ref None (* guarded by [lock] *)
 
+(* GC pause lanes: when tracing is on, the sampler drains this process's
+   [Runtime_events] ring and converts [EV_MINOR] / [EV_MAJOR] begin/end
+   pairs into complete ('X') trace events on a dedicated per-ring lane
+   ([tid] = 9000 + ring id), so a merged timeline answers "was this p99
+   a GC pause?" by inspection. Runtime_events timestamps and
+   {!Clock.now_us} both read [CLOCK_MONOTONIC], so the lanes line up
+   with request spans without rebasing. Polling rides the existing 50 ms
+   stop-check slices; with tracing off nothing is started and nothing is
+   polled. *)
+let gc_tid_base = 9000
+
+let gc_poll_state () =
+  let cursor = ref None in
+  let opens : (int * Runtime_events.runtime_phase, int64) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let interesting = function
+    | Runtime_events.EV_MINOR -> Some "gc.minor"
+    | Runtime_events.EV_MAJOR -> Some "gc.major"
+    | _ -> None
+  in
+  let runtime_begin ring ts phase =
+    if interesting phase <> None then
+      Hashtbl.replace opens (ring, phase)
+        (Runtime_events.Timestamp.to_int64 ts)
+  in
+  let runtime_end ring ts phase =
+    match interesting phase with
+    | None -> ()
+    | Some name -> (
+        match Hashtbl.find_opt opens (ring, phase) with
+        | None -> () (* end without a seen begin: ignore the fragment *)
+        | Some t_begin ->
+            Hashtbl.remove opens (ring, phase);
+            let t_end = Runtime_events.Timestamp.to_int64 ts in
+            let dur_us = Int64.to_float (Int64.sub t_end t_begin) /. 1e3 in
+            if dur_us >= 0.0 then
+              Trace.complete
+                ~tid:(gc_tid_base + ring)
+                ~args:[ ("domain", Wire.Int ring) ]
+                ~ts_us:(Int64.to_float t_begin /. 1e3)
+                ~dur_us name)
+  in
+  let callbacks =
+    Runtime_events.Callbacks.create ~runtime_begin ~runtime_end ()
+  in
+  let poll () =
+    if Trace.enabled () then begin
+      let c =
+        match !cursor with
+        | Some c -> c
+        | None ->
+            Runtime_events.start ();
+            let c = Runtime_events.create_cursor None in
+            cursor := Some c;
+            c
+      in
+      ignore (Runtime_events.read_poll c callbacks None : int)
+    end
+  in
+  let free () =
+    match !cursor with
+    | None -> ()
+    | Some c ->
+        cursor := None;
+        (try Runtime_events.free_cursor c with _ -> ())
+  in
+  (poll, free)
+
 let loop stop_flag interval pace_warn =
   let last_majors = ref (Gc.quick_stat ()).Gc.major_collections in
+  let gc_poll, gc_free = gc_poll_state () in
   let continue_ = ref true in
   while !continue_ do
     (* Sleep in 50 ms slices so [stop] is prompt. *)
     let deadline = Clock.now_s () +. interval in
     while (not (Atomic.get stop_flag)) && Clock.now_s () < deadline do
-      Unix.sleepf 0.05
+      Unix.sleepf 0.05;
+      gc_poll ()
     done;
     if Atomic.get stop_flag then continue_ := false
     else begin
@@ -82,7 +153,10 @@ let loop stop_flag interval pace_warn =
             ]
           "gc major pace high"
     end
-  done
+  done;
+  (* Final drain so pauses from the last interval reach the trace. *)
+  gc_poll ();
+  gc_free ()
 
 let start ?(interval_s = 5.0) ?(major_pace_warn = 10.0) () =
   if not (interval_s > 0.0) then

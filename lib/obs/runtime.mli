@@ -28,7 +28,14 @@ val start : ?interval_s:float -> ?major_pace_warn:float -> unit -> unit
     call {!sample} and emit a [warn] record when major collections per
     second since the previous tick exceed [major_pace_warn] (default
     [10.]). No-op if a sampler is already running. Raises
-    [Invalid_argument] on a non-positive interval. *)
+    [Invalid_argument] on a non-positive interval.
+
+    While {!Trace.enabled}, the sampler additionally consumes this
+    process's OCaml [Runtime_events] stream (polled every 50 ms) and
+    records each minor/major GC pause as a complete trace event
+    ([gc.minor] / [gc.major]) on a dedicated lane ([tid] = 9000 + the
+    runtime ring id), giving merged timelines a GC lane per process.
+    With tracing off, the runtime-events machinery is never started. *)
 
 val stop : unit -> unit
 (** Stop and join the sampler domain (worst-case ~50 ms latency). No-op

@@ -1,8 +1,10 @@
 type event = {
   name : string;
-  ph : char; (* 'B' begin, 'E' end, 'i' instant *)
+  ph : char; (* 'B' begin, 'E' end, 'i' instant, 'X' complete *)
   ts : float; (* microseconds, monotonic *)
+  dur : float; (* microseconds; only meaningful for 'X' events *)
   tid : int;
+  seq : int; (* recording order, process-wide — retention dedup key *)
   args : (string * Wire.t) list;
 }
 
@@ -12,9 +14,103 @@ type sink = {
   ring : event option array;
   mutable next : int; (* slot for the next event *)
   mutable recorded : int; (* total events ever recorded *)
+  mutable kept : event list; (* force-retained copies (slow requests) *)
 }
 
 type span = Disabled | Span of { name : string }
+
+(* ------------------------------------------------------------------ *)
+(* Span context *)
+
+type span_context = {
+  trace_id : string; (* 32 lowercase hex chars *)
+  span_id : string; (* 16 lowercase hex chars *)
+  parent_id : string option; (* 16 lowercase hex chars *)
+}
+
+(* Trace/span ids come from their own SplitMix64 stream, separate from
+   [Ctx.generate]'s: the ctx sequence is cram-pinned under the default
+   seed and must not shift when tracing allocates ids. The seed mixes in
+   the pid and the monotonic clock so concurrently started processes
+   (router + spawned shards) never collide on span ids — nothing pins
+   trace ids, so nondeterminism is free here. *)
+let gamma = 0x9e3779b97f4a7c15L
+
+let id_seed =
+  Fault.mix64
+    (Int64.logxor 0x7472616365_1d5eedL
+       (Int64.logxor (Int64.of_int (Unix.getpid ())) (Clock.now_ns ())))
+
+let id_counter = Atomic.make 0
+
+let next_id64 () =
+  let n = Atomic.fetch_and_add id_counter 1 in
+  Fault.mix64 (Int64.add id_seed (Int64.mul (Int64.of_int (n + 1)) gamma))
+
+let hex16 v = Printf.sprintf "%016Lx" v
+let gen_span_id () = hex16 (next_id64 ())
+let gen_trace_id () = hex16 (next_id64 ()) ^ hex16 (next_id64 ())
+
+let context_key : span_context option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_context () = Domain.DLS.get context_key
+
+let with_context sc f =
+  let prev = Domain.DLS.get context_key in
+  Domain.DLS.set context_key (Some sc);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set context_key prev) f
+
+let with_context_opt sc f =
+  match sc with None -> f () | Some sc -> with_context sc f
+
+let new_root () =
+  { trace_id = gen_trace_id (); span_id = gen_span_id (); parent_id = None }
+
+let child_of p =
+  { trace_id = p.trace_id; span_id = gen_span_id (); parent_id = Some p.span_id }
+
+let to_traceparent sc = Printf.sprintf "00-%s-%s-01" sc.trace_id sc.span_id
+
+(* W3C traceparent: version "00", then 32 hex trace id, 16 hex parent
+   (span) id, 2 hex flags, dash-separated — 55 bytes. Anything else is
+   ignored (the spec's behaviour for malformed headers), never an error:
+   a bad trace member must not fail the request that carries it. *)
+let of_traceparent s =
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+  let hex_at pos len =
+    let ok = ref true in
+    for i = pos to pos + len - 1 do
+      if not (is_hex s.[i]) then ok := false
+    done;
+    !ok
+  in
+  if
+    String.length s = 55
+    && s.[0] = '0' && s.[1] = '0' && s.[2] = '-' && s.[35] = '-'
+    && s.[52] = '-' && hex_at 3 32 && hex_at 36 16 && hex_at 53 2
+    && String.sub s 3 32 <> String.make 32 '0'
+    && String.sub s 36 16 <> String.make 16 '0'
+  then
+    Some
+      {
+        trace_id = String.sub s 3 32;
+        span_id = String.sub s 36 16;
+        parent_id = None;
+      }
+  else None
+
+(* The exemplar hook: Metrics cannot depend on Trace (it sits below Ctx
+   in the obs stack), so the ambient-trace-id lookup is injected here at
+   module initialization. *)
+let () =
+  Metrics.set_exemplar_source (fun () ->
+      match Domain.DLS.get context_key with
+      | Some sc -> Some sc.trace_id
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
 
 (* A single atomic holds the whole tracer state: the enabled check on
    every instrumentation site is one [Atomic.get] and a branch. *)
@@ -22,11 +118,20 @@ let sink : sink option Atomic.t = Atomic.make None
 
 let enabled () = Atomic.get sink <> None
 
-let record ev =
+let m_dropped =
+  Metrics.counter
+    ~help:"Trace ring events overwritten before the file was written."
+    "rvu_trace_dropped_total"
+
+let record ~name ~ph ~ts ~dur ~tid args =
   match Atomic.get sink with
   | None -> ()
   | Some s ->
       Mutex.lock s.lock;
+      let ev = { name; ph; ts; dur; tid; seq = s.recorded; args } in
+      (match s.ring.(s.next) with
+      | Some _ -> Metrics.incr m_dropped
+      | None -> ());
       s.ring.(s.next) <- Some ev;
       s.next <- (s.next + 1) mod Array.length s.ring;
       s.recorded <- s.recorded + 1;
@@ -36,7 +141,9 @@ let tid () = (Domain.self () :> int)
 
 (* Spans opened while a request's correlation id is ambient carry it as a
    ["ctx"] arg, so a log grep and a trace lane meet on the same string.
-   Only consulted when tracing is on — the disabled path is unchanged. *)
+   Likewise the ambient span context stamps trace_id/span_id/parent_id,
+   which is what the trace stitcher and the exemplars key on. Only
+   consulted when tracing is on — the disabled path is unchanged. *)
 let stamp_ctx args =
   if List.mem_assoc "ctx" args then args
   else
@@ -44,24 +151,33 @@ let stamp_ctx args =
     | Some cid -> args @ [ ("ctx", Wire.String cid) ]
     | None -> args
 
+let stamp args =
+  let args = stamp_ctx args in
+  if List.mem_assoc "trace_id" args then args
+  else
+    match Domain.DLS.get context_key with
+    | None -> args
+    | Some sc ->
+        args
+        @ ("trace_id", Wire.String sc.trace_id)
+          :: ("span_id", Wire.String sc.span_id)
+          ::
+          (match sc.parent_id with
+          | None -> []
+          | Some p -> [ ("parent_id", Wire.String p) ])
+
 let begin_span ?(args = []) name =
   if Atomic.get sink = None then Disabled
   else begin
-    record
-      {
-        name;
-        ph = 'B';
-        ts = Clock.now_us ();
-        tid = tid ();
-        args = stamp_ctx args;
-      };
+    record ~name ~ph:'B' ~ts:(Clock.now_us ()) ~dur:0.0 ~tid:(tid ())
+      (stamp args);
     Span { name }
   end
 
 let end_span = function
   | Disabled -> ()
   | Span { name } ->
-      record { name; ph = 'E'; ts = Clock.now_us (); tid = tid (); args = [] }
+      record ~name ~ph:'E' ~ts:(Clock.now_us ()) ~dur:0.0 ~tid:(tid ()) []
 
 let with_span ?args name f =
   let s = begin_span ?args name in
@@ -69,14 +185,35 @@ let with_span ?args name f =
 
 let instant ?(args = []) name =
   if Atomic.get sink <> None then
-    record
-      {
-        name;
-        ph = 'i';
-        ts = Clock.now_us ();
-        tid = tid ();
-        args = stamp_ctx args;
-      }
+    record ~name ~ph:'i' ~ts:(Clock.now_us ()) ~dur:0.0 ~tid:(tid ())
+      (stamp args)
+
+(* Complete ('X') events carry begin and duration in one record, so the
+   two ends need not land on the same domain — the router's forward span
+   begins on the client-connection domain and resolves on the shard
+   reader domain, where a B/E pair would confuse Chrome's per-tid
+   stacking. GC pause lanes use them for the same reason. *)
+let complete ?(args = []) ?tid:(tid_arg = -1) ~ts_us ~dur_us name =
+  if Atomic.get sink <> None then
+    let tid = if tid_arg >= 0 then tid_arg else tid () in
+    record ~name ~ph:'X' ~ts:ts_us ~dur:dur_us ~tid (stamp args)
+
+let retain ~trace_id =
+  match Atomic.get sink with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.lock;
+      let wanted = Wire.String trace_id in
+      Array.iter
+        (function
+          | Some ev
+            when List.exists
+                   (fun (k, v) -> k = "trace_id" && v = wanted)
+                   ev.args ->
+              s.kept <- ev :: s.kept
+          | _ -> ())
+        s.ring;
+      Mutex.unlock s.lock
 
 (* ------------------------------------------------------------------ *)
 (* Sink lifecycle *)
@@ -88,9 +225,9 @@ let event_json ev =
        ("cat", Wire.String "rvu");
        ("ph", Wire.String (String.make 1 ev.ph));
        ("ts", Wire.Float ev.ts);
-       ("pid", Wire.Int 1);
-       ("tid", Wire.Int ev.tid);
      ]
+    @ (if ev.ph = 'X' then [ ("dur", Wire.Float ev.dur) ] else [])
+    @ [ ("pid", Wire.Int 1); ("tid", Wire.Int ev.tid) ]
     @
     match (ev.ph, ev.args) with
     | 'i', args -> ("s", Wire.String "t") :: [ ("args", Wire.Obj args) ]
@@ -108,6 +245,14 @@ let close () =
       let start = if s.recorded > cap then s.next else 0 in
       let retained = min s.recorded cap in
       let dropped = s.recorded - retained in
+      (* Force-retained copies are re-emitted only when the ring really
+         dropped them (seq below the oldest ring event), deduplicated and
+         in recording order, so retention never duplicates a live event. *)
+      let kept =
+        List.sort_uniq
+          (fun a b -> compare a.seq b.seq)
+          (List.filter (fun ev -> ev.seq < dropped) s.kept)
+      in
       output_string s.oc "[\n";
       let meta =
         Wire.Obj
@@ -123,10 +268,16 @@ let close () =
                 [
                   ("recorded", Wire.Int s.recorded);
                   ("dropped_oldest", Wire.Int dropped);
+                  ("force_retained", Wire.Int (List.length kept));
                 ] );
           ]
       in
       output_string s.oc (Wire.print meta);
+      List.iter
+        (fun ev ->
+          output_string s.oc ",\n";
+          output_string s.oc (Wire.print (event_json ev)))
+        kept;
       for i = 0 to retained - 1 do
         match s.ring.((start + i) mod cap) with
         | None -> ()
@@ -148,6 +299,7 @@ let enable ?(capacity = 65536) ~path () =
       ring = Array.make capacity None;
       next = 0;
       recorded = 0;
+      kept = [];
     }
   in
   if not (Atomic.compare_and_set sink None (Some s)) then begin

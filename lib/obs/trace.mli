@@ -1,7 +1,7 @@
 (** Monotonic-clock tracing spans in Chrome [trace_event] format.
 
-    When enabled, instrumentation sites emit begin/end/instant events
-    (one JSON object per line, timestamps in microseconds from
+    When enabled, instrumentation sites emit begin/end/instant/complete
+    events (one JSON object per line, timestamps in microseconds from
     {!Clock.now_us}, [tid] = the recording domain's id) into a bounded
     in-memory ring buffer; {!close} writes the retained events to the
     file as one JSON array — loadable directly in [chrome://tracing] or
@@ -16,9 +16,29 @@
 
     The ring keeps the {e last} [capacity] events: a long-running server
     retains the most recent window, which is the one a debugger wants.
-    Dropped-event counts are reported in the file's metadata event. *)
+    Dropped-event counts are reported in the file's metadata event and
+    mirrored into the [rvu_trace_dropped_total] counter; {!retain}
+    exempts a slow request's events from the drop.
+
+    {b Span context.} Distributed tracing threads a W3C-shaped context —
+    a 32-hex trace id, a 16-hex span id, an optional 16-hex parent id —
+    through the cluster: the router mints a root context per routed
+    request, serializes it as a [traceparent] string into the frame's
+    ["trace"] member, and the shard parses it back and serves under a
+    child context. Every event recorded while a context is ambient
+    (installed with {!with_context}) is stamped with
+    [trace_id]/[span_id]/[parent_id] args, which is what
+    [rvu trace-merge] joins on and what histogram exemplars record.
+    Context ids come from their own id stream: enabling tracing never
+    shifts the cram-pinned {!Ctx.generate} sequence. *)
 
 type span
+
+type span_context = {
+  trace_id : string;  (** 32 lowercase hex chars *)
+  span_id : string;  (** 16 lowercase hex chars *)
+  parent_id : string option;  (** parent span, [None] at a trace root *)
+}
 
 val enabled : unit -> bool
 
@@ -46,3 +66,52 @@ val with_span : ?args:(string * Wire.t) list -> string -> (unit -> 'a) -> 'a
 
 val instant : ?args:(string * Wire.t) list -> string -> unit
 (** A zero-duration marker event. *)
+
+val complete :
+  ?args:(string * Wire.t) list ->
+  ?tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  string ->
+  unit
+(** A complete ('X') event: begin time and duration in one record, so
+    begin and end need not happen on the same domain — the shape for
+    spans that start on one domain and resolve on another (the router's
+    forward span) and for externally timed intervals (GC pauses).
+    [tid] defaults to the recording domain's id. *)
+
+(** {1 Span context} *)
+
+val new_root : unit -> span_context
+(** A fresh trace: new trace id, new span id, no parent. *)
+
+val child_of : span_context -> span_context
+(** Same trace id, fresh span id, parented under [parent]'s span. *)
+
+val current_context : unit -> span_context option
+(** The ambient context on this domain, if any. *)
+
+val with_context : span_context -> (unit -> 'a) -> 'a
+(** Install [sc] as the ambient context for the extent of [f] (previous
+    context restored on exit, even on raise). Domain-local, like
+    {!Ctx.with_ctx}. *)
+
+val with_context_opt : span_context option -> (unit -> 'a) -> 'a
+(** [with_context] when [Some], plain [f ()] when [None]. *)
+
+val to_traceparent : span_context -> string
+(** ["00-<trace_id>-<span_id>-01"] — the W3C traceparent rendering
+    carried in the wire frames' ["trace"] member. *)
+
+val of_traceparent : string -> span_context option
+(** Parse a traceparent string. [None] on anything malformed (wrong
+    length, non-hex, all-zero ids) — per the W3C rule, a bad context is
+    discarded, never an error. The result's [span_id] is the {e sender's}
+    span; serve under {!child_of} of it. *)
+
+val retain : trace_id:string -> unit
+(** Copy every event currently in the ring stamped with this trace id
+    into a side list that survives ring wrap-around: {!close} re-emits
+    (deduplicated, in recording order) exactly those copies the ring
+    dropped. The server's [--slow-ms] trigger calls this for over-budget
+    requests. *)

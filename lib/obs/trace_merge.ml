@@ -1,0 +1,278 @@
+type summary = {
+  files : int;
+  events : int;
+  trace_ids : int;
+  cross_process : int;
+  three_lane : int;
+  reparented : int;
+}
+
+(* One parsed event plus the fields the stitcher joins on. *)
+type ev = {
+  json : (string * Wire.t) list;
+  name : string;
+  ph : string;
+  ts : float;
+  dur : float; (* 0 unless an 'X' event *)
+  tid : int;
+  trace_id : string option;
+  span_id : string option;
+  parent_id : string option;
+}
+
+let str_member k obj =
+  match List.assoc_opt k obj with Some (Wire.String s) -> Some s | _ -> None
+
+let num_member k obj =
+  match List.assoc_opt k obj with
+  | Some (Wire.Float f) -> Some f
+  | Some (Wire.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let arg_member k obj =
+  match List.assoc_opt "args" obj with
+  | Some (Wire.Obj args) -> str_member k args
+  | _ -> None
+
+let ev_of_json obj =
+  {
+    json = obj;
+    name = Option.value (str_member "name" obj) ~default:"";
+    ph = Option.value (str_member "ph" obj) ~default:"";
+    ts = Option.value (num_member "ts" obj) ~default:0.0;
+    dur = Option.value (num_member "dur" obj) ~default:0.0;
+    tid =
+      (match num_member "tid" obj with Some f -> int_of_float f | None -> 0);
+    trace_id = arg_member "trace_id" obj;
+    span_id = arg_member "span_id" obj;
+    parent_id = arg_member "parent_id" obj;
+  }
+
+let set_member k v obj =
+  let replaced = ref false in
+  let obj =
+    List.map
+      (fun (k', v') ->
+        if k' = k then begin
+          replaced := true;
+          (k, v)
+        end
+        else (k', v'))
+      obj
+  in
+  if !replaced then obj else obj @ [ (k, v) ]
+
+let set_arg k v obj =
+  let args =
+    match List.assoc_opt "args" obj with Some (Wire.Obj a) -> a | _ -> []
+  in
+  set_member "args" (Wire.Obj (set_member k v args)) obj
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load (label, path) =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Wire.parse contents with
+      | Error e ->
+          Error (Printf.sprintf "%s: %s" path (Wire.error_to_string e))
+      | Ok (Wire.List l) ->
+          let evs =
+            List.filter_map
+              (function Wire.Obj obj -> Some (ev_of_json obj) | _ -> None)
+              l
+          in
+          Ok (label, evs)
+      | Ok _ -> Error (Printf.sprintf "%s: not a trace-event array" path))
+
+(* GC events from each file move to that file's own "<label> gc" process
+   lane and are annotated with the trace id of a request span they
+   overlap in time (same source process), so a trace id whose request
+   was interrupted by a pause shows up in the GC lane too. *)
+let annotate_gc spans gc_evs =
+  let spans =
+    List.sort (fun a b -> compare a.ts b.ts) spans |> Array.of_list
+  in
+  let n = Array.length spans in
+  let max_dur =
+    Array.fold_left (fun m s -> Float.max m s.dur) 0.0 spans
+  in
+  List.map
+    (fun g ->
+      if n = 0 then g
+      else begin
+        let g_end = g.ts +. g.dur in
+        (* First span whose start could still overlap: ts >= g.ts - max_dur. *)
+        let lo = ref 0 and hi = ref n in
+        while !hi - !lo > 0 do
+          let mid = (!lo + !hi) / 2 in
+          if spans.(mid).ts < g.ts -. max_dur then lo := mid + 1 else hi := mid
+        done;
+        let rec find i =
+          if i >= n || spans.(i).ts > g_end then None
+          else
+            let s = spans.(i) in
+            if s.ts <= g_end && s.ts +. s.dur >= g.ts && s.trace_id <> None
+            then s.trace_id
+            else find (i + 1)
+        in
+        match find !lo with
+        | Some t -> { g with json = set_arg "trace_id" (Wire.String t) g.json;
+                             trace_id = Some t }
+        | None -> g
+      end)
+    gc_evs
+
+let merge ~inputs ~out =
+  let rec load_all = function
+    | [] -> Ok []
+    | x :: rest -> (
+        match load x with
+        | Error _ as e -> e
+        | Ok l -> ( match load_all rest with
+            | Error _ as e -> e
+            | Ok ls -> Ok (l :: ls)))
+  in
+  match load_all inputs with
+  | Error e -> Error e
+  | Ok loaded ->
+      let n = List.length loaded in
+      let buf = Buffer.create 65536 in
+      Buffer.add_string buf "[\n";
+      let count = ref 0 in
+      let emit obj =
+        if !count > 0 then Buffer.add_string buf ",\n";
+        incr count;
+        Buffer.add_string buf (Wire.print (Wire.Obj obj))
+      in
+      let process_name pid name =
+        emit
+          [
+            ("name", Wire.String "process_name");
+            ("ph", Wire.String "M");
+            ("pid", Wire.Int pid);
+            ("args", Wire.Obj [ ("name", Wire.String name) ]);
+          ]
+      in
+      (* Lane bookkeeping: trace id -> which main / GC pids carry it. *)
+      let lanes : (string, (int, [ `Main | `Gc ]) Hashtbl.t) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let note_lane trace_id pid kind =
+        let tbl =
+          match Hashtbl.find_opt lanes trace_id with
+          | Some t -> t
+          | None ->
+              let t = Hashtbl.create 4 in
+              Hashtbl.add lanes trace_id t;
+              t
+        in
+        Hashtbl.replace tbl pid kind
+      in
+      let forwards = ref [] (* (pid, ev) of every routed forward span *)
+      and serves = ref [] (* (pid, ev) of every request-shaped span *) in
+      List.iteri
+        (fun i (label, evs) ->
+          let pid = i + 1 in
+          let gc_pid = n + i + 1 in
+          let is_gc e = String.length e.name >= 3 && String.sub e.name 0 3 = "gc." in
+          let gc_evs, main_evs = List.partition is_gc evs in
+          let spans = List.filter (fun e -> e.ph = "X") main_evs in
+          let gc_evs = annotate_gc spans gc_evs in
+          process_name pid label;
+          if gc_evs <> [] then process_name gc_pid (label ^ " gc");
+          List.iter
+            (fun e ->
+              (match e.trace_id with
+              | Some t -> note_lane t pid `Main
+              | None -> ());
+              if e.ph = "X" then begin
+                if e.name = "forward" then forwards := (pid, e) :: !forwards;
+                if e.name = "serve" then serves := (pid, e) :: !serves
+              end;
+              emit (set_member "pid" (Wire.Int pid) e.json))
+            main_evs;
+          List.iter
+            (fun e ->
+              (match e.trace_id with
+              | Some t -> note_lane t gc_pid `Gc
+              | None -> ());
+              emit (set_member "pid" (Wire.Int gc_pid) e.json))
+            gc_evs)
+        loaded;
+      (* Re-parenting: a shard span whose parent_id is a router forward
+         span's span_id gets a flow arrow from the forward slice to the
+         shard slice — Perfetto renders the shard work under the routing
+         hop that caused it. The data-level link (parent_id stamped at
+         the shard) is already in the events; the flow pair makes it
+         visible. *)
+      let reparented = ref 0 in
+      List.iter
+        (fun (fpid, f) ->
+          match (f.trace_id, f.span_id) with
+          | Some t, Some s ->
+              List.iter
+                (fun (spid, sv) ->
+                  if
+                    spid <> fpid && sv.trace_id = Some t
+                    && sv.parent_id = Some s
+                  then begin
+                    incr reparented;
+                    let flow_id = t ^ "-" ^ s in
+                    emit
+                      [
+                        ("name", Wire.String "req");
+                        ("cat", Wire.String "rvu");
+                        ("ph", Wire.String "s");
+                        ("id", Wire.String flow_id);
+                        ("ts", Wire.Float f.ts);
+                        ("pid", Wire.Int fpid);
+                        ("tid", Wire.Int f.tid);
+                      ];
+                    emit
+                      [
+                        ("name", Wire.String "req");
+                        ("cat", Wire.String "rvu");
+                        ("ph", Wire.String "f");
+                        ("bp", Wire.String "e");
+                        ("id", Wire.String flow_id);
+                        ("ts", Wire.Float sv.ts);
+                        ("pid", Wire.Int spid);
+                        ("tid", Wire.Int sv.tid);
+                      ]
+                  end)
+                !serves
+          | _ -> ())
+        !forwards;
+      Buffer.add_string buf "\n]\n";
+      let oc = open_out out in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      let trace_ids = Hashtbl.length lanes in
+      let cross_process = ref 0 and three_lane = ref 0 in
+      Hashtbl.iter
+        (fun _ tbl ->
+          let mains = ref 0 and gcs = ref 0 in
+          Hashtbl.iter
+            (fun _ -> function `Main -> incr mains | `Gc -> incr gcs)
+            tbl;
+          if !mains >= 2 then begin
+            incr cross_process;
+            if !gcs >= 1 then incr three_lane
+          end)
+        lanes;
+      Ok
+        {
+          files = n;
+          events = !count;
+          trace_ids;
+          cross_process = !cross_process;
+          three_lane = !three_lane;
+          reparented = !reparented;
+        }

@@ -1,0 +1,37 @@
+(** The trace stitcher behind [rvu trace-merge]: join per-process trace
+    files (router + shards) into one Perfetto-loadable timeline.
+
+    Each input file becomes a named process lane (a [process_name]
+    metadata event; pid = input position + 1). Events named [gc.*] move
+    to a separate ["<label> gc"] lane for the same file and are
+    annotated with the trace id of a request span they overlap in time,
+    so a pause that interrupted a request carries that request's trace
+    id. Shard [serve] spans whose [parent_id] equals a router [forward]
+    span's [span_id] get a Perfetto flow arrow ([ph:"s"] at the forward
+    slice, [ph:"f", bp:"e"] at the serve slice) — the visual form of the
+    re-parenting rule; the data-level link is already in the events'
+    [parent_id] args (DESIGN.md §18).
+
+    Timestamps are merged as-is: every process reads the same
+    system-wide [CLOCK_MONOTONIC] (trace spans and Runtime_events GC
+    pauses alike), so single-host traces align without rebasing — which
+    is also the stitcher's assumption: it is for one host's cluster, not
+    for traces gathered across machines. *)
+
+type summary = {
+  files : int;  (** input files merged *)
+  events : int;  (** events written, metadata and flow events included *)
+  trace_ids : int;  (** distinct trace ids seen *)
+  cross_process : int;  (** trace ids present in ≥ 2 process lanes *)
+  three_lane : int;
+      (** trace ids present in ≥ 2 process lanes {e and} a GC lane *)
+  reparented : int;  (** shard spans linked under a router forward span *)
+}
+
+val merge :
+  inputs:(string * string) list -> out:string -> (summary, string) result
+(** [merge ~inputs:[(label, path); …] ~out] reads each trace file,
+    stitches, and writes one JSON trace-event array to [out]. [Error]
+    carries a [path: reason] message on an unreadable or malformed
+    input. The first input is conventionally the router (labels are
+    free-form; lanes appear in input order). *)

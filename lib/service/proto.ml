@@ -54,7 +54,12 @@ type request =
   | Health
   | Hello of Wire_bin.mode
 
-type envelope = { id : Wire.t; timeout_ms : float option; request : request }
+type envelope = {
+  id : Wire.t;
+  timeout_ms : float option;
+  trace : string option;
+  request : request;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Decoding *)
@@ -170,13 +175,22 @@ let request_of_wire w =
         | None -> Error "missing required field \"kind\""
         | Some v -> string_field "kind" v
       in
+      (* The trace member is the router's propagated span context (a W3C
+         traceparent string). Per the W3C rule a malformed or missing
+         context is discarded, never an error — tracing must not be able
+         to fail a request — so any non-string shape reads as absent. *)
+      let trace =
+        match Wire.member "trace" w with
+        | Some (Wire.String s) -> Some s
+        | _ -> None
+      in
       let* request =
         match body_of_wire w kind with
         | Ok _ as ok -> ok
         | Error _ as e -> e
         | exception Invalid_argument msg -> Error msg
       in
-      Ok { id; timeout_ms; request }
+      Ok { id; timeout_ms; trace; request }
   | v -> Error (Printf.sprintf "expected a request object, got %s" (Wire.kind_name v))
 
 (* ------------------------------------------------------------------ *)

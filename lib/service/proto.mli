@@ -95,6 +95,13 @@ type request =
 type envelope = {
   id : Wire.t;  (** [Null], [Int] or [String] *)
   timeout_ms : float option;
+  trace : string option;
+      (** the optional ["trace"] member: a W3C traceparent string
+          ([00-<32 hex>-<16 hex>-01]) carrying the sender's span context
+          — spliced in by the router on routed requests. Any malformed
+          shape reads as [None] (tracing never fails a request); the
+          member is ignored by {!canonical_key}, so it never splits the
+          cache. *)
   request : request;
 }
 

@@ -71,8 +71,11 @@ let submit ?ctx t (env : Proto.envelope) ~k =
          ( Proto.Overloaded,
            Printf.sprintf "pending queue is full (depth %d)" t.queue_depth ))
   in
+  let t_submit = Rvu_obs.Clock.now_s () in
   match Lru.find t.cache key with
-  | Some cached -> k (Ok cached)
+  | Some cached ->
+      Rvu_obs.Phase.observe "cache" (Rvu_obs.Clock.now_s () -. t_submit);
+      k (Ok cached)
   | None ->
       if Rvu_obs.Fault.fire fault_force_shed then shed ()
       else if Atomic.fetch_and_add t.in_flight 1 >= t.queue_depth then begin
@@ -103,11 +106,14 @@ let submit ?ctx t (env : Proto.envelope) ~k =
               "request exceeded its queue-wait budget before a worker picked \
                it up" )
         in
-        (* The worker re-installs [ctx] (Pool.Persistent does it), so logs
-           and trace spans from the handler carry the request's id. *)
-        Rvu_exec.Pool.Persistent.submit ?ctx t.pool (fun () ->
-            Rvu_obs.Metrics.observe m_queue_wait
-              (Rvu_obs.Clock.now_s () -. admitted_at);
+        (* The worker re-installs [ctx] and the ambient span context
+           (Pool.Persistent does both), so logs, trace spans and
+           exemplars from the handler carry the request's identity. *)
+        let span = Rvu_obs.Trace.current_context () in
+        Rvu_exec.Pool.Persistent.submit ?ctx ?span t.pool (fun () ->
+            let wait = Rvu_obs.Clock.now_s () -. admitted_at in
+            Rvu_obs.Metrics.observe m_queue_wait wait;
+            Rvu_obs.Phase.observe "queue" wait;
             let result =
               match deadline with
               | Some dl when now () > dl -> timed_out ()

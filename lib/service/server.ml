@@ -4,6 +4,7 @@ type config = {
   cache_entries : int;
   timeout_ms : float option;
   max_request_bytes : int;
+  slow_ms : float option;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     cache_entries = 256;
     timeout_ms = None;
     max_request_bytes = 1_048_576;
+    slow_ms = None;
   }
 
 (* Injection points (Rvu_obs.Fault): a torn NDJSON frame must surface as a
@@ -273,74 +275,117 @@ let render_error ~wire ~ctx ~id code msg =
   | Wire_bin.Json -> Wire.print (Proto.error_response ~ctx ~id code msg)
   | Wire_bin.Binary -> Wire_bin.encode (Proto.error_response ~ctx ~id code msg)
 
+(* The serve-side span context for a request that propagated [trace]: a
+   child of the sender's context when the member parsed, a fresh root
+   otherwise, [None] with tracing off. Malformed contexts are discarded
+   (never an error) per the W3C traceparent rule. *)
+let serve_context trace =
+  if Rvu_obs.Trace.enabled () then
+    Some
+      (match Option.bind trace Rvu_obs.Trace.of_traceparent with
+      | Some parent -> Rvu_obs.Trace.child_of parent
+      | None -> Rvu_obs.Trace.new_root ())
+  else None
+
+(* Close out a request: file its wall time (the ambient span context
+   makes the observation exemplar-bearing), emit the per-request "serve"
+   complete span, and — when the request blew the [--slow-ms] budget —
+   force-retain its trace id so the evidence survives ring wrap. *)
+let finish_request t ~kind ~sc ~t0 =
+  let dt = Rvu_obs.Clock.now_s () -. t0 in
+  Rvu_obs.Metrics.observe (request_seconds kind) dt;
+  Rvu_obs.Trace.complete
+    ~args:[ ("kind", Wire.String kind) ]
+    ~ts_us:(t0 *. 1e6) ~dur_us:(dt *. 1e6) "serve";
+  match (t.config.slow_ms, sc) with
+  | Some budget, Some c when dt *. 1000.0 > budget ->
+      Rvu_obs.Trace.retain ~trace_id:c.Rvu_obs.Trace.trace_id;
+      Rvu_obs.Log.warn
+        ~fields:
+          [
+            ("kind", Wire.String kind);
+            ("ms", Wire.Float (dt *. 1000.0));
+            ("trace_id", Wire.String c.Rvu_obs.Trace.trace_id);
+          ]
+        "slow request: trace retained"
+  | _ -> ()
+
 (* The shared post-decode path: sync kinds are answered in place, the
    rest go through the scheduler. [frame_key] (set by the binary fast
    path on a frame-cache miss) files the ok payload under the request's
-   id-excised frame bytes so the next identical frame skips decoding. *)
+   envelope-excised frame bytes so the next identical frame skips
+   decoding. *)
 let handle_env ?frame_key ~wire t env ~respond =
   let ctx = Rvu_obs.Ctx.derive env.Proto.id in
   let kind = Proto.kind_string env.Proto.request in
+  let sc = serve_context env.Proto.trace in
   Rvu_obs.Ctx.with_ctx ctx (fun () ->
-      let t0 = Rvu_obs.Clock.now_s () in
-      let observe () =
-        Rvu_obs.Metrics.observe (request_seconds kind)
-          (Rvu_obs.Clock.now_s () -. t0)
-      in
-      Rvu_obs.Log.debug ~fields:[ ("kind", Wire.String kind) ] "request";
-      let sync body =
-        count t `Ok;
-        respond (render_ok_body ~wire ~ctx ~id:env.Proto.id body);
-        log_response ~kind ~t0 (Ok ());
-        observe ()
-      in
-      match env.Proto.request with
-      | Proto.Stats -> sync (stats_json t)
-      | Proto.Health -> sync (health_json t)
-      | Proto.Metrics fmt ->
-          sync
-            (match fmt with
-            | Proto.Metrics_json -> Rvu_obs.Metrics.json ()
-            | Proto.Metrics_prometheus ->
-                Wire.String (Rvu_obs.Metrics.expose ()))
-      | Proto.Hello _ ->
-          (* Connection state, not a computation: the transports intercept
-             a first-record hello before it reaches this path, so one seen
-             here arrived mid-stream (or through the in-process entry). *)
-          let msg = "hello must be the first record on a connection" in
-          count t `Error;
-          Rvu_obs.Log.warn
-            ~fields:[ ("error", Wire.String msg) ]
-            "request invalid";
-          respond
-            (render_error ~wire ~ctx ~id:env.Proto.id Proto.Invalid_request
-               msg)
-      | _ ->
-          enter t;
-          Sched.submit ~ctx t.sched env ~k:(fun outcome ->
-              (* [k] may run on a worker domain; re-install the id so the
-                 response record and any respond-side spans stay
-                 correlated. *)
-              Rvu_obs.Ctx.with_ctx ctx (fun () ->
-                  let response =
-                    match outcome with
-                    | Ok p ->
-                        count t `Ok;
-                        (match frame_key with
-                        | Some key ->
-                            Lru.add t.frames key { f_kind = kind; f_ok = p }
-                        | None -> ());
-                        render_ok_payload ~wire ~ctx ~id:env.Proto.id p
-                    | Error (code, msg) ->
-                        count t
-                          (match code with
-                          | Proto.Overloaded -> `Overloaded
-                          | _ -> `Error);
-                        render_error ~wire ~ctx ~id:env.Proto.id code msg
-                  in
-                  (try respond response with _ -> ());
-                  log_response ~kind ~t0 (Result.map (fun _ -> ()) outcome);
-                  observe ();
-                  leave t)))
+      Rvu_obs.Trace.with_context_opt sc (fun () ->
+          let t0 = Rvu_obs.Clock.now_s () in
+          Rvu_obs.Log.debug ~fields:[ ("kind", Wire.String kind) ] "request";
+          let sync body =
+            count t `Ok;
+            respond
+              (Rvu_obs.Phase.time "encode" (fun () ->
+                   render_ok_body ~wire ~ctx ~id:env.Proto.id body));
+            log_response ~kind ~t0 (Ok ());
+            finish_request t ~kind ~sc ~t0
+          in
+          match env.Proto.request with
+          | Proto.Stats -> sync (stats_json t)
+          | Proto.Health -> sync (health_json t)
+          | Proto.Metrics fmt ->
+              sync
+                (match fmt with
+                | Proto.Metrics_json -> Rvu_obs.Metrics.json ()
+                | Proto.Metrics_prometheus ->
+                    Wire.String (Rvu_obs.Metrics.expose ()))
+          | Proto.Hello _ ->
+              (* Connection state, not a computation: the transports
+                 intercept a first-record hello before it reaches this
+                 path, so one seen here arrived mid-stream (or through the
+                 in-process entry). *)
+              let msg = "hello must be the first record on a connection" in
+              count t `Error;
+              Rvu_obs.Log.warn
+                ~fields:[ ("error", Wire.String msg) ]
+                "request invalid";
+              respond
+                (render_error ~wire ~ctx ~id:env.Proto.id
+                   Proto.Invalid_request msg)
+          | _ ->
+              enter t;
+              Sched.submit ~ctx t.sched env ~k:(fun outcome ->
+                  (* [k] may run on a worker domain; re-install the id and
+                     the span context so the response record, the serve
+                     span and the latency exemplar stay correlated. *)
+                  Rvu_obs.Ctx.with_ctx ctx (fun () ->
+                      Rvu_obs.Trace.with_context_opt sc (fun () ->
+                          let response =
+                            match outcome with
+                            | Ok p ->
+                                count t `Ok;
+                                (match frame_key with
+                                | Some key ->
+                                    Lru.add t.frames key
+                                      { f_kind = kind; f_ok = p }
+                                | None -> ());
+                                Rvu_obs.Phase.time "encode" (fun () ->
+                                    render_ok_payload ~wire ~ctx
+                                      ~id:env.Proto.id p)
+                            | Error (code, msg) ->
+                                count t
+                                  (match code with
+                                  | Proto.Overloaded -> `Overloaded
+                                  | _ -> `Error);
+                                render_error ~wire ~ctx ~id:env.Proto.id code
+                                  msg
+                          in
+                          (try respond response with _ -> ());
+                          log_response ~kind ~t0
+                            (Result.map (fun _ -> ()) outcome);
+                          finish_request t ~kind ~sc ~t0;
+                          leave t)))))
 
 (* Decoded but not yet validated: reject with the id salvaged if the
    envelope carried a usable one, so even a rejected request can be
@@ -400,21 +445,35 @@ let handle_line t line ~respond =
 (* ------------------------------------------------------------------ *)
 (* The binary request path *)
 
-(* The frame-cache key: the request payload with the first id member
-   excised (key length prefix through value end). The member count byte
-   is left as sent, so an id-less request can never share a key with an
-   id-carrying one, and any non-envelope difference — field order,
-   spelling, extra members — keys separately (harmless fragmentation;
-   the scheduler's canonical cache still unifies the compute). *)
+(* The frame-cache key: the request payload with the first id and trace
+   members excised (key length prefix through value end). The id differs
+   per pipelined request and the trace member per routed request — a
+   tracing router stamps a fresh span context on every forward, so
+   leaving it in the key would defeat the cache entirely. The member
+   count byte is left as sent, so an id-less request can never share a
+   key with an id-carrying one, and any non-envelope difference — field
+   order, spelling, extra members — keys separately (harmless
+   fragmentation; the scheduler's canonical cache still unifies the
+   compute). *)
 let frame_key payload (scan : Wire_bin.request_scan) =
-  match scan.Wire_bin.id_member with
-  | None -> payload
-  | Some (mstart, mend) ->
-      let n = String.length payload in
-      let b = Bytes.create (n - (mend - mstart)) in
-      Bytes.blit_string payload 0 b 0 mstart;
-      Bytes.blit_string payload mend b mstart (n - mend);
-      Bytes.unsafe_to_string b
+  let cuts =
+    List.sort compare
+      (List.filter_map Fun.id
+         [ scan.Wire_bin.id_member; scan.Wire_bin.trace_member ])
+  in
+  match cuts with
+  | [] -> payload
+  | cuts ->
+      let b = Buffer.create (String.length payload) in
+      let pos =
+        List.fold_left
+          (fun pos (mstart, mend) ->
+            Buffer.add_substring b payload pos (mstart - pos);
+            mend)
+          0 cuts
+      in
+      Buffer.add_substring b payload pos (String.length payload - pos);
+      Buffer.contents b
 
 (* Decode and run a binary payload the long way (mirrors [handle_line]
    after the line-level concerns). *)
@@ -469,20 +528,47 @@ let handle_payload t payload ~respond =
         | None -> handle_payload_slow ~frame_key:key t payload ~respond
         | Some { f_kind; f_ok } ->
             let ctx = Rvu_obs.Ctx.derive id in
+            (* With tracing off this decodes nothing (one branch); with it
+               on, the propagated trace value — a binary String span the
+               scan located — is decoded so the hit's serve span joins the
+               router's trace. *)
+            let sc =
+              if Rvu_obs.Trace.enabled () then
+                serve_context
+                  (match scan.Wire_bin.trace_value with
+                  | Some (vstart, vend) -> (
+                      match
+                        Wire_bin.decode_span payload ~pos:vstart
+                          ~len:(vend - vstart)
+                      with
+                      | Ok (Wire.String tp) -> Some tp
+                      | Ok _ | Error _ -> None)
+                  | None -> None)
+              else None
+            in
             Rvu_obs.Ctx.with_ctx ctx (fun () ->
-                let t0 = Rvu_obs.Clock.now_s () in
-                count t `Ok;
-                let response =
-                  match scan.Wire_bin.id_value with
-                  | Some (vstart, vend) ->
-                      Payload.ok_bin_sub f_ok ~ctx ~id_src:payload
-                        ~id_pos:vstart ~id_len:(vend - vstart)
-                  | None -> Payload.ok_bin f_ok ~ctx ~id
-                in
-                (try respond response with _ -> ());
-                log_response ~kind:f_kind ~t0 (Ok ());
-                Rvu_obs.Metrics.observe (request_seconds f_kind)
-                  (Rvu_obs.Clock.now_s () -. t0)))
+                Rvu_obs.Trace.with_context_opt sc (fun () ->
+                    let t0 = Rvu_obs.Clock.now_s () in
+                    count t `Ok;
+                    let response =
+                      match scan.Wire_bin.id_value with
+                      | Some (vstart, vend) ->
+                          Payload.ok_bin_sub f_ok ~ctx ~id_src:payload
+                            ~id_pos:vstart ~id_len:(vend - vstart)
+                      | None -> Payload.ok_bin f_ok ~ctx ~id
+                    in
+                    (try respond response with _ -> ());
+                    log_response ~kind:f_kind ~t0 (Ok ());
+                    let dt = Rvu_obs.Clock.now_s () -. t0 in
+                    Rvu_obs.Metrics.observe (request_seconds f_kind) dt;
+                    Rvu_obs.Phase.observe "cache" dt;
+                    Rvu_obs.Trace.complete
+                      ~args:
+                        [
+                          ("kind", Wire.String f_kind);
+                          ("cache", Wire.String "frame");
+                        ]
+                      ~ts_us:(t0 *. 1e6) ~dur_us:(dt *. 1e6) "serve")))
 
 let await handle =
   let lock = Mutex.create () in

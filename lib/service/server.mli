@@ -26,6 +26,14 @@
     [internal] outcomes, which also dump the flight recorder when one is
     armed).
 
+    Tracing: with {!Rvu_obs.Trace} enabled each request is served under a
+    span context — a child of the envelope's propagated ["trace"] member
+    (the router's W3C traceparent) when present, a fresh root otherwise —
+    and emits a per-request ["serve"] complete span. Serve latency is
+    decomposed into [rvu_phase_seconds{phase=…}] histograms whose
+    observations carry trace-id exemplars, and [slow_ms] force-retains
+    over-budget requests' spans.
+
     The same [handle_line] entry point backs all three transports, so the
     in-process form used by tests and the [perf-serve] bench exercises
     exactly the scheduling, caching and backpressure that the socket form
@@ -41,11 +49,17 @@ type config = {
           structured [invalid_request] error (they are never parsed, so a
           hostile client cannot make the server materialise an arbitrary
           JSON document) *)
+  slow_ms : float option;
+      (** slow-request trigger ([rvu serve --slow-ms]): a request whose
+          wall time exceeds this budget gets its trace id force-retained
+          ({!Rvu_obs.Trace.retain}) so its spans survive ring wrap-around,
+          plus a [warn]-level log record carrying the trace id. No effect
+          when tracing is off. *)
 }
 
 val default_config : config
 (** [{jobs = recommended; queue_depth = 64; cache_entries = 256;
-    timeout_ms = None; max_request_bytes = 1_048_576}]. *)
+    timeout_ms = None; max_request_bytes = 1_048_576; slow_ms = None}]. *)
 
 type t
 

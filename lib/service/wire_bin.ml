@@ -287,13 +287,17 @@ type request_scan = {
   id_value : (int * int) option;  (** byte span of the ["id"] value alone *)
   id_tag : char;  (** tag byte of the id value; {!tag_null} when absent *)
   has_timeout : bool;  (** a ["timeout_ms"] member is present *)
+  trace_member : (int * int) option;
+      (** byte span of the whole ["trace"] member; [None] when absent *)
+  trace_value : (int * int) option;
+      (** byte span of the ["trace"] value alone *)
 }
 
 (* The member walk threads its findings as immediate parameters (-1
    sentinels instead of options) so the only allocation is the one
    result record at the end — this runs per request on the warm path. *)
 let rec scan_members s n pos count ~im_start ~im_end ~iv_start ~iv_end ~id_tag
-    ~has_timeout =
+    ~has_timeout ~tm_start ~tm_end ~tv_start ~tv_end =
   if count = 0 then begin
     if pos <> n then fail "offset %d: trailing bytes" pos;
     {
@@ -301,6 +305,8 @@ let rec scan_members s n pos count ~im_start ~im_end ~iv_start ~iv_end ~id_tag
       id_value = (if im_start < 0 then None else Some (iv_start, iv_end));
       id_tag;
       has_timeout;
+      trace_member = (if tm_start < 0 then None else Some (tm_start, tm_end));
+      trace_value = (if tm_start < 0 then None else Some (tv_start, tv_end));
     }
   end
   else begin
@@ -312,10 +318,16 @@ let rec scan_members s n pos count ~im_start ~im_end ~iv_start ~iv_end ~id_tag
     if im_start < 0 && key_is s pos klen "id" then
       scan_members s n vend (count - 1) ~im_start:pos ~im_end:vend
         ~iv_start:vstart ~iv_end:vend ~id_tag:s.[vstart] ~has_timeout
+        ~tm_start ~tm_end ~tv_start ~tv_end
+    else if tm_start < 0 && key_is s pos klen "trace" then
+      scan_members s n vend (count - 1) ~im_start ~im_end ~iv_start ~iv_end
+        ~id_tag ~has_timeout ~tm_start:pos ~tm_end:vend ~tv_start:vstart
+        ~tv_end:vend
     else
       scan_members s n vend (count - 1) ~im_start ~im_end ~iv_start ~iv_end
         ~id_tag
         ~has_timeout:(has_timeout || key_is s pos klen "timeout_ms")
+        ~tm_start ~tm_end ~tv_start ~tv_end
   end
 
 let scan_request s =
@@ -324,7 +336,8 @@ let scan_request s =
       fail "offset 0: not an object";
     scan_members s (String.length s) 5 (get_u32 s 1) ~im_start:(-1)
       ~im_end:(-1) ~iv_start:(-1) ~iv_end:(-1) ~id_tag:tag_null
-      ~has_timeout:false
+      ~has_timeout:false ~tm_start:(-1) ~tm_end:(-1) ~tv_start:(-1)
+      ~tv_end:(-1)
   with
   | scan -> Some scan
   | exception Malformed _ -> None

@@ -80,6 +80,11 @@ type request_scan = {
   id_value : (int * int) option;  (** span of the ["id"] value alone *)
   id_tag : char;  (** first byte of the id value; [0x00] when absent *)
   has_timeout : bool;
+  trace_member : (int * int) option;
+      (** span of the first ["trace"] member (the router's per-request
+          trace context) — also excised from the frame-cache key, since
+          it differs on every request *)
+  trace_value : (int * int) option;  (** span of the ["trace"] value *)
 }
 
 val scan_request : string -> request_scan option

@@ -84,23 +84,29 @@ let run_with_source ?closed_forms ?resolution ?horizon ?(kernel = Compiled)
                        Rvu_trajectory.Compiled.next_chunk d ~max_segments:n))
             | None ->
                 let s_r' =
-                  Rvu_obs.Trace.with_span "engine.realize" (fun () ->
-                      Rvu_trajectory.Realize.realize clocked program)
+                  Rvu_obs.Phase.time "realize" (fun () ->
+                      Rvu_obs.Trace.with_span "engine.realize" (fun () ->
+                          Rvu_trajectory.Realize.realize clocked program))
                 in
                 Detector.first_meeting_sources ?closed_forms ?resolution
                   ?horizon ~r:inst.r reference
                   (Detector.source_of_seq s_r'))
         | Interpreted ->
             let s_r' =
-              Rvu_obs.Trace.with_span "engine.realize" (fun () ->
-                  Rvu_trajectory.Realize.realize clocked program)
+              Rvu_obs.Phase.time "realize" (fun () ->
+                  Rvu_obs.Trace.with_span "engine.realize" (fun () ->
+                      Rvu_trajectory.Realize.realize clocked program))
             in
             Detector.first_meeting ?closed_forms ?resolution ?horizon
               ~r:inst.r
               (Detector.seq_of_source reference)
               s_r')
   in
-  Rvu_obs.Metrics.observe m_detect (Rvu_obs.Clock.now_s () -. t0);
+  let detect_s = Rvu_obs.Clock.now_s () -. t0 in
+  Rvu_obs.Metrics.observe m_detect detect_s;
+  (* Attribution, not a partition: detect contains realize (and, on the
+     compiled path, the streamed derivation). *)
+  Rvu_obs.Phase.observe "detect" detect_s;
   Rvu_obs.Metrics.incr m_runs;
   Rvu_obs.Metrics.incr ~by:stats.Detector.intervals m_intervals;
   let bound =

@@ -184,6 +184,14 @@ the checkpointed atlas machinery stays with the paper's d-sweep:
   rvu: --model sweeps do not support --out
   [1]
 
+  $ rvu sweep --model cycle_speed --shards 4
+  rvu: --model sweeps do not support --shards
+  [1]
+
+  $ rvu sweep --model cycle_speed --resume
+  rvu: --model sweeps do not support --resume
+  [1]
+
 Gathering (the open problem): a pair gathers, three distinct speeds do not:
 
   $ rvu gather --robot 2,2,1 -r 0.3 --horizon 1000000
@@ -273,6 +281,32 @@ front instead of failing at the end of the run:
 
   $ rvu serve --jobs 1 --trace /nonexistent-dir/rvu.trace.json < /dev/null
   rvu: cannot open trace file: /nonexistent-dir/rvu.trace.json: No such file or directory
+  [1]
+
+The trace stitcher joins per-process trace files on the propagated span
+context: the router's forward span and the shard's serve span share a
+trace id, the serve is parented under the forward, and a GC pause that
+overlapped the serve is pulled into the same trace:
+
+  $ cat > router.trace << 'EOF'
+  > [{"name":"forward","cat":"rvu","ph":"X","ts":1000.0,"dur":500.0,"pid":1,"tid":7,"args":{"trace_id":"t1","span_id":"s1"}}]
+  > EOF
+  $ cat > worker0.trace << 'EOF'
+  > [{"name":"serve","cat":"rvu","ph":"X","ts":1100.0,"dur":300.0,"pid":1,"tid":3,"args":{"trace_id":"t1","span_id":"s2","parent_id":"s1"}},
+  >  {"name":"gc.minor","cat":"rvu","ph":"X","ts":1150.0,"dur":10.0,"pid":1,"tid":9000}]
+  > EOF
+  $ rvu trace-merge router.trace worker0.trace -o merged.json
+  merged 2 file(s), 8 event(s) into merged.json
+  trace ids: 1
+  cross-process trace ids: 1
+  trace ids spanning 3+ lanes: 1
+  re-parented serve spans: 1
+
+  $ grep -c '"name":"process_name"' merged.json
+  3
+
+  $ rvu trace-merge missing.trace -o merged.json
+  rvu trace-merge: missing.trace: No such file or directory
   [1]
 
 The metrics endpoint serves the process-wide registry over the same

@@ -564,6 +564,384 @@ let test_trace_unwritable_path () =
     | exception Sys_error _ -> true);
   check_bool "failed enable leaves tracing off" false (Trace.enabled ())
 
+(* ------------------------------------------------------------------ *)
+(* Span context: the W3C-shaped identity the cluster propagates *)
+
+let all_hex s = String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) s
+
+let test_span_context_roundtrip () =
+  let root = Trace.new_root () in
+  check_int "trace id is 32 chars" 32 (String.length root.Trace.trace_id);
+  check_int "span id is 16 chars" 16 (String.length root.Trace.span_id);
+  check_bool "ids are lowercase hex" true
+    (all_hex root.Trace.trace_id && all_hex root.Trace.span_id);
+  check_bool "root has no parent" true (root.Trace.parent_id = None);
+  let tp = Trace.to_traceparent root in
+  check_int "traceparent is 55 bytes" 55 (String.length tp);
+  (match Trace.of_traceparent tp with
+  | Some sc ->
+      check_string "trace id round-trips" root.Trace.trace_id sc.Trace.trace_id;
+      check_string "span id round-trips" root.Trace.span_id sc.Trace.span_id;
+      check_bool "parsed context carries no parent" true (sc.Trace.parent_id = None)
+  | None -> Alcotest.fail "own traceparent rejected");
+  let child = Trace.child_of root in
+  check_string "child keeps the trace id" root.Trace.trace_id child.Trace.trace_id;
+  check_bool "child gets a fresh span id" true
+    (child.Trace.span_id <> root.Trace.span_id);
+  check_bool "child parented under root" true
+    (child.Trace.parent_id = Some root.Trace.span_id);
+  let other = Trace.new_root () in
+  check_bool "roots are distinct traces" true
+    (other.Trace.trace_id <> root.Trace.trace_id)
+
+let test_traceparent_rejects_malformed () =
+  let root = Trace.new_root () in
+  let tp = Trace.to_traceparent root in
+  let zeros n = String.make n '0' in
+  List.iter
+    (fun (what, s) ->
+      check_bool (Printf.sprintf "rejects %s" what) true
+        (Trace.of_traceparent s = None))
+    [
+      ("empty", "");
+      ("truncated", String.sub tp 0 54);
+      ("padded", tp ^ "0");
+      ("wrong version", "01" ^ String.sub tp 2 53);
+      ("non-hex trace id", "00-" ^ String.make 32 'g' ^ "-" ^ String.sub tp 36 19);
+      ("all-zero trace id", "00-" ^ zeros 32 ^ "-" ^ String.sub tp 36 19);
+      ("all-zero span id", String.sub tp 0 36 ^ zeros 16 ^ "-01");
+      ("missing dashes", String.map (fun c -> if c = '-' then '0' else c) tp);
+    ]
+
+let test_ambient_context_scoping () =
+  check_bool "no ambient context by default" true (Trace.current_context () = None);
+  let a = Trace.new_root () and b = Trace.new_root () in
+  Trace.with_context a (fun () ->
+      check_bool "installed" true (Trace.current_context () = Some a);
+      Trace.with_context b (fun () ->
+          check_bool "nested shadows" true (Trace.current_context () = Some b));
+      check_bool "restored after nesting" true (Trace.current_context () = Some a);
+      (match Trace.with_context b (fun () -> raise Exit) with
+      | exception Exit -> ()
+      | _ -> Alcotest.fail "Exit swallowed");
+      check_bool "restored after raise" true (Trace.current_context () = Some a));
+  check_bool "cleared at the outer exit" true (Trace.current_context () = None);
+  Trace.with_context_opt None (fun () ->
+      check_bool "with_context_opt None installs nothing" true
+        (Trace.current_context () = None));
+  (* Ambient context is domain-local: a worker domain starts clean. *)
+  Trace.with_context a (fun () ->
+      let d = Domain.spawn (fun () -> Trace.current_context ()) in
+      check_bool "fresh domain sees no context" true (Domain.join d = None))
+
+let arg_str key ev =
+  match Wire.member "args" ev with
+  | Some args -> (
+      match Wire.member key args with Some (Wire.String s) -> Some s | _ -> None)
+  | None -> None
+
+let find_event name events =
+  match
+    List.find_opt (fun ev -> Wire.member "name" ev = Some (Wire.String name)) events
+  with
+  | Some ev -> ev
+  | None -> Alcotest.failf "no %S event in trace" name
+
+let test_events_stamped_with_context () =
+  let path = Filename.temp_file "rvu_test" ".trace.json" in
+  Trace.enable ~path ();
+  let root = Trace.new_root () in
+  let child = Trace.child_of root in
+  Trace.instant "unstamped";
+  Trace.with_context root (fun () -> Trace.instant "at-root");
+  Trace.with_context child (fun () -> Trace.instant "at-child");
+  Trace.close ();
+  let events = parse_trace path in
+  check_bool "no context, no stamp" true
+    (arg_str "trace_id" (find_event "unstamped" events) = None);
+  let at_root = find_event "at-root" events in
+  check_bool "root trace id stamped" true
+    (arg_str "trace_id" at_root = Some root.Trace.trace_id);
+  check_bool "root span id stamped" true
+    (arg_str "span_id" at_root = Some root.Trace.span_id);
+  check_bool "root event has no parent_id" true
+    (arg_str "parent_id" at_root = None);
+  let at_child = find_event "at-child" events in
+  check_bool "child span id stamped" true
+    (arg_str "span_id" at_child = Some child.Trace.span_id);
+  check_bool "child parent_id is the root span" true
+    (arg_str "parent_id" at_child = Some root.Trace.span_id);
+  Sys.remove path
+
+let test_retain_survives_ring_wrap () =
+  let path = Filename.temp_file "rvu_test" ".trace.json" in
+  Trace.enable ~capacity:4 ~path ();
+  let sc = Trace.new_root () in
+  Trace.with_context sc (fun () ->
+      Trace.instant "slow1";
+      Trace.instant "slow2");
+  Trace.retain ~trace_id:sc.Trace.trace_id;
+  for i = 1 to 8 do
+    Trace.instant (Printf.sprintf "fill%d" i)
+  done;
+  Trace.close ();
+  let events = parse_trace path in
+  let meta = List.hd events in
+  let meta_arg k =
+    match Wire.member "args" meta with Some a -> Wire.member k a | None -> None
+  in
+  check_bool "both retained copies re-emitted" true
+    (meta_arg "force_retained" = Some (Wire.Int 2));
+  check_bool "drop count honest" true
+    (meta_arg "dropped_oldest" = Some (Wire.Int 6));
+  (* The slow request's events survive the wrap, still stamped. *)
+  check_bool "slow1 survives the wrap" true
+    (arg_str "trace_id" (find_event "slow1" events) = Some sc.Trace.trace_id);
+  check_bool "slow2 survives the wrap" true
+    (arg_str "trace_id" (find_event "slow2" events) = Some sc.Trace.trace_id);
+  (* And the ring window is intact behind them. *)
+  let names =
+    List.filter_map
+      (fun ev ->
+        match Wire.member "name" ev with
+        | Some (Wire.String n) when n <> "rvu.trace" -> Some n
+        | _ -> None)
+      events
+  in
+  Alcotest.(check (list string))
+    "retained copies first, then the last ring window"
+    [ "slow1"; "slow2"; "fill5"; "fill6"; "fill7"; "fill8" ]
+    names;
+  Sys.remove path
+
+let test_dropped_counter_mirrors_ring () =
+  let dropped = Metrics.counter "rvu_trace_dropped_total" in
+  let before = Metrics.counter_value dropped in
+  let path = Filename.temp_file "rvu_test" ".trace.json" in
+  Trace.enable ~capacity:2 ~path ();
+  for i = 1 to 5 do
+    Trace.instant (Printf.sprintf "d%d" i)
+  done;
+  Trace.close ();
+  Sys.remove path;
+  check_int "counter advanced by the overwrites" 3
+    (Metrics.counter_value dropped - before)
+
+(* ------------------------------------------------------------------ *)
+(* Exemplars: histogram buckets remember a trace id *)
+
+let test_exemplars_attach_trace_id () =
+  let h =
+    Metrics.histogram ~buckets:[| 0.5; 1.0 |] "test_obs_exemplar_seconds"
+  in
+  Metrics.observe h 0.25;
+  check_bool "no ambient context, no exemplar" true (Metrics.exemplars h = []);
+  let sc = Trace.new_root () in
+  Trace.with_context sc (fun () -> Metrics.observe h 0.75);
+  (match Metrics.exemplars h with
+  | [ (v, t, _ts) ] ->
+      check_bool "observed value kept" true (v = 0.75);
+      check_string "exemplar carries the ambient trace id" sc.Trace.trace_id t
+  | l -> Alcotest.failf "expected 1 exemplar, got %d" (List.length l));
+  (* Latest observation in a bucket wins. *)
+  let sc2 = Trace.new_root () in
+  Trace.with_context sc2 (fun () -> Metrics.observe h 0.8);
+  (match Metrics.exemplars h with
+  | [ (v, t, _) ] ->
+      check_bool "latest wins" true (v = 0.8 && t = sc2.Trace.trace_id)
+  | l -> Alcotest.failf "expected 1 exemplar, got %d" (List.length l));
+  (* Private histograms are measurement state: never exemplared. *)
+  let p = Metrics.private_histogram () in
+  Trace.with_context sc (fun () -> Metrics.observe p 0.1);
+  check_bool "private histogram takes no exemplar" true
+    (Metrics.exemplars p = []);
+  let text = Metrics.expose_openmetrics () in
+  check_bool "bucket line annotated with the trace id" true
+    (contains
+       ~needle:
+         (Printf.sprintf
+            "test_obs_exemplar_seconds_bucket{le=\"1.0\"} 3 # {trace_id=%S} 0.8"
+            sc2.Trace.trace_id)
+       text);
+  check_bool "terminated by # EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n")
+
+(* ------------------------------------------------------------------ *)
+(* Trace stitcher *)
+
+module Trace_merge = Rvu_obs.Trace_merge
+
+let write_trace_file events =
+  let path = Filename.temp_file "rvu_test" ".trace" in
+  let oc = open_out path in
+  output_string oc (Wire.print (Wire.List events));
+  close_out oc;
+  path
+
+let span ?(name = "serve") ?(tid = 1) ~ts ~dur args =
+  Wire.Obj
+    [
+      ("name", Wire.String name);
+      ("cat", Wire.String "rvu");
+      ("ph", Wire.String "X");
+      ("ts", Wire.Float ts);
+      ("dur", Wire.Float dur);
+      ("pid", Wire.Int 1);
+      ("tid", Wire.Int tid);
+      ("args", Wire.Obj (List.map (fun (k, v) -> (k, Wire.String v)) args));
+    ]
+
+let test_trace_merge_stitches () =
+  let t = String.make 31 'a' ^ "1" in
+  let fwd_span = String.make 15 'b' ^ "2" in
+  let serve_span = String.make 15 'c' ^ "3" in
+  let router =
+    write_trace_file
+      [
+        span ~name:"forward" ~tid:7 ~ts:1000.0 ~dur:500.0
+          [ ("trace_id", t); ("span_id", fwd_span); ("kind", "simulate") ];
+      ]
+  in
+  let shard =
+    write_trace_file
+      [
+        span ~name:"serve" ~tid:3 ~ts:1100.0 ~dur:300.0
+          [ ("trace_id", t); ("span_id", serve_span); ("parent_id", fwd_span) ];
+        (* A GC pause overlapping the serve span, unstamped at record
+           time — the stitcher attributes it by time overlap. *)
+        span ~name:"gc.minor" ~tid:9000 ~ts:1150.0 ~dur:10.0 [];
+      ]
+  in
+  let out = Filename.temp_file "rvu_test" ".merged.json" in
+  (match
+     Trace_merge.merge
+       ~inputs:[ ("router", router); ("shard0", shard) ]
+       ~out
+   with
+  | Error e -> Alcotest.failf "merge failed: %s" e
+  | Ok s ->
+      check_int "two files" 2 s.Trace_merge.files;
+      check_int "one trace id" 1 s.Trace_merge.trace_ids;
+      check_int "the trace crosses processes" 1 s.Trace_merge.cross_process;
+      check_int "and reaches a GC lane (3 lanes)" 1 s.Trace_merge.three_lane;
+      check_int "shard serve re-parented under the forward" 1
+        s.Trace_merge.reparented);
+  let events = parse_trace out in
+  (* Process lanes: router, shard0, and shard0's GC lane, distinctly
+     numbered. *)
+  let lanes =
+    List.filter_map
+      (fun ev ->
+        if Wire.member "name" ev = Some (Wire.String "process_name") then
+          match (Wire.member "pid" ev, arg_str "name" ev) with
+          | Some (Wire.Int pid), Some name -> Some (pid, name)
+          | _ -> None
+        else None)
+      events
+  in
+  check_bool "three named process lanes" true
+    (List.length lanes = 3
+    && List.map snd lanes = [ "router"; "shard0"; "shard0 gc" ]
+    && List.sort_uniq compare (List.map fst lanes) |> List.length = 3);
+  (* The GC pause was attributed to the overlapping request's trace. *)
+  check_bool "gc pause stamped by overlap" true
+    (arg_str "trace_id" (find_event "gc.minor" events) = Some t);
+  (* The flow pair that renders the re-parenting. *)
+  let flow ph =
+    List.exists
+      (fun ev ->
+        Wire.member "ph" ev = Some (Wire.String ph)
+        && Wire.member "id" ev
+           = Some (Wire.String (t ^ "-" ^ fwd_span)))
+      events
+  in
+  check_bool "flow start at the forward" true (flow "s");
+  check_bool "flow finish at the serve" true (flow "f");
+  List.iter Sys.remove [ router; shard; out ]
+
+let test_trace_merge_rejects_bad_input () =
+  let out = Filename.temp_file "rvu_test" ".merged.json" in
+  check_bool "missing file is an error" true
+    (match
+       Trace_merge.merge ~inputs:[ ("x", "/nonexistent-dir/x.trace") ] ~out
+     with
+    | Error _ -> true
+    | Ok _ -> false);
+  let not_array = Filename.temp_file "rvu_test" ".trace" in
+  let oc = open_out not_array in
+  output_string oc "{\"not\":\"an array\"}";
+  close_out oc;
+  check_bool "non-array trace is an error" true
+    (match Trace_merge.merge ~inputs:[ ("x", not_array) ] ~out with
+    | Error _ -> true
+    | Ok _ -> false);
+  List.iter Sys.remove [ not_array; out ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime sampler *)
+
+module Runtime = Rvu_obs.Runtime
+
+let test_runtime_lifecycle () =
+  check_bool "not running initially" false (Runtime.running ());
+  Runtime.stop ();
+  check_bool "stop before start is a no-op" false (Runtime.running ());
+  check_bool "non-positive interval raises" true
+    (match Runtime.start ~interval_s:0.0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Runtime.start ~interval_s:0.05 ();
+  check_bool "running after start" true (Runtime.running ());
+  Runtime.start ~interval_s:0.05 ();
+  check_bool "second start is a no-op" true (Runtime.running ());
+  Runtime.stop ();
+  check_bool "stopped" false (Runtime.running ());
+  Runtime.stop ();
+  check_bool "stop is idempotent" false (Runtime.running ())
+
+let test_runtime_major_pace_warn () =
+  Log.configure ~level:Log.Warn (Log.Ring 64);
+  Fun.protect
+    ~finally:(fun () ->
+      Runtime.stop ();
+      Log.close ())
+    (fun () ->
+      (* Threshold low enough that a single major per tick trips it. *)
+      Runtime.start ~interval_s:0.05 ~major_pace_warn:0.1 ();
+      let warned () =
+        List.exists
+          (fun line ->
+            field "msg" (parse_line line)
+            = Some (Wire.String "gc major pace high"))
+          (Log.ring_contents ())
+      in
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while (not (warned ())) && Unix.gettimeofday () < deadline do
+        Gc.full_major ();
+        Unix.sleepf 0.01
+      done;
+      check_bool "major-pace warn emitted" true (warned ());
+      (* The warn record carries the numbers a responder needs. *)
+      let rec last = function
+        | [] -> Alcotest.fail "warn vanished"
+        | [ l ] -> parse_line l
+        | _ :: rest -> last rest
+      in
+      let fields =
+        last
+          (List.filter
+             (fun line ->
+               field "msg" (parse_line line)
+               = Some (Wire.String "gc major pace high"))
+             (Log.ring_contents ()))
+      in
+      List.iter
+        (fun k ->
+          check_bool (Printf.sprintf "warn has %s" k) true
+            (field k fields <> None))
+        [ "majors_per_s"; "threshold"; "heap_words" ])
+
 let () =
   Alcotest.run "obs"
     [
@@ -612,5 +990,36 @@ let () =
             test_trace_ring_keeps_last;
           Alcotest.test_case "unwritable path" `Quick
             test_trace_unwritable_path;
+          Alcotest.test_case "retain survives ring wrap" `Quick
+            test_retain_survives_ring_wrap;
+          Alcotest.test_case "dropped counter mirrors ring" `Quick
+            test_dropped_counter_mirrors_ring;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "traceparent round trip" `Quick
+            test_span_context_roundtrip;
+          Alcotest.test_case "malformed traceparent rejected" `Quick
+            test_traceparent_rejects_malformed;
+          Alcotest.test_case "ambient scoping" `Quick
+            test_ambient_context_scoping;
+          Alcotest.test_case "events stamped with context" `Quick
+            test_events_stamped_with_context;
+          Alcotest.test_case "exemplars attach trace ids" `Quick
+            test_exemplars_attach_trace_id;
+        ] );
+      ( "trace-merge",
+        [
+          Alcotest.test_case "stitches processes, GC and flows" `Quick
+            test_trace_merge_stitches;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_trace_merge_rejects_bad_input;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "sampler lifecycle" `Quick
+            test_runtime_lifecycle;
+          Alcotest.test_case "major-pace warn" `Quick
+            test_runtime_major_pace_warn;
         ] );
     ]

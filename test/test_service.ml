@@ -313,8 +313,13 @@ let decode line =
 let test_proto_defaults_match_cli () =
   (* {"kind":"simulate"} must mean exactly `rvu simulate` with no flags. *)
   match decode {|{"kind":"simulate"}|} with
-  | Ok { Proto.request = Proto.Simulate s; id = Wire.Null; timeout_ms = None }
-    ->
+  | Ok
+      {
+        Proto.request = Proto.Simulate s;
+        id = Wire.Null;
+        timeout_ms = None;
+        trace = None;
+      } ->
       check_bool "attrs default" true
         (s.Proto.attrs = Attributes.make ~v:1.0 ~tau:1.0 ~phi:0.0 ());
       check_bool "d default" true (s.Proto.d = 2.0);
